@@ -1,0 +1,168 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Split grain: the paper's 4096-byte alignment vs finer/coarser grains —
+   memoization effectiveness is the claimed benefit.
+2. "No compression" in the choice set (§IV-F1): forcing compression on
+   incompressible data must hurt.
+3. The reinforcement feedback loop (§IV-D): disabling it leaves the cost
+   model wrong on drifted data.
+4. The capacity-pressure (drain) term: without it the per-task greedy
+   optimizer stops compressing into roomy fast tiers and the Fig. 7
+   speedup collapses (DESIGN.md's documented modeling extension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyzer import InputAnalyzer
+from repro.ccp import CompressionCostPredictor, ObservationKey
+from repro.codecs import CompressionLibraryPool
+from repro.core import HCompress, HCompressConfig
+from repro.experiments.fig7_vpic import (
+    WRITE_PRIORITY,
+    fig7_hierarchy,
+    fig7_vpic_config,
+)
+from repro.hcdp import HcdpEngine, IOTask, Priority
+from repro.monitor import SystemMonitor
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+from repro.workloads import HCompressBackend, run_vpic
+
+
+# -- 1. split grain ----------------------------------------------------------
+
+
+@pytest.mark.parametrize("grain", [512, 4096, 65536])
+def test_ablation_alignment_grain(benchmark, seed, grain) -> None:
+    predictor = CompressionCostPredictor()
+    predictor.fit_seed(seed.observations)
+    rng = np.random.default_rng(0)
+    from repro.datagen import synthetic_buffer
+
+    sample = synthetic_buffer("float64", "gamma", 64 * KiB, rng)
+    analysis = InputAnalyzer().analyze(sample)
+    sizes = rng.integers(1, 64, size=200) * 256 * KiB
+
+    def plan_stream() -> float:
+        hierarchy = ares_hierarchy(4 * MiB, 8 * MiB, 16 * MiB, nodes=4)
+        engine = HcdpEngine(
+            predictor, SystemMonitor(hierarchy), CompressionLibraryPool(),
+            grain=grain,
+        )
+        for i, size in enumerate(sizes):
+            engine.plan(IOTask(f"g{i}", int(size), analysis))
+        return engine.stats.hit_rate
+
+    hit_rate = benchmark.pedantic(plan_stream, rounds=1, iterations=1)
+    benchmark.extra_info["memo_hit_rate"] = hit_rate
+    benchmark.extra_info["grain"] = grain
+
+
+# -- 2. the no-compression choice ---------------------------------------------
+
+
+@pytest.mark.parametrize("allow_identity", [True, False])
+def test_ablation_identity_choice(benchmark, seed, allow_identity) -> None:
+    """Incompressible data: keeping c=0 in the choice set avoids paying
+    compression time for nothing (paper: 'compression might hurt')."""
+    rng = np.random.default_rng(1)
+    sample = rng.integers(0, 256, 64 * KiB, dtype=np.uint8).tobytes()
+
+    def run() -> float:
+        hierarchy = ares_hierarchy(512 * KiB, 1 * MiB, 4 * GiB, nodes=2)
+        engine = HCompress(hierarchy, seed=seed)
+        engine.engine.allow_identity = allow_identity
+        total_cpu = 0.0
+        for i in range(50):
+            result = engine.compress(
+                sample, modeled_size=1 * MiB, task_id=f"t{i}"
+            )
+            total_cpu += result.compress_seconds
+        return total_cpu
+
+    cpu = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["compression_cpu_seconds"] = cpu
+    benchmark.extra_info["allow_identity"] = allow_identity
+    if allow_identity:
+        assert cpu < 1.0  # the engine declines to compress noise
+
+
+# -- 3. the feedback loop ------------------------------------------------------
+
+
+@pytest.mark.parametrize("feedback_on", [True, False])
+def test_ablation_feedback_loop(benchmark, seed, feedback_on) -> None:
+    """VPIC data drifts from the seed corpus; with feedback the ratio
+    head converges to the measured value, without it the error persists."""
+    from repro.workloads import vpic_sample
+    from repro.workloads.vpic import VPIC_HINTS
+
+    rng = np.random.default_rng(2)
+    sample = vpic_sample(64 * KiB, rng)
+
+    def run() -> float:
+        hierarchy = ares_hierarchy(1 * MiB, 2 * MiB, 4 * GiB, nodes=2)
+        engine = HCompress(
+            hierarchy,
+            HCompressConfig(
+                priority=Priority(0.0, 1.0, 0.0),
+                feedback_every_n=1 if feedback_on else 10**9,
+            ),
+            seed=seed,
+        )
+        measured = None
+        codec = None
+        for i in range(40):
+            result = engine.compress(
+                sample, hints=VPIC_HINTS, modeled_size=1 * MiB,
+                task_id=f"t{i}",
+            )
+            piece = result.pieces[0]
+            if piece.plan.codec != "none":
+                measured = piece.actual_ratio
+                codec = piece.plan.codec
+        assert codec is not None
+        analysis = engine.analyzer.analyze(sample, VPIC_HINTS)
+        predicted = engine.predictor.predict(
+            ObservationKey(*analysis.feature_key(), codec, 1 * MiB)
+        ).ratio
+        return abs(np.log2(predicted) - np.log2(measured))
+
+    error = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["log2_ratio_error"] = error
+    benchmark.extra_info["feedback_on"] = feedback_on
+    if feedback_on:
+        assert error < 0.2
+
+
+# -- 4. the capacity-pressure (drain) term --------------------------------------
+
+
+@pytest.mark.parametrize("drain_penalty", [0.0, 1.0])
+def test_ablation_drain_penalty(benchmark, seed, drain_penalty) -> None:
+    config = fig7_vpic_config(1280, scale=32)
+
+    def run() -> tuple[float, float]:
+        hierarchy = fig7_hierarchy(32)
+        engine = HCompress(
+            hierarchy,
+            HCompressConfig(
+                priority=WRITE_PRIORITY, drain_penalty=drain_penalty
+            ),
+            seed=seed,
+        )
+        result = run_vpic(
+            HCompressBackend(engine), config, hierarchy,
+            rng=np.random.default_rng(0),
+        )
+        return result.io_seconds, result.achieved_ratio
+
+    io_seconds, ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["io_seconds"] = io_seconds
+    benchmark.extra_info["achieved_ratio"] = ratio
+    benchmark.extra_info["drain_penalty"] = drain_penalty
+    if drain_penalty:
+        assert ratio > 1.2

@@ -1,0 +1,42 @@
+"""Micro-benchmarks: real wall-clock throughput of every pool codec.
+
+These measure OUR pure-Python implementations (the simulator charges time
+from the nominal profile table instead — see DESIGN.md §2); they exist to
+track regressions in the from-scratch codecs and to document the measured/
+nominal gap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import codec_names, get_codec
+
+
+@pytest.mark.parametrize("codec_name", codec_names(include_identity=False))
+def test_compress_throughput(benchmark, codec_name, gamma_buffer) -> None:
+    codec = get_codec(codec_name)
+    payload = benchmark(codec.compress, gamma_buffer)
+    benchmark.extra_info["ratio"] = len(gamma_buffer) / max(len(payload), 1)
+    benchmark.extra_info["input_bytes"] = len(gamma_buffer)
+
+
+@pytest.mark.parametrize("codec_name", codec_names(include_identity=False))
+def test_decompress_throughput(benchmark, codec_name, gamma_buffer) -> None:
+    codec = get_codec(codec_name)
+    payload = codec.compress(gamma_buffer)
+    restored = benchmark(codec.decompress, payload)
+    assert restored == gamma_buffer
+
+
+def test_subtask_header_wrap(benchmark, gamma_buffer) -> None:
+    from repro.codecs import wrap_payload
+
+    benchmark(wrap_payload, gamma_buffer[:4096], 0, "lz4")
+
+
+def test_subtask_header_unwrap(benchmark, gamma_buffer) -> None:
+    from repro.codecs import unwrap_payload, wrap_payload
+
+    blob, _ = wrap_payload(gamma_buffer[:4096], 0, "lz4")
+    benchmark(unwrap_payload, blob)

@@ -1,0 +1,69 @@
+"""Micro-benchmarks of the engine's hot paths (not figure regenerations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyzer import InputAnalyzer
+from repro.ccp import CompressionCostPredictor, ObservationKey
+from repro.codecs import CompressionLibraryPool
+from repro.datagen import synthetic_buffer
+from repro.hcdp import HcdpEngine, IOTask
+from repro.monitor import SystemMonitor
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture()
+def planning_stack(seed):
+    predictor = CompressionCostPredictor()
+    predictor.fit_seed(seed.observations)
+    hierarchy = ares_hierarchy(64 * MiB, 128 * MiB, 1 * GiB, nodes=4)
+    engine = HcdpEngine(
+        predictor, SystemMonitor(hierarchy), CompressionLibraryPool()
+    )
+    sample = synthetic_buffer(
+        "float64", "gamma", 64 * KiB, np.random.default_rng(0)
+    )
+    analysis = InputAnalyzer().analyze(sample)
+    return engine, analysis
+
+
+def test_plan_single_tier_task(benchmark, planning_stack) -> None:
+    engine, analysis = planning_stack
+    counter = iter(range(10**9))
+
+    def plan():
+        return engine.plan(IOTask(f"b{next(counter)}", 1 * MiB, analysis))
+
+    schema = benchmark(plan)
+    assert len(schema.pieces) >= 1
+
+
+def test_predict_ecc(benchmark, planning_stack) -> None:
+    engine, _ = planning_stack
+    key = ObservationKey("float64", "binary", "gamma", "zlib", 1 * MiB)
+
+    def predict():
+        engine.predictor._cache.clear()  # measure the uncached path
+        return engine.predictor.predict(key)
+
+    ecc = benchmark(predict)
+    assert ecc.ratio > 0
+
+
+def test_analyze_buffer(benchmark) -> None:
+    analyzer = InputAnalyzer(cache_size=0)
+    data = synthetic_buffer(
+        "float64", "normal", 1 * MiB, np.random.default_rng(0)
+    )
+    analysis = benchmark(analyzer.analyze, data)
+    assert analysis.dtype.value == "float64"
+
+
+def test_monitor_sample(benchmark) -> None:
+    hierarchy = ares_hierarchy(1 * MiB, 2 * MiB, 4 * MiB, nodes=4)
+    monitor = SystemMonitor(hierarchy)
+    status = benchmark(monitor.sample)
+    assert len(status.tiers) == 4

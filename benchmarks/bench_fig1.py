@@ -1,0 +1,31 @@
+"""Fig. 1 regeneration bench: the VPIC motivation experiment.
+
+Reproduces the paper's opening figure — single-tier vs multi-tier storage
+crossed with static codecs, plus the combined engine — and records the
+full series in the benchmark's extra info.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig1
+
+from conftest import table_to_extra_info
+
+
+def test_fig1_motivation(benchmark, seed) -> None:
+    table = benchmark.pedantic(
+        lambda: run_fig1(
+            scale=64, nprocs=640, seed=seed, rng=np.random.default_rng(0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_to_extra_info(benchmark, table)
+    rows = {(r["scenario"], r["codec"]): r for r in table.row_dicts()}
+    base = rows[("Single Tier (PFS)", "none")]["total_s"]
+    combined = rows[("Multi-Comp Multi-Tiered", "dynamic")]["total_s"]
+    # The figure's claim: the combined engine beats the vanilla PFS and
+    # each individual optimization's best configuration.
+    assert combined < base

@@ -1,0 +1,32 @@
+"""Fig. 3 regeneration bench: anatomy of HCompress operations.
+
+Paper claim: ~98% of both paths is I/O + (de)compression; engine overheads
+(HCDP, library selection, feedback, metadata parsing) stay ~2% combined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig3
+
+from conftest import table_to_extra_info
+
+
+def test_fig3_anatomy(benchmark, seed) -> None:
+    table = benchmark.pedantic(
+        lambda: run_fig3(n_tasks=1000, seed=seed,
+                         rng=np.random.default_rng(0)),
+        rounds=1,
+        iterations=1,
+    )
+    table_to_extra_info(benchmark, table)
+    rows = {(r["path"], r["component"]): r["fraction"]
+            for r in table.row_dicts()}
+    write_overhead = (
+        rows[("write", "hcdp_engine")]
+        + rows[("write", "library_selection")]
+        + rows[("write", "feedback")]
+    )
+    assert write_overhead < 0.05  # paper: ~2%
+    assert rows[("write", "compression")] + rows[("write", "write")] > 0.9

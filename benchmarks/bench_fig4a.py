@@ -1,0 +1,35 @@
+"""Fig. 4(a) regeneration bench: HCDP engine planning throughput.
+
+Paper claim: throughput is flat while tasks fit single tiers (their C
+engine ran at ~2.44e9 trivial plans/s) and drops a few percent once tasks
+split. We benchmark the Python engine's true planning rate and assert the
+flat-then-drop shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig4a
+from repro.units import KiB, MiB
+
+from conftest import table_to_extra_info
+
+SIZES = (4 * KiB, 64 * KiB, 1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB)
+
+
+def test_fig4a_engine_throughput(benchmark, seed) -> None:
+    table = benchmark.pedantic(
+        lambda: run_fig4a(
+            plans_per_size=2000, sizes=SIZES, seed=seed,
+            rng=np.random.default_rng(0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_to_extra_info(benchmark, table)
+    relative = table.column("relative_to_smallest")
+    # Flat region: within-one-tier sizes stay within 2x of the smallest.
+    assert min(relative[:4]) > 0.5
+    # Split region: beyond-tier sizes are measurably slower.
+    assert relative[-1] < relative[0]

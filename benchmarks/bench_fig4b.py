@@ -1,0 +1,35 @@
+"""Fig. 4(b) regeneration bench: cost-predictor accuracy + feedback rate.
+
+Paper claim: ~95.5% model accuracy across all four data distributions with
+the feedback engine ingesting ~20K events/s (native); accuracy is the
+comparable number, the rate differs by the language constant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig4b
+
+from conftest import table_to_extra_info
+
+
+def test_fig4b_predictor(benchmark, seed) -> None:
+    table = benchmark.pedantic(
+        lambda: run_fig4b(
+            tasks_per_distribution=4000, seed=seed,
+            rng=np.random.default_rng(0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_to_extra_info(benchmark, table)
+    accuracies = table.column("accuracy_r2")
+    assert len(accuracies) == 4
+    assert min(accuracies) > 0.85  # paper: ~95.5%
+    rates = table.column("events_per_s")
+    # Throughput flat across distributions. This is a wall-clock rate of
+    # the Python feedback path, so the bound is generous (same order of
+    # magnitude) to stay robust on loaded machines; the paper's flatness
+    # claim is about the *distribution* axis, which this still checks.
+    assert max(rates) / min(rates) < 4.0

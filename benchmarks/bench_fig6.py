@@ -1,0 +1,40 @@
+"""Fig. 6 regeneration bench: multi-tiered storage's impact on compression.
+
+Paper claims: CPU-bound codecs (bsc, brotli, zlib) hold a flat task rate
+across tiers; I/O-bound codecs (pithy, snappy, lz4, huffman, lzo) track
+tier bandwidth; HCompress beats every static codec on the multi-tier
+stack by 1.4-3x by matching libraries to tiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig6
+
+from conftest import table_to_extra_info
+
+
+def test_fig6_tiers_on_compression(benchmark, seed) -> None:
+    table = benchmark.pedantic(
+        lambda: run_fig6(
+            scale=32, nprocs=64, seed=seed, rng=np.random.default_rng(0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_to_extra_info(benchmark, table)
+    rates = {
+        (r["codec"], r["tier"]): r["tasks_per_s"] for r in table.row_dicts()
+    }
+    # Heavy codecs flat, light codecs tier-sensitive.
+    assert rates[("bsc", "ram")] / rates[("bsc", "burst_buffer")] < 3.0
+    assert rates[("lz4", "ram")] / rates[("lz4", "burst_buffer")] > 5.0
+    # HCompress on top of every static multi-tier configuration.
+    hc = rates[("HCompress", "multi-tiered")]
+    statics = [
+        rate for (codec, tier), rate in rates.items()
+        if tier == "multi-tiered" and codec != "HCompress"
+    ]
+    assert hc > max(statics)
+    benchmark.extra_info["hc_over_best_static"] = hc / max(statics)

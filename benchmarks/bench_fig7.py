@@ -1,0 +1,37 @@
+"""Fig. 7 regeneration bench: VPIC-IO scaling, the headline result.
+
+Paper claims at 2560 processes: STWC ~1.5x, MTNC ~2x, HC ~12x over the
+vanilla-PFS baseline (7x average over the individual optimizations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig7
+
+from conftest import table_to_extra_info
+
+
+def test_fig7_vpic_scaling(benchmark, seed) -> None:
+    table = benchmark.pedantic(
+        lambda: run_fig7(
+            process_counts=(320, 640, 1280, 2560),
+            scale=64,
+            seed=seed,
+            rng=np.random.default_rng(0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_to_extra_info(benchmark, table)
+    rows = {
+        (r["nprocs"], r["backend"]): r for r in table.row_dicts()
+    }
+    top = rows[(2560, "HC")]
+    assert top["speedup_vs_base"] > 5.0  # paper: ~12x
+    assert rows[(2560, "MTNC")]["speedup_vs_base"] > 1.5  # paper: ~2x
+    assert rows[(2560, "STWC")]["speedup_vs_base"] > 1.3  # paper: ~1.5x
+    # HC beats both individual optimizations at the largest scale.
+    assert top["io_s"] < rows[(2560, "MTNC")]["io_s"]
+    assert top["io_s"] < rows[(2560, "STWC")]["io_s"]

@@ -1,0 +1,34 @@
+"""Fig. 8 regeneration bench: the VPIC + BD-CATS workflow.
+
+Paper claims: STWC ~1.5x and MTNC ~2.5x over BASE; HCompress ~7x over both
+individual optimizations for the read-after-write workflow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import run_fig8
+
+from conftest import table_to_extra_info
+
+
+def test_fig8_workflow(benchmark, seed) -> None:
+    table = benchmark.pedantic(
+        lambda: run_fig8(
+            process_counts=(320, 2560),
+            scale=64,
+            seed=seed,
+            rng=np.random.default_rng(0),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    table_to_extra_info(benchmark, table)
+    rows = {(r["nprocs"], r["backend"]): r for r in table.row_dicts()}
+    base = rows[(2560, "BASE")]["total_s"]
+    assert base / rows[(2560, "HC")]["total_s"] > 3.0
+    assert rows[(2560, "HC")]["total_s"] < rows[(2560, "MTNC")]["total_s"]
+    assert rows[(2560, "HC")]["total_s"] < rows[(2560, "STWC")]["total_s"]
+    # Reads specifically benefit (compressed data sits higher).
+    assert rows[(2560, "HC")]["read_s"] < rows[(2560, "MTNC")]["read_s"]

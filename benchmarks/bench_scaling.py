@@ -1,0 +1,76 @@
+"""Scaling sweep (the paper's stated future work: "larger-scale
+supercomputers").
+
+Holds per-node data constant and sweeps the compute-node count: node-local
+tiers scale with the machine while the shared burst buffer and PFS do not,
+so HCompress's advantage over Hermes should *grow* with scale — the
+weak-scaling projection of Fig. 7.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HCompress, HCompressConfig
+from repro.experiments.fig7_vpic import WRITE_PRIORITY
+from repro.hermes import HermesBuffering
+from repro.tiers import ares_hierarchy
+from repro.units import GB, MiB
+from repro.workloads import (
+    HCompressBackend,
+    HermesBackend,
+    VpicConfig,
+    run_vpic,
+)
+
+# Per-node budgets at bench scale (1/64 of the paper's Fig. 7 figures).
+_RAM_PER_NODE = 12_500_000_000 // 64
+_NVME_PER_NODE = 25 * GB // 64
+_BB_TOTAL = 2_000 * GB // 64
+_RANKS_PER_NODE = 40  # 2560 ranks / 64 nodes
+
+
+def _run(nodes: int, backend_name: str, seed) -> tuple[float, float]:
+    hierarchy = ares_hierarchy(
+        ram_capacity=_RAM_PER_NODE * nodes,
+        nvme_capacity=_NVME_PER_NODE * nodes,
+        bb_capacity=_BB_TOTAL,
+        nodes=nodes,
+    )
+    config = VpicConfig(
+        nprocs=_RANKS_PER_NODE * nodes,
+        timesteps=10,
+        bytes_per_rank_per_step=4 * MiB,
+        compute_seconds=60.0 / 64,
+    )
+    if backend_name == "HC":
+        engine = HCompress(
+            hierarchy, HCompressConfig(priority=WRITE_PRIORITY), seed=seed
+        )
+        backend = HCompressBackend(engine)
+    else:
+        backend = HermesBackend(HermesBuffering(hierarchy))
+    result = run_vpic(
+        backend, config, hierarchy, rng=np.random.default_rng(0)
+    )
+    return result.io_seconds, result.achieved_ratio
+
+
+@pytest.mark.parametrize("nodes", [16, 64, 128])
+def test_weak_scaling_hc_vs_hermes(benchmark, seed, nodes) -> None:
+    def sweep() -> dict:
+        hermes_io, _ = _run(nodes, "MTNC", seed)
+        hc_io, hc_ratio = _run(nodes, "HC", seed)
+        return {
+            "nodes": nodes,
+            "hermes_io_s": hermes_io,
+            "hc_io_s": hc_io,
+            "hc_ratio": hc_ratio,
+            "hc_over_hermes": hermes_io / hc_io if hc_io else float("inf"),
+        }
+
+    info = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info.update(info)
+    # HCompress never loses to Hermes, at any machine size.
+    assert info["hc_io_s"] <= info["hermes_io_s"] * 1.05

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: the profiler seed and standard buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccp import SeedData
+from repro.core import HCompressProfiler
+from repro.datagen import synthetic_buffer
+from repro.units import KiB
+
+
+@pytest.fixture(scope="session")
+def seed() -> SeedData:
+    """One profiler seed shared by every bench."""
+    profiler = HCompressProfiler(rng=np.random.default_rng(0))
+    return profiler.quick_seed(sizes=(8 * KiB, 32 * KiB))
+
+
+@pytest.fixture(scope="session")
+def gamma_buffer() -> bytes:
+    return synthetic_buffer(
+        "float64", "gamma", 256 * KiB, np.random.default_rng(0)
+    )
+
+
+def table_to_extra_info(benchmark, table) -> None:
+    """Attach an experiment table to the benchmark record and print it."""
+    benchmark.extra_info["table"] = table.to_markdown()
+    print()
+    print(table.to_markdown())

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Workload priorities (Table II) steering the engine at runtime.
+
+The same buffer, the same hierarchy, four different priorities — watch the
+HCDP engine trade compression speed against ratio against decompression
+speed, and swap priorities mid-run through the public API.
+
+Run:  python examples/priority_tuning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HCompress, HCompressProfiler
+from repro.datagen import synthetic_buffer
+from repro.hcdp import ARCHIVAL_IO, ASYNC_IO, EQUAL, READ_AFTER_WRITE
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+
+PRIORITIES = [
+    ("Asynchronous I/O  (wc=1, wr=0, wd=0)", ASYNC_IO),
+    ("Archival I/O      (wc=0, wr=1, wd=0)", ARCHIVAL_IO),
+    ("Read after write  (wc=.3, wr=.4, wd=.3)", READ_AFTER_WRITE),
+    ("Equal             (wc=1, wr=1, wd=1)", EQUAL),
+]
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    data = synthetic_buffer("float64", "exponential", 512 * KiB, rng)
+    seed = HCompressProfiler(rng=np.random.default_rng(0)).quick_seed()
+
+    # A tight fast tier over a slow shared tier: the regime where the
+    # priority weights actually bite.
+    hierarchy = ares_hierarchy(
+        ram_capacity=256 * KiB, nvme_capacity=None, bb_capacity=64 * MiB,
+        nodes=1,
+    )
+    engine = HCompress(hierarchy, seed=seed)
+
+    print(f"Input: 512 KiB float64 exponential data\n")
+    for label, priority in PRIORITIES:
+        engine.set_priority(priority)
+        result = engine.compress(data)
+        pieces = ", ".join(
+            f"{p.plan.codec}@{p.tier}" for p in result.pieces
+        )
+        print(
+            f"{label}\n"
+            f"    schema: {pieces}\n"
+            f"    achieved ratio {result.achieved_ratio:5.2f}, modeled "
+            f"compress {result.compress_seconds * 1e3:7.2f} ms\n"
+        )
+    print(
+        "Async priority favours the fastest codecs (or none); archival "
+        "chases pure footprint; the balanced presets land in between — "
+        "exactly Table II's intent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The profiler-seed lifecycle (paper §IV-A): profile once, reuse forever.
+
+Runs the HCompress Profiler over the predefined corpus, writes the JSON
+seed, bootstraps an engine from the file, does some work, and finalizes —
+which writes the evolved model state back for the next run.
+
+Run:  python examples/profiler_seed.py [seed.json]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ccp import load_seed, save_seed
+from repro.core import HCompress, HCompressConfig, HCompressProfiler
+from repro.core.api import hcompress_session
+from repro.datagen import synthetic_buffer
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+
+
+def main() -> None:
+    seed_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("/tmp/hcompress_seed.json")
+    hierarchy = ares_hierarchy(1 * MiB, 2 * MiB, 1 * GiB, nodes=2)
+
+    if not seed_path.exists():
+        print("No seed on disk: running the profiler (HP) ...")
+        t0 = time.perf_counter()
+        profiler = HCompressProfiler(rng=np.random.default_rng(0))
+        seed = profiler.generate_seed(
+            hierarchy=hierarchy, sizes=(8 * KiB, 32 * KiB)
+        )
+        save_seed(seed, seed_path)
+        print(
+            f"  profiled {len(seed.observations)} observations in "
+            f"{time.perf_counter() - t0:.1f}s -> {seed_path}"
+        )
+    else:
+        print(f"Reusing existing seed {seed_path}")
+
+    seed = load_seed(seed_path)
+    print(
+        f"Seed: {len(seed.observations)} observations, system signature "
+        f"covers {sorted(seed.system_signature) or 'nothing yet'}"
+    )
+
+    t0 = time.perf_counter()
+    engine = HCompress(
+        hierarchy, HCompressConfig(seed_path=seed_path)
+    )
+    print(f"Engine bootstrap from file took {time.perf_counter() - t0:.2f}s")
+
+    rng = np.random.default_rng(5)
+    with hcompress_session(engine, seed_path=seed_path) as session:
+        for i in range(8):
+            data = synthetic_buffer("float64", "gamma", 64 * KiB, rng)
+            session.compress(data, task_id=f"work-{i}")
+        accuracy = session.accuracy()
+        print(
+            "Model accuracy after this run:",
+            f"{accuracy:.3f}" if accuracy is not None else "warming up",
+        )
+    print(f"Session finalized; evolved seed written back to {seed_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""VPIC checkpointing under the paper's four configurations (Fig. 7).
+
+Simulates the VPIC-IO kernel — every rank writes a checkpoint per timestep
+with CPU work in between — against BASE (vanilla PFS), STWC (static zlib
+before the PFS), MTNC (Hermes buffering), and HC (HCompress), and prints
+the resulting I/O times and speedups.
+
+Run:  python examples/vpic_checkpoint.py [nprocs] [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import HCompressProfiler
+from repro.experiments.fig7_vpic import (
+    WRITE_PRIORITY,
+    fig7_hierarchy,
+    fig7_vpic_config,
+)
+from repro.experiments.common import make_backend
+from repro.units import fmt_bytes
+from repro.workloads import run_vpic
+
+
+def main() -> None:
+    nprocs = int(sys.argv[1]) if len(sys.argv) > 1 else 640
+    scale = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+    config = fig7_vpic_config(nprocs, scale)
+    print(
+        f"VPIC-IO: {nprocs} ranks x {config.timesteps} steps x "
+        f"{fmt_bytes(config.bytes_per_rank_per_step)} "
+        f"(paper config scaled 1/{scale})"
+    )
+
+    print("Profiling codec pool once (shared across configurations)...")
+    seed = HCompressProfiler(rng=np.random.default_rng(0)).quick_seed()
+    rng = np.random.default_rng(1)
+
+    results = {}
+    for name in ("BASE", "STWC", "MTNC", "HC"):
+        hierarchy = fig7_hierarchy(scale)
+        backend = make_backend(
+            name, hierarchy, priority=WRITE_PRIORITY, seed=seed
+        )
+        result = run_vpic(backend, config, hierarchy, rng=rng)
+        results[name] = result
+        footprint = {
+            tier: fmt_bytes(used)
+            for tier, used in result.footprint_by_tier.items()
+            if used
+        }
+        print(
+            f"  {name:5s} io={result.io_seconds:8.2f}s "
+            f"elapsed={result.elapsed_seconds:8.2f}s "
+            f"ratio={result.achieved_ratio:5.2f}  footprint={footprint}"
+        )
+
+    base = results["BASE"].io_seconds
+    print("\nSpeedup over BASE (I/O time, the paper's Fig. 7 metric):")
+    for name in ("STWC", "MTNC", "HC"):
+        print(f"  {name:5s} {base / results[name].io_seconds:6.2f}x")
+    print("\nPaper bands at 2560 ranks: STWC ~1.5x, MTNC ~2x, HC ~12x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Input Analyzer: data type, format, and distribution inference."""
+
+from .datatype import DataType, DatatypeGuess, infer_datatype, sample_buffer
+from .distribution import Distribution, DistributionGuess, classify_distribution
+from .format import H5LITE_MAGIC, DataFormat, detect_format
+from .input_analyzer import InputAnalysis, InputAnalyzer, MetadataHints
+
+__all__ = [
+    "DataFormat",
+    "DataType",
+    "DatatypeGuess",
+    "Distribution",
+    "DistributionGuess",
+    "H5LITE_MAGIC",
+    "InputAnalysis",
+    "InputAnalyzer",
+    "MetadataHints",
+    "classify_distribution",
+    "detect_format",
+    "infer_datatype",
+    "sample_buffer",
+]

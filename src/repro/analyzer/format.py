@@ -1,0 +1,91 @@
+"""Represented-format detection (paper §IV-C).
+
+Self-described formats are recognised by magic-number introspection (the
+paper's fast path: "metadata parsing of self-described portable data
+representations"); text formats by lightweight structural checks over a
+sub-sample; everything else is raw binary.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .datatype import sample_buffer
+
+__all__ = ["DataFormat", "detect_format", "H5LITE_MAGIC"]
+
+#: Magic prefix of our self-describing container (repro.formats.h5lite).
+H5LITE_MAGIC = b"\x89H5L\r\n\x1a\n"
+
+_KNOWN_MAGICS: tuple[tuple[bytes, "DataFormat"], ...] = ()
+
+
+class DataFormat(str, enum.Enum):
+    """Formats the analyzer can report."""
+
+    H5LITE = "h5lite"
+    CSV = "csv"
+    JSON = "json"
+    TEXT = "text"
+    BINARY = "binary"
+
+
+def _printable_ratio(sample: bytes) -> float:
+    if not sample:
+        return 0.0
+    printable = sum(1 for b in sample if 32 <= b < 127 or b in (9, 10, 13))
+    return printable / len(sample)
+
+
+def _looks_like_csv(sample: bytes) -> bool:
+    """Consistent delimiter counts across the first complete lines."""
+    try:
+        text = sample.decode("utf-8", errors="strict")
+    except UnicodeDecodeError:
+        return False
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if len(lines) < 2:
+        return False
+    lines = lines[:-1] if len(lines) > 2 else lines  # last line may be cut
+    for delim in (",", "\t", ";"):
+        counts = [ln.count(delim) for ln in lines[:20]]
+        if counts[0] >= 1 and len(set(counts)) == 1:
+            return True
+    return False
+
+
+def _looks_like_json(sample: bytes) -> bool:
+    stripped = sample.lstrip()
+    if not stripped or stripped[0] not in (ord("{"), ord("[")):
+        return False
+    try:
+        text = stripped.decode("utf-8", errors="strict")
+    except UnicodeDecodeError:
+        return False
+    # Structural plausibility without a full parse (the sample may be cut):
+    # JSON bodies are dense with quotes/colons/brackets.
+    structural = sum(text.count(ch) for ch in '{}[]":,')
+    return structural / max(len(text), 1) > 0.05
+
+
+def detect_format(data: bytes) -> DataFormat:
+    """Classify a buffer's represented format.
+
+    Magic-number checks run on the true prefix; text checks run on a
+    sub-sample so cost is size-independent.
+    """
+    if not data:
+        return DataFormat.BINARY
+    if data.startswith(H5LITE_MAGIC):
+        return DataFormat.H5LITE
+    for magic, fmt in _KNOWN_MAGICS:  # pragma: no cover - extension point
+        if data.startswith(magic):
+            return fmt
+    head = data[:4096]
+    if _printable_ratio(head) < 0.9:
+        return DataFormat.BINARY
+    if _looks_like_json(head):
+        return DataFormat.JSON
+    if _looks_like_csv(sample_buffer(data, limit=16 * 1024, parts=2)):
+        return DataFormat.CSV
+    return DataFormat.TEXT

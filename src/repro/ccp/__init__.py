@@ -1,0 +1,22 @@
+"""Compression Cost Predictor: features, regression, feedback, seed I/O."""
+
+from .features import FeatureEncoder, ObservationKey
+from .feedback import FeedbackLoop
+from .linreg import OlsFitReport, OlsModel, RecursiveLeastSquares
+from .predictor import CompressionCostPredictor, ExpectedCompressionCost
+from .seed import CostObservation, SeedData, load_seed, save_seed
+
+__all__ = [
+    "CompressionCostPredictor",
+    "CostObservation",
+    "ExpectedCompressionCost",
+    "FeatureEncoder",
+    "FeedbackLoop",
+    "ObservationKey",
+    "OlsFitReport",
+    "OlsModel",
+    "RecursiveLeastSquares",
+    "SeedData",
+    "load_seed",
+    "save_seed",
+]

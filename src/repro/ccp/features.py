@@ -1,0 +1,123 @@
+"""Feature encoding for the Compression Cost Predictor (paper §IV-D).
+
+The model input is the categorical tuple the paper lists — data-type,
+data-format, compression library, distribution — one-hot encoded, plus an
+intercept and a log-size term (buffer size mildly affects achievable ratio
+through per-block overheads). The encoding is fixed-width so one design
+matrix serves both the batch seed fit and the online recursive updates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analyzer import DataFormat, DataType, Distribution
+from ..codecs import PAPER_LIBRARIES
+
+__all__ = ["FeatureEncoder", "ObservationKey"]
+
+
+@dataclass(frozen=True)
+class ObservationKey:
+    """The categorical coordinates of one cost observation."""
+
+    dtype: str
+    data_format: str
+    distribution: str
+    codec: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"size must be >= 0, got {self.size}")
+
+
+class FeatureEncoder:
+    """Fixed-vocabulary reference-category (drop-first) encoder.
+
+    Each categorical block encodes relative to its first vocabulary entry:
+    the reference category contributes zeros and its level is carried by
+    the intercept. Unknown values also encode as zeros, so the model
+    predicts the reference/baseline level instead of losing an arbitrary
+    share of the intercept — this keeps extrapolation to unseen formats
+    (e.g. a new container type) sane.
+    """
+
+    def __init__(self, codecs: tuple[str, ...] | None = None) -> None:
+        # Reference categories (first element, dropped from the encoding):
+        # float64 / h5lite / uniform / none.
+        self._dtypes = tuple(d.value for d in DataType)[1:]
+        self._formats = tuple(f.value for f in DataFormat)[1:]
+        self._distributions = tuple(d.value for d in Distribution)[1:]
+        all_codecs = tuple(codecs) if codecs is not None else (
+            "none",
+            *PAPER_LIBRARIES,
+        )
+        self._codecs = all_codecs[1:]
+        self._all_codecs = all_codecs
+        # Interaction blocks: a codec's ratio depends jointly on the codec
+        # and the data class (a block-sorter shines on skewed data where a
+        # byte-LZ barely moves), which a purely additive basis cannot
+        # express — this is the paper's "table ... for each combination of
+        # the above data attributes", realised as a linear basis.
+        self._cxd = len(self._codecs) * len(self._distributions)
+        self._cxt = len(self._codecs) * len(self._dtypes)
+        self._width = (
+            1  # intercept
+            + len(self._dtypes)
+            + len(self._formats)
+            + len(self._distributions)
+            + len(self._codecs)
+            + 1  # log2(size)
+            + self._cxd
+            + self._cxt
+        )
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def codecs(self) -> tuple[str, ...]:
+        """The full codec roster (reference codec included)."""
+        return self._all_codecs
+
+    def encode(self, key: ObservationKey) -> np.ndarray:
+        """Encode one observation key as a float64 feature row."""
+        row = np.zeros(self._width, dtype=np.float64)
+        row[0] = 1.0
+        offset = 1
+        indices: dict[str, int] = {}
+        for name, vocab, value in (
+            ("dtype", self._dtypes, key.dtype),
+            ("format", self._formats, key.data_format),
+            ("distribution", self._distributions, key.distribution),
+            ("codec", self._codecs, key.codec),
+        ):
+            try:
+                idx = vocab.index(value)
+                row[offset + idx] = 1.0
+                indices[name] = idx
+            except ValueError:
+                pass  # reference/unknown category: zero block
+            offset += len(vocab)
+        # Normalised log-size: 0 at 4 KiB, ~1 at 4 GiB.
+        row[offset] = (math.log2(max(key.size, 1)) - 12.0) / 20.0
+        offset += 1
+        if "codec" in indices:
+            c = indices["codec"]
+            if "distribution" in indices:
+                row[offset + c * len(self._distributions) + indices["distribution"]] = 1.0
+            if "dtype" in indices:
+                row[
+                    offset + self._cxd + c * len(self._dtypes) + indices["dtype"]
+                ] = 1.0
+        return row
+
+    def encode_batch(self, keys: list[ObservationKey]) -> np.ndarray:
+        if not keys:
+            return np.zeros((0, self._width), dtype=np.float64)
+        return np.stack([self.encode(k) for k in keys])

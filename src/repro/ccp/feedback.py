@@ -1,0 +1,75 @@
+"""The reinforcement feedback loop (paper §IV-D).
+
+Compressors report their actual measured cost after every operation; the
+loop buffers these and, every ``every_n`` operations (n is configurable in
+the paper), flushes the batch into the predictor's recursive-least-squares
+heads. This is the mechanism that lifts the model's accuracy from ~83% on
+drifted real data back to ~96%.
+"""
+
+from __future__ import annotations
+
+from ..errors import ModelError
+from .predictor import CompressionCostPredictor
+from .seed import CostObservation
+
+__all__ = ["FeedbackLoop"]
+
+
+class FeedbackLoop:
+    """Batched observation funnel into a :class:`CompressionCostPredictor`.
+
+    Args:
+        predictor: The model being refined.
+        every_n: Flush cadence in recorded operations.
+    """
+
+    def __init__(
+        self, predictor: CompressionCostPredictor, every_n: int = 16
+    ) -> None:
+        if every_n < 1:
+            raise ModelError(f"every_n must be >= 1, got {every_n}")
+        self.predictor = predictor
+        self.every_n = every_n
+        self._pending: list[CostObservation] = []
+        self._events = 0
+        self._flushes = 0
+
+    @property
+    def events(self) -> int:
+        """Total observations recorded (flushed or pending)."""
+        return self._events
+
+    @property
+    def flushes(self) -> int:
+        return self._flushes
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def record(self, observation: CostObservation) -> bool:
+        """Buffer one observation; flushes automatically at the cadence.
+
+        Returns True when this record triggered a flush.
+        """
+        self._pending.append(observation)
+        self._events += 1
+        if len(self._pending) >= self.every_n:
+            self.flush()
+            return True
+        return False
+
+    def flush(self) -> int:
+        """Push all pending observations into the model; returns the count."""
+        count = len(self._pending)
+        for observation in self._pending:
+            self.predictor.observe(observation)
+        self._pending.clear()
+        if count:
+            self._flushes += 1
+        return count
+
+    def accuracy(self) -> float | None:
+        """Current mean model accuracy (Fig. 4(b)'s reported metric)."""
+        return self.predictor.mean_accuracy()

@@ -1,0 +1,178 @@
+"""Ordinary and recursive least squares.
+
+The paper uses dlib's linear regression and reports fit quality as adjusted
+R^2, per-variable p-values, and an F-statistic; :class:`OlsModel` reproduces
+all three. The feedback loop's online updates use classic recursive least
+squares (:class:`RecursiveLeastSquares`) with an optional forgetting factor,
+initialised from the batch fit so learning continues where the seed left
+off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from ..errors import ModelError
+
+__all__ = ["OlsModel", "OlsFitReport", "RecursiveLeastSquares"]
+
+
+class OlsFitReport:
+    """Quality metrics of one OLS fit (paper §IV-D's reporting)."""
+
+    def __init__(
+        self,
+        r2: float,
+        adjusted_r2: float,
+        f_statistic: float,
+        p_values: np.ndarray,
+        n_samples: int,
+        n_features: int,
+    ) -> None:
+        self.r2 = r2
+        self.adjusted_r2 = adjusted_r2
+        self.f_statistic = f_statistic
+        self.p_values = p_values
+        self.n_samples = n_samples
+        self.n_features = n_features
+
+    def __repr__(self) -> str:
+        return (
+            f"<OlsFitReport R2={self.r2:.3f} adjR2={self.adjusted_r2:.3f} "
+            f"F={self.f_statistic:.1f} n={self.n_samples}>"
+        )
+
+
+class OlsModel:
+    """Least-squares linear model over a fixed-width feature space."""
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ModelError(f"feature width must be >= 1, got {width}")
+        self.width = width
+        self.theta: np.ndarray | None = None
+        self.report: OlsFitReport | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.theta is not None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> OlsFitReport:
+        """Fit by (regularised) least squares and compute fit diagnostics.
+
+        A tiny ridge term keeps the normal equations well-posed when
+        one-hot blocks are collinear with the intercept.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.width:
+            raise ModelError(f"X must be (n, {self.width}), got {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ModelError(f"y must be ({X.shape[0]},), got {y.shape}")
+        n, p = X.shape
+        if n < 2:
+            raise ModelError(f"need at least 2 samples to fit, got {n}")
+        ridge = 1e-8 * np.eye(p)
+        gram = X.T @ X + ridge
+        self.theta = np.linalg.solve(gram, X.T @ y)
+
+        predicted = X @ self.theta
+        residual = y - predicted
+        ss_res = float(residual @ residual)
+        ss_tot = float(np.sum((y - y.mean()) ** 2))
+        r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else (1.0 if ss_res == 0 else 0.0)
+
+        # Effective model dof: rank of the design (one-hot blocks overlap
+        # the intercept, so p overstates it).
+        rank = int(np.linalg.matrix_rank(X))
+        dof_model = max(rank - 1, 1)
+        dof_resid = max(n - rank, 1)
+        adjusted_r2 = 1.0 - (1.0 - r2) * (n - 1) / dof_resid
+        if r2 < 1.0:
+            f_stat = (r2 / dof_model) / ((1.0 - r2) / dof_resid)
+        else:
+            f_stat = float("inf")
+
+        sigma2 = ss_res / dof_resid
+        cov = sigma2 * np.linalg.inv(gram)
+        se = np.sqrt(np.clip(np.diag(cov), 1e-300, None))
+        t_vals = self.theta / se
+        p_values = 2.0 * stats.t.sf(np.abs(t_vals), dof_resid)
+
+        self.report = OlsFitReport(r2, adjusted_r2, f_stat, p_values, n, p)
+        return self.report
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.theta is None:
+            raise ModelError("model is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            return float(X @ self.theta)  # type: ignore[return-value]
+        return X @ self.theta
+
+
+class RecursiveLeastSquares:
+    """Online least squares with forgetting factor ``lam``.
+
+    State: parameter vector ``theta`` and inverse-covariance-like matrix
+    ``P``. Each :meth:`update` folds one observation in O(width^2) — this is
+    the paper's "model learns and grows as the application runs".
+
+    The default ``lam`` is 1.0 (no forgetting): with one-hot features, a
+    forgetting factor < 1 inflates ``P`` exponentially along directions the
+    data never excites (covariance windup), and after tens of thousands of
+    updates a single observation in such a direction explodes the
+    parameters. Callers that genuinely need drift tracking should pair
+    ``lam < 1`` with persistently exciting inputs.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        theta: np.ndarray | None = None,
+        lam: float = 1.0,
+        initial_p: float = 1e3,
+    ) -> None:
+        if width < 1:
+            raise ModelError(f"feature width must be >= 1, got {width}")
+        if not 0.5 < lam <= 1.0:
+            raise ModelError(f"forgetting factor must be in (0.5, 1], got {lam}")
+        self.width = width
+        self.lam = lam
+        self.theta = (
+            np.zeros(width) if theta is None else np.asarray(theta, dtype=np.float64)
+        )
+        if self.theta.shape != (width,):
+            raise ModelError(f"theta must be ({width},), got {self.theta.shape}")
+        self.P = np.eye(width) * initial_p
+        self.updates = 0
+
+    @classmethod
+    def from_ols(cls, model: OlsModel, lam: float = 1.0) -> "RecursiveLeastSquares":
+        """Continue learning from a batch fit (seed -> runtime handoff).
+
+        ``initial_p`` is sized so fresh observations move the parameters
+        noticeably faster than the seed's sample count alone would allow.
+        """
+        if not model.fitted:
+            raise ModelError("cannot initialise RLS from an unfitted OLS model")
+        return cls(model.width, theta=model.theta.copy(), lam=lam, initial_p=10.0)
+
+    def predict(self, x: np.ndarray) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        return float(x @ self.theta)
+
+    def update(self, x: np.ndarray, y: float) -> float:
+        """Fold in one observation; returns the pre-update prediction error."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.width,):
+            raise ModelError(f"x must be ({self.width},), got {x.shape}")
+        error = float(y) - float(x @ self.theta)
+        px = self.P @ x
+        denom = self.lam + float(x @ px)
+        gain = px / denom
+        self.theta = self.theta + gain * error
+        self.P = (self.P - np.outer(gain, px)) / self.lam
+        self.updates += 1
+        return error

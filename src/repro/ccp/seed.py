@@ -1,0 +1,115 @@
+"""JSON seed persistence (paper §IV-A/D).
+
+The HCompress Profiler writes a JSON seed holding (a) cost observations
+for every compression library over a variety of inputs and (b) a system
+signature describing the benchmarked storage hierarchy. The main library
+bootstraps its models from this file and writes the evolved model state
+back at finalisation so future runs start warm.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from ..errors import SeedError
+from .features import ObservationKey
+
+__all__ = ["CostObservation", "SeedData", "load_seed", "save_seed"]
+
+SEED_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CostObservation:
+    """One measured (or synthesised) codec cost point — the ECC 3-tuple."""
+
+    key: ObservationKey
+    compress_mbps: float
+    decompress_mbps: float
+    ratio: float
+
+    def __post_init__(self) -> None:
+        if self.compress_mbps <= 0 or self.decompress_mbps <= 0:
+            raise SeedError("observation speeds must be positive")
+        if self.ratio <= 0:
+            raise SeedError(f"observation ratio must be positive, got {self.ratio}")
+
+
+@dataclass
+class SeedData:
+    """Everything the profiler hands to the main library."""
+
+    observations: list[CostObservation] = field(default_factory=list)
+    system_signature: dict[str, dict[str, float]] = field(default_factory=dict)
+    weights: dict[str, float] | None = None
+    version: int = SEED_VERSION
+
+    def validate(self) -> None:
+        if self.version != SEED_VERSION:
+            raise SeedError(
+                f"unsupported seed version {self.version} (want {SEED_VERSION})"
+            )
+
+
+def save_seed(seed: SeedData, path: str | Path) -> None:
+    """Serialise a seed to JSON (atomic enough for our purposes)."""
+    seed.validate()
+    doc = {
+        "version": seed.version,
+        "system_signature": seed.system_signature,
+        "weights": seed.weights,
+        "observations": [
+            {**asdict(obs.key), **{
+                "compress_mbps": obs.compress_mbps,
+                "decompress_mbps": obs.decompress_mbps,
+                "ratio": obs.ratio,
+            }}
+            for obs in seed.observations
+        ],
+    }
+    Path(path).write_text(json.dumps(doc, indent=1))
+
+
+def load_seed(path: str | Path) -> SeedData:
+    """Parse a JSON seed file, validating structure field by field."""
+    path = Path(path)
+    if not path.exists():
+        raise SeedError(f"seed file {path} does not exist")
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise SeedError(f"seed file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise SeedError(f"seed file {path} must hold a JSON object")
+
+    observations = []
+    for i, row in enumerate(doc.get("observations", [])):
+        try:
+            key = ObservationKey(
+                dtype=row["dtype"],
+                data_format=row["data_format"],
+                distribution=row["distribution"],
+                codec=row["codec"],
+                size=int(row["size"]),
+            )
+            observations.append(
+                CostObservation(
+                    key=key,
+                    compress_mbps=float(row["compress_mbps"]),
+                    decompress_mbps=float(row["decompress_mbps"]),
+                    ratio=float(row["ratio"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SeedError(f"seed observation #{i} is malformed: {exc}") from exc
+
+    seed = SeedData(
+        observations=observations,
+        system_signature=doc.get("system_signature", {}),
+        weights=doc.get("weights"),
+        version=int(doc.get("version", -1)),
+    )
+    seed.validate()
+    return seed

@@ -1,0 +1,151 @@
+"""Command-line interface: ``hcompress <subcommand>``.
+
+Subcommands:
+
+* ``profile``  — run the HCompress Profiler and write a JSON seed
+  (the paper's HP-before-application step).
+* ``codecs``   — measure the codec pool on a synthetic buffer.
+* ``report``   — regenerate the paper's evaluation tables
+  (``--fast`` for the smoke profile).
+* ``demo``     — one compress/decompress round trip with the schema shown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .units import GiB, KiB, MiB, fmt_bytes
+
+__all__ = ["main"]
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .ccp import save_seed
+    from .core import HCompressProfiler
+    from .tiers import ares_hierarchy
+
+    profiler = HCompressProfiler(
+        mode=args.mode, rng=np.random.default_rng(args.rng_seed)
+    )
+    hierarchy = ares_hierarchy() if args.signature else None
+    sizes = tuple(int(s) * KiB for s in args.sizes)
+    seed = profiler.generate_seed(hierarchy=hierarchy, sizes=sizes)
+    save_seed(seed, args.output)
+    print(
+        f"wrote {len(seed.observations)} observations to {args.output}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_codecs(args: argparse.Namespace) -> int:
+    from .codecs import CompressionLibraryPool
+    from .datagen import synthetic_buffer
+
+    pool = CompressionLibraryPool()
+    data = synthetic_buffer(
+        args.dtype, args.distribution, args.kib * KiB,
+        np.random.default_rng(args.rng_seed),
+    )
+    print(
+        f"{args.kib} KiB of {args.dtype}/{args.distribution} data "
+        f"(measured wall-clock; the simulator uses nominal profiles)\n"
+    )
+    print(f"{'codec':10s} {'ratio':>7s} {'comp MB/s':>10s} {'decomp MB/s':>12s}")
+    for name in pool.names[1:]:
+        cost = pool.measure(name, data)
+        print(
+            f"{name:10s} {cost.ratio:7.2f} {cost.compress_mbps:10.1f} "
+            f"{cost.decompress_mbps:12.1f}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import main as report_main
+
+    argv = []
+    if args.fast:
+        argv.append("--fast")
+    if args.output:
+        argv += ["--output", str(args.output)]
+    return report_main(argv)
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from .core import HCompress
+    from .datagen import synthetic_buffer
+    from .tiers import ares_hierarchy
+
+    hierarchy = ares_hierarchy(
+        ram_capacity=2 * MiB, nvme_capacity=4 * MiB, bb_capacity=1 * GiB,
+        nodes=2,
+    )
+    print("bootstrapping engine (inline profiling)...", file=sys.stderr)
+    engine = HCompress(hierarchy)
+    data = synthetic_buffer(
+        args.dtype, args.distribution, args.kib * KiB,
+        np.random.default_rng(args.rng_seed),
+    )
+    result = engine.compress(data, task_id="demo")
+    print(f"input {fmt_bytes(len(data))}; schema:")
+    for piece in result.pieces:
+        print(
+            f"  {piece.tier:<12} {piece.plan.codec:<8} "
+            f"stored={fmt_bytes(piece.stored_size)} "
+            f"ratio={piece.actual_ratio:.2f}"
+        )
+    assert engine.decompress("demo").data == data
+    print("round-trip OK")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hcompress", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="generate a JSON profiler seed")
+    p.add_argument("--output", type=Path, default=Path("hcompress_seed.json"))
+    p.add_argument("--mode", choices=("nominal", "measured"), default="nominal")
+    p.add_argument("--sizes", nargs="+", default=["8", "32"],
+                   help="corpus buffer sizes in KiB (need >= 2 distinct)")
+    p.add_argument("--signature", action="store_true",
+                   help="include the default Ares system signature")
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("codecs", help="measure the codec pool")
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--distribution", default="gamma")
+    p.add_argument("--kib", type=int, default=256)
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.set_defaults(func=_cmd_codecs)
+
+    p = sub.add_parser("report", help="regenerate the paper's evaluation")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--output", type=Path, default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("demo", help="one compress/decompress round trip")
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--distribution", default="gamma")
+    p.add_argument("--kib", type=int, default=1024)
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

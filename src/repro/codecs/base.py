@@ -1,0 +1,175 @@
+"""Codec interface, registry, and factory.
+
+This is the paper's *Compression Library Interface* + *Compression Library
+Factory* (§IV-G1): every compression library is wrapped behind one small
+surface (``compress`` / ``decompress``), registered under a stable integer id
+(carried in the 16-byte sub-task header) and a human name, and instantiated
+only through :func:`get_codec` — callers never construct implementations
+directly, so new libraries can be dropped in without touching call sites.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from ..errors import CodecError, UnknownCodecError
+
+__all__ = [
+    "Codec",
+    "CodecMeta",
+    "register_codec",
+    "get_codec",
+    "codec_names",
+    "codec_ids",
+    "iter_codecs",
+    "ensure_bytes",
+]
+
+
+@dataclass(frozen=True)
+class CodecMeta:
+    """Static description of a codec implementation.
+
+    Attributes:
+        name: Registry key, lowercase (e.g. ``"zlib"``).
+        codec_id: Stable non-negative integer carried in sub-task headers.
+            Id 0 is reserved for the identity ("no compression") codec.
+        family: Coarse algorithmic family — one of ``"none"``, ``"byte-lz"``,
+            ``"entropy"``, ``"dictionary"``, ``"block-transform"``. Used as a
+            model feature by the cost predictor.
+        stdlib: True when the implementation delegates to a CPython stdlib
+            module (zlib/bz2/lzma) rather than our from-scratch code.
+    """
+
+    name: str
+    codec_id: int
+    family: str
+    stdlib: bool = False
+
+
+_FAMILIES = {"none", "byte-lz", "entropy", "dictionary", "block-transform"}
+
+
+class Codec(abc.ABC):
+    """A lossless byte-buffer compressor.
+
+    Implementations must be stateless (safe to share one instance across
+    tasks) and must round-trip arbitrary byte strings::
+
+        codec.decompress(codec.compress(data)) == data
+    """
+
+    meta: CodecMeta
+
+    @abc.abstractmethod
+    def compress(self, data: bytes) -> bytes:
+        """Compress ``data``; never raises for valid byte input."""
+
+    @abc.abstractmethod
+    def decompress(self, payload: bytes) -> bytes:
+        """Invert :meth:`compress`. Raises :class:`CorruptDataError` (a
+        :class:`CodecError`) when ``payload`` is not a valid encoding."""
+
+    # -- convenience -------------------------------------------------------
+
+    def ratio(self, data: bytes) -> float:
+        """Measured compression ratio ``len(data) / len(compressed)``.
+
+        Follows the paper's convention (original over compressed), so values
+        above 1.0 mean the codec reduced the footprint. Empty input has
+        ratio 1.0 by definition.
+        """
+        if len(data) == 0:
+            return 1.0
+        compressed = self.compress(data)
+        if len(compressed) == 0:
+            raise CodecError(f"{self.meta.name}: empty payload for non-empty input")
+        return len(data) / len(compressed)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.meta.name!r} id={self.meta.codec_id}>"
+
+
+_BY_NAME: dict[str, Codec] = {}
+_BY_ID: dict[int, Codec] = {}
+
+
+def register_codec(cls: type[Codec]) -> type[Codec]:
+    """Class decorator: instantiate and register a codec implementation.
+
+    Raises :class:`CodecError` on duplicate names/ids or malformed metadata,
+    so registry collisions fail at import time rather than at lookup time.
+    """
+    meta = getattr(cls, "meta", None)
+    if not isinstance(meta, CodecMeta):
+        raise CodecError(f"{cls.__name__} must define a CodecMeta 'meta' attribute")
+    if meta.family not in _FAMILIES:
+        raise CodecError(f"{cls.__name__}: unknown codec family {meta.family!r}")
+    if meta.codec_id < 0:
+        raise CodecError(f"{cls.__name__}: codec_id must be non-negative")
+    if meta.name in _BY_NAME:
+        raise CodecError(f"duplicate codec name {meta.name!r}")
+    if meta.codec_id in _BY_ID:
+        raise CodecError(
+            f"duplicate codec id {meta.codec_id} "
+            f"({meta.name!r} vs {_BY_ID[meta.codec_id].meta.name!r})"
+        )
+    instance = cls()
+    _BY_NAME[meta.name] = instance
+    _BY_ID[meta.codec_id] = instance
+    return cls
+
+
+def get_codec(key: str | int) -> Codec:
+    """Factory lookup by registry name or stable id.
+
+    This is the single instantiation point for codec implementations
+    (paper §IV-G1: O(1) switching between libraries).
+    """
+    table: Mapping = _BY_NAME if isinstance(key, str) else _BY_ID
+    try:
+        return table[key]
+    except KeyError:
+        raise UnknownCodecError(f"no codec registered under {key!r}") from None
+
+
+def codec_names(include_identity: bool = True) -> list[str]:
+    """All registered codec names, identity first then by id."""
+    names = [c.meta.name for c in iter_codecs()]
+    if not include_identity:
+        names = [n for n in names if _BY_NAME[n].meta.codec_id != 0]
+    return names
+
+
+def codec_ids() -> list[int]:
+    """All registered codec ids, ascending."""
+    return sorted(_BY_ID)
+
+
+def iter_codecs() -> Iterator[Codec]:
+    """Iterate registered codec singletons in ascending-id order."""
+    for codec_id in sorted(_BY_ID):
+        yield _BY_ID[codec_id]
+
+
+def ensure_bytes(data: object, what: str = "data") -> bytes:
+    """Normalise bytes-like input to ``bytes``; reject everything else."""
+    if isinstance(data, bytes):
+        return data
+    if isinstance(data, (bytearray, memoryview)):
+        return bytes(data)
+    raise TypeError(f"{what} must be bytes-like, got {type(data).__name__}")
+
+
+def _clear_registry_for_tests(  # pragma: no cover - test hook
+    keep: Callable[[CodecMeta], bool] | None = None,
+) -> None:
+    """Remove registered codecs (optionally keeping a subset). Test-only."""
+    for name in list(_BY_NAME):
+        meta = _BY_NAME[name].meta
+        if keep is not None and keep(meta):
+            continue
+        del _BY_NAME[name]
+        del _BY_ID[meta.codec_id]

@@ -1,0 +1,96 @@
+"""From-scratch bsc-style block-sorting codec (pool member ``bsc``).
+
+Pipeline per block (256 KiB): BWT -> move-to-front -> RLE -> canonical
+Huffman over the concatenated block bodies. This is the classic
+block-sorting chain (bzip2/libbsc family): the BWT groups similar contexts,
+MTF turns locality into small symbols, RLE eats the zero runs, and the
+entropy stage finishes the job. High ratio, heavy CPU — the "archival"
+corner of the pool together with lzma.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import CorruptDataError
+from .base import Codec, CodecMeta, ensure_bytes, get_codec, register_codec
+from .bwt import bwt_decode, bwt_encode
+from .lz77 import MODE_CODED, MODE_STORED, frame_parse, frame_wrap
+from .rle import rle_decode, rle_encode
+
+BLOCK_SIZE = 256 * 1024
+_BLOCK_HDR = struct.Struct("<III")  # original len, primary index, body len
+
+
+def mtf_encode(data: bytes) -> bytes:
+    """Move-to-front transform (byte alphabet)."""
+    table = list(range(256))
+    out = bytearray(len(data))
+    for i, byte in enumerate(data):
+        rank = table.index(byte)
+        out[i] = rank
+        if rank:
+            del table[rank]
+            table.insert(0, byte)
+    return bytes(out)
+
+
+def mtf_decode(data: bytes) -> bytes:
+    """Invert :func:`mtf_encode`."""
+    table = list(range(256))
+    out = bytearray(len(data))
+    for i, rank in enumerate(data):
+        byte = table[rank]
+        out[i] = byte
+        if rank:
+            del table[rank]
+            table.insert(0, byte)
+    return bytes(out)
+
+
+@register_codec
+class BscCodec(Codec):
+    """BWT + MTF + RLE + Huffman block compressor."""
+
+    meta = CodecMeta(name="bsc", codec_id=11, family="block-transform")
+
+    def compress(self, data: bytes) -> bytes:
+        data = ensure_bytes(data)
+        n = len(data)
+        if n < 64:
+            return frame_wrap(MODE_STORED, n, data)
+        blocks = bytearray()
+        for start in range(0, n, BLOCK_SIZE):
+            chunk = data[start : start + BLOCK_SIZE]
+            column, primary = bwt_encode(chunk)
+            body = rle_encode(mtf_encode(column))
+            blocks += _BLOCK_HDR.pack(len(chunk), primary, len(body))
+            blocks += body
+        payload = get_codec("huffman").compress(bytes(blocks))
+        if len(payload) >= n:
+            return frame_wrap(MODE_STORED, n, data)
+        return frame_wrap(MODE_CODED, n, payload)
+
+    def decompress(self, payload: bytes) -> bytes:
+        mode, size, body = frame_parse(ensure_bytes(payload, "payload"), "bsc")
+        if mode == MODE_STORED:
+            return bytes(body)
+        blocks = get_codec("huffman").decompress(body)
+        out = bytearray()
+        pos = 0
+        n = len(blocks)
+        while pos < n:
+            if pos + _BLOCK_HDR.size > n:
+                raise CorruptDataError("bsc: truncated block header")
+            orig_len, primary, body_len = _BLOCK_HDR.unpack_from(blocks, pos)
+            pos += _BLOCK_HDR.size
+            if pos + body_len > n:
+                raise CorruptDataError("bsc: truncated block body")
+            column = mtf_decode(rle_decode(blocks[pos : pos + body_len], orig_len))
+            pos += body_len
+            out += bwt_decode(column, primary)
+        if len(out) != size:
+            raise CorruptDataError(
+                f"bsc: reconstructed {len(out)} bytes, expected {size}"
+            )
+        return bytes(out)

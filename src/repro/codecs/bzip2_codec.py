@@ -1,0 +1,34 @@
+"""bzip2 wrapper (block-sorting compressor).
+
+The paper's motivating experiment (Fig. 1) shows bzip2 failing to reduce VPIC
+particle data — block-sorting buys little on high-entropy floating-point
+streams — which is exactly why "no compression" stays in the HCDP choice set.
+"""
+
+from __future__ import annotations
+
+import bz2
+
+from ..errors import CorruptDataError
+from .base import Codec, CodecMeta, ensure_bytes, register_codec
+
+
+@register_codec
+class Bzip2Codec(Codec):
+    """BWT+Huffman via the CPython ``bz2`` module."""
+
+    meta = CodecMeta(name="bzip2", codec_id=2, family="block-transform", stdlib=True)
+
+    def __init__(self, level: int = 9) -> None:
+        if not 1 <= level <= 9:
+            raise ValueError(f"bzip2 level must be in [1, 9], got {level}")
+        self._level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(ensure_bytes(data), self._level)
+
+    def decompress(self, payload: bytes) -> bytes:
+        try:
+            return bz2.decompress(ensure_bytes(payload, "payload"))
+        except (OSError, ValueError) as exc:
+            raise CorruptDataError(f"bzip2: {exc}") from exc

@@ -1,0 +1,24 @@
+"""The "no compression" codec (id 0).
+
+The HCDP optimizer always has "do not compress" in its choice set (paper
+§IV-F1: under some configurations compression hurts), so the identity
+transform is a first-class member of the pool rather than a special case in
+the engine.
+"""
+
+from __future__ import annotations
+
+from .base import Codec, CodecMeta, ensure_bytes, register_codec
+
+
+@register_codec
+class IdentityCodec(Codec):
+    """Pass-through codec: payload is the input, ratio is exactly 1.0."""
+
+    meta = CodecMeta(name="none", codec_id=0, family="none")
+
+    def compress(self, data: bytes) -> bytes:
+        return ensure_bytes(data)
+
+    def decompress(self, payload: bytes) -> bytes:
+        return ensure_bytes(payload, "payload")

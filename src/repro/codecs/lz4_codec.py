@@ -1,0 +1,118 @@
+"""From-scratch LZ4-style codec (pool member ``lz4``).
+
+Uses the LZ4 block format: per sequence a token byte packs the literal run
+length (high nibble) and match length minus 4 (low nibble), both with
+255-extension bytes, followed by the literals and a 2-byte little-endian
+offset. The final sequence is literals-only. Fast scan, modest ratio — the
+"speed" end of the pool's spectrum.
+"""
+
+from __future__ import annotations
+
+from ..errors import CorruptDataError
+from .base import Codec, CodecMeta, ensure_bytes, register_codec
+from .lz77 import (
+    MODE_CODED,
+    MODE_STORED,
+    MatchParams,
+    copy_match,
+    find_tokens,
+    frame_parse,
+    frame_wrap,
+)
+
+_PARAMS = MatchParams(
+    hash_bits=16, min_match=4, max_match=1 << 16, window=65535, skip_trigger=6
+)
+_MIN_MATCH = 4
+
+
+def _write_length(out: bytearray, value: int) -> None:
+    """Emit LZ4-style 255-extension bytes for a nibble overflow value."""
+    while value >= 255:
+        out.append(255)
+        value -= 255
+    out.append(value)
+
+
+def _read_length(buf: bytes, pos: int) -> tuple[int, int]:
+    total = 0
+    while True:
+        if pos >= len(buf):
+            raise CorruptDataError("lz4: truncated length extension")
+        byte = buf[pos]
+        pos += 1
+        total += byte
+        if byte != 255:
+            return total, pos
+
+
+@register_codec
+class Lz4Codec(Codec):
+    """Greedy hash-match LZ77 with LZ4 block-format serialisation."""
+
+    meta = CodecMeta(name="lz4", codec_id=5, family="byte-lz")
+
+    def compress(self, data: bytes) -> bytes:
+        data = ensure_bytes(data)
+        n = len(data)
+        if n < 16:
+            return frame_wrap(MODE_STORED, n, data)
+        tokens = find_tokens(data, _PARAMS)
+        out = bytearray()
+        for tok in tokens:
+            lit = tok.lit_len
+            if tok.match_len:
+                mlen = tok.match_len - _MIN_MATCH
+                token_byte = (min(lit, 15) << 4) | min(mlen, 15)
+                out.append(token_byte)
+                if lit >= 15:
+                    _write_length(out, lit - 15)
+                out += data[tok.lit_start : tok.lit_start + lit]
+                out += tok.offset.to_bytes(2, "little")
+                if mlen >= 15:
+                    _write_length(out, mlen - 15)
+            else:
+                out.append(min(lit, 15) << 4)
+                if lit >= 15:
+                    _write_length(out, lit - 15)
+                out += data[tok.lit_start : tok.lit_start + lit]
+        if len(out) >= n:
+            return frame_wrap(MODE_STORED, n, data)
+        return frame_wrap(MODE_CODED, n, bytes(out))
+
+    def decompress(self, payload: bytes) -> bytes:
+        payload = ensure_bytes(payload, "payload")
+        mode, size, body = frame_parse(payload, "lz4")
+        if mode == MODE_STORED:
+            return bytes(body)
+        out = bytearray()
+        pos = 0
+        n = len(body)
+        while pos < n:
+            token = body[pos]
+            pos += 1
+            lit = token >> 4
+            if lit == 15:
+                extra, pos = _read_length(body, pos)
+                lit += extra
+            if pos + lit > n:
+                raise CorruptDataError("lz4: literal run past end of payload")
+            out += body[pos : pos + lit]
+            pos += lit
+            if pos == n:
+                break  # terminal literals-only sequence
+            if pos + 2 > n:
+                raise CorruptDataError("lz4: truncated match offset")
+            offset = int.from_bytes(body[pos : pos + 2], "little")
+            pos += 2
+            mlen = token & 0x0F
+            if mlen == 15:
+                extra, pos = _read_length(body, pos)
+                mlen += extra
+            copy_match(out, offset, mlen + _MIN_MATCH)
+        if len(out) != size:
+            raise CorruptDataError(
+                f"lz4: reconstructed {len(out)} bytes, expected {size}"
+            )
+        return bytes(out)

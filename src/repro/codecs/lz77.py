@@ -1,0 +1,258 @@
+"""Shared LZ77 machinery for the from-scratch byte-LZ codec family.
+
+Each pool member (lz4-like, lzo-like, snappy-like, quicklz-like, pithy-like,
+brotli-like) runs the same greedy hash-chain matcher with its own parameter
+point (hash width, minimum match, window, skip acceleration) and its own
+token serialisation, which is what gives the family genuinely different
+speed/ratio trade-offs — mirroring how the original C libraries differ.
+
+The matcher is a single Python loop, but all position hashes are precomputed
+vectorised with numpy and match extension compares memory in chunks, so the
+per-byte Python work stays small. Skip acceleration (as in LZ4) keeps the
+loop sub-linear on incompressible input.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import CorruptDataError
+
+__all__ = [
+    "MatchParams",
+    "Token",
+    "find_tokens",
+    "reconstruct",
+    "frame_wrap",
+    "frame_parse",
+    "write_varint",
+    "read_varint",
+]
+
+_FRAME = struct.Struct("<BQ")
+
+#: Knuth multiplicative hash constant (golden-ratio derived).
+_HASH_MULT = np.uint32(2654435761)
+
+
+@dataclass(frozen=True)
+class MatchParams:
+    """Parameter point for the greedy matcher.
+
+    Attributes:
+        hash_bits: log2 of the hash-table size; wider tables find more
+            matches (better ratio, more cache pressure in the original C).
+        min_match: Shortest match worth emitting.
+        max_match: Longest match the serialisation can express.
+        window: Largest back-reference offset.
+        skip_trigger: After ``2**skip_trigger`` consecutive misses the scan
+            step doubles (LZ4-style acceleration on incompressible data).
+    """
+
+    hash_bits: int = 16
+    min_match: int = 4
+    max_match: int = 1 << 16
+    window: int = 65535
+    skip_trigger: int = 6
+
+    def __post_init__(self) -> None:
+        if not 8 <= self.hash_bits <= 24:
+            raise ValueError(f"hash_bits out of range: {self.hash_bits}")
+        if self.min_match < 3:
+            raise ValueError(f"min_match must be >= 3, got {self.min_match}")
+        if self.max_match < self.min_match:
+            raise ValueError("max_match < min_match")
+        if self.window < 1:
+            raise ValueError("window must be positive")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One LZ77 sequence: a run of literals followed by an optional match.
+
+    ``match_len == 0`` marks a terminal literals-only token (and then
+    ``offset`` is 0 too).
+    """
+
+    lit_start: int
+    lit_len: int
+    offset: int
+    match_len: int
+
+
+def _position_hashes(data: bytes, params: MatchParams) -> np.ndarray:
+    """Vectorised hash of the ``min_match``-byte prefix at every position.
+
+    Positions within ``min_match - 1`` of the end get no hash (array is
+    shorter than ``len(data)``); the scan loop never reads past it.
+    """
+    arr = np.frombuffer(data, dtype=np.uint8)
+    n = arr.size
+    span = 4 if params.min_match >= 4 else 3
+    if n < span:
+        return np.empty(0, dtype=np.uint32)
+    m = n - span + 1
+    value = arr[:m].astype(np.uint32)
+    value |= arr[1 : m + 1].astype(np.uint32) << np.uint32(8)
+    value |= arr[2 : m + 2].astype(np.uint32) << np.uint32(16)
+    if span == 4:
+        value |= arr[3 : m + 3].astype(np.uint32) << np.uint32(24)
+    return (value * _HASH_MULT) >> np.uint32(32 - params.hash_bits)
+
+
+def _extend_match(data: bytes, a: int, b: int, limit: int) -> int:
+    """Length of the common prefix of data[a:] and data[b:], capped at
+    ``limit``. Compares in 64-byte chunks to amortise Python overhead."""
+    length = 0
+    chunk = 64
+    while length + chunk <= limit:
+        if data[a + length : a + length + chunk] == data[b + length : b + length + chunk]:
+            length += chunk
+            continue
+        break
+    while length < limit and data[a + length] == data[b + length]:
+        length += 1
+    return length
+
+
+def find_tokens(data: bytes, params: MatchParams) -> list[Token]:
+    """Greedy single-pass tokenisation of ``data``.
+
+    Invariants (validated by the property tests): token literal spans plus
+    match lengths tile the input exactly; every offset is within
+    ``params.window`` and every match length within
+    ``[min_match, max_match]``.
+    """
+    n = len(data)
+    tokens: list[Token] = []
+    if n == 0:
+        return tokens
+    hashes = _position_hashes(data, params)
+    span = 4 if params.min_match >= 4 else 3
+    # Leave the final 4 bytes unmatched (mirrors LZ4's end-of-block rule and
+    # guarantees a terminal literal run exists for formats that need one).
+    match_limit = n - span - 4
+    table = np.full(1 << params.hash_bits, -1, dtype=np.int64)
+
+    i = 0
+    anchor = 0
+    misses = 0
+    min_match = params.min_match
+    window = params.window
+    max_match = params.max_match
+    while i <= match_limit:
+        h = hashes[i]
+        cand = int(table[h])
+        table[h] = i
+        if (
+            cand >= 0
+            and i - cand <= window
+            and data[cand : cand + min_match] == data[i : i + min_match]
+        ):
+            limit = min(n - i, max_match)
+            mlen = min_match + _extend_match(
+                data, cand + min_match, i + min_match, limit - min_match
+            )
+            tokens.append(Token(anchor, i - anchor, i - cand, mlen))
+            i += mlen
+            anchor = i
+            misses = 0
+        else:
+            misses += 1
+            i += 1 + (misses >> params.skip_trigger)
+    if anchor < n or not tokens:
+        tokens.append(Token(anchor, n - anchor, 0, 0))
+    return tokens
+
+
+def reconstruct(data_parts: list[bytes], total: int) -> bytes:
+    """Join decoder output parts and validate the final size."""
+    out = b"".join(data_parts)
+    if len(out) != total:
+        raise CorruptDataError(
+            f"lz: reconstructed {len(out)} bytes, expected {total}"
+        )
+    return out
+
+
+def copy_match(out: bytearray, offset: int, length: int) -> None:
+    """Append a back-reference of ``length`` bytes at ``offset`` to ``out``.
+
+    Handles the overlapping case (offset < length) by doubling the
+    replicated pattern, which is the standard RLE-via-LZ trick.
+    """
+    if offset <= 0 or offset > len(out):
+        raise CorruptDataError(f"lz: invalid match offset {offset}")
+    if offset >= length:
+        start = len(out) - offset
+        out += out[start : start + length]
+        return
+    pattern = bytes(out[-offset:])
+    reps = length // offset
+    out += pattern * reps + pattern[: length % offset]
+
+
+# -- common outer frame ------------------------------------------------------
+
+MODE_CODED = 0
+MODE_STORED = 1
+
+
+def frame_wrap(mode: int, original_size: int, body: bytes) -> bytes:
+    """Prefix a codec body with the common (mode, original size) frame."""
+    return _FRAME.pack(mode, original_size) + body
+
+
+def frame_parse(payload: bytes, codec_name: str) -> tuple[int, int, bytes]:
+    """Split a framed payload into (mode, original_size, body).
+
+    For stored mode the body length is validated against the declared size.
+    """
+    if len(payload) < _FRAME.size:
+        raise CorruptDataError(f"{codec_name}: payload shorter than frame header")
+    mode, size = _FRAME.unpack_from(payload)
+    body = payload[_FRAME.size :]
+    if mode == MODE_STORED and len(body) != size:
+        raise CorruptDataError(
+            f"{codec_name}: stored body length {len(body)} != declared {size}"
+        )
+    if mode not in (MODE_CODED, MODE_STORED):
+        raise CorruptDataError(f"{codec_name}: unknown frame mode {mode}")
+    return mode, size, body
+
+
+# -- varints (LEB128, unsigned) ----------------------------------------------
+
+
+def write_varint(out: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise ValueError(f"varint must be non-negative, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_varint(buf: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint at ``pos``; returns (value, new_pos)."""
+    value = 0
+    shift = 0
+    while True:
+        if pos >= len(buf):
+            raise CorruptDataError("varint: truncated")
+        byte = buf[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise CorruptDataError("varint: overlong encoding")

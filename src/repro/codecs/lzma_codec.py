@@ -1,0 +1,33 @@
+"""LZMA wrapper — the highest-ratio, slowest member of the pool.
+
+Matches the paper's use of lzma as the "archival" end of the compression
+spectrum (Table II pairs archival I/O with a pure-ratio priority).
+"""
+
+from __future__ import annotations
+
+import lzma
+
+from ..errors import CorruptDataError
+from .base import Codec, CodecMeta, ensure_bytes, register_codec
+
+
+@register_codec
+class LzmaCodec(Codec):
+    """LZMA via the CPython ``lzma`` module (xz container, preset 6)."""
+
+    meta = CodecMeta(name="lzma", codec_id=3, family="dictionary", stdlib=True)
+
+    def __init__(self, preset: int = 6) -> None:
+        if not 0 <= preset <= 9:
+            raise ValueError(f"lzma preset must be in [0, 9], got {preset}")
+        self._preset = preset
+
+    def compress(self, data: bytes) -> bytes:
+        return lzma.compress(ensure_bytes(data), preset=self._preset)
+
+    def decompress(self, payload: bytes) -> bytes:
+        try:
+            return lzma.decompress(ensure_bytes(payload, "payload"))
+        except lzma.LZMAError as exc:
+            raise CorruptDataError(f"lzma: {exc}") from exc

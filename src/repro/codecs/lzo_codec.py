@@ -1,0 +1,117 @@
+"""From-scratch LZO-style codec (pool member ``lzo``).
+
+Short-range, short-match LZ: 3-byte minimum matches against an 8 KiB window
+with 13-bit offsets packed into two bytes. Catches fine-grained repetition
+that 4-byte-minimum codecs skip, at the cost of denser token overhead —
+the classic LZO trade-off.
+
+Control byte grammar:
+    0            extended literal run: varint k follows, then k + 32 bytes
+    1..31        literal run of that many bytes
+    >= 32        match: length-2 in bits 5-7 (7 = +varint extension),
+                 offset-1 in bits 0-4 plus one extension byte (13 bits)
+"""
+
+from __future__ import annotations
+
+from ..errors import CorruptDataError
+from .base import Codec, CodecMeta, ensure_bytes, register_codec
+from .lz77 import (
+    MODE_CODED,
+    MODE_STORED,
+    MatchParams,
+    copy_match,
+    find_tokens,
+    frame_parse,
+    frame_wrap,
+    read_varint,
+    write_varint,
+)
+
+_PARAMS = MatchParams(
+    hash_bits=13, min_match=3, max_match=1 << 12, window=8192, skip_trigger=5
+)
+
+
+def _emit_literals(out: bytearray, chunk: bytes) -> None:
+    pos = 0
+    n = len(chunk)
+    while pos < n:
+        run = n - pos
+        if run <= 31:
+            out.append(run)
+        else:
+            out.append(0)
+            write_varint(out, run - 32)
+        out += chunk[pos : pos + run]
+        pos += run
+
+
+def _emit_match(out: bytearray, offset: int, length: int) -> None:
+    len_code = length - 2
+    packed_off = offset - 1
+    control = (min(len_code, 7) << 5) | (packed_off >> 8)
+    out.append(control)
+    out.append(packed_off & 0xFF)
+    if len_code >= 7:
+        write_varint(out, len_code - 7)
+
+
+@register_codec
+class LzoCodec(Codec):
+    """Short-window LZ with 3-byte minimum matches."""
+
+    meta = CodecMeta(name="lzo", codec_id=6, family="byte-lz")
+
+    def compress(self, data: bytes) -> bytes:
+        data = ensure_bytes(data)
+        n = len(data)
+        if n < 16:
+            return frame_wrap(MODE_STORED, n, data)
+        tokens = find_tokens(data, _PARAMS)
+        out = bytearray()
+        for tok in tokens:
+            if tok.lit_len:
+                _emit_literals(out, data[tok.lit_start : tok.lit_start + tok.lit_len])
+            if tok.match_len:
+                _emit_match(out, tok.offset, tok.match_len)
+        if len(out) >= n:
+            return frame_wrap(MODE_STORED, n, data)
+        return frame_wrap(MODE_CODED, n, bytes(out))
+
+    def decompress(self, payload: bytes) -> bytes:
+        payload = ensure_bytes(payload, "payload")
+        mode, size, body = frame_parse(payload, "lzo")
+        if mode == MODE_STORED:
+            return bytes(body)
+        out = bytearray()
+        pos = 0
+        n = len(body)
+        while pos < n:
+            control = body[pos]
+            pos += 1
+            if control < 32:
+                if control == 0:
+                    extra, pos = read_varint(body, pos)
+                    run = extra + 32
+                else:
+                    run = control
+                if pos + run > n:
+                    raise CorruptDataError("lzo: literal run past end")
+                out += body[pos : pos + run]
+                pos += run
+            else:
+                if pos >= n:
+                    raise CorruptDataError("lzo: truncated match")
+                len_code = control >> 5
+                offset = (((control & 0x1F) << 8) | body[pos]) + 1
+                pos += 1
+                if len_code == 7:
+                    extra, pos = read_varint(body, pos)
+                    len_code += extra
+                copy_match(out, offset, len_code + 2)
+        if len(out) != size:
+            raise CorruptDataError(
+                f"lzo: reconstructed {len(out)} bytes, expected {size}"
+            )
+        return bytes(out)

@@ -1,0 +1,141 @@
+"""Compression Library Pool (paper §IV-G1).
+
+The pool is the Compression Manager's view of the codec registry: a fixed
+roster of libraries (by default the paper's eleven plus ``none``), live
+measurement helpers, and the bridge to the nominal performance profiles the
+simulator charges time from.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..units import MB
+from .base import Codec, get_codec
+from .profiles import CodecProfile, get_profile, nominal_duration
+
+__all__ = ["CompressionLibraryPool", "MeasuredCost", "PAPER_LIBRARIES"]
+
+#: The paper's library roster (§IV-G1), in pool order; "none" (id 0) is
+#: always prepended by the pool itself.
+PAPER_LIBRARIES: tuple[str, ...] = (
+    "bzip2",
+    "zlib",
+    "huffman",
+    "brotli",
+    "bsc",
+    "lzma",
+    "lz4",
+    "lzo",
+    "pithy",
+    "snappy",
+    "quicklz",
+)
+
+
+@dataclass(frozen=True)
+class MeasuredCost:
+    """One live observation of a codec on a concrete buffer.
+
+    Speeds are MB/s over the *original* size, mirroring the paper's ECC
+    tuple (compression speed, decompression speed, ratio).
+    """
+
+    codec: str
+    original_size: int
+    compressed_size: int
+    compress_mbps: float
+    decompress_mbps: float
+
+    @property
+    def ratio(self) -> float:
+        if self.compressed_size == 0:
+            return 1.0
+        return self.original_size / self.compressed_size
+
+
+class CompressionLibraryPool:
+    """Unified interface over a roster of codecs.
+
+    Args:
+        libraries: Codec names to expose (identity is always included and
+            always first). Defaults to the paper's eleven.
+    """
+
+    def __init__(self, libraries: Iterable[str] | None = None) -> None:
+        names = list(libraries) if libraries is not None else list(PAPER_LIBRARIES)
+        if "none" in names:
+            names.remove("none")
+        self._names: tuple[str, ...] = ("none", *names)
+        # Resolve everything eagerly so a bad roster fails at construction.
+        self._codecs: dict[str, Codec] = {n: get_codec(n) for n in self._names}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Roster names; index 0 is always ``none`` (the paper's c = 0)."""
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._codecs
+
+    def codec(self, name: str | int) -> Codec:
+        """Look up a roster member by name or pool index."""
+        if isinstance(name, int):
+            return self._codecs[self._names[name]]
+        if name not in self._codecs:
+            raise KeyError(f"codec {name!r} not in this pool")
+        return self._codecs[name]
+
+    def index(self, name: str) -> int:
+        """Pool index of a codec name (0 is ``none``)."""
+        return self._names.index(name)
+
+    def profile(self, name: str) -> CodecProfile:
+        """Nominal profile of a roster member."""
+        return get_profile(name)
+
+    def nominal_seconds(
+        self, name: str, nbytes: int, direction: str = "compress"
+    ) -> float:
+        """Simulated codec time from the nominal profile table."""
+        return nominal_duration(name, nbytes, direction)
+
+    def measure(self, name: str, data: bytes) -> MeasuredCost:
+        """Run a codec for real and report its measured cost tuple.
+
+        Used by the profiler (seed generation) and the feedback loop. The
+        measured *ratio* is authoritative; the measured speeds are only
+        meaningful relative to other pure-Python codecs (see
+        :mod:`repro.codecs.profiles` for why).
+        """
+        codec = self.codec(name)
+        t0 = time.perf_counter()
+        payload = codec.compress(data)
+        t1 = time.perf_counter()
+        restored = codec.decompress(payload)
+        t2 = time.perf_counter()
+        if restored != data:
+            raise AssertionError(f"{name}: round-trip mismatch during measure")
+        mb = len(data) / MB
+        return MeasuredCost(
+            codec=name,
+            original_size=len(data),
+            compressed_size=len(payload),
+            compress_mbps=mb / max(t1 - t0, 1e-9),
+            decompress_mbps=mb / max(t2 - t1, 1e-9),
+        )
+
+    def measure_all(
+        self, data: bytes, skip: Sequence[str] = ("none",)
+    ) -> dict[str, MeasuredCost]:
+        """Measure every roster member (minus ``skip``) on one buffer."""
+        return {
+            name: self.measure(name, data)
+            for name in self._names
+            if name not in skip
+        }

@@ -1,0 +1,107 @@
+"""Byte run-length codec (pool member ``rle``; also the post-MTF stage of
+the bsc-like codec).
+
+Run detection is vectorised: boundaries come from one ``np.diff`` pass, so
+encoding is O(runs) Python work regardless of input size.
+
+Control grammar:
+    c < 0x80    c + 1 literal bytes follow
+    c >= 0x80   run of (c - 0x80 + MIN_RUN) copies of the next byte
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CorruptDataError
+from .base import Codec, CodecMeta, ensure_bytes, register_codec
+from .lz77 import MODE_CODED, MODE_STORED, frame_parse, frame_wrap
+
+__all__ = ["RleCodec", "rle_encode", "rle_decode"]
+
+MIN_RUN = 3  # shorter repeats cost more to encode than to store literally
+_MAX_RUN = 0x7F + MIN_RUN
+_MAX_LIT = 0x80
+
+
+def rle_encode(data: bytes) -> bytes:
+    """Raw RLE body (no frame); see module docstring for the grammar."""
+    n = len(data)
+    if n == 0:
+        return b""
+    arr = np.frombuffer(data, dtype=np.uint8)
+    boundaries = np.flatnonzero(np.diff(arr)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [n]])
+    out = bytearray()
+    lit_start = 0  # start of the pending literal region
+    for start, end in zip(starts.tolist(), ends.tolist()):
+        run = end - start
+        if run < MIN_RUN:
+            continue
+        _flush_literals(out, data, lit_start, start)
+        byte = data[start]
+        while run >= MIN_RUN:
+            chunk = min(run, _MAX_RUN)
+            out.append(0x80 | (chunk - MIN_RUN))
+            out.append(byte)
+            run -= chunk
+        # A residue shorter than MIN_RUN joins the following literals.
+        lit_start = end - run
+    _flush_literals(out, data, lit_start, n)
+    return bytes(out)
+
+
+def _flush_literals(out: bytearray, data: bytes, start: int, end: int) -> None:
+    pos = start
+    while pos < end:
+        chunk = min(end - pos, _MAX_LIT)
+        out.append(chunk - 1)
+        out += data[pos : pos + chunk]
+        pos += chunk
+
+
+def rle_decode(body: bytes, expected_size: int | None = None) -> bytes:
+    """Invert :func:`rle_encode`."""
+    out = bytearray()
+    pos = 0
+    n = len(body)
+    while pos < n:
+        control = body[pos]
+        pos += 1
+        if control < 0x80:
+            run = control + 1
+            if pos + run > n:
+                raise CorruptDataError("rle: literal run past end")
+            out += body[pos : pos + run]
+            pos += run
+        else:
+            if pos >= n:
+                raise CorruptDataError("rle: truncated run")
+            out += body[pos : pos + 1] * ((control & 0x7F) + MIN_RUN)
+            pos += 1
+    if expected_size is not None and len(out) != expected_size:
+        raise CorruptDataError(
+            f"rle: reconstructed {len(out)} bytes, expected {expected_size}"
+        )
+    return bytes(out)
+
+
+@register_codec
+class RleCodec(Codec):
+    """Standalone framed RLE codec."""
+
+    meta = CodecMeta(name="rle", codec_id=12, family="entropy")
+
+    def compress(self, data: bytes) -> bytes:
+        data = ensure_bytes(data)
+        body = rle_encode(data)
+        if len(body) >= len(data) and len(data) > 0:
+            return frame_wrap(MODE_STORED, len(data), data)
+        return frame_wrap(MODE_CODED, len(data), body)
+
+    def decompress(self, payload: bytes) -> bytes:
+        mode, size, body = frame_parse(ensure_bytes(payload, "payload"), "rle")
+        if mode == MODE_STORED:
+            return bytes(body)
+        return rle_decode(body, size)

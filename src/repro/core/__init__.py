@@ -1,0 +1,23 @@
+"""HCompress core: the main engine, manager, SHI, profiler, and API facade."""
+
+from .api import HCompressFile, hcompress_session
+from .config import HCompressConfig
+from .hcompress import Anatomy, HCompress
+from .manager import CompressionManager, PieceResult, ReadResult, WriteResult
+from .profiler import HCompressProfiler
+from .shi import IoReceipt, StorageHardwareInterface
+
+__all__ = [
+    "Anatomy",
+    "CompressionManager",
+    "HCompress",
+    "HCompressConfig",
+    "HCompressFile",
+    "HCompressProfiler",
+    "IoReceipt",
+    "PieceResult",
+    "ReadResult",
+    "StorageHardwareInterface",
+    "WriteResult",
+    "hcompress_session",
+]

@@ -1,0 +1,127 @@
+"""Transparent interception facade (paper §IV-B).
+
+The paper intercepts POSIX/HDF5 calls via ``LD_PRELOAD`` and routes them to
+the native ``Compress``/``Decompress`` API; the Pythonic equivalent is a
+file-like object whose ``write``/``read`` calls become HCompress tasks, and
+a session context manager standing in for the ``MPI_Init``/``MPI_Finalize``
+hooks (component initialisation and seed write-back).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from ..analyzer import MetadataHints
+from ..errors import HCompressError
+from .hcompress import HCompress
+
+__all__ = ["HCompressFile", "hcompress_session"]
+
+
+class HCompressFile:
+    """File-like facade over an :class:`HCompress` engine.
+
+    Every ``write()`` becomes one compress-and-place task; ``read()``
+    returns writes back in order. Mode ``"w"`` truncates (re-registering a
+    name evicts its previous tasks), ``"a"`` appends, ``"r"`` reads an
+    existing manifest.
+    """
+
+    def __init__(self, engine: HCompress, name: str, mode: str = "w") -> None:
+        if mode not in ("w", "a", "r"):
+            raise HCompressError(f"mode must be one of w/a/r, got {mode!r}")
+        self.engine = engine
+        self.name = name
+        self.mode = mode
+        self._closed = False
+        self._read_cursor = 0
+        manifests = engine.file_manifests
+        if mode == "r":
+            if name not in manifests:
+                raise HCompressError(f"no HCompress file named {name!r}")
+            self._tasks = manifests[name]
+        elif mode == "a":
+            self._tasks = manifests.setdefault(name, [])
+        else:  # w: truncate
+            for task_id in manifests.get(name, []):
+                if task_id in self.engine.manager:
+                    self.engine.manager.evict_task(task_id)
+            self._tasks = manifests[name] = []
+
+    # -- write side ------------------------------------------------------------
+
+    def write(
+        self,
+        data: bytes,
+        hints: MetadataHints | None = None,
+        modeled_size: int | None = None,
+    ) -> int:
+        """Compress-and-place one buffer; returns the modeled bytes accepted."""
+        self._check("w", "a")
+        task_id = f"{self.name}#{len(self._tasks)}"
+        result = self.engine.compress(
+            data, hints=hints, modeled_size=modeled_size, task_id=task_id
+        )
+        self._tasks.append(task_id)
+        return result.task.size
+
+    # -- read side -----------------------------------------------------------
+
+    def read(self) -> bytes | None:
+        """Next buffer in write order, or None at end-of-file."""
+        self._check("r")
+        if self._read_cursor >= len(self._tasks):
+            return None
+        result = self.engine.decompress(self._tasks[self._read_cursor])
+        self._read_cursor += 1
+        return result.data
+
+    def read_all(self) -> list[bytes | None]:
+        """Every remaining buffer."""
+        out = []
+        while True:
+            chunk = self.read()
+            if chunk is None:
+                return out
+            out.append(chunk)
+
+    def __iter__(self) -> Iterator[bytes]:
+        while True:
+            chunk = self.read()
+            if chunk is None:
+                return
+            yield chunk
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def task_ids(self) -> list[str]:
+        return list(self._tasks)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "HCompressFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check(self, *modes: str) -> None:
+        if self._closed:
+            raise HCompressError(f"file {self.name!r} is closed")
+        if self.mode not in modes:
+            raise HCompressError(
+                f"operation needs mode in {modes}, file is {self.mode!r}"
+            )
+
+
+@contextlib.contextmanager
+def hcompress_session(engine: HCompress, seed_path=None):
+    """MPI_Init/MPI_Finalize analogue: yields the engine, finalizes on exit
+    (flushing feedback and persisting the evolved seed)."""
+    try:
+        yield engine
+    finally:
+        engine.finalize(seed_path=seed_path)

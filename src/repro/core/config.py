@@ -1,0 +1,62 @@
+"""HCompress runtime configuration.
+
+One frozen dataclass gathers every knob the paper exposes: the priority
+weighting (runtime-switchable through the API), the feedback cadence
+(``n`` in §IV-D), the split grain, the codec roster, and where the JSON
+seed lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..codecs.pool import PAPER_LIBRARIES
+from ..hcdp.priorities import EQUAL, Priority
+from ..units import PAGE
+
+__all__ = ["HCompressConfig"]
+
+
+@dataclass(frozen=True)
+class HCompressConfig:
+    """Configuration for an :class:`~repro.core.hcompress.HCompress` engine.
+
+    Attributes:
+        priority: Initial workload priority (Table II presets or custom).
+        feedback_every_n: Operations between feedback flushes into the CCP.
+        grain: Sub-task split alignment (the paper's 4096 bytes).
+        libraries: Codec roster; defaults to the paper's eleven.
+        load_factor: Queue-depth sensitivity of the HCDP cost model.
+        drain_penalty: Scale of the engine's amortised capacity-pressure
+            term (0 disables; see the placement ablation bench).
+        seed_path: JSON seed to bootstrap from / finalize to (optional).
+        monitor_interval: System Monitor refresh period in seconds of the
+            monitor's clock domain.
+        python_to_native: Calibration divisor applied to measured Python
+            wall time of engine-internal stages when reporting the Fig. 3
+            anatomy, so overheads are comparable to the paper's native
+            implementation (see DESIGN.md fidelity notes).
+    """
+
+    priority: Priority = EQUAL
+    feedback_every_n: int = 16
+    grain: int = PAGE
+    libraries: tuple[str, ...] = field(default_factory=lambda: PAPER_LIBRARIES)
+    load_factor: float = 1.0
+    drain_penalty: float = 1.0
+    seed_path: str | Path | None = None
+    monitor_interval: float = 0.0
+    python_to_native: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.feedback_every_n < 1:
+            raise ValueError("feedback_every_n must be >= 1")
+        if self.grain < 1:
+            raise ValueError("grain must be >= 1")
+        if self.load_factor < 0:
+            raise ValueError("load_factor must be >= 0")
+        if self.drain_penalty < 0:
+            raise ValueError("drain_penalty must be >= 0")
+        if self.python_to_native <= 0:
+            raise ValueError("python_to_native must be positive")

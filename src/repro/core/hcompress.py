@@ -1,0 +1,260 @@
+"""The HCompress engine (paper §IV): the library's main entry point.
+
+Wires together every component the design figure shows — Input Analyzer,
+Compression Cost Predictor, System Monitor, HCDP engine, Compression
+Manager, Storage Hardware Interface — behind the paper's two-call API:
+``compress(task)`` and ``decompress(task)``.
+
+Timing accounting follows the reproduction's split (DESIGN.md §6):
+compression and I/O durations are modeled (nominal codec profiles + tier
+specs); engine-internal overheads (HCDP planning, library selection,
+feedback) are measured wall-clock and divided by the configured
+Python-to-native calibration factor so the Fig. 3 anatomy is comparable to
+the paper's C implementation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analyzer import InputAnalyzer, MetadataHints
+from ..ccp import CompressionCostPredictor, FeedbackLoop, SeedData, load_seed, save_seed
+from ..codecs.pool import CompressionLibraryPool
+from ..errors import HCompressError
+from ..hcdp import HcdpEngine, IOTask, Operation, Priority, next_task_id
+from ..monitor import SystemMonitor
+from ..tiers import StorageHierarchy
+from .config import HCompressConfig
+from .manager import CompressionManager, ReadResult, WriteResult
+from .profiler import HCompressProfiler
+from .shi import StorageHardwareInterface
+
+__all__ = ["HCompress", "Anatomy"]
+
+
+@dataclass
+class Anatomy:
+    """Cumulative per-stage time accounting (the Fig. 3 subject).
+
+    Write-path categories: hcdp_engine, library_selection, compression,
+    feedback, write_io. Read-path categories: metadata_parsing,
+    library_selection (shared), decompression, read_feedback, read_io.
+    """
+
+    hcdp_engine: float = 0.0
+    library_selection: float = 0.0
+    compression: float = 0.0
+    feedback: float = 0.0
+    write_io: float = 0.0
+    metadata_parsing: float = 0.0
+    decompression: float = 0.0
+    read_feedback: float = 0.0
+    read_io: float = 0.0
+    write_ops: int = 0
+    read_ops: int = 0
+
+    def write_breakdown(self) -> dict[str, float]:
+        """Write-op fractions (sums to 1.0 when any write happened)."""
+        parts = {
+            "hcdp_engine": self.hcdp_engine,
+            "library_selection": self.library_selection,
+            "compression": self.compression,
+            "feedback": self.feedback,
+            "write": self.write_io,
+        }
+        total = sum(parts.values())
+        return {k: (v / total if total else 0.0) for k, v in parts.items()}
+
+    def read_breakdown(self) -> dict[str, float]:
+        parts = {
+            "metadata_parsing": self.metadata_parsing,
+            "library_selection": 0.0,  # folded into metadata on reads
+            "decompression": self.decompression,
+            "feedback": self.read_feedback,
+            "read": self.read_io,
+        }
+        total = sum(parts.values())
+        return {k: (v / total if total else 0.0) for k, v in parts.items()}
+
+
+class HCompress:
+    """Hierarchical data compression engine over a storage hierarchy.
+
+    Args:
+        hierarchy: The multi-tiered storage stack to manage.
+        config: Runtime knobs; defaults are the paper's.
+        seed: Profiler output to bootstrap the cost model. When omitted,
+            the config's ``seed_path`` is loaded if set, else a quick
+            profiling pass runs inline (the paper's HP-before-application
+            step, collapsed for convenience).
+        clock: Optional time source for the System Monitor (e.g. a
+            simulation's ``lambda: sim.now``).
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        config: HCompressConfig | None = None,
+        seed: SeedData | None = None,
+        clock=None,
+    ) -> None:
+        self.config = config if config is not None else HCompressConfig()
+        self.hierarchy = hierarchy
+        self.pool = CompressionLibraryPool(self.config.libraries)
+        self.analyzer = InputAnalyzer()
+        self.monitor = SystemMonitor(
+            hierarchy, clock=clock, interval=self.config.monitor_interval
+        )
+        self.predictor = CompressionCostPredictor()
+        if seed is None:
+            if self.config.seed_path is not None:
+                seed = load_seed(self.config.seed_path)
+            else:
+                profiler = HCompressProfiler(
+                    self.pool, rng=np.random.default_rng(0)
+                )
+                seed = profiler.quick_seed()
+        self.seed = seed
+        self.predictor.fit_seed(seed.observations)
+        self.engine = HcdpEngine(
+            self.predictor,
+            self.monitor,
+            self.pool,
+            priority=self.config.priority,
+            grain=self.config.grain,
+            load_factor=self.config.load_factor,
+            drain_penalty=self.config.drain_penalty,
+        )
+        self.shi = StorageHardwareInterface(hierarchy)
+        self.manager = CompressionManager(self.pool, self.shi)
+        self.feedback = FeedbackLoop(
+            self.predictor, every_n=self.config.feedback_every_n
+        )
+        self.anatomy = Anatomy()
+        # Named-file manifests for the interception facade (repro.core.api).
+        self.file_manifests: dict[str, list[str]] = {}
+        self._finalized = False
+
+    # -- paper API: compress / decompress -----------------------------------------
+
+    def compress(
+        self,
+        data: bytes | None = None,
+        *,
+        task: IOTask | None = None,
+        hints: MetadataHints | None = None,
+        modeled_size: int | None = None,
+        task_id: str | None = None,
+    ) -> WriteResult:
+        """Compress-and-place one write task.
+
+        Either pass raw ``data`` (with optional analyzer ``hints`` and a
+        ``modeled_size`` for representative-sample scaling) or a prebuilt
+        :class:`IOTask`.
+        """
+        self._check_open()
+        scale = self.config.python_to_native
+        if task is None:
+            if data is None:
+                raise HCompressError("compress() needs data or a task")
+            analysis = self.analyzer.analyze(data, hints)
+            task = IOTask(
+                task_id=task_id or next_task_id(),
+                size=modeled_size if modeled_size is not None else len(data),
+                analysis=analysis,
+                operation=Operation.WRITE,
+                data=data,
+            )
+        elif data is not None:
+            raise HCompressError("pass either data or a task, not both")
+
+        wall = time.perf_counter()
+        schema = self.engine.plan(task)
+        self.anatomy.hcdp_engine += (time.perf_counter() - wall) / scale
+
+        wall = time.perf_counter()
+        for piece in schema.pieces:  # factory lookups (library selection)
+            self.pool.codec(piece.codec)
+        self.anatomy.library_selection += (time.perf_counter() - wall) / scale
+
+        result = self.manager.execute_write(schema)
+        result.schema = schema  # type: ignore[attr-defined]
+        self.anatomy.compression += result.compress_seconds
+        self.anatomy.write_io += result.io_seconds
+
+        wall = time.perf_counter()
+        for observation in result.observations:
+            self.feedback.record(observation)
+        self.anatomy.feedback += (time.perf_counter() - wall) / scale
+        self.anatomy.write_ops += 1
+        return result
+
+    def decompress(
+        self,
+        task_id: str,
+        offset: int | None = None,
+        length: int | None = None,
+    ) -> ReadResult:
+        """Read-and-decompress one previously written task.
+
+        Passing ``offset``/``length`` performs a random-access partial
+        read: only the sub-tasks overlapping the range are fetched and
+        decompressed (each piece is independently decodable via its
+        16-byte header).
+        """
+        self._check_open()
+        scale = self.config.python_to_native
+        if offset is not None or length is not None:
+            result = self.manager.execute_read_range(
+                task_id, offset or 0, length if length is not None else 2**62
+            )
+        else:
+            result = self.manager.execute_read(task_id)
+        self.anatomy.metadata_parsing += result.metadata_seconds / scale
+        self.anatomy.decompression += result.decompress_seconds
+        self.anatomy.read_io += result.io_seconds
+        wall = time.perf_counter()
+        self.feedback.flush()
+        self.anatomy.read_feedback += (time.perf_counter() - wall) / scale
+        self.anatomy.read_ops += 1
+        return result
+
+    # -- runtime control -----------------------------------------------------
+
+    def set_priority(self, priority: Priority) -> None:
+        """Swap the workload priority at runtime (paper §IV-F2)."""
+        self.engine.set_priority(priority)
+
+    def accuracy(self) -> float | None:
+        """Live cost-model accuracy (mean sliding R^2 over the ECC heads)."""
+        return self.predictor.mean_accuracy()
+
+    def finalize(self, seed_path=None) -> SeedData:
+        """Flush feedback, export the evolved model into the seed, and
+        (optionally) write it back to JSON — the paper's MPI_Finalize hook.
+
+        The engine refuses further operations afterwards.
+        """
+        self._check_open()
+        self.feedback.flush()
+        updated = SeedData(
+            observations=self.seed.observations,
+            system_signature=HCompressProfiler.system_signature(self.hierarchy),
+            weights={
+                "compression": self.engine.priority.compression,
+                "ratio": self.engine.priority.ratio,
+                "decompression": self.engine.priority.decompression,
+            },
+        )
+        path = seed_path if seed_path is not None else self.config.seed_path
+        if path is not None:
+            save_seed(updated, path)
+        self._finalized = True
+        return updated
+
+    def _check_open(self) -> None:
+        if self._finalized:
+            raise HCompressError("engine already finalized")

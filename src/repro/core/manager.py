@@ -1,0 +1,369 @@
+"""The Compression Manager (paper §IV-G).
+
+Executes HCDP schemas: for every sub-task it instantiates the planned
+library through the pool's factory, compresses the piece's bytes, decorates
+the payload with the 16-byte metadata header, and hands it to the Storage
+Hardware Interface. On the read path it rediscovers the applied library
+from the header alone and reassembles the original buffer.
+
+Representative-sample scaling (DESIGN.md §2): when a task models more bytes
+than it materialises, each piece compresses the corresponding slice of the
+sample, the *measured* ratio is extrapolated to the modeled piece length
+for capacity accounting, and nominal-profile codec times are charged for
+the modeled length.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..ccp.seed import CostObservation
+from ..ccp.features import ObservationKey
+from ..codecs.base import get_codec
+from ..codecs.metadata import HEADER_SIZE, unwrap_payload, wrap_payload
+from ..codecs.pool import CompressionLibraryPool
+from ..errors import SchemaError, TierError
+from ..hcdp.schema import Schema, SubTaskPlan
+from ..hcdp.task import IOTask
+from ..units import MB
+from .shi import StorageHardwareInterface
+
+__all__ = ["CompressionManager", "PieceResult", "WriteResult", "ReadResult"]
+
+
+@dataclass(frozen=True)
+class PieceResult:
+    """Execution record for one sub-task."""
+
+    plan: SubTaskPlan
+    key: str
+    tier: str
+    stored_size: int  # accounted bytes on the tier (header included)
+    actual_ratio: float
+    compress_seconds: float  # nominal-profile time for the modeled length
+    io_seconds: float  # uncontended modeled tier time
+    wall_seconds: float  # real Python codec time (diagnostic only)
+    spilled: bool = False  # runtime correction: plan's tier was full
+
+
+@dataclass
+class WriteResult:
+    """Execution record for one write task."""
+
+    task: IOTask
+    pieces: list[PieceResult] = field(default_factory=list)
+    observations: list[CostObservation] = field(default_factory=list)
+
+    @property
+    def total_stored(self) -> int:
+        return sum(p.stored_size for p in self.pieces)
+
+    @property
+    def compress_seconds(self) -> float:
+        return sum(p.compress_seconds for p in self.pieces)
+
+    @property
+    def io_seconds(self) -> float:
+        return sum(p.io_seconds for p in self.pieces)
+
+    @property
+    def achieved_ratio(self) -> float:
+        stored = self.total_stored
+        return self.task.size / stored if stored else 1.0
+
+
+@dataclass
+class ReadResult:
+    """Execution record for one read task."""
+
+    task_id: str
+    data: bytes | None
+    modeled_size: int
+    decompress_seconds: float
+    io_seconds: float
+    metadata_seconds: float
+    pieces: int
+
+
+class CompressionManager:
+    """Schema executor + metadata catalog.
+
+    The catalog maps task ids to their piece keys/codecs so reads can
+    enumerate pieces; each piece's *codec* is still taken from its stored
+    header (the paper's decentralised-decode property), the catalog only
+    provides the key list.
+    """
+
+    def __init__(
+        self, pool: CompressionLibraryPool, shi: StorageHardwareInterface
+    ) -> None:
+        self.pool = pool
+        self.shi = shi
+        # task id -> [(piece key, modeled piece length, codec name)]
+        self._catalog: dict[str, list[tuple[str, int, str]]] = {}
+        # (sample hash, codec) -> measured ratio; modeled tasks measure each
+        # codec once per distinct sample instead of once per piece.
+        self._sample_ratios: dict[tuple[int, str], float] = {}
+        self.spill_events = 0
+
+    # -- write path ---------------------------------------------------------
+
+    def execute_write(self, schema: Schema) -> WriteResult:
+        """Run a schema; returns accounting plus feedback observations."""
+        task = schema.task
+        if task.task_id in self._catalog:
+            raise SchemaError(f"task {task.task_id!r} already written")
+        result = WriteResult(task=task)
+        keys: list[tuple[str, int, str]] = []
+        sample = task.data
+        dtype, data_format, distribution = task.analysis.feature_key()
+
+        for index, plan in enumerate(schema.pieces):
+            key = self.shi.piece_key(task.task_id, index)
+            self.pool.codec(plan.codec)  # library selection (factory path)
+
+            wall_start = time.perf_counter()
+            if task.materialised and sample is not None:
+                piece_bytes = sample[plan.offset : plan.offset + plan.length]
+                blob, header = wrap_payload(
+                    piece_bytes,
+                    start_offset=plan.offset % (1 << 32),
+                    codec_name=plan.codec,
+                )
+                measured_ratio = (
+                    len(piece_bytes) / header.resulting_size
+                    if header.resulting_size
+                    else 1.0
+                )
+                accounted = len(blob)
+            else:
+                blob = None
+                measured_ratio = (
+                    self._sample_ratio(sample, plan.codec)
+                    if sample
+                    else plan.expected_ratio
+                )
+                accounted = HEADER_SIZE + max(
+                    1, math.ceil(plan.length / max(measured_ratio, 1e-9))
+                )
+            wall_seconds = time.perf_counter() - wall_start
+
+            tier_name, spilled = self._resolve_tier(plan, accounted)
+            receipt = self.shi.write(key, tier_name, blob, accounted)
+            keys.append((key, plan.length, plan.codec))
+
+            profile = self.pool.profile(plan.codec)
+            comp_seconds = (
+                plan.length / (profile.compress_mbps * MB)
+                if plan.codec != "none"
+                else 0.0
+            )
+            result.pieces.append(
+                PieceResult(
+                    plan=plan,
+                    key=key,
+                    tier=tier_name,
+                    stored_size=accounted,
+                    actual_ratio=measured_ratio,
+                    compress_seconds=comp_seconds,
+                    io_seconds=receipt.seconds,
+                    wall_seconds=wall_seconds,
+                    spilled=spilled,
+                )
+            )
+            if plan.codec != "none":
+                result.observations.append(
+                    CostObservation(
+                        key=ObservationKey(
+                            dtype, data_format, distribution, plan.codec, plan.length
+                        ),
+                        compress_mbps=profile.compress_mbps,
+                        decompress_mbps=profile.decompress_mbps,
+                        ratio=max(measured_ratio, 1e-3),
+                    )
+                )
+        self._catalog[task.task_id] = keys
+        return result
+
+    def _sample_ratio(self, sample: bytes, codec_name: str) -> float:
+        """Measured ratio of ``codec_name`` on ``sample``, cached.
+
+        Modeled tasks typically reuse one representative sample across many
+        ranks and timesteps; measuring each codec once per distinct sample
+        keeps modeled runs O(codecs) in real compression work.
+        """
+        if codec_name == "none":
+            return 1.0
+        cache_key = (hash(sample), codec_name)
+        cached = self._sample_ratios.get(cache_key)
+        if cached is None:
+            payload = self.pool.codec(codec_name).compress(sample)
+            cached = len(sample) / max(len(payload), 1)
+            self._sample_ratios[cache_key] = cached
+        return cached
+
+    def _resolve_tier(self, plan: SubTaskPlan, accounted: int) -> tuple[str, bool]:
+        """Honour the plan's tier, spilling downward when the measured
+        footprint no longer fits (the predicted ratio was optimistic)."""
+        hierarchy = self.shi.hierarchy
+        level = plan.tier_level
+        if hierarchy[level].fits(accounted):
+            return plan.tier, False
+        for lower in range(level + 1, len(hierarchy)):
+            if hierarchy[lower].fits(accounted):
+                self.spill_events += 1
+                return hierarchy[lower].spec.name, True
+        raise TierError(
+            f"piece of {accounted} bytes fits no tier at or below "
+            f"{plan.tier!r}"
+        )
+
+    # -- read path ------------------------------------------------------------
+
+    def task_keys(self, task_id: str) -> list[str]:
+        try:
+            return [key for key, _, _ in self._catalog[task_id]]
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None
+
+    def task_pieces(self, task_id: str) -> list[tuple[str, int]]:
+        """(key, modeled length) pairs for a written task."""
+        try:
+            return [(key, length) for key, length, _ in self._catalog[task_id]]
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._catalog
+
+    def execute_read(self, task_id: str) -> ReadResult:
+        """Read + decompress a task; charges modeled times.
+
+        For materialised tasks the returned ``data`` is the original
+        buffer; for sample-scaled tasks it is the reassembled sample (or
+        ``None`` when payloads were never stored) while the modeled timing
+        still reflects the full modeled size.
+        """
+        try:
+            pieces = self._catalog[task_id]
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None
+        parts: list[bytes] = []
+        io_seconds = 0.0
+        decompress_seconds = 0.0
+        metadata_seconds = 0.0
+        modeled = 0
+        have_payloads = True
+        for key, modeled_length, catalog_codec in pieces:
+            tier = self.shi.locate(key)
+            if tier is None:
+                raise TierError(f"piece {key!r} lost from every tier")
+            extent = tier.extent(key)
+            io_seconds += tier.spec.io_seconds(extent.accounted_size)
+            modeled += modeled_length
+            if extent.has_payload:
+                blob = tier.get(key)
+                wall_start = time.perf_counter()
+                data, header = unwrap_payload(blob)
+                metadata_seconds += time.perf_counter() - wall_start
+                parts.append(data)
+                # The applied library is rediscovered from the stored
+                # header — the paper's decentralised-decode property.
+                codec_name = get_codec(header.codec_id).meta.name
+            else:
+                have_payloads = False
+                codec_name = catalog_codec
+            if codec_name != "none":
+                profile = self.pool.profile(codec_name)
+                decompress_seconds += modeled_length / (
+                    profile.decompress_mbps * MB
+                )
+        data = b"".join(parts) if have_payloads else None
+        return ReadResult(
+            task_id=task_id,
+            data=data,
+            modeled_size=modeled,
+            decompress_seconds=decompress_seconds,
+            io_seconds=io_seconds,
+            metadata_seconds=metadata_seconds,
+            pieces=len(pieces),
+        )
+
+    def execute_read_range(
+        self, task_id: str, offset: int, length: int
+    ) -> ReadResult:
+        """Random-access read: only the sub-tasks overlapping
+        ``[offset, offset + length)`` are fetched and decompressed.
+
+        This is the "virtual chunks" benefit of the schema's piece
+        structure: because every piece is independently decodable (own
+        16-byte header, own codec), a partial read touches a strict subset
+        of the task's footprint. Returned ``data`` is the requested slice
+        for materialised tasks, ``None`` for modeled ones (timing is still
+        charged for the overlapping pieces only).
+        """
+        if offset < 0 or length < 0:
+            raise SchemaError(
+                f"invalid range offset={offset} length={length}"
+            )
+        try:
+            pieces = self._catalog[task_id]
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None
+        if length == 0:
+            return ReadResult(task_id, b"", 0, 0.0, 0.0, 0.0, 0)
+        end = offset + length
+        parts: list[bytes] = []
+        io_seconds = 0.0
+        decompress_seconds = 0.0
+        metadata_seconds = 0.0
+        touched = 0
+        have_payloads = True
+        cursor = 0
+        for key, modeled_length, catalog_codec in pieces:
+            piece_start, piece_end = cursor, cursor + modeled_length
+            cursor = piece_end
+            if piece_end <= offset or piece_start >= end:
+                continue  # no overlap: never touched
+            touched += 1
+            tier = self.shi.locate(key)
+            if tier is None:
+                raise TierError(f"piece {key!r} lost from every tier")
+            extent = tier.extent(key)
+            io_seconds += tier.spec.io_seconds(extent.accounted_size)
+            if extent.has_payload:
+                blob = tier.get(key)
+                wall_start = time.perf_counter()
+                data, header = unwrap_payload(blob)
+                metadata_seconds += time.perf_counter() - wall_start
+                lo = max(offset - piece_start, 0)
+                hi = min(end - piece_start, len(data))
+                parts.append(data[lo:hi])
+                codec_name = get_codec(header.codec_id).meta.name
+            else:
+                have_payloads = False
+                codec_name = catalog_codec
+            if codec_name != "none":
+                profile = self.pool.profile(codec_name)
+                decompress_seconds += modeled_length / (
+                    profile.decompress_mbps * MB
+                )
+        return ReadResult(
+            task_id=task_id,
+            data=b"".join(parts) if have_payloads else None,
+            modeled_size=min(end, cursor) - min(offset, cursor),
+            decompress_seconds=decompress_seconds,
+            io_seconds=io_seconds,
+            metadata_seconds=metadata_seconds,
+            pieces=touched,
+        )
+
+    def evict_task(self, task_id: str) -> int:
+        """Remove every piece of a task; returns released accounted bytes."""
+        released = 0
+        for key in self.task_keys(task_id):
+            released += self.shi.delete(key)
+        del self._catalog[task_id]
+        return released

@@ -1,0 +1,80 @@
+"""Storage Hardware Interface (paper §IV-A).
+
+The SHI is the only component that touches the tiers: it places decorated
+sub-task payloads, finds and reads them back, and reports the modeled I/O
+time of each operation so callers (the main library, or the event
+simulator) can charge it. Keys are ``"{task_id}/{piece_index}"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TierError
+from ..tiers import StorageHierarchy, Tier
+
+__all__ = ["StorageHardwareInterface", "IoReceipt"]
+
+
+@dataclass(frozen=True)
+class IoReceipt:
+    """Outcome of one SHI operation."""
+
+    key: str
+    tier: str
+    nbytes: int
+    seconds: float
+
+
+class StorageHardwareInterface:
+    """Thin placement/retrieval layer over a :class:`StorageHierarchy`."""
+
+    def __init__(self, hierarchy: StorageHierarchy) -> None:
+        self.hierarchy = hierarchy
+
+    @staticmethod
+    def piece_key(task_id: str, index: int) -> str:
+        return f"{task_id}/{index}"
+
+    def write(
+        self,
+        key: str,
+        tier_name: str,
+        payload: bytes | None,
+        accounted_size: int | None = None,
+    ) -> IoReceipt:
+        """Place one payload on the named tier.
+
+        Returns a receipt carrying the uncontended modeled I/O time
+        (latency + accounted size / lane bandwidth).
+        """
+        tier = self.hierarchy.by_name(tier_name)
+        extent = tier.put(key, payload, accounted_size)
+        seconds = tier.spec.io_seconds(extent.accounted_size)
+        return IoReceipt(key, tier_name, extent.accounted_size, seconds)
+
+    def read(self, key: str) -> tuple[bytes, IoReceipt]:
+        """Locate ``key`` anywhere in the hierarchy and read it."""
+        tier = self.hierarchy.find(key)
+        if tier is None:
+            raise TierError(f"key {key!r} not present in any tier")
+        payload = tier.get(key)
+        extent = tier.extent(key)
+        seconds = tier.spec.io_seconds(extent.accounted_size)
+        return payload, IoReceipt(key, tier.spec.name, extent.accounted_size, seconds)
+
+    def locate(self, key: str) -> Tier | None:
+        return self.hierarchy.find(key)
+
+    def accounted_size(self, key: str) -> int:
+        tier = self.hierarchy.find(key)
+        if tier is None:
+            raise TierError(f"key {key!r} not present in any tier")
+        return tier.extent(key).accounted_size
+
+    def delete(self, key: str) -> int:
+        """Evict ``key``; returns the accounted bytes released."""
+        tier = self.hierarchy.find(key)
+        if tier is None:
+            raise TierError(f"key {key!r} not present in any tier")
+        return tier.evict(key)

@@ -1,0 +1,123 @@
+"""Synthetic data generators by (dtype, distribution) — the profiler's
+input corpus and the micro-benchmarks' payload source.
+
+Lives at the package root (not under ``workloads``) because the core
+profiler also consumes it; keeping it dependency-light avoids import
+cycles.
+
+Each generator produces real bytes whose statistical class matches its
+label, so the Input Analyzer, the codecs, and the Compression Cost
+Predictor all see self-consistent data. Generation is deterministic given
+the numpy Generator passed in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import WorkloadError
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "DTYPES",
+    "synthetic_values",
+    "synthetic_buffer",
+    "synthetic_text",
+    "corpus",
+]
+
+DISTRIBUTIONS = ("uniform", "normal", "exponential", "gamma")
+DTYPES = ("float64", "float32", "int64", "int32")
+
+#: Quantisation keeps mantissas from being pure entropy: scientific data is
+#: measured/accumulated at finite precision, which is what compressors
+#: actually exploit on float streams.
+_QUANTA = 1.0 / 4096.0
+
+
+def synthetic_values(
+    distribution: str, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Float64 draws from one of the paper's four distribution classes."""
+    if count < 0:
+        raise WorkloadError(f"count must be >= 0, got {count}")
+    if distribution == "uniform":
+        values = rng.uniform(0.0, 1000.0, count)
+    elif distribution == "normal":
+        values = rng.normal(500.0, 40.0, count)
+    elif distribution == "exponential":
+        values = rng.exponential(120.0, count)
+    elif distribution == "gamma":
+        values = rng.gamma(2.0, 60.0, count)
+    else:
+        raise WorkloadError(f"unknown distribution {distribution!r}")
+    return values
+
+
+def synthetic_buffer(
+    dtype: str,
+    distribution: str,
+    nbytes: int,
+    rng: np.random.Generator,
+    quantise: bool = True,
+) -> bytes:
+    """A buffer of approximately ``nbytes`` of the given class.
+
+    The result is exactly ``nbytes`` long (truncated to whole elements then
+    zero-padded), so callers can treat it as an opaque I/O payload.
+    """
+    if nbytes < 0:
+        raise WorkloadError(f"nbytes must be >= 0, got {nbytes}")
+    np_dtype = np.dtype(dtype)
+    count = max(nbytes // np_dtype.itemsize, 0)
+    values = synthetic_values(distribution, count, rng)
+    if quantise:
+        values = np.round(values / _QUANTA) * _QUANTA
+    if np_dtype.kind in "iu":
+        values = np.clip(values, 0, None)
+        array = values.astype(np_dtype)
+    else:
+        array = values.astype(np_dtype)
+    raw = array.tobytes()
+    if len(raw) < nbytes:
+        raw += bytes(nbytes - len(raw))
+    return raw[:nbytes]
+
+
+_WORDS = (
+    "pressure velocity density momentum energy particle timestep checkpoint "
+    "simulation lattice plasma field flux boundary kernel tensor gradient "
+    "entropy vortex domain halo exchange stencil residual solver iteration"
+).split()
+
+
+def synthetic_text(nbytes: int, rng: np.random.Generator) -> bytes:
+    """Plausible log/CSV-adjacent prose for the text data class."""
+    if nbytes < 0:
+        raise WorkloadError(f"nbytes must be >= 0, got {nbytes}")
+    parts: list[str] = []
+    total = 0
+    while total < nbytes:
+        line = " ".join(rng.choice(_WORDS) for _ in range(12))
+        line = f"{line} value={rng.integers(0, 10_000)}\n"
+        parts.append(line)
+        total += len(line)
+    return "".join(parts).encode("ascii")[:nbytes]
+
+
+def corpus(
+    nbytes: int, rng: np.random.Generator, include_text: bool = True
+) -> dict[tuple[str, str], bytes]:
+    """The profiler's standard input corpus.
+
+    Keys are (dtype, distribution); text is keyed ("text", "text").
+    """
+    out: dict[tuple[str, str], bytes] = {}
+    for dtype in DTYPES:
+        for distribution in DISTRIBUTIONS:
+            out[(dtype, distribution)] = synthetic_buffer(
+                dtype, distribution, nbytes, rng
+            )
+    if include_text:
+        out[("text", "text")] = synthetic_text(nbytes, rng)
+    return out

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the HCompress reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`HCompressError`, so
+callers can catch the whole family with one clause while still being able to
+discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class HCompressError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class CodecError(HCompressError):
+    """A compression or decompression operation failed."""
+
+
+class CorruptDataError(CodecError):
+    """Compressed payload failed integrity validation during decode."""
+
+
+class UnknownCodecError(CodecError, KeyError):
+    """A codec name or id was requested that is not in the registry."""
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep a readable text
+        return Exception.__str__(self)
+
+
+class CapacityError(HCompressError):
+    """A tier or hierarchy could not satisfy an allocation request."""
+
+
+class TierError(HCompressError):
+    """A storage-tier operation was invalid (unknown tier, bad offset, ...)."""
+
+
+class PlacementError(HCompressError):
+    """The HCDP engine could not produce a feasible schema."""
+
+
+class SchemaError(HCompressError):
+    """A compression/placement schema is malformed or violates an invariant."""
+
+
+class AnalyzerError(HCompressError):
+    """The input analyzer could not characterise a buffer."""
+
+
+class ModelError(HCompressError):
+    """The compression-cost predictor was used before fitting, or misfit."""
+
+
+class SeedError(HCompressError):
+    """A profiler seed file is missing, unreadable, or structurally invalid."""
+
+
+class SimulationError(HCompressError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class FormatError(HCompressError):
+    """An h5lite container or record buffer is malformed."""
+
+
+class WorkloadError(HCompressError):
+    """A workload generator received inconsistent parameters."""

@@ -1,0 +1,35 @@
+"""Per-figure reproduction harnesses (see DESIGN.md §4 for the index)."""
+
+from .common import (
+    BACKEND_NAMES,
+    ExperimentTable,
+    make_backend,
+    scaled_hierarchy,
+    speedup_notes,
+)
+from .fig1_motivation import run_fig1
+from .fig3_anatomy import run_fig3
+from .fig4_internal import run_fig4a, run_fig4b
+from .fig5_compression_on_tiers import run_fig5
+from .fig6_tiers_on_compression import run_fig6
+from .fig7_vpic import run_fig7
+from .fig8_workflow import run_fig8
+from .report import render_markdown, run_all
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExperimentTable",
+    "make_backend",
+    "render_markdown",
+    "run_all",
+    "run_fig1",
+    "run_fig3",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "scaled_hierarchy",
+    "speedup_notes",
+]

@@ -1,0 +1,161 @@
+"""Shared experiment harness: result tables, backend factories, scaling.
+
+Every figure module produces an :class:`ExperimentTable` whose rows mirror
+the series the paper plots, so EXPERIMENTS.md can record paper-vs-measured
+side by side. Paper-scale configurations (terabytes, thousands of ranks)
+are shrunk by a single ``scale`` divisor applied uniformly to capacities,
+task sizes, and compute intervals — bandwidths stay physical, so every
+*ratio* between configurations is scale-invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core import HCompress, HCompressConfig
+from ..errors import WorkloadError
+from ..hcdp.priorities import EQUAL, Priority
+from ..hermes import HermesBuffering, HermesWithStaticCompression
+from ..tiers import StorageHierarchy, ares_hierarchy
+from ..workloads import (
+    HCompressBackend,
+    HermesBackend,
+    HermesStaticBackend,
+    IOBackend,
+    PfsBaselineBackend,
+    StaticCompressionBackend,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExperimentTable",
+    "make_backend",
+    "scaled_hierarchy",
+    "speedup_notes",
+]
+
+BACKEND_NAMES = ("BASE", "STWC", "MTNC", "HC")
+
+
+@dataclass
+class ExperimentTable:
+    """A printable result table (one per reproduced figure)."""
+
+    name: str
+    description: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise WorkloadError(
+                f"row width {len(values)} != columns {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def row_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def to_markdown(self) -> str:
+        def fmt(value) -> str:
+            if isinstance(value, float):
+                return f"{value:.3g}"
+            return str(value)
+
+        lines = [f"### {self.name}", "", self.description, ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(fmt(v) for v in row) + " |")
+        for note in self.notes:
+            lines.append(f"\n> {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.to_markdown()
+
+
+def scaled_hierarchy(
+    ram: int | None,
+    nvme: int | None,
+    bb: int | None,
+    scale: int = 1,
+    nodes: int = 64,
+) -> StorageHierarchy:
+    """Ares hierarchy with capacities divided by ``scale`` (bandwidths are
+    physical constants and are left untouched)."""
+    if scale < 1:
+        raise WorkloadError(f"scale must be >= 1, got {scale}")
+    div = lambda x: None if x is None else max(x // scale, 1)  # noqa: E731
+    return ares_hierarchy(
+        ram_capacity=div(ram),
+        nvme_capacity=div(nvme),
+        bb_capacity=div(bb),
+        nodes=nodes,
+    )
+
+
+def make_backend(
+    name: str,
+    hierarchy: StorageHierarchy,
+    priority: Priority = EQUAL,
+    stwc_codec: str = "zlib",
+    hermes_codec: str | None = None,
+    seed=None,
+    rng: np.random.Generator | None = None,
+) -> IOBackend:
+    """Instantiate one of the paper's Table-IV configurations.
+
+    Args:
+        name: BASE | STWC | MTNC | HC, or HERMES+<codec> for the Fig. 5
+            placement-then-compression variant.
+        hierarchy: Fresh hierarchy for this run.
+        priority: HC's workload priority.
+        stwc_codec: The static codec STWC applies.
+        hermes_codec: Codec for the HERMES+<codec> variant.
+        seed: Optional pre-built profiler seed (HC bootstrap reuse).
+    """
+    if name == "BASE":
+        return PfsBaselineBackend(hierarchy)
+    if name == "STWC":
+        return StaticCompressionBackend(hierarchy, codec=stwc_codec)
+    if name == "MTNC":
+        return HermesBackend(HermesBuffering(hierarchy))
+    if name == "HC":
+        engine = HCompress(
+            hierarchy, HCompressConfig(priority=priority), seed=seed
+        )
+        return HCompressBackend(engine)
+    if name.startswith("HERMES+") or hermes_codec is not None:
+        codec = hermes_codec if hermes_codec is not None else name.split("+", 1)[1]
+        return HermesStaticBackend(
+            HermesWithStaticCompression(hierarchy, codec=codec)
+        )
+    raise WorkloadError(f"unknown backend name {name!r}")
+
+
+def speedup_notes(table: ExperimentTable, time_column: str, base: str) -> None:
+    """Append 'X over BASE' style notes comparing a time column."""
+    rows = table.row_dicts()
+    base_rows = [r for r in rows if r.get("backend") == base]
+    if not base_rows:
+        return
+    base_time = base_rows[0][time_column]
+    for row in rows:
+        if row.get("backend") == base:
+            continue
+        if row[time_column]:
+            table.note(
+                f"{row['backend']}: {base_time / row[time_column]:.2f}x over {base}"
+            )

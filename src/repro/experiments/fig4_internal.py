@@ -1,0 +1,141 @@
+"""Fig. 4 — performance of the internal components.
+
+(a) HCDP engine throughput vs task size: 8K write plans per size; the
+    paper measures ~2.44 G tasks/s (native C) flat up to 4 MB, dropping
+    2-3% beyond as tasks split across tiers. We report our Python engine's
+    true wall-clock throughput — absolute numbers differ by the language
+    constant, the *shape* (flat, then a small drop past ~4 MB) is the
+    reproduced claim.
+
+(b) Compression Cost Predictor accuracy + feedback throughput per data
+    distribution: 8K 1 MB writes per distribution; the paper reports
+    ~95.5% accuracy and ~20 K feedback events/s flat across distributions.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..ccp import CostObservation, ObservationKey
+from ..core import HCompress, HCompressConfig
+from ..hcdp import IOTask
+from ..tiers import ares_hierarchy
+from ..units import GiB, KiB, MiB
+from ..workloads import MicroConfig, micro_tasks
+from ..datagen import DISTRIBUTIONS, synthetic_buffer
+from .common import ExperimentTable
+
+__all__ = ["run_fig4a", "run_fig4b"]
+
+_SIZES = (4 * KiB, 64 * KiB, 512 * KiB, 1 * MiB, 4 * MiB, 16 * MiB, 64 * MiB)
+
+
+def run_fig4a(
+    plans_per_size: int = 8000,
+    sizes: tuple[int, ...] = _SIZES,
+    seed=None,
+    rng: np.random.Generator | None = None,
+) -> ExperimentTable:
+    """Fig. 4(a): engine planning throughput across task sizes."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    table = ExperimentTable(
+        name="Fig. 4(a) - HCDP engine throughput",
+        description=(
+            f"{plans_per_size} write plans per task size; wall-clock "
+            "planning throughput of the Python engine (paper: native C at "
+            "~2.44e9 tasks/s, flat to 4 MB then -2-3%)."
+        ),
+        columns=["task_bytes", "tasks_per_s", "relative_to_smallest"],
+    )
+    # Tier capacities sized so tasks <= 4 MB fit whole (flat region) and
+    # larger tasks must split across tiers (the paper's dip region).
+    hierarchy = ares_hierarchy(
+        ram_capacity=6 * MiB, nvme_capacity=12 * MiB, bb_capacity=48 * MiB, nodes=4
+    )
+    engine = HCompress(hierarchy, HCompressConfig(), seed=seed)
+    sample = synthetic_buffer("float64", "gamma", 64 * KiB, rng)
+    analysis = engine.analyzer.analyze(sample)
+
+    first_throughput = None
+    for size in sizes:
+        t0 = time.perf_counter()
+        for i in range(plans_per_size):
+            engine.engine.plan(IOTask(f"fig4a/{size}/{i}", size, analysis))
+        wall = time.perf_counter() - t0
+        throughput = plans_per_size / wall
+        if first_throughput is None:
+            first_throughput = throughput
+        table.add_row(size, throughput, throughput / first_throughput)
+    table.note(
+        "Shape claim: flat throughput while tasks fit one tier, a small "
+        "drop once they split across tiers."
+    )
+    return table
+
+
+def run_fig4b(
+    tasks_per_distribution: int = 8000,
+    task_bytes: int = 1 * MiB,
+    seed=None,
+    rng: np.random.Generator | None = None,
+) -> ExperimentTable:
+    """Fig. 4(b): CCP accuracy (R^2) and feedback throughput per
+    distribution."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    table = ExperimentTable(
+        name="Fig. 4(b) - Compression Cost Predictor",
+        description=(
+            f"{tasks_per_distribution} x {task_bytes // MiB} MiB write "
+            "observations per distribution; sliding-window model accuracy "
+            "and feedback ingest rate (paper: ~95.5% accuracy, ~20K "
+            "events/s)."
+        ),
+        columns=["distribution", "accuracy_r2", "events_per_s"],
+    )
+    for distribution in DISTRIBUTIONS:
+        hierarchy = ares_hierarchy(
+            ram_capacity=1 * GiB, nvme_capacity=2 * GiB, bb_capacity=64 * GiB,
+            nodes=4,
+        )
+        engine = HCompress(hierarchy, HCompressConfig(), seed=seed)
+        pool = engine.pool
+        # Measure real per-codec ratios once for this distribution, then
+        # stream jittered observations through the feedback loop — the
+        # drift forces the RLS heads to track, which is what the accuracy
+        # metric scores.
+        base = {
+            name: pool.measure(
+                name, synthetic_buffer("float64", distribution, 64 * KiB, rng)
+            )
+            for name in pool.names[1:]
+        }
+        t0 = time.perf_counter()
+        for i in range(tasks_per_distribution):
+            codec = pool.names[1 + i % (len(pool.names) - 1)]
+            measured = base[codec]
+            jitter = float(rng.lognormal(0.0, 0.08))
+            engine.feedback.record(
+                CostObservation(
+                    key=ObservationKey(
+                        "float64", "binary", distribution, codec, task_bytes
+                    ),
+                    compress_mbps=pool.profile(codec).compress_mbps * jitter,
+                    decompress_mbps=pool.profile(codec).decompress_mbps * jitter,
+                    ratio=max(measured.ratio * jitter, 1e-3),
+                )
+            )
+        engine.feedback.flush()
+        wall = time.perf_counter() - t0
+        accuracy = engine.predictor.accuracy("ratio")
+        table.add_row(
+            distribution,
+            accuracy if accuracy is not None else float("nan"),
+            tasks_per_distribution / wall,
+        )
+    table.note(
+        "Paper: accuracy ~95.5% across all four distributions, feedback "
+        "throughput flat around 20K events/s."
+    )
+    return table

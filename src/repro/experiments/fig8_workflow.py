@@ -1,0 +1,84 @@
+"""Fig. 8 — the VPIC-IO + BD-CATS-IO read-after-write workflow.
+
+Paper setup: VPIC writes 10 timesteps, then BD-CATS reads them back for
+clustering, at 320-2560 processes on the Fig. 7 hierarchy; HCompress is
+configured with all three compression metrics weighted equally.
+
+Paper result: STWC ~1.5x and MTNC ~2.5x over BASE; HCompress ~7x over both
+STWC and MTNC (read-after-write patterns benefit most, because compressed
+data both fits higher in the hierarchy and reads back smaller).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hcdp.priorities import EQUAL
+from ..workloads import WorkflowConfig, run_workflow
+from .common import ExperimentTable, make_backend
+from .fig7_vpic import fig7_hierarchy, fig7_vpic_config
+
+__all__ = ["run_fig8"]
+
+
+def run_fig8(
+    process_counts: tuple[int, ...] = (320, 640, 1280, 2560),
+    scale: int = 64,
+    backends: tuple[str, ...] = ("BASE", "STWC", "MTNC", "HC"),
+    seed=None,
+    rng: np.random.Generator | None = None,
+) -> ExperimentTable:
+    """Reproduce Fig. 8: workflow time per (process count, configuration)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    table = ExperimentTable(
+        name="Fig. 8 - VPIC + BD-CATS workflow",
+        description=(
+            "Write 10 timesteps (VPIC-IO), then read them back (BD-CATS-IO);"
+            f" total simulated seconds (scaled 1/{scale})."
+        ),
+        columns=[
+            "nprocs",
+            "backend",
+            "total_s",
+            "write_s",
+            "read_s",
+            "speedup_vs_base",
+        ],
+    )
+    from ..workloads import BdcatsConfig
+
+    for nprocs in process_counts:
+        vpic_config = fig7_vpic_config(nprocs, scale)
+        config = WorkflowConfig(
+            vpic=vpic_config,
+            bdcats=BdcatsConfig(
+                nprocs=nprocs,
+                timesteps=vpic_config.timesteps,
+                cluster_seconds=30.0 / scale,
+            ),
+        )
+        base_time = None
+        for backend_name in backends:
+            hierarchy = fig7_hierarchy(scale)
+            backend = make_backend(backend_name, hierarchy, priority=EQUAL, seed=seed)
+            result = run_workflow(backend, config, hierarchy, rng=rng)
+            if backend_name == "BASE":
+                base_time = result.elapsed_seconds
+            speedup = (
+                base_time / result.elapsed_seconds
+                if base_time and result.elapsed_seconds
+                else 1.0
+            )
+            table.add_row(
+                nprocs,
+                backend_name,
+                result.elapsed_seconds,
+                result.write.elapsed_seconds,
+                result.read.elapsed_seconds,
+                speedup,
+            )
+    table.note(
+        "Paper: STWC ~1.5x, MTNC ~2.5x over BASE; HCompress ~7x over both "
+        "STWC and MTNC."
+    )
+    return table

@@ -1,0 +1,112 @@
+"""One-shot experiment report: run every figure and render EXPERIMENTS.md.
+
+``python -m repro.experiments.report [--fast]`` regenerates the full
+paper-vs-measured record. ``--fast`` shrinks the sweeps so the whole suite
+finishes in a couple of minutes; the full profile is what the committed
+EXPERIMENTS.md is produced from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..core import HCompressProfiler
+from .common import ExperimentTable
+from .fig1_motivation import run_fig1
+from .fig3_anatomy import run_fig3
+from .fig4_internal import run_fig4a, run_fig4b
+from .fig5_compression_on_tiers import run_fig5
+from .fig6_tiers_on_compression import run_fig6
+from .fig7_vpic import run_fig7
+from .fig8_workflow import run_fig8
+
+__all__ = ["run_all", "render_markdown"]
+
+
+def run_all(fast: bool = False, verbose: bool = True) -> list[ExperimentTable]:
+    """Run every reproduced table/figure; returns their result tables."""
+    seed = HCompressProfiler(rng=np.random.default_rng(0)).quick_seed()
+    rng = np.random.default_rng(7)
+
+    if fast:
+        jobs = [
+            ("fig1", lambda: run_fig1(scale=64, nprocs=320, seed=seed, rng=rng)),
+            ("fig3", lambda: run_fig3(n_tasks=200, seed=seed, rng=rng)),
+            ("fig4a", lambda: run_fig4a(plans_per_size=500, seed=seed, rng=rng)),
+            (
+                "fig4b",
+                lambda: run_fig4b(tasks_per_distribution=1000, seed=seed, rng=rng),
+            ),
+            ("fig5", lambda: run_fig5(scale=64, seed=seed, rng=rng)),
+            ("fig6", lambda: run_fig6(scale=64, seed=seed, rng=rng)),
+            (
+                "fig7",
+                lambda: run_fig7(
+                    process_counts=(320, 2560), scale=64, seed=seed, rng=rng
+                ),
+            ),
+            (
+                "fig8",
+                lambda: run_fig8(
+                    process_counts=(320, 2560), scale=64, seed=seed, rng=rng
+                ),
+            ),
+        ]
+    else:
+        jobs = [
+            ("fig1", lambda: run_fig1(scale=64, seed=seed, rng=rng)),
+            ("fig3", lambda: run_fig3(seed=seed, rng=rng)),
+            ("fig4a", lambda: run_fig4a(seed=seed, rng=rng)),
+            ("fig4b", lambda: run_fig4b(seed=seed, rng=rng)),
+            ("fig5", lambda: run_fig5(seed=seed, rng=rng)),
+            ("fig6", lambda: run_fig6(seed=seed, rng=rng)),
+            ("fig7", lambda: run_fig7(scale=64, seed=seed, rng=rng)),
+            ("fig8", lambda: run_fig8(scale=64, seed=seed, rng=rng)),
+        ]
+
+    tables = []
+    for name, job in jobs:
+        t0 = time.perf_counter()
+        table = job()
+        if verbose:
+            print(
+                f"[{name}] done in {time.perf_counter() - t0:.1f}s",
+                file=sys.stderr,
+            )
+        tables.append(table)
+    return tables
+
+
+def render_markdown(tables: list[ExperimentTable], header: str = "") -> str:
+    parts = []
+    if header:
+        parts.append(header)
+    for table in tables:
+        parts.append(table.to_markdown())
+    return "\n\n".join(parts) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="shrunk sweeps")
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write markdown to this path"
+    )
+    args = parser.parse_args(argv)
+    tables = run_all(fast=args.fast)
+    text = render_markdown(tables)
+    if args.output:
+        args.output.write_text(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,19 @@
+"""Self-describing data formats: the h5lite container and record helpers."""
+
+from .h5lite import DatasetInfo, H5LiteFile, H5LiteWriter
+from .records import (
+    PARTICLE_FIELDS,
+    make_particles,
+    particle_dtype,
+    split_properties,
+)
+
+__all__ = [
+    "DatasetInfo",
+    "H5LiteFile",
+    "H5LiteWriter",
+    "PARTICLE_FIELDS",
+    "make_particles",
+    "particle_dtype",
+    "split_properties",
+]

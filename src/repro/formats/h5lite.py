@@ -1,0 +1,276 @@
+"""h5lite: a from-scratch self-describing array container.
+
+Stands in for HDF5 (DESIGN.md §2): typed named datasets, per-dataset
+attributes, chunked layout, and a magic-number header the Input Analyzer
+recognises for its metadata fast path. The layout is deliberately simple —
+a superblock, contiguous chunk data, and a JSON index trailer:
+
+    [magic 8B][version u16][index_offset u64]
+    [dataset 0 chunks][dataset 1 chunks]...
+    [JSON index][index length u64]
+
+The index records each dataset's name, dtype, shape, chunk table
+(offset, nbytes per chunk), and attributes.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO
+
+import numpy as np
+
+from ..analyzer import DataFormat, DataType, Distribution, MetadataHints
+from ..analyzer.format import H5LITE_MAGIC
+from ..errors import FormatError
+
+__all__ = ["H5LiteWriter", "H5LiteFile", "DatasetInfo"]
+
+_VERSION = 1
+_HEADER = struct.Struct("<8sHQ")
+_TRAILER = struct.Struct("<Q")
+DEFAULT_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """Index entry for one dataset.
+
+    ``dtype`` is a numpy type string for plain arrays or a field
+    description (list of [name, format] pairs) for structured records.
+    """
+
+    name: str
+    dtype: str | list
+    shape: tuple[int, ...]
+    chunks: tuple[tuple[int, int], ...]  # (offset, nbytes) pairs
+    attrs: dict
+
+    @property
+    def nbytes(self) -> int:
+        return sum(n for _, n in self.chunks)
+
+    def numpy_dtype(self) -> np.dtype:
+        if isinstance(self.dtype, str):
+            return np.dtype(self.dtype)
+        return np.dtype([tuple(field) for field in self.dtype])
+
+
+class H5LiteWriter:
+    """Streaming writer; datasets are chunked as they are written.
+
+    Use as a context manager, or call :meth:`close` explicitly — the index
+    is only written at close.
+    """
+
+    def __init__(
+        self,
+        target: str | Path | BinaryIO,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        if chunk_bytes < 1:
+            raise FormatError(f"chunk_bytes must be >= 1, got {chunk_bytes}")
+        if isinstance(target, (str, Path)):
+            self._fh: BinaryIO = open(target, "wb")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self._chunk_bytes = chunk_bytes
+        self._datasets: list[DatasetInfo] = []
+        self._closed = False
+        # Header placeholder; index offset patched at close.
+        self._fh.write(_HEADER.pack(H5LITE_MAGIC, _VERSION, 0))
+
+    def write_dataset(
+        self, name: str, array: np.ndarray, attrs: dict | None = None
+    ) -> DatasetInfo:
+        """Append one dataset; names must be unique within the file."""
+        if self._closed:
+            raise FormatError("writer is closed")
+        if any(d.name == name for d in self._datasets):
+            raise FormatError(f"dataset {name!r} already written")
+        array = np.ascontiguousarray(array)
+        # Structured dtypes serialise as their field description; plain
+        # dtypes as the numpy type string.
+        dtype_spec = (
+            [list(field) for field in array.dtype.descr]
+            if array.dtype.names
+            else array.dtype.str
+        )
+        raw = array.tobytes()
+        chunks = []
+        for start in range(0, max(len(raw), 1), self._chunk_bytes):
+            piece = raw[start : start + self._chunk_bytes]
+            offset = self._fh.tell()
+            self._fh.write(piece)
+            chunks.append((offset, len(piece)))
+        info = DatasetInfo(
+            name=name,
+            dtype=dtype_spec,
+            shape=tuple(int(s) for s in array.shape),
+            chunks=tuple(chunks),
+            attrs=dict(attrs or {}),
+        )
+        self._datasets.append(info)
+        return info
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        index = {
+            "datasets": [
+                {
+                    "name": d.name,
+                    "dtype": d.dtype,
+                    "shape": list(d.shape),
+                    "chunks": [list(c) for c in d.chunks],
+                    "attrs": d.attrs,
+                }
+                for d in self._datasets
+            ]
+        }
+        blob = json.dumps(index).encode("utf-8")
+        index_offset = self._fh.tell()
+        self._fh.write(blob)
+        self._fh.write(_TRAILER.pack(len(blob)))
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(H5LITE_MAGIC, _VERSION, index_offset))
+        self._fh.flush()
+        self._closed = True
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "H5LiteWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class H5LiteFile:
+    """Reader over a path, file object, or bytes."""
+
+    def __init__(self, source: str | Path | BinaryIO | bytes) -> None:
+        if isinstance(source, bytes):
+            self._fh: BinaryIO = io.BytesIO(source)
+            self._owns = False
+        elif isinstance(source, (str, Path)):
+            self._fh = open(source, "rb")
+            self._owns = True
+        else:
+            self._fh = source
+            self._owns = False
+        self._index = self._load_index()
+
+    def _load_index(self) -> dict[str, DatasetInfo]:
+        self._fh.seek(0)
+        head = self._fh.read(_HEADER.size)
+        if len(head) < _HEADER.size:
+            raise FormatError("h5lite: file shorter than superblock")
+        magic, version, index_offset = _HEADER.unpack(head)
+        if magic != H5LITE_MAGIC:
+            raise FormatError("h5lite: bad magic")
+        if version != _VERSION:
+            raise FormatError(f"h5lite: unsupported version {version}")
+        self._fh.seek(index_offset)
+        body = self._fh.read()
+        if len(body) < _TRAILER.size:
+            raise FormatError("h5lite: truncated index")
+        (blob_len,) = _TRAILER.unpack(body[-_TRAILER.size :])
+        blob = body[: -_TRAILER.size]
+        if len(blob) != blob_len:
+            raise FormatError(
+                f"h5lite: index length mismatch ({len(blob)} != {blob_len})"
+            )
+        try:
+            doc = json.loads(blob.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise FormatError(f"h5lite: corrupt index: {exc}") from exc
+        out = {}
+        for row in doc.get("datasets", []):
+            info = DatasetInfo(
+                name=row["name"],
+                dtype=row["dtype"],
+                shape=tuple(row["shape"]),
+                chunks=tuple((int(o), int(n)) for o, n in row["chunks"]),
+                attrs=row.get("attrs", {}),
+            )
+            out[info.name] = info
+        return out
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return list(self._index)
+
+    def info(self, name: str) -> DatasetInfo:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise FormatError(f"h5lite: no dataset named {name!r}") from None
+
+    def read(self, name: str) -> np.ndarray:
+        """Materialise a dataset as a numpy array."""
+        info = self.info(name)
+        parts = []
+        for offset, nbytes in info.chunks:
+            self._fh.seek(offset)
+            piece = self._fh.read(nbytes)
+            if len(piece) != nbytes:
+                raise FormatError(f"h5lite: dataset {name!r} chunk truncated")
+            parts.append(piece)
+        raw = b"".join(parts)
+        array = np.frombuffer(raw, dtype=info.numpy_dtype())
+        return array.reshape(info.shape)
+
+    def read_raw(self, name: str) -> bytes:
+        """Dataset bytes without reshaping (what an I/O kernel writes)."""
+        info = self.info(name)
+        parts = []
+        for offset, nbytes in info.chunks:
+            self._fh.seek(offset)
+            parts.append(self._fh.read(nbytes))
+        return b"".join(parts)
+
+    def attrs(self, name: str) -> dict:
+        return dict(self.info(name).attrs)
+
+    def hints(self, name: str) -> MetadataHints:
+        """Analyzer fast-path hints derived from the self-described index.
+
+        The dtype maps from the stored numpy dtype; the distribution comes
+        from a ``"distribution"`` attribute when the producer recorded one.
+        """
+        info = self.info(name)
+        np_dtype = info.numpy_dtype()
+        dtype_map = {
+            np.dtype(np.float64): DataType.FLOAT64,
+            np.dtype(np.float32): DataType.FLOAT32,
+            np.dtype(np.int64): DataType.INT64,
+            np.dtype(np.int32): DataType.INT32,
+        }
+        dtype = dtype_map.get(np_dtype, DataType.BYTES)
+        dist_attr = info.attrs.get("distribution")
+        distribution = None
+        if dist_attr is not None:
+            try:
+                distribution = Distribution(dist_attr)
+            except ValueError:
+                distribution = None
+        return MetadataHints(
+            dtype=dtype, data_format=DataFormat.H5LITE, distribution=distribution
+        )
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "H5LiteFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

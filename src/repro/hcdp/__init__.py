@@ -1,0 +1,25 @@
+"""HCDP: the hierarchical compression and data placement engine."""
+
+from .cost import CostBreakdown, CostModel
+from .engine import EngineStats, HcdpEngine
+from .priorities import ARCHIVAL_IO, ASYNC_IO, EQUAL, READ_AFTER_WRITE, Priority
+from .schema import Schema, SubTaskPlan, validate_schema
+from .task import IOTask, Operation, next_task_id
+
+__all__ = [
+    "ARCHIVAL_IO",
+    "ASYNC_IO",
+    "CostBreakdown",
+    "CostModel",
+    "EQUAL",
+    "EngineStats",
+    "HcdpEngine",
+    "IOTask",
+    "Operation",
+    "Priority",
+    "READ_AFTER_WRITE",
+    "Schema",
+    "SubTaskPlan",
+    "next_task_id",
+    "validate_schema",
+]

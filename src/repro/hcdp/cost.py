@@ -1,0 +1,121 @@
+"""The HCDP cost model — equations (3) and (4) of the paper.
+
+Uncompressed placement (eq. 3):
+
+    t(i, l) = latency_l + s_i / b_l
+
+Compressed placement (eq. 4):
+
+    t(i, l, c) = wc*tc + t(i, l) - wr * t(i, l) * (rc - 1) / rc + wd*td
+
+i.e. pay the (priority-weighted) compression time, start from the raw I/O
+time, recover the fraction of it that the ratio eliminates (weighted by the
+ratio priority), and charge the future decompression cost (weighted by the
+read priority). Setting wr = 1, wd = 0 recovers the physical write time of
+the compressed bytes; other weights bias the optimizer, not the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ccp.predictor import ExpectedCompressionCost
+from ..tiers.spec import TierSpec
+from ..units import MB
+from .priorities import EQUAL, Priority
+
+__all__ = ["CostModel", "CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """The components of one (task, tier, codec) evaluation."""
+
+    compression_time: float
+    io_time: float
+    io_time_saved: float
+    decompression_time: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.compression_time
+            + self.io_time
+            - self.io_time_saved
+            + self.decompression_time
+        )
+
+
+class CostModel:
+    """Priority-weighted task cost over (tier, codec) combinations.
+
+    Args:
+        priority: The (wc, wr, wd) weighting; defaults to the evaluation's
+            equal weighting.
+        load_factor: How strongly tier queue depth inflates I/O time. The
+            System Monitor's "load" signal enters the model as
+            ``io_time * (1 + load_factor * load / lanes)`` — 0 disables it.
+    """
+
+    def __init__(self, priority: Priority = EQUAL, load_factor: float = 1.0) -> None:
+        if load_factor < 0:
+            raise ValueError(f"load_factor must be >= 0, got {load_factor}")
+        self.priority = priority
+        self.load_factor = load_factor
+
+    def io_time(
+        self,
+        size: int,
+        tier: TierSpec,
+        load: int = 0,
+        queued_bytes: int = 0,
+    ) -> float:
+        """Eq. 3: t(i, l), plus the System Monitor's observed contention.
+
+        ``queued_bytes`` is the tier's in-flight backlog: a new arrival
+        queues behind it, so the expected service time adds
+        ``backlog / aggregate bandwidth`` (FCFS estimate). The dimensionless
+        ``load`` (queue depth over lanes) additionally inflates the per-op
+        term for latency-bound small I/O.
+        """
+        base = tier.latency + size / tier.lane_bandwidth
+        if load and self.load_factor:
+            base *= 1.0 + self.load_factor * load / tier.lanes
+        if queued_bytes and self.load_factor:
+            base += self.load_factor * queued_bytes / tier.bandwidth
+        return base
+
+    def place_cost(
+        self,
+        size: int,
+        tier: TierSpec,
+        ecc: ExpectedCompressionCost | None,
+        load: int = 0,
+        queued_bytes: int = 0,
+        drain_per_byte: float = 0.0,
+    ) -> CostBreakdown:
+        """Eq. 4 (or eq. 3 when ``ecc`` is None / identity).
+
+        ``drain_per_byte`` is the amortised drain cost of occupying one
+        byte of a *bounded* tier (see :meth:`HcdpEngine` — pressure x
+        concurrency / sink bandwidth). It is what teaches the per-task
+        optimizer that footprint is a shared, serial resource while
+        compression CPU is per-rank and parallel: without it, a greedy
+        task-local model never compresses into a roomy fast tier, and the
+        hierarchy fills with uncompressed bytes that all must eventually
+        cross the sink pipe.
+        """
+        raw_io = self.io_time(size, tier, load, queued_bytes)
+        wc, wr, wd = self.priority.as_tuple()
+        if ecc is None or ecc.codec == "none" or ecc.ratio <= 1.0:
+            return CostBreakdown(0.0, raw_io + wr * size * drain_per_byte, 0.0, 0.0)
+        tc = size / (ecc.compress_mbps * MB)
+        td = size / (ecc.decompress_mbps * MB)
+        saved = raw_io * (ecc.ratio - 1.0) / ecc.ratio
+        stored = size / ecc.ratio
+        return CostBreakdown(
+            compression_time=wc * tc,
+            io_time=raw_io + wr * stored * drain_per_byte,
+            io_time_saved=wr * saved,
+            decompression_time=wd * td,
+        )

@@ -1,0 +1,315 @@
+"""The Hierarchical Compression and Data Placement engine (paper §IV-F).
+
+Implements the recursive dynamic program of equations (1)-(2):
+
+    Match(i, l, c) = min( Place(i, l, c)                  if s_ic fits l,
+                          Place(i',l, c) + Match(a', l+1, c)   otherwise,
+                          Match(i, l+1, c),
+                          Match(i, l, c+1) )
+
+with memoization on (task size, tier index, codec index). Splits are cut at
+the 4096-byte grain (RAM page / NVMe block), which both aligns the I/O and
+makes sub-problems reusable across tasks — the property that gives the
+algorithm its practically-O(1) cost.
+
+Inputs come from the three sibling components exactly as in the paper:
+data attributes from the Input Analyzer, the expected-cost table from the
+Compression Cost Predictor, and remaining capacity / load / availability
+from the System Monitor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..ccp.predictor import CompressionCostPredictor, ExpectedCompressionCost
+from ..codecs.metadata import HEADER_SIZE
+from ..codecs.pool import CompressionLibraryPool
+from ..errors import PlacementError
+from ..monitor.system_monitor import SystemMonitor
+from ..units import PAGE, align_down
+from .cost import CostModel
+from .priorities import EQUAL, Priority
+from .schema import Schema, SubTaskPlan
+from .task import IOTask, Operation
+
+__all__ = ["HcdpEngine", "EngineStats"]
+
+_INF = math.inf
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine counters (Fig. 4(a)'s subject)."""
+
+    tasks_planned: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    pieces_emitted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.memo_hits + self.memo_misses
+        return self.memo_hits / total if total else 0.0
+
+
+class HcdpEngine:
+    """Hierarchy-aware compression + placement optimizer.
+
+    Args:
+        predictor: Fitted cost model supplying ECC tuples.
+        monitor: System Monitor over the target hierarchy.
+        pool: Codec roster ("none" must be member 0, which the pool
+            guarantees).
+        priority: Workload priority weights (Table II).
+        grain: Split alignment in bytes (the paper's 4096).
+        load_factor: Queue-depth sensitivity of the cost model.
+        drain_penalty: Scale of the amortised capacity-pressure term
+            (0 disables it; see the ablation bench). Occupying a bounded
+            tier is charged ``pressure x concurrency / sink bandwidth``
+            per stored byte, reflecting that everything buffered above the
+            sink must eventually cross the sink's (shared, serial) pipe.
+        allow_identity: Keep "no compression" in the choice set (paper
+            §IV-F1 insists on it; disable only for the ablation study).
+    """
+
+    def __init__(
+        self,
+        predictor: CompressionCostPredictor,
+        monitor: SystemMonitor,
+        pool: CompressionLibraryPool,
+        priority: Priority = EQUAL,
+        grain: int = PAGE,
+        load_factor: float = 1.0,
+        drain_penalty: float = 1.0,
+        allow_identity: bool = True,
+    ) -> None:
+        if grain < 1:
+            raise ValueError(f"grain must be >= 1, got {grain}")
+        if drain_penalty < 0:
+            raise ValueError(f"drain_penalty must be >= 0, got {drain_penalty}")
+        self.predictor = predictor
+        self.monitor = monitor
+        self.pool = pool
+        self.grain = grain
+        self.drain_penalty = drain_penalty
+        self.allow_identity = allow_identity
+        self.cost_model = CostModel(priority=priority, load_factor=load_factor)
+        self.stats = EngineStats()
+        # Sticky pressure signals: a bulk-synchronous burst plans before its
+        # own I/O lands, so instantaneous load/fill underestimate the true
+        # contention. Cumulative planned bytes and the peak observed
+        # concurrency are monotone and warm up within the first burst.
+        self._planned_bytes = 0
+        self._peak_concurrency = 1
+
+    @property
+    def priority(self) -> Priority:
+        return self.cost_model.priority
+
+    def set_priority(self, priority: Priority) -> None:
+        """Runtime priority swap (the paper's dynamic reconfiguration)."""
+        self.cost_model = CostModel(
+            priority=priority, load_factor=self.cost_model.load_factor
+        )
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, task: IOTask) -> Schema:
+        """Produce the optimal compression/placement schema for a write task."""
+        if task.operation != Operation.WRITE:
+            raise PlacementError(
+                "the HCDP engine plans write tasks; reads are driven by "
+                "sub-task metadata"
+            )
+        schema = Schema(task=task)
+        if task.size == 0:
+            self.stats.tasks_planned += 1
+            return schema
+
+        status = self.monitor.status()
+        hierarchy = self.monitor.hierarchy
+        specs = [tier.spec for tier in hierarchy]
+        levels = len(specs)
+        remaining: list[float] = []
+        loads: list[int] = []
+        queued: list[int] = []
+        usable: list[bool] = []
+        for tier_status in status.tiers:
+            rem = tier_status.effective_remaining()
+            remaining.append(_INF if rem is None else float(rem))
+            loads.append(tier_status.load)
+            queued.append(tier_status.queued_bytes)
+            usable.append(tier_status.available)
+
+        # Capacity-pressure drain cost (per stored byte on bounded tiers):
+        # write-saturation of the bounded hierarchy x observed concurrency,
+        # divided by the sink's aggregate bandwidth.
+        self._planned_bytes += task.size
+        self._peak_concurrency = max(self._peak_concurrency, sum(loads) + 1)
+        drain_per_byte = 0.0
+        if self.drain_penalty:
+            bounded_cap = sum(
+                s.capacity for s in specs if s.capacity is not None
+            )
+            if bounded_cap:
+                pressure = min(1.0, self._planned_bytes / bounded_cap)
+                sink_bw = specs[-1].bandwidth
+                drain_per_byte = (
+                    self.drain_penalty
+                    * pressure
+                    * self._peak_concurrency
+                    / sink_bw
+                )
+
+        # ECC table for this input; constraint 4 drops sub-unity codecs.
+        dtype, data_format, distribution = task.analysis.feature_key()
+        candidates: list[tuple[str, ExpectedCompressionCost | None]] = (
+            [("none", None)] if self.allow_identity else []
+        )
+        for name in self.pool.names[1:]:
+            ecc = self.predictor.predict(
+                _key(dtype, data_format, distribution, name, task.size)
+            )
+            if ecc.ratio >= 1.0:
+                candidates.append((name, ecc))
+        n_codecs = len(candidates)
+
+        memo: dict[tuple[int, int, int], tuple[float, tuple]] = {}
+
+        def match(size: int, level: int, codec: int) -> tuple[float, tuple]:
+            if level >= levels or codec >= n_codecs:
+                return _INF, ("infeasible",)
+            key = (size, level, codec)
+            hit = memo.get(key)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                return hit
+            self.stats.memo_misses += 1
+
+            best_cost = _INF
+            best_action: tuple = ("infeasible",)
+            if usable[level]:
+                name, ecc = candidates[codec]
+                ratio = ecc.ratio if ecc is not None else 1.0
+                stored = _stored_size(size, ratio)
+                spec = specs[level]
+                load = loads[level]
+                # The drain term applies to every tier uniformly: a byte
+                # stored anywhere above the sink eventually crosses the
+                # sink's pipe, and a byte placed on the sink crosses it
+                # immediately — exempting either would bias placement.
+                if stored <= remaining[level]:
+                    cost = self.cost_model.place_cost(
+                        size, spec, ecc, load, queued[level], drain_per_byte
+                    ).total
+                    if cost < best_cost:
+                        best_cost, best_action = cost, ("place",)
+                else:
+                    usable_bytes = remaining[level] - HEADER_SIZE
+                    fit = align_down(max(int(usable_bytes * ratio), 0), self.grain)
+                    if 0 < fit < size:
+                        head = self.cost_model.place_cost(
+                            fit, spec, ecc, load, queued[level], drain_per_byte
+                        ).total
+                        tail, _ = match(size - fit, level + 1, codec)
+                        cost = head + tail
+                        if cost < best_cost:
+                            best_cost, best_action = cost, ("split", fit)
+
+            down_cost, _ = match(size, level + 1, codec)
+            if down_cost < best_cost:
+                best_cost, best_action = down_cost, ("next_tier",)
+            side_cost, _ = match(size, level, codec + 1)
+            if side_cost < best_cost:
+                best_cost, best_action = side_cost, ("next_codec",)
+
+            memo[key] = (best_cost, best_action)
+            return best_cost, best_action
+
+        total_cost, _ = match(task.size, 0, 0)
+        if not math.isfinite(total_cost):
+            raise PlacementError(
+                f"task {task.task_id}: no feasible placement "
+                f"({task.size} bytes across {levels} tiers)"
+            )
+
+        # Reconstruct the decision path into schema pieces.
+        size, offset, level, codec = task.size, 0, 0, 0
+        while size > 0:
+            _, action = memo[(size, level, codec)]
+            kind = action[0]
+            if kind == "place":
+                self._emit(
+                    schema, offset, size, level, codec, candidates, specs,
+                    loads, queued, drain_per_byte,
+                )
+                break
+            if kind == "split":
+                fit = action[1]
+                self._emit(
+                    schema, offset, fit, level, codec, candidates, specs,
+                    loads, queued, drain_per_byte,
+                )
+                offset += fit
+                size -= fit
+                level += 1
+            elif kind == "next_tier":
+                level += 1
+            elif kind == "next_codec":
+                codec += 1
+            else:  # pragma: no cover - guarded by the finiteness check
+                raise PlacementError(f"unexpected action {action!r}")
+
+        schema.expected_cost = total_cost
+        schema.memo_hits = self.stats.memo_hits
+        schema.memo_misses = self.stats.memo_misses
+        self.stats.tasks_planned += 1
+        self.stats.pieces_emitted += len(schema.pieces)
+        return schema
+
+    def _emit(
+        self,
+        schema: Schema,
+        offset: int,
+        length: int,
+        level: int,
+        codec: int,
+        candidates: list[tuple[str, ExpectedCompressionCost | None]],
+        specs,
+        loads,
+        queued,
+        drain_per_byte: float,
+    ) -> None:
+        name, ecc = candidates[codec]
+        ratio = ecc.ratio if ecc is not None else 1.0
+        cost = self.cost_model.place_cost(
+            length, specs[level], ecc, loads[level], queued[level], drain_per_byte
+        )
+        schema.pieces.append(
+            SubTaskPlan(
+                offset=offset,
+                length=length,
+                tier=specs[level].name,
+                tier_level=level,
+                codec=name,
+                expected_ratio=max(ratio, 1.0),
+                expected_stored_size=_stored_size(length, ratio),
+                expected_cost=cost.total,
+            )
+        )
+
+
+def _stored_size(size: int, ratio: float) -> int:
+    """Expected stored footprint of ``size`` bytes at compression ``ratio``,
+    including the 16-byte sub-task metadata header."""
+    if ratio <= 1.0:
+        return size + HEADER_SIZE
+    return max(1, math.ceil(size / ratio)) + HEADER_SIZE
+
+
+def _key(dtype, data_format, distribution, codec, size):
+    from ..ccp.features import ObservationKey
+
+    return ObservationKey(dtype, data_format, distribution, codec, size)

@@ -1,0 +1,57 @@
+"""Workload compression priorities (paper §IV-F2, Table II).
+
+The cost function weights its three components — compression time,
+decompression time, and the I/O reduction earned by the ratio — by a
+user-configurable priority triple. Presets reproduce the paper's Table II;
+advanced users construct their own and can swap it at runtime through the
+HCompress API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Priority", "ASYNC_IO", "ARCHIVAL_IO", "READ_AFTER_WRITE", "EQUAL"]
+
+
+@dataclass(frozen=True)
+class Priority:
+    """Weights (wc, wr, wd) for compression time, ratio benefit, and
+    decompression time.
+
+    All weights must be non-negative and at least one positive; they are
+    *not* required to sum to 1 (Table II's rows do, but the cost function
+    only needs relative magnitudes).
+    """
+
+    compression: float
+    ratio: float
+    decompression: float
+
+    def __post_init__(self) -> None:
+        weights = (self.compression, self.ratio, self.decompression)
+        if any(w < 0 for w in weights):
+            raise ValueError(f"priority weights must be >= 0, got {weights}")
+        if all(w == 0 for w in weights):
+            raise ValueError("at least one priority weight must be positive")
+
+    def as_tuple(self) -> tuple[float, float, float]:
+        return (self.compression, self.ratio, self.decompression)
+
+
+#: Table II: asynchronous I/O — only compression speed matters (the flush
+#: is hidden, and the data is re-read rarely).
+ASYNC_IO = Priority(compression=1.0, ratio=0.0, decompression=0.0)
+
+#: Table II: archival I/O — pure footprint.
+ARCHIVAL_IO = Priority(compression=0.0, ratio=1.0, decompression=0.0)
+
+#: Table II: read-after-write workflows — balanced with a ratio lean.
+READ_AFTER_WRITE = Priority(compression=0.3, ratio=0.4, decompression=0.3)
+
+#: The evaluation default (§V-A2: "workload priority equal for compression
+#: metrics, unless specified otherwise"). All-ones rather than all-thirds:
+#: the raw I/O term of eq. 4 is unweighted, so only unit weights make the
+#: cost equal the physical task time; any other *equal* weighting skews the
+#: codec-vs-I/O trade-off, not just its scale.
+EQUAL = Priority(compression=1.0, ratio=1.0, decompression=1.0)

@@ -1,0 +1,73 @@
+"""I/O task representation.
+
+The paper transforms every I/O request into a task — a (data buffer,
+operation) tuple. The engine plans against the task's *modeled* size and
+analyzed attributes; the optional sample buffer carries real bytes for the
+compression manager to run codecs on (representative-sample scaling,
+DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..analyzer import InputAnalysis
+from ..errors import SchemaError
+
+__all__ = ["IOTask", "Operation", "next_task_id"]
+
+_task_counter = itertools.count()
+
+
+def next_task_id(prefix: str = "task") -> str:
+    """Process-unique task id."""
+    return f"{prefix}-{next(_task_counter)}"
+
+
+class Operation:
+    """Task operation kinds (string constants, not an enum, for cheap use
+    in hot paths)."""
+
+    WRITE = "write"  # compress + write
+    READ = "read"  # read + decompress
+
+    ALL = (WRITE, READ)
+
+
+@dataclass(frozen=True)
+class IOTask:
+    """One I/O request as seen by the engine.
+
+    Attributes:
+        task_id: Unique id; doubles as the blob key prefix in the tiers.
+        size: Modeled task size in bytes (what capacity/time accounting
+            uses).
+        analysis: Input Analyzer output for the task's data.
+        operation: :attr:`Operation.WRITE` or :attr:`Operation.READ`.
+        data: Optional real buffer. When present and equal in length to
+            ``size`` the task is fully materialised; when shorter it is a
+            representative sample of the modeled payload.
+    """
+
+    task_id: str
+    size: int
+    analysis: InputAnalysis
+    operation: str = Operation.WRITE
+    data: bytes | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SchemaError(f"task size must be >= 0, got {self.size}")
+        if self.operation not in Operation.ALL:
+            raise SchemaError(f"unknown operation {self.operation!r}")
+        if self.data is not None and len(self.data) > self.size:
+            raise SchemaError(
+                f"sample ({len(self.data)} B) larger than modeled size "
+                f"({self.size} B)"
+            )
+
+    @property
+    def materialised(self) -> bool:
+        """True when the task carries its full payload."""
+        return self.data is not None and len(self.data) == self.size

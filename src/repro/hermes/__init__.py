@@ -1,0 +1,24 @@
+"""Hermes baseline: multi-tier buffering with pluggable placement, and the
+placement-then-compression adapter the paper compares against."""
+
+from .adapters import HermesWithStaticCompression
+from .buffering import BufferedTask, BufferReceipt, HermesBuffering
+from .dpe import (
+    DataPlacementEngine,
+    MaxBandwidthDpe,
+    MinIoTimeDpe,
+    RandomDpe,
+    RoundRobinDpe,
+)
+
+__all__ = [
+    "BufferReceipt",
+    "BufferedTask",
+    "DataPlacementEngine",
+    "HermesBuffering",
+    "HermesWithStaticCompression",
+    "MaxBandwidthDpe",
+    "MinIoTimeDpe",
+    "RandomDpe",
+    "RoundRobinDpe",
+]

@@ -1,0 +1,221 @@
+"""Hermes + static compression (the paper's Fig. 5 comparator).
+
+Reproduces the exact behaviour the paper critiques: Hermes solves data
+placement on the **uncompressed** task size, and only then is a single,
+fixed compression library applied to each placed piece. Placement reserves
+capacity in uncompressed bytes, so tiers end up under-utilised (Hermes with
+lz4 leaves most of RAM's reserved budget holding nothing), while the actual
+stored footprint is the compressed size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ccp.seed import CostObservation  # noqa: F401  (re-export convenience)
+from ..codecs.metadata import HEADER_SIZE
+from ..codecs.pool import CompressionLibraryPool
+from ..errors import CapacityError, TierError
+from ..monitor import SystemMonitor
+from ..tiers import StorageHierarchy
+from ..units import MB
+from .buffering import BufferedTask, BufferReceipt
+from .dpe import DataPlacementEngine, MaxBandwidthDpe
+
+__all__ = ["HermesWithStaticCompression"]
+
+
+@dataclass
+class _Reservation:
+    """Uncompressed-byte ledger Hermes plans against, per tier."""
+
+    reserved: dict[str, int] = field(default_factory=dict)
+
+    def add(self, tier: str, nbytes: int) -> None:
+        self.reserved[tier] = self.reserved.get(tier, 0) + nbytes
+
+    def release(self, tier: str, nbytes: int) -> None:
+        self.reserved[tier] = max(self.reserved.get(tier, 0) - nbytes, 0)
+
+
+class HermesWithStaticCompression:
+    """Placement-then-compression baseline (STWC/Fig.-5 "Hermes + codec").
+
+    Args:
+        hierarchy: Target tier stack.
+        codec: The single library applied everywhere (the paper sweeps
+            this across the pool).
+        dpe: Hermes placement policy.
+        sample_ratio_source: When tasks are modeled (no full payload), a
+            callable ``(codec_name, sample) -> ratio`` used to extrapolate
+            footprints; defaults to measuring the codec on the sample.
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        codec: str,
+        dpe: DataPlacementEngine | None = None,
+        monitor: SystemMonitor | None = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.pool = CompressionLibraryPool()
+        if codec not in self.pool.names:
+            raise TierError(f"codec {codec!r} not in the pool")
+        self.codec_name = codec
+        self.dpe = dpe if dpe is not None else MaxBandwidthDpe()
+        self.monitor = monitor if monitor is not None else SystemMonitor(hierarchy)
+        self._reservations = _Reservation()
+        self._tasks: dict[str, BufferedTask] = {}
+        self._ratio_cache: dict[int, float] = {}
+
+    # -- placement with the uncompressed-size ledger --------------------------
+
+    def _planning_status(self):
+        """Monitor snapshot with Hermes's own reservations subtracted.
+
+        The tiers' real ``used`` reflects compressed bytes; Hermes believes
+        its reservations are the occupancy, which is the under-utilisation
+        the paper measures.
+        """
+        status = self.monitor.sample()
+        tiers = []
+        for tier_status in status.tiers:
+            reserved = self._reservations.reserved.get(tier_status.name, 0)
+            if tier_status.remaining is None:
+                adjusted = None
+            else:
+                capacity = tier_status.remaining + tier_status.used
+                adjusted = max(capacity - reserved, 0)
+            tiers.append(
+                type(tier_status)(
+                    name=tier_status.name,
+                    level=tier_status.level,
+                    available=tier_status.available,
+                    load=tier_status.load,
+                    remaining=adjusted,
+                    used=reserved,
+                )
+            )
+        return type(status)(time=status.time, tiers=tuple(tiers))
+
+    def ratio_for(self, sample: bytes) -> float:
+        """Measured ratio of the static codec on a sample (cached)."""
+        if self.codec_name == "none":
+            return 1.0
+        key = hash(sample[:256]) ^ len(sample)
+        cached = self._ratio_cache.get(key)
+        if cached is None:
+            codec = self.pool.codec(self.codec_name)
+            payload = codec.compress(sample)
+            cached = len(sample) / max(len(payload), 1)
+            self._ratio_cache[key] = cached
+        return cached
+
+    def put(
+        self, task_id: str, size: int, data: bytes | None = None
+    ) -> BufferedTask:
+        """Place (by uncompressed size) then compress each piece."""
+        if task_id in self._tasks:
+            raise TierError(f"task {task_id!r} already buffered")
+        placements = self.dpe.place(size, self._planning_status())
+        record = BufferedTask(task_id=task_id, size=size)
+        materialised = data is not None and len(data) == size
+        sample = data if data else b""
+        profile = self.pool.profile(self.codec_name)
+        codec = self.pool.codec(self.codec_name)
+
+        offset = 0
+        for index, (tier_name, nbytes) in enumerate(placements):
+            key = f"{task_id}/{index}"
+            tier = self.hierarchy.by_name(tier_name)
+            if materialised:
+                piece = data[offset : offset + nbytes]
+                payload = codec.compress(piece)
+                blob: bytes | None = payload
+                stored = len(payload) + HEADER_SIZE
+            else:
+                ratio = self.ratio_for(sample) if sample else 1.0
+                blob = None
+                stored = max(int(nbytes / max(ratio, 1e-9)), 1) + HEADER_SIZE
+            if not tier.fits(stored):
+                # The codec expanded the piece (stored-mode fallback plus
+                # the header) past what the uncompressed reservation left;
+                # spill downward exactly as the runtime would.
+                level = self.hierarchy.level_of(tier_name)
+                tier = None
+                for lower in range(level + 1, len(self.hierarchy)):
+                    candidate = self.hierarchy[lower]
+                    if candidate.fits(stored):
+                        tier = candidate
+                        tier_name = candidate.spec.name
+                        break
+                if tier is None:
+                    raise CapacityError(
+                        f"compressed piece ({stored} B) fits no tier at or "
+                        f"below the planned one"
+                    )
+            tier.put(key, blob, accounted_size=stored)
+            self._reservations.add(tier_name, nbytes)
+            comp_seconds = (
+                nbytes / (profile.compress_mbps * MB)
+                if self.codec_name != "none"
+                else 0.0
+            )
+            record.receipts.append(
+                BufferReceipt(
+                    key=key,
+                    tier=tier_name,
+                    nbytes=nbytes,
+                    stored_size=stored,
+                    io_seconds=tier.spec.io_seconds(stored),
+                    compress_seconds=comp_seconds,
+                )
+            )
+            offset += nbytes
+        self._tasks[task_id] = record
+        return record
+
+    def get(self, task_id: str) -> tuple[bytes | None, float, float]:
+        """Read back: (data or None, io seconds, decompress seconds)."""
+        record = self._task(task_id)
+        profile = self.pool.profile(self.codec_name)
+        codec = self.pool.codec(self.codec_name)
+        io_seconds = 0.0
+        decompress_seconds = 0.0
+        parts: list[bytes] = []
+        have_payload = True
+        for receipt in record.receipts:
+            tier = self.hierarchy.find(receipt.key)
+            if tier is None:
+                raise TierError(f"piece {receipt.key!r} missing from every tier")
+            extent = tier.extent(receipt.key)
+            io_seconds += tier.spec.io_seconds(extent.accounted_size)
+            if self.codec_name != "none":
+                decompress_seconds += receipt.nbytes / (
+                    profile.decompress_mbps * MB
+                )
+            if extent.has_payload:
+                parts.append(codec.decompress(tier.get(receipt.key)))
+            else:
+                have_payload = False
+        data = b"".join(parts) if have_payload else None
+        return data, io_seconds, decompress_seconds
+
+    def evict(self, task_id: str) -> int:
+        record = self._task(task_id)
+        released = 0
+        for receipt in record.receipts:
+            released += self.hierarchy.by_name(receipt.tier).evict(receipt.key)
+            self._reservations.release(receipt.tier, receipt.nbytes)
+        del self._tasks[task_id]
+        return released
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def _task(self, task_id: str) -> BufferedTask:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None

@@ -1,0 +1,153 @@
+"""Hermes-like multi-tiered I/O buffering (the paper's MTNC baseline).
+
+Places task data into the hierarchy through a pluggable DPE, with no data
+reduction whatsoever — compression belongs to the adapters module. Keeps
+the same receipts shape as the Compression Manager so experiment harnesses
+can drive either engine interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import TierError
+from ..monitor import SystemMonitor
+from ..tiers import StorageHierarchy
+from .dpe import DataPlacementEngine, MaxBandwidthDpe
+
+__all__ = ["HermesBuffering", "BufferReceipt", "BufferedTask"]
+
+
+@dataclass(frozen=True)
+class BufferReceipt:
+    """One placed piece: where it went and its modeled I/O time."""
+
+    key: str
+    tier: str
+    nbytes: int
+    stored_size: int
+    io_seconds: float
+    compress_seconds: float = 0.0
+
+
+@dataclass
+class BufferedTask:
+    """All receipts of one buffered task."""
+
+    task_id: str
+    size: int
+    receipts: list[BufferReceipt] = field(default_factory=list)
+
+    @property
+    def total_stored(self) -> int:
+        return sum(r.stored_size for r in self.receipts)
+
+    @property
+    def io_seconds(self) -> float:
+        return sum(r.io_seconds for r in self.receipts)
+
+    @property
+    def compress_seconds(self) -> float:
+        return sum(r.compress_seconds for r in self.receipts)
+
+
+class HermesBuffering:
+    """Multi-tier buffering without compression.
+
+    Args:
+        hierarchy: Target tier stack.
+        dpe: Placement policy (MaxBandwidth, the Hermes default, if None).
+        monitor: Optional shared monitor; a private one is created
+            otherwise.
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        dpe: DataPlacementEngine | None = None,
+        monitor: SystemMonitor | None = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.dpe = dpe if dpe is not None else MaxBandwidthDpe()
+        self.monitor = monitor if monitor is not None else SystemMonitor(hierarchy)
+        self._tasks: dict[str, BufferedTask] = {}
+
+    def put(
+        self, task_id: str, size: int, data: bytes | None = None
+    ) -> BufferedTask:
+        """Place one task's bytes into the hierarchy (uncompressed).
+
+        ``data`` (when provided and full-length) is stored; otherwise only
+        capacity accounting happens (modeled runs).
+        """
+        if task_id in self._tasks:
+            raise TierError(f"task {task_id!r} already buffered")
+        placements = self.dpe.place(size, self.monitor.sample())
+        record = BufferedTask(task_id=task_id, size=size)
+        offset = 0
+        for index, (tier_name, nbytes) in enumerate(placements):
+            key = f"{task_id}/{index}"
+            tier = self.hierarchy.by_name(tier_name)
+            payload = None
+            if data is not None and len(data) == size:
+                payload = data[offset : offset + nbytes]
+            tier.put(key, payload, accounted_size=nbytes)
+            record.receipts.append(
+                BufferReceipt(
+                    key=key,
+                    tier=tier_name,
+                    nbytes=nbytes,
+                    stored_size=nbytes,
+                    io_seconds=tier.spec.io_seconds(nbytes),
+                )
+            )
+            offset += nbytes
+        self._tasks[task_id] = record
+        return record
+
+    def get(self, task_id: str) -> tuple[bytes | None, float]:
+        """Read a buffered task back; returns (data or None, io seconds).
+
+        Pieces are located dynamically: the background flusher may have
+        moved them to a lower tier since they were written.
+        """
+        record = self._task(task_id)
+        io_seconds = 0.0
+        parts: list[bytes] = []
+        have_payload = True
+        for receipt in record.receipts:
+            tier = self.hierarchy.find(receipt.key)
+            if tier is None:
+                raise TierError(f"piece {receipt.key!r} missing from every tier")
+            extent = tier.extent(receipt.key)
+            io_seconds += tier.spec.io_seconds(extent.accounted_size)
+            if extent.has_payload:
+                parts.append(tier.get(receipt.key))
+            else:
+                have_payload = False
+        return (b"".join(parts) if have_payload else None), io_seconds
+
+    def locate(self, key: str):
+        """Current tier of a piece (pieces migrate as the flusher drains)."""
+        return self.hierarchy.find(key)
+
+    def evict(self, task_id: str) -> int:
+        """Drop a task from the hierarchy; returns released bytes."""
+        record = self._task(task_id)
+        released = 0
+        for receipt in record.receipts:
+            released += self.hierarchy.by_name(receipt.tier).evict(receipt.key)
+        del self._tasks[task_id]
+        return released
+
+    def __contains__(self, task_id: str) -> bool:
+        return task_id in self._tasks
+
+    def task(self, task_id: str) -> BufferedTask:
+        return self._task(task_id)
+
+    def _task(self, task_id: str) -> BufferedTask:
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None

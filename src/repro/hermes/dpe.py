@@ -1,0 +1,144 @@
+"""Hermes-style Data Placement Engines (DPE).
+
+Hermes (HPDC'18) places incoming buffers into the tier hierarchy without
+any data reduction; its placement policies are reproduced here as the
+baseline HCompress is compared against. Every policy sees the same
+:class:`SystemStatus` snapshot the HCDP engine does, but decides on
+**uncompressed** sizes — the under-utilisation the paper's Fig. 5 exposes.
+
+Policies return a list of (tier name, nbytes) placements that exactly tile
+the request.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..errors import CapacityError
+from ..monitor.system_monitor import SystemStatus
+from ..units import PAGE, align_down
+
+__all__ = [
+    "DataPlacementEngine",
+    "MaxBandwidthDpe",
+    "RoundRobinDpe",
+    "RandomDpe",
+    "MinIoTimeDpe",
+]
+
+
+class DataPlacementEngine(abc.ABC):
+    """Base class: split a request across tiers using a placement policy."""
+
+    grain: int = PAGE
+
+    @abc.abstractmethod
+    def place(self, size: int, status: SystemStatus) -> list[tuple[str, int]]:
+        """Tile ``size`` bytes over the hierarchy; raises
+        :class:`CapacityError` when the stack cannot hold the request."""
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _usable(self, status: SystemStatus) -> list[tuple[str, float]]:
+        """(tier, remaining) for available tiers, hierarchy order."""
+        out = []
+        for tier in status.tiers:
+            remaining = tier.effective_remaining()
+            out.append((tier.name, float("inf") if remaining is None else remaining))
+        return out
+
+    def _fill_order(
+        self, size: int, order: list[tuple[str, float]]
+    ) -> list[tuple[str, int]]:
+        """Greedy fill following ``order``, grain-aligned splits."""
+        placements: list[tuple[str, int]] = []
+        left = size
+        for name, remaining in order:
+            if left <= 0:
+                break
+            if remaining <= 0:
+                continue
+            if left <= remaining:
+                placements.append((name, left))
+                left = 0
+                break
+            take = align_down(int(remaining), self.grain)
+            if take <= 0:
+                continue
+            placements.append((name, take))
+            left -= take
+        if left > 0:
+            raise CapacityError(
+                f"hierarchy cannot hold {size} bytes ({left} left unplaced)"
+            )
+        return placements
+
+
+class MaxBandwidthDpe(DataPlacementEngine):
+    """Hermes's default: fill the fastest (topmost) tiers first."""
+
+    def place(self, size: int, status: SystemStatus) -> list[tuple[str, int]]:
+        if size == 0:
+            return []
+        return self._fill_order(size, self._usable(status))
+
+
+class RoundRobinDpe(DataPlacementEngine):
+    """Rotate the starting tier per request (load spreading)."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def place(self, size: int, status: SystemStatus) -> list[tuple[str, int]]:
+        if size == 0:
+            return []
+        usable = self._usable(status)
+        start = self._next % len(usable)
+        self._next += 1
+        rotated = usable[start:] + usable[:start]
+        # Unbounded trailing tiers stay last so rotation cannot starve
+        # the upper tiers permanently.
+        return self._fill_order(size, rotated)
+
+
+class RandomDpe(DataPlacementEngine):
+    """Uniformly random starting tier among those with room."""
+
+    def __init__(self, rng: np.random.Generator | None = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def place(self, size: int, status: SystemStatus) -> list[tuple[str, int]]:
+        if size == 0:
+            return []
+        usable = self._usable(status)
+        candidates = [i for i, (_, rem) in enumerate(usable) if rem > 0]
+        if not candidates:
+            raise CapacityError(f"no tier has room for {size} bytes")
+        start = int(self._rng.choice(candidates))
+        rotated = usable[start:] + usable[:start]
+        return self._fill_order(size, rotated)
+
+
+class MinIoTimeDpe(DataPlacementEngine):
+    """Pick the tier minimising modeled I/O time (latency + size/bw,
+    inflated by observed load), spilling by the same criterion."""
+
+    def __init__(self, specs_by_name: dict) -> None:
+        self._specs = specs_by_name
+
+    def place(self, size: int, status: SystemStatus) -> list[tuple[str, int]]:
+        if size == 0:
+            return []
+        usable = self._usable(status)
+
+        def cost(entry: tuple[str, float]) -> float:
+            name, _ = entry
+            spec = self._specs[name]
+            tier_status = status.tier(name)
+            base = spec.latency + size / spec.lane_bandwidth
+            return base * (1.0 + tier_status.load / spec.lanes)
+
+        ordered = sorted(usable, key=cost)
+        return self._fill_order(size, ordered)

@@ -1,0 +1,139 @@
+"""Asynchronous tier draining (Hermes's buffering core).
+
+Multi-tiered buffering works because the upper tiers are *emptied* while
+the application computes: a background flusher moves the oldest extents of
+any tier that crosses its high-water mark down the hierarchy, paying real
+(simulated) I/O on both ends. Both the Hermes baseline and HCompress run on
+top of this mechanism — for HCompress, the flushed bytes are the compressed
+footprint, which is precisely why compression multiplies the value of the
+hierarchy (the paper's central claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import TierError
+from ..sim import IO, Delay
+from ..tiers import StorageHierarchy, Tier
+
+__all__ = ["TierFlusher", "FlushStats"]
+
+
+@dataclass
+class FlushStats:
+    """Cumulative flusher counters."""
+
+    moves: int = 0
+    bytes_moved: int = 0
+    polls: int = 0
+
+
+class TierFlusher:
+    """Background drain process over a hierarchy.
+
+    Args:
+        hierarchy: The managed tier stack. Only bounded tiers are drained;
+            the terminal (unbounded) tier is the sink.
+        high_water: Fill fraction that triggers draining.
+        low_water: Fill fraction draining stops at.
+        poll_seconds: Sleep between checks when nothing needs draining.
+        batch_moves: Max extents moved per wake-up (bounds event pressure).
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        high_water: float = 0.7,
+        low_water: float = 0.4,
+        poll_seconds: float = 0.05,
+        batch_moves: int = 8,
+    ) -> None:
+        if not 0.0 < low_water < high_water <= 1.0:
+            raise TierError(
+                f"need 0 < low_water < high_water <= 1, got "
+                f"{low_water}/{high_water}"
+            )
+        if poll_seconds <= 0:
+            raise TierError("poll_seconds must be positive")
+        if batch_moves < 1:
+            raise TierError("batch_moves must be >= 1")
+        self.hierarchy = hierarchy
+        self.high_water = high_water
+        self.low_water = low_water
+        self.poll_seconds = poll_seconds
+        self.batch_moves = batch_moves
+        self.stats = FlushStats()
+        # FIFO order per tier: first-placed extents flush first (they are
+        # the least likely to be re-read while still hot).
+        self._fifo: dict[str, list[str]] = {}
+
+    def _fill(self, tier: Tier) -> float:
+        if tier.spec.capacity in (None, 0):
+            return 0.0
+        return tier.used / tier.spec.capacity
+
+    def _next_victim(self, tier: Tier) -> str | None:
+        queue = self._fifo.setdefault(tier.spec.name, [])
+        # Lazily refresh from the tier's extents, preserving FIFO for keys
+        # we have already seen.
+        seen = set(queue)
+        for key in tier.keys():
+            if key not in seen:
+                queue.append(key)
+        while queue:
+            key = queue[0]
+            if key in tier:
+                return key
+            queue.pop(0)  # evicted/moved by someone else
+        return None
+
+    def _destination(self, level: int, nbytes: int) -> Tier | None:
+        for lower in range(level + 1, len(self.hierarchy)):
+            tier = self.hierarchy[lower]
+            if tier.available and tier.fits(nbytes):
+                return tier
+        return None
+
+    def process(self):
+        """The daemon generator: run via ``sim.add_process(..., daemon=True)``."""
+        while True:
+            moved = 0
+            for level in range(len(self.hierarchy) - 1):
+                tier = self.hierarchy[level]
+                if not tier.spec.bounded:
+                    continue
+                while (
+                    self._fill(tier) > self.high_water
+                    and moved < self.batch_moves
+                ):
+                    key = self._next_victim(tier)
+                    if key is None:
+                        break
+                    extent = tier.extent(key)
+                    dst = self._destination(level, extent.accounted_size)
+                    if dst is None:
+                        break
+                    payload = tier.get(key) if extent.has_payload else None
+                    nbytes = extent.accounted_size
+                    yield IO(tier.spec.name, nbytes, "read")
+                    yield IO(dst.spec.name, nbytes, "write")
+                    # Re-check: a foreground writer may have claimed the
+                    # destination's room while our I/O was in flight.
+                    if key not in tier:
+                        continue
+                    if not dst.fits(nbytes):
+                        continue
+                    tier.evict(key)
+                    dst.put(key, payload, accounted_size=nbytes)
+                    try:
+                        self._fifo[tier.spec.name].remove(key)
+                    except ValueError:
+                        pass
+                    self.stats.moves += 1
+                    self.stats.bytes_moved += nbytes
+                    moved += 1
+                    if self._fill(tier) <= self.low_water:
+                        break
+            self.stats.polls += 1
+            yield Delay(self.poll_seconds)

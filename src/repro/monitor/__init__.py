@@ -1,0 +1,13 @@
+"""System Monitor: hierarchy status sampling and statistics helpers."""
+
+from .stats import Ewma, SlidingWindow, r_squared
+from .system_monitor import SystemMonitor, SystemStatus, TierStatus
+
+__all__ = [
+    "Ewma",
+    "SlidingWindow",
+    "SystemMonitor",
+    "SystemStatus",
+    "TierStatus",
+    "r_squared",
+]

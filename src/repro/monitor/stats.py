@@ -1,0 +1,82 @@
+"""Small statistics helpers shared by the monitor and the cost predictor."""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+__all__ = ["Ewma", "SlidingWindow", "r_squared"]
+
+
+class Ewma:
+    """Exponentially-weighted moving average.
+
+    Args:
+        alpha: Weight of each new observation, in (0, 1].
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self._alpha = alpha
+        self._value: float | None = None
+
+    def update(self, observation: float) -> float:
+        if self._value is None:
+            self._value = float(observation)
+        else:
+            self._value += self._alpha * (observation - self._value)
+        return self._value
+
+    @property
+    def value(self) -> float | None:
+        return self._value
+
+
+class SlidingWindow:
+    """Fixed-capacity window of floats with O(1) mean."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._window: deque[float] = deque(maxlen=capacity)
+        self._sum = 0.0
+
+    def push(self, value: float) -> None:
+        if len(self._window) == self._window.maxlen:
+            self._sum -= self._window[0]
+        self._window.append(float(value))
+        self._sum += float(value)
+
+    def __len__(self) -> int:
+        return len(self._window)
+
+    @property
+    def mean(self) -> float:
+        if not self._window:
+            return 0.0
+        return self._sum / len(self._window)
+
+    def values(self) -> list[float]:
+        return list(self._window)
+
+
+def r_squared(actual, predicted) -> float:
+    """Coefficient of determination.
+
+    Degenerate cases follow the usual convention: perfect prediction of a
+    constant series scores 1.0; any error against a constant series scores
+    0.0.
+    """
+    actual = np.asarray(actual, dtype=np.float64)
+    predicted = np.asarray(predicted, dtype=np.float64)
+    if actual.shape != predicted.shape:
+        raise ValueError(f"shape mismatch: {actual.shape} vs {predicted.shape}")
+    if actual.size == 0:
+        return 0.0
+    ss_res = float(np.sum((actual - predicted) ** 2))
+    ss_tot = float(np.sum((actual - actual.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot

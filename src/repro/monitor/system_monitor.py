@@ -1,0 +1,117 @@
+"""The System Monitor (paper §IV-E).
+
+Reports the status of the storage hierarchy — availability (boolean), load
+(queue size) and remaining capacity (bytes) per tier — to the HCDP engine.
+The paper implements this as a background thread shelling out to ``du`` and
+``iostat``; against our simulated hierarchy the same three signals are read
+directly from the tier runtimes, throttled by a sampling interval so the
+engine sees periodically-refreshed (slightly stale) data exactly as it
+would in the real system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..tiers import StorageHierarchy
+
+__all__ = ["TierStatus", "SystemStatus", "SystemMonitor"]
+
+
+@dataclass(frozen=True)
+class TierStatus:
+    """One tier's monitored signals at a sample instant."""
+
+    name: str
+    level: int
+    available: bool
+    load: int
+    remaining: int | None
+    used: int
+    queued_bytes: int = 0
+
+    def effective_remaining(self) -> int | None:
+        """Remaining bytes, zeroed when the tier is down."""
+        if not self.available:
+            return 0
+        return self.remaining
+
+
+@dataclass(frozen=True)
+class SystemStatus:
+    """Snapshot of the whole hierarchy."""
+
+    time: float
+    tiers: tuple[TierStatus, ...]
+
+    def tier(self, name: str) -> TierStatus:
+        for status in self.tiers:
+            if status.name == name:
+                return status
+        raise KeyError(f"no tier named {name!r} in snapshot")
+
+
+class SystemMonitor:
+    """Periodic sampler over a :class:`StorageHierarchy`.
+
+    Args:
+        hierarchy: The monitored tier stack.
+        clock: Zero-argument callable returning the current time (simulated
+            or wall). Defaults to a monotonically increasing call counter so
+            the monitor works standalone.
+        interval: Minimum time between fresh samples; queries inside the
+            interval return the cached snapshot (the staleness the paper's
+            periodic thread would exhibit).
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        clock: Callable[[], float] | None = None,
+        interval: float = 0.0,
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        self._hierarchy = hierarchy
+        self._interval = interval
+        if clock is None:
+            counter = iter(range(1 << 62))
+            clock = lambda: float(next(counter))  # noqa: E731
+        self._clock = clock
+        self._cached: SystemStatus | None = None
+        self._samples = 0
+
+    @property
+    def hierarchy(self) -> StorageHierarchy:
+        return self._hierarchy
+
+    @property
+    def samples_taken(self) -> int:
+        return self._samples
+
+    def sample(self) -> SystemStatus:
+        """Take a fresh snapshot unconditionally."""
+        now = self._clock()
+        tiers = tuple(
+            TierStatus(
+                name=tier.spec.name,
+                level=level,
+                available=tier.available,
+                load=tier.queue_depth,
+                remaining=tier.remaining,
+                used=tier.used,
+                queued_bytes=tier.queued_bytes,
+            )
+            for level, tier in enumerate(self._hierarchy)
+        )
+        self._cached = SystemStatus(time=now, tiers=tiers)
+        self._samples += 1
+        return self._cached
+
+    def status(self) -> SystemStatus:
+        """Current snapshot, refreshed only when the interval has elapsed."""
+        now = self._clock()
+        if self._cached is None or now - self._cached.time >= self._interval:
+            return self.sample()
+        return self._cached

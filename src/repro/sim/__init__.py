@@ -1,0 +1,21 @@
+"""Discrete-event cluster simulation: clock, engine, MPI-style ranks, traces."""
+
+from .clock import SimClock
+from .engine import Simulation
+from .event import IO, Barrier, Delay
+from .mpi import RankContext, SimComm, spawn_ranks
+from .trace import TraceRecord, TraceRecorder, TierSummary
+
+__all__ = [
+    "Barrier",
+    "Delay",
+    "IO",
+    "RankContext",
+    "SimClock",
+    "SimComm",
+    "Simulation",
+    "TierSummary",
+    "TraceRecord",
+    "TraceRecorder",
+    "spawn_ranks",
+]

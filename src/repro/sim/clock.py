@@ -1,0 +1,36 @@
+"""Simulated wall clock.
+
+A tiny monotonic clock owned by the event engine; separate from the engine
+so components (System Monitor, trace recorder) can hold a read-only handle
+without seeing the event queue.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise SimulationError(f"clock cannot start negative ({start})")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t`` (never backwards)."""
+        if t < self._now - 1e-12:
+            raise SimulationError(
+                f"clock moving backwards: {self._now:.9f} -> {t:.9f}"
+            )
+        self._now = max(self._now, float(t))
+
+    def __repr__(self) -> str:
+        return f"<SimClock t={self._now:.6f}s>"

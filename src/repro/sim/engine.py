@@ -1,0 +1,201 @@
+"""The discrete-event simulation engine.
+
+Interprets process requests (:class:`Delay`, :class:`IO`, :class:`Barrier`)
+against a :class:`StorageHierarchy`: each tier is a multi-server FCFS
+resource with ``spec.lanes`` servers of ``spec.lane_bandwidth`` each, so
+concurrent ranks contend exactly where the real cluster would — heavily on
+the shared burst buffers and PFS, barely at all on node-local RAM.
+
+The engine also keeps each tier's ``queue_depth`` up to date, which is the
+"load" signal the System Monitor reports to the HCDP engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+from ..errors import SimulationError
+from ..tiers import StorageHierarchy, Tier
+from .event import IO, Barrier, Delay, Process
+from .trace import TraceRecorder
+
+__all__ = ["Simulation"]
+
+
+class _LaneBank:
+    """Earliest-free-server bookkeeping for one tier."""
+
+    def __init__(self, lanes: int) -> None:
+        self.free_at = [0.0] * lanes
+
+    def schedule(self, now: float, service: float) -> tuple[float, float]:
+        """Assign one operation to the earliest-free lane; (start, done)."""
+        idx = min(range(len(self.free_at)), key=self.free_at.__getitem__)
+        start = max(now, self.free_at[idx])
+        done = start + service
+        self.free_at[idx] = done
+        return start, done
+
+
+class Simulation:
+    """Event-driven cluster simulation.
+
+    Args:
+        hierarchy: Tier stack that :class:`IO` requests run against.
+            Optional when a workload only uses delays/barriers.
+        trace: Optional :class:`TraceRecorder` capturing every I/O.
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy | None = None,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.trace = trace
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._lanes: dict[str, _LaneBank] = {}
+        if hierarchy is not None:
+            for tier in hierarchy:
+                self._lanes[tier.spec.name] = _LaneBank(tier.spec.lanes)
+        self._barriers: dict[tuple[str, int], list[Process]] = {}
+        self._live = 0
+        self._completed = 0
+        self._daemons: set[int] = set()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def live_processes(self) -> int:
+        return self._live
+
+    @property
+    def completed_processes(self) -> int:
+        return self._completed
+
+    # -- scheduling --------------------------------------------------------
+
+    def _at(self, time: float, action: Callable[[], None]) -> None:
+        if time < self._now - 1e-12:
+            raise SimulationError(f"scheduling into the past: {time} < {self._now}")
+        heapq.heappush(self._heap, (time, next(self._seq), action))
+
+    def add_process(self, process: Process, daemon: bool = False) -> None:
+        """Register a generator process to start at the current time.
+
+        Daemon processes (background services like tier flushers) do not
+        keep the simulation alive: :meth:`run` returns once every
+        non-daemon process has completed.
+        """
+        if not daemon:
+            self._live += 1
+        else:
+            self._daemons.add(id(process))
+        self._at(self._now, lambda: self._resume(process, None))
+
+    def run(self, until: float | None = None) -> float:
+        """Drive the event loop to quiescence (or to time ``until``).
+
+        Quiescence means every non-daemon process has finished (daemons are
+        abandoned mid-loop) or the event heap drained. Raises on barrier
+        deadlock (events drained while non-daemon processes still wait).
+        """
+        while self._heap and (self._live > 0 or not self._daemons):
+            time, _, action = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = max(self._now, time)
+            action()
+        stuck = [
+            procs
+            for key, procs in self._barriers.items()
+            for proc in procs
+            if id(proc) not in self._daemons
+        ]
+        if stuck and self._live > 0:
+            waiting = {k: len(v) for k, v in self._barriers.items() if v}
+            raise SimulationError(f"deadlock: processes stuck at barriers {waiting}")
+        return self._now
+
+    # -- process stepping ----------------------------------------------------
+
+    def _resume(self, process: Process, send_value: float | None) -> None:
+        try:
+            # Plain iterators are accepted as processes too; only true
+            # generators can receive the realised duration.
+            send = getattr(process, "send", None)
+            if send_value is None or send is None:
+                request = next(process)
+            else:
+                request = send(send_value)
+        except StopIteration:
+            if id(process) in self._daemons:
+                self._daemons.discard(id(process))
+            else:
+                self._live -= 1
+                self._completed += 1
+            return
+        self._dispatch(process, request)
+
+    def _dispatch(self, process: Process, request: object) -> None:
+        if isinstance(request, Delay):
+            seconds = request.seconds
+            self._at(self._now + seconds, lambda: self._resume(process, seconds))
+        elif isinstance(request, IO):
+            self._handle_io(process, request)
+        elif isinstance(request, Barrier):
+            self._handle_barrier(process, request)
+        else:
+            raise SimulationError(f"process yielded unsupported request {request!r}")
+
+    def _handle_io(self, process: Process, request: IO) -> None:
+        if self.hierarchy is None:
+            raise SimulationError("IO request but simulation has no hierarchy")
+        try:
+            bank = self._lanes[request.tier]
+        except KeyError:
+            raise SimulationError(
+                f"IO against unknown tier {request.tier!r}"
+            ) from None
+        tier: Tier = self.hierarchy.by_name(request.tier)
+        service = tier.spec.latency + request.nbytes / tier.spec.lane_bandwidth
+        start, done = bank.schedule(self._now, service)
+        tier.begin_io(request.nbytes)
+        duration = done - self._now
+        if self.trace is not None:
+            self.trace.record(
+                time=self._now,
+                tier=request.tier,
+                op=request.op,
+                nbytes=request.nbytes,
+                queued=start - self._now,
+                duration=duration,
+            )
+
+        def _finish() -> None:
+            tier.end_io(request.nbytes)
+            self._resume(process, duration)
+
+        self._at(done, _finish)
+
+    def _handle_barrier(self, process: Process, request: Barrier) -> None:
+        key = (request.group, request.generation)
+        waiting = self._barriers.setdefault(key, [])
+        waiting.append(process)
+        if len(waiting) > request.expected:
+            raise SimulationError(
+                f"barrier {key} overfilled: {len(waiting)} > {request.expected}"
+            )
+        if len(waiting) == request.expected:
+            self._barriers[key] = []
+            for proc in waiting:
+                self._at(self._now, lambda p=proc: self._resume(p, 0.0))

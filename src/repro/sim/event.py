@@ -1,0 +1,110 @@
+"""Event-queue primitives and the process request vocabulary.
+
+Simulation processes are plain Python generators that ``yield`` request
+objects; the engine interprets each request, advances simulated time, and
+resumes the generator with the realised wait in seconds. The vocabulary:
+
+* :class:`Delay` — occupy the process for a fixed duration (CPU work such
+  as compression; uncontended, since the paper runs one rank per core).
+* :class:`IO` — move bytes through a tier; contended across the tier's
+  hardware lanes (multi-server FCFS).
+* :class:`Barrier` — MPI-style synchronisation point for a named group.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Iterator
+
+from ..errors import SimulationError
+
+__all__ = ["Delay", "IO", "Barrier", "EventQueue", "Process"]
+
+#: A simulation process: yields requests, receives realised durations.
+Process = Generator
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Occupy the issuing process for ``seconds`` of simulated time."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise SimulationError(f"negative delay: {self.seconds}")
+
+
+@dataclass(frozen=True)
+class IO:
+    """Move ``nbytes`` through tier ``tier`` (contends for its lanes).
+
+    ``op`` is informational ("write"/"read") and flows into the trace.
+    """
+
+    tier: str
+    nbytes: int
+    op: str = "write"
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise SimulationError(f"negative IO size: {self.nbytes}")
+        if self.op not in ("write", "read"):
+            raise SimulationError(f"IO op must be read/write, got {self.op!r}")
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """Block until ``expected`` processes have yielded the same barrier.
+
+    Reuse a (group, generation) pair only once; workloads typically bump
+    ``generation`` per timestep.
+    """
+
+    group: str
+    expected: int
+    generation: int = 0
+
+    def __post_init__(self) -> None:
+        if self.expected < 1:
+            raise SimulationError(f"barrier expects >= 1 arrivals, {self.expected}")
+
+
+@dataclass(order=True)
+class _Scheduled:
+    time: float
+    seq: int
+    process: Process = field(compare=False)
+    send_value: float = field(compare=False, default=0.0)
+
+
+class EventQueue:
+    """Time-ordered queue of process resumptions (heap, FIFO tie-break)."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Scheduled] = []
+        self._seq = itertools.count()
+
+    def push(self, time: float, process: Process, send_value: float = 0.0) -> None:
+        heapq.heappush(self._heap, _Scheduled(time, next(self._seq), process, send_value))
+
+    def pop(self) -> _Scheduled:
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        return heapq.heappop(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def peek_time(self) -> float:
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        return self._heap[0].time
+
+    def __iter__(self) -> Iterator[_Scheduled]:  # pragma: no cover - debug aid
+        return iter(sorted(self._heap))

@@ -1,0 +1,95 @@
+"""MPI-flavoured conveniences over the event engine.
+
+The paper's workloads are bulk-synchronous MPI programs (all ranks write a
+timestep, barrier, compute, repeat). :class:`SimComm` gives each simulated
+rank a familiar communicator surface — ``rank``, ``size``, ``barrier()`` —
+while the actual synchronisation compiles down to engine
+:class:`~repro.sim.event.Barrier` requests. Barrier generations are counted
+per-rank, so the only requirement (as in MPI) is that every rank calls
+``barrier()`` the same number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterator
+
+from ..errors import SimulationError
+from .engine import Simulation
+from .event import Barrier, Delay, IO
+
+__all__ = ["SimComm", "RankContext", "spawn_ranks"]
+
+
+class SimComm:
+    """A named process group of fixed size."""
+
+    def __init__(self, sim: Simulation, size: int, name: str = "world") -> None:
+        if size < 1:
+            raise SimulationError(f"communicator size must be >= 1, got {size}")
+        self.sim = sim
+        self.size = size
+        self.name = name
+
+    def context(self, rank: int) -> "RankContext":
+        if not 0 <= rank < self.size:
+            raise SimulationError(f"rank {rank} outside communicator of {self.size}")
+        return RankContext(self, rank)
+
+    def __iter__(self) -> Iterator["RankContext"]:
+        for rank in range(self.size):
+            yield self.context(rank)
+
+
+class RankContext:
+    """Per-rank view of a communicator, passed to rank programs.
+
+    The ``barrier``/``io``/``compute`` helpers return request objects for
+    the program to ``yield`` (or ``yield from`` for barrier, which manages
+    the generation counter internally).
+    """
+
+    def __init__(self, comm: SimComm, rank: int) -> None:
+        self.comm = comm
+        self.rank = rank
+        self._barrier_gen = 0
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def now(self) -> float:
+        return self.comm.sim.now
+
+    def barrier(self) -> Generator:
+        """MPI_Barrier over the communicator (yield from this)."""
+        generation = self._barrier_gen
+        self._barrier_gen += 1
+        yield Barrier(self.comm.name, self.comm.size, generation)
+
+    @staticmethod
+    def compute(seconds: float) -> Delay:
+        """CPU-bound work on this rank's core (uncontended)."""
+        return Delay(seconds)
+
+    @staticmethod
+    def io(tier: str, nbytes: int, op: str = "write") -> IO:
+        """Tier I/O request (contends for the tier's lanes)."""
+        return IO(tier, nbytes, op)
+
+
+def spawn_ranks(
+    sim: Simulation,
+    nprocs: int,
+    program: Callable[[RankContext], Generator],
+    name: str = "world",
+) -> SimComm:
+    """Launch ``nprocs`` copies of a rank program (mpiexec analogue).
+
+    ``program(ctx)`` must be a generator function; each instance becomes one
+    simulation process.
+    """
+    comm = SimComm(sim, nprocs, name=name)
+    for ctx in comm:
+        sim.add_process(program(ctx))
+    return comm

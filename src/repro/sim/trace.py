@@ -1,0 +1,94 @@
+"""I/O trace recording and summarisation.
+
+Every :class:`IO` the engine executes can be appended to a
+:class:`TraceRecorder`; experiments use the per-tier aggregates to report
+footprints and to sanity-check contention (queue time vs service time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["TraceRecord", "TraceRecorder", "TierSummary"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed I/O operation."""
+
+    time: float
+    tier: str
+    op: str
+    nbytes: int
+    queued: float
+    duration: float
+
+
+@dataclass(frozen=True)
+class TierSummary:
+    """Aggregate view of all operations against one tier."""
+
+    tier: str
+    ops: int
+    bytes_total: int
+    busy_seconds: float
+    queued_seconds: float
+
+    @property
+    def mean_queue(self) -> float:
+        return self.queued_seconds / self.ops if self.ops else 0.0
+
+
+class TraceRecorder:
+    """Append-only I/O trace with per-tier summaries."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+
+    def record(
+        self,
+        time: float,
+        tier: str,
+        op: str,
+        nbytes: int,
+        queued: float,
+        duration: float,
+    ) -> None:
+        self._records.append(TraceRecord(time, tier, op, nbytes, queued, duration))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterable[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        return list(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def bytes_by_tier(self, op: str | None = None) -> dict[str, int]:
+        """Total bytes moved per tier, optionally filtered by op."""
+        totals: dict[str, int] = {}
+        for rec in self._records:
+            if op is not None and rec.op != op:
+                continue
+            totals[rec.tier] = totals.get(rec.tier, 0) + rec.nbytes
+        return totals
+
+    def summaries(self) -> dict[str, TierSummary]:
+        """Per-tier aggregates over the whole trace."""
+        acc: dict[str, list[float]] = {}
+        for rec in self._records:
+            row = acc.setdefault(rec.tier, [0, 0, 0.0, 0.0])
+            row[0] += 1
+            row[1] += rec.nbytes
+            row[2] += rec.duration - rec.queued
+            row[3] += rec.queued
+        return {
+            tier: TierSummary(tier, int(r[0]), int(r[1]), r[2], r[3])
+            for tier, r in acc.items()
+        }

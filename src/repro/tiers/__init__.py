@@ -1,0 +1,33 @@
+"""Multi-tiered storage substrate: specs, devices, tiers, hierarchies."""
+
+from .device import Device, FileDevice, MemoryDevice, NullDevice
+from .hierarchy import StorageHierarchy
+from .presets import (
+    ARES_BURST_BUFFER,
+    ARES_COMPUTE,
+    ARES_STORAGE,
+    AresNode,
+    ares_hierarchy,
+    ares_specs,
+    default_buffer_split,
+)
+from .spec import TierSpec
+from .tier import Extent, Tier
+
+__all__ = [
+    "ARES_BURST_BUFFER",
+    "ARES_COMPUTE",
+    "ARES_STORAGE",
+    "AresNode",
+    "Device",
+    "Extent",
+    "FileDevice",
+    "MemoryDevice",
+    "NullDevice",
+    "StorageHierarchy",
+    "Tier",
+    "TierSpec",
+    "ares_hierarchy",
+    "ares_specs",
+    "default_buffer_split",
+]

@@ -1,0 +1,150 @@
+"""Backing devices: where a tier's bytes physically live.
+
+The paper's Storage Hardware Interface writes real bytes to real devices;
+here a device is a keyed blob store with three interchangeable backends:
+
+* :class:`MemoryDevice` — dict-backed; default for tests and simulations.
+* :class:`FileDevice` — one file per blob under a directory; lets examples
+  demonstrate durable placement.
+* :class:`NullDevice` — size-accounting only; for large-scale simulations
+  where only the capacity ledger matters (payloads are discarded).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from pathlib import Path
+
+from ..errors import TierError
+
+__all__ = ["Device", "MemoryDevice", "FileDevice", "NullDevice"]
+
+
+class Device(abc.ABC):
+    """Keyed blob store used as a tier's backing medium."""
+
+    @abc.abstractmethod
+    def store(self, key: str, payload: bytes) -> None:
+        """Write ``payload`` under ``key`` (overwrites silently)."""
+
+    @abc.abstractmethod
+    def load(self, key: str) -> bytes:
+        """Read the blob at ``key``; raises :class:`TierError` if absent."""
+
+    @abc.abstractmethod
+    def delete(self, key: str) -> None:
+        """Remove ``key``; raises :class:`TierError` if absent."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: str) -> bool: ...
+
+    @abc.abstractmethod
+    def keys(self) -> list[str]: ...
+
+    def clear(self) -> None:
+        """Remove every blob."""
+        for key in self.keys():
+            self.delete(key)
+
+
+class MemoryDevice(Device):
+    """In-memory blob store (the default backend)."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+
+    def store(self, key: str, payload: bytes) -> None:
+        self._blobs[key] = bytes(payload)
+
+    def load(self, key: str) -> bytes:
+        try:
+            return self._blobs[key]
+        except KeyError:
+            raise TierError(f"no blob stored under key {key!r}") from None
+
+    def delete(self, key: str) -> None:
+        if key not in self._blobs:
+            raise TierError(f"no blob stored under key {key!r}")
+        del self._blobs[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._blobs
+
+    def keys(self) -> list[str]:
+        return list(self._blobs)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Total payload bytes currently held (for tests/inspection)."""
+        return sum(len(b) for b in self._blobs.values())
+
+
+class FileDevice(Device):
+    """One file per blob under ``root`` (keys are sanitised to filenames)."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _filename(key: str) -> str:
+        # Keys may contain '/' (task ids); flatten deterministically.
+        return key.replace("/", "__") + ".blob"
+
+    def _path(self, key: str) -> Path:
+        return self._root / self._filename(key)
+
+    def store(self, key: str, payload: bytes) -> None:
+        self._path(key).write_bytes(payload)
+
+    def load(self, key: str) -> bytes:
+        path = self._path(key)
+        if not path.exists():
+            raise TierError(f"no blob stored under key {key!r}")
+        return path.read_bytes()
+
+    def delete(self, key: str) -> None:
+        path = self._path(key)
+        if not path.exists():
+            raise TierError(f"no blob stored under key {key!r}")
+        path.unlink()
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def keys(self) -> list[str]:
+        return [
+            p.name[: -len(".blob")].replace("__", "/")
+            for p in self._root.glob("*.blob")
+        ]
+
+
+class NullDevice(Device):
+    """Discards payloads; remembers only which keys exist.
+
+    Use for capacity-ledger-only simulations (e.g. the 320 GB Fig. 5 run)
+    where materialising every payload would be pointless.
+    """
+
+    def __init__(self) -> None:
+        self._keys: set[str] = set()
+
+    def store(self, key: str, payload: bytes) -> None:
+        self._keys.add(key)
+
+    def load(self, key: str) -> bytes:
+        if key not in self._keys:
+            raise TierError(f"no blob stored under key {key!r}")
+        raise TierError(f"NullDevice cannot materialise blob {key!r}")
+
+    def delete(self, key: str) -> None:
+        if key not in self._keys:
+            raise TierError(f"no blob stored under key {key!r}")
+        self._keys.discard(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def keys(self) -> list[str]:
+        return list(self._keys)

@@ -1,0 +1,129 @@
+"""Storage hierarchy: an ordered stack of tiers, fastest first.
+
+The paper indexes tiers so that lower ``l`` means an upper (faster, smaller)
+tier — ``l = 0`` is RAM. The hierarchy enforces that convention at
+construction (bandwidth must be non-increasing with depth) and provides the
+aggregate views the optimizer and System Monitor consume.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..errors import TierError
+from .device import Device
+from .spec import TierSpec
+from .tier import Tier
+
+__all__ = ["StorageHierarchy"]
+
+
+class StorageHierarchy:
+    """Ordered collection of :class:`Tier` objects, index 0 on top.
+
+    Args:
+        tiers: Tier runtimes ordered fastest-first.
+        enforce_ordering: Validate that bandwidth is non-increasing with
+            depth (set False for deliberately inverted test hierarchies).
+    """
+
+    def __init__(self, tiers: Sequence[Tier], enforce_ordering: bool = True) -> None:
+        if not tiers:
+            raise TierError("a hierarchy needs at least one tier")
+        names = [t.spec.name for t in tiers]
+        if len(set(names)) != len(names):
+            raise TierError(f"duplicate tier names: {names}")
+        if enforce_ordering:
+            for upper, lower in zip(tiers, tiers[1:]):
+                if upper.spec.bandwidth < lower.spec.bandwidth:
+                    raise TierError(
+                        f"tier {upper.spec.name!r} is above {lower.spec.name!r} "
+                        "but has lower bandwidth; hierarchies are fastest-first"
+                    )
+        self._tiers = list(tiers)
+        self._by_name = {t.spec.name: i for i, t in enumerate(self._tiers)}
+
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[TierSpec],
+        device_factory=None,
+        enforce_ordering: bool = True,
+    ) -> "StorageHierarchy":
+        """Build a hierarchy with fresh devices from specs.
+
+        ``device_factory`` is called once per spec (default: in-memory
+        devices).
+        """
+        tiers = []
+        for spec in specs:
+            device: Device | None = device_factory(spec) if device_factory else None
+            tiers.append(Tier(spec, device))
+        return cls(tiers, enforce_ordering=enforce_ordering)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._tiers)
+
+    def __iter__(self) -> Iterator[Tier]:
+        return iter(self._tiers)
+
+    def __getitem__(self, index: int) -> Tier:
+        return self._tiers[index]
+
+    def by_name(self, name: str) -> Tier:
+        try:
+            return self._tiers[self._by_name[name]]
+        except KeyError:
+            raise TierError(f"no tier named {name!r}") from None
+
+    def level_of(self, name: str) -> int:
+        """Index (paper's ``l``) of the named tier."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TierError(f"no tier named {name!r}") from None
+
+    @property
+    def names(self) -> list[str]:
+        return [t.spec.name for t in self._tiers]
+
+    # -- aggregate views -------------------------------------------------------
+
+    def concurrency(self) -> int:
+        """Sum of hardware lanes over all tiers (constraint 2's bound)."""
+        return sum(t.spec.lanes for t in self._tiers)
+
+    def total_used(self) -> int:
+        return sum(t.used for t in self._tiers)
+
+    def total_remaining(self) -> int | None:
+        """Remaining accounted capacity; ``None`` if any tier is unbounded."""
+        total = 0
+        for tier in self._tiers:
+            remaining = tier.remaining
+            if remaining is None:
+                return None
+            total += remaining
+        return total
+
+    def footprint_by_tier(self) -> dict[str, int]:
+        """Accounted bytes per tier (Fig. 5's per-tier footprint series)."""
+        return {t.spec.name: t.used for t in self._tiers}
+
+    def find(self, key: str) -> Tier | None:
+        """Tier currently holding ``key``, top-down, or None."""
+        for tier in self._tiers:
+            if key in tier:
+                return tier
+        return None
+
+    def clear(self) -> None:
+        for tier in self._tiers:
+            tier.clear()
+
+    def describe(self) -> str:
+        return "\n".join(
+            f"  l={i} {tier.spec.describe()}" for i, tier in enumerate(self._tiers)
+        )

@@ -1,0 +1,80 @@
+"""Static tier specifications.
+
+A :class:`TierSpec` captures everything the paper's optimizer consumes about
+a storage tier: capacity, aggregate bandwidth, access latency, and hardware
+lane count (the ``Concurrency(L)`` term of the problem formulation's
+constraint 2). Specs are immutable; runtime state (remaining capacity,
+queue depth) lives in :class:`repro.tiers.tier.Tier`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import fmt_bytes, fmt_rate
+
+__all__ = ["TierSpec"]
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """Performance and capacity description of one storage tier.
+
+    Attributes:
+        name: Human name, unique within a hierarchy (e.g. ``"ram"``).
+        capacity: Usable bytes, or ``None`` for an effectively unbounded
+            tier (the PFS in all the paper's configurations).
+        bandwidth: Aggregate bytes/second across all lanes.
+        latency: Per-operation access latency in seconds.
+        lanes: Independent hardware channels; concurrent operations beyond
+            this queue up.
+        shared: True for cluster-shared tiers (burst buffers, PFS), False
+            for node-local ones (RAM, NVMe).
+    """
+
+    name: str
+    capacity: int | None
+    bandwidth: float
+    latency: float
+    lanes: int = 1
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tier name must be non-empty")
+        if self.capacity is not None and self.capacity < 0:
+            raise ValueError(f"{self.name}: capacity must be >= 0 or None")
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"{self.name}: latency must be non-negative")
+        if self.lanes < 1:
+            raise ValueError(f"{self.name}: lanes must be >= 1")
+
+    @property
+    def bounded(self) -> bool:
+        """True when the tier has a finite capacity."""
+        return self.capacity is not None
+
+    @property
+    def lane_bandwidth(self) -> float:
+        """Bandwidth of a single lane (aggregate split evenly)."""
+        return self.bandwidth / self.lanes
+
+    def io_seconds(self, nbytes: int) -> float:
+        """Uncontended time to move ``nbytes`` through one lane.
+
+        This is the t(i, l) = latency + size/bandwidth term of the paper's
+        cost model (eq. 3); queueing delay is added by the simulator.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency + nbytes / self.lane_bandwidth
+
+    def describe(self) -> str:
+        cap = "unbounded" if self.capacity is None else fmt_bytes(self.capacity)
+        return (
+            f"{self.name}: {cap}, {fmt_rate(self.bandwidth)} aggregate over "
+            f"{self.lanes} lane(s), {self.latency * 1e6:.1f} us latency"
+            f"{', shared' if self.shared else ''}"
+        )

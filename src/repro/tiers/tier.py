@@ -1,0 +1,181 @@
+"""Runtime tier state: capacity ledger, load tracking, and blob placement.
+
+A :class:`Tier` binds a static :class:`TierSpec` to a backing
+:class:`Device` and keeps the mutable accounting the System Monitor samples:
+remaining capacity, queue depth, and availability. Accounted sizes are
+decoupled from actual payload lengths so large modeled datasets can be
+represented by small sample buffers (DESIGN.md §2, representative-sample
+scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CapacityError, TierError
+from ..units import fmt_bytes
+from .device import Device, MemoryDevice
+from .spec import TierSpec
+
+__all__ = ["Tier", "Extent"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """One placed blob: its accounted footprint and payload presence."""
+
+    key: str
+    accounted_size: int
+    has_payload: bool
+
+
+class Tier:
+    """One level of the storage hierarchy, with live accounting.
+
+    Args:
+        spec: Static performance/capacity description.
+        device: Backing blob store; defaults to a fresh
+            :class:`MemoryDevice`.
+    """
+
+    def __init__(self, spec: TierSpec, device: Device | None = None) -> None:
+        self.spec = spec
+        self.device = device if device is not None else MemoryDevice()
+        self._extents: dict[str, Extent] = {}
+        self._used = 0
+        self._queue_depth = 0
+        self._queued_bytes = 0
+        self._available = True
+
+    # -- capacity ledger ---------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        """Accounted bytes currently placed."""
+        return self._used
+
+    @property
+    def remaining(self) -> int | None:
+        """Accounted bytes still free (``None`` for unbounded tiers)."""
+        if self.spec.capacity is None:
+            return None
+        return self.spec.capacity - self._used
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether ``nbytes`` of accounted data can be placed right now."""
+        if not self._available:
+            return False
+        remaining = self.remaining
+        return remaining is None or nbytes <= remaining
+
+    # -- availability / load (System Monitor signals, §IV-E) ----------------
+
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    def set_available(self, value: bool) -> None:
+        """Mark the tier up/down (fault injection and SM tests)."""
+        self._available = bool(value)
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of in-flight operations (the SM's "load" signal)."""
+        return self._queue_depth
+
+    @property
+    def queued_bytes(self) -> int:
+        """Bytes of in-flight I/O — the backlog a newly arriving operation
+        queues behind (drives the cost model's contention estimate)."""
+        return self._queued_bytes
+
+    def begin_io(self, nbytes: int = 0) -> None:
+        self._queue_depth += 1
+        self._queued_bytes += nbytes
+
+    def end_io(self, nbytes: int = 0) -> None:
+        if self._queue_depth <= 0:
+            raise TierError(f"{self.spec.name}: end_io without matching begin_io")
+        self._queue_depth -= 1
+        self._queued_bytes = max(self._queued_bytes - nbytes, 0)
+
+    # -- placement -----------------------------------------------------------
+
+    def put(
+        self, key: str, payload: bytes | None, accounted_size: int | None = None
+    ) -> Extent:
+        """Place a blob.
+
+        Args:
+            key: Unique blob key; re-putting an existing key is an error
+                (callers must :meth:`evict` first — matching the paper's
+                write-once buffer semantics).
+            payload: Actual bytes, or ``None`` to account without storing.
+            accounted_size: Footprint charged against capacity; defaults to
+                ``len(payload)``.
+
+        Raises:
+            CapacityError: The accounted size does not fit.
+            TierError: Key already placed, or tier marked unavailable.
+        """
+        if key in self._extents:
+            raise TierError(f"{self.spec.name}: key {key!r} already placed")
+        if not self._available:
+            raise TierError(f"{self.spec.name}: tier is unavailable")
+        if accounted_size is None:
+            if payload is None:
+                raise TierError("accounted_size is required when payload is None")
+            accounted_size = len(payload)
+        if accounted_size < 0:
+            raise TierError(f"accounted_size must be >= 0, got {accounted_size}")
+        if not self.fits(accounted_size):
+            raise CapacityError(
+                f"{self.spec.name}: {fmt_bytes(accounted_size)} does not fit "
+                f"({fmt_bytes(self.remaining or 0)} remaining)"
+            )
+        if payload is not None:
+            self.device.store(key, payload)
+        extent = Extent(key, accounted_size, payload is not None)
+        self._extents[key] = extent
+        self._used += accounted_size
+        return extent
+
+    def get(self, key: str) -> bytes:
+        """Read a placed blob's payload."""
+        if key not in self._extents:
+            raise TierError(f"{self.spec.name}: no extent for key {key!r}")
+        return self.device.load(key)
+
+    def extent(self, key: str) -> Extent:
+        """Accounting record for a placed blob."""
+        try:
+            return self._extents[key]
+        except KeyError:
+            raise TierError(f"{self.spec.name}: no extent for key {key!r}") from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._extents
+
+    def evict(self, key: str) -> int:
+        """Remove a blob; returns the accounted bytes released."""
+        extent = self.extent(key)
+        if extent.has_payload:
+            self.device.delete(key)
+        del self._extents[key]
+        self._used -= extent.accounted_size
+        return extent.accounted_size
+
+    def keys(self) -> list[str]:
+        return list(self._extents)
+
+    def clear(self) -> None:
+        """Evict everything."""
+        for key in self.keys():
+            self.evict(key)
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.spec.capacity is None else fmt_bytes(self.spec.capacity)
+        return (
+            f"<Tier {self.spec.name} used={fmt_bytes(self._used)}/{cap} "
+            f"queue={self._queue_depth}>"
+        )

@@ -1,0 +1,76 @@
+"""Byte-size and rate units, plus human-readable formatting helpers.
+
+All sizes in the library are plain ``int`` bytes and all rates are ``float``
+bytes/second; these constants keep call sites legible (``4 * MiB`` instead of
+``4194304``) and the formatters keep reports legible.
+"""
+
+from __future__ import annotations
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+TiB: int = 1024 * GiB
+
+KB: int = 1000
+MB: int = 1000 * KB
+GB: int = 1000 * MB
+TB: int = 1000 * GB
+
+#: Alignment grain for HCDP sub-task splitting (paper §IV-F1: page size of RAM
+#: and block size of NVMe devices; makes memoized sub-problems reusable).
+PAGE: int = 4096
+
+_BINARY_STEPS = ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB"))
+
+
+def fmt_bytes(n: int | float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``fmt_bytes(3 * MiB)``
+    -> ``'3.00 MiB'``. Negative counts keep their sign."""
+    sign = "-" if n < 0 else ""
+    n = abs(float(n))
+    for step, suffix in _BINARY_STEPS:
+        if n >= step:
+            return f"{sign}{n / step:.2f} {suffix}"
+    return f"{sign}{n:.0f} B"
+
+
+def fmt_rate(bytes_per_s: float) -> str:
+    """Render a throughput, e.g. ``fmt_rate(1.5 * GiB)`` -> ``'1.50 GiB/s'``."""
+    return f"{fmt_bytes(bytes_per_s)}/s"
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a duration adaptively (us / ms / s / min)."""
+    if t < 0:
+        return f"-{fmt_seconds(-t)}"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f} us"
+    if t < 1.0:
+        return f"{t * 1e3:.2f} ms"
+    if t < 120.0:
+        return f"{t:.2f} s"
+    return f"{t / 60.0:.1f} min"
+
+
+def align_up(n: int, grain: int = PAGE) -> int:
+    """Round ``n`` up to the next multiple of ``grain`` (0 stays 0)."""
+    if n < 0:
+        raise ValueError(f"cannot align negative size {n}")
+    if grain <= 0:
+        raise ValueError(f"alignment grain must be positive, got {grain}")
+    return ((n + grain - 1) // grain) * grain
+
+
+def align_down(n: int, grain: int = PAGE) -> int:
+    """Round ``n`` down to the previous multiple of ``grain``."""
+    if n < 0:
+        raise ValueError(f"cannot align negative size {n}")
+    if grain <= 0:
+        raise ValueError(f"alignment grain must be positive, got {grain}")
+    return (n // grain) * grain
+
+
+def is_aligned(n: int, grain: int = PAGE) -> bool:
+    """True when ``n`` is a non-negative multiple of ``grain``."""
+    return n >= 0 and n % grain == 0

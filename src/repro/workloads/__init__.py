@@ -1,0 +1,65 @@
+"""Workloads: synthetic data, I/O backends, and the paper's kernels."""
+
+from .backends import (
+    HCompressBackend,
+    HermesBackend,
+    HermesStaticBackend,
+    IOBackend,
+    PfsBaselineBackend,
+    PieceCharge,
+    StaticCompressionBackend,
+    TaskCharge,
+)
+from .bdcats import BdcatsConfig, BdcatsRunResult, run_bdcats
+from .distributions import (
+    DISTRIBUTIONS,
+    DTYPES,
+    corpus,
+    synthetic_buffer,
+    synthetic_text,
+    synthetic_values,
+)
+from .hdf5_micro import (
+    MicroConfig,
+    MicroRunResult,
+    MicroTask,
+    h5lite_block,
+    micro_tasks,
+    run_micro,
+)
+from .vpic import VpicConfig, VpicRunResult, run_vpic, vpic_sample, vpic_task_id
+from .workflow import WorkflowConfig, WorkflowResult, run_workflow
+
+__all__ = [
+    "BdcatsConfig",
+    "BdcatsRunResult",
+    "DISTRIBUTIONS",
+    "DTYPES",
+    "HCompressBackend",
+    "HermesBackend",
+    "HermesStaticBackend",
+    "IOBackend",
+    "MicroConfig",
+    "MicroRunResult",
+    "MicroTask",
+    "PfsBaselineBackend",
+    "PieceCharge",
+    "StaticCompressionBackend",
+    "TaskCharge",
+    "VpicConfig",
+    "VpicRunResult",
+    "WorkflowConfig",
+    "WorkflowResult",
+    "corpus",
+    "h5lite_block",
+    "micro_tasks",
+    "run_bdcats",
+    "run_micro",
+    "run_vpic",
+    "run_workflow",
+    "synthetic_buffer",
+    "synthetic_text",
+    "synthetic_values",
+    "vpic_sample",
+    "vpic_task_id",
+]

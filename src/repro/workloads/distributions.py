@@ -1,0 +1,19 @@
+"""Re-export of :mod:`repro.datagen` under its historical location."""
+
+from ..datagen import (
+    DISTRIBUTIONS,
+    DTYPES,
+    corpus,
+    synthetic_buffer,
+    synthetic_text,
+    synthetic_values,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "DTYPES",
+    "corpus",
+    "synthetic_buffer",
+    "synthetic_text",
+    "synthetic_values",
+]

@@ -1,0 +1,224 @@
+"""HDF5-style micro-benchmark (paper §V-A2).
+
+Mirrors the HDF5 source micro-benchmarks: every process writes an
+independent but overall-contiguous block of a shared file, then reads it
+back. Payloads are real h5lite-framed buffers of a chosen (dtype,
+distribution) class, so the Input Analyzer's metadata fast path is
+exercised exactly as it would be on HDF5 data. This is the workload behind
+the internal-component evaluations (Figs. 3, 4, 5, 6).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analyzer import DataFormat, DataType, Distribution, MetadataHints
+from ..errors import WorkloadError
+from ..formats.h5lite import H5LiteWriter
+from ..units import MiB
+from ..datagen import synthetic_buffer
+
+__all__ = [
+    "MicroConfig",
+    "MicroRunResult",
+    "MicroTask",
+    "h5lite_block",
+    "micro_tasks",
+    "run_micro",
+]
+
+
+@dataclass(frozen=True)
+class MicroConfig:
+    """Micro-benchmark parameters.
+
+    Attributes:
+        nprocs: Writer count.
+        tasks_per_proc: Blocks written per process.
+        task_bytes: Modeled block size (1 MiB in most of §V-B).
+        dtype / distribution: Data class of the payload.
+        sample_bytes: Real bytes materialised per distinct payload.
+    """
+
+    nprocs: int = 1
+    tasks_per_proc: int = 128
+    task_bytes: int = 1 * MiB
+    dtype: str = "float64"
+    distribution: str = "gamma"
+    sample_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 1 or self.tasks_per_proc < 1:
+            raise WorkloadError("nprocs and tasks_per_proc must be >= 1")
+        if self.task_bytes < 1 or self.sample_bytes < 1:
+            raise WorkloadError("task_bytes and sample_bytes must be >= 1")
+
+    @property
+    def total_tasks(self) -> int:
+        return self.nprocs * self.tasks_per_proc
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_tasks * self.task_bytes
+
+
+@dataclass(frozen=True)
+class MicroTask:
+    """One micro-benchmark block."""
+
+    task_id: str
+    rank: int
+    index: int
+    size: int
+    sample: bytes
+    hints: MetadataHints
+
+
+def h5lite_block(
+    dtype: str, distribution: str, nbytes: int, rng: np.random.Generator
+) -> bytes:
+    """A real h5lite-framed buffer of the requested class.
+
+    The container overhead is tiny relative to the payload, and the magic
+    header is what routes the analyzer through its metadata fast path.
+    """
+    payload = synthetic_buffer(dtype, distribution, nbytes, rng)
+    array = np.frombuffer(
+        payload[: len(payload) - len(payload) % np.dtype(dtype).itemsize],
+        dtype=dtype,
+    )
+    buffer = io.BytesIO()
+    with H5LiteWriter(buffer) as writer:
+        writer.write_dataset(
+            "block", array, attrs={"distribution": distribution}
+        )
+    return buffer.getvalue()
+
+
+def micro_tasks(
+    config: MicroConfig, rng: np.random.Generator | None = None
+) -> list[MicroTask]:
+    """Materialise the benchmark's task list (shared sample per class)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    sample = h5lite_block(
+        config.dtype, config.distribution, config.sample_bytes, rng
+    )
+    dtype_map = {
+        "float64": DataType.FLOAT64,
+        "float32": DataType.FLOAT32,
+        "int64": DataType.INT64,
+        "int32": DataType.INT32,
+    }
+    hints = MetadataHints(
+        dtype=dtype_map.get(config.dtype, DataType.BYTES),
+        data_format=DataFormat.H5LITE,
+        distribution=Distribution(config.distribution),
+    )
+    out = []
+    for rank in range(config.nprocs):
+        for index in range(config.tasks_per_proc):
+            out.append(
+                MicroTask(
+                    task_id=f"micro/r{rank}/b{index}",
+                    rank=rank,
+                    index=index,
+                    size=config.task_bytes,
+                    sample=sample,
+                    hints=hints,
+                )
+            )
+    return out
+
+
+@dataclass
+class MicroRunResult:
+    """Outcome of one simulated micro-benchmark run."""
+
+    config: "MicroConfig"
+    backend_name: str
+    elapsed_seconds: float
+    tasks_done: int
+    bytes_written: int
+    stored_bytes: int
+    compression_seconds_total: float
+    footprint_by_tier: dict[str, int]
+
+    @property
+    def achieved_ratio(self) -> float:
+        return self.bytes_written / self.stored_bytes if self.stored_bytes else 1.0
+
+    @property
+    def tasks_per_second(self) -> float:
+        return self.tasks_done / self.elapsed_seconds if self.elapsed_seconds else 0.0
+
+
+def run_micro(
+    backend,
+    config: MicroConfig,
+    hierarchy,
+    rng: np.random.Generator | None = None,
+    read_back: bool = False,
+    think_seconds: float = 0.0,
+    flush: bool = True,
+    trace=None,
+) -> MicroRunResult:
+    """Simulate the HDF5-style micro-benchmark against one backend.
+
+    Every rank issues its blocks back to back (optionally separated by a
+    jittered think time); with ``read_back`` each block is read and
+    decompressed immediately after it is written (Fig. 6's task shape:
+    "compressing and writing 512 KB and reading and decompressing it
+    back").
+    """
+    from ..hermes.flusher import TierFlusher
+    from ..sim import IO, Delay, Simulation, spawn_ranks
+
+    rng = rng if rng is not None else np.random.default_rng(0)
+    tasks = micro_tasks(config, rng)
+    by_rank: dict[int, list[MicroTask]] = {}
+    for task in tasks:
+        by_rank.setdefault(task.rank, []).append(task)
+
+    sim = Simulation(hierarchy, trace=trace)
+    if flush and len(hierarchy) > 1:
+        sim.add_process(TierFlusher(hierarchy).process(), daemon=True)
+    stored_total = [0]
+    done = [0]
+    cpu_total = [0.0]
+    jitter = rng.uniform(0.5, 1.5, size=len(tasks)) if think_seconds else None
+
+    def program(ctx):
+        for i, task in enumerate(by_rank[ctx.rank]):
+            if think_seconds:
+                yield Delay(think_seconds * jitter[task.rank * config.tasks_per_proc + i])
+            charge = backend.write(task.task_id, task.size, task.sample, task.hints)
+            stored_total[0] += charge.stored_size
+            cpu_total[0] += charge.cpu_seconds
+            if charge.cpu_seconds:
+                yield Delay(charge.cpu_seconds)
+            for piece in charge.pieces:
+                yield IO(piece.tier, piece.nbytes, "write")
+            if read_back:
+                read = backend.read(task.task_id)
+                cpu_total[0] += read.cpu_seconds
+                for piece in read.pieces:
+                    yield IO(piece.tier, piece.nbytes, "read")
+                if read.cpu_seconds:
+                    yield Delay(read.cpu_seconds)
+            done[0] += 1
+
+    spawn_ranks(sim, config.nprocs, program)
+    elapsed = sim.run()
+    return MicroRunResult(
+        config=config,
+        backend_name=getattr(backend, "name", "backend"),
+        elapsed_seconds=elapsed,
+        tasks_done=done[0],
+        bytes_written=config.total_bytes,
+        stored_bytes=stored_total[0],
+        compression_seconds_total=cpu_total[0],
+        footprint_by_tier=hierarchy.footprint_by_tier(),
+    )

@@ -1,0 +1,78 @@
+"""Producer-consumer workflow: VPIC-IO followed by BD-CATS-IO (Fig. 8).
+
+The paper sequences BD-CATS after VPIC finishes, both at 10 timesteps,
+with HCompress configured to weight all three compression metrics equally
+(the workflow both writes and reads). Total workflow time is the sum of the
+two phases' simulated times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .backends import IOBackend
+from .bdcats import BdcatsConfig, BdcatsRunResult, run_bdcats
+from .vpic import VpicConfig, VpicRunResult, run_vpic
+
+__all__ = ["WorkflowConfig", "WorkflowResult", "run_workflow"]
+
+
+@dataclass(frozen=True)
+class WorkflowConfig:
+    """Paired producer/consumer parameters."""
+
+    vpic: VpicConfig
+    bdcats: BdcatsConfig
+
+    def __post_init__(self) -> None:
+        if self.vpic.nprocs != self.bdcats.nprocs:
+            raise WorkloadError("producer and consumer must use equal nprocs")
+        if self.vpic.timesteps != self.bdcats.timesteps:
+            raise WorkloadError("producer and consumer must use equal timesteps")
+
+    @classmethod
+    def paired(
+        cls,
+        nprocs: int,
+        timesteps: int = 10,
+        bytes_per_rank_per_step: int | None = None,
+        **vpic_kwargs,
+    ) -> "WorkflowConfig":
+        """Convenience constructor with matching producer/consumer grids."""
+        if bytes_per_rank_per_step is not None:
+            vpic_kwargs["bytes_per_rank_per_step"] = bytes_per_rank_per_step
+        return cls(
+            vpic=VpicConfig(nprocs=nprocs, timesteps=timesteps, **vpic_kwargs),
+            bdcats=BdcatsConfig(nprocs=nprocs, timesteps=timesteps),
+        )
+
+
+@dataclass
+class WorkflowResult:
+    """Outcome of the full write-then-read workflow."""
+
+    write: VpicRunResult
+    read: BdcatsRunResult
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.write.elapsed_seconds + self.read.elapsed_seconds
+
+    @property
+    def backend_name(self) -> str:
+        return self.write.backend_name
+
+
+def run_workflow(
+    backend: IOBackend,
+    config: WorkflowConfig,
+    hierarchy,
+    rng: np.random.Generator | None = None,
+) -> WorkflowResult:
+    """Run VPIC-IO then BD-CATS-IO against one backend/hierarchy pair."""
+    write = run_vpic(backend, config.vpic, hierarchy, rng=rng)
+    read = run_bdcats(backend, config.bdcats, hierarchy)
+    return WorkflowResult(write=write, read=read)

@@ -1,0 +1,79 @@
+"""Data-type inference on synthetic and adversarial buffers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyzer import DataType, infer_datatype, sample_buffer
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(21)
+
+
+class TestInference:
+    def test_float64(self, rng) -> None:
+        data = rng.normal(100.0, 5.0, 10_000).astype(np.float64).tobytes()
+        assert infer_datatype(data).dtype is DataType.FLOAT64
+
+    def test_float32(self, rng) -> None:
+        data = rng.normal(0.0, 1.0, 10_000).astype(np.float32).tobytes()
+        assert infer_datatype(data).dtype is DataType.FLOAT32
+
+    def test_int32(self, rng) -> None:
+        data = rng.integers(0, 50_000, 10_000, dtype=np.int32).tobytes()
+        assert infer_datatype(data).dtype is DataType.INT32
+
+    def test_int64(self, rng) -> None:
+        data = rng.integers(0, 10**6, 10_000, dtype=np.int64).tobytes()
+        assert infer_datatype(data).dtype is DataType.INT64
+
+    def test_text(self) -> None:
+        data = b"plain english prose with punctuation, numbers 123.\n" * 200
+        assert infer_datatype(data).dtype is DataType.TEXT
+
+    def test_random_bytes_fall_back(self, rng) -> None:
+        data = rng.integers(0, 256, 30_000, dtype=np.uint8).tobytes()
+        assert infer_datatype(data).dtype is DataType.BYTES
+
+    def test_empty(self) -> None:
+        guess = infer_datatype(b"")
+        assert guess.dtype is DataType.BYTES
+        assert guess.confidence == 0.0
+
+    def test_scores_reported(self, rng) -> None:
+        data = rng.normal(0, 1, 5_000).astype(np.float64).tobytes()
+        guess = infer_datatype(data)
+        assert guess.scores[DataType.FLOAT64.value] >= guess.scores[
+            DataType.INT64.value
+        ]
+
+    def test_numpy_dtype_property(self) -> None:
+        assert DataType.FLOAT32.numpy_dtype == np.dtype(np.float32)
+        assert DataType.TEXT.numpy_dtype is None
+
+
+class TestSampling:
+    def test_small_buffers_returned_whole(self) -> None:
+        assert sample_buffer(b"tiny") == b"tiny"
+
+    def test_large_buffers_capped(self, rng) -> None:
+        data = rng.integers(0, 256, 1_000_000, dtype=np.uint8).tobytes()
+        sample = sample_buffer(data, limit=64 * 1024)
+        assert len(sample) <= 64 * 1024
+
+    def test_sample_is_eight_byte_aligned_slices(self, rng) -> None:
+        """Element framing survives sampling: float64 data sampled from a
+        float64 buffer still decodes as float64."""
+        data = rng.normal(5, 1, 200_000).astype(np.float64).tobytes()
+        sample = sample_buffer(data)
+        values = np.frombuffer(
+            sample[: len(sample) - len(sample) % 8], dtype=np.float64
+        )
+        assert np.isfinite(values).all()
+
+    def test_sampling_is_deterministic(self, rng) -> None:
+        data = rng.integers(0, 256, 500_000, dtype=np.uint8).tobytes()
+        assert sample_buffer(data) == sample_buffer(data)

@@ -1,0 +1,104 @@
+"""Distribution classification via moment matching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyzer import DataType, Distribution, classify_distribution
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(31)
+
+
+class TestFourFamilies:
+    def test_uniform(self, rng) -> None:
+        data = rng.uniform(0, 100, 20_000).astype(np.float64).tobytes()
+        guess = classify_distribution(data, DataType.FLOAT64)
+        assert guess.distribution is Distribution.UNIFORM
+
+    def test_normal(self, rng) -> None:
+        data = rng.normal(50, 10, 20_000).astype(np.float64).tobytes()
+        assert (
+            classify_distribution(data, DataType.FLOAT64).distribution
+            is Distribution.NORMAL
+        )
+
+    def test_exponential(self, rng) -> None:
+        data = rng.exponential(5.0, 20_000).astype(np.float64).tobytes()
+        assert (
+            classify_distribution(data, DataType.FLOAT64).distribution
+            is Distribution.EXPONENTIAL
+        )
+
+    def test_gamma(self, rng) -> None:
+        data = rng.gamma(3.0, 2.0, 20_000).astype(np.float64).tobytes()
+        assert (
+            classify_distribution(data, DataType.FLOAT64).distribution
+            is Distribution.GAMMA
+        )
+
+    def test_float32_variants(self, rng) -> None:
+        data = rng.normal(0, 1, 20_000).astype(np.float32).tobytes()
+        assert (
+            classify_distribution(data, DataType.FLOAT32).distribution
+            is Distribution.NORMAL
+        )
+
+    def test_integer_gamma(self, rng) -> None:
+        data = rng.gamma(2.0, 500.0, 20_000).astype(np.int64).tobytes()
+        assert (
+            classify_distribution(data, DataType.INT64).distribution
+            is Distribution.GAMMA
+        )
+
+
+class TestSpecialClasses:
+    def test_text_short_circuits(self) -> None:
+        guess = classify_distribution(b"hello " * 100, DataType.TEXT)
+        assert guess.distribution is Distribution.TEXT
+
+    def test_constant_buffer_is_zeros(self) -> None:
+        data = np.full(5_000, 3.25, dtype=np.float64).tobytes()
+        assert (
+            classify_distribution(data, DataType.FLOAT64).distribution
+            is Distribution.ZEROS
+        )
+
+    def test_zero_page(self) -> None:
+        assert (
+            classify_distribution(bytes(40_000), DataType.FLOAT64).distribution
+            is Distribution.ZEROS
+        )
+
+    def test_too_short_is_zeros(self) -> None:
+        assert (
+            classify_distribution(b"12345678", DataType.FLOAT64).distribution
+            is Distribution.ZEROS
+        )
+
+    def test_nan_heavy_buffer_degrades_gracefully(self, rng) -> None:
+        values = rng.normal(0, 1, 10_000)
+        values[::2] = np.nan
+        guess = classify_distribution(
+            values.astype(np.float64).tobytes(), DataType.FLOAT64
+        )
+        assert guess.distribution in (Distribution.NORMAL, Distribution.ZEROS)
+
+
+class TestEvidence:
+    def test_moments_reported(self, rng) -> None:
+        data = rng.exponential(1.0, 30_000).astype(np.float64).tobytes()
+        guess = classify_distribution(data, DataType.FLOAT64)
+        assert guess.skewness == pytest.approx(2.0, abs=0.5)
+        assert guess.excess_kurtosis == pytest.approx(6.0, abs=3.0)
+
+    def test_subsampling_keeps_classification(self, rng) -> None:
+        small = rng.gamma(3.0, 2.0, 5_000).astype(np.float64).tobytes()
+        large = rng.gamma(3.0, 2.0, 500_000).astype(np.float64).tobytes()
+        assert (
+            classify_distribution(small, DataType.FLOAT64).distribution
+            == classify_distribution(large, DataType.FLOAT64).distribution
+        )

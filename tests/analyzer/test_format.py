@@ -1,0 +1,61 @@
+"""Format detection: magic numbers and text-structure heuristics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analyzer import DataFormat, detect_format
+from repro.analyzer.format import H5LITE_MAGIC
+
+
+class TestMagic:
+    def test_h5lite_magic(self) -> None:
+        assert detect_format(H5LITE_MAGIC + b"anything") is DataFormat.H5LITE
+
+    def test_real_h5lite_file(self, rng) -> None:
+        from repro.workloads import h5lite_block
+
+        blob = h5lite_block("float64", "gamma", 8192, rng)
+        assert detect_format(blob) is DataFormat.H5LITE
+
+
+class TestTextFormats:
+    def test_csv(self) -> None:
+        text = "\n".join(f"{i},{i * 2},{i % 5}" for i in range(200)).encode()
+        assert detect_format(text) is DataFormat.CSV
+
+    def test_tsv(self) -> None:
+        text = "\n".join(f"{i}\t{i * 2}" for i in range(200)).encode()
+        assert detect_format(text) is DataFormat.CSV
+
+    def test_inconsistent_delimiters_not_csv(self) -> None:
+        text = b"one,two,three\nfour\nfive,six\nseven,eight,nine,ten\n" * 20
+        assert detect_format(text) is DataFormat.TEXT
+
+    def test_json_object(self) -> None:
+        doc = (
+            "{" + ",".join(f'"k{i}": {i}' for i in range(100)) + "}"
+        ).encode()
+        assert detect_format(doc) is DataFormat.JSON
+
+    def test_json_array(self) -> None:
+        doc = ("[" + ",".join(f'{{"a": {i}}}' for i in range(100)) + "]").encode()
+        assert detect_format(doc) is DataFormat.JSON
+
+    def test_prose(self) -> None:
+        prose = b"Just some plain prose without any structure at all. " * 100
+        assert detect_format(prose) is DataFormat.TEXT
+
+
+class TestBinary:
+    def test_random_bytes(self, rng) -> None:
+        data = rng.integers(0, 256, 10_000, dtype=np.uint8).tobytes()
+        assert detect_format(data) is DataFormat.BINARY
+
+    def test_float_array(self, rng) -> None:
+        data = rng.normal(0, 1, 5_000).astype(np.float64).tobytes()
+        assert detect_format(data) is DataFormat.BINARY
+
+    def test_empty(self) -> None:
+        assert detect_format(b"") is DataFormat.BINARY

@@ -1,0 +1,89 @@
+"""Feature encoding: reference categories, interactions, stability."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccp import FeatureEncoder, ObservationKey
+
+
+@pytest.fixture()
+def encoder() -> FeatureEncoder:
+    return FeatureEncoder()
+
+
+def _key(**kw) -> ObservationKey:
+    defaults = dict(
+        dtype="float32",
+        data_format="binary",
+        distribution="normal",
+        codec="zlib",
+        size=1 << 20,
+    )
+    defaults.update(kw)
+    return ObservationKey(**defaults)
+
+
+class TestEncoding:
+    def test_width_is_consistent(self, encoder) -> None:
+        row = encoder.encode(_key())
+        assert row.shape == (encoder.width,)
+
+    def test_intercept_always_set(self, encoder) -> None:
+        assert encoder.encode(_key())[0] == 1.0
+
+    def test_distinct_keys_distinct_rows(self, encoder) -> None:
+        a = encoder.encode(_key(codec="zlib"))
+        b = encoder.encode(_key(codec="lz4"))
+        assert not np.array_equal(a, b)
+
+    def test_reference_categories_encode_to_baseline(self, encoder) -> None:
+        """float64/h5lite/uniform (block references) contribute zeros, so
+        their row has strictly fewer active features."""
+        reference = encoder.encode(
+            _key(dtype="float64", data_format="h5lite", distribution="uniform")
+        )
+        other = encoder.encode(_key())
+        assert reference.sum() < other.sum()
+
+    def test_unknown_categories_match_reference(self, encoder) -> None:
+        unknown = encoder.encode(_key(data_format="netcdf"))
+        reference = encoder.encode(_key(data_format="h5lite"))
+        assert np.array_equal(unknown, reference)
+
+    def test_size_feature_monotone(self, encoder) -> None:
+        small = encoder.encode(_key(size=4096))
+        large = encoder.encode(_key(size=1 << 30))
+        diff = large - small
+        assert (diff >= 0).all()
+        assert diff.sum() > 0
+
+    def test_interaction_features_present(self, encoder) -> None:
+        """codec x distribution pairs activate distinct interaction cells."""
+        a = encoder.encode(_key(codec="zlib", distribution="normal"))
+        b = encoder.encode(_key(codec="zlib", distribution="gamma"))
+        c = encoder.encode(_key(codec="lz4", distribution="normal"))
+        # All three share the zlib or normal main effects but no two share
+        # the same interaction cell.
+        tail = encoder.width - 1
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_batch_encode(self, encoder) -> None:
+        keys = [_key(codec=c) for c in ("zlib", "lz4", "bsc")]
+        X = encoder.encode_batch(keys)
+        assert X.shape == (3, encoder.width)
+        assert np.array_equal(X[0], encoder.encode(keys[0]))
+
+    def test_empty_batch(self, encoder) -> None:
+        assert encoder.encode_batch([]).shape == (0, encoder.width)
+
+    def test_codecs_property_includes_identity(self, encoder) -> None:
+        assert encoder.codecs[0] == "none"
+
+
+class TestObservationKey:
+    def test_negative_size_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ObservationKey("float64", "binary", "normal", "zlib", -1)

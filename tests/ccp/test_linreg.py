@@ -1,0 +1,140 @@
+"""OLS and recursive least squares."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccp import OlsModel, RecursiveLeastSquares
+from repro.errors import ModelError
+
+
+def _linear_data(n=200, width=4, noise=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    theta = np.array([2.0, -1.0, 0.5, 3.0])[:width]
+    X = rng.normal(0, 1, (n, width))
+    X[:, 0] = 1.0
+    y = X @ theta + rng.normal(0, noise, n)
+    return X, y, theta
+
+
+class TestOls:
+    def test_recovers_coefficients(self) -> None:
+        X, y, theta = _linear_data()
+        model = OlsModel(4)
+        model.fit(X, y)
+        assert np.allclose(model.theta, theta, atol=0.05)
+
+    def test_predict_matrix_and_vector(self) -> None:
+        X, y, _ = _linear_data()
+        model = OlsModel(4)
+        model.fit(X, y)
+        assert model.predict(X).shape == (200,)
+        assert isinstance(model.predict(X[0]), float)
+
+    def test_fit_report_quality_metrics(self) -> None:
+        X, y, _ = _linear_data(noise=0.01)
+        report = OlsModel(4).fit(X, y)
+        assert report.r2 > 0.99
+        assert report.adjusted_r2 <= report.r2 + 1e-9
+        assert report.f_statistic > 100
+        assert report.p_values.shape == (4,)
+        assert (report.p_values[1:] < 0.01).all()
+
+    def test_noisy_fit_lower_r2(self) -> None:
+        X, y, _ = _linear_data(noise=2.0)
+        report = OlsModel(4).fit(X, y)
+        assert report.r2 < 0.95
+
+    def test_predict_before_fit(self) -> None:
+        with pytest.raises(ModelError):
+            OlsModel(3).predict(np.zeros(3))
+
+    def test_shape_validation(self) -> None:
+        model = OlsModel(4)
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((10, 3)), np.zeros(10))
+        with pytest.raises(ModelError):
+            model.fit(np.zeros((10, 4)), np.zeros(9))
+
+    def test_too_few_samples(self) -> None:
+        with pytest.raises(ModelError):
+            OlsModel(2).fit(np.zeros((1, 2)), np.zeros(1))
+
+    def test_collinear_design_does_not_crash(self) -> None:
+        """One-hot blocks overlapping the intercept are the normal case."""
+        rng = np.random.default_rng(1)
+        X = np.zeros((100, 4))
+        X[:, 0] = 1.0
+        picks = rng.integers(1, 4, 100)
+        X[np.arange(100), picks] = 1.0  # columns 1..3 sum to the intercept
+        y = picks.astype(float)
+        report = OlsModel(4).fit(X, y)
+        assert report.r2 > 0.99
+
+
+class TestRls:
+    def test_converges_to_true_parameters(self) -> None:
+        X, y, theta = _linear_data(n=500)
+        rls = RecursiveLeastSquares(4)
+        for xi, yi in zip(X, y):
+            rls.update(xi, yi)
+        assert np.allclose(rls.theta, theta, atol=0.05)
+
+    def test_from_ols_continues(self) -> None:
+        X, y, _ = _linear_data()
+        ols = OlsModel(4)
+        ols.fit(X, y)
+        rls = RecursiveLeastSquares.from_ols(ols)
+        assert np.allclose(rls.theta, ols.theta)
+        before = rls.predict(X[0])
+        rls.update(X[0], y[0] + 5.0)
+        assert rls.predict(X[0]) != before
+
+    def test_from_unfitted_ols(self) -> None:
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares.from_ols(OlsModel(3))
+
+    def test_update_returns_pre_update_error(self) -> None:
+        rls = RecursiveLeastSquares(2)
+        error = rls.update(np.array([1.0, 0.0]), 10.0)
+        assert error == pytest.approx(10.0)
+
+    def test_adapts_to_shifted_target(self) -> None:
+        """After a drift, repeated observations pull predictions over."""
+        rls = RecursiveLeastSquares(2)
+        x = np.array([1.0, 1.0])
+        for _ in range(50):
+            rls.update(x, 1.0)
+        for _ in range(200):
+            rls.update(x, 3.0)
+        assert rls.predict(x) == pytest.approx(3.0, abs=0.7)
+
+    def test_no_windup_on_repeated_updates(self) -> None:
+        """Tens of thousands of one-direction updates must not blow up
+        the covariance (the historical lam<1 failure mode)."""
+        rls = RecursiveLeastSquares(8)
+        x = np.zeros(8)
+        x[0] = 1.0
+        for _ in range(30_000):
+            rls.update(x, 1.0)
+        probe = np.ones(8)
+        assert abs(rls.predict(probe)) < 100.0
+        assert np.isfinite(rls.P).all()
+
+    def test_validation(self) -> None:
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares(0)
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares(2, lam=0.3)
+        with pytest.raises(ModelError):
+            RecursiveLeastSquares(2, theta=np.zeros(3))
+        rls = RecursiveLeastSquares(2)
+        with pytest.raises(ModelError):
+            rls.update(np.zeros(3), 1.0)
+
+    def test_update_counter(self) -> None:
+        rls = RecursiveLeastSquares(2)
+        rls.update(np.array([1.0, 0.0]), 1.0)
+        rls.update(np.array([0.0, 1.0]), 2.0)
+        assert rls.updates == 2

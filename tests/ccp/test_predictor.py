@@ -1,0 +1,158 @@
+"""The Compression Cost Predictor: seed fit, inference, online learning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccp import (
+    CompressionCostPredictor,
+    CostObservation,
+    ObservationKey,
+)
+from repro.errors import ModelError
+
+
+def _obs(codec="zlib", ratio=2.5, comp=30.0, decomp=400.0, dist="gamma",
+         dtype="float64", fmt="binary", size=65536) -> CostObservation:
+    return CostObservation(
+        key=ObservationKey(dtype, fmt, dist, codec, size),
+        compress_mbps=comp,
+        decompress_mbps=decomp,
+        ratio=ratio,
+    )
+
+
+@pytest.fixture()
+def fitted(seed) -> CompressionCostPredictor:
+    predictor = CompressionCostPredictor()
+    predictor.fit_seed(seed.observations)
+    return predictor
+
+
+class TestSeedFit:
+    def test_fit_reports_per_target(self, fitted) -> None:
+        reports = fitted.fit_reports
+        assert set(reports) == {"compress_mbps", "decompress_mbps", "ratio"}
+        # Speeds in nominal mode are deterministic per codec: near-perfect.
+        assert reports["compress_mbps"].r2 > 0.99
+        # Ratio model quality mirrors the paper's ~94% seed fit.
+        assert reports["ratio"].r2 > 0.85
+
+    def test_too_few_observations(self) -> None:
+        predictor = CompressionCostPredictor()
+        with pytest.raises(ModelError):
+            predictor.fit_seed([_obs()] * 3)
+
+    def test_unfitted_predict_raises(self) -> None:
+        with pytest.raises(ModelError):
+            CompressionCostPredictor().predict(
+                ObservationKey("float64", "binary", "gamma", "zlib", 100)
+            )
+
+
+class TestInference:
+    def test_identity_is_analytic(self) -> None:
+        predictor = CompressionCostPredictor()  # even unfitted
+        ecc = predictor.predict(
+            ObservationKey("float64", "binary", "gamma", "none", 100)
+        )
+        assert ecc.ratio == 1.0
+        assert ecc.compress_mbps > 1000
+
+    def test_speed_predictions_match_nominal_profiles(self, fitted) -> None:
+        from repro.codecs import get_profile
+
+        for codec in ("zlib", "lz4", "lzma"):
+            ecc = fitted.predict(
+                ObservationKey("float64", "binary", "gamma", codec, 65536)
+            )
+            nominal = get_profile(codec)
+            assert ecc.compress_mbps == pytest.approx(
+                nominal.compress_mbps, rel=0.15
+            )
+
+    def test_ratio_ordering_heavy_vs_light(self, fitted) -> None:
+        heavy = fitted.predict(
+            ObservationKey("float64", "binary", "gamma", "lzma", 65536)
+        )
+        light = fitted.predict(
+            ObservationKey("float64", "binary", "gamma", "snappy", 65536)
+        )
+        assert heavy.ratio > light.ratio
+
+    def test_uniform_data_predicts_lower_ratio_than_gamma(self, fitted) -> None:
+        # Quantised uniform floats still compress a little (zeroed mantissa
+        # tails), but skewed data must predict strictly better.
+        uniform = fitted.predict(
+            ObservationKey("float64", "binary", "uniform", "zlib", 65536)
+        )
+        gamma = fitted.predict(
+            ObservationKey("float64", "binary", "gamma", "zlib", 65536)
+        )
+        assert uniform.ratio < gamma.ratio
+
+    def test_predict_all_covers_roster(self, fitted) -> None:
+        table = fitted.predict_all("float64", "binary", "gamma", 65536)
+        assert "none" in table
+        assert len(table) == 12
+
+    def test_predictions_never_degenerate(self, fitted) -> None:
+        """Clamps keep outputs positive and finite for any key."""
+        ecc = fitted.predict(
+            ObservationKey("weird", "unknown", "alien", "zlib", 1)
+        )
+        assert 0 < ecc.ratio < 2**21
+        assert ecc.compress_mbps > 0
+
+
+class TestOnlineLearning:
+    def test_observe_moves_predictions(self, fitted) -> None:
+        key = ObservationKey("float64", "binary", "gamma", "zlib", 65536)
+        before = fitted.predict(key).ratio
+        target = before * 2.0
+        for _ in range(100):
+            fitted.observe(_obs(ratio=target))
+        after = fitted.predict(key).ratio
+        assert abs(after - target) < abs(before - target)
+
+    def test_observe_requires_fit(self) -> None:
+        with pytest.raises(ModelError):
+            CompressionCostPredictor().observe(_obs())
+
+    def test_identity_observations_ignored(self, fitted) -> None:
+        seen = fitted.observations_seen
+        fitted.observe(_obs(codec="none", ratio=1.0))
+        assert fitted.observations_seen == seen
+
+    def test_accuracy_warms_up(self, fitted) -> None:
+        assert fitted.accuracy("ratio") is None
+        for i in range(32):
+            fitted.observe(_obs(ratio=2.0 + 0.1 * (i % 5)))
+        assert fitted.accuracy("ratio") is not None
+
+    def test_accuracy_unknown_target(self, fitted) -> None:
+        with pytest.raises(ModelError):
+            fitted.accuracy("latency")
+
+    def test_cache_invalidated_by_observe(self, fitted) -> None:
+        key = ObservationKey("float64", "binary", "gamma", "zlib", 65536)
+        first = fitted.predict(key)
+        assert fitted.predict(key) is first  # cached
+        fitted.observe(_obs(ratio=9.0))
+        assert fitted.predict(key) is not first
+
+
+class TestPersistence:
+    def test_export_import_theta(self, fitted) -> None:
+        key = ObservationKey("float64", "binary", "gamma", "zlib", 65536)
+        expected = fitted.predict(key)
+        theta = fitted.export_theta()
+        clone = CompressionCostPredictor()
+        clone.import_theta(theta)
+        assert clone.predict(key).ratio == pytest.approx(expected.ratio)
+
+    def test_import_missing_head(self, fitted) -> None:
+        theta = fitted.export_theta()
+        del theta["ratio"]
+        with pytest.raises(ModelError):
+            CompressionCostPredictor().import_theta(theta)

@@ -1,0 +1,88 @@
+"""JSON seed persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ccp import CostObservation, ObservationKey, SeedData, load_seed, save_seed
+from repro.errors import SeedError
+
+
+def _seed() -> SeedData:
+    return SeedData(
+        observations=[
+            CostObservation(
+                key=ObservationKey("float64", "binary", "gamma", "zlib", 65536),
+                compress_mbps=30.0,
+                decompress_mbps=400.0,
+                ratio=2.5,
+            ),
+            CostObservation(
+                key=ObservationKey("text", "csv", "text", "snappy", 4096),
+                compress_mbps=560.0,
+                decompress_mbps=1800.0,
+                ratio=3.1,
+            ),
+        ],
+        system_signature={"ram": {"bandwidth": 1e9, "latency": 1e-6}},
+        weights={"compression": 1.0, "ratio": 1.0, "decompression": 0.0},
+    )
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path) -> None:
+        path = tmp_path / "seed.json"
+        save_seed(_seed(), path)
+        loaded = load_seed(path)
+        assert loaded.observations == _seed().observations
+        assert loaded.system_signature == _seed().system_signature
+        assert loaded.weights == _seed().weights
+
+    def test_file_is_plain_json(self, tmp_path) -> None:
+        path = tmp_path / "seed.json"
+        save_seed(_seed(), path)
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert len(doc["observations"]) == 2
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path) -> None:
+        with pytest.raises(SeedError):
+            load_seed(tmp_path / "ghost.json")
+
+    def test_invalid_json(self, tmp_path) -> None:
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SeedError):
+            load_seed(path)
+
+    def test_non_object_document(self, tmp_path) -> None:
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SeedError):
+            load_seed(path)
+
+    def test_malformed_observation(self, tmp_path) -> None:
+        path = tmp_path / "seed.json"
+        path.write_text(json.dumps({
+            "version": 1,
+            "observations": [{"dtype": "float64"}],  # missing fields
+        }))
+        with pytest.raises(SeedError, match="observation #0"):
+            load_seed(path)
+
+    def test_wrong_version(self, tmp_path) -> None:
+        path = tmp_path / "seed.json"
+        path.write_text(json.dumps({"version": 99, "observations": []}))
+        with pytest.raises(SeedError, match="version"):
+            load_seed(path)
+
+    def test_observation_invariants(self) -> None:
+        key = ObservationKey("float64", "binary", "gamma", "zlib", 100)
+        with pytest.raises(SeedError):
+            CostObservation(key, compress_mbps=0, decompress_mbps=1, ratio=1)
+        with pytest.raises(SeedError):
+            CostObservation(key, compress_mbps=1, decompress_mbps=1, ratio=0)

@@ -1,0 +1,156 @@
+"""Codec registry, factory, and metadata behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import (
+    Codec,
+    CodecMeta,
+    codec_ids,
+    codec_names,
+    get_codec,
+    iter_codecs,
+)
+from repro.codecs.base import register_codec
+from repro.errors import CodecError, UnknownCodecError
+
+
+class TestRegistry:
+    def test_identity_is_id_zero(self) -> None:
+        assert get_codec(0).meta.name == "none"
+
+    def test_paper_roster_registered(self) -> None:
+        names = set(codec_names())
+        for expected in (
+            "none", "bzip2", "zlib", "huffman", "brotli", "bsc", "lzma",
+            "lz4", "lzo", "pithy", "snappy", "quicklz", "rle",
+        ):
+            assert expected in names
+
+    def test_lookup_by_name_and_id_agree(self) -> None:
+        for codec in iter_codecs():
+            assert get_codec(codec.meta.name) is codec
+            assert get_codec(codec.meta.codec_id) is codec
+
+    def test_ids_are_unique_and_sorted(self) -> None:
+        ids = codec_ids()
+        assert ids == sorted(set(ids))
+
+    def test_unknown_name_raises(self) -> None:
+        with pytest.raises(UnknownCodecError):
+            get_codec("zstd")
+
+    def test_unknown_id_raises(self) -> None:
+        with pytest.raises(UnknownCodecError):
+            get_codec(9999)
+
+    def test_unknown_codec_error_is_codec_error_and_keyerror(self) -> None:
+        with pytest.raises(CodecError):
+            get_codec("nope")
+        with pytest.raises(KeyError):
+            get_codec("nope")
+
+    def test_codec_singletons(self) -> None:
+        assert get_codec("zlib") is get_codec("zlib")
+
+    def test_exclude_identity(self) -> None:
+        assert "none" not in codec_names(include_identity=False)
+
+    def test_iteration_order_by_id(self) -> None:
+        ids = [c.meta.codec_id for c in iter_codecs()]
+        assert ids == sorted(ids)
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self) -> None:
+        class Dup(Codec):
+            meta = CodecMeta(name="zlib", codec_id=200, family="none")
+
+            def compress(self, data):  # pragma: no cover
+                return data
+
+            def decompress(self, payload):  # pragma: no cover
+                return payload
+
+        with pytest.raises(CodecError, match="duplicate codec name"):
+            register_codec(Dup)
+
+    def test_duplicate_id_rejected(self) -> None:
+        class Dup(Codec):
+            meta = CodecMeta(name="definitely-new", codec_id=1, family="none")
+
+            def compress(self, data):  # pragma: no cover
+                return data
+
+            def decompress(self, payload):  # pragma: no cover
+                return payload
+
+        with pytest.raises(CodecError, match="duplicate codec id"):
+            register_codec(Dup)
+
+    def test_bad_family_rejected(self) -> None:
+        class Bad(Codec):
+            meta = CodecMeta(name="badfam", codec_id=201, family="quantum")
+
+            def compress(self, data):  # pragma: no cover
+                return data
+
+            def decompress(self, payload):  # pragma: no cover
+                return payload
+
+        with pytest.raises(CodecError, match="unknown codec family"):
+            register_codec(Bad)
+
+    def test_missing_meta_rejected(self) -> None:
+        class NoMeta(Codec):
+            def compress(self, data):  # pragma: no cover
+                return data
+
+            def decompress(self, payload):  # pragma: no cover
+                return payload
+
+        with pytest.raises(CodecError, match="CodecMeta"):
+            register_codec(NoMeta)
+
+    def test_negative_id_rejected(self) -> None:
+        class Neg(Codec):
+            meta = CodecMeta(name="negid", codec_id=-3, family="none")
+
+            def compress(self, data):  # pragma: no cover
+                return data
+
+            def decompress(self, payload):  # pragma: no cover
+                return payload
+
+        with pytest.raises(CodecError, match="non-negative"):
+            register_codec(Neg)
+
+
+class TestStdlibLevels:
+    def test_zlib_level_validation(self) -> None:
+        from repro.codecs.zlib_codec import ZlibCodec
+
+        with pytest.raises(ValueError):
+            ZlibCodec(level=0)
+        with pytest.raises(ValueError):
+            ZlibCodec(level=10)
+
+    def test_bzip2_level_validation(self) -> None:
+        from repro.codecs.bzip2_codec import Bzip2Codec
+
+        with pytest.raises(ValueError):
+            Bzip2Codec(level=0)
+
+    def test_lzma_preset_validation(self) -> None:
+        from repro.codecs.lzma_codec import LzmaCodec
+
+        with pytest.raises(ValueError):
+            LzmaCodec(preset=10)
+
+    def test_stdlib_flag(self) -> None:
+        assert get_codec("zlib").meta.stdlib
+        assert get_codec("bzip2").meta.stdlib
+        assert get_codec("lzma").meta.stdlib
+        assert not get_codec("lz4").meta.stdlib
+        assert not get_codec("bsc").meta.stdlib

@@ -1,0 +1,94 @@
+"""Burrows-Wheeler transform: suffix array correctness and inversion."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.bwt import bwt_decode, bwt_encode, suffix_array
+from repro.errors import CorruptDataError
+
+
+def _naive_suffix_array(arr: np.ndarray) -> np.ndarray:
+    suffixes = [tuple(arr[i:]) for i in range(len(arr))]
+    return np.array(sorted(range(len(arr)), key=lambda i: suffixes[i]))
+
+
+class TestSuffixArray:
+    @pytest.mark.parametrize(
+        "text",
+        [b"banana", b"mississippi", b"aaaaaa", b"abcabcabc", b"z", b"ba"],
+    )
+    def test_against_naive(self, text: bytes) -> None:
+        arr = np.frombuffer(text, dtype=np.uint8).astype(np.int32)
+        assert (suffix_array(arr) == _naive_suffix_array(arr)).all()
+
+    def test_random_against_naive(self) -> None:
+        rng = np.random.default_rng(17)
+        for _ in range(10):
+            arr = rng.integers(0, 5, rng.integers(2, 200)).astype(np.int32)
+            assert (suffix_array(arr) == _naive_suffix_array(arr)).all()
+
+    def test_empty_and_singleton(self) -> None:
+        assert suffix_array(np.array([], dtype=np.int32)).size == 0
+        assert (suffix_array(np.array([7], dtype=np.int32)) == [0]).all()
+
+    def test_is_permutation(self) -> None:
+        rng = np.random.default_rng(3)
+        arr = rng.integers(0, 256, 5000).astype(np.int32)
+        sa = suffix_array(arr)
+        assert sorted(sa.tolist()) == list(range(5000))
+
+
+class TestBwt:
+    def test_banana_known_vector(self) -> None:
+        # Sorted rotations of "banana$" give last column "annb$aa"; with
+        # the sentinel elided the column is "annbaa" at primary index 4.
+        column, primary = bwt_encode(b"banana")
+        assert column == b"annbaa"
+        assert primary == 4
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"ab",
+            b"banana",
+            b"the quick brown fox " * 50,
+            bytes(1000),
+            bytes(range(256)),
+        ],
+    )
+    def test_roundtrip(self, data: bytes) -> None:
+        column, primary = bwt_encode(data)
+        assert len(column) == len(data)
+        assert bwt_decode(column, primary) == data
+
+    def test_roundtrip_random(self) -> None:
+        rng = np.random.default_rng(23)
+        for _ in range(8):
+            data = rng.integers(0, 256, rng.integers(1, 3000), dtype=np.uint8).tobytes()
+            column, primary = bwt_encode(data)
+            assert bwt_decode(column, primary) == data
+
+    def test_groups_similar_contexts(self) -> None:
+        """BWT of periodic text has longer runs than the input."""
+        data = b"abracadabra" * 200
+        column, _ = bwt_encode(data)
+
+        def runs(buf: bytes) -> int:
+            return 1 + sum(1 for a, b in zip(buf, buf[1:]) if a != b)
+
+        assert runs(column) < runs(data) / 2
+
+    def test_decode_bad_index(self) -> None:
+        column, _ = bwt_encode(b"hello world")
+        with pytest.raises(CorruptDataError):
+            bwt_decode(column, len(column) + 5)
+        with pytest.raises(CorruptDataError):
+            bwt_decode(column, -1)
+
+    def test_decode_empty_nonzero_index(self) -> None:
+        with pytest.raises(CorruptDataError):
+            bwt_decode(b"", 3)

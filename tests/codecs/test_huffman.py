@@ -1,0 +1,163 @@
+"""Canonical Huffman internals: code construction, limits, corruption."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_codec
+from repro.codecs.huffman import (
+    MAX_CODE_LEN,
+    build_code_lengths,
+    canonical_codes,
+)
+from repro.errors import CorruptDataError
+
+
+def _kraft(lengths: np.ndarray) -> float:
+    active = lengths[lengths > 0].astype(np.int64)
+    return float((2.0 ** (-active)).sum())
+
+
+class TestCodeLengths:
+    def test_uniform_frequencies_give_uniform_lengths(self) -> None:
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[:4] = 100
+        lengths = build_code_lengths(freqs)
+        assert set(lengths[:4]) == {2}
+        assert (lengths[4:] == 0).all()
+
+    def test_skew_gives_short_code_to_common_symbol(self) -> None:
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[0] = 1000
+        freqs[1:5] = 10
+        lengths = build_code_lengths(freqs)
+        assert lengths[0] < lengths[1]
+
+    def test_single_symbol_gets_length_one(self) -> None:
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[42] = 7
+        lengths = build_code_lengths(freqs)
+        assert lengths[42] == 1
+        assert lengths.sum() == 1
+
+    def test_empty_frequencies(self) -> None:
+        lengths = build_code_lengths(np.zeros(256, dtype=np.int64))
+        assert (lengths == 0).all()
+
+    def test_kraft_inequality_holds(self) -> None:
+        rng = np.random.default_rng(5)
+        for _ in range(20):
+            freqs = rng.integers(0, 1000, 256)
+            if freqs.sum() == 0:
+                continue
+            lengths = build_code_lengths(freqs)
+            assert _kraft(lengths) <= 1.0 + 1e-12
+
+    def test_length_limiting_fibonacci_counts(self) -> None:
+        """Fibonacci-like counts force depths past 15 without limiting."""
+        freqs = np.zeros(256, dtype=np.int64)
+        a, b = 1, 1
+        for i in range(40):
+            freqs[i] = a
+            a, b = b, a + b
+        lengths = build_code_lengths(freqs)
+        assert lengths.max() <= MAX_CODE_LEN
+        assert _kraft(lengths) <= 1.0 + 1e-12
+
+    def test_rejects_wrong_shape(self) -> None:
+        with pytest.raises(ValueError):
+            build_code_lengths(np.zeros(10))
+
+    def test_rejects_negative(self) -> None:
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[0] = -1
+        with pytest.raises(ValueError):
+            build_code_lengths(freqs)
+
+
+class TestCanonicalCodes:
+    def test_codes_are_prefix_free(self) -> None:
+        freqs = np.array([50, 30, 10, 5, 3, 2] + [0] * 250, dtype=np.int64)
+        lengths = build_code_lengths(freqs)
+        codes = canonical_codes(lengths)
+        entries = [
+            (int(codes[s]), int(lengths[s]))
+            for s in np.flatnonzero(lengths)
+        ]
+        for i, (code_a, len_a) in enumerate(entries):
+            for j, (code_b, len_b) in enumerate(entries):
+                if i == j:
+                    continue
+                if len_a <= len_b:
+                    assert (code_b >> (len_b - len_a)) != code_a, (
+                        f"{code_a:0{len_a}b} prefixes {code_b:0{len_b}b}"
+                    )
+
+    def test_canonical_ordering(self) -> None:
+        """Within one length, codes ascend with symbol value."""
+        freqs = np.zeros(256, dtype=np.int64)
+        freqs[10] = freqs[20] = freqs[30] = freqs[40] = 5
+        lengths = build_code_lengths(freqs)
+        codes = canonical_codes(lengths)
+        assert codes[10] < codes[20] < codes[30] < codes[40]
+
+
+class TestCorruption:
+    def test_truncated_header(self) -> None:
+        codec = get_codec("huffman")
+        with pytest.raises(CorruptDataError):
+            codec.decompress(b"\x00\x01")
+
+    def test_unknown_mode(self) -> None:
+        codec = get_codec("huffman")
+        payload = bytearray(codec.compress(b"x" * 100))
+        payload[0] = 7
+        with pytest.raises(CorruptDataError):
+            codec.decompress(bytes(payload))
+
+    def test_stored_length_mismatch(self) -> None:
+        codec = get_codec("huffman")
+        payload = codec.compress(b"tiny")  # stored mode
+        with pytest.raises(CorruptDataError):
+            codec.decompress(payload + b"extra")
+
+    def test_truncated_bitstream(self) -> None:
+        codec = get_codec("huffman")
+        data = bytes(range(256)) * 40
+        payload = codec.compress(data)
+        with pytest.raises(CorruptDataError):
+            codec.decompress(payload[: len(payload) // 2])
+
+    def test_tampered_code_table(self) -> None:
+        """The format carries no checksum, so tampering with the code
+        table must either raise or decode to something else — silently
+        returning the original would mean the table is ignored."""
+        codec = get_codec("huffman")
+        data = b"abcabcabc" * 2000
+        payload = bytearray(codec.compress(data))
+        assert payload[0] == 0, "expected coded mode"
+        # Tamper the nibble-packed length entry of symbol 'a' (0x61):
+        # table starts after the 9-byte header, one byte per 2 symbols.
+        payload[9 + 0x61 // 2] ^= 0xFF
+        try:
+            restored = codec.decompress(bytes(payload))
+        except CorruptDataError:
+            return
+        assert restored != data
+
+
+class TestStoredFallback:
+    def test_small_inputs_stored(self) -> None:
+        codec = get_codec("huffman")
+        data = b"small"
+        payload = codec.compress(data)
+        assert payload[0] == 1
+        assert codec.decompress(payload) == data
+
+    def test_incompressible_falls_back(self) -> None:
+        codec = get_codec("huffman")
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        payload = codec.compress(data)
+        assert len(payload) <= len(data) + 16

@@ -1,0 +1,156 @@
+"""LZ77 machinery: matcher invariants, frames, varints, copy semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.lz77 import (
+    MODE_CODED,
+    MODE_STORED,
+    MatchParams,
+    Token,
+    copy_match,
+    find_tokens,
+    frame_parse,
+    frame_wrap,
+    read_varint,
+    write_varint,
+)
+from repro.errors import CorruptDataError
+
+
+def _assert_tiling(data: bytes, tokens: list[Token], params: MatchParams) -> None:
+    cursor = 0
+    for tok in tokens:
+        assert tok.lit_start == cursor
+        cursor += tok.lit_len + tok.match_len
+        if tok.match_len:
+            assert params.min_match <= tok.match_len <= params.max_match
+            assert 1 <= tok.offset <= params.window
+            # The match must reproduce the actual bytes.
+            src = tok.lit_start + tok.lit_len - tok.offset
+            for k in range(tok.match_len):
+                assert data[src + k] == data[tok.lit_start + tok.lit_len + k]
+        else:
+            assert tok.offset == 0
+    assert cursor == len(data)
+
+
+class TestMatcher:
+    @pytest.mark.parametrize(
+        "params",
+        [
+            MatchParams(),
+            MatchParams(hash_bits=12, min_match=3, window=8192, skip_trigger=4),
+            MatchParams(hash_bits=14, min_match=6, max_match=64, window=1 << 20),
+        ],
+    )
+    def test_tokens_tile_input(self, params: MatchParams) -> None:
+        rng = np.random.default_rng(11)
+        for data in (
+            b"",
+            b"abc",
+            b"abcabcabcabcabcabc" * 50,
+            rng.integers(0, 8, 5000, dtype=np.uint8).tobytes(),
+            rng.integers(0, 256, 5000, dtype=np.uint8).tobytes(),
+            bytes(3000),
+        ):
+            _assert_tiling(data, find_tokens(data, params), params)
+
+    def test_empty_input_no_tokens(self) -> None:
+        assert find_tokens(b"", MatchParams()) == []
+
+    def test_repetitive_input_finds_matches(self) -> None:
+        tokens = find_tokens(b"0123456789" * 500, MatchParams())
+        assert any(t.match_len > 0 for t in tokens)
+
+    def test_random_input_mostly_literals(self) -> None:
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, 20_000, dtype=np.uint8).tobytes()
+        tokens = find_tokens(data, MatchParams())
+        matched = sum(t.match_len for t in tokens)
+        assert matched < len(data) * 0.05
+
+    def test_params_validation(self) -> None:
+        with pytest.raises(ValueError):
+            MatchParams(hash_bits=4)
+        with pytest.raises(ValueError):
+            MatchParams(min_match=2)
+        with pytest.raises(ValueError):
+            MatchParams(min_match=8, max_match=7)
+        with pytest.raises(ValueError):
+            MatchParams(window=0)
+
+
+class TestCopyMatch:
+    def test_non_overlapping(self) -> None:
+        out = bytearray(b"abcdef")
+        copy_match(out, offset=6, length=3)
+        assert out == b"abcdefabc"
+
+    def test_overlapping_run(self) -> None:
+        out = bytearray(b"x")
+        copy_match(out, offset=1, length=7)
+        assert out == b"x" * 8
+
+    def test_overlapping_pattern(self) -> None:
+        out = bytearray(b"ab")
+        copy_match(out, offset=2, length=5)
+        assert out == b"abababa"
+
+    def test_bad_offset(self) -> None:
+        with pytest.raises(CorruptDataError):
+            copy_match(bytearray(b"abc"), offset=4, length=2)
+        with pytest.raises(CorruptDataError):
+            copy_match(bytearray(b"abc"), offset=0, length=2)
+
+
+class TestFrame:
+    def test_roundtrip(self) -> None:
+        framed = frame_wrap(MODE_CODED, 1234, b"body")
+        mode, size, body = frame_parse(framed, "test")
+        assert (mode, size, body) == (MODE_CODED, 1234, b"body")
+
+    def test_stored_length_checked(self) -> None:
+        framed = frame_wrap(MODE_STORED, 10, b"short")
+        with pytest.raises(CorruptDataError):
+            frame_parse(framed, "test")
+
+    def test_truncated_header(self) -> None:
+        with pytest.raises(CorruptDataError):
+            frame_parse(b"\x00", "test")
+
+    def test_unknown_mode(self) -> None:
+        with pytest.raises(CorruptDataError):
+            frame_parse(frame_wrap(5, 0, b""), "test")
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2**20, 2**40, 2**63 - 1])
+    def test_roundtrip(self, value: int) -> None:
+        buf = bytearray()
+        write_varint(buf, value)
+        decoded, pos = read_varint(bytes(buf), 0)
+        assert decoded == value
+        assert pos == len(buf)
+
+    def test_negative_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            write_varint(bytearray(), -1)
+
+    def test_truncated(self) -> None:
+        with pytest.raises(CorruptDataError):
+            read_varint(b"\x80\x80", 0)
+
+    def test_overlong(self) -> None:
+        with pytest.raises(CorruptDataError):
+            read_varint(b"\x80" * 12, 0)
+
+    def test_sequential_reads(self) -> None:
+        buf = bytearray()
+        write_varint(buf, 5)
+        write_varint(buf, 500)
+        a, pos = read_varint(bytes(buf), 0)
+        b, pos = read_varint(bytes(buf), pos)
+        assert (a, b) == (5, 500)

@@ -1,0 +1,81 @@
+"""The 16-byte sub-task header (paper §IV-G2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import HEADER_SIZE, SubTaskHeader, unwrap_payload, wrap_payload
+from repro.errors import SchemaError
+
+
+class TestHeader:
+    def test_is_exactly_sixteen_bytes(self) -> None:
+        assert HEADER_SIZE == 16
+        header = SubTaskHeader(0, 100, 1, 50)
+        assert len(header.pack()) == 16
+
+    def test_pack_unpack_roundtrip(self) -> None:
+        header = SubTaskHeader(4096, 8192, 5, 3000)
+        assert SubTaskHeader.unpack(header.pack()) == header
+
+    def test_u32_bounds_enforced(self) -> None:
+        with pytest.raises(SchemaError):
+            SubTaskHeader(-1, 0, 0, 0)
+        with pytest.raises(SchemaError):
+            SubTaskHeader(0, 2**32, 0, 0)
+
+    def test_unpack_short_buffer(self) -> None:
+        with pytest.raises(SchemaError):
+            SubTaskHeader.unpack(b"\x00" * 8)
+
+    def test_unpack_ignores_trailing_bytes(self) -> None:
+        header = SubTaskHeader(1, 2, 3, 4)
+        assert SubTaskHeader.unpack(header.pack() + b"payload") == header
+
+
+class TestWrapUnwrap:
+    def test_roundtrip_with_real_codec(self) -> None:
+        data = b"compress me please " * 500
+        blob, header = wrap_payload(data, start_offset=4096, codec_name="zlib")
+        assert header.start_offset == 4096
+        assert header.length == len(data)
+        assert header.codec_id == 1
+        assert len(blob) == HEADER_SIZE + header.resulting_size
+        restored, parsed = unwrap_payload(blob)
+        assert restored == data
+        assert parsed == header
+
+    def test_identity_codec_wrap(self) -> None:
+        data = b"raw bytes"
+        blob, header = wrap_payload(data, 0, "none")
+        assert header.codec_id == 0
+        assert header.resulting_size == len(data)
+        assert unwrap_payload(blob)[0] == data
+
+    def test_decode_is_self_describing(self) -> None:
+        """The reader needs only the blob — no external codec hint."""
+        for codec in ("lz4", "bzip2", "huffman", "snappy"):
+            data = b"the same input bytes " * 300
+            blob, _ = wrap_payload(data, 0, codec)
+            restored, header = unwrap_payload(blob)
+            assert restored == data
+
+    def test_truncated_payload_detected(self) -> None:
+        blob, _ = wrap_payload(b"hello world " * 100, 0, "zlib")
+        with pytest.raises(SchemaError):
+            unwrap_payload(blob[:-5])
+
+    def test_header_length_mismatch_detected(self) -> None:
+        data = b"x" * 1000
+        blob, header = wrap_payload(data, 0, "none")
+        tampered = SubTaskHeader(
+            header.start_offset, header.length + 1, header.codec_id,
+            header.resulting_size,
+        )
+        with pytest.raises(SchemaError):
+            unwrap_payload(tampered.pack() + blob[HEADER_SIZE:])
+
+    def test_wrap_by_codec_id(self) -> None:
+        blob, header = wrap_payload(b"data " * 200, 0, 5)  # id 5 = lz4
+        assert header.codec_id == 5
+        assert unwrap_payload(blob)[0] == b"data " * 200

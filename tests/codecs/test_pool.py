@@ -1,0 +1,105 @@
+"""Compression Library Pool: roster, measurement, profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codecs import (
+    NOMINAL_PROFILES,
+    CompressionLibraryPool,
+    PAPER_LIBRARIES,
+    get_profile,
+    nominal_duration,
+)
+from repro.errors import UnknownCodecError
+from repro.units import MB
+
+
+class TestRoster:
+    def test_default_is_paper_roster(self) -> None:
+        pool = CompressionLibraryPool()
+        assert pool.names[0] == "none"
+        assert set(pool.names[1:]) == set(PAPER_LIBRARIES)
+        assert len(pool) == 12
+
+    def test_custom_roster(self) -> None:
+        pool = CompressionLibraryPool(["zlib", "lz4"])
+        assert pool.names == ("none", "zlib", "lz4")
+
+    def test_none_never_duplicated(self) -> None:
+        pool = CompressionLibraryPool(["none", "zlib"])
+        assert pool.names == ("none", "zlib")
+
+    def test_bad_roster_fails_eagerly(self) -> None:
+        with pytest.raises(UnknownCodecError):
+            CompressionLibraryPool(["zstd"])
+
+    def test_lookup_by_index_and_name(self) -> None:
+        pool = CompressionLibraryPool()
+        assert pool.codec(0).meta.name == "none"
+        assert pool.codec("zlib").meta.name == "zlib"
+        assert pool.index("none") == 0
+
+    def test_contains(self) -> None:
+        pool = CompressionLibraryPool()
+        assert "zlib" in pool
+        assert "zstd" not in pool
+
+    def test_unknown_member_lookup(self) -> None:
+        pool = CompressionLibraryPool(["zlib"])
+        with pytest.raises(KeyError):
+            pool.codec("lz4")  # registered codec, but not in this pool
+
+
+class TestMeasurement:
+    def test_measure_reports_ratio(self, gamma_f64) -> None:
+        pool = CompressionLibraryPool()
+        cost = pool.measure("zlib", gamma_f64)
+        assert cost.ratio > 1.2
+        assert cost.original_size == len(gamma_f64)
+        assert cost.compress_mbps > 0
+        assert cost.decompress_mbps > 0
+
+    def test_measure_all_skips_identity(self, gamma_f64) -> None:
+        pool = CompressionLibraryPool(["zlib", "lz4"])
+        costs = pool.measure_all(gamma_f64[:8192])
+        assert set(costs) == {"zlib", "lz4"}
+
+
+class TestProfiles:
+    def test_every_pool_member_has_profile(self) -> None:
+        pool = CompressionLibraryPool()
+        for name in pool.names:
+            assert get_profile(name).name == name
+
+    def test_speed_ordering_matches_families(self) -> None:
+        """Byte-LZ family faster than entropy, which beats archival."""
+        assert get_profile("lz4").compress_mbps > get_profile("huffman").compress_mbps
+        assert get_profile("huffman").compress_mbps > get_profile("zlib").compress_mbps
+        assert get_profile("zlib").compress_mbps > get_profile("lzma").compress_mbps
+
+    def test_ratio_hints_ordering(self) -> None:
+        """Heavier codecs promise better ratios on skewed data."""
+        assert get_profile("lzma").hint("gamma") > get_profile("lz4").hint("gamma")
+        assert get_profile("zlib").hint("gamma") > get_profile("snappy").hint("gamma")
+
+    def test_uniform_data_hint_near_one(self) -> None:
+        for name in NOMINAL_PROFILES:
+            assert get_profile(name).hint("uniform") <= 1.1
+
+    def test_unknown_profile(self) -> None:
+        with pytest.raises(UnknownCodecError):
+            get_profile("zstd")
+
+    def test_nominal_duration(self) -> None:
+        seconds = nominal_duration("zlib", 30 * MB, "compress")
+        assert seconds == pytest.approx(1.0)
+        assert nominal_duration("zlib", 30 * MB, "decompress") < seconds
+
+    def test_nominal_duration_bad_direction(self) -> None:
+        with pytest.raises(ValueError):
+            nominal_duration("zlib", 100, "sideways")
+
+    def test_nominal_seconds_via_pool(self) -> None:
+        pool = CompressionLibraryPool()
+        assert pool.nominal_seconds("lz4", 730 * MB) == pytest.approx(1.0)

@@ -1,0 +1,98 @@
+"""Property-based (hypothesis) tests of the codec layer."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.codecs import codec_names, get_codec
+from repro.codecs.bwt import bwt_decode, bwt_encode
+from repro.codecs.lz77 import read_varint, write_varint
+from repro.codecs.rle import rle_decode, rle_encode
+from repro.codecs.huffman import build_code_lengths, canonical_codes
+
+import numpy as np
+
+# Mixed generator: raw random bytes, low-entropy bytes, and repeated blocks
+# — exercises coded and stored paths of every codec.
+_buffers = st.one_of(
+    st.binary(max_size=4096),
+    st.binary(max_size=64).map(lambda b: b * 37),
+    st.lists(st.integers(0, 3), max_size=2048).map(bytes),
+)
+
+# The heavy pure-Python codecs (bsc's BWT) get a smaller budget.
+_FAST_CODECS = [n for n in codec_names() if n not in ("bsc",)]
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=_buffers, codec_name=st.sampled_from(_FAST_CODECS))
+def test_every_codec_roundtrips(data: bytes, codec_name: str) -> None:
+    codec = get_codec(codec_name)
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@settings(max_examples=10, deadline=None)
+@given(data=st.binary(max_size=1024))
+def test_bsc_roundtrips(data: bytes) -> None:
+    codec = get_codec("bsc")
+    assert codec.decompress(codec.compress(data)) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(max_size=2048))
+def test_bwt_is_a_permutation_and_invertible(data: bytes) -> None:
+    column, primary = bwt_encode(data)
+    assert sorted(column) == sorted(data)
+    assert bwt_decode(column, primary) == data
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=_buffers)
+def test_rle_stage_roundtrips(data: bytes) -> None:
+    assert rle_decode(rle_encode(data), len(data)) == data
+
+
+@settings(max_examples=100, deadline=None)
+@given(value=st.integers(min_value=0, max_value=2**63 - 1))
+def test_varint_roundtrips(value: int) -> None:
+    buf = bytearray()
+    write_varint(buf, value)
+    decoded, consumed = read_varint(bytes(buf), 0)
+    assert decoded == value
+    assert consumed == len(buf)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    counts=st.lists(st.integers(0, 10_000), min_size=256, max_size=256),
+)
+def test_huffman_lengths_satisfy_kraft(counts: list[int]) -> None:
+    freqs = np.array(counts, dtype=np.int64)
+    lengths = build_code_lengths(freqs)
+    active = lengths[lengths > 0].astype(np.float64)
+    if active.size:
+        assert float((2.0**-active).sum()) <= 1.0 + 1e-12
+    # Symbols with zero frequency never get codes.
+    assert (lengths[freqs == 0] == 0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    counts=st.lists(st.integers(0, 1000), min_size=256, max_size=256).filter(
+        lambda c: sum(1 for x in c if x) >= 2
+    ),
+)
+def test_huffman_codes_prefix_free(counts: list[int]) -> None:
+    freqs = np.array(counts, dtype=np.int64)
+    lengths = build_code_lengths(freqs)
+    codes = canonical_codes(lengths)
+    entries = sorted(
+        ((int(lengths[s]), int(codes[s])) for s in np.flatnonzero(lengths))
+    )
+    # Canonical codes sorted by (length, code): no earlier code may prefix
+    # a later one.
+    for (len_a, code_a), (len_b, code_b) in zip(entries, entries[1:]):
+        assert len_a <= len_b
+        assert (code_b >> (len_b - len_a)) > code_a or (
+            len_a == len_b and code_b > code_a
+        )

@@ -1,0 +1,78 @@
+"""Run-length codec and the raw RLE stage used inside bsc."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_codec
+from repro.codecs.rle import MIN_RUN, rle_decode, rle_encode
+from repro.errors import CorruptDataError
+
+
+class TestRawStage:
+    @pytest.mark.parametrize(
+        "data",
+        [
+            b"",
+            b"a",
+            b"ab",
+            b"aaa",
+            b"aaaa" + b"b" * 200 + b"xyz",
+            bytes(10_000),
+            b"ab" * 5_000,
+            bytes([7]) * 127 + bytes([8]) * 131,  # run-length boundaries
+            b"x" * (0x7F + MIN_RUN),  # exactly max run
+            b"x" * (0x7F + MIN_RUN + 1),  # one over max run
+        ],
+    )
+    def test_roundtrip(self, data: bytes) -> None:
+        assert rle_decode(rle_encode(data)) == data
+
+    def test_random_roundtrip(self) -> None:
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            data = rng.integers(0, 4, rng.integers(0, 2000), dtype=np.uint8).tobytes()
+            assert rle_decode(rle_encode(data)) == data
+
+    def test_long_runs_shrink(self) -> None:
+        data = bytes(5_000)
+        assert len(rle_encode(data)) < 200
+
+    def test_short_runs_kept_literal(self) -> None:
+        """Runs below MIN_RUN are cheaper as literals."""
+        data = b"aabbccddee" * 10
+        encoded = rle_encode(data)
+        assert rle_decode(encoded) == data
+
+    def test_expected_size_mismatch(self) -> None:
+        encoded = rle_encode(b"hello world")
+        with pytest.raises(CorruptDataError):
+            rle_decode(encoded, expected_size=5)
+
+    def test_truncated_run(self) -> None:
+        with pytest.raises(CorruptDataError):
+            rle_decode(b"\x80")  # run control with no byte
+
+    def test_truncated_literals(self) -> None:
+        with pytest.raises(CorruptDataError):
+            rle_decode(b"\x05ab")  # declares 6 literals, has 2
+
+
+class TestFramedCodec:
+    def test_codec_registered(self) -> None:
+        assert get_codec("rle").meta.codec_id == 12
+
+    def test_incompressible_stored(self) -> None:
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+        codec = get_codec("rle")
+        payload = codec.compress(data)
+        assert len(payload) <= len(data) + 16
+        assert codec.decompress(payload) == data
+
+    def test_zero_page_compresses_hard(self) -> None:
+        codec = get_codec("rle")
+        data = bytes(65_536)
+        # Grammar tops out at ~65x (2 control bytes per 130-byte run).
+        assert codec.ratio(data) > 50

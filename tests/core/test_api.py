@@ -1,0 +1,90 @@
+"""The interception facade: file-like API and the session context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompress, HCompressFile, hcompress_session
+from repro.errors import HCompressError
+
+
+@pytest.fixture()
+def engine(small_hierarchy, seed) -> HCompress:
+    return HCompress(small_hierarchy, seed=seed)
+
+
+class TestWriteRead:
+    def test_write_then_read_in_order(self, engine, gamma_f64) -> None:
+        chunks = [gamma_f64[:1000], gamma_f64[1000:5000], gamma_f64[5000:]]
+        with HCompressFile(engine, "data.h5", "w") as fh:
+            for chunk in chunks:
+                fh.write(chunk)
+        reader = HCompressFile(engine, "data.h5", "r")
+        assert reader.read_all() == chunks
+
+    def test_read_returns_none_at_eof(self, engine, gamma_f64) -> None:
+        HCompressFile(engine, "f", "w").write(gamma_f64)
+        reader = HCompressFile(engine, "f", "r")
+        assert reader.read() == gamma_f64
+        assert reader.read() is None
+
+    def test_iteration(self, engine, gamma_f64) -> None:
+        writer = HCompressFile(engine, "f", "w")
+        writer.write(gamma_f64[:500])
+        writer.write(gamma_f64[500:1000])
+        assert list(HCompressFile(engine, "f", "r")) == [
+            gamma_f64[:500], gamma_f64[500:1000]
+        ]
+
+    def test_write_returns_modeled_bytes(self, engine, gamma_f64) -> None:
+        fh = HCompressFile(engine, "f", "w")
+        assert fh.write(gamma_f64, modeled_size=10 * len(gamma_f64)) == (
+            10 * len(gamma_f64)
+        )
+
+
+class TestModes:
+    def test_w_truncates(self, engine, gamma_f64) -> None:
+        HCompressFile(engine, "f", "w").write(gamma_f64)
+        HCompressFile(engine, "f", "w")  # reopen truncates
+        assert HCompressFile(engine, "f", "r").read_all() == []
+
+    def test_append_mode(self, engine, gamma_f64) -> None:
+        HCompressFile(engine, "f", "w").write(gamma_f64[:100])
+        HCompressFile(engine, "f", "a").write(gamma_f64[100:200])
+        assert len(HCompressFile(engine, "f", "r").read_all()) == 2
+
+    def test_read_missing_file(self, engine) -> None:
+        with pytest.raises(HCompressError):
+            HCompressFile(engine, "ghost", "r")
+
+    def test_invalid_mode(self, engine) -> None:
+        with pytest.raises(HCompressError):
+            HCompressFile(engine, "f", "rw")
+
+    def test_mode_enforcement(self, engine, gamma_f64) -> None:
+        writer = HCompressFile(engine, "f", "w")
+        writer.write(gamma_f64)
+        with pytest.raises(HCompressError):
+            writer.read()
+        reader = HCompressFile(engine, "f", "r")
+        with pytest.raises(HCompressError):
+            reader.write(gamma_f64)
+
+    def test_closed_file_rejects_io(self, engine, gamma_f64) -> None:
+        fh = HCompressFile(engine, "f", "w")
+        fh.close()
+        with pytest.raises(HCompressError):
+            fh.write(gamma_f64)
+
+
+class TestSession:
+    def test_session_finalizes_on_exit(self, small_hierarchy, seed,
+                                       gamma_f64, tmp_path) -> None:
+        engine = HCompress(small_hierarchy, seed=seed)
+        path = tmp_path / "seed.json"
+        with hcompress_session(engine, seed_path=path) as session:
+            session.compress(gamma_f64)
+        assert path.exists()
+        with pytest.raises(HCompressError):
+            engine.compress(gamma_f64)

@@ -1,0 +1,43 @@
+"""HCompressConfig validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompressConfig
+from repro.hcdp import EQUAL
+
+
+class TestDefaults:
+    def test_paper_defaults(self) -> None:
+        config = HCompressConfig()
+        assert config.priority is EQUAL
+        assert config.feedback_every_n == 16
+        assert config.grain == 4096
+        assert len(config.libraries) == 11
+
+    def test_frozen(self) -> None:
+        with pytest.raises(AttributeError):
+            HCompressConfig().grain = 8192  # type: ignore[misc]
+
+
+class TestValidation:
+    def test_feedback_cadence(self) -> None:
+        with pytest.raises(ValueError):
+            HCompressConfig(feedback_every_n=0)
+
+    def test_grain(self) -> None:
+        with pytest.raises(ValueError):
+            HCompressConfig(grain=0)
+
+    def test_load_factor(self) -> None:
+        with pytest.raises(ValueError):
+            HCompressConfig(load_factor=-0.5)
+
+    def test_drain_penalty(self) -> None:
+        with pytest.raises(ValueError):
+            HCompressConfig(drain_penalty=-1.0)
+
+    def test_python_to_native(self) -> None:
+        with pytest.raises(ValueError):
+            HCompressConfig(python_to_native=0.0)

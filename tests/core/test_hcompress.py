@@ -1,0 +1,127 @@
+"""The HCompress engine end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompress, HCompressConfig
+from repro.errors import HCompressError
+from repro.hcdp import ARCHIVAL_IO, Priority
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, MiB
+
+
+@pytest.fixture()
+def engine(small_hierarchy, seed) -> HCompress:
+    return HCompress(small_hierarchy, seed=seed)
+
+
+class TestCompressDecompress:
+    def test_roundtrip(self, engine, gamma_f64) -> None:
+        result = engine.compress(gamma_f64)
+        assert result.total_stored > 0
+        read = engine.decompress(result.task.task_id)
+        assert read.data == gamma_f64
+
+    def test_explicit_task_id(self, engine, gamma_f64) -> None:
+        result = engine.compress(gamma_f64, task_id="my-task")
+        assert result.task.task_id == "my-task"
+        assert engine.decompress("my-task").data == gamma_f64
+
+    def test_modeled_size(self, engine, gamma_f64) -> None:
+        result = engine.compress(gamma_f64, modeled_size=32 * MiB)
+        assert result.task.size == 32 * MiB
+        assert not result.task.materialised
+
+    def test_requires_data_or_task(self, engine) -> None:
+        with pytest.raises(HCompressError):
+            engine.compress()
+
+    def test_rejects_both_data_and_task(self, engine, gamma_f64) -> None:
+        from repro.analyzer import InputAnalyzer
+        from repro.hcdp import IOTask
+
+        task = IOTask("x", len(gamma_f64),
+                      InputAnalyzer().analyze(gamma_f64), data=gamma_f64)
+        with pytest.raises(HCompressError):
+            engine.compress(gamma_f64, task=task)
+
+    def test_schema_attached_to_result(self, engine, gamma_f64) -> None:
+        result = engine.compress(gamma_f64)
+        assert hasattr(result, "schema")
+        assert len(result.schema.pieces) == len(result.pieces)
+
+
+class TestFeedbackIntegration:
+    def test_observations_flow_into_model(self, small_hierarchy, seed,
+                                          gamma_f64) -> None:
+        engine = HCompress(
+            small_hierarchy,
+            HCompressConfig(priority=ARCHIVAL_IO, feedback_every_n=1),
+            seed=seed,
+        )
+        seen_before = engine.predictor.observations_seen
+        engine.compress(gamma_f64)
+        assert engine.predictor.observations_seen > seen_before
+
+    def test_accuracy_exposed(self, engine) -> None:
+        assert engine.accuracy() is None or -1 <= engine.accuracy() <= 1
+
+
+class TestAnatomy:
+    def test_write_breakdown_sums_to_one(self, engine, gamma_f64) -> None:
+        for _ in range(3):
+            engine.compress(gamma_f64 + bytes([engine.anatomy.write_ops]))
+        breakdown = engine.anatomy.write_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert engine.anatomy.write_ops == 3
+
+    def test_read_breakdown(self, engine, gamma_f64) -> None:
+        result = engine.compress(gamma_f64)
+        engine.decompress(result.task.task_id)
+        breakdown = engine.anatomy.read_breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["read"] > 0
+
+    def test_empty_breakdown_is_zero(self, engine) -> None:
+        assert sum(engine.anatomy.write_breakdown().values()) == 0.0
+
+
+class TestLifecycle:
+    def test_priority_swap(self, engine) -> None:
+        engine.set_priority(Priority(0.0, 1.0, 0.0))
+        assert engine.engine.priority.ratio == 1.0
+
+    def test_finalize_writes_seed(self, small_hierarchy, seed, tmp_path,
+                                  gamma_f64) -> None:
+        engine = HCompress(small_hierarchy, seed=seed)
+        engine.compress(gamma_f64)
+        path = tmp_path / "seed.json"
+        updated = engine.finalize(seed_path=path)
+        assert path.exists()
+        assert updated.system_signature  # hierarchy was profiled
+        assert updated.weights is not None
+
+    def test_finalized_engine_refuses_work(self, engine, gamma_f64) -> None:
+        engine.finalize()
+        with pytest.raises(HCompressError):
+            engine.compress(gamma_f64)
+        with pytest.raises(HCompressError):
+            engine.finalize()
+
+    def test_seed_path_bootstrap(self, small_hierarchy, seed, tmp_path) -> None:
+        from repro.ccp import save_seed
+
+        path = tmp_path / "seed.json"
+        save_seed(seed, path)
+        engine = HCompress(
+            small_hierarchy, HCompressConfig(seed_path=path)
+        )
+        assert engine.predictor.fitted
+
+    def test_sim_clock_plumbs_into_monitor(self, small_hierarchy, seed) -> None:
+        times = iter([1.5, 2.5, 3.5, 4.5])
+        engine = HCompress(small_hierarchy, seed=seed,
+                           clock=lambda: next(times))
+        status = engine.monitor.sample()
+        assert status.time == 1.5

@@ -1,0 +1,168 @@
+"""The Compression Manager: schema execution, metadata, reads, spills."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import InputAnalyzer
+from repro.ccp import CompressionCostPredictor
+from repro.codecs import CompressionLibraryPool, HEADER_SIZE
+from repro.core import CompressionManager, StorageHardwareInterface
+from repro.errors import SchemaError, TierError
+from repro.hcdp import HcdpEngine, IOTask
+from repro.monitor import SystemMonitor
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+from repro.units import KiB, MiB
+
+
+@pytest.fixture()
+def hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(
+        [
+            Tier(TierSpec(name="fast", capacity=2 * MiB, bandwidth=4e9,
+                          latency=1e-6, lanes=2)),
+            Tier(TierSpec(name="slow", capacity=None, bandwidth=1e8,
+                          latency=1e-3, lanes=4)),
+        ]
+    )
+
+
+@pytest.fixture()
+def stack(hierarchy, seed):
+    pool = CompressionLibraryPool()
+    predictor = CompressionCostPredictor()
+    predictor.fit_seed(seed.observations)
+    engine = HcdpEngine(predictor, SystemMonitor(hierarchy), pool)
+    manager = CompressionManager(pool, StorageHardwareInterface(hierarchy))
+    analyzer = InputAnalyzer()
+    return engine, manager, analyzer
+
+
+class TestMaterialisedWrites:
+    def test_write_then_read_roundtrip(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        task = IOTask("t", len(gamma_f64), analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        schema = engine.plan(task)
+        result = manager.execute_write(schema)
+        assert result.total_stored > 0
+        read = manager.execute_read("t")
+        assert read.data == gamma_f64
+        assert read.pieces == len(schema.pieces)
+
+    def test_duplicate_write_rejected(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        task = IOTask("t", len(gamma_f64), analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        manager.execute_write(engine.plan(task))
+        task2 = IOTask("t", len(gamma_f64), analyzer.analyze(gamma_f64),
+                       data=gamma_f64)
+        with pytest.raises(SchemaError):
+            manager.execute_write(engine.plan(task2))
+
+    def test_observations_use_measured_ratios(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        # Force a compressing codec by planning an archival write.
+        from repro.hcdp import ARCHIVAL_IO
+
+        engine.set_priority(ARCHIVAL_IO)
+        task = IOTask("t", len(gamma_f64), analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        result = manager.execute_write(engine.plan(task))
+        assert result.observations
+        for obs in result.observations:
+            assert obs.ratio > 0
+            assert obs.key.codec != "none"
+
+    def test_achieved_ratio(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        from repro.hcdp import ARCHIVAL_IO
+
+        engine.set_priority(ARCHIVAL_IO)
+        task = IOTask("t", len(gamma_f64), analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        result = manager.execute_write(engine.plan(task))
+        assert result.achieved_ratio > 1.2
+
+
+class TestModeledWrites:
+    def test_sample_scaled_accounting(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        modeled = 16 * MiB
+        task = IOTask("big", modeled, analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        schema = engine.plan(task)
+        result = manager.execute_write(schema)
+        total = sum(p.stored_size for p in result.pieces)
+        # Accounting reflects the modeled footprint, not the 64 KiB sample.
+        assert total > len(gamma_f64)
+        assert total <= modeled + HEADER_SIZE * len(result.pieces)
+
+    def test_sample_ratio_cached_across_tasks(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        analysis = analyzer.analyze(gamma_f64)
+        for i in range(3):
+            task = IOTask(f"m{i}", 8 * MiB, analysis, data=gamma_f64)
+            manager.execute_write(engine.plan(task))
+        # One measurement per (sample, codec) pair at most.
+        assert len(manager._sample_ratios) <= 12
+
+    def test_modeled_read_charges_modeled_time(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        task = IOTask("big", 32 * MiB, analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        manager.execute_write(engine.plan(task))
+        read = manager.execute_read("big")
+        assert read.modeled_size == 32 * MiB
+
+
+class TestSpill:
+    def test_runtime_spill_when_prediction_optimistic(self, hierarchy, seed,
+                                                      gamma_f64) -> None:
+        """If the measured footprint exceeds the planned tier's room, the
+        manager falls through to the next tier instead of failing."""
+        pool = CompressionLibraryPool()
+        predictor = CompressionCostPredictor()
+        predictor.fit_seed(seed.observations)
+        engine = HcdpEngine(predictor, SystemMonitor(hierarchy), pool)
+        manager = CompressionManager(pool, StorageHardwareInterface(hierarchy))
+        task = IOTask("t", 512 * KiB, InputAnalyzer().analyze(gamma_f64),
+                      data=gamma_f64)
+        schema = engine.plan(task)
+        # Shrink the planned tier under the plan's feet.
+        planned_tier = hierarchy.by_name(schema.pieces[0].tier)
+        if planned_tier.spec.capacity is not None:
+            planned_tier.put("squatter", None,
+                             accounted_size=planned_tier.remaining)
+        result = manager.execute_write(schema)
+        if planned_tier.spec.capacity is not None:
+            assert manager.spill_events >= 1
+            assert result.pieces[0].spilled
+
+
+class TestCatalog:
+    def test_task_keys_and_pieces(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        task = IOTask("t", len(gamma_f64), analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        manager.execute_write(engine.plan(task))
+        assert manager.task_keys("t") == ["t/0"]
+        assert manager.task_pieces("t") == [("t/0", len(gamma_f64))]
+        assert "t" in manager
+
+    def test_unknown_task(self, stack) -> None:
+        _, manager, _ = stack
+        with pytest.raises(TierError):
+            manager.task_keys("ghost")
+        with pytest.raises(TierError):
+            manager.execute_read("ghost")
+
+    def test_evict_task(self, stack, gamma_f64) -> None:
+        engine, manager, analyzer = stack
+        task = IOTask("t", len(gamma_f64), analyzer.analyze(gamma_f64),
+                      data=gamma_f64)
+        manager.execute_write(engine.plan(task))
+        released = manager.evict_task("t")
+        assert released > 0
+        assert "t" not in manager
+        assert manager.shi.hierarchy.total_used() == 0

@@ -1,0 +1,88 @@
+"""The HCompress Profiler: seed generation and system signatures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HCompressProfiler
+from repro.errors import SeedError
+from repro.units import KiB
+
+
+@pytest.fixture(scope="module")
+def profiler() -> HCompressProfiler:
+    return HCompressProfiler(rng=np.random.default_rng(0))
+
+
+class TestCodecProfiling:
+    def test_quick_seed_covers_roster_and_formats(self, profiler) -> None:
+        seed = profiler.quick_seed(sizes=(8 * KiB,))
+        codecs = {o.key.codec for o in seed.observations}
+        assert len(codecs) == 11  # identity excluded
+        formats = {o.key.data_format for o in seed.observations}
+        assert "h5lite" in formats  # metadata fast-path coverage
+        assert "binary" in formats
+
+    def test_nominal_mode_uses_profile_speeds(self, profiler) -> None:
+        from repro.codecs import get_profile
+
+        seed = profiler.quick_seed(sizes=(8 * KiB,))
+        for obs in seed.observations:
+            profile = get_profile(obs.key.codec)
+            assert obs.compress_mbps == profile.compress_mbps
+
+    def test_measured_mode_uses_wall_clock(self) -> None:
+        profiler = HCompressProfiler(mode="measured",
+                                     rng=np.random.default_rng(0))
+        seed = profiler.quick_seed(sizes=(8 * KiB,))
+        from repro.codecs import get_profile
+
+        mismatches = sum(
+            1
+            for obs in seed.observations
+            if obs.compress_mbps != get_profile(obs.key.codec).compress_mbps
+        )
+        assert mismatches > len(seed.observations) // 2
+
+    def test_ratios_are_measured_not_nominal(self, profiler, rng) -> None:
+        """Ratios must come from real compression of real bytes."""
+        seed = profiler.quick_seed(sizes=(8 * KiB,))
+        zlib_gamma = [
+            o.ratio
+            for o in seed.observations
+            if o.key.codec == "zlib" and o.key.distribution == "gamma"
+            and o.key.dtype == "float64"
+        ]
+        assert zlib_gamma
+        assert all(1.5 < r < 6.0 for r in zlib_gamma)
+
+    def test_user_corpus(self, profiler, gamma_f64) -> None:
+        observations = profiler.profile_codecs(
+            inputs={("float64", "gamma"): gamma_f64}, sizes=(8 * KiB,)
+        )
+        assert {o.key.dtype for o in observations} == {"float64"}
+
+    def test_invalid_mode(self) -> None:
+        with pytest.raises(SeedError):
+            HCompressProfiler(mode="psychic")
+
+
+class TestSystemSignature:
+    def test_signature_covers_tiers(self, profiler, small_hierarchy) -> None:
+        signature = profiler.system_signature(small_hierarchy)
+        assert set(signature) == {"ram", "nvme", "burst_buffer", "pfs"}
+        assert signature["ram"]["level"] == 0.0
+        assert signature["pfs"]["capacity"] == -1.0  # unbounded marker
+
+    def test_generate_seed_bundles_both(self, profiler, small_hierarchy,
+                                        gamma_f64) -> None:
+        seed = profiler.generate_seed(
+            hierarchy=small_hierarchy,
+            inputs={("float64", "gamma"): gamma_f64},
+            sizes=(8 * KiB,),
+            weights={"compression": 1.0},
+        )
+        assert seed.system_signature
+        assert seed.weights == {"compression": 1.0}
+        assert seed.observations

@@ -1,0 +1,76 @@
+"""Random-access partial reads (the virtual-chunks property)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompress
+from repro.errors import SchemaError, TierError
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+
+
+@pytest.fixture()
+def engine(seed):
+    hierarchy = ares_hierarchy(64 * KiB, 128 * KiB, 1 * GiB, nodes=2)
+    return HCompress(hierarchy, seed=seed)
+
+
+@pytest.fixture()
+def written(engine, gamma_f64):
+    result = engine.compress(gamma_f64, task_id="t")
+    return engine, gamma_f64, result
+
+
+class TestPartialReads:
+    @pytest.mark.parametrize(
+        "offset,length",
+        [(0, 100), (1000, 5000), (0, 64 * 1024), (63 * 1024, 1024)],
+    )
+    def test_slice_correct(self, written, offset, length) -> None:
+        engine, data, _ = written
+        read = engine.decompress("t", offset=offset, length=length)
+        assert read.data == data[offset : offset + length]
+
+    def test_full_read_via_range(self, written) -> None:
+        engine, data, _ = written
+        assert engine.decompress("t", offset=0).data == data
+
+    def test_range_past_end_truncates(self, written) -> None:
+        engine, data, _ = written
+        read = engine.decompress("t", offset=len(data) - 10, length=10_000)
+        assert read.data == data[-10:]
+
+    def test_touches_only_overlapping_pieces(self, written) -> None:
+        engine, data, result = written
+        if len(result.pieces) < 2:
+            pytest.skip("task did not split")
+        first_len = result.pieces[0].plan.length
+        read = engine.decompress("t", offset=0, length=min(first_len, 512))
+        assert read.pieces == 1
+        full = engine.decompress("t")
+        assert read.io_seconds < full.io_seconds
+
+    def test_empty_range(self, written) -> None:
+        engine, _, _ = written
+        read = engine.decompress("t", offset=100, length=0)
+        assert read.data == b""
+        assert read.pieces == 0
+
+    def test_invalid_range(self, written) -> None:
+        engine, _, _ = written
+        with pytest.raises(SchemaError):
+            engine.manager.execute_read_range("t", -1, 10)
+        with pytest.raises(SchemaError):
+            engine.manager.execute_read_range("t", 0, -5)
+
+    def test_unknown_task(self, engine) -> None:
+        with pytest.raises(TierError):
+            engine.manager.execute_read_range("ghost", 0, 10)
+
+    def test_modeled_task_charges_overlap_only(self, engine, gamma_f64) -> None:
+        engine.compress(gamma_f64, modeled_size=8 * MiB, task_id="big")
+        partial = engine.manager.execute_read_range("big", 0, 64 * KiB)
+        full = engine.manager.execute_read("big")
+        assert partial.io_seconds < full.io_seconds
+        assert partial.data is None  # accounting-only task

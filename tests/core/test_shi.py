@@ -1,0 +1,64 @@
+"""Storage Hardware Interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StorageHardwareInterface
+from repro.errors import TierError
+
+
+@pytest.fixture()
+def shi(two_tier) -> StorageHardwareInterface:
+    return StorageHardwareInterface(two_tier)
+
+
+class TestWrite:
+    def test_write_returns_receipt_with_modeled_time(self, shi) -> None:
+        receipt = shi.write("k", "fast", b"x" * 1000)
+        assert receipt.tier == "fast"
+        assert receipt.nbytes == 1000
+        fast = shi.hierarchy.by_name("fast").spec
+        assert receipt.seconds == pytest.approx(fast.io_seconds(1000))
+
+    def test_accounting_only_write(self, shi) -> None:
+        receipt = shi.write("k", "slow", None, accounted_size=5000)
+        assert receipt.nbytes == 5000
+        assert shi.accounted_size("k") == 5000
+
+    def test_piece_key_format(self) -> None:
+        assert StorageHardwareInterface.piece_key("task7", 3) == "task7/3"
+
+
+class TestRead:
+    def test_read_finds_key_anywhere(self, shi) -> None:
+        shi.write("a", "fast", b"fast bytes")
+        shi.write("b", "slow", b"slow bytes")
+        payload, receipt = shi.read("b")
+        assert payload == b"slow bytes"
+        assert receipt.tier == "slow"
+
+    def test_read_missing_key(self, shi) -> None:
+        with pytest.raises(TierError):
+            shi.read("ghost")
+
+    def test_locate(self, shi) -> None:
+        shi.write("a", "fast", b"x")
+        assert shi.locate("a").spec.name == "fast"
+        assert shi.locate("ghost") is None
+
+
+class TestDelete:
+    def test_delete_releases_capacity(self, shi) -> None:
+        shi.write("a", "fast", None, accounted_size=400)
+        used_before = shi.hierarchy.by_name("fast").used
+        assert shi.delete("a") == 400
+        assert shi.hierarchy.by_name("fast").used == used_before - 400
+
+    def test_delete_missing(self, shi) -> None:
+        with pytest.raises(TierError):
+            shi.delete("ghost")
+
+    def test_accounted_size_missing(self, shi) -> None:
+        with pytest.raises(TierError):
+            shi.accounted_size("ghost")

@@ -1,0 +1,65 @@
+"""Experiment harness utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.experiments import ExperimentTable, make_backend, scaled_hierarchy
+from repro.units import GB, GiB
+
+
+class TestTable:
+    def test_add_row_and_accessors(self) -> None:
+        table = ExperimentTable("t", "desc", ["a", "b"])
+        table.add_row(1, 2.0)
+        table.add_row(3, 4.0)
+        assert table.column("b") == [2.0, 4.0]
+        assert table.row_dicts()[0] == {"a": 1, "b": 2.0}
+
+    def test_row_width_checked(self) -> None:
+        table = ExperimentTable("t", "desc", ["a", "b"])
+        with pytest.raises(WorkloadError):
+            table.add_row(1)
+
+    def test_markdown_render(self) -> None:
+        table = ExperimentTable("My Figure", "What it shows", ["x", "y"])
+        table.add_row("row", 1.2345)
+        table.note("a note")
+        text = table.to_markdown()
+        assert "### My Figure" in text
+        assert "| x | y |" in text
+        assert "1.23" in text
+        assert "> a note" in text
+
+
+class TestScaledHierarchy:
+    def test_divides_capacities(self) -> None:
+        h = scaled_hierarchy(64 * GB, 128 * GB, 256 * GB, scale=64)
+        assert h.by_name("ram").spec.capacity == 64 * GB // 64
+        assert h.by_name("pfs").spec.capacity is None
+
+    def test_scale_validation(self) -> None:
+        with pytest.raises(WorkloadError):
+            scaled_hierarchy(1, 1, 1, scale=0)
+
+
+class TestBackendFactory:
+    @pytest.mark.parametrize("name,expected", [
+        ("BASE", "BASE"),
+        ("STWC", "STWC"),
+        ("MTNC", "MTNC"),
+        ("HERMES+zlib", "HERMES+zlib"),
+    ])
+    def test_names(self, name, expected) -> None:
+        h = scaled_hierarchy(1 * GiB, 2 * GiB, 4 * GiB, 1)
+        assert make_backend(name, h).name == expected
+
+    def test_hc_backend(self, seed) -> None:
+        h = scaled_hierarchy(1 * GiB, 2 * GiB, 4 * GiB, 1)
+        assert make_backend("HC", h, seed=seed).name == "HC"
+
+    def test_unknown(self) -> None:
+        h = scaled_hierarchy(1 * GiB, 2 * GiB, 4 * GiB, 1)
+        with pytest.raises(WorkloadError):
+            make_backend("MAGIC", h)

@@ -1,0 +1,97 @@
+"""Tiny-scale smoke runs of every figure harness.
+
+Shape assertions live in tests/integration/test_shapes.py; here we verify
+each harness runs end to end and emits a structurally complete table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_fig1,
+    run_fig3,
+    run_fig4a,
+    run_fig4b,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestFig1(object):
+    def test_table_structure(self, seed, rng) -> None:
+        table = run_fig1(scale=256, nprocs=64, seed=seed, rng=rng)
+        assert len(table.rows) == 9  # 4 PFS + 4 Hermes + 1 HCompress
+        scenarios = set(table.column("scenario"))
+        assert "Multi-Comp Multi-Tiered" in scenarios
+        assert all(t >= 0 for t in table.column("total_s"))
+
+
+class TestFig3:
+    def test_fractions_sum_per_path(self, seed, rng) -> None:
+        table = run_fig3(n_tasks=40, seed=seed, rng=rng)
+        rows = table.row_dicts()
+        for path in ("write", "read"):
+            total = sum(r["fraction"] for r in rows if r["path"] == path)
+            assert total == pytest.approx(1.0)
+
+
+class TestFig4:
+    def test_fig4a_rows(self, seed, rng) -> None:
+        table = run_fig4a(plans_per_size=40, sizes=(4096, 65536), seed=seed,
+                          rng=rng)
+        assert len(table.rows) == 2
+        assert all(tp > 0 for tp in table.column("tasks_per_s"))
+        assert table.rows[0][2] == pytest.approx(1.0)
+
+    def test_fig4b_rows(self, seed, rng) -> None:
+        table = run_fig4b(tasks_per_distribution=120, seed=seed, rng=rng)
+        assert len(table.rows) == 4
+        for accuracy in table.column("accuracy_r2"):
+            assert accuracy > 0.5
+
+
+class TestFig5:
+    def test_scenarios_covered(self, seed, rng) -> None:
+        table = run_fig5(scale=64, nprocs=32, codecs=("none", "zlib", "lz4"),
+                         seed=seed, rng=rng)
+        scenarios = table.column("scenario")
+        assert scenarios[0] == "None (Hermes)"
+        assert scenarios[-1] == "HCompress"
+        assert len(scenarios) == 4
+
+
+class TestFig6:
+    def test_tiers_covered(self, seed, rng) -> None:
+        table = run_fig6(scale=128, nprocs=8, codecs=("zlib", "lz4"),
+                         seed=seed, rng=rng)
+        tiers = set(table.column("tier"))
+        assert tiers == {"ram", "nvme", "burst_buffer", "multi-tiered"}
+        assert table.rows[-1][0] == "HCompress"
+
+
+class TestFig7:
+    def test_backends_and_speedups(self, seed, rng) -> None:
+        table = run_fig7(process_counts=(16,), scale=256,
+                         backends=("BASE", "MTNC"), seed=seed, rng=rng)
+        assert table.column("backend") == ["BASE", "MTNC"]
+        base_row = table.row_dicts()[0]
+        assert base_row["speedup_vs_base"] == 1.0
+
+
+class TestFig8:
+    def test_write_read_phases(self, seed, rng) -> None:
+        table = run_fig8(process_counts=(16,), scale=256,
+                         backends=("BASE", "HC"), seed=seed, rng=rng)
+        for row in table.row_dicts():
+            assert row["total_s"] == pytest.approx(
+                row["write_s"] + row["read_s"]
+            )

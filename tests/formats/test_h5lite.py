@@ -1,0 +1,135 @@
+"""The h5lite self-describing container."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.formats import H5LiteFile, H5LiteWriter
+
+
+@pytest.fixture()
+def arrays(rng):
+    return {
+        "positions": rng.uniform(0, 1, (1000, 3)).astype(np.float32),
+        "energies": rng.gamma(2.0, 1.0, 500).astype(np.float64),
+        "ids": np.arange(500, dtype=np.int64),
+    }
+
+
+def _build(arrays, attrs=None, chunk_bytes=4 * 1024 * 1024) -> bytes:
+    buffer = io.BytesIO()
+    with H5LiteWriter(buffer, chunk_bytes=chunk_bytes) as writer:
+        for name, array in arrays.items():
+            writer.write_dataset(name, array, attrs=(attrs or {}).get(name))
+    return buffer.getvalue()
+
+
+class TestRoundtrip:
+    def test_datasets_roundtrip(self, arrays) -> None:
+        blob = _build(arrays)
+        reader = H5LiteFile(blob)
+        assert set(reader.dataset_names) == set(arrays)
+        for name, original in arrays.items():
+            restored = reader.read(name)
+            assert restored.dtype == original.dtype
+            assert restored.shape == original.shape
+            assert np.array_equal(restored, original)
+
+    def test_attributes_roundtrip(self, arrays) -> None:
+        blob = _build(arrays, attrs={"energies": {"distribution": "gamma",
+                                                  "units": "keV"}})
+        reader = H5LiteFile(blob)
+        assert reader.attrs("energies") == {"distribution": "gamma",
+                                            "units": "keV"}
+        assert reader.attrs("ids") == {}
+
+    def test_chunked_layout(self, rng) -> None:
+        array = rng.integers(0, 255, 100_000, dtype=np.uint8)
+        blob = _build({"big": array}, chunk_bytes=8 * 1024)
+        reader = H5LiteFile(blob)
+        assert len(reader.info("big").chunks) > 10
+        assert np.array_equal(reader.read("big"), array)
+
+    def test_read_raw(self, arrays) -> None:
+        blob = _build(arrays)
+        raw = H5LiteFile(blob).read_raw("ids")
+        assert raw == arrays["ids"].tobytes()
+
+    def test_file_path_io(self, arrays, tmp_path) -> None:
+        path = tmp_path / "data.h5l"
+        with H5LiteWriter(path) as writer:
+            writer.write_dataset("x", arrays["ids"])
+        with H5LiteFile(path) as reader:
+            assert np.array_equal(reader.read("x"), arrays["ids"])
+
+    def test_empty_dataset(self) -> None:
+        blob = _build({"empty": np.array([], dtype=np.float64)})
+        assert H5LiteFile(blob).read("empty").size == 0
+
+    def test_magic_prefix(self, arrays) -> None:
+        from repro.analyzer.format import H5LITE_MAGIC
+
+        assert _build(arrays).startswith(H5LITE_MAGIC)
+
+
+class TestWriterErrors:
+    def test_duplicate_dataset(self, arrays) -> None:
+        buffer = io.BytesIO()
+        with H5LiteWriter(buffer) as writer:
+            writer.write_dataset("x", arrays["ids"])
+            with pytest.raises(FormatError):
+                writer.write_dataset("x", arrays["ids"])
+
+    def test_write_after_close(self, arrays) -> None:
+        writer = H5LiteWriter(io.BytesIO())
+        writer.close()
+        with pytest.raises(FormatError):
+            writer.write_dataset("x", arrays["ids"])
+
+    def test_close_idempotent(self) -> None:
+        writer = H5LiteWriter(io.BytesIO())
+        writer.close()
+        writer.close()
+
+    def test_bad_chunk_bytes(self) -> None:
+        with pytest.raises(FormatError):
+            H5LiteWriter(io.BytesIO(), chunk_bytes=0)
+
+
+class TestReaderErrors:
+    def test_bad_magic(self) -> None:
+        with pytest.raises(FormatError):
+            H5LiteFile(b"NOTH5LITE" + bytes(100))
+
+    def test_truncated_superblock(self) -> None:
+        with pytest.raises(FormatError):
+            H5LiteFile(b"\x89H5L")
+
+    def test_corrupt_index(self, arrays) -> None:
+        blob = bytearray(_build(arrays))
+        blob[-20] ^= 0xFF  # inside the JSON index
+        with pytest.raises(FormatError):
+            H5LiteFile(bytes(blob))
+
+    def test_unknown_dataset(self, arrays) -> None:
+        reader = H5LiteFile(_build(arrays))
+        with pytest.raises(FormatError):
+            reader.read("ghost")
+
+
+class TestAnalyzerHints:
+    def test_hints_for_float32(self, arrays) -> None:
+        from repro.analyzer import DataFormat, DataType
+
+        blob = _build(arrays, attrs={"positions": {"distribution": "uniform"}})
+        hints = H5LiteFile(blob).hints("positions")
+        assert hints.dtype is DataType.FLOAT32
+        assert hints.data_format is DataFormat.H5LITE
+
+    def test_unknown_distribution_attr_ignored(self, arrays) -> None:
+        blob = _build(arrays, attrs={"ids": {"distribution": "weird"}})
+        assert H5LiteFile(blob).hints("ids").distribution is None

@@ -1,0 +1,129 @@
+"""The eq. 3/4 cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ccp.predictor import ExpectedCompressionCost
+from repro.hcdp import ARCHIVAL_IO, ASYNC_IO, EQUAL, CostModel, Priority
+from repro.tiers import TierSpec
+from repro.units import MB
+
+
+@pytest.fixture()
+def tier() -> TierSpec:
+    return TierSpec(name="t", capacity=None, bandwidth=100 * MB, latency=0.001,
+                    lanes=1)
+
+
+def _ecc(ratio=2.0, comp=50.0, decomp=200.0) -> ExpectedCompressionCost:
+    return ExpectedCompressionCost("zlib", comp, decomp, ratio)
+
+
+class TestEquation3:
+    def test_io_time_latency_plus_transfer(self, tier) -> None:
+        model = CostModel()
+        assert model.io_time(50 * MB, tier) == pytest.approx(0.501)
+
+    def test_load_inflates(self, tier) -> None:
+        model = CostModel(load_factor=1.0)
+        base = model.io_time(10 * MB, tier)
+        loaded = model.io_time(10 * MB, tier, load=3)
+        assert loaded == pytest.approx(base * 4.0)
+
+    def test_backlog_adds_wait(self, tier) -> None:
+        model = CostModel(load_factor=1.0)
+        base = model.io_time(10 * MB, tier)
+        queued = model.io_time(10 * MB, tier, queued_bytes=100 * MB)
+        assert queued == pytest.approx(base + 1.0)
+
+    def test_load_factor_zero_disables(self, tier) -> None:
+        model = CostModel(load_factor=0.0)
+        assert model.io_time(10 * MB, tier, load=100, queued_bytes=10**9) == (
+            pytest.approx(model.io_time(10 * MB, tier))
+        )
+
+    def test_negative_load_factor_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            CostModel(load_factor=-1.0)
+
+
+class TestEquation4:
+    def test_identity_is_pure_io(self, tier) -> None:
+        model = CostModel(EQUAL)
+        cost = model.place_cost(10 * MB, tier, None)
+        assert cost.compression_time == 0.0
+        assert cost.decompression_time == 0.0
+        assert cost.io_time_saved == 0.0
+        assert cost.total == pytest.approx(model.io_time(10 * MB, tier))
+
+    def test_compressed_components(self, tier) -> None:
+        model = CostModel(Priority(1.0, 1.0, 1.0))
+        size = 50 * MB
+        cost = model.place_cost(size, tier, _ecc(ratio=2.0, comp=50, decomp=200))
+        assert cost.compression_time == pytest.approx(1.0)  # 50MB @ 50MB/s
+        assert cost.decompression_time == pytest.approx(0.25)
+        raw_io = model.io_time(size, tier)
+        assert cost.io_time == pytest.approx(raw_io)
+        assert cost.io_time_saved == pytest.approx(raw_io * 0.5)
+
+    def test_weights_scale_components(self, tier) -> None:
+        wc_only = CostModel(ASYNC_IO).place_cost(10 * MB, tier, _ecc())
+        assert wc_only.io_time_saved == 0.0
+        assert wc_only.decompression_time == 0.0
+        assert wc_only.compression_time > 0
+
+        wr_only = CostModel(ARCHIVAL_IO).place_cost(10 * MB, tier, _ecc())
+        assert wr_only.compression_time == 0.0
+        assert wr_only.io_time_saved > 0
+
+    def test_ratio_below_one_treated_as_identity(self, tier) -> None:
+        cost = CostModel(EQUAL).place_cost(10 * MB, tier, _ecc(ratio=0.9))
+        assert cost.compression_time == 0.0
+        assert cost.io_time_saved == 0.0
+
+    def test_total_formula(self, tier) -> None:
+        cost = CostModel(EQUAL).place_cost(10 * MB, tier, _ecc())
+        assert cost.total == pytest.approx(
+            cost.compression_time
+            + cost.io_time
+            - cost.io_time_saved
+            + cost.decompression_time
+        )
+
+    def test_drain_term_prefers_higher_ratio(self, tier) -> None:
+        """With drain pressure, a 4x codec must beat a 1.1x codec."""
+        model = CostModel(Priority(1.0, 1.0, 0.0))
+        drain = 1e-6  # seconds per stored byte
+        heavy = model.place_cost(
+            10 * MB, tier, _ecc(ratio=4.0, comp=20), drain_per_byte=drain
+        )
+        light = model.place_cost(
+            10 * MB, tier, _ecc(ratio=1.1, comp=700), drain_per_byte=drain
+        )
+        assert heavy.total < light.total
+
+    def test_drain_term_charges_identity_fully(self, tier) -> None:
+        model = CostModel(EQUAL)
+        plain = model.place_cost(10 * MB, tier, None)
+        pressured = model.place_cost(10 * MB, tier, None, drain_per_byte=1e-7)
+        assert pressured.total == pytest.approx(plain.total + 1.0)
+
+
+class TestCompressionFavouredWhenIoSlow:
+    def test_slow_tier_prefers_compression(self) -> None:
+        """On a slow tier, eq. 4 with full weights favours a decent codec;
+        on a fast tier it does not — the paper's central trade-off."""
+        model = CostModel(Priority(1.0, 1.0, 0.0))
+        slow = TierSpec(name="pfs", capacity=None, bandwidth=10 * MB, latency=0.005)
+        fast = TierSpec(name="ram", capacity=None, bandwidth=10_000 * MB,
+                        latency=1e-6)
+        ecc = _ecc(ratio=2.5, comp=30.0)
+        size = 10 * MB
+        slow_plain = model.place_cost(size, slow, None).total
+        slow_zlib = model.place_cost(size, slow, ecc).total
+        assert slow_zlib < slow_plain
+
+        fast_plain = model.place_cost(size, fast, None).total
+        fast_zlib = model.place_cost(size, fast, ecc).total
+        assert fast_zlib > fast_plain

@@ -1,0 +1,39 @@
+"""Priority weights (Table II)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hcdp import ARCHIVAL_IO, ASYNC_IO, EQUAL, READ_AFTER_WRITE, Priority
+
+
+class TestTableII:
+    def test_async_io_is_pure_compression_speed(self) -> None:
+        assert ASYNC_IO.as_tuple() == (1.0, 0.0, 0.0)
+
+    def test_archival_is_pure_ratio(self) -> None:
+        assert ARCHIVAL_IO.as_tuple() == (0.0, 1.0, 0.0)
+
+    def test_read_after_write_balances_all_three(self) -> None:
+        wc, wr, wd = READ_AFTER_WRITE.as_tuple()
+        assert wc == 0.3 and wr == 0.4 and wd == 0.3
+
+    def test_equal_weights_all_ones(self) -> None:
+        assert EQUAL.as_tuple() == (1.0, 1.0, 1.0)
+
+
+class TestValidation:
+    def test_negative_weight_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Priority(-0.1, 0.5, 0.5)
+
+    def test_all_zero_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            Priority(0.0, 0.0, 0.0)
+
+    def test_weights_need_not_sum_to_one(self) -> None:
+        assert Priority(2.0, 3.0, 0.0).ratio == 3.0
+
+    def test_frozen(self) -> None:
+        with pytest.raises(AttributeError):
+            EQUAL.ratio = 5.0  # type: ignore[misc]

@@ -1,0 +1,106 @@
+"""Property-based tests: every schema the engine emits satisfies Table I."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analyzer import InputAnalyzer
+from repro.ccp import CompressionCostPredictor
+from repro.codecs import CompressionLibraryPool
+from repro.core import HCompressProfiler
+from repro.hcdp import HcdpEngine, IOTask, Priority, validate_schema
+from repro.monitor import SystemMonitor
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+from repro.units import KiB, PAGE
+
+# Module-level singletons: hypothesis drives many examples and the seed
+# fit is the expensive part.
+_SEED = HCompressProfiler(rng=np.random.default_rng(0)).quick_seed(
+    sizes=(8 * KiB, 32 * KiB)
+)
+_PREDICTOR = CompressionCostPredictor()
+_PREDICTOR.fit_seed(_SEED.observations)
+_ANALYSIS = InputAnalyzer().analyze(
+    np.random.default_rng(0).gamma(2.0, 60.0, 4096).tobytes()
+)
+
+
+def _hierarchy(caps: list[int | None], fills: list[int]) -> StorageHierarchy:
+    tiers = []
+    bandwidth = 16e9
+    for i, cap in enumerate(caps):
+        spec = TierSpec(
+            name=f"tier{i}",
+            capacity=cap,
+            bandwidth=bandwidth,
+            latency=1e-6 * (i + 1),
+            lanes=2,
+        )
+        tier = Tier(spec)
+        if cap is not None and fills[i]:
+            tier.put("fill", None, accounted_size=min(fills[i], cap))
+        tiers.append(tier)
+        bandwidth /= 2
+    return tiers and StorageHierarchy(tiers)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.filter_too_much],
+)
+@given(
+    caps=st.lists(
+        st.integers(1, 64).map(lambda pages: pages * PAGE),
+        min_size=1,
+        max_size=3,
+    ),
+    fills=st.lists(st.integers(0, 64).map(lambda p: p * PAGE), min_size=3,
+                   max_size=3),
+    size=st.integers(0, 300 * PAGE),
+    weights=st.tuples(
+        st.floats(0, 1), st.floats(0, 1), st.floats(0, 1)
+    ).filter(lambda w: sum(w) > 0),
+    load_factor=st.floats(0, 2),
+)
+def test_engine_schemas_always_satisfy_table_one(
+    caps, fills, size, weights, load_factor
+) -> None:
+    caps = caps + [None]  # unbounded sink guarantees feasibility
+    fills = fills + [0]
+    hierarchy = _hierarchy(caps, fills)
+    engine = HcdpEngine(
+        _PREDICTOR,
+        SystemMonitor(hierarchy),
+        CompressionLibraryPool(),
+        priority=Priority(*weights),
+        load_factor=load_factor,
+    )
+    task = IOTask("prop", size, _ANALYSIS)
+    schema = engine.plan(task)
+    validate_schema(schema, hierarchy)
+    # Every piece's expected stored size respects the tier's remaining
+    # capacity at planning time (constraint 5, live form).
+    for piece in schema.pieces:
+        tier = hierarchy.by_name(piece.tier)
+        remaining = tier.remaining
+        if remaining is not None:
+            assert piece.expected_stored_size <= remaining
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    size=st.integers(1, 500 * PAGE),
+    cap_pages=st.integers(1, 100),
+)
+def test_plans_are_deterministic(size: int, cap_pages: int) -> None:
+    def run() -> list:
+        hierarchy = _hierarchy([cap_pages * PAGE, None], [0, 0])
+        engine = HcdpEngine(
+            _PREDICTOR, SystemMonitor(hierarchy), CompressionLibraryPool()
+        )
+        return engine.plan(IOTask("d", size, _ANALYSIS)).pieces
+
+    assert run() == run()

@@ -1,0 +1,179 @@
+"""Schema structure and the Table-I constraint validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import InputAnalyzer
+from repro.errors import SchemaError
+from repro.hcdp import IOTask, Schema, SubTaskPlan, validate_schema
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+from repro.units import PAGE
+
+
+@pytest.fixture()
+def hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(
+        [
+            Tier(TierSpec(name="ram", capacity=64 * PAGE, bandwidth=2e9,
+                          latency=0, lanes=2)),
+            Tier(TierSpec(name="pfs", capacity=None, bandwidth=1e9,
+                          latency=0, lanes=4)),
+        ]
+    )
+
+
+@pytest.fixture()
+def task(gamma_f64) -> IOTask:
+    analysis = InputAnalyzer().analyze(gamma_f64)
+    return IOTask("t", 10 * PAGE, analysis)
+
+
+def _piece(offset, length, tier, level, codec="none", ratio=1.0, stored=None,
+           cost=0.1) -> SubTaskPlan:
+    return SubTaskPlan(
+        offset=offset,
+        length=length,
+        tier=tier,
+        tier_level=level,
+        codec=codec,
+        expected_ratio=ratio,
+        expected_stored_size=stored if stored is not None else length,
+        expected_cost=cost,
+    )
+
+
+class TestPlanInvariants:
+    def test_constraint4_ratio_below_one_rejected(self) -> None:
+        with pytest.raises(SchemaError, match="constraint 4"):
+            _piece(0, PAGE, "ram", 0, ratio=0.8)
+
+    def test_bad_geometry_rejected(self) -> None:
+        with pytest.raises(SchemaError):
+            _piece(-1, PAGE, "ram", 0)
+        with pytest.raises(SchemaError):
+            _piece(0, 0, "ram", 0)
+
+
+class TestValidator:
+    def test_single_piece_schema(self, hierarchy, task) -> None:
+        schema = Schema(task=task, pieces=[_piece(0, task.size, "pfs", 1)])
+        validate_schema(schema, hierarchy)
+
+    def test_split_schema(self, hierarchy, task) -> None:
+        schema = Schema(
+            task=task,
+            pieces=[
+                _piece(0, 4 * PAGE, "ram", 0),
+                _piece(4 * PAGE, 6 * PAGE, "pfs", 1),
+            ],
+        )
+        validate_schema(schema, hierarchy)
+
+    def test_constraint1_alignment(self, hierarchy, task) -> None:
+        schema = Schema(
+            task=task,
+            pieces=[
+                _piece(0, 3 * PAGE + 17, "ram", 0),
+                _piece(3 * PAGE + 17, task.size - 3 * PAGE - 17, "pfs", 1),
+            ],
+        )
+        with pytest.raises(SchemaError, match="constraint 1"):
+            validate_schema(schema, hierarchy)
+
+    def test_last_piece_may_be_unaligned(self, hierarchy, gamma_f64) -> None:
+        analysis = InputAnalyzer().analyze(gamma_f64)
+        task = IOTask("t", 4 * PAGE + 17, analysis)
+        schema = Schema(
+            task=task,
+            pieces=[
+                _piece(0, 4 * PAGE, "ram", 0),
+                _piece(4 * PAGE, 17, "pfs", 1),
+            ],
+        )
+        validate_schema(schema, hierarchy)
+
+    def test_constraint3_more_pieces_than_tiers(self, hierarchy, task) -> None:
+        schema = Schema(
+            task=task,
+            pieces=[
+                _piece(0, 2 * PAGE, "ram", 0),
+                _piece(2 * PAGE, 2 * PAGE, "ram", 0),
+                _piece(4 * PAGE, 6 * PAGE, "pfs", 1),
+            ],
+        )
+        with pytest.raises(SchemaError, match="constraint 3|descending"):
+            validate_schema(schema, hierarchy)
+
+    def test_constraint5_piece_exceeds_tier_capacity(self, hierarchy, task) -> None:
+        schema = Schema(
+            task=task,
+            pieces=[_piece(0, task.size, "ram", 0, stored=100 * PAGE)],
+        )
+        with pytest.raises(SchemaError, match="constraint 5"):
+            validate_schema(schema, hierarchy)
+
+    def test_gap_between_pieces_rejected(self, hierarchy, task) -> None:
+        schema = Schema(
+            task=task,
+            pieces=[
+                _piece(0, 4 * PAGE, "ram", 0),
+                _piece(5 * PAGE, 5 * PAGE, "pfs", 1),
+            ],
+        )
+        with pytest.raises(SchemaError, match="tile"):
+            validate_schema(schema, hierarchy)
+
+    def test_under_coverage_rejected(self, hierarchy, task) -> None:
+        schema = Schema(task=task, pieces=[_piece(0, 4 * PAGE, "ram", 0)])
+        with pytest.raises(SchemaError, match="cover"):
+            validate_schema(schema, hierarchy)
+
+    def test_wrong_tier_level_rejected(self, hierarchy, task) -> None:
+        schema = Schema(task=task, pieces=[_piece(0, task.size, "pfs", 0)])
+        with pytest.raises(SchemaError, match="level"):
+            validate_schema(schema, hierarchy)
+
+    def test_ascending_levels_required(self, hierarchy, task) -> None:
+        schema = Schema(
+            task=task,
+            pieces=[
+                _piece(0, 4 * PAGE, "pfs", 1),
+                _piece(4 * PAGE, 6 * PAGE, "ram", 0),
+            ],
+        )
+        with pytest.raises(SchemaError, match="descending|tile|order"):
+            validate_schema(schema, hierarchy)
+
+    def test_empty_task_empty_schema(self, hierarchy, gamma_f64) -> None:
+        analysis = InputAnalyzer().analyze(gamma_f64)
+        task = IOTask("t", 0, analysis)
+        validate_schema(Schema(task=task), hierarchy)
+
+    def test_empty_task_with_pieces_rejected(self, hierarchy, gamma_f64) -> None:
+        analysis = InputAnalyzer().analyze(gamma_f64)
+        task = IOTask("t", 0, analysis)
+        schema = Schema(task=task, pieces=[_piece(0, PAGE, "ram", 0)])
+        with pytest.raises(SchemaError):
+            validate_schema(schema, hierarchy)
+
+    def test_nonempty_task_without_pieces_rejected(self, hierarchy, task) -> None:
+        with pytest.raises(SchemaError):
+            validate_schema(Schema(task=task), hierarchy)
+
+
+class TestSchemaAccessors:
+    def test_aggregates(self, task) -> None:
+        schema = Schema(
+            task=task,
+            pieces=[
+                _piece(0, 4 * PAGE, "ram", 0, codec="lz4", ratio=2.0,
+                       stored=2 * PAGE),
+                _piece(4 * PAGE, 6 * PAGE, "pfs", 1, codec="zlib", ratio=3.0,
+                       stored=2 * PAGE),
+            ],
+        )
+        assert schema.tiers_used() == ["ram", "pfs"]
+        assert schema.codecs_used() == ["lz4", "zlib"]
+        assert schema.stored_size() == 4 * PAGE
+        assert len(schema) == 2

@@ -1,0 +1,47 @@
+"""IOTask construction and invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import InputAnalyzer
+from repro.errors import SchemaError
+from repro.hcdp import IOTask, Operation, next_task_id
+
+
+@pytest.fixture()
+def analysis(gamma_f64):
+    return InputAnalyzer().analyze(gamma_f64)
+
+
+class TestTask:
+    def test_materialised_when_data_matches_size(self, analysis, gamma_f64) -> None:
+        task = IOTask("t", len(gamma_f64), analysis, data=gamma_f64)
+        assert task.materialised
+
+    def test_sample_scaled_not_materialised(self, analysis, gamma_f64) -> None:
+        task = IOTask("t", len(gamma_f64) * 100, analysis, data=gamma_f64)
+        assert not task.materialised
+
+    def test_data_larger_than_size_rejected(self, analysis, gamma_f64) -> None:
+        with pytest.raises(SchemaError):
+            IOTask("t", 10, analysis, data=gamma_f64)
+
+    def test_negative_size_rejected(self, analysis) -> None:
+        with pytest.raises(SchemaError):
+            IOTask("t", -1, analysis)
+
+    def test_unknown_operation_rejected(self, analysis) -> None:
+        with pytest.raises(SchemaError):
+            IOTask("t", 10, analysis, operation="append")
+
+    def test_read_operation_allowed(self, analysis) -> None:
+        task = IOTask("t", 10, analysis, operation=Operation.READ)
+        assert task.operation == "read"
+
+    def test_task_ids_unique(self) -> None:
+        ids = {next_task_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_task_id_prefix(self) -> None:
+        assert next_task_id("vpic").startswith("vpic-")

@@ -1,0 +1,91 @@
+"""Hermes multi-tier buffering (the MTNC baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TierError
+from repro.hermes import HermesBuffering
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+from repro.units import PAGE
+
+
+@pytest.fixture()
+def hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(
+        [
+            Tier(TierSpec(name="ram", capacity=8 * PAGE, bandwidth=4e9,
+                          latency=1e-6, lanes=2)),
+            Tier(TierSpec(name="pfs", capacity=None, bandwidth=1e8,
+                          latency=1e-3, lanes=4)),
+        ]
+    )
+
+
+@pytest.fixture()
+def buffering(hierarchy) -> HermesBuffering:
+    return HermesBuffering(hierarchy)
+
+
+class TestPut:
+    def test_small_task_lands_on_top(self, buffering) -> None:
+        record = buffering.put("t", 4 * PAGE)
+        assert [r.tier for r in record.receipts] == ["ram"]
+        assert record.total_stored == 4 * PAGE
+
+    def test_large_task_spills(self, buffering) -> None:
+        record = buffering.put("t", 20 * PAGE)
+        assert [r.tier for r in record.receipts] == ["ram", "pfs"]
+        assert record.total_stored == 20 * PAGE
+
+    def test_no_compression_ever(self, buffering) -> None:
+        record = buffering.put("t", 12 * PAGE)
+        assert all(r.compress_seconds == 0.0 for r in record.receipts)
+        assert all(r.stored_size == r.nbytes for r in record.receipts)
+
+    def test_duplicate_task(self, buffering) -> None:
+        buffering.put("t", PAGE)
+        with pytest.raises(TierError):
+            buffering.put("t", PAGE)
+
+    def test_payload_stored_when_materialised(self, buffering) -> None:
+        data = bytes(range(256)) * 16  # 4096 bytes
+        buffering.put("t", len(data), data)
+        restored, _ = buffering.get("t")
+        assert restored == data
+
+
+class TestGet:
+    def test_modeled_get_returns_none_with_time(self, buffering) -> None:
+        buffering.put("t", 20 * PAGE)
+        data, io_seconds = buffering.get("t")
+        assert data is None
+        assert io_seconds > 0
+
+    def test_get_unknown(self, buffering) -> None:
+        with pytest.raises(TierError):
+            buffering.get("ghost")
+
+    def test_get_follows_relocation(self, buffering, hierarchy) -> None:
+        """Reads find pieces wherever the flusher moved them."""
+        data = bytes(4 * PAGE)
+        buffering.put("t", len(data), data)
+        ram, pfs = hierarchy.by_name("ram"), hierarchy.by_name("pfs")
+        payload = ram.get("t/0")
+        size = ram.evict("t/0")
+        pfs.put("t/0", payload, accounted_size=size)
+        restored, _ = buffering.get("t")
+        assert restored == data
+        assert buffering.locate("t/0").spec.name == "pfs"
+
+
+class TestEvict:
+    def test_evict_releases_tiers(self, buffering, hierarchy) -> None:
+        buffering.put("t", 6 * PAGE)
+        assert buffering.evict("t") == 6 * PAGE
+        assert hierarchy.total_used() == 0
+        assert "t" not in buffering
+
+    def test_evict_unknown(self, buffering) -> None:
+        with pytest.raises(TierError):
+            buffering.evict("ghost")

@@ -1,0 +1,118 @@
+"""Hermes data placement engines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError
+from repro.hermes import MaxBandwidthDpe, MinIoTimeDpe, RandomDpe, RoundRobinDpe
+from repro.monitor import SystemMonitor
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+from repro.units import PAGE
+
+
+@pytest.fixture()
+def hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(
+        [
+            Tier(TierSpec(name="ram", capacity=10 * PAGE, bandwidth=4e9,
+                          latency=1e-6, lanes=2)),
+            Tier(TierSpec(name="ssd", capacity=20 * PAGE, bandwidth=2e9,
+                          latency=1e-5, lanes=2)),
+            Tier(TierSpec(name="pfs", capacity=None, bandwidth=1e8,
+                          latency=1e-3, lanes=4)),
+        ]
+    )
+
+
+@pytest.fixture()
+def status(hierarchy):
+    return SystemMonitor(hierarchy).sample()
+
+
+def _assert_tiles(placements, size) -> None:
+    assert sum(n for _, n in placements) == size
+
+
+class TestMaxBandwidth:
+    def test_fits_in_top_tier(self, status) -> None:
+        placements = MaxBandwidthDpe().place(5 * PAGE, status)
+        assert placements == [("ram", 5 * PAGE)]
+
+    def test_spills_in_order(self, status) -> None:
+        placements = MaxBandwidthDpe().place(50 * PAGE, status)
+        _assert_tiles(placements, 50 * PAGE)
+        assert [t for t, _ in placements] == ["ram", "ssd", "pfs"]
+
+    def test_grain_aligned_intermediate_pieces(self, hierarchy) -> None:
+        hierarchy.by_name("ram").put("f", None, accounted_size=3 * PAGE + 100)
+        status = SystemMonitor(hierarchy).sample()
+        placements = MaxBandwidthDpe().place(40 * PAGE, status)
+        _assert_tiles(placements, 40 * PAGE)
+        for tier, nbytes in placements[:-1]:
+            assert nbytes % PAGE == 0
+
+    def test_skips_full_tier(self, hierarchy) -> None:
+        hierarchy.by_name("ram").put("f", None, accounted_size=10 * PAGE)
+        status = SystemMonitor(hierarchy).sample()
+        placements = MaxBandwidthDpe().place(5 * PAGE, status)
+        assert placements[0][0] == "ssd"
+
+    def test_skips_unavailable_tier(self, hierarchy) -> None:
+        hierarchy.by_name("ram").set_available(False)
+        status = SystemMonitor(hierarchy).sample()
+        placements = MaxBandwidthDpe().place(5 * PAGE, status)
+        assert placements[0][0] == "ssd"
+
+    def test_zero_size(self, status) -> None:
+        assert MaxBandwidthDpe().place(0, status) == []
+
+    def test_capacity_error_without_sink(self) -> None:
+        h = StorageHierarchy(
+            [Tier(TierSpec(name="only", capacity=PAGE, bandwidth=1e9,
+                           latency=0))]
+        )
+        status = SystemMonitor(h).sample()
+        with pytest.raises(CapacityError):
+            MaxBandwidthDpe().place(10 * PAGE, status)
+
+
+class TestRoundRobin:
+    def test_rotates_start_tier(self, status) -> None:
+        dpe = RoundRobinDpe()
+        first = dpe.place(2 * PAGE, status)[0][0]
+        second = dpe.place(2 * PAGE, status)[0][0]
+        assert first != second
+
+    def test_tiles_full_request(self, status) -> None:
+        dpe = RoundRobinDpe()
+        for _ in range(5):
+            _assert_tiles(dpe.place(7 * PAGE, status), 7 * PAGE)
+
+
+class TestRandom:
+    def test_deterministic_with_seeded_rng(self, status) -> None:
+        a = RandomDpe(np.random.default_rng(1)).place(2 * PAGE, status)
+        b = RandomDpe(np.random.default_rng(1)).place(2 * PAGE, status)
+        assert a == b
+
+    def test_tiles(self, status) -> None:
+        dpe = RandomDpe(np.random.default_rng(0))
+        for _ in range(10):
+            _assert_tiles(dpe.place(4 * PAGE, status), 4 * PAGE)
+
+
+class TestMinIoTime:
+    def test_prefers_fast_tier_when_idle(self, hierarchy, status) -> None:
+        specs = {t.spec.name: t.spec for t in hierarchy}
+        placements = MinIoTimeDpe(specs).place(2 * PAGE, status)
+        assert placements[0][0] == "ram"
+
+    def test_load_steers_away(self, hierarchy) -> None:
+        specs = {t.spec.name: t.spec for t in hierarchy}
+        for _ in range(50):
+            hierarchy.by_name("ram").begin_io(PAGE)
+        status = SystemMonitor(hierarchy).sample()
+        placements = MinIoTimeDpe(specs).place(2 * PAGE, status)
+        assert placements[0][0] != "ram"

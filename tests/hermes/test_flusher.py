@@ -1,0 +1,107 @@
+"""Asynchronous tier draining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TierError
+from repro.hermes.flusher import TierFlusher
+from repro.sim import Delay, Simulation
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+from repro.units import PAGE
+
+
+def _hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(
+        [
+            Tier(TierSpec(name="fast", capacity=10 * PAGE, bandwidth=1e9,
+                          latency=0, lanes=2)),
+            Tier(TierSpec(name="slow", capacity=None, bandwidth=1e8,
+                          latency=0, lanes=2)),
+        ]
+    )
+
+
+class TestDraining:
+    def test_drains_above_high_water(self) -> None:
+        hierarchy = _hierarchy()
+        fast = hierarchy.by_name("fast")
+        for i in range(9):  # 90% full
+            fast.put(f"k{i}", None, accounted_size=PAGE)
+        flusher = TierFlusher(hierarchy, high_water=0.7, low_water=0.4,
+                              poll_seconds=0.01)
+        sim = Simulation(hierarchy)
+        sim.add_process(flusher.process(), daemon=True)
+        sim.add_process(iter([Delay(5.0)]))
+        sim.run()
+        assert flusher.stats.moves > 0
+        assert fast.used / fast.spec.capacity <= 0.7
+        assert hierarchy.by_name("slow").used > 0
+
+    def test_fifo_order(self) -> None:
+        hierarchy = _hierarchy()
+        fast = hierarchy.by_name("fast")
+        for i in range(9):
+            fast.put(f"k{i}", None, accounted_size=PAGE)
+        flusher = TierFlusher(hierarchy, poll_seconds=0.01)
+        sim = Simulation(hierarchy)
+        sim.add_process(flusher.process(), daemon=True)
+        sim.add_process(iter([Delay(5.0)]))
+        sim.run()
+        # Oldest keys moved first.
+        moved = set(hierarchy.by_name("slow").keys())
+        expected_first = {f"k{i}" for i in range(len(moved))}
+        assert moved == expected_first
+
+    def test_idle_below_high_water(self) -> None:
+        hierarchy = _hierarchy()
+        hierarchy.by_name("fast").put("k", None, accounted_size=2 * PAGE)
+        flusher = TierFlusher(hierarchy, poll_seconds=0.01)
+        sim = Simulation(hierarchy)
+        sim.add_process(flusher.process(), daemon=True)
+        sim.add_process(iter([Delay(1.0)]))
+        sim.run()
+        assert flusher.stats.moves == 0
+        assert flusher.stats.polls > 10
+
+    def test_payloads_travel_with_extents(self) -> None:
+        hierarchy = _hierarchy()
+        fast = hierarchy.by_name("fast")
+        for i in range(9):
+            fast.put(f"k{i}", bytes([i]) * 100, accounted_size=PAGE)
+        flusher = TierFlusher(hierarchy, poll_seconds=0.01)
+        sim = Simulation(hierarchy)
+        sim.add_process(flusher.process(), daemon=True)
+        sim.add_process(iter([Delay(5.0)]))
+        sim.run()
+        slow = hierarchy.by_name("slow")
+        for key in slow.keys():
+            index = int(key[1:])
+            assert slow.get(key) == bytes([index]) * 100
+
+    def test_flush_io_charged_on_both_tiers(self) -> None:
+        from repro.sim import TraceRecorder
+
+        hierarchy = _hierarchy()
+        fast = hierarchy.by_name("fast")
+        for i in range(9):
+            fast.put(f"k{i}", None, accounted_size=PAGE)
+        trace = TraceRecorder()
+        sim = Simulation(hierarchy, trace=trace)
+        sim.add_process(TierFlusher(hierarchy, poll_seconds=0.01).process(),
+                        daemon=True)
+        sim.add_process(iter([Delay(5.0)]))
+        sim.run()
+        tiers_touched = {rec.tier for rec in trace.records}
+        assert tiers_touched == {"fast", "slow"}
+
+
+class TestValidation:
+    def test_water_marks(self) -> None:
+        h = _hierarchy()
+        with pytest.raises(TierError):
+            TierFlusher(h, high_water=0.4, low_water=0.6)
+        with pytest.raises(TierError):
+            TierFlusher(h, poll_seconds=0.0)
+        with pytest.raises(TierError):
+            TierFlusher(h, batch_moves=0)

@@ -1,0 +1,109 @@
+"""Cross-module integration: the full engine against real data flows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HCompress, HCompressConfig
+from repro.formats import H5LiteFile, H5LiteWriter, make_particles
+from repro.hcdp import READ_AFTER_WRITE
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+
+import io
+
+
+class TestScientificDataFlow:
+    def test_h5lite_checkpoint_through_engine(self, seed, rng) -> None:
+        """A producer writes h5lite checkpoints through HCompress; a
+        consumer reads them back bit-exact and parses the container."""
+        hierarchy = ares_hierarchy(1 * MiB, 2 * MiB, 1 * GiB, nodes=2)
+        engine = HCompress(
+            hierarchy, HCompressConfig(priority=READ_AFTER_WRITE), seed=seed
+        )
+        particles = make_particles(4096, rng)
+        buffer = io.BytesIO()
+        with H5LiteWriter(buffer) as writer:
+            writer.write_dataset("particles", particles,
+                                 attrs={"distribution": "normal"})
+        blob = buffer.getvalue()
+
+        hints = H5LiteFile(blob).hints("particles")
+        result = engine.compress(blob, hints=hints, task_id="step0")
+        assert result.task.analysis.from_metadata
+
+        restored = engine.decompress("step0").data
+        assert restored == blob
+        reread = H5LiteFile(restored).read("particles")
+        assert np.array_equal(reread, particles)
+
+    def test_many_tasks_fill_and_spill(self, seed, rng) -> None:
+        """Writing past the bounded tiers spills without data loss."""
+        hierarchy = ares_hierarchy(256 * KiB, 512 * KiB, 16 * MiB, nodes=2)
+        engine = HCompress(hierarchy, seed=seed)
+        payloads = {}
+        for i in range(12):
+            data = rng.gamma(2.0, 60.0, 16 * 1024).astype(np.float64)
+            data = (np.round(data * 4096) / 4096).astype(np.float64).tobytes()
+            payloads[f"t{i}"] = data
+            engine.compress(data, task_id=f"t{i}")
+        for task_id, data in payloads.items():
+            assert engine.decompress(task_id).data == data
+
+    def test_feedback_improves_live_predictions(self, seed, rng) -> None:
+        """Repeated writes of one data class converge the predicted ratio
+        to the measured one (the §IV-D loop closing end to end)."""
+        from repro.ccp import ObservationKey
+        from repro.hcdp import ARCHIVAL_IO
+
+        hierarchy = ares_hierarchy(64 * MiB, 128 * MiB, 1 * GiB, nodes=2)
+        engine = HCompress(
+            hierarchy,
+            HCompressConfig(priority=ARCHIVAL_IO, feedback_every_n=1),
+            seed=seed,
+        )
+        data = rng.exponential(120.0, 32 * 1024).astype(np.float64)
+        data = (np.round(data * 4096) / 4096).astype(np.float64).tobytes()
+
+        first = engine.compress(data, task_id="w0")
+        codec = first.pieces[0].plan.codec
+        measured = first.pieces[0].actual_ratio
+        for i in range(30):
+            engine.compress(data, task_id=f"w{i + 1}")
+        analysis = engine.analyzer.analyze(data)
+        predicted = engine.predictor.predict(
+            ObservationKey(*analysis.feature_key(), codec, len(data))
+        ).ratio
+        assert predicted == pytest.approx(measured, rel=0.25)
+
+
+class TestSimulatedCluster:
+    def test_hcompress_inside_simulation(self, seed, rng) -> None:
+        """HCompress driven by simulated ranks with the sim clock wired
+        into its System Monitor."""
+        from repro.sim import IO, Delay, Simulation, spawn_ranks
+        from repro.workloads import HCompressBackend, vpic_sample
+
+        hierarchy = ares_hierarchy(512 * KiB, 1 * MiB, 64 * MiB, nodes=2)
+        sim = Simulation(hierarchy)
+        engine = HCompress(hierarchy, seed=seed, clock=lambda: sim.now)
+        backend = HCompressBackend(engine)
+        sample = vpic_sample(16 * KiB, rng)
+
+        def program(ctx):
+            for step in range(3):
+                charge = backend.write(
+                    f"r{ctx.rank}/s{step}", 1 * MiB, sample
+                )
+                if charge.cpu_seconds:
+                    yield Delay(charge.cpu_seconds)
+                for piece in charge.pieces:
+                    yield IO(piece.tier, piece.nbytes, "write")
+                yield from ctx.barrier()
+
+        spawn_ranks(sim, 4, program)
+        elapsed = sim.run()
+        assert elapsed > 0
+        assert engine.monitor.status().time <= elapsed
+        assert hierarchy.total_used() > 0

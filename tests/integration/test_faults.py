@@ -1,0 +1,83 @@
+"""Fault injection: tier outages and capacity exhaustion mid-run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HCompress
+from repro.errors import PlacementError
+from repro.tiers import StorageHierarchy, Tier, TierSpec, ares_hierarchy
+from repro.units import GiB, KiB, MiB
+
+
+class TestTierOutage:
+    def test_writes_route_around_down_tier(self, seed, gamma_f64) -> None:
+        hierarchy = ares_hierarchy(4 * MiB, 8 * MiB, 1 * GiB, nodes=2)
+        engine = HCompress(hierarchy, seed=seed)
+        hierarchy.by_name("ram").set_available(False)
+        result = engine.compress(gamma_f64, task_id="t")
+        assert all(p.tier != "ram" for p in result.pieces)
+        assert engine.decompress("t").data == gamma_f64
+
+    def test_recovery_restores_routing(self, seed, gamma_f64) -> None:
+        hierarchy = ares_hierarchy(4 * MiB, 8 * MiB, 1 * GiB, nodes=2)
+        engine = HCompress(hierarchy, seed=seed)
+        ram = hierarchy.by_name("ram")
+        ram.set_available(False)
+        engine.compress(gamma_f64, task_id="down")
+        ram.set_available(True)
+        result = engine.compress(gamma_f64, task_id="up")
+        assert result.pieces[0].tier == "ram"
+
+    def test_all_tiers_down_is_placement_error(self, seed, gamma_f64) -> None:
+        hierarchy = StorageHierarchy(
+            [
+                Tier(TierSpec(name="a", capacity=1 * MiB, bandwidth=2e9,
+                              latency=0)),
+                Tier(TierSpec(name="b", capacity=None, bandwidth=1e9,
+                              latency=0)),
+            ]
+        )
+        engine = HCompress(hierarchy, seed=seed)
+        for tier in hierarchy:
+            tier.set_available(False)
+        with pytest.raises(PlacementError):
+            engine.compress(gamma_f64)
+
+    def test_reads_survive_outage_of_other_tiers(self, seed, gamma_f64) -> None:
+        """A read only needs the tiers actually holding the pieces."""
+        hierarchy = ares_hierarchy(4 * MiB, 8 * MiB, 1 * GiB, nodes=2)
+        engine = HCompress(hierarchy, seed=seed)
+        result = engine.compress(gamma_f64, task_id="t")
+        holding = {p.tier for p in result.pieces}
+        for tier in hierarchy:
+            if tier.spec.name not in holding:
+                tier.set_available(False)
+        assert engine.decompress("t").data == gamma_f64
+
+
+class TestCapacityExhaustion:
+    def test_sustained_writes_never_lose_data(self, seed, rng) -> None:
+        hierarchy = ares_hierarchy(128 * KiB, 256 * KiB, 2 * MiB, nodes=2)
+        engine = HCompress(hierarchy, seed=seed)
+        blobs = {}
+        for i in range(24):
+            data = rng.gamma(2.0, 60.0, 4096).astype(np.float64)
+            data = (np.round(data * 4096) / 4096).astype(np.float64).tobytes()
+            blobs[f"t{i}"] = data
+            engine.compress(data, task_id=f"t{i}")
+        for task_id, data in blobs.items():
+            assert engine.decompress(task_id).data == data
+
+    def test_eviction_frees_room_for_reuse(self, seed, gamma_f64) -> None:
+        hierarchy = ares_hierarchy(
+            len(gamma_f64) * 2, len(gamma_f64) * 2, 64 * MiB, nodes=2
+        )
+        engine = HCompress(hierarchy, seed=seed)
+        engine.compress(gamma_f64, task_id="old")
+        used_before = hierarchy.total_used()
+        engine.manager.evict_task("old")
+        assert hierarchy.total_used() < used_before
+        engine.compress(gamma_f64, task_id="new")
+        assert engine.decompress("new").data == gamma_f64

@@ -1,0 +1,89 @@
+"""Statistics helpers: EWMA, sliding windows, R^2."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.monitor import Ewma, SlidingWindow, r_squared
+
+
+class TestEwma:
+    def test_first_observation_is_value(self) -> None:
+        ewma = Ewma(alpha=0.5)
+        assert ewma.update(10.0) == 10.0
+
+    def test_converges_toward_constant(self) -> None:
+        ewma = Ewma(alpha=0.3)
+        for _ in range(100):
+            ewma.update(7.0)
+        assert ewma.value == pytest.approx(7.0)
+
+    def test_blend_formula(self) -> None:
+        ewma = Ewma(alpha=0.5)
+        ewma.update(0.0)
+        assert ewma.update(10.0) == pytest.approx(5.0)
+
+    def test_alpha_validation(self) -> None:
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+    def test_unset_value_is_none(self) -> None:
+        assert Ewma().value is None
+
+
+class TestSlidingWindow:
+    def test_mean_of_partial_window(self) -> None:
+        win = SlidingWindow(capacity=10)
+        for v in (1.0, 2.0, 3.0):
+            win.push(v)
+        assert win.mean == pytest.approx(2.0)
+        assert len(win) == 3
+
+    def test_eviction_at_capacity(self) -> None:
+        win = SlidingWindow(capacity=3)
+        for v in (1.0, 2.0, 3.0, 10.0):
+            win.push(v)
+        assert len(win) == 3
+        assert win.mean == pytest.approx(5.0)
+        assert win.values() == [2.0, 3.0, 10.0]
+
+    def test_empty_mean_is_zero(self) -> None:
+        assert SlidingWindow().mean == 0.0
+
+    def test_capacity_validation(self) -> None:
+        with pytest.raises(ValueError):
+            SlidingWindow(capacity=0)
+
+    def test_running_sum_stays_consistent(self) -> None:
+        win = SlidingWindow(capacity=5)
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, 50)
+        for v in values:
+            win.push(float(v))
+        assert win.mean == pytest.approx(float(values[-5:].mean()))
+
+
+class TestRSquared:
+    def test_perfect_prediction(self) -> None:
+        assert r_squared([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_mean_prediction_scores_zero(self) -> None:
+        actual = [1.0, 2.0, 3.0]
+        assert r_squared(actual, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_worse_than_mean_is_negative(self) -> None:
+        assert r_squared([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0
+
+    def test_constant_actuals(self) -> None:
+        assert r_squared([5.0, 5.0], [5.0, 5.0]) == 1.0
+        assert r_squared([5.0, 5.0], [4.0, 6.0]) == 0.0
+
+    def test_shape_mismatch(self) -> None:
+        with pytest.raises(ValueError):
+            r_squared([1, 2], [1, 2, 3])
+
+    def test_empty(self) -> None:
+        assert r_squared([], []) == 0.0

@@ -1,0 +1,76 @@
+"""System Monitor: the three signals, sampling cadence, fault visibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.monitor import SystemMonitor
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+
+
+@pytest.fixture()
+def hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(
+        [
+            Tier(TierSpec(name="fast", capacity=100, bandwidth=2e9, latency=0)),
+            Tier(TierSpec(name="slow", capacity=None, bandwidth=1e9, latency=0)),
+        ]
+    )
+
+
+class TestSignals:
+    def test_snapshot_fields(self, hierarchy) -> None:
+        hierarchy.by_name("fast").put("k", None, accounted_size=30)
+        hierarchy.by_name("fast").begin_io(17)
+        status = SystemMonitor(hierarchy).sample()
+        fast = status.tier("fast")
+        assert fast.available is True
+        assert fast.load == 1
+        assert fast.queued_bytes == 17
+        assert fast.remaining == 70
+        assert fast.used == 30
+        assert fast.level == 0
+
+    def test_unbounded_tier_remaining_none(self, hierarchy) -> None:
+        status = SystemMonitor(hierarchy).sample()
+        assert status.tier("slow").remaining is None
+
+    def test_unknown_tier_in_snapshot(self, hierarchy) -> None:
+        status = SystemMonitor(hierarchy).sample()
+        with pytest.raises(KeyError):
+            status.tier("tape")
+
+    def test_effective_remaining_zero_when_down(self, hierarchy) -> None:
+        hierarchy.by_name("fast").set_available(False)
+        status = SystemMonitor(hierarchy).sample()
+        assert status.tier("fast").effective_remaining() == 0
+        assert status.tier("slow").effective_remaining() is None
+
+
+class TestCadence:
+    def test_interval_zero_always_fresh(self, hierarchy) -> None:
+        monitor = SystemMonitor(hierarchy, interval=0.0)
+        monitor.status()
+        hierarchy.by_name("fast").put("k", None, accounted_size=50)
+        assert monitor.status().tier("fast").used == 50
+
+    def test_interval_caches_snapshots(self, hierarchy) -> None:
+        clock_values = iter([0.0, 0.5, 0.9, 2.0, 2.0])
+        monitor = SystemMonitor(hierarchy, clock=lambda: next(clock_values),
+                                interval=1.0)
+        first = monitor.status()  # t=0 -> sample (consumes two clock reads)
+        hierarchy.by_name("fast").put("k", None, accounted_size=50)
+        stale = monitor.status()  # t=0.9 < interval -> cached
+        assert stale is first
+        fresh = monitor.status()  # t=2.0 -> resample
+        assert fresh.tier("fast").used == 50
+
+    def test_samples_counter(self, hierarchy) -> None:
+        monitor = SystemMonitor(hierarchy)
+        monitor.sample()
+        monitor.sample()
+        assert monitor.samples_taken == 2
+
+    def test_negative_interval_rejected(self, hierarchy) -> None:
+        with pytest.raises(ValueError):
+            SystemMonitor(hierarchy, interval=-1.0)

@@ -1,0 +1,255 @@
+"""Discrete-event engine: delays, contention, barriers, daemons."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import IO, Barrier, Delay, Simulation, TraceRecorder
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+
+
+def _hierarchy(lanes: int = 2, bandwidth: float = 1e6) -> StorageHierarchy:
+    return StorageHierarchy(
+        [Tier(TierSpec(name="disk", capacity=None, bandwidth=bandwidth,
+                       latency=0.0, lanes=lanes))]
+    )
+
+
+class TestDelays:
+    def test_single_delay(self) -> None:
+        sim = Simulation()
+
+        def proc():
+            yield Delay(2.5)
+
+        sim.add_process(proc())
+        assert sim.run() == pytest.approx(2.5)
+
+    def test_sequential_delays_accumulate(self) -> None:
+        sim = Simulation()
+
+        def proc():
+            yield Delay(1.0)
+            yield Delay(2.0)
+
+        sim.add_process(proc())
+        assert sim.run() == pytest.approx(3.0)
+
+    def test_parallel_processes_overlap(self) -> None:
+        sim = Simulation()
+        for _ in range(5):
+            sim.add_process(iter([Delay(4.0)]))
+        assert sim.run() == pytest.approx(4.0)
+
+    def test_negative_delay_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            Delay(-1.0)
+
+    def test_send_value_is_realised_duration(self) -> None:
+        sim = Simulation()
+        observed = []
+
+        def proc():
+            waited = yield Delay(1.5)
+            observed.append(waited)
+
+        sim.add_process(proc())
+        sim.run()
+        assert observed == [pytest.approx(1.5)]
+
+    def test_completed_count(self) -> None:
+        sim = Simulation()
+        for _ in range(3):
+            sim.add_process(iter([Delay(1.0)]))
+        sim.run()
+        assert sim.completed_processes == 3
+
+    def test_run_until(self) -> None:
+        sim = Simulation()
+        sim.add_process(iter([Delay(100.0)]))
+        assert sim.run(until=10.0) == pytest.approx(10.0)
+
+
+class TestIO:
+    def test_service_time_formula(self) -> None:
+        # 1 MB over a single 1 MB/s lane with zero latency = 1 second.
+        sim = Simulation(_hierarchy(lanes=1, bandwidth=1e6))
+
+        def proc():
+            yield IO("disk", 1_000_000)
+
+        sim.add_process(proc())
+        assert sim.run() == pytest.approx(1.0)
+
+    def test_lanes_serve_in_parallel(self) -> None:
+        sim = Simulation(_hierarchy(lanes=2, bandwidth=2e6))
+        for _ in range(2):
+            sim.add_process(iter([IO("disk", 1_000_000)]))
+        assert sim.run() == pytest.approx(1.0)
+
+    def test_contention_queues_fcfs(self) -> None:
+        # 4 x 1MB ops on 2 lanes of 1MB/s each: two waves of 1 s.
+        sim = Simulation(_hierarchy(lanes=2, bandwidth=2e6))
+        for _ in range(4):
+            sim.add_process(iter([IO("disk", 1_000_000)]))
+        assert sim.run() == pytest.approx(2.0)
+
+    def test_latency_added_per_op(self) -> None:
+        h = StorageHierarchy(
+            [Tier(TierSpec(name="d", capacity=None, bandwidth=1e6,
+                           latency=0.25, lanes=1))]
+        )
+        sim = Simulation(h)
+        sim.add_process(iter([IO("d", 1_000_000)]))
+        assert sim.run() == pytest.approx(1.25)
+
+    def test_unknown_tier(self) -> None:
+        sim = Simulation(_hierarchy())
+        sim.add_process(iter([IO("tape", 10)]))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_io_without_hierarchy(self) -> None:
+        sim = Simulation()
+        sim.add_process(iter([IO("disk", 10)]))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_queue_depth_tracked(self) -> None:
+        h = _hierarchy(lanes=1, bandwidth=1e6)
+        sim = Simulation(h)
+        depths = []
+
+        def writer():
+            yield IO("disk", 1_000_000)
+
+        def watcher():
+            yield Delay(0.5)
+            depths.append(h.by_name("disk").queue_depth)
+            yield Delay(1.0)
+            depths.append(h.by_name("disk").queue_depth)
+
+        sim.add_process(writer())
+        sim.add_process(watcher())
+        sim.run()
+        assert depths == [1, 0]
+
+    def test_queued_bytes_tracked(self) -> None:
+        h = _hierarchy(lanes=1, bandwidth=1e6)
+        sim = Simulation(h)
+        seen = []
+
+        def writer():
+            yield IO("disk", 800_000)
+
+        def watcher():
+            yield Delay(0.1)
+            seen.append(h.by_name("disk").queued_bytes)
+
+        sim.add_process(writer())
+        sim.add_process(watcher())
+        sim.run()
+        assert seen == [800_000]
+
+    def test_trace_records_queueing(self) -> None:
+        trace = TraceRecorder()
+        sim = Simulation(_hierarchy(lanes=1, bandwidth=1e6), trace=trace)
+        for _ in range(2):
+            sim.add_process(iter([IO("disk", 1_000_000)]))
+        sim.run()
+        assert len(trace) == 2
+        queued = sorted(rec.queued for rec in trace.records)
+        assert queued[0] == pytest.approx(0.0)
+        assert queued[1] == pytest.approx(1.0)
+
+    def test_invalid_op_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            IO("disk", 10, "append")
+
+    def test_negative_size_rejected(self) -> None:
+        with pytest.raises(SimulationError):
+            IO("disk", -1)
+
+
+class TestBarriers:
+    def test_barrier_synchronises(self) -> None:
+        sim = Simulation()
+        times = []
+
+        def proc(delay):
+            yield Delay(delay)
+            yield Barrier("g", 3)
+            times.append(sim.now)
+
+        for d in (1.0, 2.0, 5.0):
+            sim.add_process(proc(d))
+        sim.run()
+        assert times == [pytest.approx(5.0)] * 3
+
+    def test_overfilled_barrier(self) -> None:
+        sim = Simulation()
+        for _ in range(3):
+            sim.add_process(iter([Barrier("g", 2)]))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_deadlock_detected(self) -> None:
+        sim = Simulation()
+        sim.add_process(iter([Barrier("g", 2)]))  # second arrival never comes
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()
+
+    def test_generations_are_independent(self) -> None:
+        sim = Simulation()
+
+        def proc():
+            yield Barrier("g", 2, generation=0)
+            yield Barrier("g", 2, generation=1)
+
+        sim.add_process(proc())
+        sim.add_process(proc())
+        sim.run()
+        assert sim.completed_processes == 2
+
+
+class TestDaemons:
+    def test_daemon_does_not_keep_sim_alive(self) -> None:
+        sim = Simulation()
+
+        def daemon():
+            while True:
+                yield Delay(0.1)
+
+        def worker():
+            yield Delay(1.0)
+
+        sim.add_process(daemon(), daemon=True)
+        sim.add_process(worker())
+        elapsed = sim.run()
+        assert 1.0 <= elapsed < 1.2
+
+    def test_daemon_performs_work_meanwhile(self) -> None:
+        sim = Simulation()
+        ticks = []
+
+        def daemon():
+            while True:
+                yield Delay(0.3)
+                ticks.append(sim.now)
+
+        sim.add_process(daemon(), daemon=True)
+        sim.add_process(iter([Delay(1.0)]))
+        sim.run()
+        assert len(ticks) >= 3
+
+    def test_finished_daemon_is_fine(self) -> None:
+        sim = Simulation()
+
+        def short_daemon():
+            yield Delay(0.1)
+
+        sim.add_process(short_daemon(), daemon=True)
+        sim.add_process(iter([Delay(1.0)]))
+        assert sim.run() == pytest.approx(1.0)
+        assert sim.completed_processes == 1

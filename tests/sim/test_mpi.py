@@ -1,0 +1,79 @@
+"""MPI-style communicators over the event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Delay, SimComm, Simulation, spawn_ranks
+
+
+class TestComm:
+    def test_size_validation(self) -> None:
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            SimComm(sim, 0)
+
+    def test_rank_bounds(self) -> None:
+        comm = SimComm(Simulation(), 4)
+        with pytest.raises(SimulationError):
+            comm.context(4)
+        with pytest.raises(SimulationError):
+            comm.context(-1)
+
+    def test_iteration_yields_all_ranks(self) -> None:
+        comm = SimComm(Simulation(), 3)
+        assert [ctx.rank for ctx in comm] == [0, 1, 2]
+
+
+class TestSpawnRanks:
+    def test_bulk_synchronous_steps(self) -> None:
+        sim = Simulation()
+        step_times: dict[int, list[float]] = {0: [], 1: []}
+
+        def program(ctx):
+            for step in range(2):
+                yield ctx.compute(0.5 * (ctx.rank + 1))
+                yield from ctx.barrier()
+                step_times[step].append(sim.now)
+
+        spawn_ranks(sim, 4, program)
+        sim.run()
+        # Every rank leaves each barrier at the slowest rank's time.
+        assert step_times[0] == [pytest.approx(2.0)] * 4
+        assert step_times[1] == [pytest.approx(4.0)] * 4
+
+    def test_barrier_generations_auto_increment(self) -> None:
+        sim = Simulation()
+
+        def program(ctx):
+            for _ in range(5):
+                yield from ctx.barrier()
+
+        spawn_ranks(sim, 3, program)
+        sim.run()
+        assert sim.completed_processes == 3
+
+    def test_now_visible_to_ranks(self) -> None:
+        sim = Simulation()
+        seen = []
+
+        def program(ctx):
+            yield Delay(1.0)
+            seen.append(ctx.now)
+
+        spawn_ranks(sim, 1, program)
+        sim.run()
+        assert seen == [pytest.approx(1.0)]
+
+    def test_mismatched_barrier_counts_deadlock(self) -> None:
+        sim = Simulation()
+
+        def program(ctx):
+            rounds = 1 if ctx.rank == 0 else 2
+            for _ in range(rounds):
+                yield from ctx.barrier()
+
+        spawn_ranks(sim, 2, program)
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run()

@@ -1,0 +1,47 @@
+"""Trace recording and per-tier summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import TraceRecorder
+
+
+@pytest.fixture()
+def trace() -> TraceRecorder:
+    t = TraceRecorder()
+    t.record(time=0.0, tier="ram", op="write", nbytes=100, queued=0.0, duration=1.0)
+    t.record(time=1.0, tier="ram", op="read", nbytes=50, queued=0.5, duration=1.5)
+    t.record(time=2.0, tier="pfs", op="write", nbytes=900, queued=0.0, duration=3.0)
+    return t
+
+
+class TestRecorder:
+    def test_length_and_iteration(self, trace) -> None:
+        assert len(trace) == 3
+        assert len(list(trace)) == 3
+
+    def test_bytes_by_tier(self, trace) -> None:
+        assert trace.bytes_by_tier() == {"ram": 150, "pfs": 900}
+
+    def test_bytes_by_tier_filtered(self, trace) -> None:
+        assert trace.bytes_by_tier(op="write") == {"ram": 100, "pfs": 900}
+        assert trace.bytes_by_tier(op="read") == {"ram": 50}
+
+    def test_summaries(self, trace) -> None:
+        summary = trace.summaries()["ram"]
+        assert summary.ops == 2
+        assert summary.bytes_total == 150
+        assert summary.queued_seconds == pytest.approx(0.5)
+        assert summary.busy_seconds == pytest.approx(2.0)
+        assert summary.mean_queue == pytest.approx(0.25)
+
+    def test_clear(self, trace) -> None:
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.summaries() == {}
+
+    def test_records_returns_copy(self, trace) -> None:
+        records = trace.records
+        records.clear()
+        assert len(trace) == 3

@@ -1,0 +1,53 @@
+"""The hcompress command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self) -> None:
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_defaults(self) -> None:
+        args = build_parser().parse_args(["profile"])
+        assert args.mode == "nominal"
+        assert args.sizes == ["8", "32"]
+
+    def test_report_flags(self) -> None:
+        args = build_parser().parse_args(["report", "--fast"])
+        assert args.fast
+
+
+class TestCommands:
+    def test_profile_writes_seed(self, tmp_path, capsys) -> None:
+        out = tmp_path / "seed.json"
+        code = main(["profile", "--output", str(out), "--sizes", "4", "8"])
+        assert code == 0
+        from repro.ccp import load_seed
+
+        seed = load_seed(out)
+        assert len(seed.observations) > 100
+
+    def test_profile_with_signature(self, tmp_path) -> None:
+        out = tmp_path / "seed.json"
+        assert main([
+            "profile", "--output", str(out), "--sizes", "4", "8",
+            "--signature",
+        ]) == 0
+        from repro.ccp import load_seed
+
+        assert load_seed(out).system_signature
+
+    def test_codecs_listing(self, capsys) -> None:
+        assert main(["codecs", "--kib", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "zlib" in output
+        assert "ratio" in output
+
+    def test_demo_roundtrip(self, capsys) -> None:
+        assert main(["demo", "--kib", "64"]) == 0
+        assert "round-trip OK" in capsys.readouterr().out

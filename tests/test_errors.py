@@ -1,0 +1,47 @@
+"""Exception hierarchy: everything derives from HCompressError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.CodecError,
+    errors.CorruptDataError,
+    errors.UnknownCodecError,
+    errors.CapacityError,
+    errors.TierError,
+    errors.PlacementError,
+    errors.SchemaError,
+    errors.AnalyzerError,
+    errors.ModelError,
+    errors.SeedError,
+    errors.SimulationError,
+    errors.FormatError,
+    errors.WorkloadError,
+]
+
+
+@pytest.mark.parametrize("exc", ALL_ERRORS)
+def test_derives_from_base(exc) -> None:
+    assert issubclass(exc, errors.HCompressError)
+
+
+def test_corrupt_data_is_codec_error() -> None:
+    assert issubclass(errors.CorruptDataError, errors.CodecError)
+
+
+def test_unknown_codec_dual_inheritance() -> None:
+    assert issubclass(errors.UnknownCodecError, KeyError)
+    # KeyError's repr quoting is suppressed for readable messages.
+    assert str(errors.UnknownCodecError("no codec named 'x'")) == (
+        "no codec named 'x'"
+    )
+
+
+def test_catch_all_pattern() -> None:
+    """Library consumers can catch the whole family in one clause."""
+    with pytest.raises(errors.HCompressError):
+        raise errors.PlacementError("nope")

@@ -1,0 +1,88 @@
+"""Byte units, formatting, and alignment helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    PAGE,
+    align_down,
+    align_up,
+    fmt_bytes,
+    fmt_rate,
+    fmt_seconds,
+    is_aligned,
+)
+
+
+class TestConstants:
+    def test_binary_progression(self) -> None:
+        assert KiB == 1024
+        assert MiB == 1024 * KiB
+        assert GiB == 1024 * MiB
+
+    def test_page_is_paper_grain(self) -> None:
+        assert PAGE == 4096
+
+
+class TestFormatting:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (3 * MiB, "3.00 MiB"),
+            (int(1.5 * GiB), "1.50 GiB"),
+            (-2048, "-2.00 KiB"),
+        ],
+    )
+    def test_fmt_bytes(self, n, expected) -> None:
+        assert fmt_bytes(n) == expected
+
+    def test_fmt_rate(self) -> None:
+        assert fmt_rate(2 * GiB) == "2.00 GiB/s"
+
+    @pytest.mark.parametrize(
+        "t,needle",
+        [(5e-6, "us"), (0.02, "ms"), (3.5, "s"), (600, "min"), (-1.0, "-")],
+    )
+    def test_fmt_seconds(self, t, needle) -> None:
+        assert needle in fmt_seconds(t)
+
+
+class TestAlignment:
+    def test_align_up(self) -> None:
+        assert align_up(0) == 0
+        assert align_up(1) == PAGE
+        assert align_up(PAGE) == PAGE
+        assert align_up(PAGE + 1) == 2 * PAGE
+
+    def test_align_down(self) -> None:
+        assert align_down(PAGE - 1) == 0
+        assert align_down(PAGE) == PAGE
+        assert align_down(10 * PAGE + 17) == 10 * PAGE
+
+    def test_custom_grain(self) -> None:
+        assert align_up(5, 8) == 8
+        assert align_down(15, 8) == 8
+
+    def test_is_aligned(self) -> None:
+        assert is_aligned(0)
+        assert is_aligned(3 * PAGE)
+        assert not is_aligned(PAGE + 1)
+        assert not is_aligned(-PAGE)
+
+    def test_negative_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            align_up(-1)
+        with pytest.raises(ValueError):
+            align_down(-1)
+
+    def test_bad_grain_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+        with pytest.raises(ValueError):
+            align_down(10, -4)

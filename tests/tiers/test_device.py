@@ -1,0 +1,88 @@
+"""Backing devices: memory, file, and accounting-only backends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TierError
+from repro.tiers import FileDevice, MemoryDevice, NullDevice
+
+
+@pytest.fixture(params=["memory", "file", "null"])
+def device(request, tmp_path):
+    if request.param == "memory":
+        return MemoryDevice()
+    if request.param == "file":
+        return FileDevice(tmp_path / "blobs")
+    return NullDevice()
+
+
+class TestCommonBehaviour:
+    def test_store_and_contains(self, device) -> None:
+        device.store("k1", b"payload")
+        assert "k1" in device
+        assert "k2" not in device
+
+    def test_delete(self, device) -> None:
+        device.store("k", b"x")
+        device.delete("k")
+        assert "k" not in device
+
+    def test_delete_missing_raises(self, device) -> None:
+        with pytest.raises(TierError):
+            device.delete("ghost")
+
+    def test_load_missing_raises(self, device) -> None:
+        with pytest.raises(TierError):
+            device.load("ghost")
+
+    def test_keys_and_clear(self, device) -> None:
+        device.store("a", b"1")
+        device.store("b", b"2")
+        assert sorted(device.keys()) == ["a", "b"]
+        device.clear()
+        assert device.keys() == []
+
+
+class TestPayloadBackends:
+    @pytest.mark.parametrize("backend", ["memory", "file"])
+    def test_load_returns_stored_bytes(self, backend, tmp_path) -> None:
+        device = MemoryDevice() if backend == "memory" else FileDevice(tmp_path)
+        device.store("key", b"hello world")
+        assert device.load("key") == b"hello world"
+
+    @pytest.mark.parametrize("backend", ["memory", "file"])
+    def test_overwrite(self, backend, tmp_path) -> None:
+        device = MemoryDevice() if backend == "memory" else FileDevice(tmp_path)
+        device.store("key", b"v1")
+        device.store("key", b"v2")
+        assert device.load("key") == b"v2"
+
+
+class TestMemoryDevice:
+    def test_stored_bytes(self) -> None:
+        device = MemoryDevice()
+        device.store("a", b"12345")
+        device.store("b", b"678")
+        assert device.stored_bytes == 8
+
+
+class TestFileDevice:
+    def test_slash_keys_flattened(self, tmp_path) -> None:
+        device = FileDevice(tmp_path)
+        device.store("task/0", b"piece")
+        assert device.load("task/0") == b"piece"
+        assert "task/0" in device.keys()
+
+    def test_persists_across_instances(self, tmp_path) -> None:
+        FileDevice(tmp_path).store("k", b"durable")
+        assert FileDevice(tmp_path).load("k") == b"durable"
+
+
+class TestNullDevice:
+    def test_load_always_fails(self) -> None:
+        device = NullDevice()
+        device.store("k", b"discarded")
+        assert "k" in device
+        with pytest.raises(TierError):
+            device.load("k")

@@ -1,0 +1,92 @@
+"""StorageHierarchy: ordering, lookup, aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TierError
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+
+
+def _tier(name: str, bandwidth: float, capacity=1000, lanes=1) -> Tier:
+    return Tier(
+        TierSpec(name=name, capacity=capacity, bandwidth=bandwidth, latency=0,
+                 lanes=lanes)
+    )
+
+
+class TestConstruction:
+    def test_requires_tiers(self) -> None:
+        with pytest.raises(TierError):
+            StorageHierarchy([])
+
+    def test_duplicate_names_rejected(self) -> None:
+        with pytest.raises(TierError):
+            StorageHierarchy([_tier("x", 2e9), _tier("x", 1e9)])
+
+    def test_fastest_first_enforced(self) -> None:
+        with pytest.raises(TierError):
+            StorageHierarchy([_tier("slow", 1e8), _tier("fast", 1e9)])
+
+    def test_ordering_check_can_be_disabled(self) -> None:
+        h = StorageHierarchy(
+            [_tier("slow", 1e8), _tier("fast", 1e9)], enforce_ordering=False
+        )
+        assert len(h) == 2
+
+    def test_from_specs(self) -> None:
+        specs = [
+            TierSpec(name="a", capacity=10, bandwidth=2e9, latency=0),
+            TierSpec(name="b", capacity=None, bandwidth=1e9, latency=0),
+        ]
+        h = StorageHierarchy.from_specs(specs)
+        assert h.names == ["a", "b"]
+
+
+class TestLookup:
+    @pytest.fixture()
+    def hierarchy(self) -> StorageHierarchy:
+        return StorageHierarchy(
+            [_tier("ram", 3e9, lanes=2), _tier("ssd", 2e9, lanes=3),
+             _tier("pfs", 1e9, capacity=None, lanes=4)]
+        )
+
+    def test_index_and_name_access(self, hierarchy) -> None:
+        assert hierarchy[0].spec.name == "ram"
+        assert hierarchy.by_name("ssd").spec.name == "ssd"
+        assert hierarchy.level_of("pfs") == 2
+
+    def test_unknown_name(self, hierarchy) -> None:
+        with pytest.raises(TierError):
+            hierarchy.by_name("nvme")
+        with pytest.raises(TierError):
+            hierarchy.level_of("nvme")
+
+    def test_iteration_order(self, hierarchy) -> None:
+        assert [t.spec.name for t in hierarchy] == ["ram", "ssd", "pfs"]
+
+    def test_concurrency_sums_lanes(self, hierarchy) -> None:
+        assert hierarchy.concurrency() == 9
+
+    def test_find(self, hierarchy) -> None:
+        hierarchy.by_name("ssd").put("key", b"x")
+        assert hierarchy.find("key").spec.name == "ssd"
+        assert hierarchy.find("ghost") is None
+
+    def test_total_remaining_none_when_unbounded(self, hierarchy) -> None:
+        assert hierarchy.total_remaining() is None
+
+    def test_total_remaining_bounded(self) -> None:
+        h = StorageHierarchy([_tier("a", 2e9, 100), _tier("b", 1e9, 200)])
+        h[0].put("k", None, accounted_size=50)
+        assert h.total_remaining() == 250
+
+    def test_footprint_by_tier(self, hierarchy) -> None:
+        hierarchy[0].put("a", None, accounted_size=10)
+        hierarchy[2].put("b", None, accounted_size=30)
+        assert hierarchy.footprint_by_tier() == {"ram": 10, "ssd": 0, "pfs": 30}
+
+    def test_clear(self, hierarchy) -> None:
+        hierarchy[0].put("a", None, accounted_size=10)
+        hierarchy.clear()
+        assert hierarchy.total_used() == 0

@@ -1,0 +1,97 @@
+"""Ares presets (paper Tables III/IV encodings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tiers import (
+    ARES_BURST_BUFFER,
+    ARES_COMPUTE,
+    ARES_STORAGE,
+    ares_hierarchy,
+    ares_specs,
+    default_buffer_split,
+)
+from repro.units import GiB, TB
+
+
+class TestTableIII:
+    def test_node_counts(self) -> None:
+        assert ARES_COMPUTE.count == 64
+        assert ARES_BURST_BUFFER.count == 4
+        assert ARES_STORAGE.count == 24
+
+    def test_hardware_strings(self) -> None:
+        assert "Xeon" in ARES_COMPUTE.cpu
+        assert "NVMe" in ARES_COMPUTE.disk
+        assert "HDD" in ARES_STORAGE.disk
+
+
+class TestSpecs:
+    def test_four_tiers_default(self) -> None:
+        specs = ares_specs(1 * GiB, 2 * GiB, 1 * TB)
+        assert [s.name for s in specs] == ["ram", "nvme", "burst_buffer", "pfs"]
+
+    def test_tiers_droppable(self) -> None:
+        specs = ares_specs(None, None, 1 * TB)
+        assert [s.name for s in specs] == ["burst_buffer", "pfs"]
+
+    def test_pfs_unbounded_by_default(self) -> None:
+        specs = ares_specs(1, 1, 1)
+        assert specs[-1].capacity is None
+
+    def test_node_local_bandwidth_scales_with_nodes(self) -> None:
+        small = ares_specs(1, 1, 1, nodes=4)
+        big = ares_specs(1, 1, 1, nodes=64)
+        assert big[0].bandwidth == pytest.approx(16 * small[0].bandwidth)
+        # Shared tiers do not scale with compute nodes.
+        assert big[2].bandwidth == small[2].bandwidth
+        assert big[3].bandwidth == small[3].bandwidth
+
+    def test_bandwidth_ordering_fastest_first(self) -> None:
+        specs = ares_specs(1, 1, 1, nodes=1)
+        bws = [s.bandwidth for s in specs]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_latency_ordering(self) -> None:
+        specs = ares_specs(1, 1, 1)
+        lats = [s.latency for s in specs]
+        assert lats == sorted(lats)
+
+    def test_shared_flags(self) -> None:
+        specs = {s.name: s for s in ares_specs(1, 1, 1)}
+        assert not specs["ram"].shared
+        assert not specs["nvme"].shared
+        assert specs["burst_buffer"].shared
+        assert specs["pfs"].shared
+
+    def test_zero_nodes_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            ares_specs(1, 1, 1, nodes=0)
+
+
+class TestHierarchyBuilder:
+    def test_default_is_fig1_config(self) -> None:
+        h = ares_hierarchy()
+        assert h.by_name("ram").spec.capacity == 16 * GiB
+        assert h.by_name("burst_buffer").spec.capacity == 2 * TB
+
+    def test_capacities_respected(self) -> None:
+        h = ares_hierarchy(ram_capacity=5, nvme_capacity=6, bb_capacity=7)
+        assert [t.spec.capacity for t in h] == [5, 6, 7, None]
+
+
+class TestBufferSplit:
+    def test_paper_percentages(self) -> None:
+        ram, nvme, bb = default_buffer_split(1000)
+        assert ram == 200
+        assert nvme == 300
+        assert bb == 500
+
+    def test_sums_to_total(self) -> None:
+        for total in (1, 97, 4096, 10**12):
+            assert sum(default_buffer_split(total)) == total
+
+    def test_rejects_nonpositive(self) -> None:
+        with pytest.raises(ValueError):
+            default_buffer_split(0)

@@ -1,0 +1,67 @@
+"""TierSpec validation and the eq-3 time model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tiers import TierSpec
+from repro.units import GiB, MiB
+
+
+def _spec(**kw) -> TierSpec:
+    defaults = dict(name="t", capacity=1 * GiB, bandwidth=1e9, latency=1e-5, lanes=4)
+    defaults.update(kw)
+    return TierSpec(**defaults)
+
+
+class TestValidation:
+    def test_empty_name(self) -> None:
+        with pytest.raises(ValueError):
+            _spec(name="")
+
+    def test_negative_capacity(self) -> None:
+        with pytest.raises(ValueError):
+            _spec(capacity=-1)
+
+    def test_unbounded_capacity_allowed(self) -> None:
+        assert _spec(capacity=None).bounded is False
+        assert _spec(capacity=0).bounded is True
+
+    def test_zero_bandwidth(self) -> None:
+        with pytest.raises(ValueError):
+            _spec(bandwidth=0)
+
+    def test_negative_latency(self) -> None:
+        with pytest.raises(ValueError):
+            _spec(latency=-1e-6)
+
+    def test_zero_lanes(self) -> None:
+        with pytest.raises(ValueError):
+            _spec(lanes=0)
+
+    def test_frozen(self) -> None:
+        spec = _spec()
+        with pytest.raises(AttributeError):
+            spec.capacity = 5  # type: ignore[misc]
+
+
+class TestTimeModel:
+    def test_lane_bandwidth_splits_aggregate(self) -> None:
+        spec = _spec(bandwidth=4e9, lanes=4)
+        assert spec.lane_bandwidth == 1e9
+
+    def test_io_seconds_formula(self) -> None:
+        spec = _spec(bandwidth=1e9, lanes=1, latency=0.001)
+        assert spec.io_seconds(500_000_000) == pytest.approx(0.501)
+
+    def test_io_seconds_zero_bytes_is_latency(self) -> None:
+        spec = _spec(latency=0.002)
+        assert spec.io_seconds(0) == pytest.approx(0.002)
+
+    def test_io_seconds_negative_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            _spec().io_seconds(-1)
+
+    def test_describe_mentions_unbounded(self) -> None:
+        assert "unbounded" in _spec(capacity=None).describe()
+        assert "shared" in _spec(shared=True).describe()

@@ -1,0 +1,122 @@
+"""Tier runtime: capacity ledger, availability, load accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CapacityError, TierError
+from repro.tiers import MemoryDevice, Tier, TierSpec
+
+
+@pytest.fixture()
+def tier() -> Tier:
+    return Tier(TierSpec(name="t", capacity=1000, bandwidth=1e9, latency=0.0))
+
+
+class TestLedger:
+    def test_put_accounts_payload_length(self, tier) -> None:
+        tier.put("a", b"12345")
+        assert tier.used == 5
+        assert tier.remaining == 995
+
+    def test_put_accounting_only(self, tier) -> None:
+        tier.put("a", None, accounted_size=600)
+        assert tier.used == 600
+        assert not tier.extent("a").has_payload
+
+    def test_modeled_size_decoupled_from_payload(self, tier) -> None:
+        tier.put("a", b"tiny", accounted_size=900)
+        assert tier.used == 900
+        assert tier.get("a") == b"tiny"
+
+    def test_capacity_enforced(self, tier) -> None:
+        tier.put("a", None, accounted_size=800)
+        with pytest.raises(CapacityError):
+            tier.put("b", None, accounted_size=300)
+
+    def test_exact_fit_allowed(self, tier) -> None:
+        tier.put("a", None, accounted_size=1000)
+        assert tier.remaining == 0
+
+    def test_evict_releases(self, tier) -> None:
+        tier.put("a", b"xyz", accounted_size=500)
+        assert tier.evict("a") == 500
+        assert tier.used == 0
+        assert "a" not in tier
+
+    def test_duplicate_key_rejected(self, tier) -> None:
+        tier.put("a", b"1")
+        with pytest.raises(TierError):
+            tier.put("a", b"2")
+
+    def test_unbounded_tier(self) -> None:
+        tier = Tier(TierSpec(name="pfs", capacity=None, bandwidth=1e9, latency=0))
+        tier.put("big", None, accounted_size=10**15)
+        assert tier.remaining is None
+        assert tier.fits(10**18)
+
+    def test_missing_accounted_size_with_no_payload(self, tier) -> None:
+        with pytest.raises(TierError):
+            tier.put("a", None)
+
+    def test_negative_accounted_size(self, tier) -> None:
+        with pytest.raises(TierError):
+            tier.put("a", b"x", accounted_size=-1)
+
+    def test_clear(self, tier) -> None:
+        tier.put("a", b"1")
+        tier.put("b", b"2")
+        tier.clear()
+        assert tier.used == 0
+        assert tier.keys() == []
+
+
+class TestAvailability:
+    def test_unavailable_blocks_put(self, tier) -> None:
+        tier.set_available(False)
+        assert not tier.fits(1)
+        with pytest.raises(TierError):
+            tier.put("a", b"x")
+
+    def test_reenable(self, tier) -> None:
+        tier.set_available(False)
+        tier.set_available(True)
+        tier.put("a", b"x")
+        assert "a" in tier
+
+
+class TestLoad:
+    def test_queue_depth_and_bytes(self, tier) -> None:
+        tier.begin_io(100)
+        tier.begin_io(200)
+        assert tier.queue_depth == 2
+        assert tier.queued_bytes == 300
+        tier.end_io(100)
+        assert tier.queue_depth == 1
+        assert tier.queued_bytes == 200
+
+    def test_end_without_begin(self, tier) -> None:
+        with pytest.raises(TierError):
+            tier.end_io()
+
+    def test_queued_bytes_never_negative(self, tier) -> None:
+        tier.begin_io(10)
+        tier.end_io(50)
+        assert tier.queued_bytes == 0
+
+
+class TestAccess:
+    def test_get_missing_key(self, tier) -> None:
+        with pytest.raises(TierError):
+            tier.get("ghost")
+
+    def test_extent_missing_key(self, tier) -> None:
+        with pytest.raises(TierError):
+            tier.extent("ghost")
+
+    def test_evict_missing_key(self, tier) -> None:
+        with pytest.raises(TierError):
+            tier.evict("ghost")
+
+    def test_default_device_is_memory(self, tier) -> None:
+        assert isinstance(tier.device, MemoryDevice)

@@ -1,0 +1,130 @@
+"""I/O backends: the four evaluated configurations behind one interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompress
+from repro.errors import TierError, WorkloadError
+from repro.hermes import HermesBuffering, HermesWithStaticCompression
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+from repro.workloads import (
+    HCompressBackend,
+    HermesBackend,
+    HermesStaticBackend,
+    PfsBaselineBackend,
+    StaticCompressionBackend,
+)
+
+
+@pytest.fixture()
+def hierarchy():
+    return ares_hierarchy(
+        ram_capacity=1 * MiB, nvme_capacity=2 * MiB, bb_capacity=1 * GiB,
+        nodes=2,
+    )
+
+
+class TestBaseline:
+    def test_everything_to_pfs(self, hierarchy, gamma_f64) -> None:
+        backend = PfsBaselineBackend(hierarchy)
+        charge = backend.write("t", 8 * MiB, gamma_f64)
+        assert len(charge.pieces) == 1
+        assert charge.pieces[0].tier == "pfs"
+        assert charge.stored_size == 8 * MiB
+        assert charge.cpu_seconds == 0.0
+
+    def test_read_mirrors_write(self, hierarchy, gamma_f64) -> None:
+        backend = PfsBaselineBackend(hierarchy)
+        backend.write("t", 8 * MiB, gamma_f64)
+        read = backend.read("t")
+        assert read.pieces[0].tier == "pfs"
+        assert read.io_bytes == 8 * MiB
+
+    def test_unknown_read(self, hierarchy) -> None:
+        with pytest.raises(TierError):
+            PfsBaselineBackend(hierarchy).read("ghost")
+
+    def test_duplicate_write(self, hierarchy, gamma_f64) -> None:
+        backend = PfsBaselineBackend(hierarchy)
+        backend.write("t", 1 * MiB, gamma_f64)
+        with pytest.raises(WorkloadError):
+            backend.write("t", 1 * MiB, gamma_f64)
+
+
+class TestStatic:
+    def test_compression_shrinks_charge(self, hierarchy, gamma_f64) -> None:
+        backend = StaticCompressionBackend(hierarchy, codec="zlib")
+        charge = backend.write("t", 8 * MiB, gamma_f64)
+        assert charge.stored_size < 8 * MiB
+        assert charge.cpu_seconds > 0
+
+    def test_read_charges_decompression(self, hierarchy, gamma_f64) -> None:
+        backend = StaticCompressionBackend(hierarchy, codec="zlib")
+        backend.write("t", 8 * MiB, gamma_f64)
+        read = backend.read("t")
+        assert read.cpu_seconds > 0
+        assert read.io_bytes == backend.read("t").io_bytes
+
+    def test_expansion_clamped(self, hierarchy, rng) -> None:
+        import numpy as np
+
+        noise = rng.integers(0, 256, 64 * KiB, dtype=np.uint8).tobytes()
+        backend = StaticCompressionBackend(hierarchy, codec="bzip2")
+        charge = backend.write("t", 1 * MiB, noise)
+        assert charge.stored_size <= 1 * MiB + 16
+
+    def test_unknown_codec(self, hierarchy) -> None:
+        with pytest.raises(WorkloadError):
+            StaticCompressionBackend(hierarchy, codec="zstd")
+
+
+class TestHermes:
+    def test_spreads_across_tiers(self, hierarchy, gamma_f64) -> None:
+        backend = HermesBackend(HermesBuffering(hierarchy))
+        charge = backend.write("t", 8 * MiB, gamma_f64)
+        tiers = [p.tier for p in charge.pieces]
+        assert tiers[0] == "ram"
+        assert len(tiers) >= 2
+        assert charge.stored_size == 8 * MiB  # no reduction
+
+    def test_read_follows_current_location(self, hierarchy, gamma_f64) -> None:
+        buffering = HermesBuffering(hierarchy)
+        backend = HermesBackend(buffering)
+        backend.write("t", 512 * KiB, gamma_f64)
+        # Relocate the piece and confirm the read charge follows.
+        ram = hierarchy.by_name("ram")
+        pfs = hierarchy.by_name("pfs")
+        size = ram.evict("t/0")
+        pfs.put("t/0", None, accounted_size=size)
+        read = backend.read("t")
+        assert read.pieces[0].tier == "pfs"
+
+
+class TestHermesStatic:
+    def test_name_reflects_codec(self, hierarchy) -> None:
+        backend = HermesStaticBackend(
+            HermesWithStaticCompression(hierarchy, codec="lz4")
+        )
+        assert backend.name == "HERMES+lz4"
+
+    def test_write_and_read(self, hierarchy, gamma_f64) -> None:
+        backend = HermesStaticBackend(
+            HermesWithStaticCompression(hierarchy, codec="zlib")
+        )
+        charge = backend.write("t", 4 * MiB, gamma_f64)
+        assert charge.stored_size < 4 * MiB
+        read = backend.read("t")
+        assert read.cpu_seconds > 0
+
+
+class TestHCompressBackend:
+    def test_write_read_cycle(self, hierarchy, seed, gamma_f64) -> None:
+        engine = HCompress(hierarchy, seed=seed)
+        backend = HCompressBackend(engine)
+        charge = backend.write("t", 4 * MiB, gamma_f64)
+        assert charge.io_bytes > 0
+        read = backend.read("t")
+        assert read.op == "read"
+        assert read.io_bytes == charge.io_bytes

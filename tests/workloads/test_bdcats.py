@@ -1,0 +1,91 @@
+"""BD-CATS-IO and the paired workflow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+from repro.workloads import (
+    BdcatsConfig,
+    PfsBaselineBackend,
+    VpicConfig,
+    WorkflowConfig,
+    run_bdcats,
+    run_vpic,
+    run_workflow,
+)
+
+
+def _vpic() -> VpicConfig:
+    return VpicConfig(
+        nprocs=4, timesteps=2, bytes_per_rank_per_step=1 * MiB,
+        compute_seconds=0.1, sample_bytes=16 * KiB,
+    )
+
+
+def _hierarchy():
+    return ares_hierarchy(1 * MiB, 2 * MiB, 1 * GiB, nodes=2)
+
+
+class TestBdcats:
+    def test_reads_what_vpic_wrote(self, rng) -> None:
+        hierarchy = _hierarchy()
+        backend = PfsBaselineBackend(hierarchy)
+        run_vpic(backend, _vpic(), hierarchy, rng=rng)
+        result = run_bdcats(
+            backend, BdcatsConfig(nprocs=4, timesteps=2, cluster_seconds=0.1),
+            hierarchy,
+        )
+        assert result.tasks_read == 8
+        assert result.bytes_read == 8 * MiB
+        assert result.read_by_tier == {"pfs": 8 * MiB}
+        assert result.elapsed_seconds > 0
+
+    def test_missing_producer_data(self, rng) -> None:
+        hierarchy = _hierarchy()
+        backend = PfsBaselineBackend(hierarchy)
+        from repro.errors import TierError
+
+        with pytest.raises(TierError):
+            run_bdcats(
+                backend, BdcatsConfig(nprocs=2, timesteps=1), hierarchy
+            )
+
+    def test_config_validation(self) -> None:
+        with pytest.raises(WorkloadError):
+            BdcatsConfig(nprocs=0, timesteps=1)
+
+
+class TestWorkflow:
+    def test_paired_constructor(self) -> None:
+        config = WorkflowConfig.paired(nprocs=8, timesteps=3,
+                                       bytes_per_rank_per_step=1 * MiB)
+        assert config.vpic.nprocs == config.bdcats.nprocs == 8
+        assert config.vpic.timesteps == config.bdcats.timesteps == 3
+
+    def test_mismatched_grids_rejected(self) -> None:
+        with pytest.raises(WorkloadError):
+            WorkflowConfig(
+                vpic=VpicConfig(nprocs=4, timesteps=2),
+                bdcats=BdcatsConfig(nprocs=8, timesteps=2),
+            )
+        with pytest.raises(WorkloadError):
+            WorkflowConfig(
+                vpic=VpicConfig(nprocs=4, timesteps=2),
+                bdcats=BdcatsConfig(nprocs=4, timesteps=3),
+            )
+
+    def test_end_to_end(self, rng) -> None:
+        hierarchy = _hierarchy()
+        backend = PfsBaselineBackend(hierarchy)
+        config = WorkflowConfig(
+            vpic=_vpic(),
+            bdcats=BdcatsConfig(nprocs=4, timesteps=2, cluster_seconds=0.1),
+        )
+        result = run_workflow(backend, config, hierarchy, rng=rng)
+        assert result.elapsed_seconds == pytest.approx(
+            result.write.elapsed_seconds + result.read.elapsed_seconds
+        )
+        assert result.backend_name == "BASE"

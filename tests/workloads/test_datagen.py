@@ -1,0 +1,89 @@
+"""Synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    DISTRIBUTIONS,
+    DTYPES,
+    corpus,
+    synthetic_buffer,
+    synthetic_text,
+    synthetic_values,
+)
+from repro.errors import WorkloadError
+
+
+class TestValues:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_distributions_generate(self, distribution, rng) -> None:
+        values = synthetic_values(distribution, 10_000, rng)
+        assert values.shape == (10_000,)
+        assert np.isfinite(values).all()
+
+    def test_unknown_distribution(self, rng) -> None:
+        with pytest.raises(WorkloadError):
+            synthetic_values("cauchy", 10, rng)
+
+    def test_negative_count(self, rng) -> None:
+        with pytest.raises(WorkloadError):
+            synthetic_values("normal", -1, rng)
+
+    def test_classes_match_analyzer(self, rng) -> None:
+        """The generators and the analyzer must agree on labels."""
+        from repro.analyzer import classify_distribution, DataType
+
+        for distribution in DISTRIBUTIONS:
+            buf = synthetic_buffer("float64", distribution, 128 * 1024, rng)
+            guess = classify_distribution(buf, DataType.FLOAT64)
+            assert guess.distribution.value == distribution, distribution
+
+
+class TestBuffers:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_exact_length(self, dtype, distribution, rng) -> None:
+        buf = synthetic_buffer(dtype, distribution, 10_001, rng)
+        assert len(buf) == 10_001
+
+    def test_zero_length(self, rng) -> None:
+        assert synthetic_buffer("float64", "normal", 0, rng) == b""
+
+    def test_quantisation_makes_compressible(self, rng) -> None:
+        from repro.codecs import get_codec
+
+        quantised = synthetic_buffer("float64", "gamma", 64 * 1024, rng)
+        raw = synthetic_buffer("float64", "gamma", 64 * 1024, rng,
+                               quantise=False)
+        codec = get_codec("zlib")
+        assert codec.ratio(quantised) > codec.ratio(raw) * 1.2
+
+    def test_integer_buffers_nonnegative(self, rng) -> None:
+        buf = synthetic_buffer("int32", "normal", 40_000, rng)
+        values = np.frombuffer(buf, dtype=np.int32)
+        assert (values >= 0).all()
+
+
+class TestText:
+    def test_length_and_ascii(self, rng) -> None:
+        text = synthetic_text(5_000, rng)
+        assert len(text) == 5_000
+        text.decode("ascii")
+
+    def test_compressible(self, rng) -> None:
+        from repro.codecs import get_codec
+
+        assert get_codec("zlib").ratio(synthetic_text(32_768, rng)) > 2.0
+
+
+class TestCorpus:
+    def test_covers_grid(self, rng) -> None:
+        batch = corpus(4_096, rng)
+        assert len(batch) == len(DTYPES) * len(DISTRIBUTIONS) + 1
+        assert ("text", "text") in batch
+
+    def test_text_excludable(self, rng) -> None:
+        batch = corpus(4_096, rng, include_text=False)
+        assert ("text", "text") not in batch

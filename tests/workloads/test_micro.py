@@ -1,0 +1,97 @@
+"""HDF5-style micro-benchmark workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+from repro.workloads import (
+    MicroConfig,
+    PfsBaselineBackend,
+    StaticCompressionBackend,
+    h5lite_block,
+    micro_tasks,
+    run_micro,
+)
+
+
+def _config(**kw) -> MicroConfig:
+    defaults = dict(nprocs=2, tasks_per_proc=4, task_bytes=256 * KiB,
+                    dtype="float64", distribution="gamma",
+                    sample_bytes=16 * KiB)
+    defaults.update(kw)
+    return MicroConfig(**defaults)
+
+
+class TestTasks:
+    def test_grid(self, rng) -> None:
+        tasks = micro_tasks(_config(), rng)
+        assert len(tasks) == 8
+        assert {t.rank for t in tasks} == {0, 1}
+        assert all(t.size == 256 * KiB for t in tasks)
+
+    def test_hints_route_fast_path(self, rng) -> None:
+        from repro.analyzer import DataFormat, DataType, Distribution
+
+        task = micro_tasks(_config(), rng)[0]
+        assert task.hints.dtype is DataType.FLOAT64
+        assert task.hints.data_format is DataFormat.H5LITE
+        assert task.hints.distribution is Distribution.GAMMA
+
+    def test_sample_is_h5lite(self, rng) -> None:
+        from repro.analyzer import DataFormat, detect_format
+
+        task = micro_tasks(_config(), rng)[0]
+        assert detect_format(task.sample) is DataFormat.H5LITE
+
+    def test_config_validation(self) -> None:
+        with pytest.raises(WorkloadError):
+            _config(nprocs=0)
+        with pytest.raises(WorkloadError):
+            _config(task_bytes=0)
+
+
+class TestBlock:
+    def test_block_readable(self, rng) -> None:
+        from repro.formats import H5LiteFile
+
+        blob = h5lite_block("float64", "gamma", 32 * KiB, rng)
+        reader = H5LiteFile(blob)
+        assert reader.dataset_names == ["block"]
+        assert reader.attrs("block")["distribution"] == "gamma"
+
+
+class TestRun:
+    def test_write_only(self, rng) -> None:
+        hierarchy = ares_hierarchy(256 * KiB, 512 * KiB, 1 * GiB, nodes=2)
+        result = run_micro(PfsBaselineBackend(hierarchy), _config(), hierarchy,
+                           rng=rng)
+        assert result.tasks_done == 8
+        assert result.bytes_written == 8 * 256 * KiB
+        assert result.tasks_per_second > 0
+
+    def test_read_back_doubles_traffic(self, rng) -> None:
+        from repro.sim import TraceRecorder
+
+        hierarchy = ares_hierarchy(256 * KiB, 512 * KiB, 1 * GiB, nodes=2)
+        trace = TraceRecorder()
+        run_micro(
+            StaticCompressionBackend(hierarchy, codec="lz4"),
+            _config(),
+            hierarchy,
+            rng=rng,
+            read_back=True,
+            trace=trace,
+        )
+        ops = {rec.op for rec in trace.records}
+        assert ops == {"write", "read"}
+
+    def test_think_time_spreads_arrivals(self, rng) -> None:
+        hierarchy = ares_hierarchy(256 * KiB, 512 * KiB, 1 * GiB, nodes=2)
+        result = run_micro(
+            PfsBaselineBackend(hierarchy), _config(), hierarchy, rng=rng,
+            think_seconds=0.5,
+        )
+        assert result.elapsed_seconds > 4 * 0.25  # think floor per task

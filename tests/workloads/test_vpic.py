@@ -1,0 +1,101 @@
+"""VPIC-IO workload simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.tiers import ares_hierarchy
+from repro.units import GiB, KiB, MiB
+from repro.workloads import (
+    PfsBaselineBackend,
+    VpicConfig,
+    run_vpic,
+    vpic_sample,
+    vpic_task_id,
+)
+
+
+def _config(**kw) -> VpicConfig:
+    defaults = dict(
+        nprocs=4,
+        timesteps=2,
+        bytes_per_rank_per_step=1 * MiB,
+        compute_seconds=0.5,
+        sample_bytes=16 * KiB,
+    )
+    defaults.update(kw)
+    return VpicConfig(**defaults)
+
+
+class TestConfig:
+    def test_total_bytes(self) -> None:
+        assert _config().total_bytes == 8 * MiB
+
+    def test_validation(self) -> None:
+        with pytest.raises(WorkloadError):
+            _config(nprocs=0)
+        with pytest.raises(WorkloadError):
+            _config(timesteps=0)
+        with pytest.raises(WorkloadError):
+            _config(bytes_per_rank_per_step=0)
+        with pytest.raises(WorkloadError):
+            _config(compute_jitter=1.5)
+
+
+class TestSample:
+    def test_sample_size_exact(self, rng) -> None:
+        assert len(vpic_sample(10_000, rng)) == 10_000
+
+    def test_sample_is_particle_records(self, rng) -> None:
+        import numpy as np
+
+        from repro.formats import particle_dtype
+
+        raw = vpic_sample(32 * 1024, rng)
+        records = np.frombuffer(raw[: len(raw) - len(raw) % 32],
+                                dtype=particle_dtype())
+        assert np.isfinite(records["energy"]).all()
+
+    def test_task_id_grid(self) -> None:
+        assert vpic_task_id(3, 7) == "vpic/r3/s7"
+
+
+class TestRun:
+    def test_base_run_accounting(self, rng) -> None:
+        hierarchy = ares_hierarchy(1 * MiB, 2 * MiB, 1 * GiB, nodes=2)
+        config = _config()
+        result = run_vpic(PfsBaselineBackend(hierarchy), config, hierarchy,
+                          rng=rng)
+        assert result.tasks_written == 8
+        assert result.bytes_written == 8 * MiB
+        assert result.stored_bytes == 8 * MiB
+        assert result.elapsed_seconds > config.timesteps * 0.4  # compute floor
+        assert result.footprint_by_tier["pfs"] == 8 * MiB
+
+    def test_io_seconds_excludes_compute(self, rng) -> None:
+        hierarchy = ares_hierarchy(1 * MiB, 2 * MiB, 1 * GiB, nodes=2)
+        config = _config()
+        result = run_vpic(PfsBaselineBackend(hierarchy), config, hierarchy,
+                          rng=rng)
+        assert result.io_seconds < result.elapsed_seconds
+        assert result.io_seconds > 0
+
+    def test_jitter_spreads_arrivals(self, rng) -> None:
+        from repro.sim import TraceRecorder
+
+        hierarchy = ares_hierarchy(1 * MiB, 2 * MiB, 1 * GiB, nodes=2)
+        trace = TraceRecorder()
+        config = _config(nprocs=8, timesteps=1, compute_seconds=10.0,
+                         compute_jitter=0.2)
+        run_vpic(PfsBaselineBackend(hierarchy), config, hierarchy, rng=rng,
+                 trace=trace)
+        arrival_times = {rec.time for rec in trace.records}
+        assert len(arrival_times) > 4  # not a lockstep herd
+
+    def test_flusher_drains_during_compute(self, rng) -> None:
+        hierarchy = ares_hierarchy(2 * MiB, 4 * MiB, 1 * GiB, nodes=2)
+        config = _config(nprocs=4, timesteps=3, compute_seconds=5.0)
+        result = run_vpic(PfsBaselineBackend(hierarchy), config, hierarchy,
+                          rng=rng, flush=True)
+        assert result.tasks_written == 12
