@@ -16,7 +16,8 @@ storage hierarchy), ``sim`` (discrete-event cluster simulation),
 ``analyzer`` / ``ccp`` / ``monitor`` / ``hcdp`` (the engine's components),
 ``core`` (the HCompress engine itself), ``hermes`` (the baseline),
 ``workloads`` (VPIC-IO, BD-CATS-IO, micro-benchmarks), ``experiments``
-(per-figure reproduction harnesses).
+(per-figure reproduction harnesses), ``faults`` (deterministic fault
+injection and chaos runs).
 """
 
 from .analyzer import DataFormat, DataType, Distribution, InputAnalyzer, MetadataHints
@@ -29,7 +30,9 @@ from .core import (
     HCompressProfiler,
     hcompress_session,
 )
+from .core.config import ResilienceConfig
 from .errors import HCompressError
+from .faults import FaultInjector, FaultPlan, run_chaos
 from .hcdp import (
     ARCHIVAL_IO,
     ASYNC_IO,
@@ -55,6 +58,8 @@ __all__ = [
     "DataType",
     "Distribution",
     "EQUAL",
+    "FaultInjector",
+    "FaultPlan",
     "FeedbackLoop",
     "HCompress",
     "HCompressConfig",
@@ -69,6 +74,7 @@ __all__ = [
     "MetadataHints",
     "Priority",
     "READ_AFTER_WRITE",
+    "ResilienceConfig",
     "SeedData",
     "Simulation",
     "StorageHierarchy",
@@ -79,6 +85,7 @@ __all__ = [
     "get_codec",
     "hcompress_session",
     "load_seed",
+    "run_chaos",
     "save_seed",
     "__version__",
 ]

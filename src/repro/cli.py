@@ -8,6 +8,8 @@ Subcommands:
 * ``report``   — regenerate the paper's evaluation tables
   (``--fast`` for the smoke profile).
 * ``demo``     — one compress/decompress round trip with the schema shown.
+* ``chaos``    — run a workload under fault injection (tier outage,
+  transient errors, corruption) and print the recovery report.
 """
 
 from __future__ import annotations
@@ -104,6 +106,44 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import ChaosConfig, FaultPlan, default_chaos_plan, run_chaos
+
+    config = ChaosConfig(
+        ranks=args.ranks,
+        steps=args.steps,
+        step_kib=args.step_kib,
+        rng_seed=args.rng_seed,
+    )
+    plan = (
+        FaultPlan.from_json(args.plan)
+        if args.plan is not None
+        else default_chaos_plan(config)
+    )
+    backends = ("HC", "BASE", "MTNC") if args.backend == "all" else (args.backend,)
+    print(
+        f"fault plan: {len(plan.events)} events over {plan.horizon:.1f}s "
+        f"(seed {plan.seed}); workload: {config.ranks} ranks x "
+        f"{config.steps} steps x {config.step_kib} KiB\n"
+    )
+    failed = 0
+    for backend in backends:
+        outcome = run_chaos(backend, plan=plan, config=config)
+        print(outcome.summary())
+        if args.verbose:
+            print(
+                f"      degraded plans={outcome.degraded_plans} "
+                f"corruption detected={outcome.corruption_detected} "
+                f"injected: {outcome.injected_errors} transient errors, "
+                f"{outcome.injected_corruptions} corruptions"
+            )
+        if not outcome.all_data_intact:
+            failed += 1
+    if len(backends) == 1:
+        return 0 if failed == 0 else 1
+    return 0  # comparison mode: baseline failures are the expected result
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hcompress", description=__doc__,
@@ -139,6 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kib", type=int, default=1024)
     p.add_argument("--rng-seed", type=int, default=0)
     p.set_defaults(func=_cmd_demo)
+
+    p = sub.add_parser(
+        "chaos", help="run a workload under fault injection"
+    )
+    p.add_argument(
+        "--plan", type=Path, default=None,
+        help="JSON FaultPlan (default: mid-run NVMe outage + flaky tiers)",
+    )
+    p.add_argument(
+        "--backend", choices=("HC", "BASE", "MTNC", "all"), default="all",
+        help="engine(s) to drive through the faulty hierarchy",
+    )
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--steps", type=int, default=6)
+    p.add_argument("--step-kib", type=int, default=16)
+    p.add_argument("--rng-seed", type=int, default=7)
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_cmd_chaos)
     return parser
 
 

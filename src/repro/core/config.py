@@ -15,7 +15,62 @@ from ..codecs.pool import PAPER_LIBRARIES
 from ..hcdp.priorities import EQUAL, Priority
 from ..units import PAGE
 
-__all__ = ["HCompressConfig"]
+__all__ = ["HCompressConfig", "ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Fault-tolerance knobs for the resilient I/O paths.
+
+    Attributes:
+        max_retries: Retry budget per operation for transient I/O errors
+            (0 disables retrying entirely).
+        backoff_base: First retry's backoff in (simulated) seconds; each
+            subsequent attempt doubles it.
+        backoff_cap: Upper bound on a single backoff sleep.
+        jitter: Relative jitter applied to every backoff (0 = none,
+            0.25 = +/-25%). Drawn from a seeded RNG so retry traces are
+            replayable.
+        jitter_seed: Seed of that RNG.
+        failover: Route a write whose planned tier is down/full to the
+            next tier that fits (the SHI write-failover path).
+        verify_checksums: Record a CRC32 per stored piece at write time
+            and verify it on every read (corruption detection).
+        read_repair_retries: Extra re-reads attempted when a checksum
+            mismatch is detected before surfacing ``CorruptDataError``
+            (transient media/bus corruption heals on re-read).
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.002
+    backoff_cap: float = 0.25
+    jitter: float = 0.25
+    jitter_seed: int = 0
+    failover: bool = True
+    verify_checksums: bool = True
+    read_repair_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff_base and backoff_cap must be >= 0")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.read_repair_retries < 0:
+            raise ValueError("read_repair_retries must be >= 0")
+
+    def backoff_seconds(self, attempt: int, rng) -> float:
+        """Backoff before retry ``attempt`` (1-based): exponential with
+        seeded jitter, charged to the simulated clock by the caller."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        base = min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base
 
 
 @dataclass(frozen=True)
@@ -37,6 +92,8 @@ class HCompressConfig:
             wall time of engine-internal stages when reporting the Fig. 3
             anatomy, so overheads are comparable to the paper's native
             implementation (see DESIGN.md fidelity notes).
+        resilience: Retry/failover/checksum policy of the resilient I/O
+            paths (see :class:`ResilienceConfig`).
     """
 
     priority: Priority = EQUAL
@@ -48,6 +105,7 @@ class HCompressConfig:
     seed_path: str | Path | None = None
     monitor_interval: float = 0.0
     python_to_native: float = 50.0
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
 
     def __post_init__(self) -> None:
         if self.feedback_every_n < 1:

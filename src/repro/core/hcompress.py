@@ -23,7 +23,13 @@ import numpy as np
 from ..analyzer import InputAnalyzer, MetadataHints
 from ..ccp import CompressionCostPredictor, FeedbackLoop, SeedData, load_seed, save_seed
 from ..codecs.pool import CompressionLibraryPool
-from ..errors import HCompressError
+from ..errors import (
+    CapacityError,
+    HCompressError,
+    RetryExhaustedError,
+    TierError,
+    TierUnavailableError,
+)
 from ..hcdp import HcdpEngine, IOTask, Operation, Priority, next_task_id
 from ..monitor import SystemMonitor
 from ..tiers import StorageHierarchy
@@ -128,8 +134,13 @@ class HCompress:
             load_factor=self.config.load_factor,
             drain_penalty=self.config.drain_penalty,
         )
-        self.shi = StorageHardwareInterface(hierarchy)
+        self.shi = StorageHardwareInterface(
+            hierarchy, resilience=self.config.resilience
+        )
         self.manager = CompressionManager(self.pool, self.shi)
+        # Degraded-mode replans: writes that failed against a stale system
+        # view and were re-planned against a fresh monitor sample.
+        self.replans = 0
         self.feedback = FeedbackLoop(
             self.predictor, every_n=self.config.feedback_every_n
         )
@@ -180,7 +191,20 @@ class HCompress:
             self.pool.codec(piece.codec)
         self.anatomy.library_selection += (time.perf_counter() - wall) / scale
 
-        result = self.manager.execute_write(schema)
+        try:
+            result = self.manager.execute_write(schema)
+        except (TierUnavailableError, RetryExhaustedError, CapacityError, TierError):
+            # Degraded-mode replan (§IV-E): the plan was built against a
+            # stale SystemStatus — a tier flapped or filled between the
+            # monitor's sample and the write landing. The partial write was
+            # rolled back by the manager; take a fresh sample so the HCDP
+            # engine sees the outage and plans around it, then re-execute.
+            wall = time.perf_counter()
+            self.monitor.sample()
+            schema = self.engine.plan(task)
+            self.replans += 1
+            self.anatomy.hcdp_engine += (time.perf_counter() - wall) / scale
+            result = self.manager.execute_write(schema)
         result.schema = schema  # type: ignore[attr-defined]
         self.anatomy.compression += result.compress_seconds
         self.anatomy.write_io += result.io_seconds

@@ -17,20 +17,37 @@ from __future__ import annotations
 
 import math
 import time
+import zlib
 from dataclasses import dataclass, field
+from typing import Callable, NamedTuple
 
 from ..ccp.seed import CostObservation
 from ..ccp.features import ObservationKey
 from ..codecs.base import get_codec
 from ..codecs.metadata import HEADER_SIZE, unwrap_payload, wrap_payload
 from ..codecs.pool import CompressionLibraryPool
-from ..errors import SchemaError, TierError
+from ..errors import CodecError, CorruptDataError, SchemaError, TierError
 from ..hcdp.schema import Schema, SubTaskPlan
 from ..hcdp.task import IOTask
 from ..units import MB
 from .shi import StorageHardwareInterface
 
-__all__ = ["CompressionManager", "PieceResult", "WriteResult", "ReadResult"]
+__all__ = [
+    "CompressionManager",
+    "PieceResult",
+    "WriteResult",
+    "ReadResult",
+    "CatalogEntry",
+]
+
+
+class CatalogEntry(NamedTuple):
+    """One written piece as the manager remembers it."""
+
+    key: str
+    length: int  # modeled uncompressed length
+    codec: str
+    crc32: int | None  # checksum of the stored blob (None: accounting-only)
 
 
 @dataclass(frozen=True)
@@ -46,6 +63,8 @@ class PieceResult:
     io_seconds: float  # uncontended modeled tier time
     wall_seconds: float  # real Python codec time (diagnostic only)
     spilled: bool = False  # runtime correction: plan's tier was full
+    failover: bool = False  # SHI rerouted around an outage at execute time
+    retries: int = 0  # transient-error retries charged to this piece
 
 
 @dataclass
@@ -97,94 +116,123 @@ class CompressionManager:
     """
 
     def __init__(
-        self, pool: CompressionLibraryPool, shi: StorageHardwareInterface
+        self,
+        pool: CompressionLibraryPool,
+        shi: StorageHardwareInterface,
+        on_corrupt: Callable[[str, bytes], bytes | None] | None = None,
     ) -> None:
         self.pool = pool
         self.shi = shi
-        # task id -> [(piece key, modeled piece length, codec name)]
-        self._catalog: dict[str, list[tuple[str, int, str]]] = {}
+        self._catalog: dict[str, list[CatalogEntry]] = {}
         # (sample hash, codec) -> measured ratio; modeled tasks measure each
         # codec once per distinct sample instead of once per piece.
         self._sample_ratios: dict[tuple[int, str], float] = {}
         self.spill_events = 0
+        self.read_repairs = 0
+        self.corruption_detected = 0
+        # Read-repair hook: called with (key, corrupt blob) after re-reads
+        # are exhausted; may return a healthy replacement blob (e.g. from a
+        # replica or erasure-coded reconstruction) or None to give up.
+        self.on_corrupt = on_corrupt
 
     # -- write path ---------------------------------------------------------
 
     def execute_write(self, schema: Schema) -> WriteResult:
-        """Run a schema; returns accounting plus feedback observations."""
+        """Run a schema; returns accounting plus feedback observations.
+
+        Atomic with respect to the catalog: if any piece fails to place
+        (outage with failover disabled, retry budget exhausted), every
+        piece already written is rolled back so the caller can replan and
+        re-execute the task cleanly.
+        """
         task = schema.task
         if task.task_id in self._catalog:
             raise SchemaError(f"task {task.task_id!r} already written")
         result = WriteResult(task=task)
-        keys: list[tuple[str, int, str]] = []
+        entries: list[CatalogEntry] = []
         sample = task.data
         dtype, data_format, distribution = task.analysis.feature_key()
 
-        for index, plan in enumerate(schema.pieces):
-            key = self.shi.piece_key(task.task_id, index)
-            self.pool.codec(plan.codec)  # library selection (factory path)
+        try:
+            for index, plan in enumerate(schema.pieces):
+                key = self.shi.piece_key(task.task_id, index)
+                self.pool.codec(plan.codec)  # library selection (factory path)
 
-            wall_start = time.perf_counter()
-            if task.materialised and sample is not None:
-                piece_bytes = sample[plan.offset : plan.offset + plan.length]
-                blob, header = wrap_payload(
-                    piece_bytes,
-                    start_offset=plan.offset % (1 << 32),
-                    codec_name=plan.codec,
-                )
-                measured_ratio = (
-                    len(piece_bytes) / header.resulting_size
-                    if header.resulting_size
-                    else 1.0
-                )
-                accounted = len(blob)
-            else:
-                blob = None
-                measured_ratio = (
-                    self._sample_ratio(sample, plan.codec)
-                    if sample
-                    else plan.expected_ratio
-                )
-                accounted = HEADER_SIZE + max(
-                    1, math.ceil(plan.length / max(measured_ratio, 1e-9))
-                )
-            wall_seconds = time.perf_counter() - wall_start
+                wall_start = time.perf_counter()
+                if task.materialised and sample is not None:
+                    piece_bytes = sample[plan.offset : plan.offset + plan.length]
+                    blob, header = wrap_payload(
+                        piece_bytes,
+                        start_offset=plan.offset % (1 << 32),
+                        codec_name=plan.codec,
+                    )
+                    measured_ratio = (
+                        len(piece_bytes) / header.resulting_size
+                        if header.resulting_size
+                        else 1.0
+                    )
+                    accounted = len(blob)
+                else:
+                    blob = None
+                    measured_ratio = (
+                        self._sample_ratio(sample, plan.codec)
+                        if sample
+                        else plan.expected_ratio
+                    )
+                    accounted = HEADER_SIZE + max(
+                        1, math.ceil(plan.length / max(measured_ratio, 1e-9))
+                    )
+                wall_seconds = time.perf_counter() - wall_start
 
-            tier_name, spilled = self._resolve_tier(plan, accounted)
-            receipt = self.shi.write(key, tier_name, blob, accounted)
-            keys.append((key, plan.length, plan.codec))
-
-            profile = self.pool.profile(plan.codec)
-            comp_seconds = (
-                plan.length / (profile.compress_mbps * MB)
-                if plan.codec != "none"
-                else 0.0
-            )
-            result.pieces.append(
-                PieceResult(
-                    plan=plan,
-                    key=key,
-                    tier=tier_name,
-                    stored_size=accounted,
-                    actual_ratio=measured_ratio,
-                    compress_seconds=comp_seconds,
-                    io_seconds=receipt.seconds,
-                    wall_seconds=wall_seconds,
-                    spilled=spilled,
+                tier_name, spilled = self._resolve_tier(plan, accounted)
+                receipt = self.shi.write(key, tier_name, blob, accounted)
+                crc = (
+                    zlib.crc32(blob)
+                    if blob is not None and self.shi.resilience.verify_checksums
+                    else None
                 )
-            )
-            if plan.codec != "none":
-                result.observations.append(
-                    CostObservation(
-                        key=ObservationKey(
-                            dtype, data_format, distribution, plan.codec, plan.length
-                        ),
-                        compress_mbps=profile.compress_mbps,
-                        decompress_mbps=profile.decompress_mbps,
-                        ratio=max(measured_ratio, 1e-3),
+                entries.append(CatalogEntry(key, plan.length, plan.codec, crc))
+
+                profile = self.pool.profile(plan.codec)
+                comp_seconds = (
+                    plan.length / (profile.compress_mbps * MB)
+                    if plan.codec != "none"
+                    else 0.0
+                )
+                result.pieces.append(
+                    PieceResult(
+                        plan=plan,
+                        key=key,
+                        tier=receipt.tier,
+                        stored_size=accounted,
+                        actual_ratio=measured_ratio,
+                        compress_seconds=comp_seconds,
+                        io_seconds=receipt.seconds,
+                        wall_seconds=wall_seconds,
+                        spilled=spilled,
+                        failover=receipt.failover,
+                        retries=receipt.retries,
                     )
                 )
-        self._catalog[task.task_id] = keys
+                if plan.codec != "none":
+                    result.observations.append(
+                        CostObservation(
+                            key=ObservationKey(
+                                dtype, data_format, distribution, plan.codec,
+                                plan.length,
+                            ),
+                            compress_mbps=profile.compress_mbps,
+                            decompress_mbps=profile.decompress_mbps,
+                            ratio=max(measured_ratio, 1e-3),
+                        )
+                    )
+        except TierError:
+            for entry in entries:  # roll back the partial write
+                tier = self.shi.locate(entry.key)
+                if tier is not None:
+                    tier.evict(entry.key)
+            raise
+        self._catalog[task.task_id] = entries
         return result
 
     def _sample_ratio(self, sample: bytes, codec_name: str) -> float:
@@ -206,9 +254,16 @@ class CompressionManager:
 
     def _resolve_tier(self, plan: SubTaskPlan, accounted: int) -> tuple[str, bool]:
         """Honour the plan's tier, spilling downward when the measured
-        footprint no longer fits (the predicted ratio was optimistic)."""
+        footprint no longer fits (the predicted ratio was optimistic).
+
+        Spill corrects *capacity* staleness only. An unavailable tier is
+        passed through untouched: outages are the SHI's jurisdiction, whose
+        write path fails over (recording the reroute) or surfaces
+        :class:`TierUnavailableError` when failover is disabled."""
         hierarchy = self.shi.hierarchy
         level = plan.tier_level
+        if not hierarchy[level].available:
+            return plan.tier, False
         if hierarchy[level].fits(accounted):
             return plan.tier, False
         for lower in range(level + 1, len(hierarchy)):
@@ -224,19 +279,60 @@ class CompressionManager:
 
     def task_keys(self, task_id: str) -> list[str]:
         try:
-            return [key for key, _, _ in self._catalog[task_id]]
+            return [entry.key for entry in self._catalog[task_id]]
         except KeyError:
             raise TierError(f"unknown task {task_id!r}") from None
 
     def task_pieces(self, task_id: str) -> list[tuple[str, int]]:
         """(key, modeled length) pairs for a written task."""
         try:
-            return [(key, length) for key, length, _ in self._catalog[task_id]]
+            return [
+                (entry.key, entry.length) for entry in self._catalog[task_id]
+            ]
         except KeyError:
             raise TierError(f"unknown task {task_id!r}") from None
 
     def __contains__(self, task_id: str) -> bool:
         return task_id in self._catalog
+
+    def _fetch_blob(self, entry: CatalogEntry) -> bytes:
+        """Read one piece's blob through the SHI, verifying its checksum.
+
+        A mismatch triggers read-repair: the blob is re-read up to
+        ``read_repair_retries`` times (transient media/bus corruption heals
+        on re-read), then the ``on_corrupt`` hook gets a chance to supply a
+        healthy replacement, and only then is :class:`CorruptDataError`
+        surfaced.
+        """
+        blob, _receipt = self.shi.read(entry.key)
+        if entry.crc32 is None or zlib.crc32(blob) == entry.crc32:
+            return blob
+        self.corruption_detected += 1
+        for _attempt in range(self.shi.resilience.read_repair_retries):
+            blob, _receipt = self.shi.read(entry.key)
+            if zlib.crc32(blob) == entry.crc32:
+                self.read_repairs += 1
+                return blob
+        if self.on_corrupt is not None:
+            replacement = self.on_corrupt(entry.key, blob)
+            if replacement is not None and zlib.crc32(replacement) == entry.crc32:
+                self.read_repairs += 1
+                return replacement
+        raise CorruptDataError(
+            f"piece {entry.key!r} failed checksum validation after "
+            f"{self.shi.resilience.read_repair_retries} re-reads"
+        )
+
+    def _unwrap(self, entry: CatalogEntry, blob: bytes):
+        """Decode a blob, mapping malformed-payload failures to
+        :class:`CorruptDataError` (a bad header/payload on an
+        integrity-checked piece is corruption, not a schema bug)."""
+        try:
+            return unwrap_payload(blob)
+        except (SchemaError, CodecError) as exc:
+            raise CorruptDataError(
+                f"piece {entry.key!r} failed to decode: {exc}"
+            ) from exc
 
     def execute_read(self, task_id: str) -> ReadResult:
         """Read + decompress a task; charges modeled times.
@@ -256,28 +352,29 @@ class CompressionManager:
         metadata_seconds = 0.0
         modeled = 0
         have_payloads = True
-        for key, modeled_length, catalog_codec in pieces:
-            tier = self.shi.locate(key)
+        for entry in pieces:
+            tier = self.shi.locate(entry.key)
             if tier is None:
-                raise TierError(f"piece {key!r} lost from every tier")
-            extent = tier.extent(key)
-            io_seconds += tier.spec.io_seconds(extent.accounted_size)
-            modeled += modeled_length
+                raise TierError(f"piece {entry.key!r} lost from every tier")
+            extent = tier.extent(entry.key)
+            modeled += entry.length
             if extent.has_payload:
-                blob = tier.get(key)
+                blob = self._fetch_blob(entry)
+                io_seconds += tier.io_seconds(extent.accounted_size)
                 wall_start = time.perf_counter()
-                data, header = unwrap_payload(blob)
+                data, header = self._unwrap(entry, blob)
                 metadata_seconds += time.perf_counter() - wall_start
                 parts.append(data)
                 # The applied library is rediscovered from the stored
                 # header — the paper's decentralised-decode property.
                 codec_name = get_codec(header.codec_id).meta.name
             else:
+                io_seconds += tier.io_seconds(extent.accounted_size)
                 have_payloads = False
-                codec_name = catalog_codec
+                codec_name = entry.codec
             if codec_name != "none":
                 profile = self.pool.profile(codec_name)
-                decompress_seconds += modeled_length / (
+                decompress_seconds += entry.length / (
                     profile.decompress_mbps * MB
                 )
         data = b"".join(parts) if have_payloads else None
@@ -322,21 +419,21 @@ class CompressionManager:
         touched = 0
         have_payloads = True
         cursor = 0
-        for key, modeled_length, catalog_codec in pieces:
-            piece_start, piece_end = cursor, cursor + modeled_length
+        for entry in pieces:
+            piece_start, piece_end = cursor, cursor + entry.length
             cursor = piece_end
             if piece_end <= offset or piece_start >= end:
                 continue  # no overlap: never touched
             touched += 1
-            tier = self.shi.locate(key)
+            tier = self.shi.locate(entry.key)
             if tier is None:
-                raise TierError(f"piece {key!r} lost from every tier")
-            extent = tier.extent(key)
-            io_seconds += tier.spec.io_seconds(extent.accounted_size)
+                raise TierError(f"piece {entry.key!r} lost from every tier")
+            extent = tier.extent(entry.key)
+            io_seconds += tier.io_seconds(extent.accounted_size)
             if extent.has_payload:
-                blob = tier.get(key)
+                blob = self._fetch_blob(entry)
                 wall_start = time.perf_counter()
-                data, header = unwrap_payload(blob)
+                data, header = self._unwrap(entry, blob)
                 metadata_seconds += time.perf_counter() - wall_start
                 lo = max(offset - piece_start, 0)
                 hi = min(end - piece_start, len(data))
@@ -344,10 +441,10 @@ class CompressionManager:
                 codec_name = get_codec(header.codec_id).meta.name
             else:
                 have_payloads = False
-                codec_name = catalog_codec
+                codec_name = entry.codec
             if codec_name != "none":
                 profile = self.pool.profile(codec_name)
-                decompress_seconds += modeled_length / (
+                decompress_seconds += entry.length / (
                     profile.decompress_mbps * MB
                 )
         return ReadResult(

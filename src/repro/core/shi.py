@@ -4,37 +4,117 @@ The SHI is the only component that touches the tiers: it places decorated
 sub-task payloads, finds and reads them back, and reports the modeled I/O
 time of each operation so callers (the main library, or the event
 simulator) can charge it. Keys are ``"{task_id}/{piece_index}"``.
+
+Resilience: every operation runs under a :class:`ResilienceConfig` policy —
+transient failures (:class:`TransientIOError`) are retried with exponential
+backoff plus seeded jitter, and a write whose target tier is down or full
+fails over to the nearest tier that fits. Backoff sleeps are *charged to
+the modeled clock* (they inflate the receipt's ``seconds`` and are reported
+through ``on_wait``), never slept in wall time, so chaos runs stay
+deterministic and replayable. Every retry/failover decision is appended to
+``stats.trace`` for replay comparison.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import random
+from dataclasses import dataclass, field
 
-from ..errors import TierError
+from ..errors import (
+    CapacityError,
+    RetryExhaustedError,
+    TierError,
+    TierUnavailableError,
+    TransientIOError,
+)
 from ..tiers import StorageHierarchy, Tier
+from .config import ResilienceConfig
 
-__all__ = ["StorageHardwareInterface", "IoReceipt"]
+__all__ = ["StorageHardwareInterface", "IoReceipt", "ResilienceStats"]
 
 
 @dataclass(frozen=True)
 class IoReceipt:
-    """Outcome of one SHI operation."""
+    """Outcome of one SHI operation.
+
+    ``seconds`` is the uncontended modeled I/O time (latency + accounted
+    size / lane bandwidth, scaled by any injected slowdown) plus any
+    backoff charged while retrying. ``tier`` is where the data actually
+    landed, which differs from the requested tier after a failover.
+    """
 
     key: str
     tier: str
     nbytes: int
     seconds: float
+    retries: int = 0
+    failover: bool = False
+
+
+@dataclass
+class ResilienceStats:
+    """Cumulative resilience counters plus the deterministic event trace."""
+
+    retries: int = 0
+    failovers: int = 0
+    backoff_seconds: float = 0.0
+    exhausted: int = 0
+    trace: list[tuple] = field(default_factory=list)
+
+    def record(self, *event) -> None:
+        self.trace.append(tuple(event))
 
 
 class StorageHardwareInterface:
-    """Thin placement/retrieval layer over a :class:`StorageHierarchy`."""
+    """Resilient placement/retrieval layer over a :class:`StorageHierarchy`.
 
-    def __init__(self, hierarchy: StorageHierarchy) -> None:
+    Args:
+        hierarchy: The managed tier stack.
+        resilience: Retry/failover policy; defaults to
+            :class:`ResilienceConfig` defaults.
+        on_wait: Optional hook invoked with every backoff duration so the
+            owner can advance a simulated clock (and with it any fault
+            injector) while the operation "sleeps". Never wall-clock.
+    """
+
+    def __init__(
+        self,
+        hierarchy: StorageHierarchy,
+        resilience: ResilienceConfig | None = None,
+        on_wait=None,
+    ) -> None:
         self.hierarchy = hierarchy
+        self.resilience = (
+            resilience if resilience is not None else ResilienceConfig()
+        )
+        self.on_wait = on_wait
+        self.stats = ResilienceStats()
+        self._rng = random.Random(self.resilience.jitter_seed)
 
     @staticmethod
     def piece_key(task_id: str, index: int) -> str:
         return f"{task_id}/{index}"
+
+    # -- retry plumbing ------------------------------------------------------
+
+    def _backoff(self, attempt: int, key: str, tier: str) -> float:
+        """One backoff sleep, charged to the modeled clock."""
+        seconds = self.resilience.backoff_seconds(attempt, self._rng)
+        self.stats.retries += 1
+        self.stats.backoff_seconds += seconds
+        self.stats.record("retry", key, tier, attempt, round(seconds, 9))
+        if self.on_wait is not None:
+            self.on_wait(seconds)
+        return seconds
+
+    def _failover_candidates(self, level: int) -> list[Tier]:
+        """Tiers to try after ``level`` fails: lower (closer to the sink)
+        first — they are the capacity refuge — then upper tiers."""
+        below = [self.hierarchy[i] for i in range(level + 1, len(self.hierarchy))]
+        above = [self.hierarchy[i] for i in range(level - 1, -1, -1)]
+        return below + above
+
+    # -- write path ----------------------------------------------------------
 
     def write(
         self,
@@ -43,25 +123,107 @@ class StorageHardwareInterface:
         payload: bytes | None,
         accounted_size: int | None = None,
     ) -> IoReceipt:
-        """Place one payload on the named tier.
+        """Place one payload on the named tier, retrying transient errors
+        and failing over to the next tier that fits when the target is
+        down or full.
 
-        Returns a receipt carrying the uncontended modeled I/O time
-        (latency + accounted size / lane bandwidth).
+        Raises:
+            RetryExhaustedError: Every candidate tier kept failing
+                transiently past the retry budget.
+            TierError: No tier could accept the write at all.
         """
+        policy = self.resilience
         tier = self.hierarchy.by_name(tier_name)
-        extent = tier.put(key, payload, accounted_size)
-        seconds = tier.spec.io_seconds(extent.accounted_size)
-        return IoReceipt(key, tier_name, extent.accounted_size, seconds)
+        candidates = [tier]
+        if policy.failover:
+            candidates += self._failover_candidates(
+                self.hierarchy.level_of(tier_name)
+            )
+        charged_backoff = 0.0
+        last_error: TierError | None = None
+        for candidate in candidates:
+            name = candidate.spec.name
+            attempt = 0
+            while True:
+                try:
+                    extent = candidate.put(key, payload, accounted_size)
+                except TransientIOError as exc:
+                    last_error = exc
+                    attempt += 1
+                    if attempt > policy.max_retries:
+                        self.stats.exhausted += 1
+                        self.stats.record("exhausted", key, name)
+                        break  # try the next candidate
+                    charged_backoff += self._backoff(attempt, key, name)
+                    continue
+                except (TierUnavailableError, CapacityError) as exc:
+                    last_error = exc
+                    self.stats.record(
+                        "unplaceable", key, name, type(exc).__name__
+                    )
+                    break  # not retryable on this tier; fail over
+                failover = name != tier_name
+                if failover:
+                    self.stats.failovers += 1
+                    self.stats.record("failover", key, tier_name, name)
+                seconds = candidate.io_seconds(extent.accounted_size)
+                return IoReceipt(
+                    key,
+                    name,
+                    extent.accounted_size,
+                    seconds + charged_backoff,
+                    retries=attempt,
+                    failover=failover,
+                )
+        if isinstance(last_error, TransientIOError):
+            raise RetryExhaustedError(
+                f"write of {key!r} failed after {policy.max_retries} retries "
+                f"on every candidate tier"
+            ) from last_error
+        raise (
+            last_error
+            if last_error is not None
+            else TierError(f"no tier accepted write of {key!r}")
+        )
+
+    # -- read path -----------------------------------------------------------
 
     def read(self, key: str) -> tuple[bytes, IoReceipt]:
-        """Locate ``key`` anywhere in the hierarchy and read it."""
-        tier = self.hierarchy.find(key)
-        if tier is None:
-            raise TierError(f"key {key!r} not present in any tier")
-        payload = tier.get(key)
-        extent = tier.extent(key)
-        seconds = tier.spec.io_seconds(extent.accounted_size)
-        return payload, IoReceipt(key, tier.spec.name, extent.accounted_size, seconds)
+        """Locate ``key`` anywhere in the hierarchy and read it, retrying
+        transient failures (and tier outages, which may heal during the
+        charged backoff) up to the retry budget."""
+        policy = self.resilience
+        attempt = 0
+        charged_backoff = 0.0
+        while True:
+            tier = self.hierarchy.find(key)
+            if tier is None:
+                raise TierError(f"key {key!r} not present in any tier")
+            name = tier.spec.name
+            try:
+                payload = tier.get(key)
+                extent = tier.extent(key)
+            except (TransientIOError, TierUnavailableError) as exc:
+                attempt += 1
+                if attempt > policy.max_retries:
+                    self.stats.exhausted += 1
+                    self.stats.record("exhausted", key, name)
+                    if isinstance(exc, TransientIOError):
+                        raise RetryExhaustedError(
+                            f"read of {key!r} failed after "
+                            f"{policy.max_retries} retries"
+                        ) from exc
+                    raise
+                charged_backoff += self._backoff(attempt, key, name)
+                continue
+            seconds = tier.io_seconds(extent.accounted_size)
+            return payload, IoReceipt(
+                key,
+                name,
+                extent.accounted_size,
+                seconds + charged_backoff,
+                retries=attempt,
+            )
 
     def locate(self, key: str) -> Tier | None:
         return self.hierarchy.find(key)

@@ -35,6 +35,32 @@ class TierError(HCompressError):
     """A storage-tier operation was invalid (unknown tier, bad offset, ...)."""
 
 
+class TierUnavailableError(TierError):
+    """The target tier is marked down (outage injected or real).
+
+    Raised by every :class:`~repro.tiers.tier.Tier` access — put, get and
+    extent alike — so resilient callers (SHI failover, the flusher) can
+    route around the outage instead of treating it as a logic error.
+    """
+
+
+class TransientIOError(TierError):
+    """A single I/O operation failed in a retryable way.
+
+    Injected by :class:`~repro.faults.FaultyDevice`; real deployments map
+    EIO/timeout-class failures here. Retrying the same operation may
+    succeed, unlike :class:`TierUnavailableError` which signals a whole
+    tier is down.
+    """
+
+
+class RetryExhaustedError(TierError):
+    """An operation still failed after the configured retry budget.
+
+    Chains the last underlying failure as ``__cause__``.
+    """
+
+
 class PlacementError(HCompressError):
     """The HCDP engine could not produce a feasible schema."""
 

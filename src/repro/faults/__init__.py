@@ -1,0 +1,27 @@
+"""Deterministic fault injection for chaos-testing the hierarchy.
+
+`plan` declares *what* breaks and when (:class:`FaultPlan`); `injector`
+executes the plan against a live :class:`~repro.tiers.StorageHierarchy`
+on the simulated clock (:class:`FaultInjector`), interposing
+:class:`FaultyDevice` wrappers for per-operation transient errors and
+read-path corruption; `chaos` runs full workloads under injection and
+reports recovery behaviour (:func:`run_chaos`).
+"""
+
+from .chaos import ChaosConfig, ChaosOutcome, default_chaos_plan, run_chaos
+from .device import FaultyDevice
+from .injector import FaultInjector, InjectorStats
+from .plan import FaultEvent, FaultKind, FaultPlan
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosOutcome",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultyDevice",
+    "InjectorStats",
+    "default_chaos_plan",
+    "run_chaos",
+]

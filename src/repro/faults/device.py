@@ -1,0 +1,50 @@
+"""FaultyDevice: a fault-injecting wrapper over any tier Device.
+
+Sits between a :class:`~repro.tiers.tier.Tier` and its real backing store.
+Every ``store``/``load`` first consults the owning
+:class:`~repro.faults.injector.FaultInjector`, which may veto the operation
+with a :class:`~repro.errors.TransientIOError` or hand back a bit-flipped
+copy of the blob (corruption is applied on the *read* path and never
+persisted, modeling transient bus/media read errors that heal on re-read —
+which is exactly what the Compression Manager's checksum + read-repair
+path exists to catch).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..tiers.device import Device
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .injector import FaultInjector
+
+__all__ = ["FaultyDevice"]
+
+
+class FaultyDevice(Device):
+    """Injects per-operation faults in front of ``inner``."""
+
+    def __init__(
+        self, inner: Device, injector: "FaultInjector", tier_name: str
+    ) -> None:
+        self.inner = inner
+        self.injector = injector
+        self.tier_name = tier_name
+
+    def store(self, key: str, payload: bytes) -> None:
+        self.injector.check_store(self.tier_name, key)
+        self.inner.store(key, payload)
+
+    def load(self, key: str) -> bytes:
+        self.injector.check_load(self.tier_name, key)
+        return self.injector.filter_load(self.tier_name, key, self.inner.load(key))
+
+    def delete(self, key: str) -> None:
+        self.inner.delete(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.inner
+
+    def keys(self) -> list[str]:
+        return self.inner.keys()

@@ -1,0 +1,210 @@
+"""Declarative fault plans: what breaks, when, and how badly.
+
+A :class:`FaultPlan` is a seeded, fully deterministic schedule of fault
+events against named tiers. Scheduled events (outages, recoveries,
+slowdowns, capacity shrinks) fire at *simulated* timestamps; probabilistic
+faults (transient I/O errors, payload corruption) are rates that the
+:class:`~repro.faults.injector.FaultInjector` samples from one seeded RNG
+in operation order — no wall clock, no unseeded randomness — so a chaos
+run replays bit-identically from (plan, workload, seed).
+
+Plans round-trip through JSON so chaos experiments can be checked in and
+rerun from the CLI (``hcompress chaos --plan faults.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from pathlib import Path
+
+from ..errors import HCompressError
+
+__all__ = ["FaultKind", "FaultEvent", "FaultPlan"]
+
+
+class FaultKind(str, Enum):
+    """Every injectable fault class."""
+
+    TIER_DOWN = "tier_down"  # outage: all puts/gets raise TierUnavailableError
+    TIER_UP = "tier_up"  # recovery
+    SLOWDOWN = "slowdown"  # value = service-time multiplier (>= 1)
+    CAPACITY_LIMIT = "capacity_limit"  # value = usable bytes (None restores)
+    WRITE_ERROR_RATE = "write_error_rate"  # value = P(TransientIOError) per store
+    READ_ERROR_RATE = "read_error_rate"  # value = P(TransientIOError) per load
+    CORRUPT_RATE = "corrupt_rate"  # value = P(bit-flip) per load
+
+
+_VALUE_REQUIRED = {
+    FaultKind.SLOWDOWN,
+    FaultKind.WRITE_ERROR_RATE,
+    FaultKind.READ_ERROR_RATE,
+    FaultKind.CORRUPT_RATE,
+}
+_RATE_KINDS = {
+    FaultKind.WRITE_ERROR_RATE,
+    FaultKind.READ_ERROR_RATE,
+    FaultKind.CORRUPT_RATE,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault: ``kind`` hits ``tier`` at simulated time ``at``.
+
+    ``value`` carries the kind-specific parameter (slowdown factor,
+    capacity limit in bytes, or a probability for the rate kinds).
+    """
+
+    at: float
+    kind: FaultKind
+    tier: str
+    value: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise HCompressError(f"fault event time must be >= 0, got {self.at}")
+        if not self.tier:
+            raise HCompressError("fault event needs a tier name")
+        if self.kind in _VALUE_REQUIRED and self.value is None:
+            raise HCompressError(f"{self.kind.value} event needs a value")
+        if self.kind in _RATE_KINDS and not 0.0 <= float(self.value) <= 1.0:
+            raise HCompressError(
+                f"{self.kind.value} probability must be in [0, 1], "
+                f"got {self.value}"
+            )
+        if self.kind is FaultKind.SLOWDOWN and float(self.value) < 1.0:
+            raise HCompressError(f"slowdown factor must be >= 1, got {self.value}")
+        if (
+            self.kind is FaultKind.CAPACITY_LIMIT
+            and self.value is not None
+            and float(self.value) < 0
+        ):
+            raise HCompressError("capacity limit must be >= 0 or null")
+
+    def to_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "kind": self.kind.value,
+            "tier": self.tier,
+            "value": self.value,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultEvent":
+        try:
+            kind = FaultKind(raw["kind"])
+        except (KeyError, ValueError) as exc:
+            raise HCompressError(f"bad fault event {raw!r}: {exc}") from exc
+        return cls(
+            at=float(raw.get("at", 0.0)),
+            kind=kind,
+            tier=str(raw.get("tier", "")),
+            value=raw.get("value"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded schedule of :class:`FaultEvent`, ordered by time.
+
+    Args:
+        events: The schedule; stored sorted by ``(at, tier, kind)`` so two
+            plans with the same events compare (and replay) identically.
+        seed: Seed of the injector's RNG for the probabilistic faults.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda e: (e.at, e.tier, e.kind.value))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    # -- builders ------------------------------------------------------------
+
+    def with_events(self, *events: FaultEvent) -> "FaultPlan":
+        return FaultPlan(events=self.events + tuple(events), seed=self.seed)
+
+    def outage(self, tier: str, start: float, end: float) -> "FaultPlan":
+        """Tier down over ``[start, end)`` — the kill-and-recover idiom."""
+        if end <= start:
+            raise HCompressError(f"outage needs end > start, got [{start}, {end})")
+        return self.with_events(
+            FaultEvent(start, FaultKind.TIER_DOWN, tier),
+            FaultEvent(end, FaultKind.TIER_UP, tier),
+        )
+
+    def degraded(
+        self, tier: str, start: float, end: float, factor: float
+    ) -> "FaultPlan":
+        """Bandwidth degradation window: ``factor``x slower I/O."""
+        return self.with_events(
+            FaultEvent(start, FaultKind.SLOWDOWN, tier, factor),
+            FaultEvent(end, FaultKind.SLOWDOWN, tier, 1.0),
+        )
+
+    def flaky(
+        self,
+        tier: str,
+        at: float = 0.0,
+        write_p: float = 0.0,
+        read_p: float = 0.0,
+        corrupt_p: float = 0.0,
+    ) -> "FaultPlan":
+        """Set per-op transient-error/corruption rates from time ``at``."""
+        events = []
+        if write_p:
+            events.append(FaultEvent(at, FaultKind.WRITE_ERROR_RATE, tier, write_p))
+        if read_p:
+            events.append(FaultEvent(at, FaultKind.READ_ERROR_RATE, tier, read_p))
+        if corrupt_p:
+            events.append(FaultEvent(at, FaultKind.CORRUPT_RATE, tier, corrupt_p))
+        return self.with_events(*events)
+
+    def shrink(self, tier: str, at: float, limit: int | None) -> "FaultPlan":
+        """Shrink a tier's usable capacity to ``limit`` bytes at ``at``."""
+        return self.with_events(
+            FaultEvent(at, FaultKind.CAPACITY_LIMIT, tier, limit)
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last scheduled event (0 for an empty plan)."""
+        return self.events[-1].at if self.events else 0.0
+
+    def tiers(self) -> set[str]:
+        return {event.tier for event in self.events}
+
+    # -- JSON round trip -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultPlan":
+        return cls(
+            events=tuple(
+                FaultEvent.from_dict(event) for event in raw.get("events", [])
+            ),
+            seed=int(raw.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        try:
+            raw = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HCompressError(f"cannot load fault plan {path}: {exc}") from exc
+        return cls.from_dict(raw)

@@ -47,6 +47,7 @@ class EngineStats:
     memo_hits: int = 0
     memo_misses: int = 0
     pieces_emitted: int = 0
+    degraded_plans: int = 0  # plans made while >= 1 tier was reported down
 
     @property
     def hit_rate(self) -> float:
@@ -142,6 +143,11 @@ class HcdpEngine:
             loads.append(tier_status.load)
             queued.append(tier_status.queued_bytes)
             usable.append(tier_status.available)
+        if not all(usable):
+            # Degraded-mode planning: down tiers are excluded from the
+            # choice set and the DP routes every byte through the
+            # survivors; PlacementError only if nothing is left at all.
+            self.stats.degraded_plans += 1
 
         # Capacity-pressure drain cost (per stored byte on bounded tiers):
         # write-saturation of the bounded hierarchy x observed concurrency,

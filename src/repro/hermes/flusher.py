@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import TierError
+from ..errors import TierError, TierUnavailableError, TransientIOError
 from ..sim import IO, Delay
 from ..tiers import StorageHierarchy, Tier
 
@@ -27,6 +27,8 @@ class FlushStats:
     moves: int = 0
     bytes_moved: int = 0
     polls: int = 0
+    failed_moves: int = 0  # transient failures; the move is retried later
+    skipped_unavailable: int = 0  # polls that skipped a down source tier
 
 
 class TierFlusher:
@@ -95,13 +97,35 @@ class TierFlusher:
                 return tier
         return None
 
+    def _defer(self, tier: Tier, key: str) -> None:
+        """Rotate a key whose move failed to the back of the FIFO so the
+        next poll retries it instead of hot-looping on the same victim."""
+        queue = self._fifo.setdefault(tier.spec.name, [])
+        try:
+            queue.remove(key)
+        except ValueError:
+            pass
+        queue.append(key)
+        self.stats.failed_moves += 1
+
     def process(self):
-        """The daemon generator: run via ``sim.add_process(..., daemon=True)``."""
+        """The daemon generator: run via ``sim.add_process(..., daemon=True)``.
+
+        Resilient by construction: a down source tier is skipped until it
+        recovers, and a move that fails mid-flight (transient device error,
+        destination outage, destination filled by a foreground writer) is
+        deferred and retried on a later poll — the drain loop itself never
+        crashes on tier faults.
+        """
         while True:
             moved = 0
             for level in range(len(self.hierarchy) - 1):
                 tier = self.hierarchy[level]
                 if not tier.spec.bounded:
+                    continue
+                if not tier.available:
+                    # Outage: nothing can be read off this tier right now.
+                    self.stats.skipped_unavailable += 1
                     continue
                 while (
                     self._fill(tier) > self.high_water
@@ -110,22 +134,36 @@ class TierFlusher:
                     key = self._next_victim(tier)
                     if key is None:
                         break
-                    extent = tier.extent(key)
-                    dst = self._destination(level, extent.accounted_size)
-                    if dst is None:
-                        break
-                    payload = tier.get(key) if extent.has_payload else None
+                    try:
+                        extent = tier.extent(key)
+                        dst = self._destination(level, extent.accounted_size)
+                        if dst is None:
+                            break
+                        payload = tier.get(key) if extent.has_payload else None
+                    except (TransientIOError, TierUnavailableError):
+                        self._defer(tier, key)
+                        break  # retry on the next poll
                     nbytes = extent.accounted_size
                     yield IO(tier.spec.name, nbytes, "read")
                     yield IO(dst.spec.name, nbytes, "write")
                     # Re-check: a foreground writer may have claimed the
-                    # destination's room while our I/O was in flight.
+                    # destination's room (or a fault may have hit either
+                    # end) while our I/O was in flight.
                     if key not in tier:
                         continue
                     if not dst.fits(nbytes):
+                        self._defer(tier, key)
                         continue
+                    try:
+                        # Copy before evict: if the destination write fails
+                        # the source extent is untouched and no data is
+                        # ever lost (both tiers briefly hold the key; the
+                        # top-down ``find`` keeps reads on the source).
+                        dst.put(key, payload, accounted_size=nbytes)
+                    except (TransientIOError, TierUnavailableError, TierError):
+                        self._defer(tier, key)
+                        break
                     tier.evict(key)
-                    dst.put(key, payload, accounted_size=nbytes)
                     try:
                         self._fifo[tier.spec.name].remove(key)
                     except ValueError:

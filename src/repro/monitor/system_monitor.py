@@ -109,6 +109,14 @@ class SystemMonitor:
         self._samples += 1
         return self._cached
 
+    def invalidate(self) -> None:
+        """Drop the cached snapshot so the next :meth:`status` resamples.
+
+        Used by degraded-mode replanning: after an I/O failure the engine
+        must not trust a pre-outage sample, whatever the interval says.
+        """
+        self._cached = None
+
     def status(self) -> SystemStatus:
         """Current snapshot, refreshed only when the interval has elapsed."""
         now = self._clock()

@@ -6,13 +6,27 @@ remaining capacity, queue depth, and availability. Accounted sizes are
 decoupled from actual payload lengths so large modeled datasets can be
 represented by small sample buffers (DESIGN.md §2, representative-sample
 scaling).
+
+Availability semantics: a tier marked down (:meth:`Tier.set_available`)
+rejects *every* data-path operation — :meth:`put`, :meth:`get` and
+:meth:`extent` all raise :class:`TierUnavailableError` — because a real
+outage takes reads down with writes. The capacity ledger (``used``,
+``remaining``, :meth:`evict`, :meth:`keys`) stays accessible so monitors
+and drain bookkeeping can still reason about what the tier holds while it
+is dark. The resilient I/O paths (SHI failover, the tier flusher) catch
+``TierUnavailableError`` and route around the outage.
+
+Degraded-mode runtime overrides: fault injection can scale a tier's service
+time (:meth:`set_slowdown`) and shrink its usable capacity below the spec
+(:meth:`set_capacity_limit`) without touching the frozen
+:class:`TierSpec`; both default to no-ops.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import CapacityError, TierError
+from ..errors import CapacityError, TierError, TierUnavailableError
 from ..units import fmt_bytes
 from .device import Device, MemoryDevice
 from .spec import TierSpec
@@ -46,6 +60,8 @@ class Tier:
         self._queue_depth = 0
         self._queued_bytes = 0
         self._available = True
+        self._slowdown = 1.0
+        self._capacity_limit: int | None = None
 
     # -- capacity ledger ---------------------------------------------------
 
@@ -55,11 +71,26 @@ class Tier:
         return self._used
 
     @property
-    def remaining(self) -> int | None:
-        """Accounted bytes still free (``None`` for unbounded tiers)."""
+    def effective_capacity(self) -> int | None:
+        """Spec capacity, reduced by any injected shrink (``None`` =
+        unbounded)."""
+        if self._capacity_limit is None:
+            return self.spec.capacity
         if self.spec.capacity is None:
+            return self._capacity_limit
+        return min(self.spec.capacity, self._capacity_limit)
+
+    @property
+    def remaining(self) -> int | None:
+        """Accounted bytes still free (``None`` for unbounded tiers).
+
+        Can go negative after a capacity shrink below the current fill;
+        :meth:`fits` then rejects all placements until the tier drains.
+        """
+        capacity = self.effective_capacity
+        if capacity is None:
             return None
-        return self.spec.capacity - self._used
+        return capacity - self._used
 
     def fits(self, nbytes: int) -> bool:
         """Whether ``nbytes`` of accounted data can be placed right now."""
@@ -79,6 +110,27 @@ class Tier:
         self._available = bool(value)
 
     @property
+    def slowdown(self) -> float:
+        """Service-time multiplier (1.0 = nominal; >1 = degraded)."""
+        return self._slowdown
+
+    def set_slowdown(self, factor: float) -> None:
+        """Degrade (or restore) the tier's effective bandwidth/latency."""
+        if factor < 1.0:
+            raise TierError(f"{self.spec.name}: slowdown must be >= 1, got {factor}")
+        self._slowdown = float(factor)
+
+    def set_capacity_limit(self, limit: int | None) -> None:
+        """Shrink usable capacity to ``limit`` bytes (``None`` restores)."""
+        if limit is not None and limit < 0:
+            raise TierError(f"{self.spec.name}: capacity limit must be >= 0")
+        self._capacity_limit = limit
+
+    def io_seconds(self, nbytes: int) -> float:
+        """Modeled uncontended I/O time, including any injected slowdown."""
+        return self.spec.io_seconds(nbytes) * self._slowdown
+
+    @property
     def queue_depth(self) -> int:
         """Number of in-flight operations (the SM's "load" signal)."""
         return self._queue_depth
@@ -94,10 +146,23 @@ class Tier:
         self._queued_bytes += nbytes
 
     def end_io(self, nbytes: int = 0) -> None:
+        """Retire one in-flight operation.
+
+        Both load signals are validated symmetrically: an ``end_io``
+        without a matching ``begin_io``, or one retiring more bytes than
+        are in flight, is a caller bug and raises :class:`TierError`
+        (silently clamping one signal but not the other desynchronised the
+        monitor's load view).
+        """
         if self._queue_depth <= 0:
             raise TierError(f"{self.spec.name}: end_io without matching begin_io")
+        if nbytes > self._queued_bytes:
+            raise TierError(
+                f"{self.spec.name}: end_io({nbytes}) exceeds "
+                f"{self._queued_bytes} queued bytes"
+            )
         self._queue_depth -= 1
-        self._queued_bytes = max(self._queued_bytes - nbytes, 0)
+        self._queued_bytes -= nbytes
 
     # -- placement -----------------------------------------------------------
 
@@ -116,12 +181,13 @@ class Tier:
 
         Raises:
             CapacityError: The accounted size does not fit.
-            TierError: Key already placed, or tier marked unavailable.
+            TierUnavailableError: Tier marked unavailable.
+            TierError: Key already placed, or invalid arguments.
         """
         if key in self._extents:
             raise TierError(f"{self.spec.name}: key {key!r} already placed")
         if not self._available:
-            raise TierError(f"{self.spec.name}: tier is unavailable")
+            raise TierUnavailableError(f"{self.spec.name}: tier is unavailable")
         if accounted_size is None:
             if payload is None:
                 raise TierError("accounted_size is required when payload is None")
@@ -131,7 +197,7 @@ class Tier:
         if not self.fits(accounted_size):
             raise CapacityError(
                 f"{self.spec.name}: {fmt_bytes(accounted_size)} does not fit "
-                f"({fmt_bytes(self.remaining or 0)} remaining)"
+                f"({fmt_bytes(max(self.remaining or 0, 0))} remaining)"
             )
         if payload is not None:
             self.device.store(key, payload)
@@ -141,13 +207,23 @@ class Tier:
         return extent
 
     def get(self, key: str) -> bytes:
-        """Read a placed blob's payload."""
+        """Read a placed blob's payload.
+
+        Raises:
+            TierUnavailableError: Tier marked unavailable (a down tier
+                cannot serve reads any more than writes).
+            TierError: No extent for ``key``.
+        """
+        if not self._available:
+            raise TierUnavailableError(f"{self.spec.name}: tier is unavailable")
         if key not in self._extents:
             raise TierError(f"{self.spec.name}: no extent for key {key!r}")
         return self.device.load(key)
 
     def extent(self, key: str) -> Extent:
-        """Accounting record for a placed blob."""
+        """Accounting record for a placed blob (unavailable tiers raise)."""
+        if not self._available:
+            raise TierUnavailableError(f"{self.spec.name}: tier is unavailable")
         try:
             return self._extents[key]
         except KeyError:
@@ -157,8 +233,15 @@ class Tier:
         return key in self._extents
 
     def evict(self, key: str) -> int:
-        """Remove a blob; returns the accounted bytes released."""
-        extent = self.extent(key)
+        """Remove a blob; returns the accounted bytes released.
+
+        Allowed even while the tier is down: eviction is ledger cleanup,
+        not a data-path read, and recovery flows need it.
+        """
+        try:
+            extent = self._extents[key]
+        except KeyError:
+            raise TierError(f"{self.spec.name}: no extent for key {key!r}") from None
         if extent.has_payload:
             self.device.delete(key)
         del self._extents[key]
@@ -175,7 +258,8 @@ class Tier:
 
     def __repr__(self) -> str:
         cap = "inf" if self.spec.capacity is None else fmt_bytes(self.spec.capacity)
+        flags = "" if self._available else " DOWN"
         return (
             f"<Tier {self.spec.name} used={fmt_bytes(self._used)}/{cap} "
-            f"queue={self._queue_depth}>"
+            f"queue={self._queue_depth}{flags}>"
         )

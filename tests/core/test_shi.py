@@ -5,7 +5,44 @@ from __future__ import annotations
 import pytest
 
 from repro.core import StorageHardwareInterface
-from repro.errors import TierError
+from repro.core.config import ResilienceConfig
+from repro.errors import (
+    RetryExhaustedError,
+    TierError,
+    TierUnavailableError,
+    TransientIOError,
+)
+from repro.tiers.device import Device
+
+
+class FlakyDevice(Device):
+    """Fails the first ``fail_n`` stores/loads with TransientIOError."""
+
+    def __init__(self, inner, fail_stores: int = 0, fail_loads: int = 0):
+        self.inner = inner
+        self.fail_stores = fail_stores
+        self.fail_loads = fail_loads
+
+    def store(self, key, payload):
+        if self.fail_stores > 0:
+            self.fail_stores -= 1
+            raise TransientIOError(f"flaky store of {key!r}")
+        self.inner.store(key, payload)
+
+    def load(self, key):
+        if self.fail_loads > 0:
+            self.fail_loads -= 1
+            raise TransientIOError(f"flaky load of {key!r}")
+        return self.inner.load(key)
+
+    def delete(self, key):
+        self.inner.delete(key)
+
+    def __contains__(self, key):
+        return key in self.inner
+
+    def keys(self):
+        return self.inner.keys()
 
 
 @pytest.fixture()
@@ -46,6 +83,126 @@ class TestRead:
         shi.write("a", "fast", b"x")
         assert shi.locate("a").spec.name == "fast"
         assert shi.locate("ghost") is None
+
+
+class TestRetry:
+    def test_transient_store_error_retried(self, two_tier) -> None:
+        fast = two_tier.by_name("fast")
+        fast.device = FlakyDevice(fast.device, fail_stores=2)
+        shi = StorageHardwareInterface(two_tier)
+        receipt = shi.write("k", "fast", b"payload")
+        assert receipt.tier == "fast"
+        assert receipt.retries == 2
+        assert shi.stats.retries == 2
+        assert receipt.seconds > fast.spec.io_seconds(7)  # backoff charged
+
+    def test_backoff_reported_through_on_wait(self, two_tier) -> None:
+        fast = two_tier.by_name("fast")
+        fast.device = FlakyDevice(fast.device, fail_stores=1)
+        waits: list[float] = []
+        shi = StorageHardwareInterface(two_tier, on_wait=waits.append)
+        shi.write("k", "fast", b"x")
+        assert len(waits) == 1
+        assert waits[0] == pytest.approx(shi.stats.backoff_seconds)
+
+    def test_backoff_deterministic_for_seed(self, two_tier) -> None:
+        policy = ResilienceConfig(jitter_seed=99)
+        durations = []
+        for _ in range(2):
+            hierarchy = two_tier
+            shi = StorageHardwareInterface(hierarchy, resilience=policy)
+            import random
+
+            rng = random.Random(policy.jitter_seed)
+            durations.append(
+                [policy.backoff_seconds(a, rng) for a in (1, 2, 3)]
+            )
+        assert durations[0] == durations[1]
+        assert durations[0][0] < durations[0][1] < durations[0][2]
+
+    def test_retry_budget_exhausts_to_next_candidate(self, two_tier) -> None:
+        fast = two_tier.by_name("fast")
+        fast.device = FlakyDevice(fast.device, fail_stores=100)
+        shi = StorageHardwareInterface(two_tier)
+        receipt = shi.write("k", "fast", b"x")
+        assert receipt.tier == "slow"  # failed over past the flaky tier
+        assert receipt.failover
+        assert shi.stats.exhausted == 1
+
+    def test_exhaustion_everywhere_raises(self, two_tier) -> None:
+        for tier in two_tier:
+            tier.device = FlakyDevice(tier.device, fail_stores=100)
+        shi = StorageHardwareInterface(two_tier)
+        with pytest.raises(RetryExhaustedError):
+            shi.write("k", "fast", b"x")
+
+    def test_read_retries_transient_load(self, two_tier) -> None:
+        shi = StorageHardwareInterface(two_tier)
+        shi.write("k", "fast", b"data")
+        fast = two_tier.by_name("fast")
+        fast.device = FlakyDevice(fast.device, fail_loads=1)
+        payload, receipt = shi.read("k")
+        assert payload == b"data"
+        assert receipt.retries == 1
+
+    def test_read_survives_outage_healed_during_backoff(self, two_tier) -> None:
+        shi = StorageHardwareInterface(two_tier)
+        shi.write("k", "fast", b"data")
+        fast = two_tier.by_name("fast")
+        fast.set_available(False)
+        shi.on_wait = lambda _s: fast.set_available(True)  # recovery fires
+        payload, receipt = shi.read("k")
+        assert payload == b"data"
+        assert receipt.retries == 1
+
+    def test_read_outage_exhausts_to_tier_unavailable(self, two_tier) -> None:
+        shi = StorageHardwareInterface(two_tier)
+        shi.write("k", "fast", b"data")
+        two_tier.by_name("fast").set_available(False)
+        with pytest.raises(TierUnavailableError):
+            shi.read("k")
+
+
+class TestFailover:
+    def test_down_tier_fails_over(self, two_tier) -> None:
+        two_tier.by_name("fast").set_available(False)
+        shi = StorageHardwareInterface(two_tier)
+        receipt = shi.write("k", "fast", b"x")
+        assert receipt.tier == "slow"
+        assert receipt.failover
+        assert shi.stats.failovers == 1
+        assert ("unplaceable", "k", "fast", "TierUnavailableError") in (
+            shi.stats.trace
+        )
+
+    def test_full_tier_fails_over(self, two_tier) -> None:
+        shi = StorageHardwareInterface(two_tier)
+        two_tier.by_name("fast").put("fill", None, accounted_size=2**20)
+        receipt = shi.write("k", "fast", b"x")
+        assert receipt.tier == "slow"
+        assert receipt.failover
+
+    def test_failover_disabled_raises(self, two_tier) -> None:
+        two_tier.by_name("fast").set_available(False)
+        shi = StorageHardwareInterface(
+            two_tier, resilience=ResilienceConfig(failover=False)
+        )
+        with pytest.raises(TierUnavailableError):
+            shi.write("k", "fast", b"x")
+
+    def test_failover_prefers_lower_tiers(self) -> None:
+        from repro.tiers import StorageHierarchy, Tier, TierSpec
+
+        specs = [
+            TierSpec(name="a", capacity=1000, bandwidth=1e9, latency=0),
+            TierSpec(name="b", capacity=1000, bandwidth=1e9, latency=0),
+            TierSpec(name="c", capacity=None, bandwidth=1e8, latency=0),
+        ]
+        hierarchy = StorageHierarchy([Tier(s) for s in specs])
+        hierarchy.by_name("b").set_available(False)
+        shi = StorageHardwareInterface(hierarchy)
+        receipt = shi.write("k", "b", b"x")
+        assert receipt.tier == "c"  # below first, not "a" above
 
 
 class TestDelete:

@@ -1,0 +1,191 @@
+"""FaultInjector: scheduled events, per-op faults, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HCompressError, TransientIOError
+from repro.faults import FaultInjector, FaultPlan, FaultyDevice
+from repro.sim import Delay, Simulation
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+
+
+def _hierarchy() -> StorageHierarchy:
+    return StorageHierarchy(
+        [
+            Tier(TierSpec(name="fast", capacity=10_000, bandwidth=1e9,
+                          latency=0)),
+            Tier(TierSpec(name="slow", capacity=None, bandwidth=1e8,
+                          latency=0)),
+        ]
+    )
+
+
+class TestScheduledEvents:
+    def test_outage_and_recovery(self) -> None:
+        hierarchy = _hierarchy()
+        plan = FaultPlan().outage("fast", start=1.0, end=2.0)
+        injector = FaultInjector(plan, hierarchy)
+        fast = hierarchy.by_name("fast")
+        assert injector.advance_to(0.5) == 0
+        assert fast.available
+        assert injector.advance_to(1.0) == 1
+        assert not fast.available
+        assert injector.advance_to(3.0) == 1
+        assert fast.available
+        assert injector.stats.outages == 1
+        assert injector.stats.recoveries == 1
+
+    def test_slowdown_and_capacity(self) -> None:
+        hierarchy = _hierarchy()
+        plan = (
+            FaultPlan()
+            .degraded("fast", start=0.0, end=1.0, factor=5.0)
+            .shrink("fast", at=0.5, limit=100)
+        )
+        injector = FaultInjector(plan, hierarchy)
+        fast = hierarchy.by_name("fast")
+        injector.advance_to(0.0)
+        assert fast.slowdown == 5.0
+        injector.advance_to(0.5)
+        assert fast.effective_capacity == 100
+        injector.advance_to(1.0)
+        assert fast.slowdown == 1.0
+
+    def test_time_cannot_move_backwards(self) -> None:
+        injector = FaultInjector(FaultPlan(), _hierarchy())
+        injector.advance_to(2.0)
+        with pytest.raises(HCompressError):
+            injector.advance_to(1.0)
+
+    def test_unknown_tier_rejected_up_front(self) -> None:
+        plan = FaultPlan().outage("tape", start=0.0, end=1.0)
+        with pytest.raises(HCompressError):
+            FaultInjector(plan, _hierarchy())
+
+    def test_sim_daemon_applies_events_at_their_times(self) -> None:
+        hierarchy = _hierarchy()
+        plan = FaultPlan().outage("fast", start=0.5, end=1.5)
+        injector = FaultInjector(plan, hierarchy)
+        observed = []
+
+        def probe():
+            for _ in range(4):
+                observed.append(
+                    (round(0.5 * len(observed), 1),
+                     hierarchy.by_name("fast").available)
+                )
+                yield Delay(0.5)
+
+        sim = Simulation(hierarchy)
+        sim.add_process(injector.process(), daemon=True)
+        sim.add_process(probe())
+        sim.run()
+        assert observed[0] == (0.0, True)
+        assert observed[2] == (1.0, False)  # outage live at t=1
+        assert injector.stats.events_applied == 2
+
+
+class TestArming:
+    def test_arm_wraps_and_disarm_unwraps(self) -> None:
+        hierarchy = _hierarchy()
+        injector = FaultInjector(FaultPlan(), hierarchy)
+        injector.arm()
+        assert all(isinstance(t.device, FaultyDevice) for t in hierarchy)
+        injector.arm()  # idempotent: no double wrapping
+        assert not isinstance(
+            hierarchy.by_name("fast").device.inner, FaultyDevice
+        )
+        injector.disarm()
+        assert not any(isinstance(t.device, FaultyDevice) for t in hierarchy)
+
+    def test_blobs_survive_arm_disarm(self) -> None:
+        hierarchy = _hierarchy()
+        fast = hierarchy.by_name("fast")
+        fast.put("k", b"precious")
+        injector = FaultInjector(FaultPlan(), hierarchy)
+        injector.arm()
+        assert fast.get("k") == b"precious"
+        injector.disarm()
+        assert fast.get("k") == b"precious"
+
+
+class TestPerOpFaults:
+    def test_transient_store_errors_at_rate_one(self) -> None:
+        hierarchy = _hierarchy()
+        plan = FaultPlan().flaky("fast", write_p=1.0)
+        injector = FaultInjector(plan, hierarchy)
+        injector.arm()
+        injector.advance_to(0.0)
+        with pytest.raises(TransientIOError):
+            hierarchy.by_name("fast").put("k", b"x")
+        assert injector.stats.transient_errors == 1
+
+    def test_transient_load_errors_at_rate_one(self) -> None:
+        hierarchy = _hierarchy()
+        plan = FaultPlan().flaky("fast", read_p=1.0)
+        injector = FaultInjector(plan, hierarchy)
+        injector.arm()
+        hierarchy.by_name("fast").put("k", b"x")  # rate not armed yet
+        injector.advance_to(0.0)
+        with pytest.raises(TransientIOError):
+            hierarchy.by_name("fast").get("k")
+
+    def test_corruption_flips_exactly_one_bit(self) -> None:
+        hierarchy = _hierarchy()
+        plan = FaultPlan().flaky("fast", corrupt_p=1.0)
+        injector = FaultInjector(plan, hierarchy)
+        injector.arm()
+        original = bytes(range(64))
+        hierarchy.by_name("fast").put("k", original)
+        injector.advance_to(0.0)
+        corrupted = hierarchy.by_name("fast").get("k")
+        assert corrupted != original
+        diff = [
+            (a ^ b) for a, b in zip(corrupted, original) if a != b
+        ]
+        assert len(diff) == 1
+        assert bin(diff[0]).count("1") == 1
+
+    def test_corruption_never_persisted(self) -> None:
+        hierarchy = _hierarchy()
+        plan = FaultPlan(
+            events=(), seed=0
+        ).flaky("fast", corrupt_p=1.0)
+        injector = FaultInjector(plan, hierarchy)
+        injector.arm()
+        original = b"stable bytes"
+        hierarchy.by_name("fast").put("k", original)
+        injector.advance_to(0.0)
+        hierarchy.by_name("fast").get("k")  # corrupted view
+        injector.disarm()
+        assert hierarchy.by_name("fast").get("k") == original
+
+
+class TestDeterminism:
+    def _run_once(self, seed: int) -> list[tuple]:
+        hierarchy = _hierarchy()
+        plan = FaultPlan(seed=seed).flaky(
+            "fast", write_p=0.3, read_p=0.2, corrupt_p=0.2
+        ).outage("fast", start=5.0, end=6.0)
+        injector = FaultInjector(plan, hierarchy)
+        injector.arm()
+        injector.advance_to(0.0)
+        fast = hierarchy.by_name("fast")
+        for i in range(30):
+            try:
+                fast.put(f"k{i}", bytes([i]) * 16)
+            except TransientIOError:
+                continue
+            try:
+                fast.get(f"k{i}")
+            except TransientIOError:
+                pass
+        injector.advance_to(10.0)
+        return injector.stats.log
+
+    def test_same_seed_same_trace(self) -> None:
+        assert self._run_once(42) == self._run_once(42)
+
+    def test_different_seed_different_trace(self) -> None:
+        assert self._run_once(1) != self._run_once(2)

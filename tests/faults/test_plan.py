@@ -1,0 +1,101 @@
+"""FaultPlan: validation, ordering, builders, JSON round trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HCompressError
+from repro.faults import FaultEvent, FaultKind, FaultPlan
+
+
+class TestEventValidation:
+    def test_negative_time_rejected(self) -> None:
+        with pytest.raises(HCompressError):
+            FaultEvent(-1.0, FaultKind.TIER_DOWN, "nvme")
+
+    def test_empty_tier_rejected(self) -> None:
+        with pytest.raises(HCompressError):
+            FaultEvent(0.0, FaultKind.TIER_DOWN, "")
+
+    def test_rate_kinds_need_probability(self) -> None:
+        with pytest.raises(HCompressError):
+            FaultEvent(0.0, FaultKind.WRITE_ERROR_RATE, "nvme")
+        with pytest.raises(HCompressError):
+            FaultEvent(0.0, FaultKind.READ_ERROR_RATE, "nvme", 1.5)
+        FaultEvent(0.0, FaultKind.CORRUPT_RATE, "nvme", 0.5)  # valid
+
+    def test_slowdown_below_one_rejected(self) -> None:
+        with pytest.raises(HCompressError):
+            FaultEvent(0.0, FaultKind.SLOWDOWN, "pfs", 0.9)
+
+    def test_capacity_limit_none_restores(self) -> None:
+        event = FaultEvent(1.0, FaultKind.CAPACITY_LIMIT, "ram", None)
+        assert event.value is None
+        with pytest.raises(HCompressError):
+            FaultEvent(1.0, FaultKind.CAPACITY_LIMIT, "ram", -5)
+
+
+class TestPlan:
+    def test_events_sorted_by_time(self) -> None:
+        plan = FaultPlan(
+            events=(
+                FaultEvent(5.0, FaultKind.TIER_UP, "nvme"),
+                FaultEvent(1.0, FaultKind.TIER_DOWN, "nvme"),
+            )
+        )
+        assert [e.at for e in plan.events] == [1.0, 5.0]
+
+    def test_builders_compose(self) -> None:
+        plan = (
+            FaultPlan(seed=7)
+            .outage("nvme", start=1.0, end=2.0)
+            .degraded("pfs", start=0.5, end=3.0, factor=8.0)
+            .flaky("burst_buffer", write_p=0.1, corrupt_p=0.05)
+            .shrink("ram", at=1.5, limit=1024)
+        )
+        assert plan.seed == 7
+        assert plan.horizon == 3.0
+        assert plan.tiers() == {"nvme", "pfs", "burst_buffer", "ram"}
+        kinds = [e.kind for e in plan.events]
+        assert FaultKind.TIER_DOWN in kinds and FaultKind.TIER_UP in kinds
+        assert FaultKind.CAPACITY_LIMIT in kinds
+
+    def test_outage_needs_positive_window(self) -> None:
+        with pytest.raises(HCompressError):
+            FaultPlan().outage("nvme", start=2.0, end=2.0)
+
+    def test_flaky_emits_only_requested_rates(self) -> None:
+        plan = FaultPlan().flaky("nvme", write_p=0.2)
+        assert len(plan.events) == 1
+        assert plan.events[0].kind is FaultKind.WRITE_ERROR_RATE
+
+    def test_empty_plan_horizon_zero(self) -> None:
+        assert FaultPlan().horizon == 0.0
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_plan(self, tmp_path) -> None:
+        plan = (
+            FaultPlan(seed=42)
+            .outage("nvme", start=1.0, end=4.0)
+            .flaky("burst_buffer", at=0.5, write_p=0.1, read_p=0.2)
+            .shrink("ram", at=2.0, limit=None)
+        )
+        path = tmp_path / "plan.json"
+        plan.to_json(path)
+        loaded = FaultPlan.from_json(path)
+        assert loaded == plan
+
+    def test_bad_json_raises_hcompress_error(self, tmp_path) -> None:
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(HCompressError):
+            FaultPlan.from_json(path)
+
+    def test_missing_file_raises_hcompress_error(self, tmp_path) -> None:
+        with pytest.raises(HCompressError):
+            FaultPlan.from_json(tmp_path / "ghost.json")
+
+    def test_unknown_kind_rejected(self) -> None:
+        with pytest.raises(HCompressError):
+            FaultEvent.from_dict({"at": 0, "kind": "meteor", "tier": "ram"})

@@ -1,0 +1,180 @@
+"""Resilient I/O paths: checksums, read-repair, rollback, replanning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompress, HCompressConfig
+from repro.core.config import ResilienceConfig
+from repro.errors import CorruptDataError, TierUnavailableError
+from repro.tiers import ares_hierarchy
+from repro.tiers.device import Device
+from repro.units import GiB, MiB
+
+
+class CorruptOnLoad(Device):
+    """Flips one byte on the first ``corrupt_n`` loads (or every load when
+    ``corrupt_n`` is None)."""
+
+    def __init__(self, inner, corrupt_n: int | None = 1):
+        self.inner = inner
+        self.corrupt_n = corrupt_n
+
+    def store(self, key, payload):
+        self.inner.store(key, payload)
+
+    def load(self, key):
+        blob = self.inner.load(key)
+        if self.corrupt_n is None or self.corrupt_n > 0:
+            if self.corrupt_n is not None:
+                self.corrupt_n -= 1
+            flipped = bytearray(blob)
+            flipped[len(flipped) // 2] ^= 0xFF
+            return bytes(flipped)
+        return blob
+
+    def delete(self, key):
+        self.inner.delete(key)
+
+    def __contains__(self, key):
+        return key in self.inner
+
+    def keys(self):
+        return self.inner.keys()
+
+
+def _engine(seed, **config_kwargs) -> HCompress:
+    hierarchy = ares_hierarchy(4 * MiB, 8 * MiB, 1 * GiB, nodes=2)
+    return HCompress(hierarchy, HCompressConfig(**config_kwargs), seed=seed)
+
+
+class TestChecksums:
+    def test_transient_corruption_healed_by_reread(self, seed, gamma_f64) -> None:
+        engine = _engine(seed)
+        engine.compress(gamma_f64, task_id="t")
+        tier = engine.shi.locate("t/0")
+        tier.device = CorruptOnLoad(tier.device, corrupt_n=1)
+        result = engine.decompress("t")
+        assert result.data == gamma_f64
+        assert engine.manager.corruption_detected == 1
+        assert engine.manager.read_repairs == 1
+
+    def test_persistent_corruption_raises(self, seed, gamma_f64) -> None:
+        engine = _engine(seed)
+        engine.compress(gamma_f64, task_id="t")
+        tier = engine.shi.locate("t/0")
+        tier.device = CorruptOnLoad(tier.device, corrupt_n=None)
+        with pytest.raises(CorruptDataError):
+            engine.decompress("t")
+        assert engine.manager.corruption_detected == 1
+        assert engine.manager.read_repairs == 0
+
+    def test_on_corrupt_hook_supplies_replacement(self, seed, gamma_f64) -> None:
+        engine = _engine(seed)
+        engine.compress(gamma_f64, task_id="t")
+        tier = engine.shi.locate("t/0")
+        device = CorruptOnLoad(tier.device, corrupt_n=None)
+        tier.device = device
+        # The repair hook models a replica read: it bypasses the corrupting
+        # wrapper and hands back the pristine stored blob.
+        engine.manager.on_corrupt = lambda key, _blob: device.inner.load(key)
+        result = engine.decompress("t")
+        assert result.data == gamma_f64
+        assert engine.manager.read_repairs == 1
+
+    def test_checksums_disabled_skips_verification(self, seed, gamma_f64) -> None:
+        engine = _engine(
+            seed, resilience=ResilienceConfig(verify_checksums=False)
+        )
+        engine.compress(gamma_f64, task_id="t")
+        entry = engine.manager._catalog["t"][0]
+        assert entry.crc32 is None
+
+
+class TestRollback:
+    def test_failed_write_rolls_back_placed_pieces(self, seed, gamma_f64) -> None:
+        from repro.hcdp import IOTask, Operation
+        from repro.units import KiB
+
+        # A 16 KiB ram tier cannot hold the whole 64 KiB task: the plan
+        # must split it across tiers, so the injected failure lands after
+        # at least one piece has been placed.
+        hierarchy = ares_hierarchy(16 * KiB, 8 * MiB, 1 * GiB, nodes=2)
+        engine = HCompress(
+            hierarchy,
+            HCompressConfig(resilience=ResilienceConfig(failover=False)),
+            seed=seed,
+        )
+
+        analysis = engine.analyzer.analyze(gamma_f64)
+        task = IOTask(
+            task_id="doomed", size=len(gamma_f64), analysis=analysis,
+            operation=Operation.WRITE, data=gamma_f64,
+        )
+        schema = engine.engine.plan(task)
+        # Fail the write AFTER the first piece has landed.
+        original_write = engine.shi.write
+        placed = []
+
+        def failing_write(key, tier_name, payload, accounted_size=None):
+            if placed:
+                raise TierUnavailableError("injected mid-task outage")
+            receipt = original_write(key, tier_name, payload, accounted_size)
+            placed.append(key)
+            return receipt
+
+        engine.shi.write = failing_write
+        if len(schema.pieces) < 2:
+            pytest.skip("plan produced a single piece; nothing to roll back")
+        with pytest.raises(TierUnavailableError):
+            engine.manager.execute_write(schema)
+        engine.shi.write = original_write
+        assert "doomed" not in engine.manager
+        for index in range(len(schema.pieces)):
+            assert engine.shi.locate(f"doomed/{index}") is None
+
+    def test_total_outage_leaves_accounting_clean(self, seed, gamma_f64) -> None:
+        """A write that cannot land anywhere must not leak accounted bytes
+        or catalog entries — whether it dies at planning (PlacementError,
+        every tier down in a fresh sample) or at execution."""
+        from repro.errors import PlacementError
+
+        engine = _engine(seed, resilience=ResilienceConfig(failover=False))
+        used_before = {
+            tier.spec.name: tier.used for tier in engine.hierarchy
+        }
+        for tier in engine.hierarchy:
+            tier.set_available(False)
+        with pytest.raises((TierUnavailableError, PlacementError)):
+            engine.compress(gamma_f64, task_id="t")
+        assert "t" not in engine.manager
+        assert {t.spec.name: t.used for t in engine.hierarchy} == used_before
+
+
+class TestReplan:
+    def test_stale_plan_replans_on_outage(self, seed, gamma_f64) -> None:
+        engine = _engine(
+            seed,
+            monitor_interval=1e9,  # never refreshes on its own
+            resilience=ResilienceConfig(failover=False),
+        )
+        first = engine.compress(gamma_f64, task_id="before")
+        target = first.pieces[0].tier
+        # Outage after the monitor cached its sample: the next plan is
+        # built against a stale up view and its write must fail.
+        engine.hierarchy.by_name(target).set_available(False)
+        result = engine.compress(gamma_f64, task_id="after")
+        assert engine.replans == 1
+        assert all(p.tier != target for p in result.pieces)
+        assert engine.decompress("after").data == gamma_f64
+
+    def test_failover_absorbs_outage_without_replan(self, seed, gamma_f64) -> None:
+        engine = _engine(seed, monitor_interval=1e9)  # failover on (default)
+        first = engine.compress(gamma_f64, task_id="before")
+        target = first.pieces[0].tier
+        engine.hierarchy.by_name(target).set_available(False)
+        result = engine.compress(gamma_f64, task_id="after")
+        assert engine.replans == 0
+        assert engine.shi.stats.failovers >= 1
+        assert all(p.tier != target for p in result.pieces)
+        assert any(p.failover for p in result.pieces)

@@ -74,3 +74,52 @@ class TestCadence:
     def test_negative_interval_rejected(self, hierarchy) -> None:
         with pytest.raises(ValueError):
             SystemMonitor(hierarchy, interval=-1.0)
+
+
+class TestStaleness:
+    """The monitor's periodic-thread semantics under tier faults: an
+    outage between samples is invisible until the interval elapses (the
+    exact window degraded-mode replanning and SHI failover exist for)."""
+
+    def test_outage_between_samples_reported_up(self, hierarchy) -> None:
+        clock_values = iter([0.0, 0.5, 0.9])
+        monitor = SystemMonitor(
+            hierarchy, clock=lambda: next(clock_values), interval=1.0
+        )
+        monitor.status()  # t=0 -> fresh sample, tier up
+        hierarchy.by_name("fast").set_available(False)
+        stale = monitor.status()  # t=0.9 < interval -> cached
+        assert stale.tier("fast").available is True
+        assert hierarchy.by_name("fast").available is False  # live truth
+
+    def test_outage_visible_after_interval(self, hierarchy) -> None:
+        clock_values = iter([0.0, 0.0, 1.5, 1.5])
+        monitor = SystemMonitor(
+            hierarchy, clock=lambda: next(clock_values), interval=1.0
+        )
+        monitor.status()
+        hierarchy.by_name("fast").set_available(False)
+        fresh = monitor.status()  # t=1.5 >= interval -> resample
+        assert fresh.tier("fast").available is False
+        assert fresh.tier("fast").effective_remaining() == 0
+
+    def test_recovery_also_lags_one_interval(self, hierarchy) -> None:
+        hierarchy.by_name("fast").set_available(False)
+        clock_values = iter([0.0, 0.0, 0.5, 2.0, 2.0])
+        monitor = SystemMonitor(
+            hierarchy, clock=lambda: next(clock_values), interval=1.0
+        )
+        monitor.status()  # sampled down
+        hierarchy.by_name("fast").set_available(True)
+        assert monitor.status().tier("fast").available is False  # stale
+        assert monitor.status().tier("fast").available is True  # resampled
+
+    def test_invalidate_forces_resample(self, hierarchy) -> None:
+        clock_values = iter([0.0, 0.0, 0.1, 0.1])
+        monitor = SystemMonitor(
+            hierarchy, clock=lambda: next(clock_values), interval=10.0
+        )
+        monitor.status()
+        hierarchy.by_name("fast").set_available(False)
+        monitor.invalidate()
+        assert monitor.status().tier("fast").available is False

@@ -13,6 +13,9 @@ ALL_ERRORS = [
     errors.UnknownCodecError,
     errors.CapacityError,
     errors.TierError,
+    errors.TierUnavailableError,
+    errors.TransientIOError,
+    errors.RetryExhaustedError,
     errors.PlacementError,
     errors.SchemaError,
     errors.AnalyzerError,
@@ -31,6 +34,19 @@ def test_derives_from_base(exc) -> None:
 
 def test_corrupt_data_is_codec_error() -> None:
     assert issubclass(errors.CorruptDataError, errors.CodecError)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.TierUnavailableError,
+        errors.TransientIOError,
+        errors.RetryExhaustedError,
+    ],
+)
+def test_resilience_errors_are_tier_errors(exc) -> None:
+    """Consumers that already catch TierError keep working under faults."""
+    assert issubclass(exc, errors.TierError)
 
 
 def test_unknown_codec_dual_inheritance() -> None:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import CapacityError, TierError
+from repro.errors import CapacityError, TierError, TierUnavailableError
 from repro.tiers import MemoryDevice, Tier, TierSpec
 
 
@@ -75,14 +75,76 @@ class TestAvailability:
     def test_unavailable_blocks_put(self, tier) -> None:
         tier.set_available(False)
         assert not tier.fits(1)
-        with pytest.raises(TierError):
+        with pytest.raises(TierUnavailableError):
             tier.put("a", b"x")
+
+    def test_unavailable_blocks_get(self, tier) -> None:
+        """Regression: get on a down tier must raise TierUnavailableError
+        (it used to hand back the payload as if nothing were wrong)."""
+        tier.put("a", b"x")
+        tier.set_available(False)
+        with pytest.raises(TierUnavailableError):
+            tier.get("a")
+
+    def test_unavailable_blocks_extent(self, tier) -> None:
+        tier.put("a", b"x")
+        tier.set_available(False)
+        with pytest.raises(TierUnavailableError):
+            tier.extent("a")
+
+    def test_evict_allowed_while_down(self, tier) -> None:
+        """Eviction is ledger cleanup, not a data-path read: it must work
+        during an outage (the flusher's copy-before-evict relies on it)."""
+        tier.put("a", b"x", accounted_size=100)
+        tier.set_available(False)
+        assert tier.evict("a") == 100
+        assert tier.used == 0
+
+    def test_contains_and_keys_work_while_down(self, tier) -> None:
+        tier.put("a", b"x")
+        tier.set_available(False)
+        assert "a" in tier
+        assert tier.keys() == ["a"]
 
     def test_reenable(self, tier) -> None:
         tier.set_available(False)
         tier.set_available(True)
         tier.put("a", b"x")
         assert "a" in tier
+
+
+class TestDegradation:
+    def test_slowdown_scales_io_seconds(self, tier) -> None:
+        base = tier.io_seconds(1000)
+        tier.set_slowdown(4.0)
+        assert tier.io_seconds(1000) == pytest.approx(4.0 * base)
+        tier.set_slowdown(1.0)
+        assert tier.io_seconds(1000) == pytest.approx(base)
+
+    def test_slowdown_below_one_rejected(self, tier) -> None:
+        with pytest.raises(TierError):
+            tier.set_slowdown(0.5)
+
+    def test_capacity_limit_shrinks_effective_capacity(self, tier) -> None:
+        tier.set_capacity_limit(400)
+        assert tier.effective_capacity == 400
+        assert tier.remaining == 400
+        with pytest.raises(CapacityError):
+            tier.put("a", None, accounted_size=500)
+
+    def test_capacity_limit_cleared(self, tier) -> None:
+        tier.set_capacity_limit(400)
+        tier.set_capacity_limit(None)
+        assert tier.effective_capacity == 1000
+
+    def test_shrink_below_used_goes_negative_remaining(self, tier) -> None:
+        """Data already placed survives a shrink; the tier just refuses
+        new placements until usage drains below the new limit."""
+        tier.put("a", None, accounted_size=600)
+        tier.set_capacity_limit(400)
+        assert tier.remaining == -200
+        assert not tier.fits(1)
+        assert tier.extent("a").accounted_size == 600
 
 
 class TestLoad:
@@ -99,9 +161,18 @@ class TestLoad:
         with pytest.raises(TierError):
             tier.end_io()
 
-    def test_queued_bytes_never_negative(self, tier) -> None:
+    def test_end_io_overshoot_raises(self, tier) -> None:
+        """Regression: retiring more bytes than are queued used to clamp
+        silently while an unmatched queue_depth raised — both accounting
+        bugs now surface consistently."""
         tier.begin_io(10)
-        tier.end_io(50)
+        with pytest.raises(TierError):
+            tier.end_io(50)
+
+    def test_balanced_io_returns_to_zero(self, tier) -> None:
+        tier.begin_io(10)
+        tier.end_io(10)
+        assert tier.queue_depth == 0
         assert tier.queued_bytes == 0
 
 
