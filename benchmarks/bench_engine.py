@@ -9,7 +9,7 @@ from repro.analyzer import InputAnalyzer
 from repro.ccp import CompressionCostPredictor, ObservationKey
 from repro.codecs import CompressionLibraryPool
 from repro.datagen import synthetic_buffer
-from repro.hcdp import HcdpEngine, IOTask
+from repro.hcdp import HcdpEngine, IOTask, PlanCacheConfig
 from repro.monitor import SystemMonitor
 from repro.tiers import ares_hierarchy
 from repro.units import GiB, KiB, MiB
@@ -17,32 +17,64 @@ from repro.units import GiB, KiB, MiB
 
 @pytest.fixture()
 def planning_stack(seed):
-    predictor = CompressionCostPredictor()
-    predictor.fit_seed(seed.observations)
-    hierarchy = ares_hierarchy(64 * MiB, 128 * MiB, 1 * GiB, nodes=4)
-    engine = HcdpEngine(
-        predictor, SystemMonitor(hierarchy), CompressionLibraryPool()
-    )
-    sample = synthetic_buffer(
-        "float64", "gamma", 64 * KiB, np.random.default_rng(0)
-    )
-    analysis = InputAnalyzer().analyze(sample)
-    return engine, analysis
+    def build(cache_enabled: bool = True):
+        predictor = CompressionCostPredictor()
+        predictor.fit_seed(seed.observations)
+        hierarchy = ares_hierarchy(64 * MiB, 128 * MiB, 1 * GiB, nodes=4)
+        engine = HcdpEngine(
+            predictor, SystemMonitor(hierarchy), CompressionLibraryPool(),
+            plan_cache=PlanCacheConfig(enabled=cache_enabled),
+        )
+        sample = synthetic_buffer(
+            "float64", "gamma", 64 * KiB, np.random.default_rng(0)
+        )
+        analysis = InputAnalyzer().analyze(sample)
+        return engine, analysis
+
+    return build
 
 
-def test_plan_single_tier_task(benchmark, planning_stack) -> None:
-    engine, analysis = planning_stack
+@pytest.mark.parametrize("cached", [False, True], ids=["uncached", "cached"])
+def test_plan_single_tier_task(benchmark, planning_stack, cached) -> None:
+    engine, analysis = planning_stack(cached)
     counter = iter(range(10**9))
+    task_rates: list[float] = []
 
     def plan():
-        return engine.plan(IOTask(f"b{next(counter)}", 1 * MiB, analysis))
+        schema = engine.plan(IOTask(f"b{next(counter)}", 1 * MiB, analysis))
+        lookups = schema.memo_hits + schema.memo_misses
+        task_rates.append(schema.memo_hits / lookups if lookups else 1.0)
+        return schema
 
     schema = benchmark(plan)
     assert len(schema.pieces) >= 1
+    benchmark.extra_info["plan_cache"] = cached
+    benchmark.extra_info["per_task_memo_hit_rate"] = round(
+        float(np.mean(task_rates)), 4
+    )
+    benchmark.extra_info["plan_cache_hit_rate"] = round(
+        engine.stats.plan_cache_hit_rate, 4
+    )
+
+
+def test_candidate_table(benchmark, planning_stack) -> None:
+    """The batched ECC table build (uncached path) for one feature key."""
+    engine, _ = planning_stack(True)
+    codec_names = engine.pool.names[1:]
+
+    def table():
+        engine.predictor._cache.clear()
+        engine.predictor._table_cache.clear()
+        return engine.predictor.candidate_table(
+            "float64", "binary", "gamma", 1 * MiB, codec_names
+        )
+
+    eccs = benchmark(table)
+    assert len(eccs) == len(codec_names)
 
 
 def test_predict_ecc(benchmark, planning_stack) -> None:
-    engine, _ = planning_stack
+    engine, _ = planning_stack(True)
     key = ObservationKey("float64", "binary", "gamma", "zlib", 1 * MiB)
 
     def predict():

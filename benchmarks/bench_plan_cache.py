@@ -1,0 +1,53 @@
+"""Plan-cache benches: repeated-burst VPIC planning, cache on vs off.
+
+The standalone report (``python benchmarks/perf_report.py``) is the CI
+regression gate; these benches expose the same workload to
+pytest-benchmark so the cached and uncached paths show up in the
+comparison tables alongside the other engine benches.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from perf_report import (  # noqa: E402
+    DEFAULT_WORKLOAD,
+    MIN_SPEEDUP,
+    generate_report,
+    run_plan_workload,
+)
+
+SMOKE_WORKLOAD = dict(DEFAULT_WORKLOAD, ranks=32, bursts=8)
+
+
+@pytest.mark.parametrize("cached", [False, True], ids=["uncached", "cached"])
+def test_plan_burst_throughput(benchmark, seed, cached) -> None:
+    """Plan throughput over a repeated VPIC burst, one cache mode."""
+
+    def run():
+        return run_plan_workload(seed, enabled=cached, workload=SMOKE_WORKLOAD)
+
+    metrics, _ = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info.update(metrics)
+    if cached:
+        assert metrics["plan_cache_hit_rate"] > 0.9
+
+
+def test_plan_cache_speedup_and_exactness(benchmark) -> None:
+    """The acceptance criterion: >= 5x cached-plan speedup on the
+    repeated burst, with byte-identical schemas cache on/off."""
+
+    report = benchmark.pedantic(
+        generate_report, args=(SMOKE_WORKLOAD,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["speedup"] = report["speedup"]
+    benchmark.extra_info["cached_hit_rate"] = (
+        report["cached"]["plan_cache_hit_rate"]
+    )
+    assert report["identical_schemas"]
+    assert report["speedup"] >= MIN_SPEEDUP

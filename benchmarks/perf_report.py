@@ -1,0 +1,228 @@
+"""Standalone perf report for the hot-path plan cache.
+
+Drives a repeated-burst, VPIC-shaped planning workload (every rank dumps
+an identical-shape particle buffer each timestep — the paper's Fig. 7
+checkpoint pattern) through the HCDP engine twice, plan cache off then
+on, and reports plan throughput, cache counters, and the speedup ratio.
+
+The speedup ratio is the regression metric: it is machine-independent
+(both runs execute on the same host, same interpreter, back to back), so
+the committed baseline in ``BENCH_plan_cache.json`` can gate CI on any
+runner.
+
+Usage::
+
+    python benchmarks/perf_report.py --output BENCH_plan_cache.json
+    python benchmarks/perf_report.py --check BENCH_plan_cache.json \
+        --tolerance 0.2   # fail if speedup regressed > 20% vs baseline
+
+The run also asserts the exactness contract: the schemas produced with
+the cache on are byte-identical to the schemas produced with it off.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analyzer import InputAnalyzer
+from repro.ccp import CompressionCostPredictor, SeedData
+from repro.codecs import CompressionLibraryPool
+from repro.core import HCompressProfiler
+from repro.hcdp import HcdpEngine, IOTask, PlanCacheConfig
+from repro.monitor import SystemMonitor
+from repro.tiers import ares_hierarchy
+from repro.units import KiB, MiB
+from repro.workloads import vpic_sample
+from repro.workloads.vpic import VPIC_HINTS
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "check_report",
+    "generate_report",
+    "plan_burst_workload",
+    "run_plan_workload",
+]
+
+#: Fig.7-shaped repeated burst: every rank writes the same-size particle
+#: dump each timestep (256 MiB / scale 32 = 8 MiB modeled per task).
+DEFAULT_WORKLOAD = {
+    "ranks": 64,
+    "bursts": 16,
+    "task_bytes": 8 * MiB,
+    "sample_bytes": 64 * KiB,
+}
+
+#: Acceptance floor (ISSUE 2): repeated-burst plan throughput with the
+#: cache on must be at least this multiple of the uncached throughput.
+MIN_SPEEDUP = 5.0
+
+
+def _build_engine(seed: SeedData, enabled: bool) -> HcdpEngine:
+    predictor = CompressionCostPredictor()
+    predictor.fit_seed(seed.observations)
+    # Small bounded capacity relative to the burst so the drain term's
+    # quantized pressure saturates early in the run (steady-state keys).
+    hierarchy = ares_hierarchy(8 * MiB, 16 * MiB, 64 * MiB, nodes=2)
+    return HcdpEngine(
+        predictor,
+        SystemMonitor(hierarchy),
+        CompressionLibraryPool(),
+        plan_cache=PlanCacheConfig(enabled=enabled),
+    )
+
+
+def plan_burst_workload(
+    engine: HcdpEngine,
+    analysis,
+    *,
+    ranks: int,
+    bursts: int,
+    task_bytes: int,
+) -> list[tuple]:
+    """Plan ``bursts`` timesteps of ``ranks`` identical dumps; return the
+    schema fingerprints (pieces + expected cost) for the exactness check."""
+    fingerprints = []
+    for step in range(bursts):
+        for rank in range(ranks):
+            schema = engine.plan(
+                IOTask(f"vpic.{step}.{rank}", task_bytes, analysis)
+            )
+            fingerprints.append(
+                (tuple(schema.pieces), round(schema.expected_cost, 12))
+            )
+    return fingerprints
+
+
+def run_plan_workload(
+    seed: SeedData, *, enabled: bool, workload: dict
+) -> tuple[dict, list[tuple]]:
+    """One timed pass; returns (metrics, schema fingerprints)."""
+    engine = _build_engine(seed, enabled)
+    rng = np.random.default_rng(0)
+    sample = vpic_sample(workload["sample_bytes"], rng)
+    analysis = InputAnalyzer().analyze(sample, VPIC_HINTS)
+    tasks = workload["ranks"] * workload["bursts"]
+
+    wall = time.perf_counter()
+    fingerprints = plan_burst_workload(
+        engine,
+        analysis,
+        ranks=workload["ranks"],
+        bursts=workload["bursts"],
+        task_bytes=workload["task_bytes"],
+    )
+    seconds = time.perf_counter() - wall
+
+    stats = engine.stats
+    metrics = {
+        "plan_cache_enabled": enabled,
+        "tasks": tasks,
+        "seconds": round(seconds, 6),
+        "tasks_per_second": round(tasks / seconds, 1) if seconds else None,
+        "plan_cache_hits": stats.plan_cache_hits,
+        "plan_cache_misses": stats.plan_cache_misses,
+        "plan_cache_invalidations": stats.plan_cache_invalidations,
+        "plan_cache_hit_rate": round(stats.plan_cache_hit_rate, 4),
+        "memo_hits": stats.memo_hits,
+        "memo_misses": stats.memo_misses,
+    }
+    return metrics, fingerprints
+
+
+def generate_report(workload: dict | None = None) -> dict:
+    """Run the workload cache-off then cache-on and build the report."""
+    workload = dict(DEFAULT_WORKLOAD if workload is None else workload)
+    profiler = HCompressProfiler(rng=np.random.default_rng(0))
+    seed = profiler.quick_seed(sizes=(8 * KiB, 32 * KiB))
+
+    uncached, baseline_fp = run_plan_workload(
+        seed, enabled=False, workload=workload
+    )
+    cached, cached_fp = run_plan_workload(
+        seed, enabled=True, workload=workload
+    )
+    identical = baseline_fp == cached_fp
+    speedup = (
+        uncached["seconds"] / cached["seconds"] if cached["seconds"] else None
+    )
+    return {
+        "benchmark": "plan_cache_repeated_burst",
+        "workload": workload,
+        "uncached": uncached,
+        "cached": cached,
+        "speedup": round(speedup, 2) if speedup else None,
+        "min_speedup": MIN_SPEEDUP,
+        "identical_schemas": identical,
+    }
+
+
+def check_report(
+    report: dict, baseline: dict | None, tolerance: float
+) -> list[str]:
+    """Return regression errors (empty list = pass)."""
+    errors = []
+    if not report["identical_schemas"]:
+        errors.append(
+            "exactness contract violated: cached schemas differ from uncached"
+        )
+    speedup = report["speedup"] or 0.0
+    if speedup < MIN_SPEEDUP:
+        errors.append(
+            f"cached-plan speedup {speedup:.2f}x below the "
+            f"{MIN_SPEEDUP:.0f}x acceptance floor"
+        )
+    if baseline is not None:
+        base = float(baseline.get("speedup") or 0.0)
+        floor = base * (1.0 - tolerance)
+        if speedup < floor:
+            errors.append(
+                f"cached-plan speedup regressed: {speedup:.2f}x vs baseline "
+                f"{base:.2f}x (floor {floor:.2f}x at tolerance {tolerance:.0%})"
+            )
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the JSON report here (e.g. BENCH_plan_cache.json)",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None,
+        help="baseline JSON to gate against (fails on >tolerance regression)",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    parser.add_argument("--ranks", type=int, default=DEFAULT_WORKLOAD["ranks"])
+    parser.add_argument(
+        "--bursts", type=int, default=DEFAULT_WORKLOAD["bursts"]
+    )
+    args = parser.parse_args(argv)
+
+    workload = dict(
+        DEFAULT_WORKLOAD, ranks=args.ranks, bursts=args.bursts
+    )
+    report = generate_report(workload)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    baseline = None
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+    errors = check_report(report, baseline, args.tolerance)
+    for error in errors:
+        print(f"REGRESSION: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,15 @@ class CompressionCostPredictor:
         # size) keys thousands of times between model updates; any update
         # invalidates everything.
         self._cache: dict[tuple, ExpectedCompressionCost] = {}
+        # Whole-table cache for the HCDP engine's candidate construction:
+        # one vectorized predict_batch per (feature key, size, roster),
+        # reused until the model changes.
+        self._table_cache: dict[tuple, tuple[ExpectedCompressionCost, ...]] = {}
+        # Monotone model version: bumps on every parameter change (seed
+        # fit, online observation, theta import). Consumers holding
+        # model-derived state — cached ECC tables, cached plans — key on
+        # it so retraining invalidates them exactly.
+        self._version = 0
 
     # -- bootstrap ---------------------------------------------------------
 
@@ -76,6 +85,11 @@ class CompressionCostPredictor:
     @property
     def observations_seen(self) -> int:
         return self._observations_seen
+
+    @property
+    def model_version(self) -> int:
+        """Monotone counter of parameter changes (fit/observe/import)."""
+        return self._version
 
     def fit_seed(
         self, observations: list[CostObservation]
@@ -96,7 +110,13 @@ class CompressionCostPredictor:
             self._heads[target] = RecursiveLeastSquares.from_ols(ols, lam=self._lam)
         self._fit_reports = reports
         self._observations_seen += len(observations)
+        self._bump_version()
         return reports
+
+    def _bump_version(self) -> None:
+        self._version += 1
+        self._cache.clear()
+        self._table_cache.clear()
 
     # -- inference -----------------------------------------------------------
 
@@ -150,6 +170,85 @@ class CompressionCostPredictor:
             for codec in roster
         }
 
+    def predict_batch(
+        self, keys: list[ObservationKey]
+    ) -> list[ExpectedCompressionCost]:
+        """Vectorized ECC inference over many keys at once.
+
+        Uncached keys are encoded into one design matrix and answered with
+        a single ``X @ theta`` per head instead of per-key dot products —
+        this is what keeps the HCDP engine's candidate-table construction
+        O(1) matmuls per plan rather than O(codecs) scalar predictions.
+        Results are folded into the same per-key cache the scalar
+        :meth:`predict` path uses, so both paths answer any given key with
+        one consistent value within a model version.
+        """
+        results: list[ExpectedCompressionCost | None] = [None] * len(keys)
+        pending: list[tuple[int, ObservationKey, tuple]] = []
+        for i, key in enumerate(keys):
+            if key.codec == "none":
+                results[i] = ExpectedCompressionCost("none", 12000.0, 12000.0, 1.0)
+                continue
+            cache_key = (
+                key.dtype, key.data_format, key.distribution, key.codec, key.size
+            )
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.append((i, key, cache_key))
+        if pending:
+            if not self._heads:
+                raise ModelError("predictor is not fitted; call fit_seed first")
+            X = self.encoder.encode_batch([key for _, key, _ in pending])
+            columns = {
+                t: np.exp2(np.clip(X @ self._heads[t].theta, -20.0, 20.0))
+                for t in _TARGETS
+            }
+            for row, (i, key, cache_key) in enumerate(pending):
+                ecc = ExpectedCompressionCost(
+                    codec=key.codec,
+                    compress_mbps=max(float(columns["compress_mbps"][row]), 0.1),
+                    decompress_mbps=max(float(columns["decompress_mbps"][row]), 0.1),
+                    ratio=max(float(columns["ratio"][row]), 0.05),
+                )
+                if len(self._cache) >= 4096:
+                    self._cache.clear()
+                self._cache[cache_key] = ecc
+                results[i] = ecc
+        return results  # type: ignore[return-value]
+
+    def candidate_table(
+        self,
+        dtype: str,
+        data_format: str,
+        distribution: str,
+        size: int,
+        codecs: tuple[str, ...],
+    ) -> tuple[ExpectedCompressionCost, ...]:
+        """ECC tuple over a codec roster, cached per model version.
+
+        The HCDP engine calls this once per plan; within a model version
+        repeated plans over the same (feature key, size, roster) are a
+        single dict lookup.
+        """
+        table_key = (dtype, data_format, distribution, size, codecs)
+        cached = self._table_cache.get(table_key)
+        if cached is not None:
+            return cached
+        table = tuple(
+            self.predict_batch(
+                [
+                    ObservationKey(dtype, data_format, distribution, codec, size)
+                    for codec in codecs
+                ]
+            )
+        )
+        if len(self._table_cache) >= 1024:
+            self._table_cache.clear()
+        self._table_cache[table_key] = table
+        return table
+
     # -- online learning (feedback loop target) ---------------------------------
 
     def observe(self, observation: CostObservation) -> None:
@@ -168,7 +267,7 @@ class CompressionCostPredictor:
                 del window[: len(window) - _ACCURACY_WINDOW]
             self._heads[target].update(x, actual)
         self._observations_seen += 1
-        self._cache.clear()
+        self._bump_version()
 
     def accuracy(self, target: str = "ratio") -> float | None:
         """Sliding-window R^2 of a head's pre-update predictions.
@@ -214,3 +313,4 @@ class CompressionCostPredictor:
             self._heads[target] = RecursiveLeastSquares(
                 self.encoder.width, theta=vec, lam=self._lam, initial_p=1.0
             )
+        self._bump_version()

@@ -10,6 +10,8 @@ Subcommands:
 * ``demo``     — one compress/decompress round trip with the schema shown.
 * ``chaos``    — run a workload under fault injection (tier outage,
   transient errors, corruption) and print the recovery report.
+* ``stats``    — drive a repeated-burst workload and print the engine's
+  hot-path counters (plan cache, DP memo, sample-ratio cache, executor).
 """
 
 from __future__ import annotations
@@ -144,6 +146,72 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0  # comparison mode: baseline failures are the expected result
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from .core import HCompress, HCompressConfig, PlanCacheConfig
+    from .datagen import synthetic_buffer
+    from .tiers import ares_hierarchy
+
+    hierarchy = ares_hierarchy(
+        ram_capacity=64 * MiB, nvme_capacity=128 * MiB, bb_capacity=4 * GiB,
+        nodes=2,
+    )
+    config = HCompressConfig(
+        plan_cache=PlanCacheConfig(enabled=not args.no_cache)
+    )
+    print("bootstrapping engine (inline profiling)...", file=sys.stderr)
+    engine = HCompress(hierarchy, config)
+    data = synthetic_buffer(
+        args.dtype, args.distribution, args.kib * KiB,
+        np.random.default_rng(args.rng_seed),
+    )
+    wall = time.perf_counter()
+    for i in range(args.tasks):
+        engine.compress(
+            data, modeled_size=args.modeled_kib * KiB, task_id=f"stats-{i}"
+        )
+    wall = time.perf_counter() - wall
+    stats = engine.engine.stats
+    manager = engine.manager
+    print(
+        f"burst: {args.tasks} x {fmt_bytes(args.modeled_kib * KiB)} modeled "
+        f"tasks ({fmt_bytes(args.kib * KiB)} sample) in {wall:.3f}s "
+        f"({args.tasks / wall:,.0f} tasks/s)"
+    )
+    print(
+        f"plan cache  : {'on' if config.plan_cache.enabled else 'off'}  "
+        f"hits={stats.plan_cache_hits} misses={stats.plan_cache_misses} "
+        f"invalidations={stats.plan_cache_invalidations} "
+        f"hit-rate={stats.plan_cache_hit_rate:.1%}"
+    )
+    print(
+        f"DP memo     : hits={stats.memo_hits} misses={stats.memo_misses} "
+        f"hit-rate={stats.hit_rate:.1%}"
+    )
+    print(
+        f"plans       : tasks={stats.tasks_planned} "
+        f"pieces={stats.pieces_emitted} degraded={stats.degraded_plans} "
+        f"replans={engine.replans}"
+    )
+    print(
+        f"sample cache: hits={manager.sample_cache_hits} "
+        f"misses={manager.sample_cache_misses}"
+    )
+    print(
+        f"executor    : {'on' if config.executor.enabled else 'off'}  "
+        f"parallel pieces={manager.parallel_pieces} "
+        f"spills={manager.spill_events}"
+    )
+    accuracy = engine.accuracy()
+    print(
+        f"cost model  : version={engine.predictor.model_version} "
+        f"accuracy={'n/a' if accuracy is None else f'{accuracy:.1%}'} "
+        f"monitor epoch={engine.monitor.state_epoch}"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hcompress", description=__doc__,
@@ -197,6 +265,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rng-seed", type=int, default=7)
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "stats", help="hot-path counters over a repeated-burst workload"
+    )
+    p.add_argument("--tasks", type=int, default=256)
+    p.add_argument("--kib", type=int, default=64, help="sample buffer KiB")
+    p.add_argument("--modeled-kib", type=int, default=1024,
+                   help="modeled task size in KiB")
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--distribution", default="gamma")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the plan cache (seed behaviour)")
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.set_defaults(func=_cmd_stats)
     return parser
 
 

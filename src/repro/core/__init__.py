@@ -1,7 +1,7 @@
 """HCompress core: the main engine, manager, SHI, profiler, and API facade."""
 
 from .api import HCompressFile, hcompress_session
-from .config import HCompressConfig
+from .config import ExecutorConfig, HCompressConfig, PlanCacheConfig, ResilienceConfig
 from .hcompress import Anatomy, HCompress
 from .manager import CompressionManager, PieceResult, ReadResult, WriteResult
 from .profiler import HCompressProfiler
@@ -10,13 +10,16 @@ from .shi import IoReceipt, StorageHardwareInterface
 __all__ = [
     "Anatomy",
     "CompressionManager",
+    "ExecutorConfig",
     "HCompress",
     "HCompressConfig",
     "HCompressFile",
     "HCompressProfiler",
     "IoReceipt",
     "PieceResult",
+    "PlanCacheConfig",
     "ReadResult",
+    "ResilienceConfig",
     "StorageHardwareInterface",
     "WriteResult",
     "hcompress_session",

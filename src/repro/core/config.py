@@ -12,10 +12,47 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..codecs.pool import PAPER_LIBRARIES
+from ..hcdp.plan_cache import PlanCacheConfig
 from ..hcdp.priorities import EQUAL, Priority
-from ..units import PAGE
+from ..units import KiB, PAGE
 
-__all__ = ["HCompressConfig", "ResilienceConfig"]
+__all__ = ["ExecutorConfig", "HCompressConfig", "PlanCacheConfig", "ResilienceConfig"]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Concurrency policy of the Compression Manager's piece execution.
+
+    The stdlib-backed codecs (zlib/bz2/lzma) release the GIL, so a
+    schema's pieces can compress/decompress on a thread pool; from-scratch
+    pure-Python codecs gain nothing from threads and always run serially.
+    Only the *real* codec byte work is parallelised — modeled time is
+    still charged deterministically from the nominal profile table and
+    every tier/SHI side effect happens serially in piece order, so
+    simulation results are bit-identical with the pool on or off.
+
+    Attributes:
+        enabled: Master switch for the thread pool.
+        max_workers: Pool width (``None``: ``min(8, cpu_count)``).
+        min_piece_bytes: Pieces smaller than this are compressed inline —
+            the pool's dispatch overhead would exceed the codec time.
+        sample_cache_size: LRU entries of the manager's measured
+            sample-ratio cache, keyed ``(codec, feature key, sample
+            digest)``.
+    """
+
+    enabled: bool = True
+    max_workers: int | None = None
+    min_piece_bytes: int = 64 * KiB
+    sample_cache_size: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1 (or None)")
+        if self.min_piece_bytes < 0:
+            raise ValueError("min_piece_bytes must be >= 0")
+        if self.sample_cache_size < 1:
+            raise ValueError("sample_cache_size must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -94,6 +131,10 @@ class HCompressConfig:
             implementation (see DESIGN.md fidelity notes).
         resilience: Retry/failover/checksum policy of the resilient I/O
             paths (see :class:`ResilienceConfig`).
+        plan_cache: Cross-task plan-cache policy of the HCDP engine
+            (see :class:`~repro.hcdp.plan_cache.PlanCacheConfig`).
+        executor: Concurrency policy of the Compression Manager's piece
+            execution (see :class:`ExecutorConfig`).
     """
 
     priority: Priority = EQUAL
@@ -106,6 +147,8 @@ class HCompressConfig:
     monitor_interval: float = 0.0
     python_to_native: float = 50.0
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    plan_cache: PlanCacheConfig = field(default_factory=PlanCacheConfig)
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
 
     def __post_init__(self) -> None:
         if self.feedback_every_n < 1:

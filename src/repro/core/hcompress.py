@@ -112,7 +112,10 @@ class HCompress:
         self.pool = CompressionLibraryPool(self.config.libraries)
         self.analyzer = InputAnalyzer()
         self.monitor = SystemMonitor(
-            hierarchy, clock=clock, interval=self.config.monitor_interval
+            hierarchy,
+            clock=clock,
+            interval=self.config.monitor_interval,
+            capacity_bands=self.config.plan_cache.capacity_bands,
         )
         self.predictor = CompressionCostPredictor()
         if seed is None:
@@ -133,11 +136,14 @@ class HCompress:
             grain=self.config.grain,
             load_factor=self.config.load_factor,
             drain_penalty=self.config.drain_penalty,
+            plan_cache=self.config.plan_cache,
         )
         self.shi = StorageHardwareInterface(
             hierarchy, resilience=self.config.resilience
         )
-        self.manager = CompressionManager(self.pool, self.shi)
+        self.manager = CompressionManager(
+            self.pool, self.shi, executor=self.config.executor
+        )
         # Degraded-mode replans: writes that failed against a stale system
         # view and were re-planned against a fresh monitor sample.
         self.replans = 0
@@ -276,6 +282,7 @@ class HCompress:
         path = seed_path if seed_path is not None else self.config.seed_path
         if path is not None:
             save_seed(updated, path)
+        self.manager.shutdown()
         self._finalized = True
         return updated
 

@@ -15,9 +15,13 @@ the modeled length.
 
 from __future__ import annotations
 
+import hashlib
 import math
+import os
 import time
 import zlib
+from collections import OrderedDict
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, NamedTuple
 
@@ -30,6 +34,7 @@ from ..errors import CodecError, CorruptDataError, SchemaError, TierError
 from ..hcdp.schema import Schema, SubTaskPlan
 from ..hcdp.task import IOTask
 from ..units import MB
+from .config import ExecutorConfig
 from .shi import StorageHardwareInterface
 
 __all__ = [
@@ -48,6 +53,15 @@ class CatalogEntry(NamedTuple):
     length: int  # modeled uncompressed length
     codec: str
     crc32: int | None  # checksum of the stored blob (None: accounting-only)
+
+
+class _PreparedPiece(NamedTuple):
+    """Side-effect-free codec output for one piece, ready to place."""
+
+    blob: bytes | None
+    measured_ratio: float
+    accounted: int
+    wall_seconds: float
 
 
 @dataclass(frozen=True)
@@ -120,20 +134,59 @@ class CompressionManager:
         pool: CompressionLibraryPool,
         shi: StorageHardwareInterface,
         on_corrupt: Callable[[str, bytes], bytes | None] | None = None,
+        executor: ExecutorConfig | None = None,
     ) -> None:
         self.pool = pool
         self.shi = shi
+        self.executor_config = executor if executor is not None else ExecutorConfig()
         self._catalog: dict[str, list[CatalogEntry]] = {}
-        # (sample hash, codec) -> measured ratio; modeled tasks measure each
-        # codec once per distinct sample instead of once per piece.
-        self._sample_ratios: dict[tuple[int, str], float] = {}
+        # (codec, feature key, sample digest) -> measured ratio, LRU;
+        # modeled tasks measure each codec once per distinct sample instead
+        # of once per piece of a burst.
+        self._sample_ratios: OrderedDict[tuple, float] = OrderedDict()
+        self.sample_cache_hits = 0
+        self.sample_cache_misses = 0
         self.spill_events = 0
         self.read_repairs = 0
         self.corruption_detected = 0
+        # Pieces whose real codec work ran on the thread pool (diagnostic).
+        self.parallel_pieces = 0
+        self._pool_executor: ThreadPoolExecutor | None = None
         # Read-repair hook: called with (key, corrupt blob) after re-reads
         # are exhausted; may return a healthy replacement blob (e.g. from a
         # replica or erasure-coded reconstruction) or None to give up.
         self.on_corrupt = on_corrupt
+
+    # -- piece concurrency ---------------------------------------------------
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool_executor is None:
+            workers = self.executor_config.max_workers
+            if workers is None:
+                workers = min(8, os.cpu_count() or 1)
+            self._pool_executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="hcompress-piece"
+            )
+        return self._pool_executor
+
+    def shutdown(self) -> None:
+        """Release the piece thread pool (idempotent)."""
+        if self._pool_executor is not None:
+            self._pool_executor.shutdown(wait=True)
+            self._pool_executor = None
+
+    def _pool_eligible(self, codec_name: str, nbytes: int) -> bool:
+        """Whether one piece's codec work should go to the thread pool.
+
+        Only stdlib-backed codecs release the GIL while crunching; our
+        from-scratch pure-Python codecs would serialise on it anyway, and
+        tiny pieces cost more to dispatch than to compress.
+        """
+        if not self.executor_config.enabled or codec_name == "none":
+            return False
+        if nbytes < self.executor_config.min_piece_bytes:
+            return False
+        return self.pool.codec(codec_name).meta.stdlib
 
     # -- write path ---------------------------------------------------------
 
@@ -150,39 +203,18 @@ class CompressionManager:
             raise SchemaError(f"task {task.task_id!r} already written")
         result = WriteResult(task=task)
         entries: list[CatalogEntry] = []
-        sample = task.data
         dtype, data_format, distribution = task.analysis.feature_key()
+        feature_key = (dtype, data_format, distribution)
 
+        prepared = self._prepare_pieces(schema, feature_key)
         try:
-            for index, plan in enumerate(schema.pieces):
+            for index, (plan, prep) in enumerate(zip(schema.pieces, prepared)):
                 key = self.shi.piece_key(task.task_id, index)
                 self.pool.codec(plan.codec)  # library selection (factory path)
-
-                wall_start = time.perf_counter()
-                if task.materialised and sample is not None:
-                    piece_bytes = sample[plan.offset : plan.offset + plan.length]
-                    blob, header = wrap_payload(
-                        piece_bytes,
-                        start_offset=plan.offset % (1 << 32),
-                        codec_name=plan.codec,
-                    )
-                    measured_ratio = (
-                        len(piece_bytes) / header.resulting_size
-                        if header.resulting_size
-                        else 1.0
-                    )
-                    accounted = len(blob)
-                else:
-                    blob = None
-                    measured_ratio = (
-                        self._sample_ratio(sample, plan.codec)
-                        if sample
-                        else plan.expected_ratio
-                    )
-                    accounted = HEADER_SIZE + max(
-                        1, math.ceil(plan.length / max(measured_ratio, 1e-9))
-                    )
-                wall_seconds = time.perf_counter() - wall_start
+                blob = prep.blob
+                measured_ratio = prep.measured_ratio
+                accounted = prep.accounted
+                wall_seconds = prep.wall_seconds
 
                 tier_name, spilled = self._resolve_tier(plan, accounted)
                 receipt = self.shi.write(key, tier_name, blob, accounted)
@@ -235,22 +267,108 @@ class CompressionManager:
         self._catalog[task.task_id] = entries
         return result
 
-    def _sample_ratio(self, sample: bytes, codec_name: str) -> float:
-        """Measured ratio of ``codec_name`` on ``sample``, cached.
+    def _prepare_pieces(
+        self, schema: Schema, feature_key: tuple[str, str, str]
+    ) -> list["_PreparedPiece"]:
+        """Run every piece's *codec* work up front, in schema order.
+
+        Compression is pure (slice in, blob out), so materialised pieces
+        whose codec releases the GIL run concurrently on the thread pool;
+        everything with side effects — tier resolution, SHI writes, the
+        catalog — stays serial in the caller, which keeps execution
+        bit-identical with the pool on or off.
+        """
+        task = schema.task
+        sample = task.data
+        if task.materialised and sample is not None:
+
+            def compress_piece(plan: SubTaskPlan) -> _PreparedPiece:
+                wall_start = time.perf_counter()
+                piece_bytes = sample[plan.offset : plan.offset + plan.length]
+                blob, header = wrap_payload(
+                    piece_bytes,
+                    start_offset=plan.offset % (1 << 32),
+                    codec_name=plan.codec,
+                )
+                measured_ratio = (
+                    len(piece_bytes) / header.resulting_size
+                    if header.resulting_size
+                    else 1.0
+                )
+                return _PreparedPiece(
+                    blob=blob,
+                    measured_ratio=measured_ratio,
+                    accounted=len(blob),
+                    wall_seconds=time.perf_counter() - wall_start,
+                )
+
+            pooled = [
+                self._pool_eligible(plan.codec, plan.length)
+                for plan in schema.pieces
+            ]
+            if sum(pooled) >= 2:
+                executor = self._executor()
+                futures = {
+                    i: executor.submit(compress_piece, plan)
+                    for i, plan in enumerate(schema.pieces)
+                    if pooled[i]
+                }
+                self.parallel_pieces += len(futures)
+                return [
+                    futures[i].result() if pooled[i] else compress_piece(plan)
+                    for i, plan in enumerate(schema.pieces)
+                ]
+            return [compress_piece(plan) for plan in schema.pieces]
+
+        prepared = []
+        for plan in schema.pieces:
+            wall_start = time.perf_counter()
+            measured_ratio = (
+                self._sample_ratio(sample, plan.codec, feature_key)
+                if sample
+                else plan.expected_ratio
+            )
+            accounted = HEADER_SIZE + max(
+                1, math.ceil(plan.length / max(measured_ratio, 1e-9))
+            )
+            prepared.append(
+                _PreparedPiece(
+                    blob=None,
+                    measured_ratio=measured_ratio,
+                    accounted=accounted,
+                    wall_seconds=time.perf_counter() - wall_start,
+                )
+            )
+        return prepared
+
+    def _sample_ratio(
+        self, sample: bytes, codec_name: str, feature_key: tuple[str, str, str]
+    ) -> float:
+        """Measured ratio of ``codec_name`` on ``sample``, LRU-cached.
 
         Modeled tasks typically reuse one representative sample across many
-        ranks and timesteps; measuring each codec once per distinct sample
-        keeps modeled runs O(codecs) in real compression work.
+        ranks and timesteps; measuring each codec once per distinct
+        ``(codec, feature key, sample digest)`` keeps modeled runs
+        O(codecs) in real compression work instead of O(pieces). Codec
+        failures propagate — a roster member that cannot compress valid
+        bytes is a bug, not a condition to paper over.
         """
         if codec_name == "none":
             return 1.0
-        cache_key = (hash(sample), codec_name)
+        digest = hashlib.blake2b(sample, digest_size=16).digest()
+        cache_key = (codec_name, feature_key, digest)
         cached = self._sample_ratios.get(cache_key)
-        if cached is None:
-            payload = self.pool.codec(codec_name).compress(sample)
-            cached = len(sample) / max(len(payload), 1)
-            self._sample_ratios[cache_key] = cached
-        return cached
+        if cached is not None:
+            self._sample_ratios.move_to_end(cache_key)
+            self.sample_cache_hits += 1
+            return cached
+        self.sample_cache_misses += 1
+        payload = self.pool.codec(codec_name).compress(sample)
+        ratio = len(sample) / max(len(payload), 1)
+        self._sample_ratios[cache_key] = ratio
+        while len(self._sample_ratios) > self.executor_config.sample_cache_size:
+            self._sample_ratios.popitem(last=False)
+        return ratio
 
     def _resolve_tier(self, plan: SubTaskPlan, accounted: int) -> tuple[str, bool]:
         """Honour the plan's tier, spilling downward when the measured
@@ -334,6 +452,12 @@ class CompressionManager:
                 f"piece {entry.key!r} failed to decode: {exc}"
             ) from exc
 
+    def _unwrap_timed(self, entry: CatalogEntry, blob: bytes):
+        """(data, header, wall seconds) for one blob — pure, pool-safe."""
+        wall_start = time.perf_counter()
+        data, header = self._unwrap(entry, blob)
+        return data, header, time.perf_counter() - wall_start
+
     def execute_read(self, task_id: str) -> ReadResult:
         """Read + decompress a task; charges modeled times.
 
@@ -341,36 +465,65 @@ class CompressionManager:
         buffer; for sample-scaled tasks it is the reassembled sample (or
         ``None`` when payloads were never stored) while the modeled timing
         still reflects the full modeled size.
+
+        Decompression runs in three phases: fetch every blob serially
+        (tier accounting, checksums and read-repair are stateful), decode
+        the blobs — on the thread pool for GIL-releasing codecs — and
+        reassemble serially in piece order, so results are identical with
+        the pool on or off.
         """
         try:
             pieces = self._catalog[task_id]
         except KeyError:
             raise TierError(f"unknown task {task_id!r}") from None
-        parts: list[bytes] = []
         io_seconds = 0.0
-        decompress_seconds = 0.0
-        metadata_seconds = 0.0
         modeled = 0
         have_payloads = True
+        fetched: list[tuple[CatalogEntry, bytes | None]] = []
         for entry in pieces:
             tier = self.shi.locate(entry.key)
             if tier is None:
                 raise TierError(f"piece {entry.key!r} lost from every tier")
             extent = tier.extent(entry.key)
             modeled += entry.length
+            io_seconds += tier.io_seconds(extent.accounted_size)
             if extent.has_payload:
-                blob = self._fetch_blob(entry)
-                io_seconds += tier.io_seconds(extent.accounted_size)
-                wall_start = time.perf_counter()
-                data, header = self._unwrap(entry, blob)
-                metadata_seconds += time.perf_counter() - wall_start
+                fetched.append((entry, self._fetch_blob(entry)))
+            else:
+                have_payloads = False
+                fetched.append((entry, None))
+
+        pooled = [
+            blob is not None and self._pool_eligible(entry.codec, len(blob))
+            for entry, blob in fetched
+        ]
+        futures: dict[int, Future] = {}
+        if sum(pooled) >= 2:
+            executor = self._executor()
+            futures = {
+                i: executor.submit(self._unwrap_timed, entry, blob)
+                for i, (entry, blob) in enumerate(fetched)
+                if pooled[i]
+            }
+            self.parallel_pieces += len(futures)
+
+        parts: list[bytes] = []
+        decompress_seconds = 0.0
+        metadata_seconds = 0.0
+        # Results (and any decode error) are consumed in piece order, so
+        # the first in-order failure surfaces exactly as on the serial path.
+        for i, (entry, blob) in enumerate(fetched):
+            if blob is not None:
+                data, header, wall = (
+                    futures[i].result() if i in futures
+                    else self._unwrap_timed(entry, blob)
+                )
+                metadata_seconds += wall
                 parts.append(data)
                 # The applied library is rediscovered from the stored
                 # header — the paper's decentralised-decode property.
                 codec_name = get_codec(header.codec_id).meta.name
             else:
-                io_seconds += tier.io_seconds(extent.accounted_size)
-                have_payloads = False
                 codec_name = entry.codec
             if codec_name != "none":
                 profile = self.pool.profile(codec_name)

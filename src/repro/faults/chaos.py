@@ -24,7 +24,7 @@ import numpy as np
 
 from ..ccp import SeedData
 from ..core import HCompress, HCompressConfig, HCompressProfiler
-from ..core.config import ResilienceConfig
+from ..core.config import ExecutorConfig, PlanCacheConfig, ResilienceConfig
 from ..errors import HCompressError
 from ..hermes.buffering import HermesBuffering
 from ..sim.clock import SimClock
@@ -165,11 +165,15 @@ def run_chaos(
     config: ChaosConfig | None = None,
     seed: SeedData | None = None,
     resilience: ResilienceConfig | None = None,
+    plan_cache: PlanCacheConfig | None = None,
+    executor: ExecutorConfig | None = None,
 ) -> ChaosOutcome:
     """Run one backend through the chaos workload; returns its report.
 
     Fully deterministic: the same (backend, plan, config, seed) produces a
-    bit-identical :attr:`ChaosOutcome.trace`.
+    bit-identical :attr:`ChaosOutcome.trace` — including with the HC
+    backend's plan cache or piece thread pool toggled (``plan_cache``,
+    ``executor``; both default to the engine's defaults, i.e. enabled).
     """
     if backend not in CHAOS_BACKENDS:
         raise HCompressError(
@@ -185,7 +189,8 @@ def run_chaos(
 
     if backend == "HC":
         outcome = _run_hc(
-            hierarchy, clock, injector, buffers, config, seed, resilience
+            hierarchy, clock, injector, buffers, config, seed, resilience,
+            plan_cache, executor,
         )
     elif backend == "BASE":
         outcome = _run_base(hierarchy, clock, injector, buffers, config)
@@ -209,7 +214,8 @@ def _step_times(config: ChaosConfig):
 
 
 def _run_hc(
-    hierarchy, clock, injector, buffers, config, seed, resilience
+    hierarchy, clock, injector, buffers, config, seed, resilience,
+    plan_cache=None, executor=None,
 ) -> ChaosOutcome:
     if seed is None:
         profiler = HCompressProfiler(rng=np.random.default_rng(0))
@@ -219,6 +225,10 @@ def _run_hc(
         resilience=(
             resilience if resilience is not None else ResilienceConfig()
         ),
+        plan_cache=(
+            plan_cache if plan_cache is not None else PlanCacheConfig()
+        ),
+        executor=executor if executor is not None else ExecutorConfig(),
     )
     engine = HCompress(
         hierarchy, engine_config, seed=seed, clock=lambda: clock.now

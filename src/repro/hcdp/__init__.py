@@ -2,6 +2,7 @@
 
 from .cost import CostBreakdown, CostModel
 from .engine import EngineStats, HcdpEngine
+from .plan_cache import CachedPlan, PlanCache, PlanCacheConfig
 from .priorities import ARCHIVAL_IO, ASYNC_IO, EQUAL, READ_AFTER_WRITE, Priority
 from .schema import Schema, SubTaskPlan, validate_schema
 from .task import IOTask, Operation, next_task_id
@@ -9,6 +10,7 @@ from .task import IOTask, Operation, next_task_id
 __all__ = [
     "ARCHIVAL_IO",
     "ASYNC_IO",
+    "CachedPlan",
     "CostBreakdown",
     "CostModel",
     "EQUAL",
@@ -16,6 +18,8 @@ __all__ = [
     "HcdpEngine",
     "IOTask",
     "Operation",
+    "PlanCache",
+    "PlanCacheConfig",
     "Priority",
     "READ_AFTER_WRITE",
     "Schema",

@@ -30,6 +30,7 @@ from ..errors import PlacementError
 from ..monitor.system_monitor import SystemMonitor
 from ..units import PAGE, align_down
 from .cost import CostModel
+from .plan_cache import CachedPlan, PlanCache, PlanCacheConfig
 from .priorities import EQUAL, Priority
 from .schema import Schema, SubTaskPlan
 from .task import IOTask, Operation
@@ -48,11 +49,19 @@ class EngineStats:
     memo_misses: int = 0
     pieces_emitted: int = 0
     degraded_plans: int = 0  # plans made while >= 1 tier was reported down
+    plan_cache_hits: int = 0  # whole-schema cache hits
+    plan_cache_misses: int = 0  # plans that had to run the DP
+    plan_cache_invalidations: int = 0  # flush events (epoch/model/priority)
 
     @property
     def hit_rate(self) -> float:
         total = self.memo_hits + self.memo_misses
         return self.memo_hits / total if total else 0.0
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
 
 
 class HcdpEngine:
@@ -73,6 +82,9 @@ class HcdpEngine:
             sink must eventually cross the sink's (shared, serial) pipe.
         allow_identity: Keep "no compression" in the choice set (paper
             §IV-F1 insists on it; disable only for the ablation study).
+        plan_cache: Cross-task plan-cache policy (DESIGN.md §8). Defaults
+            to enabled; pass ``PlanCacheConfig(enabled=False)`` for the
+            seed's plan-from-scratch behaviour.
     """
 
     def __init__(
@@ -85,6 +97,7 @@ class HcdpEngine:
         load_factor: float = 1.0,
         drain_penalty: float = 1.0,
         allow_identity: bool = True,
+        plan_cache: PlanCacheConfig | None = None,
     ) -> None:
         if grain < 1:
             raise ValueError(f"grain must be >= 1, got {grain}")
@@ -98,6 +111,13 @@ class HcdpEngine:
         self.allow_identity = allow_identity
         self.cost_model = CostModel(priority=priority, load_factor=load_factor)
         self.stats = EngineStats()
+        self.plan_cache_config = (
+            plan_cache if plan_cache is not None else PlanCacheConfig()
+        )
+        self.plan_cache = PlanCache(self.plan_cache_config)
+        self._cache_epoch: int | None = None
+        self._cache_model_version: int | None = None
+        self._priority_version = 0
         # Sticky pressure signals: a bulk-synchronous burst plans before its
         # own I/O lands, so instantaneous load/fill underestimate the true
         # contention. Cumulative planned bytes and the peak observed
@@ -114,6 +134,9 @@ class HcdpEngine:
         self.cost_model = CostModel(
             priority=priority, load_factor=self.cost_model.load_factor
         )
+        self._priority_version += 1
+        if self.plan_cache.clear():
+            self.stats.plan_cache_invalidations += 1
 
     # -- planning ------------------------------------------------------------
 
@@ -161,6 +184,13 @@ class HcdpEngine:
             )
             if bounded_cap:
                 pressure = min(1.0, self._planned_bytes / bounded_cap)
+                # Quantize write-saturation to the capacity-band grid: the
+                # term models slow-building backlog, not per-task deltas,
+                # and a continuously drifting float would put a unique
+                # value in every plan-cache key. Applied with the cache on
+                # or off, so both paths stay byte-identical.
+                bands = self.plan_cache_config.capacity_bands
+                pressure = math.floor(pressure * bands) / bands
                 sink_bw = specs[-1].bandwidth
                 drain_per_byte = (
                     self.drain_penalty
@@ -170,19 +200,64 @@ class HcdpEngine:
                 )
 
         # ECC table for this input; constraint 4 drops sub-unity codecs.
+        # Candidates are predicted at the task's power-of-two size bucket
+        # (the log-size feature is mild), which lets every task in a bucket
+        # share one candidate table and one DP memo across the burst.
         dtype, data_format, distribution = task.analysis.feature_key()
+        bucket = 1 << (task.size - 1).bit_length()
+        table = self.predictor.candidate_table(
+            dtype, data_format, distribution, bucket, self.pool.names[1:]
+        )
         candidates: list[tuple[str, ExpectedCompressionCost | None]] = (
             [("none", None)] if self.allow_identity else []
         )
-        for name in self.pool.names[1:]:
-            ecc = self.predictor.predict(
-                _key(dtype, data_format, distribution, name, task.size)
-            )
+        for name, ecc in zip(self.pool.names[1:], table):
             if ecc.ratio >= 1.0:
                 candidates.append((name, ecc))
         n_codecs = len(candidates)
 
-        memo: dict[tuple[int, int, int], tuple[float, tuple]] = {}
+        # Remaining-capacity clamp (see repro.hcdp.plan_cache): no stored
+        # footprint of this task exceeds bucket + header, so capacities
+        # beyond that bound are indistinguishable to the DP. Applied
+        # identically with the cache on or off, keeping both paths
+        # byte-identical.
+        clamp = float(bucket + HEADER_SIZE)
+        remaining = [min(rem, clamp) for rem in remaining]
+
+        cache_on = self.plan_cache_config.enabled
+        context_key: tuple | None = None
+        if cache_on:
+            self._sync_cache_generation()
+            context_key = (
+                (dtype, data_format, distribution),
+                bucket,
+                self.predictor.model_version,
+                self._priority_version,
+                self.allow_identity,
+                self.monitor.state_epoch,
+                tuple(usable),
+                tuple(loads),
+                tuple(queued),
+                tuple(remaining),
+                drain_per_byte,
+            )
+            cached = self.plan_cache.get_schema(task.size, context_key)
+            if cached is not None:
+                self.stats.plan_cache_hits += 1
+                schema.pieces = list(cached.pieces)
+                schema.expected_cost = cached.expected_cost
+                schema.memo_hits = cached.memo_hits
+                schema.memo_misses = cached.memo_misses
+                self.stats.tasks_planned += 1
+                self.stats.pieces_emitted += len(schema.pieces)
+                return schema
+            self.stats.plan_cache_misses += 1
+            memo = self.plan_cache.memo(context_key)
+        else:
+            memo = {}
+
+        hits_before = self.stats.memo_hits
+        misses_before = self.stats.memo_misses
 
         def match(size: int, level: int, codec: int) -> tuple[float, tuple]:
             if level >= levels or codec >= n_codecs:
@@ -269,11 +344,40 @@ class HcdpEngine:
                 raise PlacementError(f"unexpected action {action!r}")
 
         schema.expected_cost = total_cost
-        schema.memo_hits = self.stats.memo_hits
-        schema.memo_misses = self.stats.memo_misses
+        # Per-plan DP footprint (not the engine's cumulative counters).
+        schema.memo_hits = self.stats.memo_hits - hits_before
+        schema.memo_misses = self.stats.memo_misses - misses_before
         self.stats.tasks_planned += 1
         self.stats.pieces_emitted += len(schema.pieces)
+        if cache_on and context_key is not None:
+            self.plan_cache.put_schema(
+                task.size,
+                context_key,
+                CachedPlan(
+                    pieces=tuple(schema.pieces),
+                    expected_cost=total_cost,
+                    memo_hits=schema.memo_hits,
+                    memo_misses=schema.memo_misses,
+                ),
+            )
         return schema
+
+    def _sync_cache_generation(self) -> None:
+        """Flush the plan cache when the world it was built against moved.
+
+        The monitor's ``state_epoch`` (tier up/down, capacity-band
+        crossing) and the predictor's ``model_version`` (feedback retrain)
+        are both part of every cache key, so this flush is memory hygiene
+        and an observable invalidation contract rather than a correctness
+        requirement.
+        """
+        epoch = self.monitor.state_epoch
+        version = self.predictor.model_version
+        if epoch != self._cache_epoch or version != self._cache_model_version:
+            if self.plan_cache.clear():
+                self.stats.plan_cache_invalidations += 1
+            self._cache_epoch = epoch
+            self._cache_model_version = version
 
     def _emit(
         self,
@@ -313,9 +417,3 @@ def _stored_size(size: int, ratio: float) -> int:
     if ratio <= 1.0:
         return size + HEADER_SIZE
     return max(1, math.ceil(size / ratio)) + HEADER_SIZE
-
-
-def _key(dtype, data_format, distribution, codec, size):
-    from ..ccp.features import ObservationKey
-
-    return ObservationKey(dtype, data_format, distribution, codec, size)

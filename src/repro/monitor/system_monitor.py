@@ -63,6 +63,12 @@ class SystemMonitor:
         interval: Minimum time between fresh samples; queries inside the
             interval return the cached snapshot (the staleness the paper's
             periodic thread would exhibit).
+        capacity_bands: Quantization of the fill-level signal that feeds
+            :attr:`state_epoch`: each bounded tier's used fraction is
+            bucketed into this many bands, and the epoch bumps whenever any
+            tier crosses a band boundary (or flips availability). Consumers
+            holding state derived from a snapshot — the HCDP plan cache —
+            invalidate on epoch change.
     """
 
     def __init__(
@@ -70,17 +76,23 @@ class SystemMonitor:
         hierarchy: StorageHierarchy,
         clock: Callable[[], float] | None = None,
         interval: float = 0.0,
+        capacity_bands: int = 32,
     ) -> None:
         if interval < 0:
             raise ValueError(f"interval must be >= 0, got {interval}")
+        if capacity_bands < 1:
+            raise ValueError(f"capacity_bands must be >= 1, got {capacity_bands}")
         self._hierarchy = hierarchy
         self._interval = interval
+        self._capacity_bands = capacity_bands
         if clock is None:
             counter = iter(range(1 << 62))
             clock = lambda: float(next(counter))  # noqa: E731
         self._clock = clock
         self._cached: SystemStatus | None = None
         self._samples = 0
+        self._epoch = 0
+        self._signature: tuple | None = None
 
     @property
     def hierarchy(self) -> StorageHierarchy:
@@ -89,6 +101,31 @@ class SystemMonitor:
     @property
     def samples_taken(self) -> int:
         return self._samples
+
+    @property
+    def capacity_bands(self) -> int:
+        return self._capacity_bands
+
+    @property
+    def state_epoch(self) -> int:
+        """Monotone counter of *planning-relevant* state transitions.
+
+        Bumps when a sample observes any tier changing availability or
+        crossing a capacity band (used fraction quantized into
+        ``capacity_bands`` buckets). Load/queue churn does not bump it —
+        those signals are carried exactly in the snapshot itself.
+        """
+        return self._epoch
+
+    def _band(self, status: TierStatus) -> int:
+        """Quantized fill level of one tier (-1 for unbounded tiers)."""
+        if status.remaining is None:
+            return -1
+        capacity = status.used + status.remaining
+        if capacity <= 0:
+            return 0
+        fraction = min(max(status.used / capacity, 0.0), 1.0)
+        return min(int(fraction * self._capacity_bands), self._capacity_bands - 1)
 
     def sample(self) -> SystemStatus:
         """Take a fresh snapshot unconditionally."""
@@ -105,6 +142,10 @@ class SystemMonitor:
             )
             for level, tier in enumerate(self._hierarchy)
         )
+        signature = tuple((t.available, self._band(t)) for t in tiers)
+        if self._signature is not None and signature != self._signature:
+            self._epoch += 1
+        self._signature = signature
         self._cached = SystemStatus(time=now, tiers=tiers)
         self._samples += 1
         return self._cached

@@ -105,6 +105,59 @@ class TestInference:
         assert ecc.compress_mbps > 0
 
 
+class TestBatchedInference:
+    ROSTER = ("zlib", "bzip2", "lzma", "snappy")
+
+    def _keys(self, size=65536):
+        return [
+            ObservationKey("float64", "binary", "gamma", codec, size)
+            for codec in ("none",) + self.ROSTER
+        ]
+
+    def test_batch_matches_scalar_exactly(self, fitted) -> None:
+        keys = self._keys()
+        batch = fitted.predict_batch(keys)
+        fitted._cache.clear()  # force the scalar path to recompute
+        for key, ecc in zip(keys, batch):
+            scalar = fitted.predict(key)
+            assert scalar.ratio == ecc.ratio
+            assert scalar.compress_mbps == ecc.compress_mbps
+            assert scalar.decompress_mbps == ecc.decompress_mbps
+
+    def test_batch_folds_into_scalar_cache(self, fitted) -> None:
+        keys = self._keys()
+        batch = fitted.predict_batch(keys)
+        # Identity answered analytically; model-backed keys now cached.
+        for key, ecc in zip(keys[1:], batch[1:]):
+            assert fitted.predict(key) is ecc
+
+    def test_batch_unfitted_raises(self) -> None:
+        with pytest.raises(ModelError):
+            CompressionCostPredictor().predict_batch(self._keys())
+
+    def test_batch_identity_needs_no_model(self) -> None:
+        [ecc] = CompressionCostPredictor().predict_batch(
+            [ObservationKey("float64", "binary", "gamma", "none", 4096)]
+        )
+        assert ecc.ratio == 1.0
+
+    def test_candidate_table_cached_per_version(self, fitted) -> None:
+        args = ("float64", "binary", "gamma", 65536, self.ROSTER)
+        first = fitted.candidate_table(*args)
+        assert fitted.candidate_table(*args) is first
+        fitted.observe(_obs())  # model changed: table must be rebuilt
+        assert fitted.candidate_table(*args) is not first
+
+    def test_model_version_monotone(self, fitted) -> None:
+        v0 = fitted.model_version
+        assert v0 == 1  # the seed fit
+        fitted.observe(_obs())
+        assert fitted.model_version == v0 + 1
+        clone = CompressionCostPredictor()
+        clone.import_theta(fitted.export_theta())
+        assert clone.model_version == 1
+
+
 class TestOnlineLearning:
     def test_observe_moves_predictions(self, fitted) -> None:
         key = ObservationKey("float64", "binary", "gamma", "zlib", 65536)

@@ -116,6 +116,138 @@ class TestModeledWrites:
         assert read.modeled_size == 32 * MiB
 
 
+class TestSampleRatio:
+    """The LRU-cached representative-sample measurement (modeled writes)."""
+
+    FKEY = ("float64", "binary", "gamma")
+
+    def _manager(self, hierarchy, **kw):
+        from repro.core import ExecutorConfig
+
+        return CompressionManager(
+            CompressionLibraryPool(), StorageHardwareInterface(hierarchy),
+            executor=ExecutorConfig(**kw) if kw else None,
+        )
+
+    def test_all_zero_sample(self, hierarchy) -> None:
+        """A degenerate all-zeros sample must yield a huge but finite,
+        positive ratio (run-length-friendly input), never a crash."""
+        manager = self._manager(hierarchy)
+        sample = bytes(64 * KiB)
+        ratio = manager._sample_ratio(sample, "zlib", self.FKEY)
+        assert ratio > 10.0
+        assert ratio == manager._sample_ratio(sample, "zlib", self.FKEY)
+        assert manager.sample_cache_hits == 1
+        assert manager.sample_cache_misses == 1
+
+    def test_incompressible_random_sample(self, hierarchy) -> None:
+        """Random bytes expand a little under any entropy codec: the
+        measured ratio must come back slightly below 1, not clamped."""
+        import numpy as np
+
+        manager = self._manager(hierarchy)
+        sample = np.random.default_rng(3).integers(
+            0, 256, 64 * KiB, dtype=np.uint8
+        ).tobytes()
+        ratio = manager._sample_ratio(sample, "zlib", self.FKEY)
+        assert 0.9 < ratio <= 1.01
+
+    def test_identity_codec_is_exact(self, hierarchy) -> None:
+        manager = self._manager(hierarchy)
+        assert manager._sample_ratio(b"abc", "none", self.FKEY) == 1.0
+        assert manager.sample_cache_misses == 0  # analytic, not measured
+
+    def test_distinct_samples_measured_separately(self, hierarchy, gamma_f64) -> None:
+        manager = self._manager(hierarchy)
+        a = manager._sample_ratio(gamma_f64, "zlib", self.FKEY)
+        b = manager._sample_ratio(bytes(len(gamma_f64)), "zlib", self.FKEY)
+        assert a != b
+        assert manager.sample_cache_misses == 2
+
+    def test_lru_bound(self, hierarchy) -> None:
+        manager = self._manager(hierarchy, sample_cache_size=2)
+        for i in range(4):
+            manager._sample_ratio(bytes([i]) * 4096, "zlib", self.FKEY)
+        assert len(manager._sample_ratios) == 2
+        # Oldest entry was evicted: re-measuring it is a miss again.
+        misses = manager.sample_cache_misses
+        manager._sample_ratio(bytes([0]) * 4096, "zlib", self.FKEY)
+        assert manager.sample_cache_misses == misses + 1
+
+
+class TestPieceExecutor:
+    """The piece thread pool must never change results, only wall time."""
+
+    def _run(self, seed, data, n_tasks=3, enabled=True):
+        from repro.core import ExecutorConfig
+        from repro.hcdp import ARCHIVAL_IO
+
+        # Fast tier smaller than the compressed task: every plan splits
+        # into a fast piece + slow remainder (two stdlib-codec pieces).
+        hierarchy = StorageHierarchy(
+            [
+                Tier(TierSpec(name="fast", capacity=1 * MiB, bandwidth=4e9,
+                              latency=1e-6, lanes=4)),
+                Tier(TierSpec(name="slow", capacity=None, bandwidth=1e8,
+                              latency=1e-3, lanes=4)),
+            ]
+        )
+        pool = CompressionLibraryPool()
+        predictor = CompressionCostPredictor()
+        predictor.fit_seed(seed.observations)
+        engine = HcdpEngine(
+            predictor, SystemMonitor(hierarchy), pool, priority=ARCHIVAL_IO
+        )
+        manager = CompressionManager(
+            pool, StorageHardwareInterface(hierarchy),
+            executor=ExecutorConfig(enabled=enabled, min_piece_bytes=4096),
+        )
+        analyzer = InputAnalyzer()
+        outcomes = []
+        for i in range(n_tasks):
+            task = IOTask(f"t{i}", len(data), analyzer.analyze(data),
+                          data=data)
+            write = manager.execute_write(engine.plan(task))
+            read = manager.execute_read(f"t{i}")
+            outcomes.append(
+                (
+                    [(p.key, p.tier, p.stored_size, p.actual_ratio,
+                      p.compress_seconds, p.io_seconds) for p in write.pieces],
+                    read.data,
+                    read.decompress_seconds,
+                    read.io_seconds,
+                )
+            )
+        manager.shutdown()
+        return outcomes, manager
+
+    def test_parallel_write_read_identical_to_serial(self, seed, rng) -> None:
+        from repro.datagen import synthetic_buffer
+
+        # Big enough that the planner splits into several stdlib pieces.
+        data = synthetic_buffer("float64", "gamma", 4 * MiB, rng)
+        serial, m_serial = self._run(seed, data, enabled=False)
+        parallel, m_parallel = self._run(seed, data, enabled=True)
+        assert serial == parallel
+        assert m_serial.parallel_pieces == 0
+        assert m_parallel.parallel_pieces > 0
+        for outcomes in parallel:
+            assert outcomes[1] == data  # round trip intact
+
+    def test_small_pieces_stay_serial(self, seed, gamma_f64) -> None:
+        _, manager = self._run(seed, gamma_f64[: 8 * KiB], n_tasks=1)
+        assert manager.parallel_pieces == 0
+
+    def test_shutdown_idempotent(self, hierarchy) -> None:
+        manager = CompressionManager(
+            CompressionLibraryPool(), StorageHardwareInterface(hierarchy)
+        )
+        manager._executor()  # force pool creation
+        manager.shutdown()
+        manager.shutdown()
+        assert manager._pool_executor is None
+
+
 class TestSpill:
     def test_runtime_spill_when_prediction_optimistic(self, hierarchy, seed,
                                                       gamma_f64) -> None:

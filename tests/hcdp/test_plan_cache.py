@@ -1,0 +1,288 @@
+"""The cross-task plan cache: hits, epoch invalidation, exactness.
+
+The contract under test (repro.hcdp.plan_cache): caching is an
+optimization only — with the cache on or off the engine emits
+byte-identical schemas, because every DP input is part of the cache key.
+The monitor's ``state_epoch`` and the predictor's ``model_version`` are
+invalidation signals layered on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyzer import InputAnalyzer
+from repro.ccp import CompressionCostPredictor, CostObservation, ObservationKey
+from repro.codecs import CompressionLibraryPool
+from repro.hcdp import (
+    ARCHIVAL_IO,
+    CachedPlan,
+    HcdpEngine,
+    IOTask,
+    PlanCache,
+    PlanCacheConfig,
+)
+from repro.monitor import SystemMonitor
+from repro.tiers import StorageHierarchy, Tier, TierSpec
+from repro.units import KiB, MiB
+
+
+@pytest.fixture()
+def predictor(seed) -> CompressionCostPredictor:
+    p = CompressionCostPredictor()
+    p.fit_seed(seed.observations)
+    return p
+
+
+@pytest.fixture()
+def analysis(gamma_f64):
+    return InputAnalyzer().analyze(gamma_f64)
+
+
+def _hierarchy(*caps) -> StorageHierarchy:
+    tiers = []
+    bandwidths = [8e9, 4e9, 2e9]
+    for i, cap in enumerate(caps):
+        tiers.append(
+            Tier(TierSpec(name=f"t{i}", capacity=cap,
+                          bandwidth=bandwidths[i], latency=1e-6 * (i + 1),
+                          lanes=2))
+        )
+    tiers.append(
+        Tier(TierSpec(name="pfs", capacity=None, bandwidth=1e8,
+                      latency=1e-3, lanes=4))
+    )
+    return StorageHierarchy(tiers)
+
+
+def _engine(hierarchy, predictor, enabled=True, **kw) -> HcdpEngine:
+    return HcdpEngine(
+        predictor, SystemMonitor(hierarchy), CompressionLibraryPool(),
+        plan_cache=PlanCacheConfig(enabled=enabled), **kw,
+    )
+
+
+def _fingerprint(schema) -> tuple:
+    return tuple(schema.pieces), round(schema.expected_cost, 12)
+
+
+_EMPTY_PLAN = CachedPlan(
+    pieces=(), expected_cost=0.0, memo_hits=0, memo_misses=0
+)
+
+
+class TestPlanCacheStore:
+    def test_schema_lru_bound(self) -> None:
+        cache = PlanCache(PlanCacheConfig(max_schemas=2))
+        for i in range(4):
+            cache.put_schema(i, ("ctx",), _EMPTY_PLAN)
+        assert cache.schema_entries == 2
+        assert cache.get_schema(0, ("ctx",)) is None
+        assert cache.get_schema(3, ("ctx",)) is _EMPTY_PLAN
+
+    def test_context_lru_bound(self) -> None:
+        cache = PlanCache(PlanCacheConfig(max_contexts=2))
+        for i in range(4):
+            cache.memo((i,))
+        assert cache.context_entries == 2
+
+    def test_clear_reports_drop_count(self) -> None:
+        cache = PlanCache(PlanCacheConfig())
+        assert cache.clear() == 0
+        cache.put_schema(1, ("ctx",), _EMPTY_PLAN)
+        cache.memo(("ctx",))
+        assert cache.clear() == 2
+        assert cache.schema_entries == 0
+        assert cache.context_entries == 0
+
+    @pytest.mark.parametrize(
+        "kw", [{"max_schemas": 0}, {"max_contexts": -1}, {"capacity_bands": 0}]
+    )
+    def test_config_validation(self, kw) -> None:
+        with pytest.raises(ValueError):
+            PlanCacheConfig(**kw)
+
+
+class TestPlanCacheHits:
+    def test_repeated_task_hits(self, predictor, analysis) -> None:
+        # Large capacity so the quantized drain pressure stays in band 0
+        # for the whole burst (no context churn from the drain term).
+        engine = _engine(_hierarchy(1024 * MiB), predictor)
+        schemas = [
+            engine.plan(IOTask(f"t{i}", 1 * MiB, analysis)) for i in range(8)
+        ]
+        assert engine.stats.plan_cache_misses >= 1
+        assert engine.stats.plan_cache_hits >= 6
+        assert engine.stats.plan_cache_hit_rate > 0.5
+        first = _fingerprint(schemas[0])
+        assert all(_fingerprint(s) == first for s in schemas)
+
+    def test_cached_schema_reports_memo_deltas(self, predictor, analysis) -> None:
+        """Cache hits replay the original plan's per-task memo counters
+        instead of zeros (or the whole engine's cumulative ones)."""
+        engine = _engine(_hierarchy(2 * MiB, 4 * MiB), predictor)
+        first = engine.plan(IOTask("a", 32 * MiB, analysis))
+        second = engine.plan(IOTask("b", 32 * MiB, analysis))
+        assert engine.stats.plan_cache_hits == 1
+        assert (second.memo_hits, second.memo_misses) == (
+            first.memo_hits, first.memo_misses
+        )
+        assert first.memo_misses > 0
+
+    def test_per_plan_memo_counters_are_deltas(self, predictor, analysis) -> None:
+        """schema.memo_* must be this plan's lookups, not the engine's
+        running totals (the counters regression this PR fixes)."""
+        engine = _engine(_hierarchy(2 * MiB, 4 * MiB), predictor, enabled=False)
+        first = engine.plan(IOTask("a", 32 * MiB, analysis))
+        second = engine.plan(IOTask("b", 48 * MiB, analysis))
+        total = engine.stats
+        assert first.memo_misses + second.memo_misses == total.memo_misses
+        assert first.memo_hits + second.memo_hits == total.memo_hits
+        assert second.memo_misses < total.memo_misses
+
+    def test_disabled_cache_counts_nothing(self, predictor, analysis) -> None:
+        engine = _engine(_hierarchy(64 * MiB), predictor, enabled=False)
+        for i in range(4):
+            engine.plan(IOTask(f"t{i}", 1 * MiB, analysis))
+        assert engine.stats.plan_cache_hits == 0
+        assert engine.stats.plan_cache_misses == 0
+
+    def test_size_bucket_shares_context(self, predictor, analysis) -> None:
+        """Two sizes in one power-of-two bucket plan under one shared
+        planning context (one DP memo table), not one table per task."""
+        engine = _engine(_hierarchy(2 * MiB, 4 * MiB), predictor)
+        engine.plan(IOTask("a", 33 * MiB, analysis))
+        engine.plan(IOTask("b", 34 * MiB, analysis))
+        assert engine.stats.plan_cache_hits == 0  # different exact sizes
+        assert engine.plan_cache.context_entries == 1
+        assert engine.plan_cache.schema_entries == 2
+
+    def test_priority_swap_invalidates(self, predictor, analysis) -> None:
+        engine = _engine(_hierarchy(64 * MiB), predictor, drain_penalty=0.0)
+        engine.plan(IOTask("a", 1 * MiB, analysis))
+        engine.set_priority(ARCHIVAL_IO)
+        assert engine.stats.plan_cache_invalidations == 1
+        after = engine.plan(IOTask("b", 1 * MiB, analysis))
+        assert engine.stats.plan_cache_hits == 0
+        assert after.pieces[0].codec != "none"
+
+
+def _burst(engine, analysis, tag, n, size=1 * MiB):
+    return [
+        _fingerprint(engine.plan(IOTask(f"{tag}{i}", size, analysis)))
+        for i in range(n)
+    ]
+
+
+class TestInvalidation:
+    """Each system transition drops cached plans; replanning after the
+    transition matches the uncached engine byte for byte."""
+
+    def _run_outage(self, predictor, analysis, enabled):
+        h = _hierarchy(64 * MiB, 64 * MiB)
+        engine = _engine(h, predictor, enabled=enabled)
+        fps = _burst(engine, analysis, "pre", 5)
+        h.by_name("t0").set_available(False)
+        fps += _burst(engine, analysis, "post", 5)
+        return fps, engine
+
+    def test_tier_outage_invalidates(self, predictor, analysis) -> None:
+        fps, engine = self._run_outage(predictor, analysis, enabled=True)
+        assert engine.stats.plan_cache_invalidations >= 1
+        assert engine.stats.plan_cache_hits >= 1
+        # Degraded planning is still counted on cache hits after the outage.
+        assert engine.stats.degraded_plans == 5
+        pre, post = fps[0], fps[-1]
+        assert pre != post  # the surviving tiers host the post-outage plans
+
+    def test_tier_outage_exactness(self, predictor, analysis) -> None:
+        cached, _ = self._run_outage(predictor, analysis, enabled=True)
+        uncached, _ = self._run_outage(predictor, analysis, enabled=False)
+        assert cached == uncached
+
+    def _run_band_crossing(self, predictor, analysis, enabled):
+        h = _hierarchy(64 * MiB, 64 * MiB)
+        engine = _engine(h, predictor, enabled=enabled)
+        fps = _burst(engine, analysis, "pre", 5)
+        # Fill half the top tier: crosses many 1/32 fill-level bands.
+        h.by_name("t0").put("fill", None, accounted_size=32 * MiB)
+        fps += _burst(engine, analysis, "post", 5)
+        return fps, engine
+
+    def test_band_crossing_invalidates(self, predictor, analysis) -> None:
+        fps, engine = self._run_band_crossing(predictor, analysis, enabled=True)
+        assert engine.stats.plan_cache_invalidations >= 1
+        assert engine.stats.plan_cache_hits >= 6  # both phases re-hit
+        assert engine.monitor.state_epoch >= 1
+
+    def test_band_crossing_exactness(self, predictor, analysis) -> None:
+        cached, _ = self._run_band_crossing(predictor, analysis, enabled=True)
+        uncached, _ = self._run_band_crossing(
+            predictor, analysis, enabled=False
+        )
+        assert cached == uncached
+
+    def _run_retrain(self, seed, analysis, enabled):
+        predictor = CompressionCostPredictor()
+        predictor.fit_seed(seed.observations)
+        h = _hierarchy(64 * MiB, 64 * MiB)
+        engine = _engine(h, predictor, enabled=enabled)
+        fps = _burst(engine, analysis, "pre", 5)
+        dtype, data_format, distribution = analysis.feature_key()
+        for _ in range(4):  # online RLS updates; each bumps model_version
+            predictor.observe(
+                CostObservation(
+                    key=ObservationKey(
+                        dtype, data_format, distribution, "zlib", 1 * MiB
+                    ),
+                    compress_mbps=900.0,
+                    decompress_mbps=1800.0,
+                    ratio=6.0,
+                )
+            )
+        fps += _burst(engine, analysis, "post", 5)
+        return fps, engine
+
+    def test_retrain_invalidates(self, seed, analysis) -> None:
+        fps, engine = self._run_retrain(seed, analysis, enabled=True)
+        assert engine.stats.plan_cache_invalidations >= 1
+        assert engine.predictor.model_version > 1
+
+    def test_retrain_exactness(self, seed, analysis) -> None:
+        cached, _ = self._run_retrain(seed, analysis, enabled=True)
+        uncached, _ = self._run_retrain(seed, analysis, enabled=False)
+        assert cached == uncached
+
+
+class TestMonitorEpoch:
+    def test_availability_flip_bumps(self) -> None:
+        h = _hierarchy(64 * MiB)
+        monitor = SystemMonitor(h)
+        monitor.sample()
+        h.by_name("t0").set_available(False)
+        monitor.sample()
+        assert monitor.state_epoch == 1
+        h.by_name("t0").set_available(True)
+        monitor.sample()
+        assert monitor.state_epoch == 2
+
+    def test_band_crossing_bumps_once_per_band(self) -> None:
+        h = _hierarchy(64 * MiB)
+        monitor = SystemMonitor(h, capacity_bands=4)
+        monitor.sample()
+        h.by_name("t0").put("a", None, accounted_size=1 * MiB)
+        monitor.sample()
+        assert monitor.state_epoch == 0  # still inside band 0 of 4
+        h.by_name("t0").put("b", None, accounted_size=17 * MiB)
+        monitor.sample()
+        assert monitor.state_epoch == 1
+
+    def test_load_churn_does_not_bump(self) -> None:
+        h = _hierarchy(64 * MiB)
+        monitor = SystemMonitor(h)
+        monitor.sample()
+        tier = h.by_name("t0")
+        for _ in range(8):
+            tier.begin_io(1 * KiB)
+        monitor.sample()
+        assert monitor.state_epoch == 0

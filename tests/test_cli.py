@@ -51,3 +51,19 @@ class TestCommands:
     def test_demo_roundtrip(self, capsys) -> None:
         assert main(["demo", "--kib", "64"]) == 0
         assert "round-trip OK" in capsys.readouterr().out
+
+    def test_stats_reports_cache_counters(self, capsys) -> None:
+        assert main(["stats", "--tasks", "32", "--kib", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "plan cache  : on" in output
+        assert "hits=" in output
+        assert "DP memo" in output
+        assert "executor    : on" in output
+
+    def test_stats_no_cache(self, capsys) -> None:
+        assert main([
+            "stats", "--tasks", "8", "--kib", "16", "--no-cache"
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "plan cache  : off" in output
+        assert "hits=0 misses=0" in output
