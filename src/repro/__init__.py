@@ -17,7 +17,8 @@ storage hierarchy), ``sim`` (discrete-event cluster simulation),
 ``core`` (the HCompress engine itself), ``hermes`` (the baseline),
 ``workloads`` (VPIC-IO, BD-CATS-IO, micro-benchmarks), ``experiments``
 (per-figure reproduction harnesses), ``faults`` (deterministic fault
-injection and chaos runs).
+injection and chaos runs), ``obs`` (opt-in metrics, tracing, and
+profiling hooks — see docs/OBSERVABILITY.md).
 """
 
 from .analyzer import DataFormat, DataType, Distribution, InputAnalyzer, MetadataHints
@@ -44,6 +45,7 @@ from .hcdp import (
 )
 from .hermes import HermesBuffering, HermesWithStaticCompression
 from .monitor import SystemMonitor
+from .obs import Observability, ObservabilityConfig
 from .sim import Simulation
 from .tiers import StorageHierarchy, Tier, TierSpec, ares_hierarchy
 
@@ -72,6 +74,8 @@ __all__ = [
     "IOTask",
     "InputAnalyzer",
     "MetadataHints",
+    "Observability",
+    "ObservabilityConfig",
     "Priority",
     "READ_AFTER_WRITE",
     "ResilienceConfig",

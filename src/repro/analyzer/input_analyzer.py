@@ -59,6 +59,8 @@ class InputAnalyzer:
     def __init__(self, cache_size: int = 256) -> None:
         self._cache_size = cache_size
         self._cache: dict[tuple[int, int], InputAnalysis] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def analyze(
         self, data: bytes, hints: MetadataHints | None = None
@@ -75,7 +77,9 @@ class InputAnalyzer:
         key = (len(data), hash(data[:256]) ^ hash(data[-256:]))
         cached = self._cache.get(key)
         if cached is not None and hints is None:
+            self.cache_hits += 1
             return cached
+        self.cache_misses += 1
 
         data_format = (hints.data_format if hints else None) or detect_format(data)
         dtype = (hints.dtype if hints else None)

@@ -65,6 +65,8 @@ class CompressionCostPredictor:
         # one vectorized predict_batch per (feature key, size, roster),
         # reused until the model changes.
         self._table_cache: dict[tuple, tuple[ExpectedCompressionCost, ...]] = {}
+        self.table_cache_hits = 0
+        self.table_cache_misses = 0
         # Monotone model version: bumps on every parameter change (seed
         # fit, online observation, theta import). Consumers holding
         # model-derived state — cached ECC tables, cached plans — key on
@@ -235,7 +237,9 @@ class CompressionCostPredictor:
         table_key = (dtype, data_format, distribution, size, codecs)
         cached = self._table_cache.get(table_key)
         if cached is not None:
+            self.table_cache_hits += 1
             return cached
+        self.table_cache_misses += 1
         table = tuple(
             self.predict_batch(
                 [

@@ -12,11 +12,16 @@ Subcommands:
   transient errors, corruption) and print the recovery report.
 * ``stats``    — drive a repeated-burst workload and print the engine's
   hot-path counters (plan cache, DP memo, sample-ratio cache, executor).
+* ``metrics``  — run an instrumented VPIC checkpoint workload and export
+  the full metrics registry (human table or ``--json``).
+* ``trace``    — same workload; export the span trace (per-span rollup,
+  or Chrome ``chrome://tracing`` JSON via ``--json`` / ``--output``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -146,6 +151,59 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0  # comparison mode: baseline failures are the expected result
 
 
+def _stats_report(engine, config, args, wall: float) -> dict:
+    """Build the ``stats`` report as one JSON-ready dict.
+
+    Well-formed at any task count — including zero, where every counter is
+    simply 0 and the throughput is reported as 0 rather than dividing by a
+    degenerate wall time.
+    """
+    stats = engine.engine.stats
+    manager = engine.manager
+    accuracy = engine.accuracy()
+    return {
+        "burst": {
+            "tasks": args.tasks,
+            "modeled_bytes_per_task": args.modeled_kib * KiB,
+            "sample_bytes": args.kib * KiB,
+            "wall_seconds": wall,
+            "tasks_per_second": (args.tasks / wall) if wall > 0 else 0.0,
+        },
+        "plan_cache": {
+            "enabled": config.plan_cache.enabled,
+            "hits": stats.plan_cache_hits,
+            "misses": stats.plan_cache_misses,
+            "invalidations": stats.plan_cache_invalidations,
+            "hit_rate": stats.plan_cache_hit_rate,
+        },
+        "dp_memo": {
+            "hits": stats.memo_hits,
+            "misses": stats.memo_misses,
+            "hit_rate": stats.hit_rate,
+        },
+        "plans": {
+            "tasks_planned": stats.tasks_planned,
+            "pieces_emitted": stats.pieces_emitted,
+            "degraded": stats.degraded_plans,
+            "replans": engine.replans,
+        },
+        "sample_cache": {
+            "hits": manager.sample_cache_hits,
+            "misses": manager.sample_cache_misses,
+        },
+        "executor": {
+            "enabled": config.executor.enabled,
+            "parallel_pieces": manager.parallel_pieces,
+            "spills": manager.spill_events,
+        },
+        "cost_model": {
+            "version": engine.predictor.model_version,
+            "accuracy": accuracy,
+            "monitor_epoch": engine.monitor.state_epoch,
+        },
+    }
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     import time
 
@@ -172,43 +230,149 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             data, modeled_size=args.modeled_kib * KiB, task_id=f"stats-{i}"
         )
     wall = time.perf_counter() - wall
-    stats = engine.engine.stats
-    manager = engine.manager
+    report = _stats_report(engine, config, args, wall)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    burst = report["burst"]
+    plan_cache = report["plan_cache"]
+    memo = report["dp_memo"]
+    plans = report["plans"]
     print(
-        f"burst: {args.tasks} x {fmt_bytes(args.modeled_kib * KiB)} modeled "
-        f"tasks ({fmt_bytes(args.kib * KiB)} sample) in {wall:.3f}s "
-        f"({args.tasks / wall:,.0f} tasks/s)"
+        f"burst: {burst['tasks']} x "
+        f"{fmt_bytes(burst['modeled_bytes_per_task'])} modeled "
+        f"tasks ({fmt_bytes(burst['sample_bytes'])} sample) in "
+        f"{burst['wall_seconds']:.3f}s "
+        f"({burst['tasks_per_second']:,.0f} tasks/s)"
     )
     print(
-        f"plan cache  : {'on' if config.plan_cache.enabled else 'off'}  "
-        f"hits={stats.plan_cache_hits} misses={stats.plan_cache_misses} "
-        f"invalidations={stats.plan_cache_invalidations} "
-        f"hit-rate={stats.plan_cache_hit_rate:.1%}"
+        f"plan cache  : {'on' if plan_cache['enabled'] else 'off'}  "
+        f"hits={plan_cache['hits']} misses={plan_cache['misses']} "
+        f"invalidations={plan_cache['invalidations']} "
+        f"hit-rate={plan_cache['hit_rate']:.1%}"
     )
     print(
-        f"DP memo     : hits={stats.memo_hits} misses={stats.memo_misses} "
-        f"hit-rate={stats.hit_rate:.1%}"
+        f"DP memo     : hits={memo['hits']} misses={memo['misses']} "
+        f"hit-rate={memo['hit_rate']:.1%}"
     )
     print(
-        f"plans       : tasks={stats.tasks_planned} "
-        f"pieces={stats.pieces_emitted} degraded={stats.degraded_plans} "
-        f"replans={engine.replans}"
+        f"plans       : tasks={plans['tasks_planned']} "
+        f"pieces={plans['pieces_emitted']} degraded={plans['degraded']} "
+        f"replans={plans['replans']}"
     )
     print(
-        f"sample cache: hits={manager.sample_cache_hits} "
-        f"misses={manager.sample_cache_misses}"
+        f"sample cache: hits={report['sample_cache']['hits']} "
+        f"misses={report['sample_cache']['misses']}"
     )
     print(
-        f"executor    : {'on' if config.executor.enabled else 'off'}  "
-        f"parallel pieces={manager.parallel_pieces} "
-        f"spills={manager.spill_events}"
+        f"executor    : {'on' if report['executor']['enabled'] else 'off'}  "
+        f"parallel pieces={report['executor']['parallel_pieces']} "
+        f"spills={report['executor']['spills']}"
     )
-    accuracy = engine.accuracy()
+    accuracy = report["cost_model"]["accuracy"]
     print(
-        f"cost model  : version={engine.predictor.model_version} "
+        f"cost model  : version={report['cost_model']['version']} "
         f"accuracy={'n/a' if accuracy is None else f'{accuracy:.1%}'} "
-        f"monitor epoch={engine.monitor.state_epoch}"
+        f"monitor epoch={report['cost_model']['monitor_epoch']}"
     )
+    return 0
+
+
+def _instrumented_vpic(args: argparse.Namespace):
+    """Run a scaled fig7 VPIC checkpoint workload with telemetry enabled.
+
+    Returns ``(engine, run_result)`` — the engine's ``obs`` holds the
+    synced registry and the span trace of the whole run.
+    """
+    from dataclasses import replace
+
+    from .core import HCompress, HCompressConfig, ObservabilityConfig
+    from .experiments.fig7_vpic import (
+        WRITE_PRIORITY,
+        fig7_hierarchy,
+        fig7_vpic_config,
+    )
+    from .hermes.flusher import TierFlusher
+    from .workloads import HCompressBackend, run_vpic
+
+    config = fig7_vpic_config(args.nprocs, args.scale)
+    config = replace(
+        config,
+        timesteps=args.steps,
+        # Deep shrinks push the modeled task below the default 64 KiB
+        # representative sample; the sample may never exceed the task.
+        sample_bytes=min(config.sample_bytes, config.bytes_per_rank_per_step),
+    )
+    hierarchy = fig7_hierarchy(args.scale)
+    print(
+        f"instrumented VPIC run: {args.nprocs} ranks x {args.steps} steps x "
+        f"{fmt_bytes(config.bytes_per_rank_per_step)} (scale 1/{args.scale})",
+        file=sys.stderr,
+    )
+    engine = HCompress(
+        hierarchy,
+        HCompressConfig(
+            priority=WRITE_PRIORITY,
+            observability=ObservabilityConfig(enabled=True),
+        ),
+    )
+    flusher = TierFlusher(hierarchy, obs=engine.obs)
+    result = run_vpic(
+        HCompressBackend(engine),
+        config,
+        hierarchy,
+        rng=np.random.default_rng(args.rng_seed),
+        flusher=flusher,
+    )
+    engine.sync_telemetry()
+    engine.obs.sync_flusher(flusher.stats)
+    return engine, result
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    engine, result = _instrumented_vpic(args)
+    obs = engine.obs
+    if args.output is not None:
+        args.output.write_text(obs.registry.to_json() + "\n")
+        print(f"wrote metrics to {args.output}", file=sys.stderr)
+    if args.json:
+        print(obs.registry.to_json())
+        return 0
+    print(
+        f"run: {result.tasks_written} tasks, "
+        f"{fmt_bytes(result.bytes_written)} written, "
+        f"{fmt_bytes(result.stored_bytes)} stored "
+        f"(ratio {result.achieved_ratio:.2f}), "
+        f"{result.elapsed_seconds:.2f}s simulated\n"
+    )
+    print(obs.summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    engine, result = _instrumented_vpic(args)
+    obs = engine.obs
+    trace = obs.export_chrome_trace()
+    if args.output is not None:
+        args.output.write_text(json.dumps(trace) + "\n")
+        print(
+            f"wrote {len(trace['traceEvents'])} trace events to "
+            f"{args.output} (load in chrome://tracing or ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(trace))
+        return 0
+    print(
+        f"run: {result.tasks_written} tasks in {result.elapsed_seconds:.2f}s "
+        f"simulated; {len(obs.tracer.spans)} spans recorded "
+        f"({obs.tracer.dropped} dropped)\n"
+    )
+    print(obs.span_summary())
+    if args.output is None:
+        print(
+            "\n(use --output trace.json to export for chrome://tracing)"
+        )
     return 0
 
 
@@ -278,7 +442,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="disable the plan cache (seed behaviour)")
     p.add_argument("--rng-seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "metrics",
+        help="run an instrumented VPIC workload and export the registry",
+    )
+    p.add_argument("--nprocs", type=int, default=320, help="MPI rank count")
+    p.add_argument("--steps", type=int, default=10, help="checkpoint steps")
+    p.add_argument("--scale", type=int, default=4096,
+                   help="shrink divisor on the paper's Fig. 7 sizes")
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the hcompress.metrics.v1 JSON snapshot")
+    p.add_argument("--output", type=Path, default=None,
+                   help="also write the JSON snapshot to a file")
+    p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="run an instrumented VPIC workload and export the span trace",
+    )
+    p.add_argument("--nprocs", type=int, default=320, help="MPI rank count")
+    p.add_argument("--steps", type=int, default=10, help="checkpoint steps")
+    p.add_argument("--scale", type=int, default=4096,
+                   help="shrink divisor on the paper's Fig. 7 sizes")
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit Chrome trace-event JSON to stdout")
+    p.add_argument("--output", type=Path, default=None,
+                   help="write Chrome trace-event JSON to a file")
+    p.set_defaults(func=_cmd_trace)
     return parser
 
 

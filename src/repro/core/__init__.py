@@ -1,7 +1,13 @@
 """HCompress core: the main engine, manager, SHI, profiler, and API facade."""
 
 from .api import HCompressFile, hcompress_session
-from .config import ExecutorConfig, HCompressConfig, PlanCacheConfig, ResilienceConfig
+from .config import (
+    ExecutorConfig,
+    HCompressConfig,
+    ObservabilityConfig,
+    PlanCacheConfig,
+    ResilienceConfig,
+)
 from .hcompress import Anatomy, HCompress
 from .manager import CompressionManager, PieceResult, ReadResult, WriteResult
 from .profiler import HCompressProfiler
@@ -16,6 +22,7 @@ __all__ = [
     "HCompressFile",
     "HCompressProfiler",
     "IoReceipt",
+    "ObservabilityConfig",
     "PieceResult",
     "PlanCacheConfig",
     "ReadResult",

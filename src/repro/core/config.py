@@ -14,9 +14,16 @@ from pathlib import Path
 from ..codecs.pool import PAPER_LIBRARIES
 from ..hcdp.plan_cache import PlanCacheConfig
 from ..hcdp.priorities import EQUAL, Priority
+from ..obs import ObservabilityConfig
 from ..units import KiB, PAGE
 
-__all__ = ["ExecutorConfig", "HCompressConfig", "PlanCacheConfig", "ResilienceConfig"]
+__all__ = [
+    "ExecutorConfig",
+    "HCompressConfig",
+    "ObservabilityConfig",
+    "PlanCacheConfig",
+    "ResilienceConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -135,6 +142,10 @@ class HCompressConfig:
             (see :class:`~repro.hcdp.plan_cache.PlanCacheConfig`).
         executor: Concurrency policy of the Compression Manager's piece
             execution (see :class:`ExecutorConfig`).
+        observability: Telemetry opt-in (see
+            :class:`~repro.obs.ObservabilityConfig`). Disabled by default;
+            when disabled the engine carries no observability object and
+            instrumented paths pay only an ``is None`` check.
     """
 
     priority: Priority = EQUAL
@@ -149,6 +160,9 @@ class HCompressConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     plan_cache: PlanCacheConfig = field(default_factory=PlanCacheConfig)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    observability: ObservabilityConfig = field(
+        default_factory=ObservabilityConfig
+    )
 
     def __post_init__(self) -> None:
         if self.feedback_every_n < 1:

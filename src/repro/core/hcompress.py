@@ -32,6 +32,7 @@ from ..errors import (
 )
 from ..hcdp import HcdpEngine, IOTask, Operation, Priority, next_task_id
 from ..monitor import SystemMonitor
+from ..obs import Observability
 from ..tiers import StorageHierarchy
 from .config import HCompressConfig
 from .manager import CompressionManager, ReadResult, WriteResult
@@ -109,6 +110,13 @@ class HCompress:
     ) -> None:
         self.config = config if config is not None else HCompressConfig()
         self.hierarchy = hierarchy
+        # Observability is strictly opt-in: when disabled, no telemetry
+        # object exists and instrumented paths pay one ``is None`` check.
+        self.obs = (
+            Observability(self.config.observability, modeled_clock=clock)
+            if self.config.observability.enabled
+            else None
+        )
         self.pool = CompressionLibraryPool(self.config.libraries)
         self.analyzer = InputAnalyzer()
         self.monitor = SystemMonitor(
@@ -137,12 +145,13 @@ class HCompress:
             load_factor=self.config.load_factor,
             drain_penalty=self.config.drain_penalty,
             plan_cache=self.config.plan_cache,
+            obs=self.obs,
         )
         self.shi = StorageHardwareInterface(
-            hierarchy, resilience=self.config.resilience
+            hierarchy, resilience=self.config.resilience, obs=self.obs
         )
         self.manager = CompressionManager(
-            self.pool, self.shi, executor=self.config.executor
+            self.pool, self.shi, executor=self.config.executor, obs=self.obs
         )
         # Degraded-mode replans: writes that failed against a stale system
         # view and were re-planned against a fresh monitor sample.
@@ -172,12 +181,41 @@ class HCompress:
         ``modeled_size`` for representative-sample scaling) or a prebuilt
         :class:`IOTask`.
         """
+        if self.obs is None:
+            return self._compress(
+                data, task=task, hints=hints, modeled_size=modeled_size,
+                task_id=task_id,
+            )
+        with self.obs.region("hcompress.compress") as sp:
+            result = self._compress(
+                data, task=task, hints=hints, modeled_size=modeled_size,
+                task_id=task_id,
+            )
+            sp.set_attr("task", result.task.task_id)
+            sp.set_attr("size", result.task.size)
+            sp.charge_modeled(result.compress_seconds + result.io_seconds)
+            self.obs.record_write(result)
+        return result
+
+    def _compress(
+        self,
+        data: bytes | None = None,
+        *,
+        task: IOTask | None = None,
+        hints: MetadataHints | None = None,
+        modeled_size: int | None = None,
+        task_id: str | None = None,
+    ) -> WriteResult:
         self._check_open()
         scale = self.config.python_to_native
         if task is None:
             if data is None:
                 raise HCompressError("compress() needs data or a task")
-            analysis = self.analyzer.analyze(data, hints)
+            if self.obs is not None:
+                with self.obs.region("analyzer.analyze", nbytes=len(data)):
+                    analysis = self.analyzer.analyze(data, hints)
+            else:
+                analysis = self.analyzer.analyze(data, hints)
             task = IOTask(
                 task_id=task_id or next_task_id(),
                 size=modeled_size if modeled_size is not None else len(data),
@@ -216,8 +254,15 @@ class HCompress:
         self.anatomy.write_io += result.io_seconds
 
         wall = time.perf_counter()
-        for observation in result.observations:
-            self.feedback.record(observation)
+        if self.obs is not None:
+            with self.obs.region(
+                "ccp.feedback", events=len(result.observations)
+            ):
+                for observation in result.observations:
+                    self.feedback.record(observation)
+        else:
+            for observation in result.observations:
+                self.feedback.record(observation)
         self.anatomy.feedback += (time.perf_counter() - wall) / scale
         self.anatomy.write_ops += 1
         return result
@@ -235,6 +280,21 @@ class HCompress:
         decompressed (each piece is independently decodable via its
         16-byte header).
         """
+        if self.obs is None:
+            return self._decompress(task_id, offset, length)
+        with self.obs.region("hcompress.decompress", task=task_id) as sp:
+            result = self._decompress(task_id, offset, length)
+            sp.set_attr("pieces", result.pieces)
+            sp.charge_modeled(result.decompress_seconds + result.io_seconds)
+            self.obs.record_read(result)
+        return result
+
+    def _decompress(
+        self,
+        task_id: str,
+        offset: int | None = None,
+        length: int | None = None,
+    ) -> ReadResult:
         self._check_open()
         scale = self.config.python_to_native
         if offset is not None or length is not None:
@@ -261,6 +321,24 @@ class HCompress:
     def accuracy(self) -> float | None:
         """Live cost-model accuracy (mean sliding R^2 over the ECC heads)."""
         return self.predictor.mean_accuracy()
+
+    def sync_telemetry(self) -> Observability:
+        """Mirror every legacy ad-hoc counter into the metrics registry and
+        return the engine's :class:`~repro.obs.Observability` object, ready
+        to export (see docs/OBSERVABILITY.md).
+
+        Raises :class:`HCompressError` when observability is disabled —
+        enable it with
+        ``HCompressConfig(observability=ObservabilityConfig(enabled=True))``.
+        """
+        if self.obs is None:
+            raise HCompressError(
+                "observability is disabled; construct the engine with "
+                "HCompressConfig(observability=ObservabilityConfig("
+                "enabled=True))"
+            )
+        self.obs.sync_engine(self)
+        return self.obs
 
     def finalize(self, seed_path=None) -> SeedData:
         """Flush feedback, export the evolved model into the seed, and

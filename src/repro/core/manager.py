@@ -135,9 +135,11 @@ class CompressionManager:
         shi: StorageHardwareInterface,
         on_corrupt: Callable[[str, bytes], bytes | None] | None = None,
         executor: ExecutorConfig | None = None,
+        obs=None,
     ) -> None:
         self.pool = pool
         self.shi = shi
+        self.obs = obs
         self.executor_config = executor if executor is not None else ExecutorConfig()
         self._catalog: dict[str, list[CatalogEntry]] = {}
         # (codec, feature key, sample digest) -> measured ratio, LRU;
@@ -198,6 +200,19 @@ class CompressionManager:
         piece already written is rolled back so the caller can replan and
         re-execute the task cleanly.
         """
+        if self.obs is None:
+            return self._execute_write(schema)
+        with self.obs.region(
+            "manager.execute_write",
+            task=schema.task.task_id,
+            pieces=len(schema.pieces),
+        ) as sp:
+            result = self._execute_write(schema)
+            sp.set_attr("stored", result.total_stored)
+            sp.charge_modeled(result.compress_seconds + result.io_seconds)
+        return result
+
+    def _execute_write(self, schema: Schema) -> WriteResult:
         task = schema.task
         if task.task_id in self._catalog:
             raise SchemaError(f"task {task.task_id!r} already written")
@@ -210,6 +225,11 @@ class CompressionManager:
         try:
             for index, (plan, prep) in enumerate(zip(schema.pieces, prepared)):
                 key = self.shi.piece_key(task.task_id, index)
+                if self.obs is not None:
+                    self.obs.hooks.enter(
+                        "manager.piece", key=key, codec=plan.codec,
+                        length=plan.length,
+                    )
                 self.pool.codec(plan.codec)  # library selection (factory path)
                 blob = prep.blob
                 measured_ratio = prep.measured_ratio
@@ -246,6 +266,12 @@ class CompressionManager:
                         retries=receipt.retries,
                     )
                 )
+                if self.obs is not None:
+                    self.obs.hooks.exit(
+                        "manager.piece", key=key, codec=plan.codec,
+                        tier=receipt.tier, stored=accounted,
+                        retries=receipt.retries, failover=receipt.failover,
+                    )
                 if plan.codec != "none":
                     result.observations.append(
                         CostObservation(
@@ -472,6 +498,15 @@ class CompressionManager:
         reassemble serially in piece order, so results are identical with
         the pool on or off.
         """
+        if self.obs is None:
+            return self._execute_read(task_id)
+        with self.obs.region("manager.execute_read", task=task_id) as sp:
+            result = self._execute_read(task_id)
+            sp.set_attr("pieces", result.pieces)
+            sp.charge_modeled(result.decompress_seconds + result.io_seconds)
+        return result
+
+    def _execute_read(self, task_id: str) -> ReadResult:
         try:
             pieces = self._catalog[task_id]
         except KeyError:

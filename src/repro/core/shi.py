@@ -75,6 +75,9 @@ class StorageHardwareInterface:
         on_wait: Optional hook invoked with every backoff duration so the
             owner can advance a simulated clock (and with it any fault
             injector) while the operation "sleeps". Never wall-clock.
+        obs: Optional :class:`~repro.obs.Observability` sink; per-tier
+            bytes/time and retry/failover events are pushed into its
+            registry, independently of the legacy ``stats`` counters.
     """
 
     def __init__(
@@ -82,12 +85,14 @@ class StorageHardwareInterface:
         hierarchy: StorageHierarchy,
         resilience: ResilienceConfig | None = None,
         on_wait=None,
+        obs=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.resilience = (
             resilience if resilience is not None else ResilienceConfig()
         )
         self.on_wait = on_wait
+        self.obs = obs
         self.stats = ResilienceStats()
         self._rng = random.Random(self.resilience.jitter_seed)
 
@@ -103,6 +108,8 @@ class StorageHardwareInterface:
         self.stats.retries += 1
         self.stats.backoff_seconds += seconds
         self.stats.record("retry", key, tier, attempt, round(seconds, 9))
+        if self.obs is not None:
+            self.obs.record_retry(tier, seconds)
         if self.on_wait is not None:
             self.on_wait(seconds)
         return seconds
@@ -132,6 +139,23 @@ class StorageHardwareInterface:
                 transiently past the retry budget.
             TierError: No tier could accept the write at all.
         """
+        if self.obs is None:
+            return self._write(key, tier_name, payload, accounted_size)
+        with self.obs.region("shi.write", key=key, tier=tier_name) as sp:
+            receipt = self._write(key, tier_name, payload, accounted_size)
+            sp.set_attr("landed_tier", receipt.tier)
+            sp.set_attr("nbytes", receipt.nbytes)
+            sp.charge_modeled(receipt.seconds)
+            self.obs.record_io(receipt, "write")
+        return receipt
+
+    def _write(
+        self,
+        key: str,
+        tier_name: str,
+        payload: bytes | None,
+        accounted_size: int | None = None,
+    ) -> IoReceipt:
         policy = self.resilience
         tier = self.hierarchy.by_name(tier_name)
         candidates = [tier]
@@ -153,6 +177,8 @@ class StorageHardwareInterface:
                     if attempt > policy.max_retries:
                         self.stats.exhausted += 1
                         self.stats.record("exhausted", key, name)
+                        if self.obs is not None:
+                            self.obs.record_exhausted(name)
                         break  # try the next candidate
                     charged_backoff += self._backoff(attempt, key, name)
                     continue
@@ -166,6 +192,8 @@ class StorageHardwareInterface:
                 if failover:
                     self.stats.failovers += 1
                     self.stats.record("failover", key, tier_name, name)
+                    if self.obs is not None:
+                        self.obs.record_failover(tier_name, name)
                 seconds = candidate.io_seconds(extent.accounted_size)
                 return IoReceipt(
                     key,
@@ -192,6 +220,17 @@ class StorageHardwareInterface:
         """Locate ``key`` anywhere in the hierarchy and read it, retrying
         transient failures (and tier outages, which may heal during the
         charged backoff) up to the retry budget."""
+        if self.obs is None:
+            return self._read(key)
+        with self.obs.region("shi.read", key=key) as sp:
+            payload, receipt = self._read(key)
+            sp.set_attr("tier", receipt.tier)
+            sp.set_attr("nbytes", receipt.nbytes)
+            sp.charge_modeled(receipt.seconds)
+            self.obs.record_io(receipt, "read")
+        return payload, receipt
+
+    def _read(self, key: str) -> tuple[bytes, IoReceipt]:
         policy = self.resilience
         attempt = 0
         charged_backoff = 0.0
@@ -208,6 +247,8 @@ class StorageHardwareInterface:
                 if attempt > policy.max_retries:
                     self.stats.exhausted += 1
                     self.stats.record("exhausted", key, name)
+                    if self.obs is not None:
+                        self.obs.record_exhausted(name)
                     if isinstance(exc, TransientIOError):
                         raise RetryExhaustedError(
                             f"read of {key!r} failed after "

@@ -3,7 +3,9 @@
 ``python -m repro.experiments.report [--fast]`` regenerates the full
 paper-vs-measured record. ``--fast`` shrinks the sweeps so the whole suite
 finishes in a couple of minutes; the full profile is what the committed
-EXPERIMENTS.md is produced from.
+EXPERIMENTS.md is produced from. ``--only fig7 ...`` restricts the run to
+a subset of figures (the EXPERIMENTS.md reproduction checklist uses this
+for per-figure deep dives).
 """
 
 from __future__ import annotations
@@ -28,8 +30,21 @@ from .fig8_workflow import run_fig8
 __all__ = ["run_all", "render_markdown"]
 
 
-def run_all(fast: bool = False, verbose: bool = True) -> list[ExperimentTable]:
-    """Run every reproduced table/figure; returns their result tables."""
+#: Figure keys accepted by ``run_all(only=...)`` / ``--only``.
+FIGURES = ("fig1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8")
+
+
+def run_all(
+    fast: bool = False,
+    verbose: bool = True,
+    only: tuple[str, ...] | None = None,
+) -> list[ExperimentTable]:
+    """Run every reproduced table/figure; returns their result tables.
+
+    ``only`` restricts the run to a subset of :data:`FIGURES` (the model
+    seed is still profiled once up front, so single-figure runs stay
+    reproducible against the full report).
+    """
     seed = HCompressProfiler(rng=np.random.default_rng(0)).quick_seed()
     rng = np.random.default_rng(7)
 
@@ -69,6 +84,12 @@ def run_all(fast: bool = False, verbose: bool = True) -> list[ExperimentTable]:
             ("fig8", lambda: run_fig8(scale=64, seed=seed, rng=rng)),
         ]
 
+    if only is not None:
+        unknown = sorted(set(only) - set(FIGURES))
+        if unknown:
+            raise ValueError(f"unknown figures {unknown}; choose from {FIGURES}")
+        jobs = [job for job in jobs if job[0] in only]
+
     tables = []
     for name, job in jobs:
         t0 = time.perf_counter()
@@ -95,10 +116,17 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--fast", action="store_true", help="shrunk sweeps")
     parser.add_argument(
+        "--only",
+        nargs="+",
+        choices=FIGURES,
+        default=None,
+        help="run only these figures (e.g. --only fig7)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="write markdown to this path"
     )
     args = parser.parse_args(argv)
-    tables = run_all(fast=args.fast)
+    tables = run_all(fast=args.fast, only=tuple(args.only) if args.only else None)
     text = render_markdown(tables)
     if args.output:
         args.output.write_text(text)

@@ -21,6 +21,7 @@ from the System Monitor.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 from ..ccp.predictor import CompressionCostPredictor, ExpectedCompressionCost
@@ -85,6 +86,10 @@ class HcdpEngine:
         plan_cache: Cross-task plan-cache policy (DESIGN.md §8). Defaults
             to enabled; pass ``PlanCacheConfig(enabled=False)`` for the
             seed's plan-from-scratch behaviour.
+        obs: Optional :class:`~repro.obs.Observability` sink. ``None``
+            (the default) keeps :meth:`plan` on the uninstrumented fast
+            path — a single identity check per call, which is what the
+            perf gate benches.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class HcdpEngine:
         drain_penalty: float = 1.0,
         allow_identity: bool = True,
         plan_cache: PlanCacheConfig | None = None,
+        obs=None,
     ) -> None:
         if grain < 1:
             raise ValueError(f"grain must be >= 1, got {grain}")
@@ -109,6 +115,7 @@ class HcdpEngine:
         self.grain = grain
         self.drain_penalty = drain_penalty
         self.allow_identity = allow_identity
+        self.obs = obs
         self.cost_model = CostModel(priority=priority, load_factor=load_factor)
         self.stats = EngineStats()
         self.plan_cache_config = (
@@ -142,6 +149,20 @@ class HcdpEngine:
 
     def plan(self, task: IOTask) -> Schema:
         """Produce the optimal compression/placement schema for a write task."""
+        obs = self.obs
+        if obs is None:
+            return self._plan(task)
+        hits_before = self.stats.plan_cache_hits
+        wall = time.perf_counter()
+        with obs.region("hcdp.plan", task=task.task_id, size=task.size) as sp:
+            schema = self._plan(task)
+            cache_hit = self.stats.plan_cache_hits > hits_before
+            sp.set_attr("cache", "hit" if cache_hit else "miss")
+            sp.set_attr("pieces", len(schema.pieces))
+        obs.record_plan(cache_hit, time.perf_counter() - wall)
+        return schema
+
+    def _plan(self, task: IOTask) -> Schema:
         if task.operation != Operation.WRITE:
             raise PlacementError(
                 "the HCDP engine plans write tasks; reads are driven by "
@@ -205,9 +226,16 @@ class HcdpEngine:
         # share one candidate table and one DP memo across the burst.
         dtype, data_format, distribution = task.analysis.feature_key()
         bucket = 1 << (task.size - 1).bit_length()
-        table = self.predictor.candidate_table(
-            dtype, data_format, distribution, bucket, self.pool.names[1:]
-        )
+        if self.obs is not None:
+            with self.obs.region("ccp.predict", bucket=bucket):
+                table = self.predictor.candidate_table(
+                    dtype, data_format, distribution, bucket,
+                    self.pool.names[1:],
+                )
+        else:
+            table = self.predictor.candidate_table(
+                dtype, data_format, distribution, bucket, self.pool.names[1:]
+            )
         candidates: list[tuple[str, ExpectedCompressionCost | None]] = (
             [("none", None)] if self.allow_identity else []
         )

@@ -1,5 +1,23 @@
-"""Hermes baseline: multi-tier buffering with pluggable placement, and the
-placement-then-compression adapter the paper compares against."""
+"""Hermes baseline: multi-tier buffering with pluggable placement.
+
+Hermes (HPDC'18) is the multi-tiered I/O buffering system the paper
+builds on and compares against; this package reproduces the pieces the
+evaluation needs:
+
+* ``dpe`` — the data-placement engines (MaxBW, round-robin, random,
+  min-IO-time) that choose a tier for each incoming buffer,
+* ``buffering`` — :class:`HermesBuffering`, tiering with **no** data
+  reduction (the paper's MTNC configuration),
+* ``adapters`` — :class:`HermesWithStaticCompression`, placement first
+  and a single fixed codec after (Fig. 5's comparator, demonstrating the
+  under-utilisation HCompress fixes),
+* ``flusher`` — :class:`TierFlusher`, the asynchronous drain daemon that
+  empties upper tiers during compute phases. Both the baseline **and**
+  HCompress run on top of it (DESIGN.md §5b.4).
+
+All engines consume the same hierarchy, simulator, and receipts as the
+HCompress core, so experiment harnesses drive them interchangeably.
+"""
 
 from .adapters import HermesWithStaticCompression
 from .buffering import BufferedTask, BufferReceipt, HermesBuffering

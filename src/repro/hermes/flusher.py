@@ -41,6 +41,9 @@ class TierFlusher:
         low_water: Fill fraction draining stops at.
         poll_seconds: Sleep between checks when nothing needs draining.
         batch_moves: Max extents moved per wake-up (bounds event pressure).
+        obs: Optional :class:`~repro.obs.Observability` sink; each poll
+            fires the ``flusher.poll`` profiling hooks and the cumulative
+            ``FlushStats`` are mirrored at export via ``sync_flusher``.
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class TierFlusher:
         low_water: float = 0.4,
         poll_seconds: float = 0.05,
         batch_moves: int = 8,
+        obs=None,
     ) -> None:
         if not 0.0 < low_water < high_water <= 1.0:
             raise TierError(
@@ -65,6 +69,7 @@ class TierFlusher:
         self.low_water = low_water
         self.poll_seconds = poll_seconds
         self.batch_moves = batch_moves
+        self.obs = obs
         self.stats = FlushStats()
         # FIFO order per tier: first-placed extents flush first (they are
         # the least likely to be re-read while still hot).
@@ -119,6 +124,8 @@ class TierFlusher:
         """
         while True:
             moved = 0
+            if self.obs is not None:
+                self.obs.hooks.enter("flusher.poll")
             for level in range(len(self.hierarchy) - 1):
                 tier = self.hierarchy[level]
                 if not tier.spec.bounded:
@@ -174,4 +181,6 @@ class TierFlusher:
                     if self._fill(tier) <= self.low_water:
                         break
             self.stats.polls += 1
+            if self.obs is not None:
+                self.obs.hooks.exit("flusher.poll", moved=moved)
             yield Delay(self.poll_seconds)

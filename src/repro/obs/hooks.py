@@ -1,0 +1,78 @@
+"""Lightweight enter/exit profiling hooks for the engine's hot paths.
+
+A :class:`ProfilingHooks` instance is a per-site callback table: consumers
+register ``on_enter`` / ``on_exit`` callables against a site name (the
+span taxonomy of docs/OBSERVABILITY.md — ``"hcdp.plan"``, ``"shi.write"``,
+``"flusher.poll"``, ...) or against the wildcard ``"*"`` to observe every
+site. Instrumented code fires ``hooks.enter(site, **ctx)`` before the hot
+region and ``hooks.exit(site, **ctx)`` after it, passing whatever context
+the site naturally has (task id, tier, byte counts, outcome).
+
+The design constraint is the disabled fast path: an instance with no
+registered callbacks costs one truthiness check per fire, and HCompress
+holds no hooks object at all (``None``) unless observability is on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["ProfilingHooks"]
+
+HookFn = Callable[..., None]
+
+
+class ProfilingHooks:
+    """Per-site enter/exit callback registry."""
+
+    __slots__ = ("_enter", "_exit", "fired")
+
+    def __init__(self) -> None:
+        self._enter: dict[str, list[HookFn]] = {}
+        self._exit: dict[str, list[HookFn]] = {}
+        self.fired = 0
+
+    # -- registration --------------------------------------------------------
+
+    def on_enter(self, site: str, fn: HookFn) -> HookFn:
+        """Register ``fn(site, **ctx)`` to run when ``site`` is entered.
+
+        ``site="*"`` observes every site. Returns ``fn`` (decorator-friendly).
+        """
+        self._enter.setdefault(site, []).append(fn)
+        return fn
+
+    def on_exit(self, site: str, fn: HookFn) -> HookFn:
+        """Register ``fn(site, **ctx)`` to run when ``site`` exits."""
+        self._exit.setdefault(site, []).append(fn)
+        return fn
+
+    def clear(self) -> None:
+        self._enter.clear()
+        self._exit.clear()
+
+    @property
+    def empty(self) -> bool:
+        return not self._enter and not self._exit
+
+    # -- firing (instrumentation side) ---------------------------------------
+
+    def enter(self, site: str, **ctx) -> None:
+        if not self._enter:
+            return
+        for fn in self._enter.get(site, ()):
+            fn(site, **ctx)
+            self.fired += 1
+        for fn in self._enter.get("*", ()):
+            fn(site, **ctx)
+            self.fired += 1
+
+    def exit(self, site: str, **ctx) -> None:
+        if not self._exit:
+            return
+        for fn in self._exit.get(site, ()):
+            fn(site, **ctx)
+            self.fired += 1
+        for fn in self._exit.get("*", ()):
+            fn(site, **ctx)
+            self.fired += 1

@@ -1,0 +1,430 @@
+"""The observability facade: config, instrumentation surface, export.
+
+One :class:`Observability` object per HCompress engine bundles the three
+primitives — a :class:`~repro.obs.registry.MetricsRegistry`, a
+:class:`~repro.obs.tracer.Tracer`, and :class:`~repro.obs.hooks.ProfilingHooks`
+— behind the handful of ``record_*`` calls the hot paths make.
+
+Overhead contract (docs/OBSERVABILITY.md): when
+``ObservabilityConfig.enabled`` is False (the default), no
+``Observability`` object exists at all — every instrumented component
+holds ``obs=None`` and pays one identity check per operation
+(``benchmarks/bench_obs.py`` verifies the plan path regresses < 2%).
+When enabled, hot-path cost is a few dict lookups and float adds per
+operation.
+
+Metric families follow two disciplines, split deliberately:
+
+* **push** — incremented at the instrumentation site (per plan, per
+  piece, per SHI receipt, per retry). These are *independent
+  accumulations*, cross-checked against the legacy ad-hoc counters by
+  the telemetry-drift regression tests.
+* **mirror** — set from the legacy counters (``EngineStats``,
+  ``ResilienceStats``, ``FlushStats``, ``InjectorStats``, ``Anatomy``)
+  by the ``sync_*`` methods at export time, so every pre-existing
+  counter shares the registry's one export path without rewriting its
+  increment sites.
+
+This module deliberately imports nothing from ``repro.core`` /
+``repro.hcdp`` — consumers hand their objects in duck-typed, which keeps
+``repro.obs`` a leaf package every layer can depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from .hooks import ProfilingHooks
+from .registry import (
+    DEFAULT_BYTES_BUCKETS,
+    DEFAULT_RATIO_BUCKETS,
+    DEFAULT_SECONDS_BUCKETS,
+    MetricsRegistry,
+)
+from .tracer import Tracer
+
+__all__ = ["ObservabilityConfig", "Observability"]
+
+#: Buckets for per-plan wall time (planning is sub-millisecond when cached).
+PLAN_SECONDS_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0,
+)
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """Telemetry knobs of an HCompress engine.
+
+    Attributes:
+        enabled: Master switch. Off (the default) means no registry, no
+            tracer, no hooks — the instrumented call sites reduce to an
+            ``obs is None`` check.
+        tracing: Record spans (metrics stay on when this is off).
+        max_spans: Ring-buffer bound on retained finished spans.
+    """
+
+    enabled: bool = False
+    tracing: bool = True
+    max_spans: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+
+
+class _Region:
+    """Combined span + enter/exit hook firing for one instrumented site."""
+
+    __slots__ = ("_obs", "_site", "_ctx", "_span")
+
+    def __init__(self, obs: "Observability", site: str, ctx: dict) -> None:
+        self._obs = obs
+        self._site = site
+        self._ctx = ctx
+
+    def __enter__(self):
+        self._obs.hooks.enter(self._site, **self._ctx)
+        self._span = self._obs.tracer.span(self._site, **self._ctx)
+        return self._span.__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.__exit__(exc_type, exc, tb)
+        # Exit hooks see the final span attributes (outcome annotations
+        # like cache=hit land on the span during the region).
+        self._obs.hooks.exit(self._site, **getattr(self._span, "attrs", self._ctx))
+
+
+class Observability:
+    """Live telemetry for one engine: registry + tracer + hooks.
+
+    Args:
+        config: Knobs; an all-defaults (disabled) config still produces a
+            working object — consumers that want the hard-off fast path
+            hold ``None`` instead.
+        modeled_clock: Optional simulated-time source for the tracer.
+    """
+
+    def __init__(
+        self,
+        config: ObservabilityConfig | None = None,
+        modeled_clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.config = config if config is not None else ObservabilityConfig()
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(
+            modeled_clock=modeled_clock,
+            max_spans=self.config.max_spans,
+            enabled=self.config.tracing,
+        )
+        self.hooks = ProfilingHooks()
+        reg = self.registry
+
+        # -- push families (incremented on the hot paths) --------------------
+        self.m_tasks = reg.counter(
+            "hcompress_tasks_total", "operations executed", ("op",)
+        )
+        self.m_task_bytes = reg.histogram(
+            "hcompress_task_bytes", "modeled task sizes", ("op",),
+            buckets=DEFAULT_BYTES_BUCKETS,
+        )
+        self.m_tier_ops = reg.counter(
+            "hcompress_tier_ops_total", "SHI operations per tier", ("tier", "op")
+        )
+        self.m_tier_bytes = reg.counter(
+            "hcompress_tier_bytes_total",
+            "accounted bytes moved through the SHI per tier", ("tier", "op"),
+        )
+        self.m_tier_seconds = reg.counter(
+            "hcompress_tier_io_seconds_total",
+            "modeled I/O seconds charged per tier (backoff included)",
+            ("tier", "op"),
+        )
+        self.m_retries = reg.counter(
+            "hcompress_shi_retries_total", "transient-error retries", ("tier",)
+        )
+        self.m_backoff = reg.counter(
+            "hcompress_shi_backoff_seconds_total",
+            "modeled backoff charged while retrying", ("tier",),
+        )
+        self.m_failovers = reg.counter(
+            "hcompress_shi_failovers_total",
+            "writes rerouted around a down/full tier", ("from_tier", "to_tier"),
+        )
+        self.m_exhausted = reg.counter(
+            "hcompress_shi_exhausted_total",
+            "operations that spent their whole retry budget", ("tier",),
+        )
+        self.m_plans = reg.counter(
+            "hcompress_plans_total", "HCDP plan calls by outcome", ("result",)
+        )
+        self.m_plan_seconds = reg.histogram(
+            "hcompress_plan_seconds", "wall seconds per HCDP plan call",
+            buckets=PLAN_SECONDS_BUCKETS,
+        )
+        self.m_codec_pieces = reg.counter(
+            "hcompress_codec_pieces_total", "pieces written per codec", ("codec",)
+        )
+        self.m_codec_bytes = reg.counter(
+            "hcompress_codec_bytes_total",
+            "uncompressed bytes routed through each codec", ("codec",),
+        )
+        self.m_codec_seconds = reg.counter(
+            "hcompress_codec_compress_seconds_total",
+            "modeled compression seconds per codec", ("codec",),
+        )
+        self.m_codec_ratio = reg.histogram(
+            "hcompress_codec_ratio", "measured per-piece compression ratios",
+            ("codec",), buckets=DEFAULT_RATIO_BUCKETS,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    def region(self, site: str, **ctx) -> _Region:
+        """Instrument one region: span + enter/exit hooks, as a context
+        manager yielding the live :class:`~repro.obs.tracer.Span`."""
+        return _Region(self, site, ctx)
+
+    # -- hot-path recording --------------------------------------------------
+
+    def record_io(self, receipt, op: str) -> None:
+        """Account one SHI receipt (tier where the bytes actually landed)."""
+        tier = receipt.tier
+        self.m_tier_ops.labels(tier=tier, op=op).inc()
+        self.m_tier_bytes.labels(tier=tier, op=op).inc(receipt.nbytes)
+        self.m_tier_seconds.labels(tier=tier, op=op).inc(receipt.seconds)
+
+    def record_retry(self, tier: str, backoff_seconds: float) -> None:
+        self.m_retries.labels(tier=tier).inc()
+        self.m_backoff.labels(tier=tier).inc(backoff_seconds)
+
+    def record_failover(self, from_tier: str, to_tier: str) -> None:
+        self.m_failovers.labels(from_tier=from_tier, to_tier=to_tier).inc()
+
+    def record_exhausted(self, tier: str) -> None:
+        self.m_exhausted.labels(tier=tier).inc()
+
+    def record_plan(self, cache_hit: bool, wall_seconds: float) -> None:
+        result = "cache_hit" if cache_hit else "cache_miss"
+        self.m_plans.labels(result=result).inc()
+        self.m_plan_seconds.observe(wall_seconds)
+
+    def record_write(self, result) -> None:
+        """Account one finished write task (a ``WriteResult``)."""
+        self.m_tasks.labels(op="write").inc()
+        self.m_task_bytes.labels(op="write").observe(result.task.size)
+        for piece in result.pieces:
+            codec = piece.plan.codec
+            self.m_codec_pieces.labels(codec=codec).inc()
+            self.m_codec_bytes.labels(codec=codec).inc(piece.plan.length)
+            self.m_codec_seconds.labels(codec=codec).inc(piece.compress_seconds)
+            self.m_codec_ratio.labels(codec=codec).observe(piece.actual_ratio)
+
+    def record_read(self, result) -> None:
+        """Account one finished read task (a ``ReadResult``)."""
+        self.m_tasks.labels(op="read").inc()
+        self.m_task_bytes.labels(op="read").observe(result.modeled_size)
+
+    # -- mirror sync (legacy counters -> one export path) --------------------
+
+    def sync_engine(self, engine) -> None:
+        """Mirror every legacy ad-hoc counter of an ``HCompress`` engine
+        (HCDP stats, SHI resilience trace, manager caches, feedback loop,
+        monitor, analyzer, predictor, anatomy) into the registry."""
+        reg = self.registry
+        stats = engine.engine.stats
+        for name, value in (
+            ("hcompress_plan_cache_hits_total", stats.plan_cache_hits),
+            ("hcompress_plan_cache_misses_total", stats.plan_cache_misses),
+            (
+                "hcompress_plan_cache_invalidations_total",
+                stats.plan_cache_invalidations,
+            ),
+            ("hcompress_dp_memo_hits_total", stats.memo_hits),
+            ("hcompress_dp_memo_misses_total", stats.memo_misses),
+            ("hcompress_tasks_planned_total", stats.tasks_planned),
+            ("hcompress_pieces_emitted_total", stats.pieces_emitted),
+            ("hcompress_degraded_plans_total", stats.degraded_plans),
+            ("hcompress_replans_total", engine.replans),
+        ):
+            reg.counter(name, "mirror of the HCDP engine counters").set(value)
+
+        shi = engine.shi.stats
+        reg.counter(
+            "hcompress_shi_trace_retries_total",
+            "mirror of ResilienceStats.retries",
+        ).set(shi.retries)
+        reg.counter(
+            "hcompress_shi_trace_failovers_total",
+            "mirror of ResilienceStats.failovers",
+        ).set(shi.failovers)
+        reg.counter(
+            "hcompress_shi_trace_exhausted_total",
+            "mirror of ResilienceStats.exhausted",
+        ).set(shi.exhausted)
+        reg.counter(
+            "hcompress_shi_trace_backoff_seconds_total",
+            "mirror of ResilienceStats.backoff_seconds",
+        ).set(shi.backoff_seconds)
+        trace_events = reg.counter(
+            "hcompress_shi_trace_events_total",
+            "deterministic SHI trace events by kind", ("kind",),
+        )
+        by_kind: dict[str, int] = {}
+        for event in shi.trace:
+            by_kind[event[0]] = by_kind.get(event[0], 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            trace_events.labels(kind=kind).set(count)
+
+        manager = engine.manager
+        for name, value in (
+            ("hcompress_sample_cache_hits_total", manager.sample_cache_hits),
+            ("hcompress_sample_cache_misses_total", manager.sample_cache_misses),
+            ("hcompress_spill_events_total", manager.spill_events),
+            ("hcompress_parallel_pieces_total", manager.parallel_pieces),
+            ("hcompress_read_repairs_total", manager.read_repairs),
+            (
+                "hcompress_corruption_detected_total",
+                manager.corruption_detected,
+            ),
+        ):
+            reg.counter(name, "mirror of the Compression Manager counters").set(
+                value
+            )
+
+        feedback = engine.feedback
+        reg.counter(
+            "hcompress_feedback_events_total", "observations recorded"
+        ).set(feedback.events)
+        reg.counter(
+            "hcompress_feedback_flushes_total", "RLS batch updates"
+        ).set(feedback.flushes)
+        reg.gauge(
+            "hcompress_feedback_pending", "observations awaiting a flush"
+        ).set(feedback.pending)
+
+        predictor = engine.predictor
+        reg.gauge(
+            "hcompress_model_version", "CCP parameter generation"
+        ).set(predictor.model_version)
+        accuracy = predictor.mean_accuracy()
+        if accuracy is not None:
+            reg.gauge(
+                "hcompress_model_accuracy", "sliding mean R^2 over the heads"
+            ).set(accuracy)
+        reg.counter(
+            "hcompress_ccp_table_cache_hits_total",
+            "candidate-table cache hits",
+        ).set(predictor.table_cache_hits)
+        reg.counter(
+            "hcompress_ccp_table_cache_misses_total",
+            "candidate-table cache misses",
+        ).set(predictor.table_cache_misses)
+
+        monitor = engine.monitor
+        reg.counter(
+            "hcompress_monitor_samples_total", "fresh hierarchy snapshots"
+        ).set(monitor.samples_taken)
+        reg.gauge(
+            "hcompress_monitor_state_epoch",
+            "planning-relevant state transitions observed",
+        ).set(monitor.state_epoch)
+
+        analyzer = engine.analyzer
+        reg.counter(
+            "hcompress_analyzer_cache_hits_total", "input-analysis cache hits"
+        ).set(analyzer.cache_hits)
+        reg.counter(
+            "hcompress_analyzer_cache_misses_total",
+            "input analyses that ran inference",
+        ).set(analyzer.cache_misses)
+
+        anatomy = engine.anatomy
+        phase_seconds = reg.counter(
+            "hcompress_anatomy_seconds_total",
+            "per-stage time accounting (Fig. 3 categories)", ("phase",),
+        )
+        for phase in (
+            "hcdp_engine", "library_selection", "compression", "feedback",
+            "write_io", "metadata_parsing", "decompression", "read_feedback",
+            "read_io",
+        ):
+            phase_seconds.labels(phase=phase).set(getattr(anatomy, phase))
+
+    def sync_flusher(self, stats) -> None:
+        """Mirror ``FlushStats`` (the background tier drainer)."""
+        reg = self.registry
+        for name, value in (
+            ("hcompress_flusher_moves_total", stats.moves),
+            ("hcompress_flusher_bytes_moved_total", stats.bytes_moved),
+            ("hcompress_flusher_polls_total", stats.polls),
+            ("hcompress_flusher_failed_moves_total", stats.failed_moves),
+            (
+                "hcompress_flusher_skipped_unavailable_total",
+                stats.skipped_unavailable,
+            ),
+        ):
+            reg.counter(name, "mirror of the TierFlusher counters").set(value)
+
+    def sync_injector(self, stats) -> None:
+        """Mirror ``InjectorStats`` (the fault-injection event log)."""
+        reg = self.registry
+        for name, value in (
+            ("hcompress_faults_applied_total", stats.events_applied),
+            ("hcompress_faults_outages_total", stats.outages),
+            ("hcompress_faults_recoveries_total", stats.recoveries),
+            ("hcompress_faults_transient_errors_total", stats.transient_errors),
+            ("hcompress_faults_corruptions_total", stats.corruptions),
+        ):
+            reg.counter(name, "mirror of the FaultInjector counters").set(value)
+        log_events = reg.counter(
+            "hcompress_fault_log_events_total",
+            "injector log entries by kind", ("kind",),
+        )
+        by_kind: dict[str, int] = {}
+        for event in stats.log:
+            by_kind[str(event[0])] = by_kind.get(str(event[0]), 0) + 1
+        for kind, count in sorted(by_kind.items()):
+            log_events.labels(kind=kind).set(count)
+
+    # -- export --------------------------------------------------------------
+
+    def export_metrics(self) -> dict:
+        """The registry snapshot (schema ``hcompress.metrics.v1``)."""
+        return self.registry.collect()
+
+    def export_chrome_trace(self) -> dict:
+        """The span buffer in Chrome trace-event format."""
+        return self.tracer.to_chrome()
+
+    def summary(self) -> str:
+        """Human-readable metrics table (counters/gauges + histogram means)."""
+        lines = [f"{'metric':44s} {'labels':28s} {'value':>14s}"]
+        snapshot = self.registry.collect()
+        for name, family in snapshot["metrics"].items():
+            for series in family["series"]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in series["labels"].items()
+                )
+                if family["type"] == "histogram":
+                    count = series["count"]
+                    mean = series["sum"] / count if count else 0.0
+                    value = f"n={count} mean={mean:.4g}"
+                else:
+                    value = f"{series['value']:.6g}"
+                lines.append(f"{name:44s} {labels:28s} {value:>14s}")
+        return "\n".join(lines)
+
+    def span_summary(self) -> str:
+        """Per-span-name rollup table: count, wall and modeled seconds."""
+        lines = [
+            f"{'span':28s} {'count':>7s} {'wall_s':>10s} {'modeled_s':>10s}"
+        ]
+        for name, entry in sorted(self.tracer.by_name().items()):
+            lines.append(
+                f"{name:28s} {entry['count']:7d} "
+                f"{entry['wall_seconds']:10.4f} {entry['modeled_seconds']:10.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,326 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Zero-dependency, label-aware metric families in the Prometheus idiom,
+sized for an in-process engine rather than a scrape endpoint. A family
+(``Counter``, ``Gauge``, ``Histogram``) owns one series per distinct
+label-value combination; an unlabeled family is its own single series.
+
+Two write disciplines coexist by design (docs/OBSERVABILITY.md):
+
+* **Push** series are incremented at the instrumentation site (per piece,
+  per retry) — the hot-path cost is one dict lookup and an add.
+* **Mirror** series are *set* from a legacy ad-hoc counter at export time
+  (``Counter.set``); the legacy structure stays the source of truth and
+  the registry is the shared export path. The telemetry-drift regression
+  test (``tests/obs``) holds the two views equal.
+
+Everything here is plain Python with no locks: HCompress instruments only
+its serial control path (codec worker threads never touch the registry).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass, field
+
+from ..errors import HCompressError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_SECONDS_BUCKETS",
+    "DEFAULT_RATIO_BUCKETS",
+    "DEFAULT_BYTES_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds for durations in seconds.
+DEFAULT_SECONDS_BUCKETS: tuple[float, ...] = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 30.0, 120.0,
+)
+
+#: Default buckets for compression ratios (1.0 = incompressible).
+DEFAULT_RATIO_BUCKETS: tuple[float, ...] = (
+    1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 20.0,
+)
+
+#: Default buckets for byte sizes (4 KiB .. 1 GiB).
+DEFAULT_BYTES_BUCKETS: tuple[float, ...] = tuple(
+    float(4096 << (2 * i)) for i in range(10)
+)
+
+
+def _series_key(
+    labelnames: tuple[str, ...], labels: dict[str, str]
+) -> tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise HCompressError(
+            f"labels {sorted(labels)} do not match declared label names "
+            f"{sorted(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+@dataclass
+class _CounterSeries:
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the series."""
+        if amount < 0:
+            raise HCompressError("counters only increase; use a Gauge")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Mirror-sync: overwrite with an externally accumulated total."""
+        self.value = value
+
+
+@dataclass
+class _GaugeSeries:
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramSeries:
+    """Fixed-bucket histogram: counts per upper bound, plus sum/count."""
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        self.buckets = buckets
+        self.counts = [0] * (len(buckets) + 1)  # +1: overflow bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _Family:
+    """Shared plumbing of a labeled metric family."""
+
+    kind = "abstract"
+    _series_cls: type | None = None
+
+    def __init__(
+        self, name: str, help: str, labelnames: tuple[str, ...] = ()
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._series: dict[tuple[str, ...], object] = {}
+
+    def _make_series(self):
+        return self._series_cls()  # type: ignore[misc]
+
+    def labels(self, **labels: str):
+        """The child series for one label-value combination (auto-created)."""
+        key = _series_key(self.labelnames, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._make_series()
+            self._series[key] = series
+        return series
+
+    def _default(self):
+        """The unlabeled series (only valid for label-less families)."""
+        if self.labelnames:
+            raise HCompressError(
+                f"metric {self.name!r} declares labels {self.labelnames}; "
+                f"use .labels(...)"
+            )
+        return self.labels()
+
+    def series_items(self):
+        """Iterate ``(labels dict, series)`` pairs in insertion order."""
+        for key, series in self._series.items():
+            yield dict(zip(self.labelnames, key)), series
+
+
+class Counter(_Family):
+    """Monotone counter family; ``set`` exists only for mirror-sync."""
+
+    kind = "counter"
+    _series_cls = _CounterSeries
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    @property
+    def value(self) -> float:
+        """Total across every series of the family."""
+        return sum(s.value for s in self._series.values())
+
+
+class Gauge(_Family):
+    """Point-in-time value family."""
+
+    kind = "gauge"
+    _series_cls = _GaugeSeries
+
+    def set(self, value: float) -> None:
+        self._default().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default().dec(amount)
+
+    @property
+    def value(self) -> float:
+        return sum(s.value for s in self._series.values())
+
+
+class Histogram(_Family):
+    """Fixed-bucket distribution family."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise HCompressError("histogram buckets must be sorted and non-empty")
+        self.buckets = tuple(float(b) for b in buckets)
+
+    def _make_series(self):
+        return _HistogramSeries(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default().observe(value)
+
+
+@dataclass
+class MetricsRegistry:
+    """A named collection of metric families with one JSON export path.
+
+    Families are created idempotently: asking for an existing name returns
+    the registered family (declarations must agree on kind and labels, or
+    :class:`~repro.errors.HCompressError` is raised — silent redefinition
+    is how telemetry drifts).
+    """
+
+    _families: dict[str, _Family] = field(default_factory=dict)
+
+    def _register(self, family: _Family) -> _Family:
+        existing = self._families.get(family.name)
+        if existing is not None:
+            if (
+                existing.kind != family.kind
+                or existing.labelnames != family.labelnames
+            ):
+                raise HCompressError(
+                    f"metric {family.name!r} re-declared with a different "
+                    f"kind or label set"
+                )
+            return existing
+        self._families[family.name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()
+    ) -> Counter:
+        return self._register(Counter(name, help, labels))  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help: str = "", labels: tuple[str, ...] = ()
+    ) -> Gauge:
+        return self._register(Gauge(name, help, labels))  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labels, buckets))  # type: ignore[return-value]
+
+    # -- queries -------------------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def get(self, name: str) -> _Family | None:
+        return self._families.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._families)
+
+    def value(self, name: str, **labels: str) -> float:
+        """One series' current value (counters/gauges only)."""
+        family = self._families.get(name)
+        if family is None:
+            raise HCompressError(f"no metric named {name!r}")
+        if isinstance(family, Histogram):
+            raise HCompressError(
+                f"{name!r} is a histogram; read .labels(...).sum/.count"
+            )
+        series = family.labels(**labels)
+        return series.value  # type: ignore[union-attr]
+
+    # -- export --------------------------------------------------------------
+
+    def collect(self) -> dict:
+        """Stable JSON-ready snapshot of every family.
+
+        Schema (``hcompress.metrics.v1``): families sorted by name, series
+        in creation order; histogram series carry bucket bounds alongside
+        per-bucket counts (the final count is the overflow bucket).
+        """
+        out: dict = {"schema": "hcompress.metrics.v1", "metrics": {}}
+        for name in sorted(self._families):
+            family = self._families[name]
+            entry: dict = {
+                "type": family.kind,
+                "help": family.help,
+                "labels": list(family.labelnames),
+                "series": [],
+            }
+            if isinstance(family, Histogram):
+                entry["buckets"] = list(family.buckets)
+            for labels, series in family.series_items():
+                if isinstance(series, _HistogramSeries):
+                    entry["series"].append(
+                        {
+                            "labels": labels,
+                            "counts": list(series.counts),
+                            "sum": series.sum,
+                            "count": series.count,
+                        }
+                    )
+                else:
+                    entry["series"].append(
+                        {"labels": labels, "value": series.value}  # type: ignore[union-attr]
+                    )
+            out["metrics"][name] = entry
+        return out
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.collect(), indent=indent, sort_keys=False)

@@ -1,4 +1,18 @@
-"""Discrete-event cluster simulation: clock, engine, MPI-style ranks, traces."""
+"""Discrete-event cluster simulation: clock, engine, MPI-style ranks, traces.
+
+The paper ran on a 64-node cluster; this package substitutes a
+generator-based discrete-event simulator (DESIGN.md §2). Rank programs
+are Python generators that ``yield`` requests — :class:`Delay` (compute),
+:class:`IO` (charge bytes against a tier's queueing/bandwidth model),
+:class:`Barrier` (bulk-synchronous step) — and the :class:`Simulation`
+engine advances a shared :class:`SimClock` through the event queue.
+``mpi`` layers the communicator-style surface (``spawn_ranks``,
+``RankContext.barrier``) on top; ``trace`` records per-tier I/O
+timelines for the experiment harnesses.
+
+Timing is simulated; algorithmic work (planning, compression, analysis)
+runs for real and charges its *modeled* seconds to this clock.
+"""
 
 from .clock import SimClock
 from .engine import Simulation

@@ -122,6 +122,7 @@ def run_vpic(
     rng: np.random.Generator | None = None,
     trace=None,
     flush: bool = True,
+    flusher=None,
 ) -> VpicRunResult:
     """Simulate the full VPIC-IO kernel against one backend.
 
@@ -131,7 +132,9 @@ def run_vpic(
 
     ``flush`` runs the asynchronous tier drainer (Hermes buffering
     semantics); it is a no-op for single-tier backends since only bounded
-    upper tiers are ever drained.
+    upper tiers are ever drained. Pass a preconstructed ``flusher``
+    (a :class:`~repro.hermes.flusher.TierFlusher`) to drain with custom
+    watermarks or an observability sink; it must wrap ``hierarchy``.
     """
     from ..hermes.flusher import TierFlusher
 
@@ -139,7 +142,9 @@ def run_vpic(
     sample = vpic_sample(config.sample_bytes, rng)
     sim = Simulation(hierarchy, trace=trace)
     if flush and len(hierarchy) > 1:
-        sim.add_process(TierFlusher(hierarchy).process(), daemon=True)
+        if flusher is None:
+            flusher = TierFlusher(hierarchy)
+        sim.add_process(flusher.process(), daemon=True)
     stored_total = [0]
     tasks = [0]
     cpu_total = [0.0]

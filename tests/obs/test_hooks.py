@@ -1,0 +1,75 @@
+"""ProfilingHooks: registration, firing, wildcard, fast path."""
+
+from __future__ import annotations
+
+from repro.obs import ProfilingHooks
+
+
+class TestRegistration:
+    def test_on_enter_returns_fn(self) -> None:
+        hooks = ProfilingHooks()
+
+        def fn(site, **ctx):
+            pass
+
+        assert hooks.on_enter("a", fn) is fn
+        assert hooks.on_exit("a", fn) is fn
+
+    def test_empty_and_clear(self) -> None:
+        hooks = ProfilingHooks()
+        assert hooks.empty
+        hooks.on_enter("a", lambda site, **ctx: None)
+        assert not hooks.empty
+        hooks.clear()
+        assert hooks.empty
+
+
+class TestFiring:
+    def test_enter_and_exit_receive_context(self) -> None:
+        hooks = ProfilingHooks()
+        calls = []
+        hooks.on_enter("shi.write", lambda site, **ctx: calls.append(("in", site, ctx)))
+        hooks.on_exit("shi.write", lambda site, **ctx: calls.append(("out", site, ctx)))
+        hooks.enter("shi.write", key="t/0", tier="ram")
+        hooks.exit("shi.write", key="t/0", landed_tier="nvme")
+        assert calls == [
+            ("in", "shi.write", {"key": "t/0", "tier": "ram"}),
+            ("out", "shi.write", {"key": "t/0", "landed_tier": "nvme"}),
+        ]
+        assert hooks.fired == 2
+
+    def test_wildcard_observes_every_site(self) -> None:
+        hooks = ProfilingHooks()
+        seen = []
+        hooks.on_enter("*", lambda site, **ctx: seen.append(site))
+        hooks.enter("hcdp.plan")
+        hooks.enter("flusher.poll")
+        assert seen == ["hcdp.plan", "flusher.poll"]
+
+    def test_specific_fires_before_wildcard(self) -> None:
+        hooks = ProfilingHooks()
+        order = []
+        hooks.on_enter("a", lambda site, **ctx: order.append("specific"))
+        hooks.on_enter("*", lambda site, **ctx: order.append("wildcard"))
+        hooks.enter("a")
+        assert order == ["specific", "wildcard"]
+
+    def test_unregistered_site_is_noop(self) -> None:
+        hooks = ProfilingHooks()
+        hooks.on_enter("a", lambda site, **ctx: None)
+        hooks.enter("b")  # no "b" hooks, no wildcard: nothing fires
+        assert hooks.fired == 0
+
+    def test_empty_table_fast_path(self) -> None:
+        hooks = ProfilingHooks()
+        hooks.enter("anything", heavy="context")
+        hooks.exit("anything")
+        assert hooks.fired == 0
+
+    def test_multiple_hooks_per_site(self) -> None:
+        hooks = ProfilingHooks()
+        seen = []
+        hooks.on_exit("a", lambda site, **ctx: seen.append(1))
+        hooks.on_exit("a", lambda site, **ctx: seen.append(2))
+        hooks.exit("a")
+        assert seen == [1, 2]

@@ -1,0 +1,118 @@
+"""Tracer: nesting, dual timelines, ring bound, Chrome export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestSpans:
+    def test_records_wall_time_and_attrs(self) -> None:
+        tracer = Tracer()
+        with tracer.span("op", task="t0") as span:
+            span.set_attr("pieces", 2)
+        (record,) = tracer.spans
+        assert record.name == "op"
+        assert record.wall_seconds >= 0.0
+        assert record.attrs == {"task": "t0", "pieces": 2}
+
+    def test_nesting_depth_and_parent(self) -> None:
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # inner finishes first
+        assert (inner.name, inner.depth) == ("inner", 1)
+        assert (outer.name, outer.depth) == ("outer", 0)
+        assert inner.parent_index == outer.index
+        assert outer.parent_index is None
+
+    def test_charge_modeled_accumulates(self) -> None:
+        tracer = Tracer()
+        with tracer.span("op") as span:
+            span.charge_modeled(1.5)
+            span.charge_modeled(0.5)
+        assert tracer.spans[0].modeled_seconds == pytest.approx(2.0)
+
+    def test_modeled_clock_delta(self) -> None:
+        now = [10.0]
+        tracer = Tracer(modeled_clock=lambda: now[0])
+        with tracer.span("op") as span:
+            now[0] = 12.0
+            span.charge_modeled(1.0)  # explicit charges add to the delta
+        record = tracer.spans[0]
+        assert record.start_modeled == 10.0
+        assert record.modeled_seconds == pytest.approx(3.0)
+
+    def test_error_attr_on_exception(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("op"):
+                raise ValueError("boom")
+        assert tracer.spans[0].attrs["error"] == "ValueError"
+
+    def test_exception_unwinds_nested_stack(self) -> None:
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError
+        # The stack fully unwinds; a fresh span is a root again.
+        with tracer.span("after"):
+            pass
+        assert tracer.spans[-1].depth == 0
+
+
+class TestBounds:
+    def test_ring_buffer_drops_oldest(self) -> None:
+        tracer = Tracer(max_spans=2)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.spans] == ["s3", "s4"]
+        assert tracer.dropped == 3
+
+    def test_max_spans_validated(self) -> None:
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_disabled_records_nothing(self) -> None:
+        tracer = Tracer(enabled=False)
+        span = tracer.span("op")
+        assert span is NULL_SPAN
+        with span as s:
+            s.set_attr("k", 1)
+            s.charge_modeled(1.0)
+        assert len(tracer.spans) == 0
+
+
+class TestRollupAndExport:
+    def test_by_name_rollup(self) -> None:
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("op") as span:
+                span.charge_modeled(1.0)
+        entry = tracer.by_name()["op"]
+        assert entry["count"] == 3
+        assert entry["modeled_seconds"] == pytest.approx(3.0)
+        assert entry["wall_seconds"] >= 0.0
+
+    def test_chrome_export_shape(self) -> None:
+        tracer = Tracer()
+        with tracer.span("modeled-op") as span:
+            span.charge_modeled(0.25)
+        with tracer.span("wall-only"):
+            pass
+        trace = tracer.to_chrome()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in meta} == {"wall", "modeled"}
+        wall = [e for e in events if e["ph"] == "X" and e["pid"] == 1]
+        modeled = [e for e in events if e["ph"] == "X" and e["pid"] == 2]
+        assert {e["name"] for e in wall} == {"modeled-op", "wall-only"}
+        # Only spans with modeled time get a modeled-row event.
+        assert [e["name"] for e in modeled] == ["modeled-op"]
+        assert modeled[0]["dur"] == pytest.approx(0.25e6)
+        assert all(e["dur"] > 0 for e in wall)  # tracing-viewer requirement

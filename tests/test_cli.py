@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -20,6 +22,16 @@ class TestParser:
     def test_report_flags(self) -> None:
         args = build_parser().parse_args(["report", "--fast"])
         assert args.fast
+
+    def test_metrics_defaults(self) -> None:
+        args = build_parser().parse_args(["metrics"])
+        assert (args.nprocs, args.steps, args.scale) == (320, 10, 4096)
+        assert not args.json
+        assert args.output is None
+
+    def test_trace_defaults(self) -> None:
+        args = build_parser().parse_args(["trace"])
+        assert (args.nprocs, args.steps, args.scale) == (320, 10, 4096)
 
 
 class TestCommands:
@@ -67,3 +79,80 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "plan cache  : off" in output
         assert "hits=0 misses=0" in output
+
+    def test_stats_zero_tasks_is_well_formed(self, capsys) -> None:
+        """Regression: an empty burst must yield a complete report, not a
+        division error or a partial table."""
+        assert main(["stats", "--tasks", "0", "--kib", "16"]) == 0
+        output = capsys.readouterr().out
+        assert "burst: 0 x" in output
+        assert "(0 tasks/s)" in output
+        assert "plan cache  :" in output
+        assert "cost model  :" in output
+
+    def test_stats_json_zero_tasks(self, capsys) -> None:
+        assert main(["stats", "--tasks", "0", "--kib", "16", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["burst"]["tasks"] == 0
+        assert report["burst"]["tasks_per_second"] == 0.0
+        assert report["plan_cache"]["hits"] == 0
+
+    def test_stats_json_counts_the_burst(self, capsys) -> None:
+        assert main(["stats", "--tasks", "16", "--kib", "16", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["plans"]["tasks_planned"] == 16
+        hits = report["plan_cache"]["hits"]
+        misses = report["plan_cache"]["misses"]
+        assert hits + misses == 16
+
+
+class TestObservabilityCommands:
+    """``hcompress metrics`` / ``hcompress trace`` — tiny instrumented runs."""
+
+    RUN = ["--nprocs", "4", "--steps", "2", "--scale", "4096"]
+
+    def test_metrics_json_schema(self, capsys) -> None:
+        assert main(["metrics", *self.RUN, "--json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["schema"] == "hcompress.metrics.v1"
+        metrics = snap["metrics"]
+        for family in (
+            "hcompress_plans_total",
+            "hcompress_tasks_total",
+            "hcompress_tier_bytes_total",
+            "hcompress_codec_ratio",
+            "hcompress_plan_cache_hits_total",
+            "hcompress_flusher_polls_total",
+        ):
+            assert family in metrics, f"missing {family}"
+        tasks = metrics["hcompress_tasks_total"]["series"]
+        assert {"labels": {"op": "write"}, "value": 8.0} in tasks
+
+    def test_metrics_table_output(self, capsys) -> None:
+        assert main(["metrics", *self.RUN]) == 0
+        output = capsys.readouterr().out
+        assert "run: 8 tasks" in output
+        assert "hcompress_plans_total" in output
+
+    def test_metrics_output_file(self, tmp_path, capsys) -> None:
+        out = tmp_path / "metrics.json"
+        assert main(["metrics", *self.RUN, "--output", str(out)]) == 0
+        snap = json.loads(out.read_text())
+        assert snap["schema"] == "hcompress.metrics.v1"
+
+    def test_trace_rollup_output(self, capsys) -> None:
+        assert main(["trace", *self.RUN]) == 0
+        output = capsys.readouterr().out
+        assert "hcdp.plan" in output
+        assert "shi.write" in output
+        assert "spans recorded" in output
+
+    def test_trace_chrome_export(self, tmp_path) -> None:
+        out = tmp_path / "trace.json"
+        assert main(["trace", *self.RUN, "--output", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "X"}
+        assert "hcompress.compress" in names
+        assert all(e["dur"] > 0 for e in events if e["ph"] == "X")

@@ -1,0 +1,96 @@
+"""Documentation health: links resolve, snippets run, CLI help is pinned.
+
+Thin pytest wrapper over ``tools/check_docs.py`` so doc rot fails the
+tier-1 suite, not just the CI docs job.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def check_docs():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs", REPO / "tools" / "check_docs.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_markdown_links_resolve(check_docs) -> None:
+    assert check_docs.check_links() == []
+
+
+def test_doc_snippets_run(check_docs) -> None:
+    assert check_docs.check_snippets() == []
+
+
+def test_cli_help_matches_golden(check_docs) -> None:
+    errors = check_docs.check_cli_help()
+    assert errors == [], (
+        "CLI --help drifted from tests/golden/; if the change is "
+        "intentional, update README/docs and run "
+        "`python tools/check_docs.py --update-golden`"
+    )
+
+
+def test_required_docs_exist() -> None:
+    for path in (
+        "docs/ARCHITECTURE.md",
+        "docs/OBSERVABILITY.md",
+        "DESIGN.md",
+        "EXPERIMENTS.md",
+        "README.md",
+    ):
+        assert (REPO / path).is_file(), f"missing {path}"
+
+
+def test_observability_doc_names_real_metrics(check_docs) -> None:
+    """Every hcompress_* metric family documented in OBSERVABILITY.md
+    exists in a synced engine export (and vice versa for push families),
+    so the reference cannot drift from the code."""
+    import re
+
+    import numpy as np
+
+    from repro.core import HCompress, HCompressConfig, ObservabilityConfig
+    from repro.core.profiler import HCompressProfiler
+    from repro.tiers import ares_hierarchy
+    from repro.units import KiB, MiB
+
+    doc = (REPO / "docs" / "OBSERVABILITY.md").read_text()
+    documented = set(re.findall(r"hcompress_[a-z0-9_{},]+", doc))
+
+    seed = HCompressProfiler(rng=np.random.default_rng(0)).quick_seed(
+        sizes=(8 * KiB,)
+    )
+    engine = HCompress(
+        ares_hierarchy(4 * MiB, 8 * MiB, 64 * MiB),
+        HCompressConfig(observability=ObservabilityConfig(enabled=True)),
+        seed=seed,
+    )
+    engine.compress(b"drift check " * 512, task_id="t0")
+    exported = set(engine.sync_telemetry().export_metrics()["metrics"])
+
+    # Expand the doc's {a,b} shorthand before comparing.
+    expanded = set()
+    for name in documented:
+        match = re.match(r"(.*)\{([a-z0-9_,]+)\}(.*)", name)
+        if match and "," in match.group(2):
+            for part in match.group(2).split(","):
+                expanded.add(match.group(1) + part + match.group(3))
+        else:
+            expanded.add(name.split("{", 1)[0].rstrip("_"))
+    expanded = {n.rstrip("_").rstrip(",") for n in expanded}
+
+    undocumented = exported - expanded
+    assert not undocumented, f"exported but not in OBSERVABILITY.md: {sorted(undocumented)}"

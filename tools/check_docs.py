@@ -1,0 +1,168 @@
+#!/usr/bin/env python
+"""Documentation checks: links, runnable snippets, CLI help drift.
+
+Run from the repository root (CI's docs job does)::
+
+    PYTHONPATH=src python tools/check_docs.py            # run every check
+    PYTHONPATH=src python tools/check_docs.py --update-golden
+
+Three checks, each also importable for the pytest wrapper
+(``tests/test_docs.py``):
+
+* **check_links** — every relative markdown link in the repo's ``*.md``
+  files (root + ``docs/``) resolves to an existing file or directory.
+* **check_snippets** — every ```` ```pycon ```` block in README.md and
+  ``docs/*.md`` runs under doctest (so the documented telemetry examples
+  cannot rot), and every ```` ```python ```` block at least compiles.
+* **check_cli_help** — ``hcompress --help`` (and each subcommand's help)
+  matches the committed golden files in ``tests/golden/`` at a fixed
+  80-column width. Regenerate with ``--update-golden`` after an
+  intentional CLI change; unexplained drift means README/docs and the
+  parser disagree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import doctest
+import io
+import os
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+GOLDEN_DIR = REPO / "tests" / "golden"
+
+#: Markdown files whose links are checked.
+DOC_FILES = sorted(REPO.glob("*.md")) + sorted((REPO / "docs").glob("*.md"))
+
+#: Files whose ```pycon blocks must pass doctest.
+SNIPPET_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
+
+#: CLI help surfaces pinned by golden files ("" is the top-level parser).
+HELP_SUBCOMMANDS = (
+    "", "profile", "codecs", "report", "demo", "chaos", "stats",
+    "metrics", "trace",
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE_RE = re.compile(r"```(\w+)\n(.*?)```", re.DOTALL)
+
+
+def check_links() -> list[str]:
+    """Every relative link target in the doc set exists on disk."""
+    errors = []
+    for doc in DOC_FILES:
+        for target in _LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{doc.relative_to(REPO)}: broken link -> {target}"
+                )
+    return errors
+
+
+def _fences(text: str, language: str) -> list[str]:
+    return [body for lang, body in _FENCE_RE.findall(text) if lang == language]
+
+
+def check_snippets() -> list[str]:
+    """```pycon blocks pass doctest; ```python blocks compile."""
+    errors = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.ELLIPSIS | doctest.NORMALIZE_WHITESPACE
+    )
+    for doc in SNIPPET_FILES:
+        text = doc.read_text()
+        rel = doc.relative_to(REPO)
+        for i, block in enumerate(_fences(text, "pycon")):
+            test = parser.get_doctest(block, {}, f"{rel}[pycon #{i}]", str(rel), 0)
+            out = io.StringIO()
+            result = runner.run(test, out=out.write)
+            if result.failed:
+                errors.append(
+                    f"{rel}: pycon block #{i} failed doctest:\n{out.getvalue()}"
+                )
+        for i, block in enumerate(_fences(text, "python")):
+            try:
+                compile(block, f"{rel}[python #{i}]", "exec")
+            except SyntaxError as exc:
+                errors.append(f"{rel}: python block #{i} does not compile: {exc}")
+    return errors
+
+
+def _render_help(subcommand: str) -> str:
+    """The CLI's help text at a deterministic 80-column width."""
+    os.environ["COLUMNS"] = "80"
+    from repro.cli import build_parser
+
+    argv = [subcommand, "--help"] if subcommand else ["--help"]
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        try:
+            build_parser().parse_args(argv)
+        except SystemExit:
+            pass
+    return out.getvalue()
+
+
+def _golden_path(subcommand: str) -> Path:
+    return GOLDEN_DIR / f"help_{subcommand or 'hcompress'}.txt"
+
+
+def check_cli_help() -> list[str]:
+    """Live ``--help`` output matches the committed golden files."""
+    errors = []
+    for sub in HELP_SUBCOMMANDS:
+        golden = _golden_path(sub)
+        if not golden.exists():
+            errors.append(f"missing golden file {golden.relative_to(REPO)}")
+            continue
+        live = _render_help(sub)
+        if live != golden.read_text():
+            errors.append(
+                f"CLI help drift for {sub or 'top-level'!r}: update docs, "
+                f"then regenerate with tools/check_docs.py --update-golden"
+            )
+    return errors
+
+
+def update_golden() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for sub in HELP_SUBCOMMANDS:
+        path = _golden_path(sub)
+        path.write_text(_render_help(sub))
+        print(f"wrote {path.relative_to(REPO)}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update-golden", action="store_true",
+        help="regenerate the CLI help golden files and exit",
+    )
+    args = parser.parse_args(argv)
+    if args.update_golden:
+        update_golden()
+        return 0
+    failures = 0
+    for check in (check_links, check_snippets, check_cli_help):
+        errors = check()
+        status = "ok" if not errors else f"{len(errors)} problem(s)"
+        print(f"{check.__name__}: {status}")
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        failures += len(errors)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
