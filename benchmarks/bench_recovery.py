@@ -1,0 +1,96 @@
+"""Recovery bench: checkpoint and restore budgets at fig-7 burst scale.
+
+A journaled engine absorbs a 64-rank VPIC burst (64 x 64 KiB particle
+buffers, spills and journal commits included), then the bench pins the
+durability round trip: `checkpoint()` must snapshot-and-compact, and
+`HCompress.restore()` must rebuild a byte-identical engine from the
+snapshot plus journal suffix, each within a wall-clock budget loose
+enough for shared CI runners but tight enough to catch an accidental
+O(catalog^2) regression.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import HCompress, HCompressConfig, RecoveryConfig, ares_hierarchy
+from repro.units import GiB, KiB, MiB
+from repro.workloads.vpic import vpic_sample
+
+RANKS = 64
+TASK_BYTES = 64 * KiB
+
+CHECKPOINT_BUDGET_S = 2.0
+RESTORE_BUDGET_S = 10.0
+
+
+def _journaled_engine(directory: str, seed) -> tuple[HCompress, dict[str, bytes]]:
+    hierarchy = ares_hierarchy(8 * MiB, 64 * MiB, 1 * GiB, nodes=1)
+    engine = HCompress(
+        hierarchy,
+        HCompressConfig(
+            recovery=RecoveryConfig(enabled=True, directory=directory, fsync=False)
+        ),
+        seed=seed,
+    )
+    rng = np.random.default_rng(0)
+    buffers = {
+        f"fig7/r{rank}": vpic_sample(TASK_BYTES, rng) for rank in range(RANKS)
+    }
+    for task_id, data in buffers.items():
+        engine.compress(data, task_id=task_id)
+    return engine, buffers
+
+
+def test_checkpoint_fig7_burst(benchmark, seed) -> None:
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as workdir:
+        engine, _ = _journaled_engine(workdir, seed)
+
+        path = benchmark.pedantic(engine.checkpoint, rounds=5, iterations=1)
+
+        snapshot_bytes = Path(path).stat().st_size
+        benchmark.extra_info["snapshot_bytes"] = snapshot_bytes
+        benchmark.extra_info["tasks"] = RANKS
+        print(f"\nsnapshot: {snapshot_bytes / KiB:.1f} KiB for {RANKS} tasks")
+        assert path.name == "snapshot.json"
+        assert benchmark.stats["max"] < CHECKPOINT_BUDGET_S
+        engine.close()
+
+
+def test_restore_fig7_burst(benchmark, seed) -> None:
+    with tempfile.TemporaryDirectory(prefix="bench-restore-") as workdir:
+        engine, buffers = _journaled_engine(workdir, seed)
+        engine.checkpoint()
+        # Half the burst lands after the snapshot: restore must replay it
+        # from the journal suffix, not just load the snapshot.
+        rng = np.random.default_rng(1)
+        for rank in range(RANKS // 2):
+            task_id = f"fig7/post/r{rank}"
+            buffers[task_id] = vpic_sample(TASK_BYTES, rng)
+            engine.compress(buffers[task_id], task_id=task_id)
+        engine.journal.sync()
+        hierarchy = engine.hierarchy
+
+        restored = benchmark.pedantic(
+            lambda: HCompress.restore(workdir, hierarchy, seed=seed),
+            rounds=3,
+            iterations=1,
+        )
+
+        report = restored.recovery_report
+        benchmark.extra_info["records_replayed"] = report.records_replayed
+        benchmark.extra_info["tasks"] = len(buffers)
+        print(
+            f"\nrestore: {len(buffers)} tasks, "
+            f"{report.records_replayed} journal records replayed"
+        )
+        assert report.records_replayed == RANKS // 2
+        assert not report.journal_truncated
+        for task_id, data in buffers.items():
+            assert restored.decompress(task_id).data == data
+        assert benchmark.stats["max"] < RESTORE_BUDGET_S
+        restored.close()
+        engine.close()

@@ -31,7 +31,7 @@ from .core import (
     HCompressProfiler,
     hcompress_session,
 )
-from .core.config import ResilienceConfig
+from .core.config import RecoveryConfig, ResilienceConfig
 from .errors import HCompressError
 from .faults import FaultInjector, FaultPlan, run_chaos
 from .hcdp import (
@@ -78,6 +78,7 @@ __all__ = [
     "ObservabilityConfig",
     "Priority",
     "READ_AFTER_WRITE",
+    "RecoveryConfig",
     "ResilienceConfig",
     "SeedData",
     "Simulation",

@@ -318,3 +318,28 @@ class CompressionCostPredictor:
                 self.encoder.width, theta=vec, lam=self._lam, initial_p=1.0
             )
         self._bump_version()
+
+    def restore_state(
+        self,
+        theta: dict[str, list[float]],
+        model_version: int,
+        observations_seen: int,
+    ) -> None:
+        """Adopt a checkpointed model wholesale (crash recovery).
+
+        Beyond :meth:`import_theta`, this pins :attr:`model_version` and
+        :attr:`observations_seen` to the checkpointed values so consumers
+        keyed on the version (plan cache, ECC table caches) see one
+        consistent, monotone counter across the restart. The version never
+        moves backwards: a fresh engine whose construction already bumped
+        past the snapshot keeps its larger value.
+        """
+        if model_version < 0 or observations_seen < 0:
+            raise ModelError(
+                "model_version and observations_seen must be >= 0"
+            )
+        self.import_theta(theta)
+        self._version = max(self._version, model_version)
+        self._observations_seen = max(
+            self._observations_seen, observations_seen
+        )

@@ -9,7 +9,13 @@ Subcommands:
   (``--fast`` for the smoke profile).
 * ``demo``     — one compress/decompress round trip with the schema shown.
 * ``chaos``    — run a workload under fault injection (tier outage,
-  transient errors, corruption) and print the recovery report.
+  transient errors, corruption) and print the recovery report; with
+  ``--crash-at`` run the crash-consistency harness instead (``all``
+  sweeps every crash site).
+* ``checkpoint`` — run a journaled workload and snapshot the engine into
+  a recovery directory.
+* ``recover``  — crash a journaled workload at a chosen site, restore
+  from the recovery directory, and verify the durability invariants.
 * ``stats``    — drive a repeated-burst workload and print the engine's
   hot-path counters (plan cache, DP memo, sample-ratio cache, executor).
 * ``metrics``  — run an instrumented VPIC checkpoint workload and export
@@ -113,9 +119,57 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _crash_detail(outcome) -> str:
+    return (
+        f"      journal: {outcome.records_replayed} records replayed, "
+        f"truncated tail={outcome.journal_truncated}; swept "
+        f"{outcome.orphans_evicted} orphans, "
+        f"{outcome.duplicates_evicted} duplicates; "
+        f"idempotent replay={outcome.replay_idempotent}, "
+        f"deterministic restore={outcome.double_restore_identical}"
+    )
+
+
+def _cmd_crash(args: argparse.Namespace) -> int:
+    """The ``chaos --crash-at`` / ``recover`` harness driver."""
+    from .faults import CrashConfig, run_crash_recovery, sweep_crash_sites
+    from .recovery import CrashPlan
+
+    config = CrashConfig(rng_seed=args.rng_seed)
+    if args.crash_at == "all":
+        hits = (1,) if getattr(args, "quick", False) else (1, 2)
+        outcomes = sweep_crash_sites(hits=hits, config=config)
+        violations = 0
+        for outcome in outcomes:
+            plan = outcome.plan
+            status = "ok  " if outcome.holds else "FAIL"
+            fired = "crashed" if outcome.crashed else "not reached"
+            print(f"{status} {plan.site}@{plan.hit}: {fired}")
+            if not outcome.holds:
+                violations += 1
+                print(_crash_detail(outcome))
+        fired_count = sum(1 for o in outcomes if o.crashed)
+        print(
+            f"\n{len(outcomes)} crash points: {fired_count} fired, "
+            f"{violations} invariant violations"
+        )
+        return 0 if violations == 0 else 1
+    plan = CrashPlan(
+        site=args.crash_at, hit=args.crash_hit, seed=args.rng_seed
+    )
+    outcome = run_crash_recovery(
+        plan=plan, config=config, recovery_dir=getattr(args, "dir", None)
+    )
+    print(outcome.summary())
+    print(_crash_detail(outcome))
+    return 0 if outcome.holds else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosConfig, FaultPlan, default_chaos_plan, run_chaos
 
+    if args.crash_at is not None:
+        return _cmd_crash(args)
     config = ChaosConfig(
         ranks=args.ranks,
         steps=args.steps,
@@ -149,6 +203,54 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if len(backends) == 1:
         return 0 if failed == 0 else 1
     return 0  # comparison mode: baseline failures are the expected result
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    from .core import HCompress, HCompressConfig, RecoveryConfig
+    from .datagen import synthetic_buffer
+    from .tiers import ares_hierarchy
+
+    hierarchy = ares_hierarchy(
+        ram_capacity=4 * MiB, nvme_capacity=64 * MiB, bb_capacity=1 * GiB,
+        nodes=1,
+    )
+    config = HCompressConfig(
+        recovery=RecoveryConfig(
+            enabled=True, directory=str(args.dir), fsync=not args.no_fsync
+        )
+    )
+    print("bootstrapping engine (inline profiling)...", file=sys.stderr)
+    engine = HCompress(hierarchy, config)
+    rng = np.random.default_rng(args.rng_seed)
+    for index in range(args.tasks):
+        data = synthetic_buffer(
+            args.dtype, args.distribution, args.kib * KiB, rng
+        )
+        engine.compress(data, task_id=f"ckpt-{index}")
+    path = engine.checkpoint()
+    journal = engine.journal
+    report = {
+        "snapshot": str(path),
+        "snapshot_bytes": path.stat().st_size,
+        "tasks": args.tasks,
+        "journal_records": journal.records_appended,
+        "journal_syncs": journal.syncs,
+        "durable_lsn": journal.durable_lsn,
+    }
+    engine.close()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(
+        f"checkpointed {args.tasks} tasks to {path} "
+        f"({fmt_bytes(report['snapshot_bytes'])})"
+    )
+    print(
+        f"journal: {report['journal_records']} records in "
+        f"{report['journal_syncs']} syncs, durable LSN "
+        f"{report['durable_lsn']} (compacted into the snapshot)"
+    )
+    return 0
 
 
 def _stats_report(engine, config, args, wall: float) -> dict:
@@ -282,11 +384,15 @@ def _instrumented_vpic(args: argparse.Namespace):
     """Run a scaled fig7 VPIC checkpoint workload with telemetry enabled.
 
     Returns ``(engine, run_result)`` — the engine's ``obs`` holds the
-    synced registry and the span trace of the whole run.
+    synced registry and the span trace of the whole run. The engine
+    journals into a scratch recovery directory and the run ends with one
+    checkpoint + restore cycle, so the ``recovery.*`` spans and
+    ``hcompress_recovery_*`` metric families are populated in the export.
     """
+    import tempfile
     from dataclasses import replace
 
-    from .core import HCompress, HCompressConfig, ObservabilityConfig
+    from .core import HCompress, HCompressConfig, ObservabilityConfig, RecoveryConfig
     from .experiments.fig7_vpic import (
         WRITE_PRIORITY,
         fig7_hierarchy,
@@ -309,23 +415,33 @@ def _instrumented_vpic(args: argparse.Namespace):
         f"{fmt_bytes(config.bytes_per_rank_per_step)} (scale 1/{args.scale})",
         file=sys.stderr,
     )
-    engine = HCompress(
-        hierarchy,
-        HCompressConfig(
-            priority=WRITE_PRIORITY,
-            observability=ObservabilityConfig(enabled=True),
-        ),
-    )
-    flusher = TierFlusher(hierarchy, obs=engine.obs)
-    result = run_vpic(
-        HCompressBackend(engine),
-        config,
-        hierarchy,
-        rng=np.random.default_rng(args.rng_seed),
-        flusher=flusher,
-    )
-    engine.sync_telemetry()
-    engine.obs.sync_flusher(flusher.stats)
+    with tempfile.TemporaryDirectory(prefix="hcompress-obs-") as recovery_dir:
+        engine = HCompress(
+            hierarchy,
+            HCompressConfig(
+                priority=WRITE_PRIORITY,
+                observability=ObservabilityConfig(enabled=True),
+                recovery=RecoveryConfig(
+                    enabled=True, directory=recovery_dir, fsync=False
+                ),
+            ),
+        )
+        flusher = TierFlusher(hierarchy, obs=engine.obs)
+        result = run_vpic(
+            HCompressBackend(engine),
+            config,
+            hierarchy,
+            rng=np.random.default_rng(args.rng_seed),
+            flusher=flusher,
+        )
+        # One checkpoint/restore cycle under the same telemetry sinks.
+        engine.checkpoint()
+        restored = HCompress.restore(
+            recovery_dir, hierarchy, seed=engine.seed, obs=engine.obs
+        )
+        restored.close()
+        engine.sync_telemetry()
+        engine.obs.sync_flusher(flusher.stats)
     return engine, result
 
 
@@ -377,6 +493,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from .recovery import CRASH_SITES
+
     parser = argparse.ArgumentParser(
         prog="hcompress", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
@@ -427,8 +545,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=6)
     p.add_argument("--step-kib", type=int, default=16)
     p.add_argument("--rng-seed", type=int, default=7)
+    p.add_argument(
+        "--crash-at", choices=CRASH_SITES + ("all",), default=None,
+        metavar="SITE",
+        help="run the crash-consistency harness instead: kill the engine "
+             "at this crash site and verify recovery ('all' sweeps every "
+             "site; see docs/RECOVERY.md for the site list)",
+    )
+    p.add_argument("--crash-hit", type=int, default=1,
+                   help="fire on the Nth visit to the crash site")
+    p.add_argument("--quick", action="store_true",
+                   help="with --crash-at all: sweep first hits only")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "checkpoint",
+        help="run a journaled workload and snapshot the engine",
+    )
+    p.add_argument("--dir", type=Path, required=True,
+                   help="recovery directory (snapshot + journal)")
+    p.add_argument("--tasks", type=int, default=16)
+    p.add_argument("--kib", type=int, default=64)
+    p.add_argument("--dtype", default="float64")
+    p.add_argument("--distribution", default="gamma")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip os.fsync on journal/snapshot writes")
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+    p.set_defaults(func=_cmd_checkpoint)
+
+    p = sub.add_parser(
+        "recover",
+        help="crash a journaled workload and verify restore invariants",
+    )
+    p.add_argument(
+        "--crash-at", choices=CRASH_SITES + ("all",),
+        default="manager.write.piece_placed", metavar="SITE",
+        help="crash site to arm ('all' sweeps every site)",
+    )
+    p.add_argument("--crash-hit", type=int, default=1,
+                   help="fire on the Nth visit to the crash site")
+    p.add_argument("--dir", type=Path, default=None,
+                   help="recovery directory to use (default: temp dir)")
+    p.add_argument("--quick", action="store_true",
+                   help="with --crash-at all: sweep first hits only")
+    p.add_argument("--rng-seed", type=int, default=7)
+    p.set_defaults(func=_cmd_crash)
 
     p = sub.add_parser(
         "stats", help="hot-path counters over a repeated-burst workload"

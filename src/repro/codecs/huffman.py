@@ -194,6 +194,14 @@ class HuffmanCodec(Codec):
         bitstream = body[128 + _U64.size :]
         if len(bitstream) < (total_bits + 7) // 8:
             raise CorruptDataError("huffman: truncated bitstream")
+        # Every decoded symbol consumes >= 1 bit, so a declared length
+        # beyond total_bits is corruption — reject it before sizing the
+        # output buffer from an attacker-controlled field.
+        if n > total_bits:
+            raise CorruptDataError(
+                f"huffman: declared length {n} exceeds "
+                f"bitstream capacity {total_bits} bits"
+            )
         return self._decode(lengths, bitstream, n, total_bits)
 
     @staticmethod

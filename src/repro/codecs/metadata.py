@@ -12,7 +12,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
-from ..errors import SchemaError
+from ..errors import SchemaError, UnknownCodecError
 from .base import get_codec
 
 __all__ = ["SubTaskHeader", "HEADER_SIZE", "wrap_payload", "unwrap_payload"]
@@ -46,6 +46,15 @@ class SubTaskHeader:
             value = getattr(self, fname)
             if not 0 <= value <= _U32_MAX:
                 raise SchemaError(f"header field {fname}={value} outside u32 range")
+        # The piece's end offset must itself be u32-addressable, or the
+        # reassembly slice ``buffer[start:start+length]`` could silently
+        # mis-place data from a corrupted header.
+        if self.start_offset + self.length > _U32_MAX:
+            raise SchemaError(
+                f"piece end offset {self.start_offset + self.length} "
+                f"(start {self.start_offset} + length {self.length}) "
+                f"overflows u32"
+            )
 
     def pack(self) -> bytes:
         return _STRUCT.pack(
@@ -54,11 +63,25 @@ class SubTaskHeader:
 
     @classmethod
     def unpack(cls, blob: bytes) -> "SubTaskHeader":
+        """Decode the leading 16 bytes; trailing bytes are ignored.
+
+        Raises :class:`~repro.errors.SchemaError` on a short buffer, a
+        field outside u32 bounds, or a codec id with no registered
+        implementation — corrupt metadata must never reach the slicing or
+        decompression machinery as a surprise ``KeyError``/``IndexError``.
+        """
         if len(blob) < HEADER_SIZE:
             raise SchemaError(
                 f"sub-task header needs {HEADER_SIZE} bytes, got {len(blob)}"
             )
-        return cls(*_STRUCT.unpack_from(blob))
+        header = cls(*_STRUCT.unpack_from(blob))
+        try:
+            get_codec(header.codec_id)
+        except UnknownCodecError:
+            raise SchemaError(
+                f"sub-task header carries unknown codec id {header.codec_id}"
+            ) from None
+        return header
 
 
 def wrap_payload(
@@ -82,14 +105,21 @@ def wrap_payload(
 
 
 def unwrap_payload(blob: bytes) -> tuple[bytes, SubTaskHeader]:
-    """Decode a header-decorated piece back to its original bytes."""
+    """Decode a header-decorated piece back to its original bytes.
+
+    The blob must be exactly ``header + payload``: a short blob means the
+    payload was truncated, a long one means ``resulting_size`` no longer
+    matches the stored bytes — both are typed :class:`SchemaError`s, as is
+    a decompressed length that disagrees with the header.
+    """
     header = SubTaskHeader.unpack(blob)
-    payload = blob[HEADER_SIZE : HEADER_SIZE + header.resulting_size]
-    if len(payload) != header.resulting_size:
+    stored = len(blob) - HEADER_SIZE
+    if stored != header.resulting_size:
         raise SchemaError(
-            f"payload truncated: header says {header.resulting_size}, "
-            f"got {len(payload)}"
+            f"payload size mismatch: header says {header.resulting_size}, "
+            f"blob carries {stored}"
         )
+    payload = blob[HEADER_SIZE:]
     data = get_codec(header.codec_id).decompress(payload)
     if len(data) != header.length:
         raise SchemaError(

@@ -6,9 +6,10 @@ from .config import (
     HCompressConfig,
     ObservabilityConfig,
     PlanCacheConfig,
+    RecoveryConfig,
     ResilienceConfig,
 )
-from .hcompress import Anatomy, HCompress
+from .hcompress import Anatomy, HCompress, RecoveryReport
 from .manager import CompressionManager, PieceResult, ReadResult, WriteResult
 from .profiler import HCompressProfiler
 from .shi import IoReceipt, StorageHardwareInterface
@@ -26,6 +27,8 @@ __all__ = [
     "PieceResult",
     "PlanCacheConfig",
     "ReadResult",
+    "RecoveryConfig",
+    "RecoveryReport",
     "ResilienceConfig",
     "StorageHardwareInterface",
     "WriteResult",

@@ -22,8 +22,40 @@ __all__ = [
     "HCompressConfig",
     "ObservabilityConfig",
     "PlanCacheConfig",
+    "RecoveryConfig",
     "ResilienceConfig",
 ]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Crash-recovery policy: write-ahead journaling and checkpoints.
+
+    Attributes:
+        enabled: Master switch. When on, every catalog mutation is
+            journaled to ``directory`` *before* the write is acknowledged,
+            and :meth:`~repro.core.hcompress.HCompress.checkpoint` /
+            :meth:`~repro.core.hcompress.HCompress.restore` operate on
+            that directory by default.
+        directory: Where the journal and snapshots live. Required when
+            ``enabled``.
+        fsync_every: Journal group-commit batch — records buffered before
+            a sync is forced (1 = strictest: sync on every commit).
+        fsync: Issue real ``os.fsync`` calls. Turning this off keeps the
+            durability *model* (buffered records are still lost on a
+            modeled crash) while speeding up tests and benchmarks.
+    """
+
+    enabled: bool = False
+    directory: str | Path | None = None
+    fsync_every: int = 1
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if self.enabled and self.directory is None:
+            raise ValueError("RecoveryConfig.enabled requires a directory")
+        if self.fsync_every < 1:
+            raise ValueError("fsync_every must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -142,6 +174,9 @@ class HCompressConfig:
             (see :class:`~repro.hcdp.plan_cache.PlanCacheConfig`).
         executor: Concurrency policy of the Compression Manager's piece
             execution (see :class:`ExecutorConfig`).
+        recovery: Crash-recovery policy — write-ahead journaling of the
+            catalog plus checkpoint/restore (see :class:`RecoveryConfig`).
+            Disabled by default; enabling requires a recovery directory.
         observability: Telemetry opt-in (see
             :class:`~repro.obs.ObservabilityConfig`). Disabled by default;
             when disabled the engine carries no observability object and
@@ -160,6 +195,7 @@ class HCompressConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     plan_cache: PlanCacheConfig = field(default_factory=PlanCacheConfig)
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    recovery: RecoveryConfig = field(default_factory=RecoveryConfig)
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )

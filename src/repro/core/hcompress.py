@@ -16,7 +16,8 @@ the paper's C implementation.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -26,6 +27,7 @@ from ..codecs.pool import CompressionLibraryPool
 from ..errors import (
     CapacityError,
     HCompressError,
+    RecoveryError,
     RetryExhaustedError,
     TierError,
     TierUnavailableError,
@@ -33,13 +35,50 @@ from ..errors import (
 from ..hcdp import HcdpEngine, IOTask, Operation, Priority, next_task_id
 from ..monitor import SystemMonitor
 from ..obs import Observability
+from ..recovery import (
+    JOURNAL_NAME,
+    EngineSnapshot,
+    Journal,
+    read_snapshot,
+    write_snapshot,
+)
 from ..tiers import StorageHierarchy
 from .config import HCompressConfig
 from .manager import CompressionManager, ReadResult, WriteResult
 from .profiler import HCompressProfiler
 from .shi import StorageHardwareInterface
 
-__all__ = ["HCompress", "Anatomy"]
+__all__ = ["HCompress", "Anatomy", "RecoveryReport"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`HCompress.restore` found and repaired.
+
+    Attributes:
+        snapshot_lsn: Journal LSN the snapshot covered.
+        records_replayed: Journal records applied on top of the snapshot.
+        journal_truncated: The journal had a torn/corrupted tail that was
+            cut back to the last intact record.
+        orphans_evicted: Tier extents no restored catalog entry references
+            (pieces of unacknowledged writes) that were reclaimed.
+        duplicates_evicted: Extents present on more than one tier (a crash
+            between the flusher's copy and evict) — the copy ``find()``
+            prefers is kept, the stale one reclaimed.
+        missing_keys: Catalog-referenced keys found on *no* tier. Always 0
+            under the WAL discipline (commit records are durable only
+            after every piece is placed); nonzero means external tier loss.
+        tier_drift: Tiers whose live used-bytes differ from the
+            checkpoint's ledger view (expected: post-checkpoint writes).
+    """
+
+    snapshot_lsn: int
+    records_replayed: int
+    journal_truncated: bool
+    orphans_evicted: int
+    duplicates_evicted: int
+    missing_keys: int
+    tier_drift: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -99,6 +138,12 @@ class HCompress:
             step, collapsed for convenience).
         clock: Optional time source for the System Monitor (e.g. a
             simulation's ``lambda: sim.now``).
+        crashpoints: Optional :class:`~repro.recovery.Crashpoints` arbiter
+            threaded through the manager, SHI, and journal so the crash
+            harness can kill the engine at instrumented sites.
+        obs: Optional pre-built :class:`~repro.obs.Observability` to adopt
+            instead of constructing one from the config — lets
+            :meth:`restore` continue a crashed engine's registry/trace.
     """
 
     def __init__(
@@ -107,16 +152,22 @@ class HCompress:
         config: HCompressConfig | None = None,
         seed: SeedData | None = None,
         clock=None,
+        crashpoints=None,
+        obs=None,
     ) -> None:
         self.config = config if config is not None else HCompressConfig()
         self.hierarchy = hierarchy
+        self.crashpoints = crashpoints
         # Observability is strictly opt-in: when disabled, no telemetry
         # object exists and instrumented paths pay one ``is None`` check.
-        self.obs = (
-            Observability(self.config.observability, modeled_clock=clock)
-            if self.config.observability.enabled
-            else None
-        )
+        if obs is not None:
+            self.obs = obs
+        else:
+            self.obs = (
+                Observability(self.config.observability, modeled_clock=clock)
+                if self.config.observability.enabled
+                else None
+            )
         self.pool = CompressionLibraryPool(self.config.libraries)
         self.analyzer = InputAnalyzer()
         self.monitor = SystemMonitor(
@@ -147,11 +198,27 @@ class HCompress:
             plan_cache=self.config.plan_cache,
             obs=self.obs,
         )
+        # Write-ahead journal: opened (and torn-tail-repaired) before the
+        # manager exists so no catalog mutation can precede it.
+        recovery = self.config.recovery
+        self.journal = (
+            Journal(
+                Path(recovery.directory) / JOURNAL_NAME,
+                fsync_every=recovery.fsync_every,
+                fsync=recovery.fsync,
+                crashpoints=crashpoints,
+            )
+            if recovery.enabled
+            else None
+        )
+        self.recovery_report: RecoveryReport | None = None
         self.shi = StorageHardwareInterface(
-            hierarchy, resilience=self.config.resilience, obs=self.obs
+            hierarchy, resilience=self.config.resilience, obs=self.obs,
+            crashpoints=crashpoints,
         )
         self.manager = CompressionManager(
-            self.pool, self.shi, executor=self.config.executor, obs=self.obs
+            self.pool, self.shi, executor=self.config.executor, obs=self.obs,
+            journal=self.journal, crashpoints=crashpoints,
         )
         # Degraded-mode replans: writes that failed against a stale system
         # view and were re-planned against a fresh monitor sample.
@@ -360,10 +427,231 @@ class HCompress:
         path = seed_path if seed_path is not None else self.config.seed_path
         if path is not None:
             save_seed(updated, path)
-        self.manager.shutdown()
-        self._finalized = True
+        self.close()
         return updated
+
+    def close(self) -> None:
+        """Release engine resources deterministically (idempotent).
+
+        Shuts down the manager's piece thread pool (joining its workers,
+        so repeated engine construction in one process never accumulates
+        threads) and syncs + closes the write-ahead journal. The engine
+        refuses further operations afterwards. Also the context-manager
+        exit: ``with HCompress(...) as engine: ...``.
+        """
+        self.manager.shutdown()
+        if self.journal is not None:
+            self.journal.close()
+        self._finalized = True
+
+    def __enter__(self) -> "HCompress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def _check_open(self) -> None:
         if self._finalized:
             raise HCompressError("engine already finalized")
+
+    # -- crash recovery (docs/RECOVERY.md) -----------------------------------
+
+    def checkpoint(self, directory: str | Path | None = None) -> Path:
+        """Snapshot recoverable engine state; returns the snapshot path.
+
+        Captures the placement catalog, CCP parameters/``model_version``,
+        monitor epoch, resilience counters, file manifests, and the tier
+        capacity ledger into an atomically-renamed ``snapshot.json``. With
+        journaling enabled, pending records are synced first and the
+        journal is compacted down to the suffix the snapshot does not
+        cover, so restore replays only post-checkpoint mutations.
+        """
+        self._check_open()
+        if directory is None:
+            directory = self.config.recovery.directory
+        if directory is None:
+            raise RecoveryError(
+                "checkpoint needs a directory: pass one or enable "
+                "RecoveryConfig with a recovery directory"
+            )
+        if self.obs is None:
+            return self._checkpoint(Path(directory))
+        with self.obs.region("recovery.checkpoint") as sp:
+            path = self._checkpoint(Path(directory))
+            sp.set_attr("snapshot_bytes", path.stat().st_size)
+            self.obs.record_checkpoint(path.stat().st_size)
+        return path
+
+    def _checkpoint(self, directory: Path) -> Path:
+        if self.journal is not None:
+            self.journal.sync()
+            lsn = self.journal.durable_lsn
+        else:
+            lsn = 0
+        stats = self.shi.stats
+        snapshot = EngineSnapshot(
+            journal_lsn=lsn,
+            catalog=self.manager.catalog_snapshot(),
+            file_manifests={
+                name: list(tasks) for name, tasks in self.file_manifests.items()
+            },
+            ccp_theta=self.predictor.export_theta(),
+            ccp_model_version=self.predictor.model_version,
+            ccp_observations=self.predictor.observations_seen,
+            monitor_epoch=self.monitor.state_epoch,
+            monitor_samples=self.monitor.samples_taken,
+            resilience={
+                "retries": stats.retries,
+                "failovers": stats.failovers,
+                "backoff_seconds": stats.backoff_seconds,
+                "exhausted": stats.exhausted,
+            },
+            tier_used={tier.spec.name: tier.used for tier in self.hierarchy},
+            replans=self.replans,
+        )
+        path = write_snapshot(
+            directory, snapshot, fsync=self.config.recovery.fsync
+        )
+        if self.journal is not None:
+            self.journal.compact(lsn)
+        return path
+
+    @classmethod
+    def restore(
+        cls,
+        directory: str | Path,
+        hierarchy: StorageHierarchy,
+        config: HCompressConfig | None = None,
+        seed: SeedData | None = None,
+        clock=None,
+        crashpoints=None,
+        obs=None,
+    ) -> "HCompress":
+        """Rebuild an engine from a recovery directory's snapshot + journal.
+
+        The hierarchy models durable external services, so its contents
+        survive the crash and are handed back in; what restore rebuilds is
+        the process state — catalog (snapshot, then the journal suffix
+        with ``lsn > snapshot.journal_lsn``, tolerating a torn tail), CCP
+        parameters/version, monitor epoch, resilience counters — and then
+        reconciles the tiers against the restored catalog: unreferenced
+        extents (unacknowledged writes) are evicted so no capacity leaks,
+        and duplicated extents (a crash between the flusher's copy and
+        evict) are reduced to the copy ``find()`` prefers. The outcome is
+        recorded in :attr:`recovery_report`.
+
+        The restored engine journals into the same directory, so the
+        crash/restore cycle composes.
+        """
+        directory = Path(directory)
+        snapshot = read_snapshot(directory)
+        base = config if config is not None else HCompressConfig()
+        if (
+            not base.recovery.enabled
+            or base.recovery.directory is None
+            or Path(base.recovery.directory) != directory
+        ):
+            base = replace(
+                base,
+                recovery=replace(
+                    base.recovery, enabled=True, directory=directory
+                ),
+            )
+        engine = cls(
+            hierarchy, base, seed=seed, clock=clock, crashpoints=crashpoints,
+            obs=obs,
+        )
+        if engine.obs is None:
+            engine._apply_restore(snapshot)
+            return engine
+        with engine.obs.region("recovery.restore") as sp:
+            engine._apply_restore(snapshot)
+            report = engine.recovery_report
+            sp.set_attr("records_replayed", report.records_replayed)
+            sp.set_attr("orphans_evicted", report.orphans_evicted)
+            engine.obs.record_restore(
+                report.records_replayed,
+                report.orphans_evicted,
+                report.duplicates_evicted,
+            )
+        return engine
+
+    def _apply_restore(self, snapshot: EngineSnapshot) -> None:
+        self.manager.restore_catalog(snapshot.catalog)
+        # A compacted-to-empty journal file carries no LSN high-water mark;
+        # re-seed it from the snapshot so post-restore records never reuse
+        # LSNs the snapshot already covers (the next restore would skip them).
+        self.journal.ensure_lsn_floor(snapshot.journal_lsn)
+        replay = self.journal.recovered
+        suffix = [
+            record
+            for record in replay.records
+            if record.lsn > snapshot.journal_lsn
+        ]
+        for record in suffix:
+            self.manager.apply_journal_record(record)
+        if snapshot.ccp_theta:
+            self.predictor.restore_state(
+                snapshot.ccp_theta,
+                snapshot.ccp_model_version,
+                snapshot.ccp_observations,
+            )
+        self.monitor.restore_state(
+            snapshot.monitor_epoch, snapshot.monitor_samples
+        )
+        stats = self.shi.stats
+        stats.retries = int(snapshot.resilience.get("retries", 0))
+        stats.failovers = int(snapshot.resilience.get("failovers", 0))
+        stats.backoff_seconds = snapshot.resilience.get("backoff_seconds", 0.0)
+        stats.exhausted = int(snapshot.resilience.get("exhausted", 0))
+        self.file_manifests = {
+            name: list(tasks)
+            for name, tasks in snapshot.file_manifests.items()
+        }
+        self.replans = snapshot.replans
+        orphans, duplicates, missing = self._reconcile_tiers()
+        self.recovery_report = RecoveryReport(
+            snapshot_lsn=snapshot.journal_lsn,
+            records_replayed=len(suffix),
+            journal_truncated=replay.truncated,
+            orphans_evicted=orphans,
+            duplicates_evicted=duplicates,
+            missing_keys=missing,
+            tier_drift={
+                tier.spec.name: tier.used - snapshot.tier_used.get(
+                    tier.spec.name, 0
+                )
+                for tier in self.hierarchy
+                if tier.used != snapshot.tier_used.get(tier.spec.name, 0)
+            },
+        )
+        # Re-baseline the monitor against the reconciled hierarchy so the
+        # first plan sees post-recovery capacity (and the restored epoch).
+        self.monitor.sample()
+
+    def _reconcile_tiers(self) -> tuple[int, int, int]:
+        """Sweep the tiers against the restored catalog.
+
+        Returns ``(orphans evicted, duplicates evicted, missing keys)``.
+        Walks top-down in ``find()`` order so the kept copy of a
+        duplicated key is exactly the one reads resolve to. ``evict`` is
+        ledger cleanup and works on down tiers too.
+        """
+        referenced = {
+            entry[0]
+            for entries in self.manager.catalog_snapshot().values()
+            for entry in entries
+        }
+        claimed: set[str] = set()
+        orphans = duplicates = 0
+        for tier in self.hierarchy:
+            for key in tier.keys():
+                if key not in referenced:
+                    tier.evict(key)
+                    orphans += 1
+                elif key in claimed:
+                    tier.evict(key)
+                    duplicates += 1
+                else:
+                    claimed.add(key)
+        return orphans, duplicates, len(referenced - claimed)

@@ -136,10 +136,19 @@ class CompressionManager:
         on_corrupt: Callable[[str, bytes], bytes | None] | None = None,
         executor: ExecutorConfig | None = None,
         obs=None,
+        journal=None,
+        crashpoints=None,
     ) -> None:
         self.pool = pool
         self.shi = shi
         self.obs = obs
+        # Write-ahead journal (repro.recovery): when present, a catalog
+        # mutation is made durable *before* the in-memory catalog changes,
+        # so an acknowledged write survives a process crash.
+        self.journal = journal
+        # Crash-point arbiter (repro.recovery.crashpoints): models abrupt
+        # process death at instrumented sites for the crash harness.
+        self.crashpoints = crashpoints
         self.executor_config = executor if executor is not None else ExecutorConfig()
         self._catalog: dict[str, list[CatalogEntry]] = {}
         # (codec, feature key, sample digest) -> measured ratio, LRU;
@@ -222,6 +231,8 @@ class CompressionManager:
         feature_key = (dtype, data_format, distribution)
 
         prepared = self._prepare_pieces(schema, feature_key)
+        if self.crashpoints is not None:
+            self.crashpoints.reached("manager.write.prepared")
         try:
             for index, (plan, prep) in enumerate(zip(schema.pieces, prepared)):
                 key = self.shi.piece_key(task.task_id, index)
@@ -244,6 +255,8 @@ class CompressionManager:
                     else None
                 )
                 entries.append(CatalogEntry(key, plan.length, plan.codec, crc))
+                if self.crashpoints is not None:
+                    self.crashpoints.reached("manager.write.piece_placed")
 
                 profile = self.pool.profile(plan.codec)
                 comp_seconds = (
@@ -290,6 +303,16 @@ class CompressionManager:
                 if tier is not None:
                     tier.evict(entry.key)
             raise
+        # WAL discipline: the commit record is durable before the catalog
+        # mutates (and before the caller sees the ack). A crash between the
+        # journal sync and the assignment below recovers the task as
+        # committed — pieces are on the tiers and the record names them.
+        if self.crashpoints is not None:
+            self.crashpoints.reached("manager.write.pre_journal")
+        if self.journal is not None:
+            self.journal.commit("commit", task.task_id, tuple(entries))
+        if self.crashpoints is not None:
+            self.crashpoints.reached("manager.write.post_journal")
         self._catalog[task.task_id] = entries
         return result
 
@@ -646,9 +669,55 @@ class CompressionManager:
         )
 
     def evict_task(self, task_id: str) -> int:
-        """Remove every piece of a task; returns released accounted bytes."""
+        """Remove every piece of a task; returns released accounted bytes.
+
+        Journaled before any tier frees: a crash mid-evict recovers with
+        the task gone from the catalog, and recovery's orphan sweep frees
+        whatever pieces the crash left on the tiers.
+        """
+        keys = self.task_keys(task_id)
+        if self.crashpoints is not None:
+            self.crashpoints.reached("manager.evict.pre_journal")
+        if self.journal is not None:
+            self.journal.commit("evict", task_id)
+        if self.crashpoints is not None:
+            self.crashpoints.reached("manager.evict.post_journal")
         released = 0
-        for key in self.task_keys(task_id):
+        for key in keys:
             released += self.shi.delete(key)
         del self._catalog[task_id]
         return released
+
+    # -- recovery support -----------------------------------------------------
+
+    def catalog_snapshot(self) -> dict[str, list[tuple[str, int, str, int | None]]]:
+        """The catalog as plain tuples, for checkpointing."""
+        return {
+            task_id: [tuple(entry) for entry in entries]
+            for task_id, entries in self._catalog.items()
+        }
+
+    def restore_catalog(
+        self, catalog: dict[str, list[tuple[str, int, str, int | None]]]
+    ) -> None:
+        """Replace the catalog wholesale (snapshot application)."""
+        self._catalog = {
+            task_id: [CatalogEntry(*entry) for entry in entries]
+            for task_id, entries in catalog.items()
+        }
+
+    def apply_journal_record(self, record) -> None:
+        """Apply one replayed journal record to the catalog.
+
+        Idempotent by construction: records carry the full entry list (for
+        commits) or a whole-task delete (for evicts), so applying the same
+        record — or the same journal — twice leaves identical state.
+        """
+        if record.kind == "commit":
+            self._catalog[record.task_id] = [
+                CatalogEntry(*entry) for entry in record.entries
+            ]
+        elif record.kind == "evict":
+            self._catalog.pop(record.task_id, None)
+        else:  # pragma: no cover - Journal validates kinds on append
+            raise SchemaError(f"unknown journal record kind {record.kind!r}")

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..errors import (
+    AllTiersUnavailableError,
     CapacityError,
     RetryExhaustedError,
     TierError,
@@ -78,6 +79,9 @@ class StorageHardwareInterface:
         obs: Optional :class:`~repro.obs.Observability` sink; per-tier
             bytes/time and retry/failover events are pushed into its
             registry, independently of the legacy ``stats`` counters.
+        crashpoints: Optional crash-point arbiter
+            (:class:`~repro.recovery.Crashpoints`); the write path honours
+            the ``shi.write.pre_put``/``post_put``/``failover`` sites.
     """
 
     def __init__(
@@ -86,6 +90,7 @@ class StorageHardwareInterface:
         resilience: ResilienceConfig | None = None,
         on_wait=None,
         obs=None,
+        crashpoints=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.resilience = (
@@ -93,6 +98,7 @@ class StorageHardwareInterface:
         )
         self.on_wait = on_wait
         self.obs = obs
+        self.crashpoints = crashpoints
         self.stats = ResilienceStats()
         self._rng = random.Random(self.resilience.jitter_seed)
 
@@ -137,6 +143,8 @@ class StorageHardwareInterface:
         Raises:
             RetryExhaustedError: Every candidate tier kept failing
                 transiently past the retry budget.
+            AllTiersUnavailableError: Failover exhausted every candidate
+                tier (all down or full) — a hierarchy-wide outage.
             TierError: No tier could accept the write at all.
         """
         if self.obs is None:
@@ -165,12 +173,18 @@ class StorageHardwareInterface:
             )
         charged_backoff = 0.0
         last_error: TierError | None = None
-        for candidate in candidates:
+        for rank, candidate in enumerate(candidates):
             name = candidate.spec.name
+            if rank > 0 and self.crashpoints is not None:
+                self.crashpoints.reached("shi.write.failover")
             attempt = 0
             while True:
                 try:
+                    if self.crashpoints is not None:
+                        self.crashpoints.reached("shi.write.pre_put")
                     extent = candidate.put(key, payload, accounted_size)
+                    if self.crashpoints is not None:
+                        self.crashpoints.reached("shi.write.post_put")
                 except TransientIOError as exc:
                     last_error = exc
                     attempt += 1
@@ -208,11 +222,19 @@ class StorageHardwareInterface:
                 f"write of {key!r} failed after {policy.max_retries} retries "
                 f"on every candidate tier"
             ) from last_error
-        raise (
-            last_error
-            if last_error is not None
-            else TierError(f"no tier accepted write of {key!r}")
-        )
+        if last_error is None:
+            raise TierError(f"no tier accepted write of {key!r}")
+        if len(candidates) > 1:
+            # Failover was on and still ran out of candidates: surface the
+            # hierarchy-wide outage as one typed error (bounded — each
+            # candidate got at most the per-tier retry budget) instead of
+            # re-raising whichever tier happened to fail last.
+            self.stats.record("all_tiers_unavailable", key)
+            raise AllTiersUnavailableError(
+                f"write of {key!r} rejected by all {len(candidates)} tiers "
+                f"(each tried with up to {policy.max_retries} retries)"
+            ) from last_error
+        raise last_error
 
     # -- read path -----------------------------------------------------------
 

@@ -61,6 +61,16 @@ class RetryExhaustedError(TierError):
     """
 
 
+class AllTiersUnavailableError(TierUnavailableError):
+    """Failover ran out of candidates: *every* tier rejected the operation.
+
+    Raised by the SHI write path after bounded retries against each
+    candidate tier, so a hierarchy-wide outage surfaces as one typed
+    error instead of looping or silently degrading. Chains the last
+    per-tier failure as ``__cause__``.
+    """
+
+
 class PlacementError(HCompressError):
     """The HCDP engine could not produce a feasible schema."""
 
@@ -91,3 +101,25 @@ class FormatError(HCompressError):
 
 class WorkloadError(HCompressError):
     """A workload generator received inconsistent parameters."""
+
+
+class RecoveryError(HCompressError):
+    """Crash-recovery state (journal, snapshot) is missing or inconsistent."""
+
+
+class JournalCorruptError(RecoveryError):
+    """A write-ahead journal frame failed structural or CRC validation.
+
+    Replay never raises this for a *tail* problem (torn tails truncate
+    cleanly); it is reserved for callers that demand a fully-intact
+    journal, e.g. verification tooling.
+    """
+
+
+class SimulatedCrashError(HCompressError):
+    """A crash-point arbiter killed the engine at an instrumented site.
+
+    Models abrupt process death for the crash-consistency harness: no
+    component may catch this to roll back or clean up — whatever state
+    the crash left behind is exactly what recovery must cope with.
+    """

@@ -5,10 +5,18 @@ executes the plan against a live :class:`~repro.tiers.StorageHierarchy`
 on the simulated clock (:class:`FaultInjector`), interposing
 :class:`FaultyDevice` wrappers for per-operation transient errors and
 read-path corruption; `chaos` runs full workloads under injection and
-reports recovery behaviour (:func:`run_chaos`).
+reports recovery behaviour (:func:`run_chaos`); `crash` kills the engine at
+seeded crash sites and proves the journal/checkpoint recovery invariants
+(:func:`run_crash_recovery`, :func:`sweep_crash_sites`).
 """
 
 from .chaos import ChaosConfig, ChaosOutcome, default_chaos_plan, run_chaos
+from .crash import (
+    CrashConfig,
+    CrashOutcome,
+    run_crash_recovery,
+    sweep_crash_sites,
+)
 from .device import FaultyDevice
 from .injector import FaultInjector, InjectorStats
 from .plan import FaultEvent, FaultKind, FaultPlan
@@ -16,6 +24,8 @@ from .plan import FaultEvent, FaultKind, FaultPlan
 __all__ = [
     "ChaosConfig",
     "ChaosOutcome",
+    "CrashConfig",
+    "CrashOutcome",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
@@ -24,4 +34,6 @@ __all__ = [
     "InjectorStats",
     "default_chaos_plan",
     "run_chaos",
+    "run_crash_recovery",
+    "sweep_crash_sites",
 ]

@@ -44,6 +44,11 @@ class TierFlusher:
         obs: Optional :class:`~repro.obs.Observability` sink; each poll
             fires the ``flusher.poll`` profiling hooks and the cumulative
             ``FlushStats`` are mirrored at export via ``sync_flusher``.
+        crashpoints: Optional crash-point arbiter
+            (:class:`~repro.recovery.Crashpoints`); the move step honours
+            the ``flusher.pre_copy``/``post_copy``/``post_evict`` sites.
+            A crash between copy and evict leaves the key on two tiers —
+            recovery's duplicate sweep reclaims the stale copy.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class TierFlusher:
         poll_seconds: float = 0.05,
         batch_moves: int = 8,
         obs=None,
+        crashpoints=None,
     ) -> None:
         if not 0.0 < low_water < high_water <= 1.0:
             raise TierError(
@@ -70,6 +76,7 @@ class TierFlusher:
         self.poll_seconds = poll_seconds
         self.batch_moves = batch_moves
         self.obs = obs
+        self.crashpoints = crashpoints
         self.stats = FlushStats()
         # FIFO order per tier: first-placed extents flush first (they are
         # the least likely to be re-read while still hot).
@@ -161,6 +168,8 @@ class TierFlusher:
                     if not dst.fits(nbytes):
                         self._defer(tier, key)
                         continue
+                    if self.crashpoints is not None:
+                        self.crashpoints.reached("flusher.pre_copy")
                     try:
                         # Copy before evict: if the destination write fails
                         # the source extent is untouched and no data is
@@ -170,7 +179,11 @@ class TierFlusher:
                     except (TransientIOError, TierUnavailableError, TierError):
                         self._defer(tier, key)
                         break
+                    if self.crashpoints is not None:
+                        self.crashpoints.reached("flusher.post_copy")
                     tier.evict(key)
+                    if self.crashpoints is not None:
+                        self.crashpoints.reached("flusher.post_evict")
                     try:
                         self._fifo[tier.spec.name].remove(key)
                     except ValueError:

@@ -150,6 +150,22 @@ class SystemMonitor:
         self._samples += 1
         return self._cached
 
+    def restore_state(self, state_epoch: int, samples: int = 0) -> None:
+        """Adopt a checkpointed epoch/sample count (crash recovery).
+
+        Keeps :attr:`state_epoch` monotone across an engine restart so
+        consumers keyed on it (the HCDP plan cache) can never observe an
+        epoch moving backwards. The cached snapshot and band signature are
+        dropped — the next sample re-baselines against the live hierarchy
+        without a spurious epoch bump.
+        """
+        if state_epoch < 0 or samples < 0:
+            raise ValueError("state_epoch and samples must be >= 0")
+        self._epoch = max(self._epoch, state_epoch)
+        self._samples = max(self._samples, samples)
+        self._signature = None
+        self._cached = None
+
     def invalidate(self) -> None:
         """Drop the cached snapshot so the next :meth:`status` resamples.
 

@@ -177,6 +177,26 @@ class Observability:
             "hcompress_codec_ratio", "measured per-piece compression ratios",
             ("codec",), buckets=DEFAULT_RATIO_BUCKETS,
         )
+        self.m_recovery_checkpoints = reg.counter(
+            "hcompress_recovery_checkpoints_total",
+            "engine snapshots written",
+        )
+        self.m_recovery_checkpoint_bytes = reg.counter(
+            "hcompress_recovery_checkpoint_bytes_total",
+            "snapshot file bytes written",
+        )
+        self.m_recovery_restores = reg.counter(
+            "hcompress_recovery_restores_total",
+            "engines rebuilt from snapshot + journal",
+        )
+        self.m_recovery_replayed = reg.counter(
+            "hcompress_recovery_replayed_records_total",
+            "journal records applied on top of a snapshot at restore",
+        )
+        self.m_recovery_gc = reg.counter(
+            "hcompress_recovery_gc_evictions_total",
+            "tier extents reclaimed by the restore sweep", ("reason",),
+        )
 
     @property
     def enabled(self) -> bool:
@@ -226,6 +246,22 @@ class Observability:
         """Account one finished read task (a ``ReadResult``)."""
         self.m_tasks.labels(op="read").inc()
         self.m_task_bytes.labels(op="read").observe(result.modeled_size)
+
+    def record_checkpoint(self, snapshot_bytes: int) -> None:
+        """Account one engine checkpoint."""
+        self.m_recovery_checkpoints.inc()
+        self.m_recovery_checkpoint_bytes.inc(snapshot_bytes)
+
+    def record_restore(
+        self, records_replayed: int, orphans: int, duplicates: int
+    ) -> None:
+        """Account one snapshot + journal restore (and its GC sweep)."""
+        self.m_recovery_restores.inc()
+        self.m_recovery_replayed.inc(records_replayed)
+        if orphans:
+            self.m_recovery_gc.labels(reason="orphan").inc(orphans)
+        if duplicates:
+            self.m_recovery_gc.labels(reason="duplicate").inc(duplicates)
 
     # -- mirror sync (legacy counters -> one export path) --------------------
 
@@ -340,6 +376,25 @@ class Observability:
             "hcompress_analyzer_cache_misses_total",
             "input analyses that ran inference",
         ).set(analyzer.cache_misses)
+
+        journal = getattr(engine, "journal", None)
+        if journal is not None:
+            reg.counter(
+                "hcompress_recovery_journal_records_total",
+                "WAL records appended this engine lifetime",
+            ).set(journal.records_appended)
+            reg.counter(
+                "hcompress_recovery_journal_syncs_total",
+                "WAL sync batches (write + flush + fsync)",
+            ).set(journal.syncs)
+            reg.counter(
+                "hcompress_recovery_journal_bytes_total",
+                "WAL bytes made durable",
+            ).set(journal.bytes_synced)
+            reg.gauge(
+                "hcompress_recovery_journal_durable_lsn",
+                "newest journal record guaranteed on stable storage",
+            ).set(journal.durable_lsn)
 
         anatomy = engine.anatomy
         phase_seconds = reg.counter(

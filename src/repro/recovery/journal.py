@@ -1,0 +1,366 @@
+"""Write-ahead journal of catalog mutations.
+
+The Compression Manager's placement catalog (task id -> 16-byte sub-task
+header tuples) is the state that makes acknowledged bytes readable; losing
+it to a crash makes every stored piece unreachable. The :class:`Journal`
+makes catalog mutations durable *before* they are acknowledged:
+
+* **Framing** — each record is one length-prefixed, CRC32-framed JSON
+  payload (``<u32 length><u32 crc32><payload>``). A frame is either wholly
+  valid or the journal is cut at that point.
+* **fsync-modeled batching** — :meth:`append` buffers records in memory;
+  :meth:`sync` writes every buffered frame, flushes, and ``os.fsync``\\ s
+  the descriptor. Records are durable only after a sync: a modeled crash
+  (abandoning the object) loses exactly the unsynced suffix, which is what
+  a real kernel would lose too. ``fsync_every`` batches syncs for
+  group-commit write patterns.
+* **Replay tolerance** — :func:`replay_journal` stops at the first torn or
+  corrupted frame and reports the byte offset of the last intact record,
+  so recovery after a mid-sync crash keeps every record that was fully
+  synced. :meth:`Journal.open` repairs (truncates) a torn tail in place.
+* **Idempotence** — records carry a monotone LSN and describe *state*, not
+  deltas: applying a record twice leaves the catalog byte-identical (see
+  :meth:`~repro.core.manager.CompressionManager.apply_journal_record`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import JournalCorruptError, RecoveryError
+
+__all__ = [
+    "JOURNAL_NAME",
+    "Journal",
+    "JournalRecord",
+    "JournalReplay",
+    "replay_journal",
+]
+
+#: Default journal file name inside a recovery directory.
+JOURNAL_NAME = "journal.wal"
+
+#: Frame header: payload length, CRC32 of the payload.
+_FRAME = struct.Struct("<II")
+FRAME_HEADER_SIZE: int = _FRAME.size
+
+#: Hard bound on one record's payload; a length field beyond this is
+#: treated as frame corruption rather than an allocation request.
+_MAX_PAYLOAD = 16 * 1024 * 1024
+
+#: Record kinds the catalog understands.
+RECORD_KINDS = ("commit", "evict")
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One durable catalog mutation.
+
+    Attributes:
+        lsn: Monotone log sequence number (1-based, assigned on append).
+        kind: ``"commit"`` (a task's pieces are all placed) or ``"evict"``
+            (a task's pieces were released).
+        task_id: The mutated catalog key.
+        entries: For commits: the full catalog entry list, as
+            ``(key, length, codec, crc32-or-None)`` tuples. Empty for
+            evictions.
+    """
+
+    lsn: int
+    kind: str
+    task_id: str
+    entries: tuple[tuple[str, int, str, int | None], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in RECORD_KINDS:
+            raise RecoveryError(f"unknown journal record kind {self.kind!r}")
+        if self.lsn < 1:
+            raise RecoveryError(f"journal LSN must be >= 1, got {self.lsn}")
+
+    def to_payload(self) -> bytes:
+        return json.dumps(
+            {
+                "lsn": self.lsn,
+                "kind": self.kind,
+                "task": self.task_id,
+                "entries": [list(entry) for entry in self.entries],
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "JournalRecord":
+        try:
+            raw = json.loads(payload.decode("utf-8"))
+            return cls(
+                lsn=int(raw["lsn"]),
+                kind=str(raw["kind"]),
+                task_id=str(raw["task"]),
+                entries=tuple(
+                    (str(k), int(length), str(codec),
+                     None if crc is None else int(crc))
+                    for k, length, codec, crc in raw.get("entries", ())
+                ),
+            )
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+            raise JournalCorruptError(
+                f"journal record payload is malformed: {exc}"
+            ) from exc
+
+    def frame(self) -> bytes:
+        payload = self.to_payload()
+        return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class JournalReplay:
+    """Outcome of scanning a journal file.
+
+    Attributes:
+        records: Every intact record, in write order.
+        valid_bytes: File offset just past the last intact frame.
+        truncated: True when the scan stopped before EOF (torn tail or a
+            corrupted frame) — everything past ``valid_bytes`` is garbage.
+        reason: Human-readable cause when ``truncated``.
+    """
+
+    records: list[JournalRecord] = field(default_factory=list)
+    valid_bytes: int = 0
+    truncated: bool = False
+    reason: str | None = None
+
+    @property
+    def last_lsn(self) -> int:
+        return self.records[-1].lsn if self.records else 0
+
+
+def replay_journal(path: str | Path) -> JournalReplay:
+    """Scan a journal file, tolerating a torn or corrupted tail.
+
+    The scan walks frames from the start and stops at the first problem —
+    a truncated frame header, a payload shorter than its length prefix, a
+    CRC mismatch, or an undecodable payload. Everything before the bad
+    frame is returned; everything at and after it is reported via
+    ``truncated``/``reason`` and should be cut with :meth:`Journal.open`
+    (or ignored). A missing file replays to an empty journal.
+    """
+    path = Path(path)
+    result = JournalReplay()
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        return result
+    offset = 0
+    while offset < len(blob):
+        header = blob[offset : offset + FRAME_HEADER_SIZE]
+        if len(header) < FRAME_HEADER_SIZE:
+            result.truncated = True
+            result.reason = f"torn frame header at offset {offset}"
+            break
+        length, crc = _FRAME.unpack(header)
+        if length > _MAX_PAYLOAD:
+            result.truncated = True
+            result.reason = (
+                f"frame at offset {offset} claims {length} bytes "
+                f"(> {_MAX_PAYLOAD} cap); treating as corruption"
+            )
+            break
+        start = offset + FRAME_HEADER_SIZE
+        payload = blob[start : start + length]
+        if len(payload) < length:
+            result.truncated = True
+            result.reason = f"torn payload at offset {offset}"
+            break
+        if zlib.crc32(payload) != crc:
+            result.truncated = True
+            result.reason = f"CRC mismatch at offset {offset}"
+            break
+        try:
+            record = JournalRecord.from_payload(payload)
+        except JournalCorruptError as exc:
+            result.truncated = True
+            result.reason = f"undecodable record at offset {offset}: {exc}"
+            break
+        result.records.append(record)
+        offset = start + length
+        result.valid_bytes = offset
+    return result
+
+
+class Journal:
+    """Appendable write-ahead journal over one file.
+
+    Args:
+        path: Journal file; created if missing. An existing file is
+            replayed at open so LSNs continue, and a torn tail (from a
+            crash mid-sync) is truncated to the last intact record.
+        fsync_every: Group-commit batch: :meth:`commit` forces a sync
+            once this many records are buffered (1 = sync every record,
+            the strictest durability).
+        fsync: When False, skip the real ``os.fsync`` (still flushes).
+            Test/bench knob; the durability *model* (buffer lost on
+            crash, file kept) is unchanged.
+        crashpoints: Optional crash-point arbiter; :meth:`sync` honours
+            the ``journal.pre_sync`` and ``journal.torn_sync`` sites
+            (the latter writes a *partial* frame before dying, producing
+            a genuinely torn tail for recovery to repair).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync_every: int = 1,
+        fsync: bool = True,
+        crashpoints=None,
+    ) -> None:
+        if fsync_every < 1:
+            raise RecoveryError(f"fsync_every must be >= 1, got {fsync_every}")
+        self.path = Path(path)
+        self.fsync_every = fsync_every
+        self.fsync = fsync
+        self.crashpoints = crashpoints
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.recovered = replay_journal(self.path)
+        if self.recovered.truncated:
+            # Repair in place: cut the torn tail so appends extend the
+            # last intact record instead of burying garbage mid-file.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(self.recovered.valid_bytes)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        self._file = open(self.path, "ab")
+        self._buffer: list[bytes] = []
+        self._next_lsn = self.recovered.last_lsn + 1
+        self._durable_lsn = self.recovered.last_lsn
+        self.records_appended = 0
+        self.syncs = 0
+        self.bytes_synced = 0
+        self._closed = False
+
+    # -- write path ----------------------------------------------------------
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the newest appended record (durable or not)."""
+        return self._next_lsn - 1
+
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the newest record guaranteed on stable storage."""
+        return self._durable_lsn
+
+    @property
+    def pending(self) -> int:
+        """Appended-but-unsynced records (lost if the process dies now)."""
+        return len(self._buffer)
+
+    def ensure_lsn_floor(self, lsn: int) -> None:
+        """Advance the LSN counters past ``lsn`` (no-op if already there).
+
+        After a checkpoint compacts the journal to empty, the file alone
+        no longer carries the LSN high-water mark — a reopen would hand
+        out LSNs a snapshot already covers, and restore would silently
+        skip those records. Restore re-seeds the floor from the
+        snapshot's ``journal_lsn``; records at or below it are durable by
+        virtue of the snapshot itself.
+        """
+        self._check_open()
+        if lsn >= self._next_lsn:
+            self._next_lsn = lsn + 1
+        if lsn > self._durable_lsn:
+            self._durable_lsn = lsn
+
+    def append(
+        self,
+        kind: str,
+        task_id: str,
+        entries: tuple[tuple[str, int, str, int | None], ...] = (),
+    ) -> JournalRecord:
+        """Buffer one record (not yet durable); returns it with its LSN."""
+        self._check_open()
+        record = JournalRecord(self._next_lsn, kind, task_id, entries)
+        self._buffer.append(record.frame())
+        self._next_lsn += 1
+        self.records_appended += 1
+        return record
+
+    def commit(
+        self,
+        kind: str,
+        task_id: str,
+        entries: tuple[tuple[str, int, str, int | None], ...] = (),
+    ) -> JournalRecord:
+        """Append one record and sync if the batch threshold is reached."""
+        record = self.append(kind, task_id, entries)
+        if len(self._buffer) >= self.fsync_every:
+            self.sync()
+        return record
+
+    def sync(self) -> None:
+        """Make every buffered record durable (write + flush + fsync)."""
+        self._check_open()
+        if not self._buffer:
+            return
+        if self.crashpoints is not None:
+            self.crashpoints.reached("journal.pre_sync")
+        data = b"".join(self._buffer)
+        if self.crashpoints is not None and self.crashpoints.trigger(
+            "journal.torn_sync"
+        ):
+            # Model a crash mid-write: half a frame reaches the platter.
+            torn = data[: max(len(data) // 2, 1)]
+            self._file.write(torn)
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+            self._buffer.clear()
+            self.crashpoints.die("journal.torn_sync")
+        self._file.write(data)
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.bytes_synced += len(data)
+        self.syncs += 1
+        self._durable_lsn = self._next_lsn - 1
+        self._buffer.clear()
+
+    def compact(self, keep_after_lsn: int) -> int:
+        """Drop records with ``lsn <= keep_after_lsn`` (they are covered by
+        a snapshot); returns how many records remain. Atomic: the surviving
+        suffix is rewritten to a temp file and renamed over the journal.
+        """
+        self._check_open()
+        self.sync()
+        survivors = [
+            r for r in replay_journal(self.path).records
+            if r.lsn > keep_after_lsn
+        ]
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            for record in survivors:
+                handle.write(record.frame())
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(tmp, self.path)
+        self._file = open(self.path, "ab")
+        return len(survivors)
+
+    def close(self) -> None:
+        """Sync outstanding records and release the descriptor (idempotent)."""
+        if self._closed:
+            return
+        self.sync()
+        self._file.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RecoveryError(f"journal {self.path} is closed")

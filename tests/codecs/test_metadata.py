@@ -23,6 +23,38 @@ class TestHeader:
             SubTaskHeader(-1, 0, 0, 0)
         with pytest.raises(SchemaError):
             SubTaskHeader(0, 2**32, 0, 0)
+        with pytest.raises(SchemaError):
+            SubTaskHeader(0, -1, 0, 0)
+        with pytest.raises(SchemaError):
+            SubTaskHeader(0, 0, 0, 2**32)
+
+    def test_end_offset_overflow_rejected(self) -> None:
+        # start + length individually fit u32 but the end offset does not:
+        # a reassembly slice from such a header would mis-place data.
+        with pytest.raises(SchemaError, match="overflow"):
+            SubTaskHeader(2**31, 2**31, 0, 10)
+        # The boundary itself is fine.
+        SubTaskHeader(2**32 - 2, 1, 0, 10)
+
+    def test_unpack_unknown_codec_id_is_typed(self) -> None:
+        import struct
+
+        blob = struct.pack("<IIII", 0, 100, 31337, 50)
+        with pytest.raises(SchemaError, match="unknown codec id"):
+            SubTaskHeader.unpack(blob)
+
+    def test_unpack_corrupt_field_is_typed_not_a_crash(self) -> None:
+        # Random garbage must surface as SchemaError, never KeyError /
+        # IndexError / struct.error leaking into the read path.
+        import random
+
+        rng = random.Random(0xBEEF)
+        for _ in range(200):
+            blob = bytes(rng.randrange(256) for _ in range(HEADER_SIZE))
+            try:
+                SubTaskHeader.unpack(blob)
+            except SchemaError:
+                pass
 
     def test_unpack_short_buffer(self) -> None:
         with pytest.raises(SchemaError):
@@ -79,3 +111,20 @@ class TestWrapUnwrap:
         blob, header = wrap_payload(b"data " * 200, 0, 5)  # id 5 = lz4
         assert header.codec_id == 5
         assert unwrap_payload(blob)[0] == b"data " * 200
+
+    def test_trailing_garbage_after_payload_detected(self) -> None:
+        # unwrap requires blob == header + payload exactly: extra bytes
+        # mean resulting_size no longer describes the stored payload.
+        blob, _ = wrap_payload(b"hello " * 200, 0, "zlib")
+        with pytest.raises(SchemaError, match="size mismatch"):
+            unwrap_payload(blob + b"\x00" * 3)
+
+    def test_unwrap_unknown_codec_id_is_typed(self) -> None:
+        blob, header = wrap_payload(b"x" * 100, 0, "none")
+        tampered = SubTaskHeader(
+            header.start_offset, header.length, 31337, header.resulting_size
+        )
+        # 31337 is u32-valid so construction succeeds; the registry lookup
+        # at decode time is what must catch it.
+        with pytest.raises(SchemaError, match="unknown codec id"):
+            unwrap_payload(tampered.pack() + blob[HEADER_SIZE:])

@@ -125,3 +125,56 @@ class TestLifecycle:
                            clock=lambda: next(times))
         status = engine.monitor.sample()
         assert status.time == 1.5
+
+
+class TestDeterministicShutdown:
+    """close()/finalize() must join the piece pool's threads — repeated
+    engine construction in one process must never accumulate threads."""
+
+    @staticmethod
+    def _pool_threads() -> list:
+        import threading
+
+        return [
+            t for t in threading.enumerate()
+            if t.name.startswith("hcompress-piece") and t.is_alive()
+        ]
+
+    def test_close_joins_pool_threads(self, small_hierarchy, seed,
+                                      gamma_f64) -> None:
+        engine = HCompress(small_hierarchy, seed=seed)
+        engine.compress(gamma_f64, task_id="t0")
+        # Workers spawn lazily on submit; force one so there is a
+        # thread to leak.
+        engine.manager._executor().submit(lambda: None).result()
+        assert self._pool_threads()
+        engine.close()
+        assert self._pool_threads() == []
+        assert engine.manager._pool_executor is None
+        engine.close()  # idempotent
+
+    def test_finalize_joins_pool_threads(self, small_hierarchy, seed) -> None:
+        engine = HCompress(small_hierarchy, seed=seed)
+        engine.manager._executor().submit(lambda: None).result()
+        engine.finalize()
+        assert self._pool_threads() == []
+
+    def test_context_manager_exit_joins_pool_threads(
+        self, small_hierarchy, seed
+    ) -> None:
+        with HCompress(small_hierarchy, seed=seed) as engine:
+            engine.manager._executor().submit(lambda: None).result()
+            assert self._pool_threads()
+        assert self._pool_threads() == []
+
+    def test_repeated_engines_do_not_accumulate_threads(
+        self, small_hierarchy, seed
+    ) -> None:
+        import threading
+
+        baseline = threading.active_count()
+        for _ in range(5):
+            engine = HCompress(small_hierarchy, seed=seed)
+            engine.manager._executor().submit(lambda: None).result()
+            engine.close()
+        assert threading.active_count() <= baseline

@@ -7,6 +7,8 @@ import pytest
 from repro.core import StorageHardwareInterface
 from repro.core.config import ResilienceConfig
 from repro.errors import (
+    AllTiersUnavailableError,
+    HCompressError,
     RetryExhaustedError,
     TierError,
     TierUnavailableError,
@@ -219,3 +221,68 @@ class TestDelete:
     def test_accounted_size_missing(self, shi) -> None:
         with pytest.raises(TierError):
             shi.accounted_size("ghost")
+
+
+class TestAllTiersDown:
+    """A hierarchy-wide outage must surface as one typed error, not a
+    hang, an unbounded retry storm, or whichever tier failed last."""
+
+    def test_every_tier_down_raises_typed_error(self, two_tier) -> None:
+        for tier in two_tier:
+            tier.set_available(False)
+        shi = StorageHardwareInterface(
+            two_tier, resilience=ResilienceConfig(max_retries=2, failover=True)
+        )
+        with pytest.raises(AllTiersUnavailableError) as excinfo:
+            shi.write("k", "fast", b"x" * 100)
+        # The typed error slots into the existing handler families.
+        assert isinstance(excinfo.value, TierUnavailableError)
+        assert isinstance(excinfo.value, HCompressError)
+        assert ("all_tiers_unavailable", "k") in shi.stats.trace
+
+    def test_retry_budget_is_bounded_per_tier(self, two_tier) -> None:
+        attempts = []
+
+        class CountingDownDevice(Device):
+            def __init__(self, name):
+                self.name = name
+
+            def store(self, key, payload):
+                attempts.append(self.name)
+                raise TierUnavailableError(f"{self.name} is down")
+
+            def load(self, key):
+                raise TierUnavailableError(f"{self.name} is down")
+
+            def delete(self, key):
+                pass
+
+            def __contains__(self, key):
+                return False
+
+            def keys(self):
+                return []
+
+        for tier in two_tier:
+            tier.device = CountingDownDevice(tier.spec.name)
+        shi = StorageHardwareInterface(
+            two_tier, resilience=ResilienceConfig(max_retries=3, failover=True)
+        )
+        with pytest.raises(AllTiersUnavailableError):
+            shi.write("k", "fast", b"x")
+        # Unavailability is not retryable: one probe per candidate tier.
+        assert attempts == ["fast", "slow"]
+
+    def test_all_transient_exhaustion_stays_retry_exhausted(
+        self, two_tier
+    ) -> None:
+        # When every tier fails *transiently*, the caller should see the
+        # retry story (RetryExhaustedError), not an outage verdict.
+        for tier in two_tier:
+            tier.device = FlakyDevice(tier.device, fail_stores=99)
+        shi = StorageHardwareInterface(
+            two_tier,
+            resilience=ResilienceConfig(max_retries=2, failover=True),
+        )
+        with pytest.raises(RetryExhaustedError):
+            shi.write("k", "fast", b"x")

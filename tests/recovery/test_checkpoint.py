@@ -1,0 +1,194 @@
+"""Engine checkpoint/restore: snapshots, journal replay, tier reconciliation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import HCompress, HCompressConfig, RecoveryConfig, ares_hierarchy
+from repro.errors import RecoveryError
+from repro.recovery import replay_journal
+from repro.recovery.journal import JOURNAL_NAME
+from repro.recovery.snapshot import SNAPSHOT_NAME
+from repro.units import KiB, MiB
+
+
+@pytest.fixture()
+def hierarchy():
+    return ares_hierarchy(4 * MiB, 8 * MiB, 64 * MiB, nodes=1)
+
+
+def journaled_engine(tmp_path, hierarchy, seed, **recovery_kwargs) -> HCompress:
+    config = HCompressConfig(
+        recovery=RecoveryConfig(
+            enabled=True, directory=str(tmp_path), fsync=False, **recovery_kwargs
+        )
+    )
+    return HCompress(hierarchy, config, seed=seed)
+
+
+DATA0 = b"checkpointed bytes " * 3000
+DATA1 = b"journal suffix bytes " * 2000
+
+
+class TestCheckpointRestore:
+    def test_roundtrip_with_journal_suffix(self, tmp_path, hierarchy, seed) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        path = engine.checkpoint()
+        assert path == tmp_path / SNAPSHOT_NAME
+        engine.compress(DATA1, task_id="t1")
+        # Crash: abandon the engine (no close, journal already synced
+        # per-commit), then restore into the surviving hierarchy.
+        restored = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        report = restored.recovery_report
+        assert report.snapshot_lsn >= 1
+        assert report.records_replayed == 1  # t1, from the journal
+        assert not report.journal_truncated
+        assert report.missing_keys == 0
+        assert restored.decompress("t0").data == DATA0
+        assert restored.decompress("t1").data == DATA1
+        restored.close()
+
+    def test_checkpoint_compacts_journal(self, tmp_path, hierarchy, seed) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        engine.compress(DATA1, task_id="t1")
+        assert len(replay_journal(tmp_path / JOURNAL_NAME).records) == 2
+        engine.checkpoint()
+        assert replay_journal(tmp_path / JOURNAL_NAME).records == []
+        engine.compress(DATA0, task_id="t2")
+        suffix = replay_journal(tmp_path / JOURNAL_NAME).records
+        assert [r.task_id for r in suffix] == ["t2"]
+        assert suffix[0].lsn == 3  # LSNs survive compaction
+        engine.close()
+
+    def test_restore_requires_a_snapshot(self, tmp_path, hierarchy, seed) -> None:
+        with pytest.raises(RecoveryError):
+            HCompress.restore(tmp_path, hierarchy, seed=seed)
+
+    def test_unknown_snapshot_version_rejected(
+        self, tmp_path, hierarchy, seed
+    ) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        path = engine.checkpoint()
+        engine.close()
+        raw = json.loads(path.read_text())
+        raw["version"] = 99
+        path.write_text(json.dumps(raw))
+        with pytest.raises(RecoveryError, match="version"):
+            HCompress.restore(tmp_path, hierarchy, seed=seed)
+
+    def test_checkpoint_is_atomic_and_repeatable(
+        self, tmp_path, hierarchy, seed
+    ) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        engine.checkpoint()
+        engine.compress(DATA1, task_id="t1")
+        engine.checkpoint()
+        # No temp debris; the latest snapshot wins and covers both tasks.
+        assert [p.name for p in tmp_path.glob("*.tmp")] == []
+        restored = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        assert restored.recovery_report.records_replayed == 0
+        assert restored.decompress("t1").data == DATA1
+        restored.close()
+        engine.close()
+
+    def test_counters_restore_monotonically(self, tmp_path, hierarchy, seed) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        snapshot_version = engine.predictor.model_version
+        snapshot_epoch = engine.monitor.state_epoch
+        engine.checkpoint()
+        restored = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        assert restored.predictor.model_version >= snapshot_version
+        assert restored.monitor.state_epoch >= snapshot_epoch
+        restored.close()
+        engine.close()
+
+    def test_double_restore_is_identical(self, tmp_path, hierarchy, seed) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        engine.checkpoint()
+        engine.compress(DATA1, task_id="t1")
+        first = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        second = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        assert second.manager.catalog_snapshot() == first.manager.catalog_snapshot()
+        assert second.predictor.model_version == first.predictor.model_version
+        # The first restore already reconciled; the second finds nothing.
+        assert second.recovery_report.orphans_evicted == 0
+        assert second.recovery_report.duplicates_evicted == 0
+        second.close()
+        first.close()
+
+    def test_restored_engine_keeps_journaling(self, tmp_path, hierarchy, seed) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        engine.checkpoint()
+        restored = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        restored.compress(DATA1, task_id="t1")
+        again = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        assert again.decompress("t1").data == DATA1
+        again.close()
+        restored.close()
+        engine.close()
+
+
+class TestReconciliation:
+    def test_orphaned_extent_is_swept(self, tmp_path, hierarchy, seed) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        engine.checkpoint()
+        # An unacknowledged write's piece: on a tier, in no catalog entry.
+        ram = hierarchy.by_name("ram")
+        ram.put("ghost/0", b"z" * (4 * KiB))
+        used_before = ram.used
+        restored = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        assert restored.recovery_report.orphans_evicted == 1
+        assert "ghost/0" not in ram.keys()
+        assert ram.used < used_before  # capacity reclaimed, no leak
+        assert restored.decompress("t0").data == DATA0
+        restored.close()
+
+    def test_duplicated_extent_keeps_the_find_copy(
+        self, tmp_path, hierarchy, seed
+    ) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        engine.checkpoint()
+        catalog = engine.manager.catalog_snapshot()
+        key = catalog["t0"][0][0]
+        payload, _ = engine.shi.read(key)
+        # Model a flusher crash between copy and evict: same key on two tiers.
+        hierarchy.by_name("pfs").put(key, payload)
+        restored = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        assert restored.recovery_report.duplicates_evicted == 1
+        holders = [t.spec.name for t in hierarchy if key in t.keys()]
+        assert len(holders) == 1
+        assert restored.decompress("t0").data == DATA0
+        restored.close()
+
+    def test_torn_journal_tail_recovers_last_intact_record(
+        self, tmp_path, hierarchy, seed
+    ) -> None:
+        engine = journaled_engine(tmp_path, hierarchy, seed)
+        engine.compress(DATA0, task_id="t0")
+        engine.checkpoint()
+        engine.compress(DATA1, task_id="t1")
+        engine.compress(DATA0, task_id="t2")
+        wal = tmp_path / JOURNAL_NAME
+        wal.write_bytes(wal.read_bytes()[:-9])  # tear t2's commit record
+        restored = HCompress.restore(tmp_path, hierarchy, seed=seed)
+        report = restored.recovery_report
+        assert report.journal_truncated
+        assert report.records_replayed == 1  # t1 survived, t2 did not
+        assert report.missing_keys == 0
+        catalog = restored.manager.catalog_snapshot()
+        assert "t1" in catalog and "t2" not in catalog
+        # t2's placed-but-unjournaled pieces were swept, not leaked.
+        assert report.orphans_evicted >= 1
+        assert restored.decompress("t1").data == DATA1
+        restored.close()
