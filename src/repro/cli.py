@@ -11,7 +11,8 @@ Subcommands:
 * ``chaos``    — run a workload under fault injection (tier outage,
   transient errors, corruption) and print the recovery report; with
   ``--crash-at`` run the crash-consistency harness instead (``all``
-  sweeps every crash site).
+  sweeps every crash site); with ``--overload`` run the QoS overload
+  storm (load above the drain rate plus a flapping tier).
 * ``checkpoint`` — run a journaled workload and snapshot the engine into
   a recovery directory.
 * ``recover``  — crash a journaled workload at a chosen site, restore
@@ -165,9 +166,43 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     return 0 if outcome.holds else 1
 
 
+def _cmd_overload(args: argparse.Namespace) -> int:
+    """The ``chaos --overload`` storm driver (docs/RESILIENCE.md)."""
+    from .faults import OverloadConfig, run_overload
+    from .recovery import CRASH_SITES
+
+    base = dict(
+        tasks=args.overload_tasks,
+        load_factor=args.load_factor,
+        rng_seed=args.rng_seed,
+    )
+    if args.crash_at == "all":
+        violations = 0
+        for site in CRASH_SITES:
+            outcome = run_overload(OverloadConfig(
+                crash_site=site, crash_hit=args.crash_hit, **base
+            ))
+            status = "ok  " if outcome.holds else "FAIL"
+            fired = "crashed" if outcome.crashed else "not reached"
+            print(f"{status} {site}@{args.crash_hit}: {fired}")
+            if not outcome.holds:
+                violations += 1
+                print(f"      {outcome.summary()}")
+        print(f"\n{len(CRASH_SITES)} storm crash points: "
+              f"{violations} contract violations")
+        return 0 if violations == 0 else 1
+    outcome = run_overload(OverloadConfig(
+        crash_site=args.crash_at, crash_hit=args.crash_hit, **base
+    ))
+    print(outcome.summary())
+    return 0 if outcome.holds else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosConfig, FaultPlan, default_chaos_plan, run_chaos
 
+    if getattr(args, "overload", False):
+        return _cmd_overload(args)
     if args.crash_at is not None:
         return _cmd_crash(args)
     config = ChaosConfig(
@@ -426,7 +461,7 @@ def _instrumented_vpic(args: argparse.Namespace):
                 ),
             ),
         )
-        flusher = TierFlusher(hierarchy, obs=engine.obs)
+        flusher = TierFlusher(hierarchy, obs=engine.obs, qos=engine.qos)
         result = run_vpic(
             HCompressBackend(engine),
             config,
@@ -556,6 +591,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fire on the Nth visit to the crash site")
     p.add_argument("--quick", action="store_true",
                    help="with --crash-at all: sweep first hits only")
+    p.add_argument(
+        "--overload", action="store_true",
+        help="run the QoS overload storm instead: writes offered above "
+             "the admission drain rate while a tier flaps, checking the "
+             "shed/deadline/breaker contract (docs/RESILIENCE.md); "
+             "combine with --crash-at to also die mid-storm and verify "
+             "the restored engine",
+    )
+    p.add_argument("--overload-tasks", type=int, default=48,
+                   help="with --overload: writes offered during the storm")
+    p.add_argument("--load-factor", type=float, default=2.0,
+                   help="with --overload: offered load as a multiple of "
+                        "the admission drain rate")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_chaos)
 

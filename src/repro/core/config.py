@@ -15,6 +15,7 @@ from ..codecs.pool import PAPER_LIBRARIES
 from ..hcdp.plan_cache import PlanCacheConfig
 from ..hcdp.priorities import EQUAL, Priority
 from ..obs import ObservabilityConfig
+from ..qos import QosConfig
 from ..units import KiB, PAGE
 
 __all__ = [
@@ -22,6 +23,7 @@ __all__ = [
     "HCompressConfig",
     "ObservabilityConfig",
     "PlanCacheConfig",
+    "QosConfig",
     "RecoveryConfig",
     "ResilienceConfig",
 ]
@@ -115,6 +117,13 @@ class ResilienceConfig:
         read_repair_retries: Extra re-reads attempted when a checksum
             mismatch is detected before surfacing ``CorruptDataError``
             (transient media/bus corruption heals on re-read).
+        retry_deadline: Cap on *cumulative* backoff charged to one
+            operation across every retry and failover candidate, in
+            (simulated) seconds. Attempt counts bound retries per tier,
+            but a failover chain multiplies them; once total charged
+            backoff crosses this cap the operation fails with
+            ``AllTiersUnavailableError`` instead of stalling further.
+            ``None`` keeps the attempt-count-only behavior.
     """
 
     max_retries: int = 3
@@ -125,10 +134,13 @@ class ResilienceConfig:
     failover: bool = True
     verify_checksums: bool = True
     read_repair_retries: int = 2
+    retry_deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
+        if self.retry_deadline is not None and self.retry_deadline <= 0:
+            raise ValueError("retry_deadline must be positive (or None)")
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ValueError("backoff_base and backoff_cap must be >= 0")
         if self.backoff_cap < self.backoff_base:
@@ -181,6 +193,11 @@ class HCompressConfig:
             :class:`~repro.obs.ObservabilityConfig`). Disabled by default;
             when disabled the engine carries no observability object and
             instrumented paths pay only an ``is None`` check.
+        qos: Overload-protection policy — admission control, per-tier
+            circuit breakers, deadlines, brownout ladder (see
+            :class:`~repro.qos.QosConfig`). Disabled by default; when
+            disabled the engine constructs no governor and behavior is
+            byte-identical to a build without the subsystem.
     """
 
     priority: Priority = EQUAL
@@ -199,6 +216,7 @@ class HCompressConfig:
     observability: ObservabilityConfig = field(
         default_factory=ObservabilityConfig
     )
+    qos: QosConfig = field(default_factory=QosConfig)
 
     def __post_init__(self) -> None:
         if self.feedback_every_n < 1:

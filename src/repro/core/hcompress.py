@@ -26,6 +26,7 @@ from ..ccp import CompressionCostPredictor, FeedbackLoop, SeedData, load_seed, s
 from ..codecs.pool import CompressionLibraryPool
 from ..errors import (
     CapacityError,
+    DeadlineExceededError,
     HCompressError,
     RecoveryError,
     RetryExhaustedError,
@@ -35,6 +36,7 @@ from ..errors import (
 from ..hcdp import HcdpEngine, IOTask, Operation, Priority, next_task_id
 from ..monitor import SystemMonitor
 from ..obs import Observability
+from ..qos import Deadline, QosClass, QosGovernor
 from ..recovery import (
     JOURNAL_NAME,
     EngineSnapshot,
@@ -158,6 +160,7 @@ class HCompress:
         self.config = config if config is not None else HCompressConfig()
         self.hierarchy = hierarchy
         self.crashpoints = crashpoints
+        self._clock = clock
         # Observability is strictly opt-in: when disabled, no telemetry
         # object exists and instrumented paths pay one ``is None`` check.
         if obs is not None:
@@ -212,9 +215,19 @@ class HCompress:
             else None
         )
         self.recovery_report: RecoveryReport | None = None
+        # QoS governor: strictly opt-in, like observability. When disabled
+        # no governor exists, the SHI carries ``qos=None``, and every
+        # request path is byte-identical to a build without the subsystem.
+        self.qos = (
+            QosGovernor(
+                self.config.qos, hierarchy, clock=clock, obs=self.obs
+            )
+            if self.config.qos.enabled
+            else None
+        )
         self.shi = StorageHardwareInterface(
             hierarchy, resilience=self.config.resilience, obs=self.obs,
-            crashpoints=crashpoints,
+            crashpoints=crashpoints, qos=self.qos,
         )
         self.manager = CompressionManager(
             self.pool, self.shi, executor=self.config.executor, obs=self.obs,
@@ -241,22 +254,32 @@ class HCompress:
         hints: MetadataHints | None = None,
         modeled_size: int | None = None,
         task_id: str | None = None,
+        deadline: float | None = None,
+        qos_class: QosClass | None = None,
     ) -> WriteResult:
         """Compress-and-place one write task.
 
         Either pass raw ``data`` (with optional analyzer ``hints`` and a
         ``modeled_size`` for representative-sample scaling) or a prebuilt
         :class:`IOTask`.
+
+        ``deadline`` is an optional budget in modeled seconds: planning
+        prunes tiers/codecs that cannot complete in time and execution
+        checks the remaining budget before each piece, raising
+        :class:`~repro.errors.DeadlineExceededError` (honoured with or
+        without QoS enabled). ``qos_class`` is the task's service class
+        for admission control; with QoS enabled, overloaded intake sheds
+        low classes with :class:`~repro.errors.TaskShedError`.
         """
         if self.obs is None:
             return self._compress(
                 data, task=task, hints=hints, modeled_size=modeled_size,
-                task_id=task_id,
+                task_id=task_id, deadline=deadline, qos_class=qos_class,
             )
         with self.obs.region("hcompress.compress") as sp:
             result = self._compress(
                 data, task=task, hints=hints, modeled_size=modeled_size,
-                task_id=task_id,
+                task_id=task_id, deadline=deadline, qos_class=qos_class,
             )
             sp.set_attr("task", result.task.task_id)
             sp.set_attr("size", result.task.size)
@@ -272,6 +295,8 @@ class HCompress:
         hints: MetadataHints | None = None,
         modeled_size: int | None = None,
         task_id: str | None = None,
+        deadline: float | None = None,
+        qos_class: QosClass | None = None,
     ) -> WriteResult:
         self._check_open()
         scale = self.config.python_to_native
@@ -293,29 +318,57 @@ class HCompress:
         elif data is not None:
             raise HCompressError("pass either data or a task, not both")
 
-        wall = time.perf_counter()
-        schema = self.engine.plan(task)
-        self.anatomy.hcdp_engine += (time.perf_counter() - wall) / scale
-
-        wall = time.perf_counter()
-        for piece in schema.pieces:  # factory lookups (library selection)
-            self.pool.codec(piece.codec)
-        self.anatomy.library_selection += (time.perf_counter() - wall) / scale
+        budget = deadline
+        if self.qos is not None:
+            # Admission + brownout happen before any planning work: a shed
+            # task must cost nothing beyond the analyzer pass.
+            self.qos.observe(self.monitor.status())
+            self.qos.admit(task.task_id, task.size, qos_class)
+            if budget is None:
+                budget = self.config.qos.default_deadline
+        dl = Deadline(budget, clock=self._clock) if budget is not None else None
 
         try:
-            result = self.manager.execute_write(schema)
-        except (TierUnavailableError, RetryExhaustedError, CapacityError, TierError):
-            # Degraded-mode replan (§IV-E): the plan was built against a
-            # stale SystemStatus — a tier flapped or filled between the
-            # monitor's sample and the write landing. The partial write was
-            # rolled back by the manager; take a fresh sample so the HCDP
-            # engine sees the outage and plans around it, then re-execute.
             wall = time.perf_counter()
-            self.monitor.sample()
-            schema = self.engine.plan(task)
-            self.replans += 1
+            schema = self.engine.plan(task, **self._plan_constraints(dl))
             self.anatomy.hcdp_engine += (time.perf_counter() - wall) / scale
-            result = self.manager.execute_write(schema)
+
+            wall = time.perf_counter()
+            for piece in schema.pieces:  # factory lookups (library selection)
+                self.pool.codec(piece.codec)
+            self.anatomy.library_selection += (
+                time.perf_counter() - wall
+            ) / scale
+
+            try:
+                result = self.manager.execute_write(schema, deadline=dl)
+            except (
+                TierUnavailableError, RetryExhaustedError, CapacityError,
+                TierError,
+            ):
+                # Degraded-mode replan (§IV-E): the plan was built against a
+                # stale SystemStatus — a tier flapped or filled between the
+                # monitor's sample and the write landing. The partial write
+                # was rolled back by the manager; take a fresh sample so the
+                # HCDP engine sees the outage (and any breaker quarantine)
+                # and plans around it, then re-execute.
+                wall = time.perf_counter()
+                self.monitor.sample()
+                schema = self.engine.plan(task, **self._plan_constraints(dl))
+                self.replans += 1
+                self.anatomy.hcdp_engine += (
+                    time.perf_counter() - wall
+                ) / scale
+                result = self.manager.execute_write(schema, deadline=dl)
+        except DeadlineExceededError:
+            if self.qos is not None:
+                self.qos.record_deadline_exceeded("write")
+            raise
+        if dl is not None and self.obs is not None:
+            self.obs.record_deadline_slack(
+                "write",
+                dl.remaining(result.compress_seconds + result.io_seconds),
+            )
         result.schema = schema  # type: ignore[attr-defined]
         self.anatomy.compression += result.compress_seconds
         self.anatomy.write_io += result.io_seconds
@@ -334,23 +387,43 @@ class HCompress:
         self.anatomy.write_ops += 1
         return result
 
+    def _plan_constraints(self, dl: Deadline | None) -> dict:
+        """QoS constraints for one :meth:`HcdpEngine.plan` call.
+
+        Empty (the engine's fast path) when QoS is disabled and no
+        deadline was passed.
+        """
+        kwargs: dict = {}
+        if self.qos is not None:
+            codec_filter = self.qos.codec_filter()
+            if codec_filter is not None:
+                kwargs["codec_filter"] = codec_filter
+            blocked = self.qos.quarantined_tiers()
+            if blocked:
+                kwargs["blocked_tiers"] = blocked
+        if dl is not None:
+            kwargs["deadline_budget"] = dl.remaining()
+        return kwargs
+
     def decompress(
         self,
         task_id: str,
         offset: int | None = None,
         length: int | None = None,
+        deadline: float | None = None,
     ) -> ReadResult:
         """Read-and-decompress one previously written task.
 
         Passing ``offset``/``length`` performs a random-access partial
         read: only the sub-tasks overlapping the range are fetched and
         decompressed (each piece is independently decodable via its
-        16-byte header).
+        16-byte header). ``deadline`` bounds the read's modeled time like
+        :meth:`compress`'s.
         """
         if self.obs is None:
-            return self._decompress(task_id, offset, length)
+            return self._decompress(task_id, offset, length, deadline)
         with self.obs.region("hcompress.decompress", task=task_id) as sp:
-            result = self._decompress(task_id, offset, length)
+            result = self._decompress(task_id, offset, length, deadline)
             sp.set_attr("pieces", result.pieces)
             sp.charge_modeled(result.decompress_seconds + result.io_seconds)
             self.obs.record_read(result)
@@ -361,15 +434,26 @@ class HCompress:
         task_id: str,
         offset: int | None = None,
         length: int | None = None,
+        deadline: float | None = None,
     ) -> ReadResult:
         self._check_open()
         scale = self.config.python_to_native
-        if offset is not None or length is not None:
-            result = self.manager.execute_read_range(
-                task_id, offset or 0, length if length is not None else 2**62
-            )
-        else:
-            result = self.manager.execute_read(task_id)
+        budget = deadline
+        if budget is None and self.qos is not None:
+            budget = self.config.qos.default_deadline
+        dl = Deadline(budget, clock=self._clock) if budget is not None else None
+        try:
+            if offset is not None or length is not None:
+                result = self.manager.execute_read_range(
+                    task_id, offset or 0,
+                    length if length is not None else 2**62, deadline=dl,
+                )
+            else:
+                result = self.manager.execute_read(task_id, deadline=dl)
+        except DeadlineExceededError:
+            if self.qos is not None:
+                self.qos.record_deadline_exceeded("read")
+            raise
         self.anatomy.metadata_parsing += result.metadata_seconds / scale
         self.anatomy.decompression += result.decompress_seconds
         self.anatomy.read_io += result.io_seconds
@@ -508,6 +592,7 @@ class HCompress:
             },
             tier_used={tier.spec.name: tier.used for tier in self.hierarchy},
             replans=self.replans,
+            qos=self.qos.export_state() if self.qos is not None else {},
         )
         path = write_snapshot(
             directory, snapshot, fsync=self.config.recovery.fsync
@@ -609,6 +694,11 @@ class HCompress:
             for name, tasks in snapshot.file_manifests.items()
         }
         self.replans = snapshot.replans
+        if self.qos is not None and snapshot.qos:
+            # Conservative: a breaker checkpointed open (or mid-probe)
+            # restores as open with a fresh quarantine window, so a
+            # restart never resurrects a sick tier as healthy.
+            self.qos.restore_state(snapshot.qos)
         orphans, duplicates, missing = self._reconcile_tiers()
         self.recovery_report = RecoveryReport(
             snapshot_lsn=snapshot.journal_lsn,

@@ -30,7 +30,13 @@ from ..ccp.features import ObservationKey
 from ..codecs.base import get_codec
 from ..codecs.metadata import HEADER_SIZE, unwrap_payload, wrap_payload
 from ..codecs.pool import CompressionLibraryPool
-from ..errors import CodecError, CorruptDataError, SchemaError, TierError
+from ..errors import (
+    CodecError,
+    CorruptDataError,
+    DeadlineExceededError,
+    SchemaError,
+    TierError,
+)
 from ..hcdp.schema import Schema, SubTaskPlan
 from ..hcdp.task import IOTask
 from ..units import MB
@@ -201,27 +207,28 @@ class CompressionManager:
 
     # -- write path ---------------------------------------------------------
 
-    def execute_write(self, schema: Schema) -> WriteResult:
+    def execute_write(self, schema: Schema, deadline=None) -> WriteResult:
         """Run a schema; returns accounting plus feedback observations.
 
         Atomic with respect to the catalog: if any piece fails to place
-        (outage with failover disabled, retry budget exhausted), every
-        piece already written is rolled back so the caller can replan and
-        re-execute the task cleanly.
+        (outage with failover disabled, retry budget exhausted) — or the
+        optional :class:`~repro.qos.Deadline` budget runs out mid-task —
+        every piece already written is rolled back so the caller can
+        replan and re-execute the task cleanly.
         """
         if self.obs is None:
-            return self._execute_write(schema)
+            return self._execute_write(schema, deadline)
         with self.obs.region(
             "manager.execute_write",
             task=schema.task.task_id,
             pieces=len(schema.pieces),
         ) as sp:
-            result = self._execute_write(schema)
+            result = self._execute_write(schema, deadline)
             sp.set_attr("stored", result.total_stored)
             sp.charge_modeled(result.compress_seconds + result.io_seconds)
         return result
 
-    def _execute_write(self, schema: Schema) -> WriteResult:
+    def _execute_write(self, schema: Schema, deadline=None) -> WriteResult:
         task = schema.task
         if task.task_id in self._catalog:
             raise SchemaError(f"task {task.task_id!r} already written")
@@ -233,9 +240,12 @@ class CompressionManager:
         prepared = self._prepare_pieces(schema, feature_key)
         if self.crashpoints is not None:
             self.crashpoints.reached("manager.write.prepared")
+        consumed = 0.0  # modeled seconds this task has spent so far
         try:
             for index, (plan, prep) in enumerate(zip(schema.pieces, prepared)):
                 key = self.shi.piece_key(task.task_id, index)
+                if deadline is not None:
+                    deadline.check(f"write {task.task_id!r}", consumed)
                 if self.obs is not None:
                     self.obs.hooks.enter(
                         "manager.piece", key=key, codec=plan.codec,
@@ -264,6 +274,7 @@ class CompressionManager:
                     if plan.codec != "none"
                     else 0.0
                 )
+                consumed += comp_seconds + receipt.seconds
                 result.pieces.append(
                     PieceResult(
                         plan=plan,
@@ -297,7 +308,7 @@ class CompressionManager:
                             ratio=max(measured_ratio, 1e-3),
                         )
                     )
-        except TierError:
+        except (TierError, DeadlineExceededError):
             for entry in entries:  # roll back the partial write
                 tier = self.shi.locate(entry.key)
                 if tier is not None:
@@ -507,7 +518,7 @@ class CompressionManager:
         data, header = self._unwrap(entry, blob)
         return data, header, time.perf_counter() - wall_start
 
-    def execute_read(self, task_id: str) -> ReadResult:
+    def execute_read(self, task_id: str, deadline=None) -> ReadResult:
         """Read + decompress a task; charges modeled times.
 
         For materialised tasks the returned ``data`` is the original
@@ -522,14 +533,14 @@ class CompressionManager:
         the pool on or off.
         """
         if self.obs is None:
-            return self._execute_read(task_id)
+            return self._execute_read(task_id, deadline)
         with self.obs.region("manager.execute_read", task=task_id) as sp:
-            result = self._execute_read(task_id)
+            result = self._execute_read(task_id, deadline)
             sp.set_attr("pieces", result.pieces)
             sp.charge_modeled(result.decompress_seconds + result.io_seconds)
         return result
 
-    def _execute_read(self, task_id: str) -> ReadResult:
+    def _execute_read(self, task_id: str, deadline=None) -> ReadResult:
         try:
             pieces = self._catalog[task_id]
         except KeyError:
@@ -539,6 +550,8 @@ class CompressionManager:
         have_payloads = True
         fetched: list[tuple[CatalogEntry, bytes | None]] = []
         for entry in pieces:
+            if deadline is not None:
+                deadline.check(f"read {task_id!r}", io_seconds)
             tier = self.shi.locate(entry.key)
             if tier is None:
                 raise TierError(f"piece {entry.key!r} lost from every tier")
@@ -550,6 +563,10 @@ class CompressionManager:
             else:
                 have_payloads = False
                 fetched.append((entry, None))
+        if deadline is not None:
+            # Final check with the full I/O bill: a single-piece read that
+            # blew the budget must fail typed, not slip through unchecked.
+            deadline.check(f"read {task_id!r}", io_seconds)
 
         pooled = [
             blob is not None and self._pool_eligible(entry.codec, len(blob))
@@ -600,7 +617,7 @@ class CompressionManager:
         )
 
     def execute_read_range(
-        self, task_id: str, offset: int, length: int
+        self, task_id: str, offset: int, length: int, deadline=None
     ) -> ReadResult:
         """Random-access read: only the sub-tasks overlapping
         ``[offset, offset + length)`` are fetched and decompressed.
@@ -635,6 +652,8 @@ class CompressionManager:
             cursor = piece_end
             if piece_end <= offset or piece_start >= end:
                 continue  # no overlap: never touched
+            if deadline is not None:
+                deadline.check(f"read {task_id!r}", io_seconds)
             touched += 1
             tier = self.shi.locate(entry.key)
             if tier is None:
@@ -658,6 +677,10 @@ class CompressionManager:
                 decompress_seconds += entry.length / (
                     profile.decompress_mbps * MB
                 )
+        if deadline is not None and touched:
+            # Same final check as the full read: the last touched piece's
+            # I/O must also fit the budget.
+            deadline.check(f"read {task_id!r}", io_seconds)
         return ReadResult(
             task_id=task_id,
             data=b"".join(parts) if have_payloads else None,

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from ..errors import (
     AllTiersUnavailableError,
     CapacityError,
+    CircuitOpenError,
     RetryExhaustedError,
     TierError,
     TierUnavailableError,
@@ -82,6 +83,11 @@ class StorageHardwareInterface:
         crashpoints: Optional crash-point arbiter
             (:class:`~repro.recovery.Crashpoints`); the write path honours
             the ``shi.write.pre_put``/``post_put``/``failover`` sites.
+        qos: Optional :class:`~repro.qos.QosGovernor`. When present, the
+            write path consults its per-tier circuit breakers (an open
+            breaker is skipped like an injected outage) and feeds every
+            tier outcome — success with its modeled latency, or failure —
+            back into them.
     """
 
     def __init__(
@@ -91,6 +97,7 @@ class StorageHardwareInterface:
         on_wait=None,
         obs=None,
         crashpoints=None,
+        qos=None,
     ) -> None:
         self.hierarchy = hierarchy
         self.resilience = (
@@ -99,6 +106,7 @@ class StorageHardwareInterface:
         self.on_wait = on_wait
         self.obs = obs
         self.crashpoints = crashpoints
+        self.qos = qos
         self.stats = ResilienceStats()
         self._rng = random.Random(self.resilience.jitter_seed)
 
@@ -119,6 +127,30 @@ class StorageHardwareInterface:
         if self.on_wait is not None:
             self.on_wait(seconds)
         return seconds
+
+    def _check_retry_deadline(
+        self,
+        charged_backoff: float,
+        key: str,
+        operation: str,
+        last_error: TierError | None,
+    ) -> None:
+        """Cap cumulative backoff across retries *and* failover candidates.
+
+        Attempt counts bound retries per tier, but a failover chain
+        multiplies them; once total charged backoff crosses the policy's
+        ``retry_deadline`` the operation fails typed instead of stalling.
+        """
+        deadline = self.resilience.retry_deadline
+        if deadline is not None and charged_backoff > deadline:
+            self.stats.exhausted += 1
+            self.stats.record(
+                "retry_deadline", key, operation, round(charged_backoff, 9)
+            )
+            raise AllTiersUnavailableError(
+                f"{operation} of {key!r} exceeded retry_deadline "
+                f"({deadline}s): {charged_backoff:.6g}s of cumulative backoff"
+            ) from last_error
 
     def _failover_candidates(self, level: int) -> list[Tier]:
         """Tiers to try after ``level`` fails: lower (closer to the sink)
@@ -175,6 +207,14 @@ class StorageHardwareInterface:
         last_error: TierError | None = None
         for rank, candidate in enumerate(candidates):
             name = candidate.spec.name
+            if self.qos is not None and not self.qos.breaker_allow(name):
+                # The breaker quarantines the tier like an injected
+                # outage: skip it without spending a single attempt.
+                last_error = CircuitOpenError(
+                    f"tier {name!r} skipped: circuit breaker open"
+                )
+                self.stats.record("breaker_open", key, name)
+                continue
             if rank > 0 and self.crashpoints is not None:
                 self.crashpoints.reached("shi.write.failover")
             attempt = 0
@@ -187,6 +227,8 @@ class StorageHardwareInterface:
                         self.crashpoints.reached("shi.write.post_put")
                 except TransientIOError as exc:
                     last_error = exc
+                    if self.qos is not None:
+                        self.qos.record_tier_outcome(name, False)
                     attempt += 1
                     if attempt > policy.max_retries:
                         self.stats.exhausted += 1
@@ -195,9 +237,17 @@ class StorageHardwareInterface:
                             self.obs.record_exhausted(name)
                         break  # try the next candidate
                     charged_backoff += self._backoff(attempt, key, name)
+                    self._check_retry_deadline(
+                        charged_backoff, key, "write", last_error
+                    )
                     continue
                 except (TierUnavailableError, CapacityError) as exc:
                     last_error = exc
+                    if self.qos is not None and isinstance(
+                        exc, TierUnavailableError
+                    ):
+                        # An outage is a health failure; a full tier is not.
+                        self.qos.record_tier_outcome(name, False)
                     self.stats.record(
                         "unplaceable", key, name, type(exc).__name__
                     )
@@ -209,6 +259,8 @@ class StorageHardwareInterface:
                     if self.obs is not None:
                         self.obs.record_failover(tier_name, name)
                 seconds = candidate.io_seconds(extent.accounted_size)
+                if self.qos is not None:
+                    self.qos.record_tier_outcome(name, True, seconds)
                 return IoReceipt(
                     key,
                     name,
@@ -265,6 +317,8 @@ class StorageHardwareInterface:
                 payload = tier.get(key)
                 extent = tier.extent(key)
             except (TransientIOError, TierUnavailableError) as exc:
+                if self.qos is not None:
+                    self.qos.record_tier_outcome(name, False)
                 attempt += 1
                 if attempt > policy.max_retries:
                     self.stats.exhausted += 1
@@ -278,8 +332,11 @@ class StorageHardwareInterface:
                         ) from exc
                     raise
                 charged_backoff += self._backoff(attempt, key, name)
+                self._check_retry_deadline(charged_backoff, key, "read", exc)
                 continue
             seconds = tier.io_seconds(extent.accounted_size)
+            if self.qos is not None:
+                self.qos.record_tier_outcome(name, True, seconds)
             return payload, IoReceipt(
                 key,
                 name,

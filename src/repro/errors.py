@@ -71,6 +71,50 @@ class AllTiersUnavailableError(TierUnavailableError):
     """
 
 
+class CircuitOpenError(TierUnavailableError):
+    """A tier was skipped because its circuit breaker is open.
+
+    The QoS governor quarantines a tier after repeated SHI failures (or
+    latency violations) inside the breaker window; while the breaker is
+    open the SHI treats the tier exactly like an injected outage and
+    fails over, so a flapping tier cannot absorb every retry budget.
+    """
+
+
+class QosError(HCompressError):
+    """Base class for quality-of-service policy rejections.
+
+    Deliberately *not* a :class:`TierError`: QoS rejections are policy
+    decisions, not storage faults, so the engine's replan-on-tier-failure
+    path must never catch and retry them.
+    """
+
+
+class TaskShedError(QosError):
+    """Admission control rejected the task under overload.
+
+    Carries the QoS class and shed reason so callers can retry later,
+    downgrade, or surface backpressure. Only classes below the protected
+    class are ever shed; the decision is drawn from a seeded RNG so shed
+    traces are replayable.
+    """
+
+    def __init__(self, message: str, *, qos_class: int = 0, reason: str = ""):
+        super().__init__(message)
+        self.qos_class = qos_class
+        self.reason = reason
+
+
+class DeadlineExceededError(QosError):
+    """An operation's modeled completion exceeded its deadline budget.
+
+    Raised at plan time when no candidate tier/codec can finish within
+    the remaining budget, or at execute time when the per-piece
+    remaining-budget check trips; any pieces already placed are rolled
+    back before the error surfaces.
+    """
+
+
 class PlacementError(HCompressError):
     """The HCDP engine could not produce a feasible schema."""
 

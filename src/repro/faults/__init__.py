@@ -7,7 +7,9 @@ on the simulated clock (:class:`FaultInjector`), interposing
 read-path corruption; `chaos` runs full workloads under injection and
 reports recovery behaviour (:func:`run_chaos`); `crash` kills the engine at
 seeded crash sites and proves the journal/checkpoint recovery invariants
-(:func:`run_crash_recovery`, :func:`sweep_crash_sites`).
+(:func:`run_crash_recovery`, :func:`sweep_crash_sites`); `overload` offers
+writes faster than the admission queue drains while a tier flaps, and
+proves the QoS overload contract (:func:`run_overload`).
 """
 
 from .chaos import ChaosConfig, ChaosOutcome, default_chaos_plan, run_chaos
@@ -19,6 +21,7 @@ from .crash import (
 )
 from .device import FaultyDevice
 from .injector import FaultInjector, InjectorStats
+from .overload import OverloadConfig, OverloadOutcome, run_overload
 from .plan import FaultEvent, FaultKind, FaultPlan
 
 __all__ = [
@@ -32,8 +35,11 @@ __all__ = [
     "FaultPlan",
     "FaultyDevice",
     "InjectorStats",
+    "OverloadConfig",
+    "OverloadOutcome",
     "default_chaos_plan",
     "run_chaos",
     "run_crash_recovery",
+    "run_overload",
     "sweep_crash_sites",
 ]

@@ -27,9 +27,9 @@ from dataclasses import dataclass
 from ..ccp.predictor import CompressionCostPredictor, ExpectedCompressionCost
 from ..codecs.metadata import HEADER_SIZE
 from ..codecs.pool import CompressionLibraryPool
-from ..errors import PlacementError
+from ..errors import DeadlineExceededError, PlacementError
 from ..monitor.system_monitor import SystemMonitor
-from ..units import PAGE, align_down
+from ..units import MB, PAGE, align_down
 from .cost import CostModel
 from .plan_cache import CachedPlan, PlanCache, PlanCacheConfig
 from .priorities import EQUAL, Priority
@@ -147,22 +147,55 @@ class HcdpEngine:
 
     # -- planning ------------------------------------------------------------
 
-    def plan(self, task: IOTask) -> Schema:
-        """Produce the optimal compression/placement schema for a write task."""
+    def plan(
+        self,
+        task: IOTask,
+        *,
+        deadline_budget: float | None = None,
+        codec_filter: str | None = None,
+        blocked_tiers: tuple[str, ...] = (),
+    ) -> Schema:
+        """Produce the optimal compression/placement schema for a write task.
+
+        The keyword constraints come from the QoS governor and default to
+        no-ops: ``blocked_tiers`` excludes breaker-quarantined tiers from
+        the choice set, ``codec_filter`` (``"fastest"`` / ``"none"``)
+        implements the brownout ladder's codec restrictions, and
+        ``deadline_budget`` (remaining modeled seconds) prunes tiers and
+        codecs whose modeled completion cannot fit — raising
+        :class:`~repro.errors.DeadlineExceededError` when nothing is left.
+        """
         obs = self.obs
         if obs is None:
-            return self._plan(task)
+            return self._plan(
+                task,
+                deadline_budget=deadline_budget,
+                codec_filter=codec_filter,
+                blocked_tiers=blocked_tiers,
+            )
         hits_before = self.stats.plan_cache_hits
         wall = time.perf_counter()
         with obs.region("hcdp.plan", task=task.task_id, size=task.size) as sp:
-            schema = self._plan(task)
+            schema = self._plan(
+                task,
+                deadline_budget=deadline_budget,
+                codec_filter=codec_filter,
+                blocked_tiers=blocked_tiers,
+            )
             cache_hit = self.stats.plan_cache_hits > hits_before
             sp.set_attr("cache", "hit" if cache_hit else "miss")
             sp.set_attr("pieces", len(schema.pieces))
         obs.record_plan(cache_hit, time.perf_counter() - wall)
         return schema
 
-    def _plan(self, task: IOTask) -> Schema:
+    def _plan(
+        self,
+        task: IOTask,
+        *,
+        deadline_budget: float | None = None,
+        codec_filter: str | None = None,
+        blocked_tiers: tuple[str, ...] = (),
+    ) -> Schema:
         if task.operation != Operation.WRITE:
             raise PlacementError(
                 "the HCDP engine plans write tasks; reads are driven by "
@@ -187,6 +220,14 @@ class HcdpEngine:
             loads.append(tier_status.load)
             queued.append(tier_status.queued_bytes)
             usable.append(tier_status.available)
+        if blocked_tiers:
+            # Breaker-quarantined tiers are indistinguishable from down
+            # tiers to the planner: excluded from the choice set, counted
+            # as a degraded plan.
+            blocked = frozenset(blocked_tiers)
+            for level, spec in enumerate(specs):
+                if spec.name in blocked:
+                    usable[level] = False
         if not all(usable):
             # Degraded-mode planning: down tiers are excluded from the
             # choice set and the DP routes every byte through the
@@ -242,6 +283,54 @@ class HcdpEngine:
         for name, ecc in zip(self.pool.names[1:], table):
             if ecc.ratio >= 1.0:
                 candidates.append((name, ecc))
+
+        if codec_filter == "none":
+            # Brownout "skip compression": identity placement only, even
+            # when allow_identity is off — shedding codec work entirely is
+            # the point of this rung.
+            candidates = [("none", None)]
+        elif codec_filter == "fastest":
+            fastest: tuple[str, ExpectedCompressionCost] | None = None
+            for name, ecc in candidates:
+                if ecc is not None and (
+                    fastest is None or ecc.compress_mbps > fastest[1].compress_mbps
+                ):
+                    fastest = (name, ecc)
+            candidates = [("none", None)]
+            if fastest is not None:
+                candidates.append(fastest)
+        elif codec_filter is not None:
+            raise ValueError(f"unknown codec_filter {codec_filter!r}")
+
+        if deadline_budget is not None:
+            best_ratio = 1.0
+            for _, ecc in candidates:
+                if ecc is not None and ecc.ratio > best_ratio:
+                    best_ratio = ecc.ratio
+            # Codec pruning: compression time alone must fit the budget
+            # (identity never prunes). Tier pruning: even the optimistic
+            # post-compression footprint must cross the tier's pipe in
+            # budget, or the tier cannot possibly finish in time.
+            candidates = [
+                (name, ecc)
+                for name, ecc in candidates
+                if ecc is None
+                or task.size / (ecc.compress_mbps * MB) <= deadline_budget
+            ]
+            optimistic_bytes = task.size / best_ratio
+            for level, spec in enumerate(specs):
+                if (
+                    usable[level]
+                    and spec.latency + optimistic_bytes / spec.lane_bandwidth
+                    > deadline_budget
+                ):
+                    usable[level] = False
+            if not any(usable) or not candidates:
+                raise DeadlineExceededError(
+                    f"task {task.task_id}: no tier/codec can complete "
+                    f"{task.size} bytes within the remaining "
+                    f"{deadline_budget:.6g}s budget"
+                )
         n_codecs = len(candidates)
 
         # Remaining-capacity clamp (see repro.hcdp.plan_cache): no stored
@@ -252,7 +341,10 @@ class HcdpEngine:
         clamp = float(bucket + HEADER_SIZE)
         remaining = [min(rem, clamp) for rem in remaining]
 
-        cache_on = self.plan_cache_config.enabled
+        # Deadline budgets are continuous values that would put a unique
+        # key in the cache per plan; deadline-constrained plans bypass the
+        # whole-schema cache and the shared memo entirely.
+        cache_on = self.plan_cache_config.enabled and deadline_budget is None
         context_key: tuple | None = None
         if cache_on:
             self._sync_cache_generation()
@@ -268,6 +360,8 @@ class HcdpEngine:
                 tuple(queued),
                 tuple(remaining),
                 drain_per_byte,
+                tuple(sorted(blocked_tiers)),
+                codec_filter,
             )
             cached = self.plan_cache.get_schema(task.size, context_key)
             if cached is not None:

@@ -49,6 +49,11 @@ class TierFlusher:
             the ``flusher.pre_copy``/``post_copy``/``post_evict`` sites.
             A crash between copy and evict leaves the key on two tiers —
             recovery's duplicate sweep reclaims the stale copy.
+        qos: Optional :class:`~repro.qos.QosGovernor`; destination
+            selection skips tiers whose circuit breaker currently
+            quarantines them (via the non-mutating ``tier_quarantined``
+            check, so the flusher never consumes a half-open probe slot
+            that foreground writes should spend).
     """
 
     def __init__(
@@ -60,6 +65,7 @@ class TierFlusher:
         batch_moves: int = 8,
         obs=None,
         crashpoints=None,
+        qos=None,
     ) -> None:
         if not 0.0 < low_water < high_water <= 1.0:
             raise TierError(
@@ -77,6 +83,7 @@ class TierFlusher:
         self.batch_moves = batch_moves
         self.obs = obs
         self.crashpoints = crashpoints
+        self.qos = qos
         self.stats = FlushStats()
         # FIFO order per tier: first-placed extents flush first (they are
         # the least likely to be re-read while still hot).
@@ -105,8 +112,13 @@ class TierFlusher:
     def _destination(self, level: int, nbytes: int) -> Tier | None:
         for lower in range(level + 1, len(self.hierarchy)):
             tier = self.hierarchy[lower]
-            if tier.available and tier.fits(nbytes):
-                return tier
+            if not tier.available or not tier.fits(nbytes):
+                continue
+            if self.qos is not None and self.qos.tier_quarantined(
+                tier.spec.name
+            ):
+                continue
+            return tier
         return None
 
     def _defer(self, tier: Tier, key: str) -> None:

@@ -51,6 +51,25 @@ class SystemStatus:
                 return status
         raise KeyError(f"no tier named {name!r} in snapshot")
 
+    def pressure(self) -> float:
+        """Worst bounded-tier fill fraction in [0, 1].
+
+        Unbounded tiers (the PFS) contribute nothing; a downed bounded
+        tier counts as full, since its bytes cannot drain anywhere. This
+        is the scalar the QoS brownout ladder consumes.
+        """
+        worst = 0.0
+        for status in self.tiers:
+            if status.remaining is None:
+                continue
+            if not status.available:
+                worst = max(worst, 1.0)
+                continue
+            capacity = status.used + status.remaining
+            if capacity > 0:
+                worst = max(worst, min(status.used / capacity, 1.0))
+        return worst
+
 
 class SystemMonitor:
     """Periodic sampler over a :class:`StorageHierarchy`.

@@ -197,6 +197,40 @@ class Observability:
             "hcompress_recovery_gc_evictions_total",
             "tier extents reclaimed by the restore sweep", ("reason",),
         )
+        self.m_qos_admitted = reg.counter(
+            "hcompress_qos_admitted_total",
+            "tasks admitted by QoS admission control", ("qos_class",),
+        )
+        self.m_qos_shed = reg.counter(
+            "hcompress_qos_shed_total",
+            "tasks shed by QoS admission control", ("qos_class",),
+        )
+        self.m_breaker_state = reg.gauge(
+            "hcompress_qos_breaker_state",
+            "circuit-breaker state per tier (0 closed, 1 half-open, 2 open)",
+            ("tier",),
+        )
+        self.m_breaker_transitions = reg.counter(
+            "hcompress_qos_breaker_transitions_total",
+            "circuit-breaker state changes per tier", ("tier",),
+        )
+        self.m_brownout_level = reg.gauge(
+            "hcompress_qos_brownout_level",
+            "current brownout ladder rung (0 normal .. 3 shed)",
+        )
+        self.m_brownout_transitions = reg.counter(
+            "hcompress_qos_brownout_transitions_total",
+            "brownout ladder moves (either direction)",
+        )
+        self.m_deadline_exceeded = reg.counter(
+            "hcompress_qos_deadline_exceeded_total",
+            "operations that ran out of deadline budget", ("op",),
+        )
+        self.m_deadline_slack = reg.histogram(
+            "hcompress_qos_deadline_slack_seconds",
+            "remaining budget of operations that met their deadline",
+            ("op",), buckets=PLAN_SECONDS_BUCKETS,
+        )
 
     @property
     def enabled(self) -> bool:
@@ -262,6 +296,23 @@ class Observability:
             self.m_recovery_gc.labels(reason="orphan").inc(orphans)
         if duplicates:
             self.m_recovery_gc.labels(reason="duplicate").inc(duplicates)
+
+    def record_qos_admitted(self, qos_class: str) -> None:
+        self.m_qos_admitted.labels(qos_class=qos_class).inc()
+
+    def record_qos_shed(self, qos_class: str) -> None:
+        self.m_qos_shed.labels(qos_class=qos_class).inc()
+
+    def record_brownout(self, prev_level: int, level: int) -> None:
+        """Account one brownout ladder move (either direction)."""
+        self.m_brownout_level.set(level)
+        self.m_brownout_transitions.inc()
+
+    def record_deadline_exceeded(self, op: str) -> None:
+        self.m_deadline_exceeded.labels(op=op).inc()
+
+    def record_deadline_slack(self, op: str, slack_seconds: float) -> None:
+        self.m_deadline_slack.labels(op=op).observe(max(slack_seconds, 0.0))
 
     # -- mirror sync (legacy counters -> one export path) --------------------
 
@@ -408,6 +459,9 @@ class Observability:
         ):
             phase_seconds.labels(phase=phase).set(getattr(anatomy, phase))
 
+        if getattr(engine, "qos", None) is not None:
+            self.sync_qos(engine.qos)
+
     def sync_flusher(self, stats) -> None:
         """Mirror ``FlushStats`` (the background tier drainer)."""
         reg = self.registry
@@ -422,6 +476,33 @@ class Observability:
             ),
         ):
             reg.counter(name, "mirror of the TierFlusher counters").set(value)
+
+    def sync_qos(self, governor) -> None:
+        """Mirror a :class:`~repro.qos.QosGovernor`'s live state: breaker
+        states per tier, admission backlog/counters, brownout rung."""
+        from ..qos.breaker import HALF_OPEN, OPEN
+
+        reg = self.registry
+        admission = governor.admission
+        reg.gauge(
+            "hcompress_qos_backlog_bytes",
+            "admission backlog (modeled bytes awaiting drain)",
+        ).set(admission.backlog_bytes)
+        for name, value in (
+            ("hcompress_qos_admission_admitted_total", admission.admitted),
+            ("hcompress_qos_admission_shed_total", admission.shed),
+        ):
+            reg.counter(name, "mirror of the admission controller").set(value)
+        self.m_brownout_level.set(int(governor.brownout.level))
+        if governor.breakers is not None:
+            code = {OPEN: 2, HALF_OPEN: 1}
+            for tier, breaker in governor.breakers.breakers.items():
+                self.m_breaker_state.labels(tier=tier).set(
+                    code.get(breaker.state, 0)
+                )
+                self.m_breaker_transitions.labels(tier=tier).set(
+                    breaker.transitions
+                )
 
     def sync_injector(self, stats) -> None:
         """Mirror ``InjectorStats`` (the fault-injection event log)."""

@@ -1,0 +1,38 @@
+"""Quality-of-service subsystem: overload protection & graceful degradation.
+
+Four cooperating mechanisms, all governed by one frozen
+:class:`~repro.qos.config.QosConfig` and byte-identical to a build
+without QoS when disabled:
+
+* :mod:`~repro.qos.admission` — bounded intake backlog with class-aware,
+  seeded load shedding (:class:`~repro.errors.TaskShedError`),
+* :mod:`~repro.qos.breaker` — per-tier closed/open/half-open circuit
+  breakers fed by SHI outcomes on the simulated clock,
+* :mod:`~repro.qos.deadline` — per-operation remaining-budget carrier
+  threaded through planning and execution
+  (:class:`~repro.errors.DeadlineExceededError`),
+* :mod:`~repro.qos.brownout` — hysteretic degradation ladder (prefer
+  fastest codec → skip compression → shed lowest class).
+
+:class:`~repro.qos.governor.QosGovernor` is the engine-facing facade.
+"""
+
+from .admission import AdmissionController
+from .breaker import BreakerBoard, CircuitBreaker
+from .brownout import BrownoutController, BrownoutLevel
+from .config import QosClass, QosConfig, qos_class_for_priority
+from .deadline import Deadline
+from .governor import QosGovernor
+
+__all__ = [
+    "AdmissionController",
+    "BreakerBoard",
+    "BrownoutController",
+    "BrownoutLevel",
+    "CircuitBreaker",
+    "Deadline",
+    "QosClass",
+    "QosConfig",
+    "QosGovernor",
+    "qos_class_for_priority",
+]

@@ -1,0 +1,122 @@
+"""Admission control: bounded intake backlog with class-aware shedding.
+
+The controller models the engine's intake as a byte backlog that fills on
+every admitted task and drains at a modeled rate (defaulting to the sink
+tier's aggregate bandwidth). Shedding is class-aware and monotone in
+severity:
+
+* fill <= ``shed_soft_fill``      -> everything admitted
+* soft band (soft < fill <= 1)    -> sub-protected classes shed with
+  probability ``excess ** (1 + class)`` — lower classes shed first, drawn
+  from a seeded RNG so the trace replays exactly
+* fill > 1                        -> every sub-protected class shed
+
+Protected classes (``protected_class`` and above) are never shed by the
+controller; the brownout ladder may additionally impose a shed *floor*
+that deterministically rejects classes below it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import TaskShedError
+from .config import QosClass, QosConfig
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-backlog intake gate with seeded, replayable shed decisions."""
+
+    def __init__(self, config: QosConfig, drain_bytes_per_s: float):
+        if drain_bytes_per_s <= 0:
+            raise ValueError("drain_bytes_per_s must be positive")
+        self.config = config
+        self.drain_bytes_per_s = float(drain_bytes_per_s)
+        self.backlog_bytes = 0.0
+        self.admitted = 0
+        self.shed = 0
+        self.shed_by_class: dict[int, int] = {}
+        self.trace: list[tuple] = []
+        self._rng = random.Random(config.shed_seed)
+        self._last_drain: float | None = None
+
+    def _drain(self, now: float) -> None:
+        if self._last_drain is not None and now > self._last_drain:
+            self.backlog_bytes = max(
+                0.0,
+                self.backlog_bytes
+                - (now - self._last_drain) * self.drain_bytes_per_s,
+            )
+        self._last_drain = now
+
+    def fill(self, now: float) -> float:
+        """Current backlog fill fraction (drains lazily to ``now``)."""
+        self._drain(now)
+        return self.backlog_bytes / self.config.max_backlog_bytes
+
+    def admit(
+        self,
+        task_id: int,
+        size: int,
+        qos_class: QosClass,
+        now: float,
+        floor: QosClass | None = None,
+    ) -> None:
+        """Admit the task into the backlog or raise :class:`TaskShedError`.
+
+        ``floor`` is the brownout shed floor: classes strictly below it
+        are rejected outright regardless of fill.
+        """
+        self._drain(now)
+        fill = (self.backlog_bytes + size) / self.config.max_backlog_bytes
+        reason = None
+        if floor is not None and qos_class < floor:
+            reason = "brownout"
+        elif qos_class >= self.config.protected_class:
+            pass  # protected classes are never shed
+        elif fill > 1.0:
+            reason = "overload"
+        elif fill > self.config.shed_soft_fill:
+            excess = (fill - self.config.shed_soft_fill) / (
+                1.0 - self.config.shed_soft_fill
+            )
+            # Lower classes get a larger shed probability (excess < 1, so a
+            # higher exponent shrinks it); the draw order is deterministic.
+            if self._rng.random() < excess ** (1 + int(qos_class)):
+                reason = "pressure"
+        if reason is not None:
+            self.shed += 1
+            self.shed_by_class[int(qos_class)] = (
+                self.shed_by_class.get(int(qos_class), 0) + 1
+            )
+            self.trace.append(
+                ("shed", round(now, 9), task_id, int(qos_class), reason,
+                 round(fill, 6))
+            )
+            raise TaskShedError(
+                f"task {task_id} (class {QosClass(qos_class).name}) shed: "
+                f"{reason} (backlog fill {fill:.3f})",
+                qos_class=int(qos_class),
+                reason=reason,
+            )
+        self.backlog_bytes += size
+        self.admitted += 1
+
+    def export_state(self) -> dict:
+        return {
+            "backlog_bytes": self.backlog_bytes,
+            "admitted": self.admitted,
+            "shed": self.shed,
+            "shed_by_class": dict(self.shed_by_class),
+        }
+
+    def restore_state(self, raw: dict, now: float) -> None:
+        self.backlog_bytes = float(raw.get("backlog_bytes", 0.0))
+        self.admitted = int(raw.get("admitted", 0))
+        self.shed = int(raw.get("shed", 0))
+        self.shed_by_class = {
+            int(k): int(v) for k, v in raw.get("shed_by_class", {}).items()
+        }
+        self._last_drain = now

@@ -1,0 +1,218 @@
+"""Per-tier circuit breakers: closed / open / half-open on the sim clock.
+
+Each tier gets a :class:`CircuitBreaker` fed by SHI outcomes (errors and,
+optionally, latency violations). Repeated failures inside a sliding
+window trip the breaker open; while open the SHI skips the tier exactly
+like an injected outage, so a flapping tier stops absorbing every retry
+budget. After a deterministic quarantine the breaker goes half-open and
+admits a bounded number of probe writes: all-success closes it, any
+failure reopens it with exponentially longer quarantine (capped). No
+jitter anywhere — breaker traces must replay exactly under a fixed seed.
+
+State restores conservatively: a checkpoint taken mid-probe comes back
+OPEN with a fresh quarantine window, never half-open or closed, so a
+restart cannot resurrect a sick tier as healthy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from .config import QosConfig
+
+__all__ = ["CLOSED", "OPEN", "HALF_OPEN", "CircuitBreaker", "BreakerBoard"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """State machine guarding one tier."""
+
+    def __init__(
+        self,
+        tier: str,
+        config: QosConfig,
+        on_event: Callable[..., None] | None = None,
+    ):
+        self.tier = tier
+        self.config = config
+        self.state = CLOSED
+        self.transitions = 0
+        self._on_event = on_event
+        self._failures: deque[float] = deque()
+        self._opened_at = 0.0
+        self._open_seconds = config.breaker_open_seconds
+        self._reopen_count = 0
+        self._probes_granted = 0
+        self._probe_successes = 0
+
+    # -- state transitions -------------------------------------------------
+
+    def _transition(self, state: str, now: float) -> None:
+        prev, self.state = self.state, state
+        self.transitions += 1
+        if self._on_event is not None:
+            self._on_event("breaker", round(now, 9), self.tier, prev, state)
+
+    def _open(self, now: float, *, reopen: bool) -> None:
+        if reopen:
+            self._reopen_count += 1
+            self._open_seconds = min(
+                self.config.breaker_open_seconds
+                * self.config.breaker_backoff_factor**self._reopen_count,
+                self.config.breaker_open_cap,
+            )
+        else:
+            self._reopen_count = 0
+            self._open_seconds = self.config.breaker_open_seconds
+        self._opened_at = now
+        self._failures.clear()
+        self._probes_granted = 0
+        self._probe_successes = 0
+        self._transition(OPEN, now)
+
+    # -- queries -----------------------------------------------------------
+
+    def blocked(self, now: float) -> bool:
+        """Non-mutating: would a write be denied right now?
+
+        Planning uses this so that looking at a tier never consumes a
+        half-open probe slot.
+        """
+        if self.state == OPEN:
+            return now - self._opened_at < self._open_seconds
+        if self.state == HALF_OPEN:
+            return self._probes_granted >= self.config.breaker_probes
+        return False
+
+    def allow(self, now: float) -> bool:
+        """Mutating write gate: may transition OPEN -> HALF_OPEN and
+        consumes a probe slot while half-open."""
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if now - self._opened_at < self._open_seconds:
+                return False
+            self._transition(HALF_OPEN, now)
+            self._probes_granted = 1
+            self._probe_successes = 0
+            return True
+        # HALF_OPEN: bounded probes until their outcomes decide the state.
+        if self._probes_granted < self.config.breaker_probes:
+            self._probes_granted += 1
+            return True
+        return False
+
+    # -- outcome feed ------------------------------------------------------
+
+    def record_success(self, now: float) -> None:
+        if self.state == HALF_OPEN:
+            self._probe_successes += 1
+            if self._probe_successes >= self.config.breaker_probes:
+                self._failures.clear()
+                self._reopen_count = 0
+                self._open_seconds = self.config.breaker_open_seconds
+                self._probes_granted = 0
+                self._probe_successes = 0
+                self._transition(CLOSED, now)
+        elif self.state == CLOSED:
+            self._prune(now)
+
+    def record_failure(self, now: float) -> None:
+        if self.state == HALF_OPEN:
+            self._open(now, reopen=True)
+        elif self.state == CLOSED:
+            self._failures.append(now)
+            self._prune(now)
+            if len(self._failures) >= self.config.breaker_failure_threshold:
+                self._open(now, reopen=False)
+        # OPEN: an in-flight operation finishing late changes nothing.
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.config.breaker_window
+        while self._failures and self._failures[0] < horizon:
+            self._failures.popleft()
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def export_state(self) -> dict:
+        return {
+            "state": self.state,
+            "opened_at": self._opened_at,
+            "open_seconds": self._open_seconds,
+            "reopen_count": self._reopen_count,
+        }
+
+    def restore_state(self, raw: dict, now: float) -> None:
+        """Conservative restore: HALF_OPEN comes back as OPEN with a fresh
+        quarantine window — a restart never resurrects a tier mid-probe."""
+        state = raw.get("state", CLOSED)
+        self._failures.clear()
+        self._probes_granted = 0
+        self._probe_successes = 0
+        self._reopen_count = int(raw.get("reopen_count", 0))
+        if state in (OPEN, HALF_OPEN):
+            self.state = OPEN
+            self._opened_at = now
+            self._open_seconds = min(
+                max(
+                    float(raw.get("open_seconds", self.config.breaker_open_seconds)),
+                    self.config.breaker_open_seconds,
+                ),
+                self.config.breaker_open_cap,
+            )
+        else:
+            self.state = CLOSED
+            self._opened_at = 0.0
+            self._open_seconds = self.config.breaker_open_seconds
+
+
+class BreakerBoard:
+    """The full set of per-tier breakers plus their merged event trace."""
+
+    def __init__(self, tiers: list[str], config: QosConfig):
+        self.trace: list[tuple] = []
+        self.breakers = {
+            name: CircuitBreaker(name, config, on_event=self._record)
+            for name in tiers
+        }
+
+    def _record(self, *event) -> None:
+        self.trace.append(tuple(event))
+
+    def allow(self, tier: str, now: float) -> bool:
+        breaker = self.breakers.get(tier)
+        return True if breaker is None else breaker.allow(now)
+
+    def blocked(self, tier: str, now: float) -> bool:
+        breaker = self.breakers.get(tier)
+        return False if breaker is None else breaker.blocked(now)
+
+    def record(self, tier: str, ok: bool, now: float) -> None:
+        breaker = self.breakers.get(tier)
+        if breaker is None:
+            return
+        if ok:
+            breaker.record_success(now)
+        else:
+            breaker.record_failure(now)
+
+    def quarantined(self, now: float) -> tuple[str, ...]:
+        return tuple(
+            name for name, b in self.breakers.items() if b.blocked(now)
+        )
+
+    @property
+    def transitions(self) -> int:
+        return sum(b.transitions for b in self.breakers.values())
+
+    def export_state(self) -> dict:
+        return {name: b.export_state() for name, b in self.breakers.items()}
+
+    def restore_state(self, raw: dict, now: float) -> None:
+        for name, breaker in self.breakers.items():
+            if name in raw:
+                breaker.restore_state(raw[name], now)

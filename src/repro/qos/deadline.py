@@ -1,0 +1,58 @@
+"""Deadline propagation: a remaining-budget carrier for one operation.
+
+A :class:`Deadline` is created at the API boundary (``HCompress.compress``
+/ ``decompress``) and threaded through planning and execution. It tracks
+two time sources: the engine's clock (simulated wall time, advanced by
+retry backoff and fault injection) and the *modeled* service time the
+current operation has consumed so far, which the manager accumulates
+per piece. Both count against the same budget, so a task stalled by
+backoff and a task slowed by heavy codecs hit the deadline identically
+and deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import DeadlineExceededError
+
+__all__ = ["Deadline"]
+
+
+def _zero_clock() -> float:
+    return 0.0
+
+
+class Deadline:
+    """Budget in modeled seconds for one write or read operation."""
+
+    __slots__ = ("budget", "_clock", "_start")
+
+    def __init__(self, budget: float, clock: Callable[[], float] | None = None):
+        if budget <= 0:
+            raise ValueError("deadline budget must be positive")
+        self.budget = float(budget)
+        self._clock = clock if clock is not None else _zero_clock
+        self._start = self._clock()
+
+    def elapsed(self, consumed: float = 0.0) -> float:
+        """Clock time since creation plus ``consumed`` modeled seconds."""
+        return (self._clock() - self._start) + consumed
+
+    def remaining(self, consumed: float = 0.0) -> float:
+        """Budget left after clock drift and ``consumed`` modeled seconds."""
+        return self.budget - self.elapsed(consumed)
+
+    def exceeded(self, consumed: float = 0.0) -> bool:
+        return self.remaining(consumed) <= 0.0
+
+    def check(self, what: str, consumed: float = 0.0) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget is spent."""
+        if self.exceeded(consumed):
+            raise DeadlineExceededError(
+                f"{what}: deadline of {self.budget:.6g}s exceeded "
+                f"({self.elapsed(consumed):.6g}s elapsed)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(budget={self.budget!r}, remaining={self.remaining()!r})"

@@ -1,0 +1,161 @@
+"""The QoS governor: one facade over admission, breakers, and brownout.
+
+``HCompress`` constructs a governor when ``QosConfig.enabled`` and
+threads it through the request path:
+
+* ``observe`` feeds monitor pressure into the brownout ladder,
+* ``admit`` gates intake (raising :class:`~repro.errors.TaskShedError`),
+* ``codec_filter`` / ``quarantined_tiers`` constrain HCDP planning,
+* ``breaker_allow`` / ``record_tier_outcome`` are the SHI's write gate
+  and outcome feed,
+* ``tier_quarantined`` is the flusher's non-mutating destination check.
+
+All timing runs on the engine clock (simulated seconds when a SimClock
+is wired, a deterministic call counter otherwise), and every decision is
+appended to a replayable event trace.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Callable
+
+from .admission import AdmissionController
+from .breaker import BreakerBoard
+from .brownout import BrownoutController, BrownoutLevel
+from .config import QosClass, QosConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..monitor.system_monitor import SystemStatus
+    from ..tiers import StorageHierarchy
+
+__all__ = ["QosGovernor"]
+
+
+class QosGovernor:
+    """Engine-lifetime QoS state: one admission controller, one breaker
+    per tier, one brownout ladder, one merged event trace."""
+
+    def __init__(
+        self,
+        config: QosConfig,
+        hierarchy: "StorageHierarchy",
+        clock: Callable[[], float] | None = None,
+        obs=None,
+    ):
+        self.config = config
+        self.obs = obs
+        if clock is None:
+            counter = itertools.count()
+            clock = lambda: float(next(counter)) * 1e-6  # noqa: E731
+        self._clock = clock
+        drain = config.drain_bytes_per_s
+        if drain is None:
+            drain = hierarchy[len(hierarchy) - 1].spec.bandwidth
+        self.admission = AdmissionController(config, drain)
+        self.breakers = (
+            BreakerBoard(hierarchy.names, config)
+            if config.breaker_enabled
+            else None
+        )
+        self.brownout = BrownoutController(config, on_event=self._on_brownout)
+        self.deadline_exceeded = 0
+
+    def now(self) -> float:
+        return self._clock()
+
+    def _on_brownout(self, *event) -> None:
+        if self.obs is not None:
+            self.obs.record_brownout(int(event[2]), int(event[3]))
+
+    # -- monitor feedback --------------------------------------------------
+
+    def observe(self, status: "SystemStatus") -> BrownoutLevel:
+        """Feed monitor pressure (combined with admission backlog fill)
+        into the brownout ladder."""
+        now = self.now()
+        pressure = max(status.pressure(), min(1.0, self.admission.fill(now)))
+        return self.brownout.update(pressure, now)
+
+    # -- admission ---------------------------------------------------------
+
+    def admit(self, task_id: int, size: int, qos_class: QosClass | None) -> None:
+        cls = self.config.default_class if qos_class is None else QosClass(qos_class)
+        now = self.now()
+        try:
+            self.admission.admit(
+                task_id, size, cls, now, floor=self.brownout.shed_floor()
+            )
+        except Exception:
+            if self.obs is not None:
+                self.obs.record_qos_shed(cls.name)
+            raise
+        if self.obs is not None:
+            self.obs.record_qos_admitted(cls.name)
+
+    # -- planning constraints ----------------------------------------------
+
+    def codec_filter(self) -> str | None:
+        return self.brownout.codec_filter()
+
+    def quarantined_tiers(self) -> tuple[str, ...]:
+        if self.breakers is None:
+            return ()
+        return self.breakers.quarantined(self.now())
+
+    # -- SHI gate and outcome feed -----------------------------------------
+
+    def breaker_allow(self, tier: str) -> bool:
+        if self.breakers is None:
+            return True
+        return self.breakers.allow(tier, self.now())
+
+    def tier_quarantined(self, tier: str) -> bool:
+        if self.breakers is None:
+            return False
+        return self.breakers.blocked(tier, self.now())
+
+    def record_tier_outcome(self, tier: str, ok: bool, seconds: float = 0.0) -> None:
+        if self.breakers is None:
+            return
+        threshold = self.config.breaker_latency_threshold
+        if ok and threshold is not None and seconds > threshold:
+            ok = False  # a crawling tier counts as a failing one
+        self.breakers.record(tier, ok, self.now())
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def record_deadline_exceeded(self, operation: str) -> None:
+        self.deadline_exceeded += 1
+        if self.obs is not None:
+            self.obs.record_deadline_exceeded(operation)
+
+    def event_trace(self) -> tuple:
+        """Deterministic merged trace: admission sheds, breaker
+        transitions, brownout moves (each stream internally ordered)."""
+        breaker_trace = () if self.breakers is None else tuple(self.breakers.trace)
+        return (
+            tuple(self.admission.trace),
+            breaker_trace,
+            tuple(self.brownout.trace),
+        )
+
+    # -- checkpoint/restore ------------------------------------------------
+
+    def export_state(self) -> dict:
+        state = {
+            "admission": self.admission.export_state(),
+            "brownout": self.brownout.export_state(),
+            "deadline_exceeded": self.deadline_exceeded,
+        }
+        if self.breakers is not None:
+            state["breakers"] = self.breakers.export_state()
+        return state
+
+    def restore_state(self, raw: dict) -> None:
+        now = self.now()
+        self.admission.restore_state(raw.get("admission", {}), now)
+        self.brownout.restore_state(raw.get("brownout", {}), now)
+        self.deadline_exceeded = int(raw.get("deadline_exceeded", 0))
+        if self.breakers is not None and "breakers" in raw:
+            self.breakers.restore_state(raw["breakers"], now)

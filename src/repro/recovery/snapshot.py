@@ -52,6 +52,10 @@ class EngineSnapshot:
             the ledger — restore compares this against the live tiers and
             reports drift instead of trusting it blindly.
         replans: The engine's degraded-mode replan counter.
+        qos: QoS governor state (admission counters/backlog, per-tier
+            breaker states, brownout level) when the engine runs with
+            QoS enabled; empty otherwise. Optional in the on-disk format
+            so version-1 snapshots written before the field read cleanly.
     """
 
     journal_lsn: int
@@ -65,6 +69,7 @@ class EngineSnapshot:
     resilience: dict[str, float] = field(default_factory=dict)
     tier_used: dict[str, int] = field(default_factory=dict)
     replans: int = 0
+    qos: dict = field(default_factory=dict)
 
     def referenced_keys(self) -> set[str]:
         """Every piece key the catalog points at."""
@@ -95,6 +100,7 @@ class EngineSnapshot:
             "resilience": dict(self.resilience),
             "tier_used": dict(self.tier_used),
             "replans": self.replans,
+            "qos": dict(self.qos),
         }
 
     @classmethod
@@ -138,6 +144,7 @@ class EngineSnapshot:
                     str(k): int(v) for k, v in raw.get("tier_used", {}).items()
                 },
                 replans=int(raw.get("replans", 0)),
+                qos=dict(raw.get("qos", {})),
             )
         except RecoveryError:
             raise

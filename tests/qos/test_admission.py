@@ -1,0 +1,137 @@
+"""Admission control: backlog model, class-aware shedding, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskShedError
+from repro.qos import AdmissionController, QosClass, QosConfig
+from repro.units import KiB
+
+
+def _config(**kwargs) -> QosConfig:
+    base = dict(
+        enabled=True,
+        max_backlog_bytes=10 * KiB,
+        shed_soft_fill=0.5,
+        shed_seed=7,
+    )
+    base.update(kwargs)
+    return QosConfig(**base)
+
+
+def _controller(**kwargs) -> AdmissionController:
+    return AdmissionController(_config(**kwargs), drain_bytes_per_s=1 * KiB)
+
+
+class TestBacklog:
+    def test_below_soft_fill_admits_everything(self) -> None:
+        ctl = _controller()
+        ctl.admit("t0", 4 * KiB, QosClass.BEST_EFFORT, now=0.0)
+        assert ctl.admitted == 1 and ctl.shed == 0
+        assert ctl.backlog_bytes == 4 * KiB
+
+    def test_backlog_drains_at_modeled_rate(self) -> None:
+        ctl = _controller()
+        ctl.admit("t0", 4 * KiB, QosClass.BATCH, now=0.0)
+        assert ctl.fill(2.0) == pytest.approx((2 * KiB) / (10 * KiB))
+        assert ctl.fill(100.0) == 0.0  # never negative
+
+    def test_hard_overload_sheds(self) -> None:
+        ctl = _controller()
+        ctl.admit("t0", 9 * KiB, QosClass.CRITICAL, now=0.0)
+        with pytest.raises(TaskShedError) as info:
+            ctl.admit("t1", 4 * KiB, QosClass.BEST_EFFORT, now=0.0)
+        assert info.value.reason == "overload"
+        assert info.value.qos_class == int(QosClass.BEST_EFFORT)
+        # A shed task adds nothing to the backlog.
+        assert ctl.backlog_bytes == 9 * KiB
+
+    def test_protected_class_never_shed(self) -> None:
+        ctl = _controller()
+        for i in range(8):  # far past fill = 1
+            ctl.admit(f"t{i}", 8 * KiB, QosClass.INTERACTIVE, now=0.0)
+            ctl.admit(f"c{i}", 8 * KiB, QosClass.CRITICAL, now=0.0)
+        assert ctl.shed == 0
+
+
+class TestSoftBand:
+    def test_lower_classes_shed_more(self) -> None:
+        """In the soft band the shed probability is excess**(1+class), so
+        over many draws class 0 sheds strictly more than class 1."""
+        sheds = {0: 0, 1: 0}
+        for cls in (QosClass.BEST_EFFORT, QosClass.BATCH):
+            ctl = _controller()
+            for i in range(200):
+                # Hold fill around 0.8: drain 1 KiB then offer 1 KiB.
+                ctl.backlog_bytes = 7.5 * KiB
+                try:
+                    ctl.admit(f"t{i}", 1 * KiB, cls, now=float(i))
+                except TaskShedError:
+                    sheds[int(cls)] += 1
+        assert sheds[0] > sheds[1] > 0
+
+    def test_shed_trace_replays_with_seed(self) -> None:
+        traces = []
+        for _ in range(2):
+            ctl = _controller()
+            for i in range(50):
+                ctl.backlog_bytes = 8 * KiB
+                try:
+                    ctl.admit(f"t{i}", 1 * KiB, QosClass.BEST_EFFORT,
+                              now=float(i))
+                except TaskShedError:
+                    pass
+            traces.append(tuple(ctl.trace))
+        assert traces[0] == traces[1]
+        assert len(traces[0]) > 0
+        kind, at, task_id, cls, reason, fill = traces[0][0]
+        assert kind == "shed" and reason in ("pressure", "overload")
+
+    def test_different_seed_different_lottery(self) -> None:
+        outcomes = []
+        for shed_seed in (1, 2):
+            ctl = _controller(shed_seed=shed_seed)
+            decisions = []
+            for i in range(50):
+                ctl.backlog_bytes = 8 * KiB
+                try:
+                    ctl.admit(f"t{i}", 1 * KiB, QosClass.BEST_EFFORT,
+                              now=float(i))
+                    decisions.append(True)
+                except TaskShedError:
+                    decisions.append(False)
+            outcomes.append(decisions)
+        assert outcomes[0] != outcomes[1]
+
+
+class TestBrownoutFloor:
+    def test_floor_rejects_below_protected(self) -> None:
+        ctl = _controller()
+        with pytest.raises(TaskShedError) as info:
+            ctl.admit("t0", 1 * KiB, QosClass.BATCH, now=0.0,
+                      floor=QosClass.INTERACTIVE)
+        assert info.value.reason == "brownout"
+
+    def test_floor_admits_at_or_above(self) -> None:
+        ctl = _controller()
+        ctl.admit("t0", 1 * KiB, QosClass.INTERACTIVE, now=0.0,
+                  floor=QosClass.INTERACTIVE)
+        assert ctl.admitted == 1
+
+
+class TestRestore:
+    def test_counters_round_trip(self) -> None:
+        ctl = _controller()
+        # Protected class: fills the backlog without risking the lottery.
+        ctl.admit("t0", 8 * KiB, QosClass.CRITICAL, now=0.0)
+        with pytest.raises(TaskShedError):
+            ctl.admit("t1", 8 * KiB, QosClass.BEST_EFFORT, now=0.0)
+        raw = ctl.export_state()
+        fresh = _controller()
+        fresh.restore_state(raw, now=5.0)
+        assert fresh.admitted == 1 and fresh.shed == 1
+        assert fresh.shed_by_class == {int(QosClass.BEST_EFFORT): 1}
+        assert fresh.backlog_bytes == pytest.approx(8 * KiB)
+        # The drain anchor moved to the restore instant, not t=0.
+        assert fresh.fill(6.0) == pytest.approx((7 * KiB) / (10 * KiB))

@@ -1,0 +1,187 @@
+"""Circuit breaker state machine: trip, quarantine, probe, backoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.qos import BreakerBoard, CircuitBreaker, QosConfig
+from repro.qos.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+def _config(**kwargs) -> QosConfig:
+    base = dict(
+        enabled=True,
+        breaker_failure_threshold=3,
+        breaker_window=1.0,
+        breaker_open_seconds=0.25,
+        breaker_backoff_factor=2.0,
+        breaker_open_cap=1.0,
+        breaker_probes=1,
+    )
+    base.update(kwargs)
+    return QosConfig(**base)
+
+
+def _trip(breaker: CircuitBreaker, at: float = 0.0) -> None:
+    for i in range(breaker.config.breaker_failure_threshold):
+        breaker.record_failure(at + i * 0.01)
+
+
+class TestTrip:
+    def test_closed_allows(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        assert breaker.allow(0.0)
+        assert not breaker.blocked(0.0)
+
+    def test_trips_at_threshold(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        assert breaker.state == CLOSED
+        breaker.record_failure(0.2)
+        assert breaker.state == OPEN
+        assert breaker.blocked(0.25)
+        assert not breaker.allow(0.25)
+
+    def test_window_prunes_stale_failures(self) -> None:
+        breaker = CircuitBreaker("ram", _config(breaker_window=0.5))
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.1)
+        breaker.record_failure(1.0)  # first two are outside the window now
+        assert breaker.state == CLOSED
+
+    def test_successes_do_not_reset_window_failures(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        breaker.record_failure(0.0)
+        breaker.record_success(0.05)
+        breaker.record_failure(0.1)
+        breaker.record_failure(0.2)
+        assert breaker.state == OPEN
+
+
+class TestProbe:
+    def test_blocked_is_non_mutating(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        _trip(breaker)
+        after = 0.02 + 0.25 + 0.01  # past the quarantine window
+        assert not breaker.blocked(after)  # probe would be allowed...
+        assert breaker.state == OPEN  # ...but looking didn't grant it
+
+    def test_allow_transitions_to_half_open(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        _trip(breaker)
+        assert breaker.allow(0.5)
+        assert breaker.state == HALF_OPEN
+        # Single-probe config: the slot is spent until an outcome lands.
+        assert not breaker.allow(0.5)
+        assert breaker.blocked(0.5)
+
+    def test_probe_success_closes(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        _trip(breaker)
+        assert breaker.allow(0.5)
+        breaker.record_success(0.51)
+        assert breaker.state == CLOSED
+        assert breaker.allow(0.52)
+
+    def test_probe_failure_reopens_with_backoff(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        _trip(breaker)
+        assert breaker.allow(0.5)
+        breaker.record_failure(0.51)
+        assert breaker.state == OPEN
+        # Quarantine doubled: still blocked after the base 0.25s window...
+        assert breaker.blocked(0.51 + 0.3)
+        # ...open again only after ~0.5s.
+        assert not breaker.blocked(0.51 + 0.55)
+
+    def test_reopen_backoff_caps(self) -> None:
+        breaker = CircuitBreaker("ram", _config(breaker_open_cap=0.6))
+        _trip(breaker)
+        now = 0.5
+        for _ in range(5):  # uncapped this would be 0.25 * 2**5 = 8s
+            assert breaker.allow(now)
+            breaker.record_failure(now)
+            now += breaker.config.breaker_open_cap + 0.01
+        assert breaker.export_state()["open_seconds"] == pytest.approx(0.6)
+
+    def test_close_resets_backoff(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        _trip(breaker)
+        breaker.allow(0.5)
+        breaker.record_failure(0.5)  # backoff now 0.5s
+        breaker.allow(1.1)
+        breaker.record_success(1.1)  # closes, resets
+        _trip(breaker, at=1.2)
+        assert breaker.export_state()["open_seconds"] == pytest.approx(0.25)
+
+
+class TestRestore:
+    def test_half_open_restores_as_open(self) -> None:
+        breaker = CircuitBreaker("ram", _config())
+        _trip(breaker)
+        breaker.allow(0.5)
+        assert breaker.state == HALF_OPEN
+        raw = breaker.export_state()
+
+        fresh = CircuitBreaker("ram", _config())
+        fresh.restore_state(raw, now=10.0)
+        assert fresh.state == OPEN
+        # Fresh quarantine window anchored at restore time.
+        assert fresh.blocked(10.0 + 0.1)
+        assert not fresh.allow(10.0 + 0.1)
+
+    def test_closed_restores_closed(self) -> None:
+        fresh = CircuitBreaker("ram", _config())
+        fresh.restore_state({"state": CLOSED}, now=5.0)
+        assert fresh.state == CLOSED and fresh.allow(5.0)
+
+    def test_restored_open_seconds_clamped(self) -> None:
+        fresh = CircuitBreaker("ram", _config(breaker_open_cap=1.0))
+        fresh.restore_state({"state": OPEN, "open_seconds": 99.0}, now=0.0)
+        assert fresh.export_state()["open_seconds"] == pytest.approx(1.0)
+        fresh.restore_state({"state": OPEN, "open_seconds": 0.001}, now=0.0)
+        assert fresh.export_state()["open_seconds"] == pytest.approx(0.25)
+
+
+class TestBoard:
+    def test_quarantined_lists_blocked_tiers(self) -> None:
+        board = BreakerBoard(["ram", "nvme"], _config())
+        for t in (0.0, 0.01, 0.02):
+            board.record("ram", False, t)
+        assert board.quarantined(0.05) == ("ram",)
+        assert board.blocked("ram", 0.05)
+        assert not board.blocked("nvme", 0.05)
+        assert board.allow("nvme", 0.05)
+
+    def test_unknown_tier_is_permissive(self) -> None:
+        board = BreakerBoard(["ram"], _config())
+        assert board.allow("pfs", 0.0)
+        assert not board.blocked("pfs", 0.0)
+
+    def test_trace_is_deterministic(self) -> None:
+        traces = []
+        for _ in range(2):
+            board = BreakerBoard(["ram"], _config())
+            for t in (0.0, 0.01, 0.02):
+                board.record("ram", False, t)
+            board.allow("ram", 0.5)
+            board.record("ram", True, 0.51)
+            traces.append(tuple(board.trace))
+        assert traces[0] == traces[1]
+        kinds = [(e[0], e[3], e[4]) for e in traces[0]]
+        assert kinds == [
+            ("breaker", CLOSED, OPEN),
+            ("breaker", OPEN, HALF_OPEN),
+            ("breaker", HALF_OPEN, CLOSED),
+        ]
+
+    def test_board_restore_round_trip(self) -> None:
+        board = BreakerBoard(["ram", "nvme"], _config())
+        for t in (0.0, 0.01, 0.02):
+            board.record("ram", False, t)
+        raw = board.export_state()
+        fresh = BreakerBoard(["ram", "nvme"], _config())
+        fresh.restore_state(raw, now=3.0)
+        assert fresh.breakers["ram"].state == OPEN
+        assert fresh.breakers["nvme"].state == CLOSED

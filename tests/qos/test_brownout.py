@@ -1,0 +1,98 @@
+"""Brownout ladder: one rung per move, hysteresis, deterministic trace."""
+
+from __future__ import annotations
+
+from repro.qos import BrownoutController, BrownoutLevel, QosClass, QosConfig
+
+
+def _controller(**kwargs) -> BrownoutController:
+    base = dict(
+        enabled=True,
+        brownout_high=0.85,
+        brownout_low=0.60,
+        brownout_dwell=0.25,
+    )
+    base.update(kwargs)
+    return BrownoutController(QosConfig(**base))
+
+
+class TestLadder:
+    def test_starts_normal(self) -> None:
+        ctl = _controller()
+        assert ctl.level == BrownoutLevel.NORMAL
+        assert ctl.codec_filter() is None
+        assert ctl.shed_floor() is None
+
+    def test_escalates_one_rung_per_dwell(self) -> None:
+        ctl = _controller()
+        assert ctl.update(0.95, now=0.0) == BrownoutLevel.PREFER_FAST
+        # Inside the dwell window: pinned even under max pressure.
+        assert ctl.update(1.0, now=0.1) == BrownoutLevel.PREFER_FAST
+        assert ctl.update(1.0, now=0.3) == BrownoutLevel.SKIP_COMPRESSION
+        assert ctl.update(1.0, now=0.6) == BrownoutLevel.SHED_LOW
+        # Top rung: no further escalation.
+        assert ctl.update(1.0, now=1.0) == BrownoutLevel.SHED_LOW
+
+    def test_hysteresis_band_holds_level(self) -> None:
+        ctl = _controller()
+        ctl.update(0.9, now=0.0)
+        # Between low and high: neither escalate nor recover.
+        assert ctl.update(0.7, now=1.0) == BrownoutLevel.PREFER_FAST
+        assert ctl.update(0.84, now=2.0) == BrownoutLevel.PREFER_FAST
+
+    def test_recovers_one_rung_at_low_pressure(self) -> None:
+        ctl = _controller()
+        for t in (0.0, 0.3, 0.6):
+            ctl.update(1.0, now=t)
+        assert ctl.level == BrownoutLevel.SHED_LOW
+        assert ctl.update(0.1, now=1.0) == BrownoutLevel.SKIP_COMPRESSION
+        assert ctl.update(0.1, now=1.3) == BrownoutLevel.PREFER_FAST
+        assert ctl.update(0.1, now=1.6) == BrownoutLevel.NORMAL
+
+    def test_disabled_never_moves(self) -> None:
+        ctl = _controller(brownout_enabled=False)
+        assert ctl.update(1.0, now=0.0) == BrownoutLevel.NORMAL
+        assert ctl.trace == []
+
+
+class TestRungEffects:
+    def test_codec_filter_per_rung(self) -> None:
+        ctl = _controller()
+        ctl.update(1.0, now=0.0)
+        assert ctl.codec_filter() == "fastest"
+        ctl.update(1.0, now=0.5)
+        assert ctl.codec_filter() == "none"
+        ctl.update(1.0, now=1.0)
+        assert ctl.codec_filter() == "none"  # SHED_LOW keeps identity-only
+
+    def test_shed_floor_only_at_top_rung(self) -> None:
+        ctl = _controller()
+        for t in (0.0, 0.3):
+            ctl.update(1.0, now=t)
+        assert ctl.shed_floor() is None
+        ctl.update(1.0, now=0.6)
+        assert ctl.shed_floor() == QosClass.INTERACTIVE
+
+
+class TestTrace:
+    def test_moves_are_traced_deterministically(self) -> None:
+        traces = []
+        for _ in range(2):
+            ctl = _controller()
+            for t, p in ((0.0, 1.0), (0.3, 1.0), (1.0, 0.1)):
+                ctl.update(p, now=t)
+            traces.append(tuple(ctl.trace))
+        assert traces[0] == traces[1]
+        assert [(e[2], e[3]) for e in traces[0]] == [(0, 1), (1, 2), (2, 1)]
+
+    def test_restore_round_trip(self) -> None:
+        ctl = _controller()
+        ctl.update(1.0, now=0.0)
+        raw = ctl.export_state()
+        fresh = _controller()
+        fresh.restore_state(raw, now=4.0)
+        assert fresh.level == BrownoutLevel.PREFER_FAST
+        assert fresh.transitions == 1
+        # Dwell anchored at restore time: no instant move.
+        assert fresh.update(1.0, now=4.1) == BrownoutLevel.PREFER_FAST
+        assert fresh.update(1.0, now=4.4) == BrownoutLevel.SKIP_COMPRESSION

@@ -1,0 +1,59 @@
+"""QosConfig validation and the Table II priority -> class mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hcdp import ARCHIVAL_IO, ASYNC_IO, READ_AFTER_WRITE, Priority
+from repro.qos import QosClass, QosConfig, qos_class_for_priority
+
+
+class TestDefaults:
+    def test_disabled_by_default(self) -> None:
+        assert QosConfig().enabled is False
+
+    def test_class_order(self) -> None:
+        assert (
+            QosClass.BEST_EFFORT
+            < QosClass.BATCH
+            < QosClass.INTERACTIVE
+            < QosClass.CRITICAL
+        )
+
+
+class TestPriorityMapping:
+    def test_table_ii_presets(self) -> None:
+        assert qos_class_for_priority(ARCHIVAL_IO) == QosClass.BEST_EFFORT
+        assert qos_class_for_priority(ASYNC_IO) == QosClass.BATCH
+        assert qos_class_for_priority(READ_AFTER_WRITE) == QosClass.INTERACTIVE
+
+    def test_custom_priority_is_batch(self) -> None:
+        custom = Priority(0.5, 0.2, 0.3)
+        assert qos_class_for_priority(custom) == QosClass.BATCH
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_backlog_bytes": 0},
+        {"shed_soft_fill": 0.0},
+        {"shed_soft_fill": 1.5},
+        {"drain_bytes_per_s": 0.0},
+        {"breaker_failure_threshold": 0},
+        {"breaker_window": 0.0},
+        {"breaker_open_seconds": 0.0},
+        {"breaker_backoff_factor": 0.5},
+        {"breaker_open_cap": 0.01},  # < breaker_open_seconds default
+        {"breaker_probes": 0},
+        {"breaker_latency_threshold": -1.0},
+        {"default_deadline": 0.0},
+        {"brownout_low": 0.9, "brownout_high": 0.8},
+        {"brownout_dwell": -0.1},
+    ])
+    def test_rejects_bad_values(self, kwargs) -> None:
+        with pytest.raises(ValueError):
+            QosConfig(**kwargs)
+
+    def test_accepts_defaults(self) -> None:
+        QosConfig()
+        QosConfig(enabled=True, default_deadline=1.0,
+                  breaker_latency_threshold=0.5, drain_bytes_per_s=1e6)

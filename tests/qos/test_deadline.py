@@ -1,0 +1,54 @@
+"""Deadline budget accounting: clock drift + modeled consumption."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.qos import Deadline
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestDeadline:
+    def test_budget_must_be_positive(self) -> None:
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+    def test_fresh_deadline_has_full_budget(self) -> None:
+        dl = Deadline(2.0)
+        assert dl.remaining() == pytest.approx(2.0)
+        assert not dl.exceeded()
+
+    def test_consumed_modeled_seconds_count(self) -> None:
+        dl = Deadline(1.0)
+        assert dl.remaining(0.4) == pytest.approx(0.6)
+        assert dl.exceeded(1.0)
+        assert dl.exceeded(1.5)
+
+    def test_clock_drift_counts(self) -> None:
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        clock.now = 0.7
+        assert dl.remaining() == pytest.approx(0.3)
+        clock.now = 1.1
+        assert dl.exceeded()
+
+    def test_drift_and_consumption_share_the_budget(self) -> None:
+        clock = FakeClock()
+        dl = Deadline(1.0, clock=clock)
+        clock.now = 0.6
+        assert not dl.exceeded(0.3)
+        assert dl.exceeded(0.5)
+
+    def test_check_raises_typed_error_with_context(self) -> None:
+        dl = Deadline(0.5)
+        dl.check("write 't0'")  # within budget: no raise
+        with pytest.raises(DeadlineExceededError, match="write 't0'"):
+            dl.check("write 't0'", consumed=0.5)

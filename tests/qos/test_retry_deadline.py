@@ -1,0 +1,118 @@
+"""ResilienceConfig.retry_deadline: a wall-time cap over retry+failover."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StorageHardwareInterface
+from repro.core.config import ResilienceConfig
+from repro.errors import (
+    AllTiersUnavailableError,
+    RetryExhaustedError,
+    TransientIOError,
+)
+from repro.tiers.device import Device
+
+
+class AlwaysFailingDevice(Device):
+    """Every store/load raises TransientIOError."""
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def store(self, key, payload):
+        raise TransientIOError(f"store of {key!r} failed")
+
+    def load(self, key):
+        raise TransientIOError(f"load of {key!r} failed")
+
+    def delete(self, key):
+        self.inner.delete(key)
+
+    def __contains__(self, key):
+        return key in self.inner
+
+    def keys(self):
+        return self.inner.keys()
+
+
+def _break_all(hierarchy) -> None:
+    for tier in hierarchy:
+        tier.device = AlwaysFailingDevice(tier.device)
+
+
+class TestRetryDeadline:
+    def test_validation(self) -> None:
+        with pytest.raises(Exception):
+            ResilienceConfig(retry_deadline=0.0)
+        assert ResilienceConfig(retry_deadline=1.0).retry_deadline == 1.0
+        assert ResilienceConfig().retry_deadline is None
+
+    def test_caps_cumulative_backoff(self, two_tier) -> None:
+        """A tiny deadline aborts long before the per-tier retry budgets
+        are spent, with the terminal typed error."""
+        _break_all(two_tier)
+        shi = StorageHardwareInterface(
+            two_tier,
+            resilience=ResilienceConfig(max_retries=50, retry_deadline=1e-6),
+        )
+        with pytest.raises(AllTiersUnavailableError):
+            shi.write("k", "fast", b"x")
+        # Aborted early: nowhere near the 50-retry budget on each tier.
+        assert shi.stats.retries < 5
+        assert any(e[0] == "retry_deadline" for e in shi.stats.trace)
+
+    def test_read_honours_deadline_too(self, two_tier) -> None:
+        shi = StorageHardwareInterface(two_tier)
+        shi.write("k", "fast", b"data")
+        _break_all(two_tier)
+        capped = StorageHardwareInterface(
+            two_tier,
+            resilience=ResilienceConfig(max_retries=50, retry_deadline=1e-6),
+        )
+        with pytest.raises(AllTiersUnavailableError):
+            capped.read("k")
+        assert capped.stats.retries < 5
+
+    def test_no_deadline_keeps_legacy_exhaustion(self, two_tier) -> None:
+        _break_all(two_tier)
+        shi = StorageHardwareInterface(
+            two_tier, resilience=ResilienceConfig(max_retries=2),
+        )
+        with pytest.raises(RetryExhaustedError):
+            shi.write("k", "fast", b"x")
+        # Full budget spent on both tiers: the deadline did not interfere.
+        assert shi.stats.retries == 4
+
+    def test_generous_deadline_does_not_interfere(self, two_tier) -> None:
+        fast = two_tier.by_name("fast")
+
+        class FlakyOnce(Device):
+            def __init__(self, inner):
+                self.inner = inner
+                self.failed = False
+
+            def store(self, key, payload):
+                if not self.failed:
+                    self.failed = True
+                    raise TransientIOError("once")
+                self.inner.store(key, payload)
+
+            def load(self, key):
+                return self.inner.load(key)
+
+            def delete(self, key):
+                self.inner.delete(key)
+
+            def __contains__(self, key):
+                return key in self.inner
+
+            def keys(self):
+                return self.inner.keys()
+
+        fast.device = FlakyOnce(fast.device)
+        shi = StorageHardwareInterface(
+            two_tier, resilience=ResilienceConfig(retry_deadline=3600.0),
+        )
+        receipt = shi.write("k", "fast", b"x")
+        assert receipt.tier == "fast" and receipt.retries == 1

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Exception-hygiene lint: no silently swallowed errors.
+
+Run from the repository root (CI's lint job does)::
+
+    python tools/check_exceptions.py
+
+Walks every ``*.py`` file under ``src/``, ``tools/``, ``benchmarks/``,
+and ``tests/`` and flags, via the AST:
+
+* **bare handlers** — ``except:`` with no exception type, always
+  (they catch ``KeyboardInterrupt``/``SystemExit`` too);
+* **silent broad handlers** — ``except Exception`` /
+  ``except BaseException`` (alone or in a tuple) whose body neither
+  re-``raise``s nor assigns/returns/calls anything — i.e. ``pass``-only
+  suppression. A broad handler that records the error, converts it, or
+  re-raises is fine; one that makes it vanish is not (the robustness
+  postmortem classic: a typed failure the caller was owed, eaten).
+
+Known-justified sites live in ``tools/exception_allowlist.txt`` as
+``path:lineno  # why`` lines (paths relative to the repo root). The
+allowlist is part of the review surface: adding a line means arguing the
+swallow is correct, in the diff.
+
+Importable for the pytest wrapper (``tests/test_tools.py``):
+:func:`check_file` returns the violations for one source text,
+:func:`main` runs the repo-wide pass.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Directories scanned (relative to the repo root).
+SCAN_DIRS = ("src", "tools", "benchmarks", "tests")
+
+ALLOWLIST_FILE = REPO / "tools" / "exception_allowlist.txt"
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """True when the handler catches Exception/BaseException (or a tuple
+    containing one). A bare ``except:`` is reported separately."""
+    node = handler.type
+    if node is None:
+        return False
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    return any(
+        isinstance(e, ast.Name) and e.id in _BROAD_NAMES for e in elts
+    )
+
+
+def _is_silent(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body only suppresses: no raise, no call, no
+    assignment, no return/continue/break — nothing the error influenced."""
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(
+                node,
+                (
+                    ast.Raise, ast.Call, ast.Assign, ast.AugAssign,
+                    ast.AnnAssign, ast.Return, ast.Continue, ast.Break,
+                    ast.Yield, ast.YieldFrom,
+                ),
+            ):
+                return False
+    return True
+
+
+def check_file(source: str, path: str = "<string>") -> list[tuple[int, str]]:
+    """Lint one source text; returns ``[(lineno, message), ...]``."""
+    tree = ast.parse(source, filename=path)
+    violations: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            violations.append(
+                (node.lineno,
+                 "bare 'except:' (catches KeyboardInterrupt/SystemExit; "
+                 "name the exceptions)")
+            )
+        elif _is_broad(node) and _is_silent(node):
+            violations.append(
+                (node.lineno,
+                 "broad handler silently swallows the error (no raise, "
+                 "no logging, no conversion)")
+            )
+    return violations
+
+
+def load_allowlist(path: Path = ALLOWLIST_FILE) -> set[tuple[str, int]]:
+    """Parse ``path:lineno`` entries; blank lines and ``#`` comments skip."""
+    entries: set[tuple[str, int]] = set()
+    if not path.exists():
+        return entries
+    for raw in path.read_text().splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        file_part, _, lineno = line.rpartition(":")
+        entries.add((file_part, int(lineno)))
+    return entries
+
+
+def iter_sources(repo: Path = REPO):
+    for base in SCAN_DIRS:
+        root = repo / base
+        if root.is_dir():
+            yield from sorted(root.rglob("*.py"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    allow = load_allowlist()
+    failures = 0
+    for path in iter_sources():
+        rel = path.relative_to(REPO).as_posix()
+        try:
+            found = check_file(path.read_text(), rel)
+        except SyntaxError as exc:
+            print(f"{rel}: unparseable: {exc}")
+            failures += 1
+            continue
+        for lineno, message in found:
+            if (rel, lineno) in allow:
+                continue
+            print(f"{rel}:{lineno}: {message}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} exception-hygiene violation(s); "
+              f"fix them or justify in {ALLOWLIST_FILE.name}")
+        return 1
+    print("check_exceptions: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
