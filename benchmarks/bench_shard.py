@@ -1,0 +1,246 @@
+"""Scale-out throughput bench: modeled makespan, 1 vs 4 vs 8 shards.
+
+Drives the same multi-tenant burst through :class:`ShardedHCompress`
+deployments of 1, 4, and 8 shards. Each deployment scales its hardware
+with the shard count (``nodes`` grows linearly, so every shard's
+``split_tier_specs`` slice matches the single-engine budget — scale-out
+means adding servers, not slicing one server thinner) and the metric is
+the **modeled makespan**: the max over shards of accumulated modeled
+service seconds (compress + I/O). Consistent hashing spreads the
+tenants, so the makespan shrinks with the shard count up to the ring's
+imbalance — the committed floor is >= 3x at 8 shards.
+
+The ratio is machine-independent (modeled seconds, not wall clock), so
+the committed baseline in ``BENCH_shard.json`` gates CI on any runner.
+
+Usage::
+
+    python benchmarks/bench_shard.py --output BENCH_shard.json
+    python benchmarks/bench_shard.py --check BENCH_shard.json \
+        --tolerance 0.3   # fail if 8-shard scaling regressed > 30%
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ccp import SeedData
+from repro.core import HCompressConfig, HCompressProfiler
+from repro.shard import ShardConfig, ShardedHCompress
+from repro.tiers import ares_specs
+from repro.units import KiB, MiB
+from repro.workloads import vpic_sample
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "MIN_SCALING",
+    "SHARD_COUNTS",
+    "check_report",
+    "generate_report",
+    "run_shard_workload",
+]
+
+#: Multi-tenant burst: enough tenants that the ring spreads them well
+#: (128 tenants over 8 shards lands within ~2x of perfect balance).
+DEFAULT_WORKLOAD = {
+    "tasks": 256,
+    "tenants": 128,
+    "sample_kib": 64,
+    "modeled_mib": 4,
+}
+
+SHARD_COUNTS = (1, 4, 8)
+
+#: Acceptance floor (ISSUE 6): modeled throughput at 8 shards must be at
+#: least this multiple of the single-shard deployment's.
+MIN_SCALING = 3.0
+
+#: Compute nodes per shard; the deployment passes ``nodes * shards`` so
+#: each shard's slice of the node-local tiers matches the base budget.
+BASE_NODES = 4
+
+
+def _bench_seed() -> SeedData:
+    profiler = HCompressProfiler(rng=np.random.default_rng(0))
+    return profiler.quick_seed(sizes=(8 * KiB, 32 * KiB))
+
+
+def run_shard_workload(
+    seed: SeedData, shards: int, workload: dict
+) -> dict:
+    """One deployment, one burst; returns the per-deployment metrics."""
+    tasks = workload["tasks"]
+    tenants = workload["tenants"]
+    modeled = workload["modeled_mib"] * MiB
+    total = tasks * modeled
+    # Capacity 4x the burst keeps even the hottest shard's slice roomy,
+    # so placement (and thus per-task modeled time) stays comparable
+    # across deployments.
+    specs = ares_specs(
+        4 * total, 4 * total, 4 * total, nodes=BASE_NODES * shards
+    )
+    sharded = ShardedHCompress(
+        specs, HCompressConfig(), ShardConfig(shards=shards), seed=seed
+    )
+    sample = vpic_sample(
+        workload["sample_kib"] * KiB, np.random.default_rng(0)
+    )
+    wall = time.perf_counter()
+    for index in range(tasks):
+        sharded.compress(
+            sample,
+            modeled_size=modeled,
+            task_id=f"bench/t{index}",
+            tenant=f"tenant-{index % tenants}",
+        )
+    wall = time.perf_counter() - wall
+    busy = dict(sharded.busy_seconds)
+    tasks_by_shard = sharded.task_count_by_shard()
+    sharded.close()
+    makespan = max(busy.values())
+    return {
+        "shards": shards,
+        "tasks": tasks,
+        "modeled_bytes": total,
+        "wall_seconds": round(wall, 6),
+        "makespan_seconds": round(makespan, 6),
+        "modeled_mib_per_second": (
+            round(total / MiB / makespan, 1) if makespan else None
+        ),
+        "busy_by_shard": {
+            str(shard_id): round(seconds, 6)
+            for shard_id, seconds in sorted(busy.items())
+        },
+        "tasks_by_shard": {
+            str(shard_id): count
+            for shard_id, count in sorted(tasks_by_shard.items())
+        },
+    }
+
+
+def generate_report(workload: dict | None = None) -> dict:
+    """Run the burst at every shard count and build the scaling report."""
+    workload = dict(DEFAULT_WORKLOAD if workload is None else workload)
+    seed = _bench_seed()
+    runs = {
+        shards: run_shard_workload(seed, shards, workload)
+        for shards in SHARD_COUNTS
+    }
+    base = runs[SHARD_COUNTS[0]]["makespan_seconds"]
+    scaling = {
+        str(shards): (
+            round(base / run["makespan_seconds"], 2)
+            if run["makespan_seconds"]
+            else None
+        )
+        for shards, run in runs.items()
+    }
+    return {
+        "benchmark": "shard_scaleout_burst",
+        "workload": workload,
+        "runs": {str(shards): run for shards, run in runs.items()},
+        "scaling": scaling,
+        "min_scaling_at_8": MIN_SCALING,
+    }
+
+
+def check_report(
+    report: dict, baseline: dict | None, tolerance: float
+) -> list[str]:
+    """Return regression errors (empty list = pass)."""
+    errors = []
+    scaling8 = float(report["scaling"].get("8") or 0.0)
+    if scaling8 < MIN_SCALING:
+        errors.append(
+            f"8-shard scaling {scaling8:.2f}x below the "
+            f"{MIN_SCALING:.0f}x acceptance floor"
+        )
+    if baseline is not None:
+        base = float(baseline["scaling"].get("8") or 0.0)
+        floor = base * (1.0 - tolerance)
+        if scaling8 < floor:
+            errors.append(
+                f"8-shard scaling regressed: {scaling8:.2f}x vs baseline "
+                f"{base:.2f}x (floor {floor:.2f}x at tolerance "
+                f"{tolerance:.0%})"
+            )
+    return errors
+
+
+# -- pytest-benchmark wrappers ------------------------------------------------
+
+SMOKE_WORKLOAD = dict(DEFAULT_WORKLOAD, tasks=128)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_shard_burst_throughput(benchmark, seed, shards) -> None:
+    """Wall-clock burst throughput of one deployment size."""
+    run = benchmark.pedantic(
+        run_shard_workload,
+        args=(seed, shards, SMOKE_WORKLOAD),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {k: run[k] for k in ("makespan_seconds", "modeled_mib_per_second")}
+    )
+    assert run["tasks"] == sum(run["tasks_by_shard"].values())
+
+
+def test_shard_scaling_floor(benchmark) -> None:
+    """The acceptance criterion: >= 3x modeled throughput at 8 shards."""
+    report = benchmark.pedantic(
+        generate_report, args=(SMOKE_WORKLOAD,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["scaling"] = report["scaling"]
+    assert float(report["scaling"]["8"]) >= MIN_SCALING
+    assert float(report["scaling"]["4"]) > 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="write the JSON report here (e.g. BENCH_shard.json)",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None,
+        help="baseline JSON to gate against (fails on >tolerance regression)",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.3)
+    parser.add_argument(
+        "--tasks", type=int, default=DEFAULT_WORKLOAD["tasks"]
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=DEFAULT_WORKLOAD["tenants"]
+    )
+    args = parser.parse_args(argv)
+
+    workload = dict(
+        DEFAULT_WORKLOAD, tasks=args.tasks, tenants=args.tenants
+    )
+    report = generate_report(workload)
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    baseline = None
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+    errors = check_report(report, baseline, args.tolerance)
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..hashing import stable_hash32
 from .datatype import DataType, infer_datatype
 from .distribution import Distribution, classify_distribution
 from .format import DataFormat, detect_format
@@ -74,7 +75,12 @@ class InputAnalyzer:
                 distribution=hints.distribution,
                 from_metadata=True,
             )
-        key = (len(data), hash(data[:256]) ^ hash(data[-256:]))
+        # Seeded CRC keys (not builtin hash()): the cache key must be
+        # identical across processes whatever PYTHONHASHSEED says.
+        key = (
+            len(data),
+            stable_hash32(data[:256]) ^ (stable_hash32(data[-256:]) << 32),
+        )
         cached = self._cache.get(key)
         if cached is not None and hints is None:
             self.cache_hits += 1

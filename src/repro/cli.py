@@ -12,17 +12,23 @@ Subcommands:
   transient errors, corruption) and print the recovery report; with
   ``--crash-at`` run the crash-consistency harness instead (``all``
   sweeps every crash site); with ``--overload`` run the QoS overload
-  storm (load above the drain rate plus a flapping tier).
+  storm (load above the drain rate plus a flapping tier); with
+  ``--kill-shard`` run the shard-failover harness: kill one shard of a
+  sharded deployment mid-storm and verify failure-domain isolation.
 * ``checkpoint`` — run a journaled workload and snapshot the engine into
   a recovery directory.
 * ``recover``  — crash a journaled workload at a chosen site, restore
   from the recovery directory, and verify the durability invariants.
 * ``stats``    — drive a repeated-burst workload and print the engine's
-  hot-path counters (plan cache, DP memo, sample-ratio cache, executor).
+  hot-path counters (plan cache, DP memo, sample-ratio cache, executor);
+  ``--shards N`` drives a sharded deployment and sums the counters.
 * ``metrics``  — run an instrumented VPIC checkpoint workload and export
-  the full metrics registry (human table or ``--json``).
+  the full metrics registry (human table or ``--json``); ``--shards N``
+  runs a multi-tenant burst over N shards and exports one merged
+  registry with a ``shard`` label per series.
 * ``trace``    — same workload; export the span trace (per-span rollup,
-  or Chrome ``chrome://tracing`` JSON via ``--json`` / ``--output``).
+  or Chrome ``chrome://tracing`` JSON via ``--json`` / ``--output``);
+  ``--shards N`` exports each shard's spans as its own trace process.
 """
 
 from __future__ import annotations
@@ -198,9 +204,49 @@ def _cmd_overload(args: argparse.Namespace) -> int:
     return 0 if outcome.holds else 1
 
 
+def _cmd_shard_chaos(args: argparse.Namespace) -> int:
+    """The ``chaos --kill-shard`` shard-failover harness driver."""
+    from .faults import ShardChaosConfig, run_shard_chaos
+
+    target = args.kill_shard
+    base = dict(
+        shards=args.shards,
+        tasks=args.shard_tasks,
+        tenants=args.tenants,
+        rng_seed=args.rng_seed,
+    )
+    if target == "none":
+        config = ShardChaosConfig(**base)
+    elif target == "auto":
+        config = ShardChaosConfig(kill_owner_of="tenant-0", **base)
+    else:
+        try:
+            shard = int(target)
+        except ValueError:
+            print(
+                f"--kill-shard must be a shard id, 'auto', or 'none', "
+                f"not {target!r}",
+                file=sys.stderr,
+            )
+            return 2
+        config = ShardChaosConfig(kill_shard=shard, **base)
+    outcome = run_shard_chaos(config)
+    print(outcome.summary())
+    if args.verbose:
+        per_shard: dict[tuple[int, str], int] = {}
+        for _, _, _, shard_id, status in outcome.events:
+            key = (shard_id, status)
+            per_shard[key] = per_shard.get(key, 0) + 1
+        for (shard_id, status), count in sorted(per_shard.items()):
+            print(f"      shard {shard_id}: {count} {status}")
+    return 0 if outcome.holds else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from .faults import ChaosConfig, FaultPlan, default_chaos_plan, run_chaos
 
+    if getattr(args, "kill_shard", None) is not None:
+        return _cmd_shard_chaos(args)
     if getattr(args, "overload", False):
         return _cmd_overload(args)
     if args.crash_at is not None:
@@ -341,36 +387,87 @@ def _stats_report(engine, config, args, wall: float) -> dict:
     }
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    import time
+def _stats_report_sharded(sharded, config, args, wall: float) -> dict:
+    """Aggregate the ``stats`` report across every live shard.
 
-    from .core import HCompress, HCompressConfig, PlanCacheConfig
-    from .datagen import synthetic_buffer
-    from .tiers import ares_hierarchy
+    Counters are summed, rates recomputed from the sums, and a
+    ``shards`` section records the deployment shape and how the catalog
+    distributed — the rest of the document keeps the single-engine
+    schema so downstream tooling reads both.
+    """
+    engines = [
+        engine
+        for _, engine in sorted(sharded.engines.items())
+        if engine is not None
+    ]
 
-    hierarchy = ares_hierarchy(
-        ram_capacity=64 * MiB, nvme_capacity=128 * MiB, bb_capacity=4 * GiB,
-        nodes=2,
-    )
-    config = HCompressConfig(
-        plan_cache=PlanCacheConfig(enabled=not args.no_cache)
-    )
-    print("bootstrapping engine (inline profiling)...", file=sys.stderr)
-    engine = HCompress(hierarchy, config)
-    data = synthetic_buffer(
-        args.dtype, args.distribution, args.kib * KiB,
-        np.random.default_rng(args.rng_seed),
-    )
-    wall = time.perf_counter()
-    for i in range(args.tasks):
-        engine.compress(
-            data, modeled_size=args.modeled_kib * KiB, task_id=f"stats-{i}"
-        )
-    wall = time.perf_counter() - wall
-    report = _stats_report(engine, config, args, wall)
-    if args.json:
-        print(json.dumps(report, indent=2))
-        return 0
+    def total(get) -> float:
+        return sum(get(engine) for engine in engines)
+
+    def rate(hits, misses) -> float:
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    pc_hits = total(lambda e: e.engine.stats.plan_cache_hits)
+    pc_misses = total(lambda e: e.engine.stats.plan_cache_misses)
+    memo_hits = total(lambda e: e.engine.stats.memo_hits)
+    memo_misses = total(lambda e: e.engine.stats.memo_misses)
+    accuracies = [
+        accuracy
+        for engine in engines
+        if (accuracy := engine.accuracy()) is not None
+    ]
+    return {
+        "burst": {
+            "tasks": args.tasks,
+            "modeled_bytes_per_task": args.modeled_kib * KiB,
+            "sample_bytes": args.kib * KiB,
+            "wall_seconds": wall,
+            "tasks_per_second": (args.tasks / wall) if wall > 0 else 0.0,
+        },
+        "plan_cache": {
+            "enabled": config.plan_cache.enabled,
+            "hits": pc_hits,
+            "misses": pc_misses,
+            "invalidations": total(
+                lambda e: e.engine.stats.plan_cache_invalidations
+            ),
+            "hit_rate": rate(pc_hits, pc_misses),
+        },
+        "dp_memo": {
+            "hits": memo_hits,
+            "misses": memo_misses,
+            "hit_rate": rate(memo_hits, memo_misses),
+        },
+        "plans": {
+            "tasks_planned": total(lambda e: e.engine.stats.tasks_planned),
+            "pieces_emitted": total(lambda e: e.engine.stats.pieces_emitted),
+            "degraded": total(lambda e: e.engine.stats.degraded_plans),
+            "replans": total(lambda e: e.replans),
+        },
+        "sample_cache": {
+            "hits": total(lambda e: e.manager.sample_cache_hits),
+            "misses": total(lambda e: e.manager.sample_cache_misses),
+        },
+        "executor": {
+            "enabled": config.executor.enabled,
+            "parallel_pieces": total(lambda e: e.manager.parallel_pieces),
+            "spills": total(lambda e: e.manager.spill_events),
+        },
+        "cost_model": {
+            "version": engines[0].predictor.model_version,
+            "accuracy": (
+                sum(accuracies) / len(accuracies) if accuracies else None
+            ),
+            "monitor_epoch": max(e.monitor.state_epoch for e in engines),
+        },
+        "shards": {
+            "count": sharded.shards,
+            "tasks_by_shard": sharded.task_count_by_shard(),
+        },
+    }
+
+
+def _print_stats_report(report: dict) -> None:
     burst = report["burst"]
     plan_cache = report["plan_cache"]
     memo = report["dp_memo"]
@@ -412,6 +509,91 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         f"accuracy={'n/a' if accuracy is None else f'{accuracy:.1%}'} "
         f"monitor epoch={report['cost_model']['monitor_epoch']}"
     )
+
+
+def _cmd_stats_sharded(args: argparse.Namespace) -> int:
+    """The ``stats --shards N`` driver: one burst over N shards."""
+    import time
+
+    from .core import HCompressConfig, PlanCacheConfig
+    from .datagen import synthetic_buffer
+    from .shard import ShardConfig, ShardedHCompress
+    from .tiers import ares_specs
+
+    shards = args.shards
+    # Scale the deployment so each shard's slice matches the budgets the
+    # single-engine burst runs against.
+    specs = ares_specs(
+        64 * MiB * shards, 128 * MiB * shards, 4 * GiB * shards,
+        nodes=2 * shards,
+    )
+    config = HCompressConfig(
+        plan_cache=PlanCacheConfig(enabled=not args.no_cache)
+    )
+    print(
+        "bootstrapping shards (one shared profiling pass)...",
+        file=sys.stderr,
+    )
+    sharded = ShardedHCompress(specs, config, ShardConfig(shards=shards))
+    data = synthetic_buffer(
+        args.dtype, args.distribution, args.kib * KiB,
+        np.random.default_rng(args.rng_seed),
+    )
+    tenants = max(8, 2 * shards)
+    wall = time.perf_counter()
+    for i in range(args.tasks):
+        sharded.compress(
+            data, modeled_size=args.modeled_kib * KiB,
+            task_id=f"stats-{i}", tenant=f"tenant-{i % tenants}",
+        )
+    wall = time.perf_counter() - wall
+    report = _stats_report_sharded(sharded, config, args, wall)
+    sharded.close()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    _print_stats_report(report)
+    by_shard = report["shards"]["tasks_by_shard"]
+    print(
+        f"shards      : {report['shards']['count']}  tasks by shard: "
+        + " ".join(f"{sid}:{count}" for sid, count in sorted(by_shard.items()))
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from .core import HCompress, HCompressConfig, PlanCacheConfig
+    from .datagen import synthetic_buffer
+    from .tiers import ares_hierarchy
+
+    if args.shards > 1:
+        return _cmd_stats_sharded(args)
+    hierarchy = ares_hierarchy(
+        ram_capacity=64 * MiB, nvme_capacity=128 * MiB, bb_capacity=4 * GiB,
+        nodes=2,
+    )
+    config = HCompressConfig(
+        plan_cache=PlanCacheConfig(enabled=not args.no_cache)
+    )
+    print("bootstrapping engine (inline profiling)...", file=sys.stderr)
+    engine = HCompress(hierarchy, config)
+    data = synthetic_buffer(
+        args.dtype, args.distribution, args.kib * KiB,
+        np.random.default_rng(args.rng_seed),
+    )
+    wall = time.perf_counter()
+    for i in range(args.tasks):
+        engine.compress(
+            data, modeled_size=args.modeled_kib * KiB, task_id=f"stats-{i}"
+        )
+    wall = time.perf_counter() - wall
+    report = _stats_report(engine, config, args, wall)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    _print_stats_report(report)
     return 0
 
 
@@ -480,7 +662,150 @@ def _instrumented_vpic(args: argparse.Namespace):
     return engine, result
 
 
+def _instrumented_shards(args: argparse.Namespace):
+    """Run a multi-tenant burst over a sharded deployment with telemetry.
+
+    Returns ``(observabilities, info)``: shard id -> synced
+    :class:`~repro.obs.Observability` for every live shard, plus run
+    facts for the human report. Every shard runs exactly the
+    single-engine instrumentation, so the per-shard registries merge
+    into one ``hcompress.metrics.v1`` document with a ``shard`` label
+    (:func:`~repro.obs.merge_registries`) and the per-shard span traces
+    export as separate Chrome trace processes.
+    """
+    import tempfile
+
+    from .core import HCompressConfig, ObservabilityConfig, RecoveryConfig
+    from .shard import ShardConfig, ShardedHCompress
+    from .tiers import ares_specs
+    from .workloads.vpic import vpic_sample
+
+    shards = args.shards
+    tenants = max(8, 2 * shards)
+    tasks = args.steps * tenants
+    task_bytes = 64 * KiB
+    specs = ares_specs(
+        2 * tasks * task_bytes, 2 * tasks * task_bytes,
+        2 * tasks * task_bytes, nodes=max(8, shards),
+    )
+    print(
+        f"instrumented sharded burst: {tasks} x {fmt_bytes(task_bytes)} "
+        f"tasks over {shards} shards, {tenants} tenants",
+        file=sys.stderr,
+    )
+    rng = np.random.default_rng(args.rng_seed)
+    with tempfile.TemporaryDirectory(prefix="hcompress-shard-obs-") as root:
+        sharded = ShardedHCompress(
+            specs,
+            HCompressConfig(
+                observability=ObservabilityConfig(enabled=True),
+                recovery=RecoveryConfig(fsync=False),
+            ),
+            ShardConfig(shards=shards, directory=root),
+        )
+        for index in range(tasks):
+            payload = vpic_sample(task_bytes, rng)
+            sharded.compress(
+                payload,
+                task_id=f"burst/t{index}",
+                tenant=f"tenant-{index % tenants}",
+            )
+        # One deployment-wide checkpoint so the recovery telemetry the
+        # single-engine export carries shows up per shard too.
+        sharded.checkpoint()
+        observabilities = sharded.observabilities()
+        info = {
+            "tasks": tasks,
+            "tenants": tenants,
+            "task_bytes": task_bytes,
+            "by_shard": sharded.task_count_by_shard(),
+        }
+        sharded.close()
+    return observabilities, info
+
+
+def _cmd_metrics_sharded(args: argparse.Namespace) -> int:
+    """The ``metrics --shards N`` driver: one merged registry export."""
+    from .obs import merge_registries
+
+    observabilities, info = _instrumented_shards(args)
+    merged = merge_registries(
+        [
+            (str(shard_id), obs.registry)
+            for shard_id, obs in sorted(observabilities.items())
+        ]
+    )
+    if args.output is not None:
+        args.output.write_text(merged.to_json() + "\n")
+        print(f"wrote merged metrics to {args.output}", file=sys.stderr)
+    if args.json:
+        print(merged.to_json())
+        return 0
+    by_shard = info["by_shard"]
+    print(
+        f"run: {info['tasks']} tasks over {len(observabilities)} shards "
+        f"({info['tenants']} tenants); tasks by shard: "
+        + " ".join(
+            f"{sid}:{count}" for sid, count in sorted(by_shard.items())
+        )
+        + "\n"
+    )
+    families = merged.collect()["metrics"]
+    series = sum(len(entry["series"]) for entry in families.values())
+    print(
+        f"{len(families)} metric families, {series} series "
+        f"(every series labeled shard=<id>; --json for the full export)"
+    )
+    return 0
+
+
+def _cmd_trace_sharded(args: argparse.Namespace) -> int:
+    """The ``trace --shards N`` driver: one trace, one process per shard.
+
+    Shard ``k``'s wall/modeled Chrome trace processes keep the 1/2 pid
+    split but shifted to ``2k+1``/``2k+2`` and renamed ``shardK/...``,
+    so shard 0 of a one-shard run matches the unsharded export layout.
+    """
+    observabilities, info = _instrumented_shards(args)
+    events = []
+    spans = 0
+    for shard_id, obs in sorted(observabilities.items()):
+        trace = obs.export_chrome_trace()
+        for event in trace["traceEvents"]:
+            event = dict(event)
+            event["pid"] = 2 * shard_id + event.get("pid", 1)
+            if event.get("ph") == "M" and event.get("name") == "process_name":
+                event["args"] = {
+                    "name": f"shard{shard_id}/" + event["args"]["name"]
+                }
+            events.append(event)
+        spans += len(obs.tracer.spans)
+    merged = {"traceEvents": events, "displayTimeUnit": "ms"}
+    if args.output is not None:
+        args.output.write_text(json.dumps(merged) + "\n")
+        print(
+            f"wrote {len(events)} trace events to {args.output} "
+            f"(load in chrome://tracing or ui.perfetto.dev)",
+            file=sys.stderr,
+        )
+    if args.json:
+        print(json.dumps(merged))
+        return 0
+    print(
+        f"run: {info['tasks']} tasks over {len(observabilities)} shards; "
+        f"{spans} spans recorded\n"
+    )
+    for shard_id, obs in sorted(observabilities.items()):
+        print(f"-- shard {shard_id} --")
+        print(obs.span_summary())
+    if args.output is None:
+        print("\n(use --output trace.json to export for chrome://tracing)")
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        return _cmd_metrics_sharded(args)
     engine, result = _instrumented_vpic(args)
     obs = engine.obs
     if args.output is not None:
@@ -501,6 +826,8 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        return _cmd_trace_sharded(args)
     engine, result = _instrumented_vpic(args)
     obs = engine.obs
     trace = obs.export_chrome_trace()
@@ -604,6 +931,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load-factor", type=float, default=2.0,
                    help="with --overload: offered load as a multiple of "
                         "the admission drain rate")
+    p.add_argument(
+        "--kill-shard", default=None, metavar="SHARD",
+        help="run the shard-failover harness instead: kill this shard of "
+             "a sharded deployment mid-storm ('auto' kills the shard "
+             "owning live traffic, 'none' runs the undisturbed baseline) "
+             "and verify failure-domain isolation (docs/SHARDING.md)",
+    )
+    p.add_argument("--shards", type=int, default=4,
+                   help="with --kill-shard: shard count of the deployment")
+    p.add_argument("--tenants", type=int, default=8,
+                   help="with --kill-shard: distinct tenants in the storm")
+    p.add_argument("--shard-tasks", type=int, default=64,
+                   help="with --kill-shard: writes offered during the storm")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_chaos)
 
@@ -653,6 +993,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distribution", default="gamma")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the plan cache (seed behaviour)")
+    p.add_argument("--shards", type=int, default=1,
+                   help="drive a sharded deployment and sum the counters "
+                        "(1: the unsharded engine, byte-identical output)")
     p.add_argument("--rng-seed", type=int, default=0)
     p.add_argument("--json", action="store_true",
                    help="emit the report as JSON instead of text")
@@ -666,6 +1009,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=10, help="checkpoint steps")
     p.add_argument("--scale", type=int, default=4096,
                    help="shrink divisor on the paper's Fig. 7 sizes")
+    p.add_argument("--shards", type=int, default=1,
+                   help="run a multi-tenant burst over N shards and export "
+                        "one merged registry with a shard label per series "
+                        "(1: the unsharded VPIC run, byte-identical output)")
     p.add_argument("--rng-seed", type=int, default=0)
     p.add_argument("--json", action="store_true",
                    help="emit the hcompress.metrics.v1 JSON snapshot")
@@ -681,6 +1028,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=10, help="checkpoint steps")
     p.add_argument("--scale", type=int, default=4096,
                    help="shrink divisor on the paper's Fig. 7 sizes")
+    p.add_argument("--shards", type=int, default=1,
+                   help="run a multi-tenant burst over N shards and export "
+                        "each shard's spans as its own trace process "
+                        "(1: the unsharded VPIC run, byte-identical output)")
     p.add_argument("--rng-seed", type=int, default=0)
     p.add_argument("--json", action="store_true",
                    help="emit Chrome trace-event JSON to stdout")

@@ -256,6 +256,7 @@ class HCompress:
         task_id: str | None = None,
         deadline: float | None = None,
         qos_class: QosClass | None = None,
+        tenant: str | None = None,
     ) -> WriteResult:
         """Compress-and-place one write task.
 
@@ -269,17 +270,22 @@ class HCompress:
         :class:`~repro.errors.DeadlineExceededError` (honoured with or
         without QoS enabled). ``qos_class`` is the task's service class
         for admission control; with QoS enabled, overloaded intake sheds
-        low classes with :class:`~repro.errors.TaskShedError`.
+        low classes with :class:`~repro.errors.TaskShedError`. ``tenant``
+        scopes the task to a tenant for QoS purposes: the tenant's
+        configured service class applies when ``qos_class`` is not given,
+        and per-tenant backlog quotas count the task against its tenant.
         """
         if self.obs is None:
             return self._compress(
                 data, task=task, hints=hints, modeled_size=modeled_size,
                 task_id=task_id, deadline=deadline, qos_class=qos_class,
+                tenant=tenant,
             )
         with self.obs.region("hcompress.compress") as sp:
             result = self._compress(
                 data, task=task, hints=hints, modeled_size=modeled_size,
                 task_id=task_id, deadline=deadline, qos_class=qos_class,
+                tenant=tenant,
             )
             sp.set_attr("task", result.task.task_id)
             sp.set_attr("size", result.task.size)
@@ -297,6 +303,7 @@ class HCompress:
         task_id: str | None = None,
         deadline: float | None = None,
         qos_class: QosClass | None = None,
+        tenant: str | None = None,
     ) -> WriteResult:
         self._check_open()
         scale = self.config.python_to_native
@@ -323,7 +330,7 @@ class HCompress:
             # Admission + brownout happen before any planning work: a shed
             # task must cost nothing beyond the analyzer pass.
             self.qos.observe(self.monitor.status())
-            self.qos.admit(task.task_id, task.size, qos_class)
+            self.qos.admit(task.task_id, task.size, qos_class, tenant=tenant)
             if budget is None:
                 budget = self.config.qos.default_deadline
         dl = Deadline(budget, clock=self._clock) if budget is not None else None

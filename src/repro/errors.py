@@ -160,6 +160,35 @@ class JournalCorruptError(RecoveryError):
     """
 
 
+class ShardError(HCompressError):
+    """Base class for sharded scale-out (``repro.shard``) failures."""
+
+
+class ShardUnavailableError(ShardError, TierUnavailableError):
+    """The shard owning the routed key is DOWN (crashed or quarantined).
+
+    Raised *fast* by the router — before any planning or engine work —
+    for traffic routed to a shard the supervisor has marked DOWN. It IS
+    a :class:`TierUnavailableError`, so callers' existing
+    failover/replan/unavailability handling absorbs it; per-tenant
+    isolation means only keys hashing to the dead shard ever see it.
+    Carries ``shard_id`` and ``reason`` for dashboards and tests.
+    """
+
+    def __init__(self, message: str, *, shard_id: int = -1, reason: str = ""):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.reason = reason
+
+
+class ShardManifestError(ShardError, RecoveryError):
+    """The shard-map manifest is missing, corrupt, or inconsistent.
+
+    A recovery-class failure: the manifest is the durable description of
+    the shard layout, so a sharded restore cannot proceed without it.
+    """
+
+
 class SimulatedCrashError(HCompressError):
     """A crash-point arbiter killed the engine at an instrumented site.
 

@@ -9,7 +9,9 @@ reports recovery behaviour (:func:`run_chaos`); `crash` kills the engine at
 seeded crash sites and proves the journal/checkpoint recovery invariants
 (:func:`run_crash_recovery`, :func:`sweep_crash_sites`); `overload` offers
 writes faster than the admission queue drains while a tier flaps, and
-proves the QoS overload contract (:func:`run_overload`).
+proves the QoS overload contract (:func:`run_overload`); `shard_chaos`
+kills one shard of a sharded deployment mid-storm and proves the
+failure-domain isolation contract (:func:`run_shard_chaos`).
 """
 
 from .chaos import ChaosConfig, ChaosOutcome, default_chaos_plan, run_chaos
@@ -23,6 +25,7 @@ from .device import FaultyDevice
 from .injector import FaultInjector, InjectorStats
 from .overload import OverloadConfig, OverloadOutcome, run_overload
 from .plan import FaultEvent, FaultKind, FaultPlan
+from .shard_chaos import ShardChaosConfig, ShardChaosOutcome, run_shard_chaos
 
 __all__ = [
     "ChaosConfig",
@@ -37,9 +40,12 @@ __all__ = [
     "InjectorStats",
     "OverloadConfig",
     "OverloadOutcome",
+    "ShardChaosConfig",
+    "ShardChaosOutcome",
     "default_chaos_plan",
     "run_chaos",
     "run_crash_recovery",
     "run_overload",
+    "run_shard_chaos",
     "sweep_crash_sites",
 ]

@@ -16,6 +16,7 @@ from ..ccp.seed import CostObservation  # noqa: F401  (re-export convenience)
 from ..codecs.metadata import HEADER_SIZE
 from ..codecs.pool import CompressionLibraryPool
 from ..errors import CapacityError, TierError
+from ..hashing import stable_hash32
 from ..monitor import SystemMonitor
 from ..tiers import StorageHierarchy
 from ..units import MB
@@ -103,7 +104,8 @@ class HermesWithStaticCompression:
         """Measured ratio of the static codec on a sample (cached)."""
         if self.codec_name == "none":
             return 1.0
-        key = hash(sample[:256]) ^ len(sample)
+        # Process-stable cache key (PYTHONHASHSEED-independent).
+        key = stable_hash32(sample[:256]) ^ len(sample)
         cached = self._ratio_cache.get(key)
         if cached is None:
             codec = self.pool.codec(self.codec_name)

@@ -24,6 +24,7 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_registries,
 )
 from .tracer import NULL_SPAN, Span, SpanRecord, Tracer
 
@@ -39,4 +40,5 @@ __all__ = [
     "Span",
     "SpanRecord",
     "Tracer",
+    "merge_registries",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "DEFAULT_SECONDS_BUCKETS",
     "DEFAULT_RATIO_BUCKETS",
     "DEFAULT_BYTES_BUCKETS",
+    "merge_registries",
 ]
 
 #: Default histogram bucket upper bounds for durations in seconds.
@@ -324,3 +325,49 @@ class MetricsRegistry:
 
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.collect(), indent=indent, sort_keys=False)
+
+
+def merge_registries(
+    named: "list[tuple[str, MetricsRegistry]]", label: str = "shard"
+) -> MetricsRegistry:
+    """Merge several engines' registries into one, adding a ``label``.
+
+    Each input registry's families reappear in the merged registry with
+    ``label`` appended to their label names and every series tagged with
+    that registry's name (e.g. ``shard="3"``), so a sharded deployment
+    exports one ``hcompress.metrics.v1`` document with per-shard series
+    instead of N disjoint documents. Inputs are untouched; family kinds,
+    help text, and histogram buckets must agree across registries (they
+    do by construction — every shard runs the same instrumentation).
+
+    This is an aggregation of *distinct engines*; a single-engine export
+    must not pass through here (the CLI's one-shard path exports the
+    engine's own registry untouched, keeping output byte-identical to an
+    unsharded run).
+    """
+    merged = MetricsRegistry()
+    for registry_name, registry in named:
+        for family_name in sorted(registry._families):
+            family = registry._families[family_name]
+            if label in family.labelnames:
+                raise HCompressError(
+                    f"metric {family_name!r} already has a {label!r} label"
+                )
+            labelnames = family.labelnames + (label,)
+            if isinstance(family, Histogram):
+                target = merged.histogram(
+                    family_name, family.help, labelnames, family.buckets
+                )
+            elif isinstance(family, Counter):
+                target = merged.counter(family_name, family.help, labelnames)
+            else:
+                target = merged.gauge(family_name, family.help, labelnames)
+            for labels, series in family.series_items():
+                out = target.labels(**labels, **{label: registry_name})
+                if isinstance(series, _HistogramSeries):
+                    out.counts = list(series.counts)
+                    out.sum = series.sum
+                    out.count = series.count
+                else:
+                    out.set(series.value)  # type: ignore[union-attr]
+    return merged

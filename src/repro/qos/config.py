@@ -94,6 +94,17 @@ class QosConfig:
             the gap against ``brownout_high`` provides hysteresis.
         brownout_dwell: Minimum modeled seconds between ladder moves.
         default_class: QoS class assumed for tasks submitted without one.
+        tenant_classes: Tenant-scoped service classes: ``(tenant, class)``
+            pairs consulted when a task arrives with a ``tenant`` but no
+            explicit ``qos_class``. Tenants not listed fall back to
+            ``default_class``. A tuple of pairs (not a dict) keeps the
+            config hashable/frozen.
+        tenant_quota_fraction: Per-tenant cap on the admission backlog,
+            as a fraction of ``max_backlog_bytes``. A sub-protected task
+            whose tenant already holds more than this share of the
+            backlog is shed with reason ``"tenant-quota"`` — one noisy
+            tenant cannot monopolise the shed lottery's survivors.
+            ``None`` (default) disables per-tenant accounting entirely.
     """
 
     enabled: bool = False
@@ -116,6 +127,16 @@ class QosConfig:
     brownout_low: float = 0.60
     brownout_dwell: float = 0.25
     default_class: QosClass = QosClass.BATCH
+    tenant_classes: tuple[tuple[str, QosClass], ...] = ()
+    tenant_quota_fraction: float | None = None
+
+    def class_for_tenant(self, tenant: str | None) -> QosClass:
+        """Service class of ``tenant`` (``default_class`` when unmapped)."""
+        if tenant is not None:
+            for name, qos_class in self.tenant_classes:
+                if name == tenant:
+                    return QosClass(qos_class)
+        return self.default_class
 
     def __post_init__(self) -> None:
         if self.max_backlog_bytes < 1:
@@ -147,3 +168,17 @@ class QosConfig:
             raise ValueError("need 0 <= brownout_low < brownout_high <= 1")
         if self.brownout_dwell < 0:
             raise ValueError("brownout_dwell must be >= 0")
+        seen = set()
+        for entry in self.tenant_classes:
+            if len(entry) != 2 or not entry[0]:
+                raise ValueError(
+                    "tenant_classes entries must be (tenant, QosClass) pairs"
+                )
+            if entry[0] in seen:
+                raise ValueError(f"tenant {entry[0]!r} mapped twice")
+            seen.add(entry[0])
+            QosClass(entry[1])  # raises ValueError on an unknown class
+        if self.tenant_quota_fraction is not None and not (
+            0.0 < self.tenant_quota_fraction <= 1.0
+        ):
+            raise ValueError("tenant_quota_fraction must be in (0, 1]")

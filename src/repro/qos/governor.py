@@ -79,12 +79,24 @@ class QosGovernor:
 
     # -- admission ---------------------------------------------------------
 
-    def admit(self, task_id: int, size: int, qos_class: QosClass | None) -> None:
-        cls = self.config.default_class if qos_class is None else QosClass(qos_class)
+    def admit(
+        self,
+        task_id: int,
+        size: int,
+        qos_class: QosClass | None,
+        tenant: str | None = None,
+    ) -> None:
+        """Gate one task's intake; an explicit ``qos_class`` wins, else the
+        tenant's configured class, else the config default."""
+        if qos_class is None:
+            cls = self.config.class_for_tenant(tenant)
+        else:
+            cls = QosClass(qos_class)
         now = self.now()
         try:
             self.admission.admit(
-                task_id, size, cls, now, floor=self.brownout.shed_floor()
+                task_id, size, cls, now, floor=self.brownout.shed_floor(),
+                tenant=tenant,
             )
         except Exception:
             if self.obs is not None:

@@ -1,0 +1,43 @@
+"""Sharded multi-engine scale-out (docs/SHARDING.md).
+
+``repro.shard`` horizontally scales HCompress by running ``N``
+independent engine shards behind one consistent-hash router:
+
+* :class:`ShardConfig` — layout: shard count, ring parameters, health
+  policy, deployment directory; :func:`split_tier_specs` slices the
+  tier budgets.
+* :class:`ConsistentHashRing` — seeded, ``PYTHONHASHSEED``-independent
+  key -> shard routing.
+* :class:`ShardManifest` — the versioned, atomically-written
+  ``shard-map.json`` tying per-shard recovery state together.
+* :class:`ShardSupervisor` — outcome/heartbeat health tracking; DOWN
+  shards fail fast with
+  :class:`~repro.errors.ShardUnavailableError`.
+* :class:`ShardedHCompress` — the routed front-end with per-shard
+  failure domains, kill/restore, and aggregate views.
+"""
+
+from .config import ShardConfig, shard_dirname, split_tier_specs
+from .hashring import ConsistentHashRing
+from .manifest import (
+    MANIFEST_NAME,
+    ShardManifest,
+    read_manifest,
+    write_manifest,
+)
+from .router import ShardedHCompress
+from .supervisor import ShardHealth, ShardSupervisor
+
+__all__ = [
+    "MANIFEST_NAME",
+    "ConsistentHashRing",
+    "ShardConfig",
+    "ShardHealth",
+    "ShardManifest",
+    "ShardSupervisor",
+    "ShardedHCompress",
+    "read_manifest",
+    "shard_dirname",
+    "split_tier_specs",
+    "write_manifest",
+]

@@ -1,0 +1,125 @@
+"""Shard-layout configuration and tier-budget splitting.
+
+A :class:`ShardConfig` describes the static layout of a sharded
+deployment: how many engine shards exist, how keys map onto them
+(virtual-node count and hash seed of the consistent ring), how the
+supervisor decides a shard is dead, and where each shard's durable
+state lives. Like every other subsystem config it is frozen, validated
+at construction, and defaults to the feature-off shape (``shards=1``)
+that keeps behavior byte-identical to a single unsharded engine.
+
+:func:`split_tier_specs` turns one hierarchy description into a shard's
+slice of it: capacity and lanes are divided with the remainder spread
+over the lowest shard ids, bandwidth is divided evenly, latency and the
+shared flag are inherent to the hardware and pass through unchanged.
+With ``shards == 1`` the specs are returned untouched (identity, not a
+copy), which is what makes the single-shard engine provably identical
+to an unsharded one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from ..tiers import TierSpec
+
+__all__ = ["ShardConfig", "shard_dirname", "split_tier_specs"]
+
+
+def shard_dirname(shard_id: int) -> str:
+    """Per-shard recovery subdirectory name (``shard-03``), zero-padded
+    so directory listings sort in shard order."""
+    return f"shard-{shard_id:02d}"
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Static layout of a sharded HCompress deployment.
+
+    Attributes:
+        shards: Number of independent engine shards. ``1`` (the default)
+            is the feature-off shape: one shard owning the whole
+            hierarchy, byte-identical to an unsharded engine.
+        virtual_nodes: Ring points per shard. More points smooth the key
+            distribution at the cost of a larger (still tiny) ring.
+        hash_seed: Seed of the ring's stable hash. Routing is a pure
+            function of ``(key, shards, virtual_nodes, hash_seed)`` —
+            independent of ``PYTHONHASHSEED``, process, and platform.
+        failure_threshold: Consecutive infrastructure failures (the
+            ``TierError`` family) on one shard before the supervisor
+            marks it DOWN. QoS rejections (sheds, deadlines) are policy,
+            not health, and never count.
+        heartbeat_timeout: Modeled seconds a shard may go without a
+            successful operation before a supervisor sweep marks it
+            DOWN. ``None`` disables timeout-based detection (outcome
+            thresholds still apply).
+        directory: Root of the deployment's durable state: the
+            shard-map manifest lives at its top and each shard journals
+            and checkpoints under ``shard-NN/``. ``None`` runs fully in
+            memory (no manifest, no per-shard recovery).
+    """
+
+    shards: int = 1
+    virtual_nodes: int = 64
+    hash_seed: int = 0
+    failure_threshold: int = 3
+    heartbeat_timeout: float | None = None
+    directory: str | Path | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive (or None)")
+
+    def shard_directory(self, shard_id: int) -> Path | None:
+        """Durable-state directory of one shard (``None`` when in-memory)."""
+        if self.directory is None:
+            return None
+        return Path(self.directory) / shard_dirname(shard_id)
+
+
+def _split_count(total: int, index: int, shards: int) -> int:
+    """``total`` split ``shards`` ways; remainder goes to low indices."""
+    return total // shards + (1 if index < total % shards else 0)
+
+
+def split_tier_specs(
+    specs: Sequence[TierSpec], index: int, shards: int
+) -> tuple[TierSpec, ...]:
+    """Shard ``index``'s slice of a hierarchy description.
+
+    Capacity and lanes are integer-split with the remainder spread over
+    the lowest shard ids (so the sum over shards is exactly the
+    original); bandwidth divides evenly; per-operation latency and the
+    shared flag describe the hardware itself and pass through. Every
+    shard keeps at least one lane. ``shards == 1`` returns the input
+    specs untouched.
+    """
+    if not 0 <= index < shards:
+        raise ValueError(f"shard index {index} out of range for {shards}")
+    if shards == 1:
+        return tuple(specs)
+    out = []
+    for spec in specs:
+        capacity = (
+            None
+            if spec.capacity is None
+            else _split_count(spec.capacity, index, shards)
+        )
+        lanes = max(1, _split_count(spec.lanes, index, shards))
+        out.append(
+            replace(
+                spec,
+                capacity=capacity,
+                bandwidth=spec.bandwidth / shards,
+                lanes=lanes,
+            )
+        )
+    return tuple(out)

@@ -1,0 +1,65 @@
+"""Consistent-hash ring: stable key -> shard routing.
+
+The ring places ``virtual_nodes`` points per shard on a 64-bit circle
+using the seeded stable hash from :mod:`repro.hashing` (BLAKE2b-keyed —
+never the builtin ``hash()``, whose per-process ``PYTHONHASHSEED``
+randomisation would scatter keys differently every run). A key routes
+to the shard owning the first point clockwise from the key's own hash.
+
+Consistent hashing keeps the layout incremental: growing an ``N``-shard
+ring to ``N+1`` moves only ``~1/(N+1)`` of the keyspace, so a resharded
+deployment re-homes the minimum amount of data. Routing is a pure
+function of ``(key, shards, virtual_nodes, seed)`` — deterministic
+across processes, platforms, and hash-seed environments.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from ..hashing import stable_str_hash
+
+__all__ = ["ConsistentHashRing"]
+
+
+class ConsistentHashRing:
+    """Immutable ring mapping string keys onto ``shards`` shard ids."""
+
+    def __init__(
+        self, shards: int, virtual_nodes: int = 64, seed: int = 0
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if virtual_nodes < 1:
+            raise ValueError("virtual_nodes must be >= 1")
+        self.shards = shards
+        self.virtual_nodes = virtual_nodes
+        self.seed = seed
+        points = []
+        for shard_id in range(shards):
+            for vnode in range(virtual_nodes):
+                points.append(
+                    (stable_str_hash(f"{shard_id}:{vnode}", seed), shard_id)
+                )
+        # Ties (two vnodes hashing identically) resolve to the lower
+        # shard id via the tuple sort — deterministic either way.
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def route(self, key: str) -> int:
+        """Shard id owning ``key`` (first ring point clockwise)."""
+        if self.shards == 1:
+            return 0
+        point = stable_str_hash(key, self.seed)
+        idx = bisect_right(self._points, point)
+        if idx == len(self._points):
+            idx = 0  # wrap: past the last point means the first owner
+        return self._owners[idx]
+
+    def distribution(self, keys) -> dict[int, int]:
+        """Key count per shard — a test/diagnostics helper."""
+        counts: dict[int, int] = {s: 0 for s in range(self.shards)}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts

@@ -1,0 +1,415 @@
+"""ShardedHCompress: consistent-hash scale-out over independent engines.
+
+One front-end object owns ``N`` fully independent :class:`HCompress`
+shards. Each shard gets its own slice of the tier budgets
+(:func:`~repro.shard.config.split_tier_specs`), its own catalog, plan
+cache, QoS governor, and — when a deployment directory is configured —
+its own write-ahead journal and checkpoints under ``shard-NN/``, tied
+together by the versioned shard-map manifest at the root. Requests
+route by a *routing key* (the tenant when given, else the task id)
+through the seeded consistent-hash ring, so a tenant's entire working
+set lands on one shard: a failure domain is a shard, and a shard's
+blast radius is exactly the tenants hashed onto it.
+
+The :class:`~repro.shard.supervisor.ShardSupervisor` gates every
+dispatch. Traffic for a DOWN shard fails in O(1) with
+:class:`~repro.errors.ShardUnavailableError` — before any analysis or
+planning — while the other shards keep serving with byte-identical
+behavior to an undisturbed run (their engines never observe the
+failure). A killed shard restores from its own journal + checkpoint via
+the ordinary :meth:`HCompress.restore` path and re-enters the ring
+exactly where it was: consistent hashing means nobody else's keys
+moved.
+
+``shards=1`` is the feature-off shape: the single shard receives the
+unsplit tier specs and every call delegates straight through, producing
+schemas and a catalog byte-identical to an unsharded engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.config import HCompressConfig
+from ..core.hcompress import HCompress
+from ..core.manager import ReadResult, WriteResult
+from ..errors import HCompressError, QosError, SimulatedCrashError, TierError
+from ..hcdp import IOTask, next_task_id
+from ..qos import QosClass
+from ..tiers import StorageHierarchy, TierSpec
+from .config import ShardConfig, split_tier_specs
+from .hashring import ConsistentHashRing
+from .manifest import ShardManifest, read_manifest, write_manifest
+from .supervisor import ShardSupervisor
+
+__all__ = ["ShardedHCompress"]
+
+
+class ShardedHCompress:
+    """Consistent-hash router over ``N`` independent HCompress shards.
+
+    Args:
+        specs: Description of the *whole* deployment's hierarchy; each
+            shard is constructed over its
+            :func:`~repro.shard.config.split_tier_specs` slice.
+        config: Engine config applied to every shard. With a deployment
+            directory, each shard's recovery config is redirected to its
+            own ``shard-NN/`` subdirectory.
+        shard_config: Shard layout (count, ring parameters, health
+            policy, deployment directory).
+        seed: Profiler seed shared by all shards. ``None`` runs one
+            quick profiling pass and shares the result (identical to
+            what each engine would derive on its own).
+        clock: Modeled time source threaded into every shard and the
+            supervisor.
+        device_factory: Forwarded to each shard's hierarchy build.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TierSpec],
+        config: HCompressConfig | None = None,
+        shard_config: ShardConfig | None = None,
+        seed=None,
+        clock: Callable[[], float] | None = None,
+        device_factory=None,
+    ) -> None:
+        self.config = config if config is not None else HCompressConfig()
+        self.shard_config = (
+            shard_config if shard_config is not None else ShardConfig()
+        )
+        self.specs = tuple(specs)
+        self._clock = clock
+        self._device_factory = device_factory
+        self.ring = ConsistentHashRing(
+            self.shard_config.shards,
+            self.shard_config.virtual_nodes,
+            self.shard_config.hash_seed,
+        )
+        self.supervisor = ShardSupervisor(
+            self.shard_config, clock=clock, on_transition=self._persist_status
+        )
+        # The root directory ties the deployment together: the manifest at
+        # its top, one recovery directory per shard beneath it. Falls back
+        # to the engine config's recovery directory so a caller who already
+        # configured recovery gets sharded durability without a second knob.
+        root = self.shard_config.directory
+        if root is None and self.config.recovery.enabled:
+            root = self.config.recovery.directory
+        self.root = None if root is None else Path(root)
+        if seed is None:
+            # One shared profiling pass. The profiler is a pure function of
+            # the codec pool and a fixed rng, so this is byte-identical to
+            # the seed each engine would have derived independently.
+            from ..codecs.pool import CompressionLibraryPool
+            from ..core.profiler import HCompressProfiler
+            import numpy as np
+
+            seed = HCompressProfiler(
+                CompressionLibraryPool(self.config.libraries),
+                rng=np.random.default_rng(0),
+            ).quick_seed()
+        self.seed = seed
+        self.manifest: ShardManifest | None = None
+        if self.root is not None:
+            self.manifest = ShardManifest.initial(
+                self.shard_config.shards,
+                self.shard_config.virtual_nodes,
+                self.shard_config.hash_seed,
+            )
+            write_manifest(
+                self.root, self.manifest, fsync=self.config.recovery.fsync
+            )
+        # Per-shard hierarchies outlive their engines: tiers model durable
+        # external services, so a killed shard's data survives for restore.
+        self.hierarchies: dict[int, StorageHierarchy] = {}
+        self.engines: dict[int, HCompress | None] = {}
+        for shard_id in range(self.shard_config.shards):
+            hierarchy = StorageHierarchy.from_specs(
+                split_tier_specs(
+                    self.specs, shard_id, self.shard_config.shards
+                ),
+                device_factory=device_factory,
+            )
+            self.hierarchies[shard_id] = hierarchy
+            self.engines[shard_id] = HCompress(
+                hierarchy,
+                self._engine_config(shard_id),
+                seed=self.seed,
+                clock=clock,
+            )
+        # task id -> owning shard, so reads route to where the write went
+        # even when the write was routed by tenant. Rebuilt from each
+        # shard's restored catalog after a failover.
+        self._owners: dict[str, int] = {}
+        #: Cumulative modeled service seconds per shard (compress/decompress
+        #: + I/O). The scale-out bench's makespan is the max over shards.
+        self.busy_seconds: dict[int, float] = {
+            shard_id: 0.0 for shard_id in range(self.shard_config.shards)
+        }
+        self._closed = False
+
+    # -- construction helpers ------------------------------------------------
+
+    def _engine_config(self, shard_id: int) -> HCompressConfig:
+        """One shard's engine config: shared knobs, private recovery dir."""
+        if self.root is None:
+            return self.config
+        return replace(
+            self.config,
+            recovery=replace(
+                self.config.recovery,
+                enabled=True,
+                directory=self.root / self.manifest.directories[shard_id]
+                if self.manifest is not None
+                else self.shard_config.shard_directory(shard_id),
+            ),
+        )
+
+    def _persist_status(
+        self, status: str, now: float, shard_id: int, reason: str
+    ) -> None:
+        """Supervisor transition hook: bump + rewrite the manifest."""
+        if self.manifest is None:
+            return
+        self.manifest = self.manifest.with_status(shard_id, status)
+        write_manifest(
+            self.root, self.manifest, fsync=self.config.recovery.fsync
+        )
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return self.shard_config.shards
+
+    def route_key(self, task_id: str, tenant: str | None = None) -> str:
+        """The routing key: the tenant (so one tenant = one failure
+        domain) when given, else the task id."""
+        return tenant if tenant is not None else task_id
+
+    def shard_of(self, task_id: str, tenant: str | None = None) -> int:
+        return self.ring.route(self.route_key(task_id, tenant))
+
+    def engine(self, shard_id: int) -> HCompress:
+        """The live engine of one shard (DOWN shards have none)."""
+        engine = self.engines[shard_id]
+        if engine is None:
+            self.supervisor.ensure_up(shard_id)  # raises with the reason
+            raise HCompressError(f"shard {shard_id} has no engine")
+        return engine
+
+    # -- paper API, routed ---------------------------------------------------
+
+    def compress(
+        self,
+        data: bytes | None = None,
+        *,
+        task: IOTask | None = None,
+        hints=None,
+        modeled_size: int | None = None,
+        task_id: str | None = None,
+        deadline: float | None = None,
+        qos_class: QosClass | None = None,
+        tenant: str | None = None,
+    ) -> WriteResult:
+        """Route one write to its owning shard (see
+        :meth:`HCompress.compress` for the operation semantics).
+
+        The task id is fixed *before* routing (generated here when the
+        caller passes none) so the routing key is stable; ``tenant``
+        overrides it as the key, pinning all of a tenant's tasks to one
+        shard and scoping QoS admission to that tenant on that shard.
+        """
+        self._check_open()
+        tid = task.task_id if task is not None else (task_id or next_task_id())
+        shard_id = self.ring.route(self.route_key(tid, tenant))
+        self.supervisor.sweep()
+        self.supervisor.ensure_up(shard_id)
+        engine = self.engine(shard_id)
+        try:
+            result = engine.compress(
+                data,
+                task=task,
+                hints=hints,
+                modeled_size=modeled_size,
+                task_id=None if task is not None else tid,
+                deadline=deadline,
+                qos_class=qos_class,
+                tenant=tenant,
+            )
+        except QosError:
+            # Policy rejection: the shard's machinery worked correctly.
+            self.supervisor.record_outcome(shard_id, ok=True)
+            raise
+        except SimulatedCrashError:
+            # Crash-point death is process death for this shard only.
+            self._abandon(shard_id, "crashed")
+            raise
+        except TierError:
+            self.supervisor.record_outcome(shard_id, ok=False)
+            raise
+        self.supervisor.record_outcome(shard_id, ok=True)
+        self._owners[tid] = shard_id
+        self.busy_seconds[shard_id] += (
+            result.compress_seconds + result.io_seconds
+        )
+        return result
+
+    def decompress(
+        self,
+        task_id: str,
+        offset: int | None = None,
+        length: int | None = None,
+        deadline: float | None = None,
+    ) -> ReadResult:
+        """Route one read to the shard that owns ``task_id``."""
+        self._check_open()
+        shard_id = self._owners.get(task_id)
+        if shard_id is None:
+            shard_id = self.ring.route(task_id)
+        self.supervisor.sweep()
+        self.supervisor.ensure_up(shard_id)
+        engine = self.engine(shard_id)
+        try:
+            result = engine.decompress(task_id, offset, length, deadline)
+        except QosError:
+            self.supervisor.record_outcome(shard_id, ok=True)
+            raise
+        except SimulatedCrashError:
+            self._abandon(shard_id, "crashed")
+            raise
+        except TierError:
+            self.supervisor.record_outcome(shard_id, ok=False)
+            raise
+        self.supervisor.record_outcome(shard_id, ok=True)
+        self.busy_seconds[shard_id] += (
+            result.decompress_seconds + result.io_seconds
+        )
+        return result
+
+    # -- failure domains -----------------------------------------------------
+
+    def kill_shard(self, shard_id: int, reason: str = "killed") -> None:
+        """Crash one shard: abandon its engine mid-flight.
+
+        Models abrupt process death — the journal is *not* synced or
+        closed (buffered records die with the process, exactly what
+        restore must cope with); only the piece thread pool is joined,
+        because in-process simulation must not leak OS threads. The
+        shard's tiers survive (durable external services) and its
+        tenants start seeing :class:`~repro.errors.ShardUnavailableError`
+        on the next dispatch. Other shards are untouched.
+        """
+        self._check_open()
+        self._abandon(shard_id, reason)
+
+    def _abandon(self, shard_id: int, reason: str) -> None:
+        engine = self.engines[shard_id]
+        if engine is not None:
+            engine.manager.shutdown()  # thread hygiene; journal left un-synced
+            self.engines[shard_id] = None
+        self.supervisor.mark_down(shard_id, reason)
+
+    def restore_shard(self, shard_id: int) -> HCompress:
+        """Bring a DOWN shard back from its own journal + checkpoint.
+
+        Replays the shard's recovery directory through the ordinary
+        :meth:`HCompress.restore` path against the surviving hierarchy
+        slice, re-registers the shard's tasks in the owner map, and
+        marks it UP (bumping the manifest). Requires a deployment
+        directory — an in-memory shard has nothing to restore from.
+        """
+        self._check_open()
+        if self.root is None:
+            raise HCompressError(
+                "restore_shard needs a deployment directory: construct "
+                "with ShardConfig(directory=...) or recovery enabled"
+            )
+        old = self.engines[shard_id]
+        if old is not None:
+            old.manager.shutdown()
+        engine = HCompress.restore(
+            self._engine_config(shard_id).recovery.directory,
+            self.hierarchies[shard_id],
+            config=self.config,
+            seed=self.seed,
+            clock=self._clock,
+        )
+        self.engines[shard_id] = engine
+        for tid in engine.manager.catalog_snapshot():
+            self._owners[tid] = shard_id
+        self.supervisor.mark_up(shard_id)
+        return engine
+
+    def verify_manifest(self) -> ShardManifest:
+        """Re-read the on-disk manifest, rejecting stale versions."""
+        if self.root is None or self.manifest is None:
+            raise HCompressError("no deployment directory, no manifest")
+        return read_manifest(self.root, min_version=self.manifest.version)
+
+    # -- aggregate views -----------------------------------------------------
+
+    def checkpoint(self) -> tuple[Path, ...]:
+        """Checkpoint every live shard; returns the snapshot paths."""
+        self._check_open()
+        paths = []
+        for shard_id in sorted(self.engines):
+            engine = self.engines[shard_id]
+            if engine is not None and self.supervisor.is_up(shard_id):
+                paths.append(engine.checkpoint())
+        return tuple(paths)
+
+    def footprint_by_tier(self) -> dict[str, int]:
+        """Accounted bytes per tier name, summed across shards."""
+        totals: dict[str, int] = {}
+        for shard_id in sorted(self.hierarchies):
+            for name, used in self.hierarchies[shard_id].footprint_by_tier().items():
+                totals[name] = totals.get(name, 0) + used
+        return totals
+
+    def task_count_by_shard(self) -> dict[int, int]:
+        """Catalog size per live shard (distribution diagnostics)."""
+        counts = {}
+        for shard_id in sorted(self.engines):
+            engine = self.engines[shard_id]
+            if engine is not None:
+                counts[shard_id] = len(engine.manager.catalog_snapshot())
+        return counts
+
+    def observabilities(self) -> dict[int, object]:
+        """Shard id -> synced Observability for every live shard with
+        telemetry enabled (the CLI's multi-registry aggregation input)."""
+        out = {}
+        for shard_id in sorted(self.engines):
+            engine = self.engines[shard_id]
+            if engine is not None and engine.obs is not None:
+                out[shard_id] = engine.sync_telemetry()
+        return out
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Close every live shard deterministically (idempotent).
+
+        Joins each shard's piece thread pool and syncs + closes each
+        journal via :meth:`HCompress.close`; the supervisor and router
+        own no threads of their own. Safe to call repeatedly.
+        """
+        for shard_id in sorted(self.engines):
+            engine = self.engines[shard_id]
+            if engine is not None:
+                engine.close()
+        self._closed = True
+
+    def __enter__(self) -> "ShardedHCompress":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise HCompressError("sharded engine already closed")

@@ -1,0 +1,171 @@
+"""Shard supervisor: health tracking and fail-fast gating.
+
+The supervisor watches each shard through the outcomes the router feeds
+it — every operation reports success or an infrastructure failure — on
+the deployment's modeled clock. A shard goes DOWN when either
+
+* ``failure_threshold`` consecutive infrastructure failures accumulate
+  (the ``TierError`` family: outages, exhausted retries, hierarchy-wide
+  unavailability), or
+* a sweep finds its last successful heartbeat older than
+  ``heartbeat_timeout`` modeled seconds, or
+* the router explicitly kills it (the chaos harness's crash injection).
+
+QoS rejections (sheds, deadline misses) are policy decisions, never
+health signals — a shard correctly protecting itself under overload
+must not be declared dead for it.
+
+While a shard is DOWN, :meth:`ensure_up` fails fast with
+:class:`~repro.errors.ShardUnavailableError` before any planning or
+engine work, so traffic for a dead shard costs O(1) and every other
+shard keeps serving undisturbed. Transitions append to a replayable
+trace and invoke an optional callback (the router persists each
+transition into the shard-map manifest).
+
+The supervisor owns no threads: health is updated synchronously from
+operation outcomes and explicit sweeps, which keeps shutdown trivially
+deterministic and the whole subsystem replayable under the sim clock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ShardUnavailableError
+from .config import ShardConfig
+
+__all__ = ["ShardHealth", "ShardSupervisor"]
+
+
+class ShardHealth:
+    """Mutable per-shard health record."""
+
+    __slots__ = ("shard_id", "status", "consecutive_failures",
+                 "last_heartbeat", "reason")
+
+    def __init__(self, shard_id: int, now: float) -> None:
+        self.shard_id = shard_id
+        self.status = "UP"
+        self.consecutive_failures = 0
+        self.last_heartbeat = now
+        self.reason = ""
+
+
+class ShardSupervisor:
+    """Health authority over a fixed set of shards.
+
+    Args:
+        config: Shard layout (threshold and timeout policy).
+        clock: Modeled time source; defaults to a constant 0.0 (timeout
+            detection then never fires, outcome thresholds still do).
+        on_transition: Called as ``(status, now, shard_id, reason)``
+            after every UP/DOWN transition — the router's manifest hook.
+    """
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        clock: Callable[[], float] | None = None,
+        on_transition: Callable[..., None] | None = None,
+    ) -> None:
+        self.config = config
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self._on_transition = on_transition
+        now = self._clock()
+        self.health = {
+            shard_id: ShardHealth(shard_id, now)
+            for shard_id in range(config.shards)
+        }
+        self.trace: list[tuple] = []
+
+    def now(self) -> float:
+        return self._clock()
+
+    # -- gating --------------------------------------------------------------
+
+    def is_up(self, shard_id: int) -> bool:
+        return self.health[shard_id].status == "UP"
+
+    def ensure_up(self, shard_id: int) -> None:
+        """Fail fast when the shard is DOWN (the router's pre-dispatch gate)."""
+        record = self.health[shard_id]
+        if record.status != "UP":
+            raise ShardUnavailableError(
+                f"shard {shard_id} is DOWN ({record.reason})",
+                shard_id=shard_id,
+                reason=record.reason,
+            )
+
+    def up_shards(self) -> tuple[int, ...]:
+        return tuple(
+            shard_id
+            for shard_id in sorted(self.health)
+            if self.health[shard_id].status == "UP"
+        )
+
+    # -- health feed ---------------------------------------------------------
+
+    def record_outcome(self, shard_id: int, ok: bool) -> None:
+        """Fold one operation outcome into the shard's health.
+
+        ``ok`` covers QoS rejections too: the router reports them as
+        successes because the shard's machinery demonstrably worked.
+        """
+        record = self.health[shard_id]
+        if ok:
+            record.consecutive_failures = 0
+            record.last_heartbeat = self.now()
+            return
+        record.consecutive_failures += 1
+        if (
+            record.status == "UP"
+            and record.consecutive_failures >= self.config.failure_threshold
+        ):
+            self.mark_down(
+                shard_id,
+                f"{record.consecutive_failures} consecutive failures",
+            )
+
+    def sweep(self) -> tuple[int, ...]:
+        """Mark shards whose heartbeat has expired DOWN; returns them."""
+        timeout = self.config.heartbeat_timeout
+        if timeout is None:
+            return ()
+        now = self.now()
+        expired = []
+        for shard_id in sorted(self.health):
+            record = self.health[shard_id]
+            if (
+                record.status == "UP"
+                and now - record.last_heartbeat > timeout
+            ):
+                self.mark_down(shard_id, "heartbeat timeout")
+                expired.append(shard_id)
+        return tuple(expired)
+
+    # -- transitions ---------------------------------------------------------
+
+    def mark_down(self, shard_id: int, reason: str) -> None:
+        record = self.health[shard_id]
+        if record.status == "DOWN":
+            return
+        record.status = "DOWN"
+        record.reason = reason
+        self._transition("DOWN", shard_id, reason)
+
+    def mark_up(self, shard_id: int) -> None:
+        """Return a restored shard to service with clean health."""
+        record = self.health[shard_id]
+        if record.status == "UP":
+            return
+        record.status = "UP"
+        record.reason = ""
+        record.consecutive_failures = 0
+        record.last_heartbeat = self.now()
+        self._transition("UP", shard_id, "restored")
+
+    def _transition(self, status: str, shard_id: int, reason: str) -> None:
+        event = (status, round(self.now(), 9), shard_id, reason)
+        self.trace.append(event)
+        if self._on_transition is not None:
+            self._on_transition(*event)

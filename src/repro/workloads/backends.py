@@ -19,6 +19,7 @@ from ..codecs.metadata import HEADER_SIZE
 from ..codecs.pool import CompressionLibraryPool
 from ..core.hcompress import HCompress
 from ..errors import TierError, WorkloadError
+from ..hashing import stable_hash32
 from ..hermes.adapters import HermesWithStaticCompression
 from ..hermes.buffering import HermesBuffering
 from ..units import MB
@@ -136,7 +137,8 @@ class StaticCompressionBackend(IOBackend):
     def _ratio(self, sample: bytes) -> float:
         if self.codec == "none" or not sample:
             return 1.0
-        key = hash(sample[:256]) ^ len(sample)
+        # Process-stable cache key (PYTHONHASHSEED-independent).
+        key = stable_hash32(sample[:256]) ^ len(sample)
         cached = self._ratio_cache.get(key)
         if cached is None:
             payload = self.pool.codec(self.codec).compress(sample)

@@ -1,0 +1,81 @@
+"""merge_registries: one export document for a sharded deployment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import HCompressError
+from repro.obs import MetricsRegistry
+from repro.obs.registry import merge_registries
+
+
+def _shard_registry(writes: int) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("writes_total", "writes", ("tier",)).labels(
+        tier="ram"
+    ).inc(writes)
+    reg.gauge("fill", "tier fill").set(writes / 10)
+    hist = reg.histogram(
+        "latency_seconds", "op latency", buckets=(0.1, 1.0)
+    )
+    for _ in range(writes):
+        hist.observe(0.05)
+    return reg
+
+
+class TestMerge:
+    def test_every_series_gains_the_shard_label(self) -> None:
+        merged = merge_registries(
+            [("0", _shard_registry(3)), ("1", _shard_registry(5))]
+        )
+        assert merged.value("writes_total", tier="ram", shard="0") == 3
+        assert merged.value("writes_total", tier="ram", shard="1") == 5
+        doc = merged.collect()
+        for entry in doc["metrics"].values():
+            assert entry["labels"][-1] == "shard"
+            for series in entry["series"]:
+                assert series["labels"]["shard"] in {"0", "1"}
+
+    def test_histograms_merge_counts_and_sums(self) -> None:
+        merged = merge_registries(
+            [("0", _shard_registry(2)), ("1", _shard_registry(4))]
+        )
+        family = merged.get("latency_seconds")
+        assert family.buckets == (0.1, 1.0)
+        series = {
+            labels["shard"]: s for labels, s in family.series_items()
+        }
+        assert series["0"].count == 2
+        assert series["1"].count == 4
+        assert series["1"].sum == pytest.approx(0.2)
+
+    def test_inputs_are_untouched(self) -> None:
+        reg = _shard_registry(3)
+        before = reg.collect()
+        merge_registries([("0", reg)])
+        assert reg.collect() == before
+
+    def test_custom_label_name(self) -> None:
+        merged = merge_registries(
+            [("a", _shard_registry(1))], label="engine"
+        )
+        assert merged.value("writes_total", tier="ram", engine="a") == 1
+
+    def test_schema_version_is_preserved(self) -> None:
+        merged = merge_registries([("0", _shard_registry(1))])
+        assert merged.collect()["schema"] == "hcompress.metrics.v1"
+
+    def test_label_collision_rejected(self) -> None:
+        reg = MetricsRegistry()
+        reg.counter("c_total", "", ("shard",)).labels(shard="x").inc()
+        with pytest.raises(HCompressError, match="already has"):
+            merge_registries([("0", reg)])
+
+    def test_disjoint_families_union(self) -> None:
+        left = MetricsRegistry()
+        left.counter("only_left_total").inc(1)
+        right = MetricsRegistry()
+        right.counter("only_right_total").inc(2)
+        merged = merge_registries([("0", left), ("1", right)])
+        assert merged.value("only_left_total", shard="0") == 1
+        assert merged.value("only_right_total", shard="1") == 2

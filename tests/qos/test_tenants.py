@@ -1,0 +1,145 @@
+"""Tenant-scoped QoS: class mapping, per-tenant quotas, governor wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TaskShedError
+from repro.qos import AdmissionController, QosClass, QosConfig
+from repro.qos.governor import QosGovernor
+from repro.tiers import StorageHierarchy, ares_specs
+from repro.units import KiB, MiB
+
+
+def _config(**kwargs) -> QosConfig:
+    base = dict(
+        enabled=True,
+        max_backlog_bytes=10 * KiB,
+        shed_soft_fill=0.5,
+        shed_seed=7,
+    )
+    base.update(kwargs)
+    return QosConfig(**base)
+
+
+class TestTenantClasses:
+    def test_mapped_tenant_gets_its_class(self) -> None:
+        config = _config(
+            tenant_classes=(("vip", QosClass.INTERACTIVE),),
+            default_class=QosClass.BEST_EFFORT,
+        )
+        assert config.class_for_tenant("vip") == QosClass.INTERACTIVE
+        assert config.class_for_tenant("other") == QosClass.BEST_EFFORT
+        assert config.class_for_tenant(None) == QosClass.BEST_EFFORT
+
+    def test_duplicate_tenant_mapping_rejected(self) -> None:
+        with pytest.raises(ValueError, match="mapped twice"):
+            _config(
+                tenant_classes=(
+                    ("a", QosClass.BATCH), ("a", QosClass.CRITICAL),
+                )
+            )
+
+    def test_malformed_mapping_rejected(self) -> None:
+        with pytest.raises(ValueError, match="pairs"):
+            _config(tenant_classes=(("a",),))
+
+    def test_quota_fraction_bounds(self) -> None:
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            _config(tenant_quota_fraction=0.0)
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            _config(tenant_quota_fraction=1.5)
+        assert _config(tenant_quota_fraction=1.0).tenant_quota_fraction == 1.0
+
+
+class TestTenantQuota:
+    def _controller(self, **kwargs) -> AdmissionController:
+        return AdmissionController(
+            _config(tenant_quota_fraction=0.3, **kwargs),
+            drain_bytes_per_s=1 * KiB,
+        )
+
+    def test_storming_tenant_hits_its_quota(self) -> None:
+        ctl = self._controller()
+        ctl.admit("t0", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+        with pytest.raises(TaskShedError) as info:
+            ctl.admit("t1", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+        assert info.value.reason == "tenant-quota"
+        assert ctl.shed_by_tenant == {"noisy": 1}
+
+    def test_other_tenants_keep_their_slice(self) -> None:
+        """The quota isolates the storm: a quiet tenant admits at the
+        same fill where the noisy tenant is shed."""
+        ctl = self._controller()
+        ctl.admit("t0", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+        with pytest.raises(TaskShedError):
+            ctl.admit("t1", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+        ctl.admit("t2", 2 * KiB, QosClass.BATCH, now=0.0, tenant="quiet")
+        assert ctl.tenant_bytes == {"noisy": 2 * KiB, "quiet": 2 * KiB}
+
+    def test_protected_class_exempt_from_quota(self) -> None:
+        ctl = self._controller()
+        for i in range(3):
+            ctl.admit(
+                f"t{i}", 2 * KiB, QosClass.CRITICAL, now=0.0, tenant="vip"
+            )
+        assert ctl.shed == 0
+
+    def test_tenant_share_drains_with_the_queue(self) -> None:
+        ctl = self._controller()
+        ctl.admit("t0", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+        # Half the backlog drains; the tenant's share halves with it.
+        assert ctl.fill(1.0) == pytest.approx(0.1)
+        assert ctl.tenant_bytes["noisy"] == pytest.approx(1 * KiB)
+        ctl.admit("t1", 2 * KiB, QosClass.BATCH, now=1.0, tenant="noisy")
+
+    def test_quota_state_survives_export_restore(self) -> None:
+        ctl = self._controller()
+        ctl.admit("t0", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+        with pytest.raises(TaskShedError):
+            ctl.admit("t1", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+        fresh = self._controller()
+        fresh.restore_state(ctl.export_state(), now=0.0)
+        assert fresh.tenant_bytes == ctl.tenant_bytes
+        assert fresh.shed_by_tenant == {"noisy": 1}
+        with pytest.raises(TaskShedError, match="tenant-quota"):
+            fresh.admit("t2", 2 * KiB, QosClass.BATCH, now=0.0, tenant="noisy")
+
+    def test_no_quota_no_tenant_accounting(self) -> None:
+        ctl = AdmissionController(_config(), drain_bytes_per_s=1 * KiB)
+        ctl.admit("t0", 4 * KiB, QosClass.BATCH, now=0.0, tenant="a")
+        assert ctl.tenant_bytes == {}
+
+
+class TestGovernorWiring:
+    def _governor(self, **kwargs) -> QosGovernor:
+        specs = ares_specs(16 * MiB, 32 * MiB, 256 * MiB, nodes=2)
+        return QosGovernor(
+            _config(**kwargs), StorageHierarchy.from_specs(specs)
+        )
+
+    def test_tenant_class_applies_when_no_explicit_class(self) -> None:
+        gov = self._governor(
+            tenant_classes=(("vip", QosClass.CRITICAL),),
+            default_class=QosClass.BEST_EFFORT,
+        )
+        # Past hard overload: best-effort sheds, the vip tenant's
+        # configured CRITICAL class sails through.
+        gov.admission.backlog_bytes = 11 * KiB
+        with pytest.raises(TaskShedError):
+            gov.admit("t0", 1 * KiB, None, tenant="anon")
+        gov.admit("t1", 1 * KiB, None, tenant="vip")
+
+    def test_explicit_class_beats_tenant_mapping(self) -> None:
+        gov = self._governor(tenant_classes=(("vip", QosClass.CRITICAL),))
+        gov.admission.backlog_bytes = 11 * KiB
+        with pytest.raises(TaskShedError) as info:
+            gov.admit("t0", 1 * KiB, QosClass.BEST_EFFORT, tenant="vip")
+        assert info.value.qos_class == int(QosClass.BEST_EFFORT)
+
+    def test_quota_threads_through_the_governor(self) -> None:
+        gov = self._governor(tenant_quota_fraction=0.3)
+        gov.admit("t0", 2 * KiB, QosClass.BATCH, tenant="noisy")
+        with pytest.raises(TaskShedError, match="tenant-quota"):
+            gov.admit("t1", 2 * KiB, QosClass.BATCH, tenant="noisy")
+        assert gov.admission.shed_by_tenant == {"noisy": 1}

@@ -1,0 +1,91 @@
+"""ShardConfig validation and tier-budget splitting invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import ShardConfig, shard_dirname, split_tier_specs
+from repro.tiers import ares_specs
+from repro.units import GiB, MiB
+
+
+SPECS = ares_specs(16 * GiB, 32 * GiB, 64 * GiB, nodes=16)
+
+
+class TestShardConfig:
+    def test_defaults_are_feature_off(self) -> None:
+        config = ShardConfig()
+        assert config.shards == 1
+        assert config.directory is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"virtual_nodes": 0},
+            {"failure_threshold": 0},
+            {"heartbeat_timeout": 0.0},
+            {"heartbeat_timeout": -1.0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs) -> None:
+        with pytest.raises(ValueError):
+            ShardConfig(**kwargs)
+
+    def test_shard_directory_layout(self, tmp_path) -> None:
+        config = ShardConfig(shards=3, directory=tmp_path)
+        assert config.shard_directory(2) == tmp_path / "shard-02"
+        assert ShardConfig().shard_directory(0) is None
+
+    def test_dirnames_sort_in_shard_order(self) -> None:
+        names = [shard_dirname(i) for i in range(12)]
+        assert names == sorted(names)
+
+
+class TestSplitTierSpecs:
+    def test_single_shard_is_identity(self) -> None:
+        assert split_tier_specs(SPECS, 0, 1) == tuple(SPECS)
+
+    @pytest.mark.parametrize("shards", [2, 3, 7, 8])
+    def test_capacity_and_lanes_conserved(self, shards) -> None:
+        """The slices partition the deployment exactly: capacities and
+        lanes sum back to the original (lanes may exceed it only via the
+        at-least-one-lane floor)."""
+        slices = [
+            split_tier_specs(SPECS, index, shards) for index in range(shards)
+        ]
+        for tier_index, spec in enumerate(SPECS):
+            parts = [s[tier_index] for s in slices]
+            if spec.capacity is not None:
+                assert sum(p.capacity for p in parts) == spec.capacity
+            else:
+                assert all(p.capacity is None for p in parts)
+            if spec.lanes >= shards:
+                assert sum(p.lanes for p in parts) == spec.lanes
+            assert all(p.lanes >= 1 for p in parts)
+
+    def test_bandwidth_divides_evenly(self) -> None:
+        for index in range(4):
+            for tier_index, spec in enumerate(SPECS):
+                part = split_tier_specs(SPECS, index, 4)[tier_index]
+                assert part.bandwidth == pytest.approx(spec.bandwidth / 4)
+
+    def test_latency_and_shared_pass_through(self) -> None:
+        for tier_index, spec in enumerate(SPECS):
+            part = split_tier_specs(SPECS, 1, 4)[tier_index]
+            assert part.latency == spec.latency
+            assert part.shared == spec.shared
+            assert part.name == spec.name
+
+    def test_remainder_goes_to_low_indices(self) -> None:
+        specs = split_tier_specs(
+            ares_specs(10 * MiB + 3, 8 * MiB, 8 * MiB, nodes=4), 0, 4
+        )
+        # 10 MiB + 3 over 4 shards: shard 0 gets the +1 remainder byte.
+        assert specs[0].capacity == (10 * MiB + 3) // 4 + 1
+
+    def test_rejects_out_of_range_index(self) -> None:
+        with pytest.raises(ValueError):
+            split_tier_specs(SPECS, 4, 4)
+        with pytest.raises(ValueError):
+            split_tier_specs(SPECS, -1, 4)

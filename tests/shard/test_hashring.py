@@ -1,0 +1,84 @@
+"""Consistent-hash ring: determinism, distribution, stability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hashing import stable_str_hash
+from repro.shard import ConsistentHashRing
+
+
+KEYS = [f"tenant-{i}" for i in range(256)]
+
+
+class TestRouting:
+    def test_single_shard_routes_everything_to_zero(self) -> None:
+        ring = ConsistentHashRing(1)
+        assert {ring.route(k) for k in KEYS} == {0}
+
+    def test_routes_are_in_range(self) -> None:
+        ring = ConsistentHashRing(5)
+        assert all(0 <= ring.route(k) < 5 for k in KEYS)
+
+    def test_same_parameters_same_routing(self) -> None:
+        a = ConsistentHashRing(8, 64, seed=3)
+        b = ConsistentHashRing(8, 64, seed=3)
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_seed_changes_layout(self) -> None:
+        a = ConsistentHashRing(8, 64, seed=0)
+        b = ConsistentHashRing(8, 64, seed=1)
+        assert [a.route(k) for k in KEYS] != [b.route(k) for k in KEYS]
+
+    def test_routing_is_stable_hash_not_builtin(self) -> None:
+        """The ring must derive from the seeded stable hash — the
+        builtin ``hash()`` is salted per process and would scatter keys
+        differently under every ``PYTHONHASHSEED``."""
+        ring = ConsistentHashRing(4, 8, seed=7)
+        point = stable_str_hash("tenant-0", 7)
+        # Re-derive the expected owner from first principles.
+        points = sorted(
+            (stable_str_hash(f"{s}:{v}", 7), s)
+            for s in range(4)
+            for v in range(8)
+        )
+        expected = next(
+            (owner for p, owner in points if p > point), points[0][1]
+        )
+        assert ring.route("tenant-0") == expected
+
+
+class TestDistribution:
+    def test_every_shard_gets_keys(self) -> None:
+        ring = ConsistentHashRing(8, 64)
+        counts = ring.distribution(KEYS)
+        assert set(counts) == set(range(8))
+        assert all(count > 0 for count in counts.values())
+        assert sum(counts.values()) == len(KEYS)
+
+    def test_balance_within_ring_imbalance(self) -> None:
+        """With enough keys the hottest shard stays within ~3x of the
+        mean — the property the scale-out bench's 3x floor rests on."""
+        ring = ConsistentHashRing(8, 64)
+        counts = ring.distribution(KEYS)
+        assert max(counts.values()) <= 3 * (len(KEYS) / 8)
+
+    def test_growth_moves_few_keys(self) -> None:
+        """Consistent hashing: adding one shard re-homes a minority of
+        the keyspace, not most of it."""
+        before = ConsistentHashRing(4, 64)
+        after = ConsistentHashRing(5, 64)
+        moved = sum(
+            1 for k in KEYS if before.route(k) != after.route(k)
+        )
+        assert moved < len(KEYS) // 2
+
+
+class TestValidation:
+    def test_rejects_zero_shards(self) -> None:
+        with pytest.raises(ValueError):
+            ConsistentHashRing(0)
+
+    def test_rejects_zero_virtual_nodes(self) -> None:
+        with pytest.raises(ValueError):
+            ConsistentHashRing(2, 0)

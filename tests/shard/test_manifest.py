@@ -1,0 +1,104 @@
+"""Shard-map manifest: atomic persistence, versioning, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    HCompressError,
+    RecoveryError,
+    ShardError,
+    ShardManifestError,
+)
+from repro.shard import (
+    MANIFEST_NAME,
+    ShardManifest,
+    read_manifest,
+    write_manifest,
+)
+
+
+def _manifest(shards: int = 4) -> ShardManifest:
+    return ShardManifest.initial(shards, virtual_nodes=64, hash_seed=0)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path) -> None:
+        manifest = _manifest()
+        path = write_manifest(tmp_path, manifest)
+        assert path == tmp_path / MANIFEST_NAME
+        assert read_manifest(tmp_path) == manifest
+
+    def test_no_tmp_file_left_behind(self, tmp_path) -> None:
+        write_manifest(tmp_path, _manifest())
+        assert list(tmp_path.iterdir()) == [tmp_path / MANIFEST_NAME]
+
+    def test_initial_layout(self) -> None:
+        manifest = _manifest(3)
+        assert manifest.version == 1
+        assert manifest.statuses == {0: "UP", 1: "UP", 2: "UP"}
+        assert manifest.directories == {
+            0: "shard-00", 1: "shard-01", 2: "shard-02"
+        }
+
+
+class TestVersioning:
+    def test_with_status_bumps_version(self) -> None:
+        manifest = _manifest().with_status(2, "DOWN")
+        assert manifest.version == 2
+        assert manifest.statuses[2] == "DOWN"
+        assert manifest.statuses[0] == "UP"
+
+    def test_stale_version_rejected(self, tmp_path) -> None:
+        write_manifest(tmp_path, _manifest())
+        with pytest.raises(ShardManifestError, match="stale"):
+            read_manifest(tmp_path, min_version=2)
+
+    def test_reader_accepts_equal_version(self, tmp_path) -> None:
+        write_manifest(tmp_path, _manifest().with_status(0, "DOWN"))
+        assert read_manifest(tmp_path, min_version=2).version == 2
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path) -> None:
+        with pytest.raises(ShardManifestError, match="no shard manifest"):
+            read_manifest(tmp_path)
+
+    def test_malformed_json(self, tmp_path) -> None:
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(ShardManifestError, match="unreadable"):
+            read_manifest(tmp_path)
+
+    def test_missing_fields(self, tmp_path) -> None:
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": 1}))
+        with pytest.raises(ShardManifestError, match="malformed"):
+            read_manifest(tmp_path)
+
+    def test_unknown_format(self, tmp_path) -> None:
+        raw = _manifest().to_dict()
+        raw["format"] = 99
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps(raw))
+        with pytest.raises(ShardManifestError, match="format"):
+            read_manifest(tmp_path)
+
+    def test_invalid_status_value(self) -> None:
+        with pytest.raises(ShardManifestError):
+            ShardManifest(
+                version=1, shards=2, virtual_nodes=1, hash_seed=0,
+                statuses={0: "SIDEWAYS"},
+            )
+
+    def test_status_for_unknown_shard(self) -> None:
+        with pytest.raises(ShardManifestError):
+            ShardManifest(
+                version=1, shards=2, virtual_nodes=1, hash_seed=0,
+                statuses={5: "UP"},
+            )
+
+    def test_manifest_error_taxonomy(self) -> None:
+        """Manifest failures are both shard- and recovery-class errors."""
+        assert issubclass(ShardManifestError, ShardError)
+        assert issubclass(ShardManifestError, RecoveryError)
+        assert issubclass(ShardManifestError, HCompressError)

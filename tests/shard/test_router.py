@@ -1,0 +1,276 @@
+"""ShardedHCompress: routing, feature-off identity, failure domains,
+failover, and deterministic shutdown."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import HCompress, HCompressConfig
+from repro.errors import (
+    HCompressError,
+    ShardUnavailableError,
+    TierUnavailableError,
+)
+from repro.shard import ShardConfig, ShardedHCompress
+from repro.tiers import StorageHierarchy, ares_specs
+from repro.units import GiB, MiB
+
+
+def _specs(scale: int = 1):
+    return ares_specs(
+        16 * MiB * scale, 32 * MiB * scale, 1 * GiB * scale,
+        nodes=2 * scale,
+    )
+
+
+def _sharded(seed, shards: int, **kwargs) -> ShardedHCompress:
+    return ShardedHCompress(
+        _specs(max(1, shards)),
+        shard_config=ShardConfig(shards=shards, **kwargs),
+        seed=seed,
+    )
+
+
+def _tenant_on(sharded: ShardedHCompress, shard_id: int) -> str:
+    """Some tenant the ring routes to ``shard_id``."""
+    for t in range(256):
+        if sharded.ring.route(f"tenant-{t}") == shard_id:
+            return f"tenant-{t}"
+    raise AssertionError(f"no tenant routes to shard {shard_id}")
+
+
+class TestFeatureOffIdentity:
+    def test_single_shard_matches_unsharded_engine(self, seed,
+                                                   gamma_f64) -> None:
+        """``shards=1`` must be byte-identical to a plain engine: same
+        schemas, same stored bytes, same catalog."""
+        plain = HCompress(
+            StorageHierarchy.from_specs(_specs()), seed=seed
+        )
+        sharded = ShardedHCompress(_specs(), seed=seed)
+        assert sharded.shards == 1
+        snapshots = []
+        for engine in (plain, sharded):
+            results = [
+                engine.compress(gamma_f64, task_id=f"t{i}")
+                for i in range(4)
+            ]
+            snapshots.append((
+                [tuple((p.plan.codec, p.tier, p.stored_size)
+                       for p in r.pieces) for r in results],
+                [r.total_stored for r in results],
+            ))
+        assert snapshots[0] == snapshots[1]
+        assert (
+            sharded.engines[0].manager.catalog_snapshot()
+            == plain.manager.catalog_snapshot()
+        )
+        for engine in (plain, sharded):
+            assert engine.decompress("t2").data == gamma_f64
+        plain.close()
+        sharded.close()
+
+    def test_single_shard_keeps_unsplit_specs(self, seed) -> None:
+        sharded = ShardedHCompress(_specs(), seed=seed)
+        specs = _specs()
+        hierarchy = sharded.hierarchies[0]
+        for spec in specs:
+            tier = hierarchy.by_name(spec.name)
+            assert tier.spec.capacity == spec.capacity
+            assert tier.spec.bandwidth == spec.bandwidth
+        sharded.close()
+
+
+class TestRouting:
+    def test_tenant_pins_all_tasks_to_one_shard(self, seed,
+                                                gamma_f64) -> None:
+        sharded = _sharded(seed, 4)
+        tenant = _tenant_on(sharded, sharded.ring.route("tenant-0"))
+        home = sharded.ring.route(tenant)
+        for i in range(3):
+            sharded.compress(gamma_f64, task_id=f"w{i}", tenant=tenant)
+        counts = sharded.task_count_by_shard()
+        assert counts[home] == 3
+        assert sum(counts.values()) == 3
+        sharded.close()
+
+    def test_reads_route_to_the_owner(self, seed, gamma_f64) -> None:
+        """A write routed by tenant must read back by task id alone —
+        the owner map outlives the routing key."""
+        sharded = _sharded(seed, 4)
+        sharded.compress(gamma_f64, task_id="w0", tenant="tenant-5")
+        assert sharded.decompress("w0").data == gamma_f64
+        sharded.close()
+
+    def test_distinct_tenants_spread_over_shards(self, seed,
+                                                 gamma_f64) -> None:
+        sharded = _sharded(seed, 4)
+        for t in range(16):
+            sharded.compress(
+                gamma_f64, task_id=f"w{t}", tenant=f"tenant-{t}"
+            )
+        counts = sharded.task_count_by_shard()
+        assert sum(counts.values()) == 16
+        assert sum(1 for count in counts.values() if count > 0) >= 2
+        sharded.close()
+
+
+class TestFailureDomains:
+    def test_kill_isolates_exactly_the_owned_tenants(self, seed,
+                                                     gamma_f64) -> None:
+        sharded = _sharded(seed, 4)
+        victim = sharded.ring.route("tenant-0")
+        survivor_tenant = _tenant_on(
+            sharded, next(s for s in range(4) if s != victim)
+        )
+        sharded.kill_shard(victim)
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            sharded.compress(gamma_f64, task_id="w0", tenant="tenant-0")
+        assert excinfo.value.shard_id == victim
+        assert isinstance(excinfo.value, TierUnavailableError)
+        # Other tenants never notice.
+        sharded.compress(gamma_f64, task_id="w1", tenant=survivor_tenant)
+        assert sharded.decompress("w1").data == gamma_f64
+        sharded.close()
+
+    def test_kill_fails_reads_for_owned_tasks_only(self, seed,
+                                                   gamma_f64) -> None:
+        sharded = _sharded(seed, 4)
+        victim = sharded.ring.route("tenant-0")
+        survivor_tenant = _tenant_on(
+            sharded, next(s for s in range(4) if s != victim)
+        )
+        sharded.compress(gamma_f64, task_id="dead", tenant="tenant-0")
+        sharded.compress(gamma_f64, task_id="alive", tenant=survivor_tenant)
+        sharded.kill_shard(victim)
+        with pytest.raises(ShardUnavailableError):
+            sharded.decompress("dead")
+        assert sharded.decompress("alive").data == gamma_f64
+        sharded.close()
+
+    def test_survivors_unperturbed_by_the_kill(self, seed,
+                                               gamma_f64) -> None:
+        """A surviving shard's engine state matches a run where the kill
+        never happened — the failure leaves no trace outside its domain."""
+        outcomes = []
+        for kill in (False, True):
+            sharded = _sharded(seed, 4)
+            victim = sharded.ring.route("tenant-0")
+            survivor = next(s for s in range(4) if s != victim)
+            tenant = _tenant_on(sharded, survivor)
+            results = []
+            for i in range(4):
+                if kill and i == 2:
+                    sharded.kill_shard(victim)
+                results.append(
+                    sharded.compress(
+                        gamma_f64, task_id=f"w{i}", tenant=tenant
+                    )
+                )
+            engine = sharded.engines[survivor]
+            outcomes.append((
+                [tuple((p.plan.codec, p.tier, p.stored_size)
+                       for p in r.pieces) for r in results],
+                engine.manager.catalog_snapshot(),
+                engine.engine.stats.tasks_planned,
+            ))
+            sharded.close()
+        assert outcomes[0] == outcomes[1]
+
+
+class TestFailover:
+    def test_restore_shard_from_own_journal(self, seed, gamma_f64,
+                                            tmp_path) -> None:
+        sharded = ShardedHCompress(
+            _specs(4),
+            shard_config=ShardConfig(shards=4, directory=tmp_path),
+            seed=seed,
+        )
+        victim = sharded.ring.route("tenant-0")
+        sharded.compress(gamma_f64, task_id="w0", tenant="tenant-0")
+        sharded.checkpoint()
+        sharded.compress(gamma_f64, task_id="w1", tenant="tenant-0")
+        sharded.kill_shard(victim)
+        with pytest.raises(ShardUnavailableError):
+            sharded.decompress("w0")
+        engine = sharded.restore_shard(victim)
+        # The post-checkpoint write replays from the journal suffix.
+        assert engine.recovery_report.records_replayed >= 1
+        assert sharded.decompress("w0").data == gamma_f64
+        assert sharded.decompress("w1").data == gamma_f64
+        # And the shard serves new traffic again.
+        sharded.compress(gamma_f64, task_id="w2", tenant="tenant-0")
+        sharded.close()
+
+    def test_manifest_tracks_transitions(self, seed, gamma_f64,
+                                         tmp_path) -> None:
+        sharded = ShardedHCompress(
+            _specs(2),
+            shard_config=ShardConfig(shards=2, directory=tmp_path),
+            seed=seed,
+        )
+        assert sharded.verify_manifest().version == 1
+        sharded.compress(gamma_f64, task_id="w0", tenant="tenant-0")
+        sharded.checkpoint()  # restore needs a snapshot to start from
+        victim = sharded.ring.route("tenant-0")
+        sharded.kill_shard(victim)
+        manifest = sharded.verify_manifest()
+        assert manifest.version == 2
+        assert manifest.statuses[victim] == "DOWN"
+        sharded.restore_shard(victim)
+        manifest = sharded.verify_manifest()
+        assert manifest.version == 3
+        assert manifest.statuses[victim] == "UP"
+        sharded.close()
+
+    def test_restore_without_directory_refuses(self, seed) -> None:
+        sharded = _sharded(seed, 2)
+        sharded.kill_shard(0)
+        with pytest.raises(HCompressError, match="deployment directory"):
+            sharded.restore_shard(0)
+        sharded.close()
+
+
+class TestDeterministicShutdown:
+    @staticmethod
+    def _pool_threads() -> list:
+        return [
+            t for t in threading.enumerate()
+            if t.name.startswith("hcompress-piece") and t.is_alive()
+        ]
+
+    def test_close_joins_every_shards_pool(self, seed, gamma_f64) -> None:
+        sharded = _sharded(seed, 3)
+        for shard_id in range(3):
+            # Workers spawn lazily on submit; force one per shard so
+            # there are threads to leak.
+            sharded.engines[shard_id].manager._executor().submit(
+                lambda: None
+            ).result()
+        assert self._pool_threads()
+        sharded.close()
+        assert self._pool_threads() == []
+
+    def test_close_twice_is_idempotent(self, seed, gamma_f64) -> None:
+        sharded = _sharded(seed, 2)
+        sharded.compress(gamma_f64, task_id="w0")
+        sharded.close()
+        sharded.close()  # must not raise
+        with pytest.raises(HCompressError, match="closed"):
+            sharded.compress(gamma_f64, task_id="w1")
+
+    def test_kill_then_close_leaks_nothing(self, seed, gamma_f64) -> None:
+        sharded = _sharded(seed, 2)
+        sharded.compress(gamma_f64, task_id="w0", tenant="tenant-0")
+        sharded.kill_shard(sharded.ring.route("tenant-0"))
+        sharded.close()
+        assert self._pool_threads() == []
+
+    def test_context_manager_closes(self, seed, gamma_f64) -> None:
+        with _sharded(seed, 2) as sharded:
+            sharded.compress(gamma_f64, task_id="w0")
+        assert self._pool_threads() == []
+        with pytest.raises(HCompressError):
+            sharded.compress(gamma_f64, task_id="w1")

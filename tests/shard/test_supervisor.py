@@ -1,0 +1,121 @@
+"""Shard supervisor: health transitions, fail-fast gating, sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ShardUnavailableError, TierUnavailableError
+from repro.shard import ShardConfig, ShardSupervisor
+
+
+def _supervisor(clock=None, **kwargs) -> ShardSupervisor:
+    return ShardSupervisor(ShardConfig(shards=3, **kwargs), clock=clock)
+
+
+class TestGating:
+    def test_all_up_initially(self) -> None:
+        sup = _supervisor()
+        assert sup.up_shards() == (0, 1, 2)
+        for shard_id in range(3):
+            sup.ensure_up(shard_id)  # must not raise
+
+    def test_ensure_up_fails_fast_with_context(self) -> None:
+        sup = _supervisor()
+        sup.mark_down(1, "killed")
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            sup.ensure_up(1)
+        assert excinfo.value.shard_id == 1
+        assert excinfo.value.reason == "killed"
+        # Typed into the existing unavailability family.
+        assert isinstance(excinfo.value, TierUnavailableError)
+
+    def test_other_shards_unaffected(self) -> None:
+        sup = _supervisor()
+        sup.mark_down(1, "killed")
+        sup.ensure_up(0)
+        sup.ensure_up(2)
+        assert sup.up_shards() == (0, 2)
+
+
+class TestOutcomeThreshold:
+    def test_consecutive_failures_trip(self) -> None:
+        sup = _supervisor(failure_threshold=3)
+        for _ in range(2):
+            sup.record_outcome(0, ok=False)
+        assert sup.is_up(0)
+        sup.record_outcome(0, ok=False)
+        assert not sup.is_up(0)
+        assert sup.health[0].reason == "3 consecutive failures"
+
+    def test_success_resets_the_count(self) -> None:
+        sup = _supervisor(failure_threshold=3)
+        sup.record_outcome(0, ok=False)
+        sup.record_outcome(0, ok=False)
+        sup.record_outcome(0, ok=True)
+        sup.record_outcome(0, ok=False)
+        sup.record_outcome(0, ok=False)
+        assert sup.is_up(0)
+
+    def test_failures_do_not_leak_across_shards(self) -> None:
+        sup = _supervisor(failure_threshold=2)
+        sup.record_outcome(0, ok=False)
+        sup.record_outcome(1, ok=False)
+        assert sup.is_up(0) and sup.is_up(1)
+
+
+class TestHeartbeatSweep:
+    def test_expired_heartbeat_goes_down(self) -> None:
+        # init + heartbeat read 0.0; the sweep and its transitions read 5.0.
+        times = iter([0.0, 0.0] + [5.0] * 16)
+        sup = _supervisor(clock=lambda: next(times), heartbeat_timeout=2.0)
+        sup.record_outcome(0, ok=True)  # heartbeat at 0.0
+        assert sup.sweep() == (0, 1, 2)
+        assert sup.up_shards() == ()
+
+    def test_fresh_heartbeat_survives_sweep(self) -> None:
+        clock = [0.0]
+        sup = _supervisor(clock=lambda: clock[0], heartbeat_timeout=2.0)
+        clock[0] = 1.5
+        sup.record_outcome(1, ok=True)
+        clock[0] = 3.0
+        assert sup.sweep() == (0, 2)
+        assert sup.up_shards() == (1,)
+
+    def test_no_timeout_no_sweep(self) -> None:
+        sup = _supervisor()  # heartbeat_timeout=None
+        assert sup.sweep() == ()
+
+
+class TestTransitions:
+    def test_mark_down_idempotent(self) -> None:
+        sup = _supervisor()
+        sup.mark_down(0, "killed")
+        sup.mark_down(0, "killed again")
+        assert len(sup.trace) == 1
+        assert sup.health[0].reason == "killed"
+
+    def test_mark_up_restores_clean_health(self) -> None:
+        sup = _supervisor(failure_threshold=2)
+        sup.record_outcome(2, ok=False)
+        sup.record_outcome(2, ok=False)
+        assert not sup.is_up(2)
+        sup.mark_up(2)
+        assert sup.is_up(2)
+        assert sup.health[2].consecutive_failures == 0
+        sup.mark_up(2)  # idempotent
+        assert [event[0] for event in sup.trace] == ["DOWN", "UP"]
+
+    def test_trace_format_and_callback(self) -> None:
+        events = []
+        sup = ShardSupervisor(
+            ShardConfig(shards=2),
+            clock=lambda: 1.25,
+            on_transition=lambda *event: events.append(event),
+        )
+        sup.mark_down(1, "killed")
+        sup.mark_up(1)
+        assert sup.trace == [
+            ("DOWN", 1.25, 1, "killed"),
+            ("UP", 1.25, 1, "restored"),
+        ]
+        assert events == sup.trace

@@ -61,3 +61,53 @@ def test_catch_all_pattern() -> None:
     """Library consumers can catch the whole family in one clause."""
     with pytest.raises(errors.HCompressError):
         raise errors.PlacementError("nope")
+
+
+class TestShardTaxonomy:
+    """The ShardError family (ISSUE 6): typed unavailability that slots
+    into the existing TierError / RecoveryError handling."""
+
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ShardError,
+            errors.ShardUnavailableError,
+            errors.ShardManifestError,
+        ],
+    )
+    def test_derives_from_base(self, exc) -> None:
+        assert issubclass(exc, errors.HCompressError)
+        assert issubclass(exc, errors.ShardError)
+
+    def test_shard_unavailable_is_tier_unavailable(self) -> None:
+        """Callers already handling tier unavailability (failover,
+        degraded replan) absorb a dead shard without new except clauses."""
+        assert issubclass(
+            errors.ShardUnavailableError, errors.TierUnavailableError
+        )
+        assert issubclass(errors.ShardUnavailableError, errors.TierError)
+
+    def test_shard_unavailable_carries_context(self) -> None:
+        exc = errors.ShardUnavailableError(
+            "shard 3 is down", shard_id=3, reason="killed"
+        )
+        assert exc.shard_id == 3
+        assert exc.reason == "killed"
+        assert str(exc) == "shard 3 is down"
+
+    def test_shard_unavailable_default_context(self) -> None:
+        exc = errors.ShardUnavailableError("down")
+        assert exc.shard_id == -1
+        assert exc.reason == ""
+
+    def test_manifest_error_is_recovery_error(self) -> None:
+        """A broken shard map blocks restore — recovery tooling that
+        catches RecoveryError must see it."""
+        assert issubclass(errors.ShardManifestError, errors.RecoveryError)
+
+    def test_shard_errors_are_not_qos_errors(self) -> None:
+        """Unavailability is a failure; QosError is a policy verdict.
+        The two families must stay disjoint (the supervisor counts
+        QosError as a healthy outcome)."""
+        for exc in (errors.ShardUnavailableError, errors.ShardManifestError):
+            assert not issubclass(exc, errors.QosError)
