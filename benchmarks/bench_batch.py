@@ -1,0 +1,300 @@
+"""Batched hot-path bench: compress_batch vs the cached per-task path.
+
+Drives the fig-7-shaped VPIC checkpoint burst (one shared 64 KiB sample,
+8 MiB modeled slabs) through one engine per submission mode, both warmed
+to steady state (plan cache hot, burst lane established, feedback
+cadence pushed out of the measurement window). The metric is wall-clock
+tasks/second over the burst; each mode takes the **best of several
+rounds** because the per-task figure is allocator/CPU-noise sensitive at
+tens of microseconds per task.
+
+The committed baseline in ``BENCH_batch.json`` gates CI: the batch path
+must stay >= ``MIN_SPEEDUP_CI`` (3x) over per-task on any runner, and
+>= ``MIN_SPEEDUP`` (5x) locally / in the committed baseline. The report
+also records a cache-line-codec selection trace: with the extended
+library roster, HCDP must pick ``bdi``/``fpc`` for RAM-tier pieces.
+
+Usage::
+
+    python benchmarks/bench_batch.py --output BENCH_batch.json --strict
+    python benchmarks/bench_batch.py --check BENCH_batch.json \
+        --tolerance 0.3   # CI: 3x floor + regression gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import Counter
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ccp import SeedData
+from repro.codecs import EXTENDED_LIBRARIES, CompressionLibraryPool
+from repro.core import HCompress, HCompressProfiler
+from repro.core.config import HCompressConfig
+from repro.tiers import ares_hierarchy
+from repro.units import KiB, MiB, TiB
+from repro.workloads import vpic_sample
+from repro.workloads.vpic import VPIC_HINTS
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "MIN_SPEEDUP",
+    "MIN_SPEEDUP_CI",
+    "cacheline_selection",
+    "check_report",
+    "generate_report",
+    "run_burst",
+]
+
+#: Fig-7 burst in steady state. ``feedback_every_n`` is pushed beyond the
+#: burst so neither path pays a model refit inside the measurement window
+#: (both paths would pay it identically; it just adds variance).
+DEFAULT_WORKLOAD = {
+    "warmup": 256,
+    "tasks": 2048,
+    "rounds": 5,
+    "sample_kib": 64,
+    "modeled_mib": 8,
+}
+
+#: Local / committed-baseline target (ISSUE 7 acceptance criterion).
+MIN_SPEEDUP = 5.0
+#: CI floor: shared runners are noisy; the gate stays meaningful without
+#: flaking on a slow neighbour.
+MIN_SPEEDUP_CI = 3.0
+
+
+def _bench_seed(libraries: tuple[str, ...] | None = None) -> SeedData:
+    pool = (
+        CompressionLibraryPool(libraries) if libraries is not None else None
+    )
+    profiler = HCompressProfiler(pool, rng=np.random.default_rng(0))
+    return profiler.quick_seed(sizes=(8 * KiB, 32 * KiB))
+
+
+def _build(seed: SeedData, workload: dict) -> HCompress:
+    # PFS capacity far beyond the burst: steady state must not drift into
+    # spill territory mid-measurement.
+    hierarchy = ares_hierarchy(64 * MiB, 128 * MiB, 1 * TiB, nodes=2)
+    config = replace(HCompressConfig(), feedback_every_n=10**6)
+    return HCompress(hierarchy, config, seed=seed)
+
+
+def _items(workload: dict, count: int, tag: str) -> list[dict]:
+    sample = vpic_sample(
+        workload["sample_kib"] * KiB, np.random.default_rng(0)
+    )
+    return [
+        {
+            "data": sample,
+            "hints": VPIC_HINTS,
+            "modeled_size": workload["modeled_mib"] * MiB,
+            "task_id": f"{tag}.{i}",
+        }
+        for i in range(count)
+    ]
+
+
+def run_burst(seed: SeedData, batched: bool, workload: dict) -> dict:
+    """One submission mode: best-of-rounds wall clock over the burst."""
+    tasks = workload["tasks"]
+    rounds = workload["rounds"]
+    walls = []
+    for r in range(rounds):
+        engine = _build(seed, workload)
+        warm = _items(workload, workload["warmup"], "warm")
+        burst = _items(workload, tasks, f"burst{r}")
+        if batched:
+            engine.compress_batch(warm)
+            start = time.perf_counter()
+            results = engine.compress_batch(burst)
+            walls.append(time.perf_counter() - start)
+        else:
+            for item in warm:
+                engine.compress(**item)
+            start = time.perf_counter()
+            results = [engine.compress(**item) for item in burst]
+            walls.append(time.perf_counter() - start)
+        assert len(results) == tasks
+    wall = min(walls)
+    return {
+        "mode": "batch" if batched else "per_task",
+        "tasks": tasks,
+        "rounds": rounds,
+        "batch_size": tasks if batched else 1,
+        "wall_seconds": round(wall, 6),
+        "us_per_task": round(wall / tasks * 1e6, 2),
+        "tasks_per_second": round(tasks / wall, 1),
+    }
+
+
+def cacheline_selection(workload: dict) -> dict:
+    """HCDP's codec choices with the extended roster on a short burst.
+
+    The acceptance trace: at least one RAM-tier piece must be planned
+    onto a cache-line-class codec (``bdi``/``fpc``) — the ~GB/s nominal
+    profiles exist precisely so the DP stops bottlenecking the top tier
+    on byte-LZ.
+    """
+    seed = _bench_seed(EXTENDED_LIBRARIES)
+    config = replace(HCompressConfig(), libraries=EXTENDED_LIBRARIES)
+    engine = HCompress(
+        ares_hierarchy(64 * MiB, 128 * MiB, 1 * TiB, nodes=2),
+        config,
+        seed=seed,
+    )
+    by_tier: Counter = Counter()
+    for item in _items(workload, 128, "sel"):
+        result = engine.compress(**item)
+        for piece in result.schema.pieces:
+            by_tier[(piece.tier, piece.codec)] += 1
+    ram_codecs = sorted(
+        {codec for (tier, codec) in by_tier if tier == "ram"}
+    )
+    return {
+        "libraries": list(EXTENDED_LIBRARIES),
+        "ram_codecs": ram_codecs,
+        "cacheline_on_ram": bool(set(ram_codecs) & {"bdi", "fpc"}),
+        "pieces_by_tier_codec": {
+            f"{tier}/{codec}": count
+            for (tier, codec), count in sorted(by_tier.items())
+        },
+    }
+
+
+def generate_report(workload: dict | None = None) -> dict:
+    workload = dict(DEFAULT_WORKLOAD if workload is None else workload)
+    seed = _bench_seed()
+    per_task = run_burst(seed, batched=False, workload=workload)
+    batch = run_burst(seed, batched=True, workload=workload)
+    speedup = (
+        per_task["wall_seconds"] / batch["wall_seconds"]
+        if batch["wall_seconds"]
+        else None
+    )
+    return {
+        "benchmark": "batch_hot_path_burst",
+        "workload": workload,
+        "per_task": per_task,
+        "batch": batch,
+        "speedup": round(speedup, 2) if speedup else None,
+        "min_speedup": MIN_SPEEDUP,
+        "min_speedup_ci": MIN_SPEEDUP_CI,
+        "cacheline_selection": cacheline_selection(workload),
+    }
+
+
+def check_report(
+    report: dict,
+    baseline: dict | None,
+    tolerance: float,
+    strict: bool = False,
+) -> list[str]:
+    """Return regression errors (empty list = pass)."""
+    errors = []
+    floor = MIN_SPEEDUP if strict else MIN_SPEEDUP_CI
+    speedup = float(report["speedup"] or 0.0)
+    if speedup < floor:
+        errors.append(
+            f"batch speedup {speedup:.2f}x below the {floor:.0f}x floor"
+        )
+    if not report["cacheline_selection"]["cacheline_on_ram"]:
+        errors.append(
+            "HCDP never chose a cache-line codec (bdi/fpc) for a RAM-tier "
+            f"piece; ram codecs: "
+            f"{report['cacheline_selection']['ram_codecs']}"
+        )
+    if baseline is not None:
+        base = float(baseline["speedup"] or 0.0)
+        regress_floor = base * (1.0 - tolerance)
+        if speedup < regress_floor:
+            errors.append(
+                f"batch speedup regressed: {speedup:.2f}x vs baseline "
+                f"{base:.2f}x (floor {regress_floor:.2f}x at tolerance "
+                f"{tolerance:.0%})"
+            )
+    return errors
+
+
+# -- pytest-benchmark wrappers ------------------------------------------------
+
+SMOKE_WORKLOAD = dict(DEFAULT_WORKLOAD, warmup=128, tasks=512, rounds=3)
+
+
+@pytest.mark.parametrize("batched", [False, True], ids=["per_task", "batch"])
+def test_burst_throughput(benchmark, seed, batched) -> None:
+    """Tasks/second of one submission mode over the smoke burst."""
+    run = benchmark.pedantic(
+        run_burst, args=(seed, batched, SMOKE_WORKLOAD), rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info.update(
+        {k: run[k] for k in ("us_per_task", "tasks_per_second", "batch_size")}
+    )
+    assert run["tasks"] == SMOKE_WORKLOAD["tasks"]
+
+
+def test_batch_speedup_floor(benchmark) -> None:
+    """CI criterion on the smoke burst: >= 3x and bdi/fpc on RAM."""
+    report = benchmark.pedantic(
+        generate_report, args=(SMOKE_WORKLOAD,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["speedup"] = report["speedup"]
+    assert check_report(report, None, 1.0) == []
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--check", type=Path, default=None,
+                        help="baseline report to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.3,
+                        help="allowed fractional regression vs baseline")
+    parser.add_argument("--strict", action="store_true",
+                        help=f"enforce the {MIN_SPEEDUP:.0f}x local target "
+                             f"instead of the {MIN_SPEEDUP_CI:.0f}x CI floor")
+    parser.add_argument("--tasks", type=int, default=None)
+    parser.add_argument("--rounds", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    workload = dict(DEFAULT_WORKLOAD)
+    if args.tasks:
+        workload["tasks"] = args.tasks
+    if args.rounds:
+        workload["rounds"] = args.rounds
+
+    report = generate_report(workload)
+    print(
+        f"per-task: {report['per_task']['us_per_task']}us/task "
+        f"({report['per_task']['tasks_per_second']:,.0f}/s)  "
+        f"batch: {report['batch']['us_per_task']}us/task "
+        f"({report['batch']['tasks_per_second']:,.0f}/s)  "
+        f"speedup {report['speedup']}x  "
+        f"ram codecs {report['cacheline_selection']['ram_codecs']}"
+    )
+    if args.output is not None:
+        args.output.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {args.output}")
+
+    baseline = None
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+    errors = check_report(report, baseline, args.tolerance, args.strict)
+    for error in errors:
+        print(f"FAIL: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

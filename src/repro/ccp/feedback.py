@@ -60,6 +60,30 @@ class FeedbackLoop:
             return True
         return False
 
+    def record_run(self, observations, count: int) -> bool:
+        """Record ``count`` repetitions of one task's observations.
+
+        State-identical to ``count`` sequential :meth:`record` passes in
+        task-major order (batch run lanes re-emit one template's
+        observation objects per task). When the whole run fits below the
+        flush cadence the buffer grows in one extend; otherwise each
+        observation records individually so flushes fire at exactly the
+        sequential points. Returns True when any flush fired.
+        """
+        total = len(observations) * count
+        if total == 0:
+            return False
+        if len(self._pending) + total < self.every_n:
+            self._pending.extend(list(observations) * count)
+            self._events += total
+            return False
+        flushed = False
+        for _ in range(count):
+            for observation in observations:
+                if self.record(observation):
+                    flushed = True
+        return flushed
+
     def flush(self) -> int:
         """Push all pending observations into the model; returns the count."""
         count = len(self._pending)

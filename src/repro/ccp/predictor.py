@@ -253,6 +253,46 @@ class CompressionCostPredictor:
         self._table_cache[table_key] = table
         return table
 
+    def prefetch_tables(
+        self,
+        groups: list[tuple[str, str, str, int]],
+        codecs: tuple[str, ...],
+    ) -> int:
+        """Warm the candidate-table cache for many planning groups at once.
+
+        ``groups`` are ``(dtype, data_format, distribution, size)`` tuples
+        — one per distinct (feature key, size bucket) a batch is about to
+        plan. All missing tables are answered with a *single*
+        :meth:`predict_batch` call (one design matrix, one matmul per
+        head) instead of one per group; subsequent
+        :meth:`candidate_table` lookups in the batch then hit the cache.
+        The per-key values are identical to what per-group construction
+        would produce, so warmed tables never change a plan. Returns the
+        number of tables built; cache hit/miss counters are untouched —
+        prefetching is a warm-up, not a lookup.
+        """
+        pending: list[tuple[tuple, tuple[str, str, str, int]]] = []
+        for group in groups:
+            dtype, data_format, distribution, size = group
+            table_key = (dtype, data_format, distribution, size, codecs)
+            if table_key not in self._table_cache:
+                pending.append((table_key, group))
+        if not pending:
+            return 0
+        keys = [
+            ObservationKey(dtype, data_format, distribution, codec, size)
+            for _, (dtype, data_format, distribution, size) in pending
+            for codec in codecs
+        ]
+        eccs = self.predict_batch(keys)
+        width = len(codecs)
+        for n, (table_key, _) in enumerate(pending):
+            table = tuple(eccs[n * width : (n + 1) * width])
+            if len(self._table_cache) >= 1024:
+                self._table_cache.clear()
+            self._table_cache[table_key] = table
+        return len(pending)
+
     # -- online learning (feedback loop target) ---------------------------------
 
     def observe(self, observation: CostObservation) -> None:

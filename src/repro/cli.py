@@ -347,6 +347,7 @@ def _stats_report(engine, config, args, wall: float) -> dict:
     return {
         "burst": {
             "tasks": args.tasks,
+            "batch_size": args.batch_size,
             "modeled_bytes_per_task": args.modeled_kib * KiB,
             "sample_bytes": args.kib * KiB,
             "wall_seconds": wall,
@@ -419,6 +420,7 @@ def _stats_report_sharded(sharded, config, args, wall: float) -> dict:
     return {
         "burst": {
             "tasks": args.tasks,
+            "batch_size": args.batch_size,
             "modeled_bytes_per_task": args.modeled_kib * KiB,
             "sample_bytes": args.kib * KiB,
             "wall_seconds": wall,
@@ -472,10 +474,13 @@ def _print_stats_report(report: dict) -> None:
     plan_cache = report["plan_cache"]
     memo = report["dp_memo"]
     plans = report["plans"]
+    batch = (
+        f" batch={burst['batch_size']}" if burst.get("batch_size", 1) > 1 else ""
+    )
     print(
         f"burst: {burst['tasks']} x "
         f"{fmt_bytes(burst['modeled_bytes_per_task'])} modeled "
-        f"tasks ({fmt_bytes(burst['sample_bytes'])} sample) in "
+        f"tasks ({fmt_bytes(burst['sample_bytes'])} sample){batch} in "
         f"{burst['wall_seconds']:.3f}s "
         f"({burst['tasks_per_second']:,.0f} tasks/s)"
     )
@@ -541,11 +546,23 @@ def _cmd_stats_sharded(args: argparse.Namespace) -> int:
     )
     tenants = max(8, 2 * shards)
     wall = time.perf_counter()
-    for i in range(args.tasks):
-        sharded.compress(
-            data, modeled_size=args.modeled_kib * KiB,
-            task_id=f"stats-{i}", tenant=f"tenant-{i % tenants}",
-        )
+    if args.batch_size > 1:
+        # Per-item tenants route each task exactly like the per-task loop.
+        items = [
+            {
+                "data": data, "modeled_size": args.modeled_kib * KiB,
+                "task_id": f"stats-{i}", "tenant": f"tenant-{i % tenants}",
+            }
+            for i in range(args.tasks)
+        ]
+        for start in range(0, args.tasks, args.batch_size):
+            sharded.compress_batch(items[start:start + args.batch_size])
+    else:
+        for i in range(args.tasks):
+            sharded.compress(
+                data, modeled_size=args.modeled_kib * KiB,
+                task_id=f"stats-{i}", tenant=f"tenant-{i % tenants}",
+            )
     wall = time.perf_counter() - wall
     report = _stats_report_sharded(sharded, config, args, wall)
     sharded.close()
@@ -584,10 +601,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         np.random.default_rng(args.rng_seed),
     )
     wall = time.perf_counter()
-    for i in range(args.tasks):
-        engine.compress(
-            data, modeled_size=args.modeled_kib * KiB, task_id=f"stats-{i}"
-        )
+    if args.batch_size > 1:
+        items = [
+            {
+                "data": data, "modeled_size": args.modeled_kib * KiB,
+                "task_id": f"stats-{i}",
+            }
+            for i in range(args.tasks)
+        ]
+        for start in range(0, args.tasks, args.batch_size):
+            engine.compress_batch(items[start:start + args.batch_size])
+    else:
+        for i in range(args.tasks):
+            engine.compress(
+                data, modeled_size=args.modeled_kib * KiB, task_id=f"stats-{i}"
+            )
     wall = time.perf_counter() - wall
     report = _stats_report(engine, config, args, wall)
     if args.json:
@@ -993,6 +1021,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--distribution", default="gamma")
     p.add_argument("--no-cache", action="store_true",
                    help="disable the plan cache (seed behaviour)")
+    p.add_argument("--batch-size", type=int, default=1,
+                   help="submit the burst through compress_batch in chunks "
+                        "of this many tasks (1: the per-task path)")
     p.add_argument("--shards", type=int, default=1,
                    help="drive a sharded deployment and sum the counters "
                         "(1: the unsharded engine, byte-identical output)")

@@ -14,8 +14,20 @@ from .base import (
     iter_codecs,
     register_codec,
 )
-from .metadata import HEADER_SIZE, SubTaskHeader, unwrap_payload, wrap_payload
-from .pool import PAPER_LIBRARIES, CompressionLibraryPool, MeasuredCost
+from .metadata import (
+    HEADER_SIZE,
+    SubTaskHeader,
+    pack_headers,
+    unpack_headers,
+    unwrap_payload,
+    wrap_payload,
+)
+from .pool import (
+    EXTENDED_LIBRARIES,
+    PAPER_LIBRARIES,
+    CompressionLibraryPool,
+    MeasuredCost,
+)
 from .profiles import (
     DISTRIBUTION_CLASSES,
     NOMINAL_PROFILES,
@@ -38,6 +50,7 @@ from . import pithy_codec  # noqa: F401  (id 9)
 from . import brotli_codec  # noqa: F401  (id 10)
 from . import bsc_codec  # noqa: F401  (id 11)
 from . import rle  # noqa: F401  (id 12)
+from . import cacheline  # noqa: F401  (ids 13-14: bdi, fpc)
 
 __all__ = [
     "Codec",
@@ -45,6 +58,7 @@ __all__ = [
     "CodecProfile",
     "CompressionLibraryPool",
     "DISTRIBUTION_CLASSES",
+    "EXTENDED_LIBRARIES",
     "HEADER_SIZE",
     "MeasuredCost",
     "NOMINAL_PROFILES",
@@ -56,7 +70,9 @@ __all__ = [
     "get_profile",
     "iter_codecs",
     "nominal_duration",
+    "pack_headers",
     "register_codec",
+    "unpack_headers",
     "unwrap_payload",
     "wrap_payload",
 ]

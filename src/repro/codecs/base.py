@@ -49,7 +49,7 @@ class CodecMeta:
     stdlib: bool = False
 
 
-_FAMILIES = {"none", "byte-lz", "entropy", "dictionary", "block-transform"}
+_FAMILIES = {"none", "byte-lz", "entropy", "dictionary", "block-transform", "cacheline"}
 
 
 class Codec(abc.ABC):

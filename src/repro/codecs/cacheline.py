@@ -1,0 +1,325 @@
+"""Cache-line-class codecs for the RAM tier (pool members ``bdi``, ``fpc``).
+
+Hardware memory-compression research (Pekhimenko's base-delta-immediate
+work and frequent-pattern compression) shows that trivially simple word
+codecs reach useful ratios at near-memory bandwidth. That is exactly the
+operating point HCDP needs for the RAM tier, where even "fast" byte-LZ is
+the placement bottleneck: these codecs trade ratio for ~GB/s nominal
+speed (see ``NOMINAL_PROFILES``) so the DP genuinely prefers them for
+top-tier pieces.
+
+Both codecs are fully vectorised with numpy — classification, section
+packing, and reconstruction are whole-array operations with no per-word
+Python loop — and share the common ``(mode, original_size)`` frame with a
+stored fallback for incompressible input.
+
+``bdi`` — base-delta-immediate over aligned words. The buffer is split
+into 64-byte lines; each line stores its first word as the base plus the
+remaining words as narrow signed deltas. Two granularities are tried
+(8-byte words x 8, 4-byte words x 16) and the smaller encoding wins.
+Per-line control codes::
+
+    0   all-zero line                (no payload)
+    1   repeat: every word == base   (base only)
+    2.. base + deltas of width 2**k  (base + wpl-1 narrow words)
+    R   raw line                     (all words verbatim)
+
+Delta arithmetic wraps modulo the word size in both directions, so
+overflow is self-consistent and every line round-trips exactly.
+
+``fpc`` — frequent-pattern compression over 4-byte words. Each word is
+classified into one of seven patterns (zero, sign-extended int8/int16,
+repeated byte, repeated halfword, high-half-only, raw) recorded as a
+nibble prefix; payload bytes are grouped per pattern class for contiguous
+vectorised scatter on decode.
+
+Decode never trusts the declared size before validating section lengths
+against the actual body, so truncated or bit-flipped payloads raise
+:class:`CorruptDataError` instead of over-allocating or leaking numpy
+shape errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CorruptDataError
+from .base import Codec, CodecMeta, ensure_bytes, register_codec
+from .lz77 import MODE_CODED, MODE_STORED, frame_parse, frame_wrap
+
+__all__ = [
+    "BdiCodec",
+    "FpcCodec",
+    "bdi_encode",
+    "bdi_decode",
+    "fpc_encode",
+    "fpc_decode",
+]
+
+_LINE = 64
+
+#: (word dtype, words per 64-byte line, delta dtypes narrow->wide)
+_BDI_GRAINS = (
+    (np.dtype("<i8"), 8, (np.dtype("<i1"), np.dtype("<i2"), np.dtype("<i4"))),
+    (np.dtype("<i4"), 16, (np.dtype("<i1"), np.dtype("<i2"))),
+)
+
+
+def _pad_to(data: bytes, align: int) -> bytes:
+    rem = len(data) % align
+    return data if rem == 0 else data + bytes(align - rem)
+
+
+# -- bdi ----------------------------------------------------------------------
+
+
+def _bdi_encode_grain(padded: bytes, grain: int) -> bytes:
+    """Encode one granularity; returns the body minus the grain flag byte."""
+    word_dtype, wpl, delta_dtypes = _BDI_GRAINS[grain]
+    words = np.frombuffer(padded, dtype=word_dtype).reshape(-1, wpl)
+    base = words[:, 0]
+    deltas = words - base[:, None]  # wrapping subtract; see module docstring
+    raw_code = 2 + len(delta_dtypes)
+
+    conditions = [~words.any(axis=1), ~deltas.any(axis=1)]
+    choices = [0, 1]
+    for k, dt in enumerate(delta_dtypes):
+        info = np.iinfo(dt)
+        conditions.append(((deltas >= info.min) & (deltas <= info.max)).all(axis=1))
+        choices.append(2 + k)
+    codes = np.select(conditions, choices, default=raw_code).astype(np.uint8)
+
+    parts = [codes.tobytes(), base[codes == 1].tobytes()]
+    for k, dt in enumerate(delta_dtypes):
+        mask = codes == 2 + k
+        parts.append(base[mask].tobytes())
+        parts.append(deltas[mask][:, 1:].astype(dt).tobytes())
+    parts.append(words[codes == raw_code].tobytes())
+    return b"".join(parts)
+
+
+def bdi_encode(data: bytes) -> bytes:
+    """Raw BDI body (no frame): grain flag + controls + grouped sections."""
+    if not data:
+        return b""
+    padded = _pad_to(data, _LINE)
+    bodies = [_bdi_encode_grain(padded, g) for g in range(len(_BDI_GRAINS))]
+    grain = min(range(len(bodies)), key=lambda g: len(bodies[g]))
+    return bytes([grain]) + bodies[grain]
+
+
+def bdi_decode(body: bytes, expected_size: int) -> bytes:
+    """Invert :func:`bdi_encode`; malformed input raises CorruptDataError."""
+    if expected_size == 0:
+        if body:
+            raise CorruptDataError("bdi: non-empty body for empty payload")
+        return b""
+    if not body:
+        raise CorruptDataError("bdi: empty body")
+    grain = body[0]
+    if grain >= len(_BDI_GRAINS):
+        raise CorruptDataError(f"bdi: unknown granularity flag {grain}")
+    word_dtype, wpl, delta_dtypes = _BDI_GRAINS[grain]
+    raw_code = 2 + len(delta_dtypes)
+    wsize = word_dtype.itemsize
+
+    nlines = -(-expected_size // _LINE)
+    if len(body) - 1 < nlines:
+        raise CorruptDataError("bdi: truncated control section")
+    codes = np.frombuffer(body, dtype=np.uint8, count=nlines, offset=1)
+    if codes.size and int(codes.max()) > raw_code:
+        raise CorruptDataError(f"bdi: invalid control code {int(codes.max())}")
+    counts = np.bincount(codes, minlength=raw_code + 1)
+
+    expected_body = int(counts[1]) * wsize
+    for k, dt in enumerate(delta_dtypes):
+        expected_body += int(counts[2 + k]) * (wsize + (wpl - 1) * dt.itemsize)
+    expected_body += int(counts[raw_code]) * wsize * wpl
+    if len(body) - 1 - nlines != expected_body:
+        raise CorruptDataError(
+            f"bdi: body length {len(body) - 1 - nlines} != expected {expected_body}"
+        )
+
+    out = np.zeros((nlines, wpl), dtype=word_dtype)
+    pos = 1 + nlines
+
+    idx = np.flatnonzero(codes == 1)
+    if idx.size:
+        bases = np.frombuffer(body, dtype=word_dtype, count=idx.size, offset=pos)
+        out[idx] = bases[:, None]
+        pos += idx.size * wsize
+
+    for k, dt in enumerate(delta_dtypes):
+        idx = np.flatnonzero(codes == 2 + k)
+        if not idx.size:
+            continue
+        bases = np.frombuffer(body, dtype=word_dtype, count=idx.size, offset=pos)
+        pos += idx.size * wsize
+        deltas = np.frombuffer(
+            body, dtype=dt, count=idx.size * (wpl - 1), offset=pos
+        ).reshape(idx.size, wpl - 1)
+        pos += deltas.nbytes
+        out[idx, 0] = bases
+        out[idx, 1:] = bases[:, None] + deltas.astype(word_dtype)  # wrapping add
+
+    idx = np.flatnonzero(codes == raw_code)
+    if idx.size:
+        out[idx] = np.frombuffer(
+            body, dtype=word_dtype, count=idx.size * wpl, offset=pos
+        ).reshape(idx.size, wpl)
+
+    result = out.tobytes()[:expected_size]
+    if len(result) != expected_size:
+        raise CorruptDataError(
+            f"bdi: reconstructed {len(result)} bytes, expected {expected_size}"
+        )
+    return result
+
+
+# -- fpc ----------------------------------------------------------------------
+
+#: Payload bytes per FPC pattern code (code 6 = raw word).
+_FPC_DATA_BYTES = (0, 1, 1, 2, 2, 2, 4)
+_FPC_RAW = 6
+
+
+def fpc_encode(data: bytes) -> bytes:
+    """Raw FPC body (no frame): packed nibble prefixes + grouped sections."""
+    if not data:
+        return b""
+    padded = _pad_to(data, 4)
+    w = np.frombuffer(padded, dtype="<u4")
+    sv = w.view("<i4")
+    low_byte = w & np.uint32(0xFF)
+    low_half = w & np.uint32(0xFFFF)
+    high_half = w >> np.uint32(16)
+    codes = np.select(
+        [
+            w == 0,
+            (sv >= -128) & (sv <= 127),
+            w == low_byte * np.uint32(0x01010101),
+            (sv >= -32768) & (sv <= 32767),
+            low_half == high_half,
+            low_half == 0,
+        ],
+        [0, 1, 2, 3, 4, 5],
+        default=_FPC_RAW,
+    ).astype(np.uint8)
+
+    if codes.size % 2:
+        packed_src = np.append(codes, np.uint8(0))
+    else:
+        packed_src = codes
+    prefix = (packed_src[0::2] | (packed_src[1::2] << np.uint8(4))).tobytes()
+
+    parts = [
+        prefix,
+        sv[codes == 1].astype("<i1").tobytes(),
+        low_byte[codes == 2].astype("<u1").tobytes(),
+        sv[codes == 3].astype("<i2").tobytes(),
+        low_half[codes == 4].astype("<u2").tobytes(),
+        high_half[codes == 5].astype("<u2").tobytes(),
+        w[codes == _FPC_RAW].tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def fpc_decode(body: bytes, expected_size: int) -> bytes:
+    """Invert :func:`fpc_encode`; malformed input raises CorruptDataError."""
+    if expected_size == 0:
+        if body:
+            raise CorruptDataError("fpc: non-empty body for empty payload")
+        return b""
+    nwords = -(-expected_size // 4)
+    nprefix = -(-nwords // 2)
+    if len(body) < nprefix:
+        raise CorruptDataError("fpc: truncated prefix section")
+    packed = np.frombuffer(body, dtype=np.uint8, count=nprefix)
+    unpacked = np.empty(nprefix * 2, dtype=np.uint8)
+    unpacked[0::2] = packed & 0x0F
+    unpacked[1::2] = packed >> 4
+    codes = unpacked[:nwords]
+    if int(codes.max(initial=0)) > _FPC_RAW:
+        raise CorruptDataError(f"fpc: invalid pattern code {int(codes.max())}")
+
+    counts = np.bincount(codes, minlength=_FPC_RAW + 1)
+    expected_body = sum(
+        int(counts[c]) * _FPC_DATA_BYTES[c] for c in range(_FPC_RAW + 1)
+    )
+    if len(body) - nprefix != expected_body:
+        raise CorruptDataError(
+            f"fpc: body length {len(body) - nprefix} != expected {expected_body}"
+        )
+
+    out = np.zeros(nwords, dtype="<u4")
+    outs = out.view("<i4")
+    pos = nprefix
+
+    def _section(code: int, dtype: str) -> np.ndarray:
+        nonlocal pos
+        idx = np.flatnonzero(codes == code)
+        arr = np.frombuffer(body, dtype=dtype, count=idx.size, offset=pos)
+        pos += arr.nbytes
+        return idx, arr
+
+    idx, arr = _section(1, "<i1")
+    outs[idx] = arr.astype("<i4")
+    idx, arr = _section(2, "<u1")
+    out[idx] = arr.astype("<u4") * np.uint32(0x01010101)
+    idx, arr = _section(3, "<i2")
+    outs[idx] = arr.astype("<i4")
+    idx, arr = _section(4, "<u2")
+    out[idx] = arr.astype("<u4") * np.uint32(0x00010001)
+    idx, arr = _section(5, "<u2")
+    out[idx] = arr.astype("<u4") << np.uint32(16)
+    idx, arr = _section(_FPC_RAW, "<u4")
+    out[idx] = arr
+
+    result = out.tobytes()[:expected_size]
+    if len(result) != expected_size:
+        raise CorruptDataError(
+            f"fpc: reconstructed {len(result)} bytes, expected {expected_size}"
+        )
+    return result
+
+
+# -- framed codecs ------------------------------------------------------------
+
+
+class _FramedCachelineCodec(Codec):
+    """Shared frame + stored-fallback shell over a raw body encoder."""
+
+    _encode = staticmethod(lambda data: b"")
+    _decode = staticmethod(lambda body, size: b"")
+
+    def compress(self, data: bytes) -> bytes:
+        data = ensure_bytes(data)
+        body = type(self)._encode(data)
+        if len(body) >= len(data) and len(data) > 0:
+            return frame_wrap(MODE_STORED, len(data), data)
+        return frame_wrap(MODE_CODED, len(data), body)
+
+    def decompress(self, payload: bytes) -> bytes:
+        name = self.meta.name
+        mode, size, body = frame_parse(ensure_bytes(payload, "payload"), name)
+        if mode == MODE_STORED:
+            return bytes(body)
+        return type(self)._decode(body, size)
+
+
+@register_codec
+class BdiCodec(_FramedCachelineCodec):
+    """Base-delta-immediate codec (see module docstring)."""
+
+    meta = CodecMeta(name="bdi", codec_id=13, family="cacheline")
+    _encode = staticmethod(bdi_encode)
+    _decode = staticmethod(bdi_decode)
+
+
+@register_codec
+class FpcCodec(_FramedCachelineCodec):
+    """Frequent-pattern codec (see module docstring)."""
+
+    meta = CodecMeta(name="fpc", codec_id=14, family="cacheline")
+    _encode = staticmethod(fpc_encode)
+    _decode = staticmethod(fpc_decode)

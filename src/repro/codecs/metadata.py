@@ -11,11 +11,21 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from ..errors import SchemaError, UnknownCodecError
-from .base import get_codec
+from .base import codec_ids, get_codec
 
-__all__ = ["SubTaskHeader", "HEADER_SIZE", "wrap_payload", "unwrap_payload"]
+__all__ = [
+    "SubTaskHeader",
+    "HEADER_SIZE",
+    "pack_headers",
+    "unpack_headers",
+    "wrap_payload",
+    "unwrap_payload",
+]
 
 _STRUCT = struct.Struct("<IIII")
 HEADER_SIZE: int = _STRUCT.size
@@ -104,15 +114,65 @@ def wrap_payload(
     return header.pack() + payload, header
 
 
-def unwrap_payload(blob: bytes) -> tuple[bytes, SubTaskHeader]:
+def pack_headers(headers: Sequence[SubTaskHeader]) -> bytes:
+    """Vectorised batch form of :meth:`SubTaskHeader.pack`.
+
+    Byte-compatible with the per-header path: the result equals
+    ``b"".join(h.pack() for h in headers)``. Fields were already validated
+    at header construction, so the whole batch reduces to one ``<u4``
+    array fill and a single ``tobytes()``.
+    """
+    if not headers:
+        return b""
+    arr = np.array(
+        [
+            (h.start_offset, h.length, h.codec_id, h.resulting_size)
+            for h in headers
+        ],
+        dtype="<u4",
+    )
+    return arr.tobytes()
+
+
+def unpack_headers(blobs: Sequence[bytes]) -> list[SubTaskHeader]:
+    """Vectorised batch form of :meth:`SubTaskHeader.unpack`.
+
+    Decodes the leading 16 bytes of every blob with one numpy pass and
+    validates all four header invariants (u32 fields, end-offset
+    overflow, registered codec id) across the whole batch at once. When
+    any blob fails validation the batch falls back to the sequential
+    decoder so the raised :class:`SchemaError` is byte-for-byte the one
+    the per-blob path would have produced for the first bad blob.
+    """
+    if not blobs:
+        return []
+    if any(len(blob) < HEADER_SIZE for blob in blobs):
+        return [SubTaskHeader.unpack(blob) for blob in blobs]
+    joined = b"".join(bytes(blob[:HEADER_SIZE]) for blob in blobs)
+    fields = np.frombuffer(joined, dtype="<u4").reshape(len(blobs), 4)
+    wide = fields.astype(np.int64)
+    known = np.array(codec_ids(), dtype=np.int64)
+    if (wide[:, 0] + wide[:, 1] > _U32_MAX).any() or not np.isin(
+        wide[:, 2], known
+    ).all():
+        return [SubTaskHeader.unpack(blob) for blob in blobs]
+    rows = wide.tolist()
+    return [SubTaskHeader(r[0], r[1], r[2], r[3]) for r in rows]
+
+
+def unwrap_payload(
+    blob: bytes, _header: SubTaskHeader | None = None
+) -> tuple[bytes, SubTaskHeader]:
     """Decode a header-decorated piece back to its original bytes.
 
     The blob must be exactly ``header + payload``: a short blob means the
     payload was truncated, a long one means ``resulting_size`` no longer
     matches the stored bytes — both are typed :class:`SchemaError`s, as is
-    a decompressed length that disagrees with the header.
+    a decompressed length that disagrees with the header. Batch readers
+    pass ``_header`` when they already parsed this blob's header through
+    :func:`unpack_headers`; every payload-level check still runs.
     """
-    header = SubTaskHeader.unpack(blob)
+    header = _header if _header is not None else SubTaskHeader.unpack(blob)
     stored = len(blob) - HEADER_SIZE
     if stored != header.resulting_size:
         raise SchemaError(

@@ -16,7 +16,12 @@ from ..units import MB
 from .base import Codec, get_codec
 from .profiles import CodecProfile, get_profile, nominal_duration
 
-__all__ = ["CompressionLibraryPool", "MeasuredCost", "PAPER_LIBRARIES"]
+__all__ = [
+    "CompressionLibraryPool",
+    "MeasuredCost",
+    "PAPER_LIBRARIES",
+    "EXTENDED_LIBRARIES",
+]
 
 #: The paper's library roster (§IV-G1), in pool order; "none" (id 0) is
 #: always prepended by the pool itself.
@@ -33,6 +38,14 @@ PAPER_LIBRARIES: tuple[str, ...] = (
     "snappy",
     "quicklz",
 )
+
+#: Opt-in roster adding the cache-line-class RAM-tier codecs
+#: (:mod:`repro.codecs.cacheline`). Kept out of :data:`PAPER_LIBRARIES` so
+#: the default feature encoding — and every seeded figure — is unchanged;
+#: engines built with this roster get a matching wider encoder because
+#: :class:`repro.core.hcompress.HCompress` keys its predictor's feature
+#: vocabulary off ``pool.names``.
+EXTENDED_LIBRARIES: tuple[str, ...] = (*PAPER_LIBRARIES, "bdi", "fpc")
 
 
 @dataclass(frozen=True)

@@ -81,6 +81,13 @@ NOMINAL_PROFILES: dict[str, CodecProfile] = {
     p.name: p
     for p in (
         CodecProfile("none", 12000.0, 12000.0, _hints(1.0, 1.0, 1.0, 1.0, 1.0, 1.0)),
+        # Cache-line-class codecs (Pekhimenko BDI/FPC lineage): hardware
+        # proposals run at link rate; as software they are single-pass word
+        # arithmetic, so the nominal table charges them at memory-bandwidth
+        # class speeds — well above every byte-LZ — with modest ratios on
+        # structured numeric data and ~1.0 on high-entropy mantissas.
+        CodecProfile("bdi", 3000.0, 5200.0, _hints(1.0, 1.1, 1.4, 1.6, 1.0, 55.0)),
+        CodecProfile("fpc", 2600.0, 4600.0, _hints(1.0, 1.1, 1.3, 1.5, 1.0, 7.5)),
         CodecProfile("lz4", 730.0, 3700.0, _hints(1.0, 1.3, 1.5, 1.6, 2.1, 50.0)),
         CodecProfile("pithy", 650.0, 2000.0, _hints(1.0, 1.2, 1.4, 1.5, 1.9, 40.0)),
         CodecProfile("lzo", 630.0, 800.0, _hints(1.0, 1.3, 1.5, 1.6, 2.0, 45.0)),

@@ -22,7 +22,14 @@ from pathlib import Path
 import numpy as np
 
 from ..analyzer import InputAnalyzer, MetadataHints
-from ..ccp import CompressionCostPredictor, FeedbackLoop, SeedData, load_seed, save_seed
+from ..ccp import (
+    CompressionCostPredictor,
+    FeatureEncoder,
+    FeedbackLoop,
+    SeedData,
+    load_seed,
+    save_seed,
+)
 from ..codecs.pool import CompressionLibraryPool
 from ..errors import (
     CapacityError,
@@ -179,7 +186,13 @@ class HCompress:
             interval=self.config.monitor_interval,
             capacity_bands=self.config.plan_cache.capacity_bands,
         )
-        self.predictor = CompressionCostPredictor()
+        # The predictor's feature vocabulary is keyed off the pool roster,
+        # so non-default rosters (e.g. EXTENDED_LIBRARIES with the
+        # cache-line codecs) get interaction terms for every member. For
+        # the default roster this encoder is identical to the default one.
+        self.predictor = CompressionCostPredictor(
+            FeatureEncoder(codecs=self.pool.names)
+        )
         if seed is None:
             if self.config.seed_path is not None:
                 seed = load_seed(self.config.seed_path)
@@ -394,6 +407,278 @@ class HCompress:
         self.anatomy.write_ops += 1
         return result
 
+    def compress_batch(
+        self,
+        items,
+        *,
+        deadline: float | None = None,
+        qos_class: QosClass | None = None,
+        tenant: str | None = None,
+    ) -> list[WriteResult]:
+        """Compress-and-place a batch of write tasks in submission order.
+
+        Each item is raw ``bytes``, a prebuilt :class:`IOTask`, or a dict
+        of :meth:`compress` keyword arguments (``data``, ``hints``,
+        ``modeled_size``, ``task_id``, ``tenant``). Items are validated
+        and task ids assigned up front, in item order. A dict item's
+        ``tenant`` overrides the call-level one (it only matters with QoS
+        active, or for routing in :class:`~repro.shard.ShardedHCompress`).
+
+        Catalog-, schema-, and telemetry-identical to calling
+        :meth:`compress` once per item: planning, execution, and feedback
+        still interleave per task (a task's plan depends on the capacity
+        its predecessors consumed and on model updates their feedback
+        triggered) — the batch form makes each stage cheaper, via the
+        engine's signature-keyed batch planner, one prefetched ECC table
+        pass per batch, and the manager's bulk ledger debits. With
+        observability, QoS, or a ``deadline`` active the batch degrades to
+        the instrumented per-task path.
+        """
+        if self.obs is not None or self.qos is not None or deadline is not None:
+            specs: list[dict] = []
+            for item in items:
+                if isinstance(item, IOTask):
+                    specs.append({"task": item})
+                elif isinstance(item, (bytes, bytearray, memoryview)):
+                    specs.append({"data": bytes(item)})
+                elif isinstance(item, dict):
+                    specs.append(dict(item))
+                else:
+                    raise HCompressError(
+                        "compress_batch items must be bytes, IOTask, or dicts "
+                        f"of compress() kwargs, got {type(item).__name__}"
+                    )
+            return [
+                # a dict item's own tenant wins over the call-level one
+                self.compress(
+                    **{"tenant": tenant, **spec},
+                    deadline=deadline, qos_class=qos_class,
+                )
+                for spec in specs
+            ]
+        self._check_open()
+        scale = self.config.python_to_native
+
+        tasks: list[IOTask] = []
+        # Fully-hinted analysis is pure and counter-free (the analyzer
+        # short-circuits before its cache), so a burst reusing one buffer
+        # and hint set shares a single InputAnalysis object — which also
+        # lets the batch planner's per-analysis feature memo hit.
+        analysis_memo: dict[tuple[int, int], tuple] = {}
+        for item in items:
+            if isinstance(item, dict):
+                task = item.get("task")
+                if task is None:
+                    data = item.get("data")
+                    if data is None:
+                        raise HCompressError("compress() needs data or a task")
+                    hints = item.get("hints")
+                    if (
+                        hints
+                        and hints.dtype
+                        and hints.data_format
+                        and hints.distribution
+                    ):
+                        memo_key = (id(data), id(hints))
+                        memo = analysis_memo.get(memo_key)
+                        if (
+                            memo is None
+                            or memo[0] is not data
+                            or memo[1] is not hints
+                        ):
+                            memo = (
+                                data, hints, self.analyzer.analyze(data, hints)
+                            )
+                            analysis_memo[memo_key] = memo
+                        analysis = memo[2]
+                    else:
+                        analysis = self.analyzer.analyze(data, hints)
+                    modeled_size = item.get("modeled_size")
+                    task = IOTask(
+                        task_id=item.get("task_id") or next_task_id(),
+                        size=(
+                            modeled_size
+                            if modeled_size is not None
+                            else len(data)
+                        ),
+                        analysis=analysis,
+                        operation=Operation.WRITE,
+                        data=data,
+                    )
+                elif item.get("data") is not None:
+                    raise HCompressError(
+                        "pass either data or a task, not both"
+                    )
+            elif isinstance(item, IOTask):
+                task = item
+            elif isinstance(item, (bytes, bytearray, memoryview)):
+                data = bytes(item)
+                task = IOTask(
+                    task_id=next_task_id(),
+                    size=len(data),
+                    analysis=self.analyzer.analyze(data, None),
+                    operation=Operation.WRITE,
+                    data=data,
+                )
+            else:
+                raise HCompressError(
+                    "compress_batch items must be bytes, IOTask, or dicts "
+                    f"of compress() kwargs, got {type(item).__name__}"
+                )
+            tasks.append(task)
+
+        planner = (
+            self.engine.batch_planner()
+            if self.engine.batch_fast_path_ok()
+            else None
+        )
+        if planner is not None:
+            self.engine.prefetch_candidates(tasks)
+        ctx = self.manager.batch_context()
+        results: list[WriteResult] = []
+        anatomy = self.anatomy
+        pool_codec = self.pool.codec
+        engine_plan = self.engine.plan
+        execute_batched = self.manager.execute_write_batched
+        record = self.feedback.record
+        perf = time.perf_counter
+        # Run lane eligibility: the manager's bulk path must be open too
+        # (its gate inputs — obs, QoS, crash-points — cannot change
+        # mid-batch, so one check covers the whole loop).
+        run_gate = planner is not None and self.manager._batch_fastpath_ok()
+        index = 0
+        total = len(tasks)
+        while index < total:
+            task = tasks[index]
+            wall = perf()
+            schema = (
+                planner.plan(task) if planner is not None else engine_plan(task)
+            )
+            anatomy.hcdp_engine += (perf() - wall) / scale
+
+            wall = perf()
+            for piece in schema.pieces:  # factory lookups (library selection)
+                pool_codec(piece.codec)
+            anatomy.library_selection += (perf() - wall) / scale
+
+            try:
+                result = execute_batched(schema, ctx)
+            except (
+                TierUnavailableError, RetryExhaustedError, CapacityError,
+                TierError,
+            ):
+                # Same degraded-mode replan as the per-task path: fresh
+                # sample, fresh plan, sequential re-execute.
+                if planner is not None:
+                    planner.invalidate()
+                wall = perf()
+                self.monitor.sample()
+                schema = engine_plan(task)
+                self.replans += 1
+                anatomy.hcdp_engine += (perf() - wall) / scale
+                result = self.manager.execute_write(schema)
+            if planner is not None:
+                planner.note_result(result)
+            result.schema = schema  # type: ignore[attr-defined]
+            anatomy.compression += result.compress_seconds
+            anatomy.write_io += result.io_seconds
+
+            wall = perf()
+            for observation in result.observations:
+                record(observation)
+            anatomy.feedback += (perf() - wall) / scale
+            anatomy.write_ops += 1
+            results.append(result)
+            index += 1
+
+            # -- run lane (DESIGN.md §12) --------------------------------
+            # A burst repeats one (size, analysis, sample) shape for many
+            # tasks. When the task just executed is a clean fast-path
+            # template and the planner can prove the next k identical
+            # tasks replan to the same plan (no band/clamp/pressure
+            # crossing), the per-task plan/debit/receipt cycle collapses:
+            # one bulk ledger debit per tier under a single rollback
+            # frame, receipts and feedback per task. A feedback flush
+            # inside the run stops it (the model changed), and the loop
+            # resumes per-task exactly where the sequential path would
+            # replan.
+            if (
+                not run_gate
+                or index >= total
+                or not planner._model_valid
+                or task.materialised
+                or getattr(schema, "_pieces_source", None) is None
+            ):
+                continue
+            scan = index
+            size = task.size
+            analysis = task.analysis
+            data = task.data
+            while scan < total:
+                peer = tasks[scan]
+                if (
+                    peer.size != size
+                    or peer.analysis is not analysis
+                    or peer.data is not data
+                    or peer.operation is not Operation.WRITE
+                ):
+                    break
+                scan += 1
+            if scan == index:
+                continue
+            count = min(scan - index, planner.run_quota(task, result))
+            obs_per_task = len(result.observations)
+            if obs_per_task:
+                # Stop the run strictly before a feedback flush could
+                # fire: the flush-triggering task replans per-task, where
+                # the model update lands between its plan and the next —
+                # exactly the sequential interleaving.
+                headroom = self.feedback.every_n - 1 - self.feedback.pending
+                count = min(count, headroom // obs_per_task)
+            if count <= 0:
+                continue
+            wall = perf()
+            emit = planner.emit_schema
+            run_schemas = [emit(t) for t in tasks[index:index + count]]
+            anatomy.hcdp_engine += (perf() - wall) / scale
+            wall = perf()
+            for piece in schema.pieces:  # library selection, once per run
+                pool_codec(piece.codec)
+            anatomy.library_selection += (perf() - wall) / scale
+
+            run_results = self.manager._execute_write_run(run_schemas, ctx)
+            executed = len(run_results)
+            if not executed:
+                continue
+            planner.commit_run(executed, size)
+            # Every run result carries the template's modeled costs, so
+            # the per-task property sums collapse to two constants (the
+            # accumulation itself stays one addition per task — repeated
+            # float addition, bit-identical to the sequential path's).
+            comp_seconds = run_results[0].compress_seconds
+            io_seconds = run_results[0].io_seconds
+            comp_acc = anatomy.compression
+            io_acc = anatomy.write_io
+            for run_schema, run_result in zip(run_schemas, run_results):
+                run_result.schema = run_schema
+                comp_acc += comp_seconds
+                io_acc += io_seconds
+            anatomy.compression = comp_acc
+            anatomy.write_io = io_acc
+            wall = perf()
+            if obs_per_task:
+                # One bulk append: the run's results re-emit the
+                # template's observation objects, and the headroom clamp
+                # keeps the whole run below the flush cadence.
+                self.feedback.record_run(
+                    run_results[0].observations, executed
+                )
+            anatomy.feedback += (perf() - wall) / scale
+            anatomy.write_ops += executed
+            results.extend(run_results)
+            index += executed
+        return results
+
     def _plan_constraints(self, dl: Deadline | None) -> dict:
         """QoS constraints for one :meth:`HcdpEngine.plan` call.
 
@@ -469,6 +754,37 @@ class HCompress:
         self.anatomy.read_feedback += (time.perf_counter() - wall) / scale
         self.anatomy.read_ops += 1
         return result
+
+    def decompress_batch(
+        self, task_ids, *, deadline: float | None = None
+    ) -> list[ReadResult]:
+        """Read-and-decompress a batch of written tasks in order.
+
+        Result- and telemetry-identical to calling :meth:`decompress` per
+        id (full reads only); each task's piece headers are parsed in one
+        vectorized pass through the manager's batch read path. Degrades to
+        the instrumented per-task path under observability, QoS, or a
+        ``deadline``.
+        """
+        if self.obs is not None or self.qos is not None or deadline is not None:
+            return [
+                self.decompress(task_id, deadline=deadline)
+                for task_id in task_ids
+            ]
+        self._check_open()
+        scale = self.config.python_to_native
+        results: list[ReadResult] = []
+        for task_id in task_ids:
+            result = self.manager.execute_read_batch([task_id])[0]
+            self.anatomy.metadata_parsing += result.metadata_seconds / scale
+            self.anatomy.decompression += result.decompress_seconds
+            self.anatomy.read_io += result.io_seconds
+            wall = time.perf_counter()
+            self.feedback.flush()
+            self.anatomy.read_feedback += (time.perf_counter() - wall) / scale
+            self.anatomy.read_ops += 1
+            results.append(result)
+        return results
 
     # -- runtime control -----------------------------------------------------
 

@@ -28,7 +28,12 @@ from typing import Callable, NamedTuple
 from ..ccp.seed import CostObservation
 from ..ccp.features import ObservationKey
 from ..codecs.base import get_codec
-from ..codecs.metadata import HEADER_SIZE, unwrap_payload, wrap_payload
+from ..codecs.metadata import (
+    HEADER_SIZE,
+    unpack_headers,
+    unwrap_payload,
+    wrap_payload,
+)
 from ..codecs.pool import CompressionLibraryPool
 from ..errors import (
     CodecError,
@@ -70,8 +75,54 @@ class _PreparedPiece(NamedTuple):
     wall_seconds: float
 
 
-@dataclass(frozen=True)
-class PieceResult:
+class _ReusablePrep(NamedTuple):
+    """Per-(plans, sample, features) write prep, reusable across a batch.
+
+    ``plans`` pins the :class:`SubTaskPlan` objects referenced by the
+    identity-based reuse key so their ids stay valid for the session.
+    ``ratio_keys`` are the sample-ratio cache keys the sequential path
+    would have looked up — replayed on reuse so LRU recency and
+    hit counters stay byte-identical.
+    """
+
+    plans: tuple
+    prepared: list["_PreparedPiece"]
+    ratio_keys: tuple
+    comp_seconds: tuple
+    observations: tuple
+
+
+class _BatchWriteContext:
+    """Caches shared by every write of one batch session.
+
+    Holds one sample digest per distinct sample *object* (a burst reuses
+    the same representative buffer across every rank and timestep, so the
+    per-piece blake2b collapses to one hash per batch), one reusable
+    rollback frame so the fast write path never allocates a fresh undo
+    list per task, the prepared-piece reuse table (bursts replan to the
+    same shared plan tuple, so codec prep and receipts collapse to one
+    computation per distinct plan/sample pair), and a modeled-I/O-time
+    memo keyed on ``(tier level, accounted bytes, slowdown)``.
+    """
+
+    __slots__ = ("_digests", "rollback_frame", "prepared", "io_cache", "features")
+
+    def __init__(self) -> None:
+        self._digests: dict[int, tuple[bytes, bytes]] = {}
+        self.rollback_frame: list[tuple[int, str]] = []
+        self.prepared: dict[tuple, _ReusablePrep] = {}
+        self.io_cache: dict[tuple, float] = {}
+        self.features: dict[int, tuple] = {}
+
+    def digest(self, sample: bytes) -> bytes:
+        entry = self._digests.get(id(sample))
+        if entry is None or entry[0] is not sample:
+            entry = (sample, hashlib.blake2b(sample, digest_size=16).digest())
+            self._digests[id(sample)] = entry
+        return entry[1]
+
+
+class PieceResult(NamedTuple):
     """Execution record for one sub-task."""
 
     plan: SubTaskPlan
@@ -87,13 +138,16 @@ class PieceResult:
     retries: int = 0  # transient-error retries charged to this piece
 
 
-@dataclass
+@dataclass(slots=True)
 class WriteResult:
     """Execution record for one write task."""
 
     task: IOTask
     pieces: list[PieceResult] = field(default_factory=list)
     observations: list[CostObservation] = field(default_factory=list)
+    # The schema this result executed, attached by the orchestrator after
+    # execution. Not part of the result's value.
+    schema: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def total_stored(self) -> int:
@@ -113,7 +167,7 @@ class WriteResult:
         return self.task.size / stored if stored else 1.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadResult:
     """Execution record for one read task."""
 
@@ -228,7 +282,9 @@ class CompressionManager:
             sp.charge_modeled(result.compress_seconds + result.io_seconds)
         return result
 
-    def _execute_write(self, schema: Schema, deadline=None) -> WriteResult:
+    def _execute_write(
+        self, schema: Schema, deadline=None, _prepared=None
+    ) -> WriteResult:
         task = schema.task
         if task.task_id in self._catalog:
             raise SchemaError(f"task {task.task_id!r} already written")
@@ -237,7 +293,13 @@ class CompressionManager:
         dtype, data_format, distribution = task.analysis.feature_key()
         feature_key = (dtype, data_format, distribution)
 
-        prepared = self._prepare_pieces(schema, feature_key)
+        # Batch drivers hand over pieces they already prepared (the codec
+        # work is pure, so preparing ahead of execution changes nothing).
+        prepared = (
+            _prepared
+            if _prepared is not None
+            else self._prepare_pieces(schema, feature_key)
+        )
         if self.crashpoints is not None:
             self.crashpoints.reached("manager.write.prepared")
         consumed = 0.0  # modeled seconds this task has spent so far
@@ -341,27 +403,6 @@ class CompressionManager:
         task = schema.task
         sample = task.data
         if task.materialised and sample is not None:
-
-            def compress_piece(plan: SubTaskPlan) -> _PreparedPiece:
-                wall_start = time.perf_counter()
-                piece_bytes = sample[plan.offset : plan.offset + plan.length]
-                blob, header = wrap_payload(
-                    piece_bytes,
-                    start_offset=plan.offset % (1 << 32),
-                    codec_name=plan.codec,
-                )
-                measured_ratio = (
-                    len(piece_bytes) / header.resulting_size
-                    if header.resulting_size
-                    else 1.0
-                )
-                return _PreparedPiece(
-                    blob=blob,
-                    measured_ratio=measured_ratio,
-                    accounted=len(blob),
-                    wall_seconds=time.perf_counter() - wall_start,
-                )
-
             pooled = [
                 self._pool_eligible(plan.codec, plan.length)
                 for plan in schema.pieces
@@ -369,16 +410,20 @@ class CompressionManager:
             if sum(pooled) >= 2:
                 executor = self._executor()
                 futures = {
-                    i: executor.submit(compress_piece, plan)
+                    i: executor.submit(self._compress_piece, sample, plan)
                     for i, plan in enumerate(schema.pieces)
                     if pooled[i]
                 }
                 self.parallel_pieces += len(futures)
                 return [
-                    futures[i].result() if pooled[i] else compress_piece(plan)
+                    futures[i].result()
+                    if pooled[i]
+                    else self._compress_piece(sample, plan)
                     for i, plan in enumerate(schema.pieces)
                 ]
-            return [compress_piece(plan) for plan in schema.pieces]
+            return [
+                self._compress_piece(sample, plan) for plan in schema.pieces
+            ]
 
         prepared = []
         for plan in schema.pieces:
@@ -401,8 +446,33 @@ class CompressionManager:
             )
         return prepared
 
+    def _compress_piece(self, sample: bytes, plan: SubTaskPlan) -> _PreparedPiece:
+        """Pure codec work for one materialised piece (pool-safe)."""
+        wall_start = time.perf_counter()
+        piece_bytes = sample[plan.offset : plan.offset + plan.length]
+        blob, header = wrap_payload(
+            piece_bytes,
+            start_offset=plan.offset % (1 << 32),
+            codec_name=plan.codec,
+        )
+        measured_ratio = (
+            len(piece_bytes) / header.resulting_size
+            if header.resulting_size
+            else 1.0
+        )
+        return _PreparedPiece(
+            blob=blob,
+            measured_ratio=measured_ratio,
+            accounted=len(blob),
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+
     def _sample_ratio(
-        self, sample: bytes, codec_name: str, feature_key: tuple[str, str, str]
+        self,
+        sample: bytes,
+        codec_name: str,
+        feature_key: tuple[str, str, str],
+        _digest: bytes | None = None,
     ) -> float:
         """Measured ratio of ``codec_name`` on ``sample``, LRU-cached.
 
@@ -411,11 +481,16 @@ class CompressionManager:
         ``(codec, feature key, sample digest)`` keeps modeled runs
         O(codecs) in real compression work instead of O(pieces). Codec
         failures propagate — a roster member that cannot compress valid
-        bytes is a bug, not a condition to paper over.
+        bytes is a bug, not a condition to paper over. Batch sessions pass
+        the digest they already computed for this sample object.
         """
         if codec_name == "none":
             return 1.0
-        digest = hashlib.blake2b(sample, digest_size=16).digest()
+        digest = (
+            _digest
+            if _digest is not None
+            else hashlib.blake2b(sample, digest_size=16).digest()
+        )
         cache_key = (codec_name, feature_key, digest)
         cached = self._sample_ratios.get(cache_key)
         if cached is not None:
@@ -452,6 +527,503 @@ class CompressionManager:
             f"piece of {accounted} bytes fits no tier at or below "
             f"{plan.tier!r}"
         )
+
+    # -- batched write path (DESIGN.md §12) -----------------------------------
+
+    def batch_context(self) -> "_BatchWriteContext":
+        """A fresh batch write session (shared digest cache + undo frame)."""
+        return _BatchWriteContext()
+
+    def _batch_fastpath_ok(self, deadline=None) -> bool:
+        """Whether the uninstrumented bulk write path may run.
+
+        Observability regions, QoS breaker consultation, crash-point
+        sites, and deadline checks all fire *inside* the per-piece loop;
+        any of them present forces the per-task path so their side effects
+        happen at exactly the sequential sites.
+        """
+        shi = self.shi
+        return (
+            self.obs is None
+            and deadline is None
+            and self.crashpoints is None
+            and shi.obs is None
+            and shi.qos is None
+            and shi.crashpoints is None
+        )
+
+    def execute_write_batch(self, schemas: list[Schema], deadline=None) -> list[WriteResult]:
+        """Execute a batch of write schemas in order.
+
+        Catalog-, ledger-, and telemetry-identical to calling
+        :meth:`execute_write` per schema. The batch form shares one sample
+        digest per distinct buffer, groups each task's capacity-ledger
+        debits into one :meth:`~repro.tiers.Tier.put_many` per tier, and
+        runs the piece thread pool's eligibility/ordering pass once for
+        the whole batch instead of once per task (only the
+        ``parallel_pieces`` diagnostic can differ). Falls back to the
+        per-task path whenever observability, QoS, crash-points, or a
+        deadline require the instrumented route.
+        """
+        if not self._batch_fastpath_ok(deadline):
+            return [self.execute_write(schema, deadline) for schema in schemas]
+        prepared = self._prepare_pieces_batch(schemas)
+        ctx = self.batch_context()
+        results = []
+        for index, schema in enumerate(schemas):
+            if index in prepared:
+                results.append(
+                    self._execute_write(schema, _prepared=prepared[index])
+                )
+            else:
+                results.append(self._execute_write_fast(schema, ctx))
+        return results
+
+    def execute_write_batched(
+        self, schema: Schema, ctx: "_BatchWriteContext", deadline=None
+    ) -> WriteResult:
+        """One write inside a batch session (see :meth:`batch_context`).
+
+        The incremental form of :meth:`execute_write_batch` for drivers
+        that must interleave planning with execution (a task's plan
+        depends on the capacity its predecessors consumed).
+        """
+        if not self._batch_fastpath_ok(deadline):
+            return self.execute_write(schema, deadline)
+        task = schema.task
+        if task.materialised and task.data is not None:
+            return self._execute_write(schema)
+        return self._execute_write_fast(schema, ctx)
+
+    def _prepare_pieces_batch(
+        self, schemas: list[Schema]
+    ) -> dict[int, list["_PreparedPiece"]]:
+        """Pre-run the pure codec work for a batch's materialised tasks.
+
+        One eligibility/ordering pass over every ``(task, piece)`` in the
+        batch and at most one pooled submission set, where the per-task
+        path re-sorts and re-submits per call. Results are consumed in
+        ``(task, piece)`` order, so outputs and first-error surfacing
+        match the per-task path; only the ``parallel_pieces`` diagnostic
+        can differ (pool eligibility is judged batch-wide).
+        """
+        out: dict[int, list[_PreparedPiece]] = {}
+        tagged: list[tuple[int, int, SubTaskPlan, bytes, bool]] = []
+        for index, schema in enumerate(schemas):
+            task = schema.task
+            if not (task.materialised and task.data is not None):
+                continue
+            out[index] = [None] * len(schema.pieces)  # type: ignore[list-item]
+            for j, plan in enumerate(schema.pieces):
+                tagged.append(
+                    (
+                        index,
+                        j,
+                        plan,
+                        task.data,
+                        self._pool_eligible(plan.codec, plan.length),
+                    )
+                )
+        if not tagged:
+            return out
+        futures: dict[tuple[int, int], Future] = {}
+        if sum(1 for item in tagged if item[4]) >= 2:
+            executor = self._executor()
+            futures = {
+                (i, j): executor.submit(self._compress_piece, sample, plan)
+                for i, j, plan, sample, pooled in tagged
+                if pooled
+            }
+            self.parallel_pieces += len(futures)
+        for i, j, plan, sample, _pooled in tagged:
+            future = futures.get((i, j))
+            out[i][j] = (
+                future.result()
+                if future is not None
+                else self._compress_piece(sample, plan)
+            )
+        return out
+
+    def _execute_write_fast(
+        self, schema: Schema, ctx: "_BatchWriteContext"
+    ) -> WriteResult:
+        """Bulk write path for one modeled task inside a batch session.
+
+        Replays the exact decision sequence of :meth:`_execute_write` —
+        ratio lookups, spill resolution, receipts — but resolves every
+        piece against a pending-delta view of the ledger first and then
+        lands each tier's pieces with one :meth:`~repro.tiers.Tier.put_many`
+        debit. Modeled pieces carry no payload, so placement can never hit
+        device fault injection; anything the dry run cannot guarantee —
+        planned tier down (the SHI's failover jurisdiction) or a piece
+        fitting no tier (the sequential path's partial-write rollback) —
+        delegates to :meth:`_execute_write` with the already-prepared
+        pieces, reproducing sequential behaviour including its partial
+        spill counts and typed errors.
+        """
+        task = schema.task
+        task_id = task.task_id
+        if task_id in self._catalog:
+            raise SchemaError(f"task {task_id!r} already written")
+        analysis = task.analysis
+        feature_entry = ctx.features.get(id(analysis))
+        if feature_entry is None or feature_entry[0] is not analysis:
+            feature_entry = (analysis, analysis.feature_key())
+            ctx.features[id(analysis)] = feature_entry
+        feature_key = feature_entry[1]
+        dtype, data_format, distribution = feature_key
+        sample = task.data
+        pieces = schema.pieces
+        digest = ctx.digest(sample) if sample else None
+
+        # Bursts replan to the *same* SubTaskPlan objects (the planner's
+        # caches hand out shared tuples — ``_pieces_source`` carries the
+        # cached tuple itself when the batch planner produced the
+        # schema), so the pure prep — ratio lookups, accounted sizes,
+        # nominal costs, observation records — collapses to one
+        # computation per distinct (plans, sample, features). Reuse
+        # replays exactly the sample-ratio cache traffic the sequential
+        # path would generate (one hit + recency touch per coded piece);
+        # if any key has been evicted since, fall through and recompute
+        # so the miss is charged at the sequential site.
+        ratios = self._sample_ratios
+        source = getattr(schema, "_pieces_source", None)
+        if source is not None:
+            reuse_key = (id(source), digest, feature_key)
+        else:
+            reuse_key = (tuple(map(id, pieces)), digest, feature_key)
+        entry = ctx.prepared.get(reuse_key)
+        if (
+            entry is not None
+            and (source is None or entry.plans is source)
+            and all(k in ratios for k in entry.ratio_keys)
+        ):
+            prepared = entry.prepared
+            for cache_key in entry.ratio_keys:
+                ratios.move_to_end(cache_key)
+            self.sample_cache_hits += len(entry.ratio_keys)
+        else:
+            prepared = []
+            ratio_keys = []
+            comp_seconds: list[float] = []
+            observations: list[CostObservation | None] = []
+            for plan in pieces:
+                wall_start = time.perf_counter()
+                codec_name = plan.codec
+                self.pool.codec(codec_name)  # library selection (factory path)
+                if sample:
+                    measured_ratio = self._sample_ratio(
+                        sample, codec_name, feature_key, _digest=digest
+                    )
+                    if codec_name != "none":
+                        ratio_keys.append((codec_name, feature_key, digest))
+                else:
+                    measured_ratio = plan.expected_ratio
+                accounted = HEADER_SIZE + max(
+                    1, math.ceil(plan.length / max(measured_ratio, 1e-9))
+                )
+                if codec_name != "none":
+                    profile = self.pool.profile(codec_name)
+                    comp_seconds.append(plan.length / (profile.compress_mbps * MB))
+                    observations.append(
+                        CostObservation(
+                            key=ObservationKey(
+                                dtype, data_format, distribution, codec_name,
+                                plan.length,
+                            ),
+                            compress_mbps=profile.compress_mbps,
+                            decompress_mbps=profile.decompress_mbps,
+                            ratio=max(measured_ratio, 1e-3),
+                        )
+                    )
+                else:
+                    comp_seconds.append(0.0)
+                    observations.append(None)
+                prepared.append(
+                    _PreparedPiece(
+                        blob=None,
+                        measured_ratio=measured_ratio,
+                        accounted=accounted,
+                        wall_seconds=time.perf_counter() - wall_start,
+                    )
+                )
+            entry = _ReusablePrep(
+                plans=source if source is not None else tuple(pieces),
+                prepared=prepared,
+                ratio_keys=tuple(ratio_keys),
+                comp_seconds=tuple(comp_seconds),
+                observations=tuple(observations),
+            )
+            ctx.prepared[reuse_key] = entry
+
+        hierarchy = self.shi.hierarchy
+        pending: dict[int, int] = {}
+        placements: list[tuple[int, bool]] = []
+        for plan, prep in zip(pieces, prepared):
+            level = plan.tier_level
+            tier = hierarchy[level]
+            if not tier._available:
+                # Outages are the SHI's jurisdiction (failover, typed
+                # errors): replay this task on the sequential path.
+                return self._execute_write(schema, _prepared=prepared)
+            remaining = tier.remaining
+            if (
+                remaining is None
+                or prep.accounted + pending.get(level, 0) <= remaining
+            ):
+                pending[level] = pending.get(level, 0) + prep.accounted
+                placements.append((level, False))
+                continue
+            for lower in range(level + 1, len(hierarchy)):
+                tier = hierarchy[lower]
+                if not tier._available:
+                    continue
+                remaining = tier.remaining
+                if (
+                    remaining is None
+                    or prep.accounted + pending.get(lower, 0) <= remaining
+                ):
+                    pending[lower] = pending.get(lower, 0) + prep.accounted
+                    placements.append((lower, True))
+                    break
+            else:
+                # Fits nowhere: sequential placed earlier pieces, counted
+                # their spills, rolled back and raised — replay it exactly.
+                return self._execute_write(schema, _prepared=prepared)
+
+        piece_key = self.shi.piece_key
+        keys = [piece_key(task_id, index) for index in range(len(pieces))]
+        by_tier: dict[int, list[tuple[str, bytes | None, int | None]]] = {}
+        for key, prep, (level, spilled) in zip(keys, prepared, placements):
+            if spilled:
+                self.spill_events += 1
+            by_tier.setdefault(level, []).append((key, None, prep.accounted))
+
+        placed = ctx.rollback_frame
+        placed.clear()
+        try:
+            for level, items in by_tier.items():
+                hierarchy[level].put_many(items)
+                placed.extend((level, item[0]) for item in items)
+        except TierError:  # pragma: no cover - dry run precludes this
+            for level, key in placed:
+                hierarchy[level].evict(key)
+            raise
+
+        result = WriteResult(task=task)
+        result_pieces = result.pieces
+        result_observations = result.observations
+        entries: list[CatalogEntry] = []
+        io_cache = ctx.io_cache
+        for plan, prep, key, (level, spilled), comp, obs in zip(
+            pieces, prepared, keys, placements,
+            entry.comp_seconds, entry.observations,
+        ):
+            tier = hierarchy[level]
+            entries.append(CatalogEntry(key, plan.length, plan.codec, None))
+            io_key = (level, prep.accounted, tier._slowdown)
+            io = io_cache.get(io_key)
+            if io is None:
+                io = tier.io_seconds(prep.accounted)
+                io_cache[io_key] = io
+            result_pieces.append(
+                PieceResult(
+                    plan=plan,
+                    key=key,
+                    tier=tier.spec.name,
+                    stored_size=prep.accounted,
+                    actual_ratio=prep.measured_ratio,
+                    compress_seconds=comp,
+                    io_seconds=io,
+                    wall_seconds=prep.wall_seconds,
+                    spilled=spilled,
+                    failover=False,
+                    retries=0,
+                )
+            )
+            if obs is not None:
+                result_observations.append(obs)
+        if self.journal is not None:
+            self.journal.commit("commit", task_id, tuple(entries))
+        self._catalog[task_id] = entries
+        return result
+
+    def _execute_write_run(
+        self, schemas: list[Schema], ctx: "_BatchWriteContext"
+    ) -> list[WriteResult]:
+        """Write a run of identical modeled tasks with one bulk ledger debit.
+
+        The caller (the batch driver's run lane) guarantees every schema
+        shares the template's ``_pieces_source`` plan tuple, task size,
+        analysis, and sample, and that the planner's quota proved every
+        piece fits its planned tier for the whole run — so placement needs
+        no per-task dry run and each tier's debit lands as a single
+        :meth:`~repro.tiers.Tier.put_many` under one rollback frame.
+        Receipts, journal commits, and catalog assignments still happen
+        per task in order. Feedback is the caller's: the run length is
+        pre-clamped so no model update can fall inside it, and the
+        observations replay after the run in task order — the same
+        pending buffer a per-task loop would leave. Returns the executed
+        results (empty when the template's prep is not reusable, which
+        sends the caller back to the per-task path; short when a task id
+        repeats, so the per-task path surfaces the duplicate exactly).
+        """
+        first = schemas[0]
+        source = first._pieces_source
+        task0 = first.task
+        analysis = task0.analysis
+        feature_entry = ctx.features.get(id(analysis))
+        if feature_entry is None or feature_entry[0] is not analysis:
+            feature_entry = (analysis, analysis.feature_key())
+            ctx.features[id(analysis)] = feature_entry
+        feature_key = feature_entry[1]
+        sample = task0.data
+        digest = ctx.digest(sample) if sample else None
+        entry = ctx.prepared.get((id(source), digest, feature_key))
+        ratios = self._sample_ratios
+        if (
+            entry is None
+            or entry.plans is not source
+            or any(k not in ratios for k in entry.ratio_keys)
+        ):
+            return []
+        prepared = entry.prepared
+        catalog = self._catalog
+        tids = [schema.task.task_id for schema in schemas]
+        fresh = set(tids)
+        if len(fresh) != len(tids) or not catalog.keys().isdisjoint(fresh):
+            # Rare: re-scan to stop right before the first duplicate so
+            # the per-task path surfaces it exactly.
+            count = 0
+            seen_new: set[str] = set()
+            for tid in tids:
+                if tid in catalog or tid in seen_new:
+                    break
+                seen_new.add(tid)
+                count += 1
+            if count == 0:
+                return []
+            schemas = schemas[:count]
+            tids = tids[:count]
+        else:
+            count = len(schemas)
+
+        hierarchy = self.shi.hierarchy
+        piece_key = self.shi.piece_key
+        plen = len(source)
+        by_tier: dict[int, list[tuple[str, None, int]]] = {}
+        if plen == 1:
+            # The common burst shape: one piece per task, one tier.
+            accounted0 = prepared[0].accounted
+            keys_flat = [tid + "/0" for tid in tids]  # == piece_key(tid, 0)
+            keys_all = None
+            by_tier[source[0].tier_level] = [
+                (key, None, accounted0) for key in keys_flat
+            ]
+        else:
+            keys_all = []
+            for tid in tids:
+                keys = [piece_key(tid, index) for index in range(plen)]
+                keys_all.append(keys)
+                for key, plan, prep in zip(keys, source, prepared):
+                    by_tier.setdefault(plan.tier_level, []).append(
+                        (key, None, prep.accounted)
+                    )
+        placed = ctx.rollback_frame
+        placed.clear()
+        try:
+            for level, items in by_tier.items():
+                hierarchy[level].put_many(items)
+                placed.extend((level, item[0]) for item in items)
+        except TierError:  # pragma: no cover - the quota precludes this
+            for level, key in placed:
+                hierarchy[level].evict(key)
+            raise
+
+        io_cache = ctx.io_cache
+        journal = self.journal
+        # Every task of the run shares the template's pieces, so the
+        # receipt fields that don't carry the key are constants: resolve
+        # tiers, modeled I/O, and catalog columns once per piece.
+        piece_consts = []
+        for plan, prep, comp, obs in zip(
+            source, prepared, entry.comp_seconds, entry.observations
+        ):
+            level = plan.tier_level
+            tier = hierarchy[level]
+            io_key = (level, prep.accounted, tier._slowdown)
+            io = io_cache.get(io_key)
+            if io is None:
+                io = tier.io_seconds(prep.accounted)
+                io_cache[io_key] = io
+            piece_consts.append(
+                (
+                    plan, plan.length, plan.codec, tier.spec.name,
+                    prep.accounted, prep.measured_ratio, prep.wall_seconds,
+                    comp, io, obs,
+                )
+            )
+        if plen == 1 and journal is None:
+            (
+                plan, length, codec, tier_name, accounted, ratio, wall,
+                comp, io, obs,
+            ) = piece_consts[0]
+            obs_list = [obs] if obs is not None else []
+            results = [
+                WriteResult(
+                    schema.task,
+                    [
+                        PieceResult(
+                            plan, key, tier_name, accounted, ratio, comp,
+                            io, wall,
+                        )
+                    ],
+                    obs_list.copy(),
+                )
+                for schema, key in zip(schemas, keys_flat)
+            ]
+            for tid, key in zip(tids, keys_flat):
+                catalog[tid] = [CatalogEntry(key, length, codec, None)]
+            ratio_keys = entry.ratio_keys
+            if ratio_keys:
+                for cache_key in ratio_keys:
+                    ratios.move_to_end(cache_key)
+                self.sample_cache_hits += count * len(ratio_keys)
+            return results
+        if keys_all is None:  # plen == 1 with a journal attached
+            keys_all = [[key] for key in keys_flat]
+        results: list[WriteResult] = []
+        for schema, keys in zip(schemas, keys_all):
+            task = schema.task
+            entries: list[CatalogEntry] = []
+            result = WriteResult(task=task)
+            result_pieces = result.pieces
+            result_observations = result.observations
+            for key, (
+                plan, length, codec, tier_name, accounted, ratio, wall,
+                comp, io, obs,
+            ) in zip(keys, piece_consts):
+                entries.append(CatalogEntry(key, length, codec, None))
+                result_pieces.append(
+                    PieceResult(
+                        plan, key, tier_name, accounted, ratio, comp, io,
+                        wall,
+                    )
+                )
+                if obs is not None:
+                    result_observations.append(obs)
+            if journal is not None:
+                journal.commit("commit", task.task_id, tuple(entries))
+            catalog[task.task_id] = entries
+            results.append(result)
+        ratio_keys = entry.ratio_keys
+        if ratio_keys:
+            # The sequential traffic: one recency touch per coded piece
+            # per task, one counted hit each.
+            for cache_key in ratio_keys:
+                ratios.move_to_end(cache_key)
+            self.sample_cache_hits += count * len(ratio_keys)
+        return results
 
     # -- read path ------------------------------------------------------------
 
@@ -501,21 +1073,21 @@ class CompressionManager:
             f"{self.shi.resilience.read_repair_retries} re-reads"
         )
 
-    def _unwrap(self, entry: CatalogEntry, blob: bytes):
+    def _unwrap(self, entry: CatalogEntry, blob: bytes, header=None):
         """Decode a blob, mapping malformed-payload failures to
         :class:`CorruptDataError` (a bad header/payload on an
         integrity-checked piece is corruption, not a schema bug)."""
         try:
-            return unwrap_payload(blob)
+            return unwrap_payload(blob, _header=header)
         except (SchemaError, CodecError) as exc:
             raise CorruptDataError(
                 f"piece {entry.key!r} failed to decode: {exc}"
             ) from exc
 
-    def _unwrap_timed(self, entry: CatalogEntry, blob: bytes):
+    def _unwrap_timed(self, entry: CatalogEntry, blob: bytes, header=None):
         """(data, header, wall seconds) for one blob — pure, pool-safe."""
         wall_start = time.perf_counter()
-        data, header = self._unwrap(entry, blob)
+        data, header = self._unwrap(entry, blob, header)
         return data, header, time.perf_counter() - wall_start
 
     def execute_read(self, task_id: str, deadline=None) -> ReadResult:
@@ -597,6 +1169,109 @@ class CompressionManager:
                 parts.append(data)
                 # The applied library is rediscovered from the stored
                 # header — the paper's decentralised-decode property.
+                codec_name = get_codec(header.codec_id).meta.name
+            else:
+                codec_name = entry.codec
+            if codec_name != "none":
+                profile = self.pool.profile(codec_name)
+                decompress_seconds += entry.length / (
+                    profile.decompress_mbps * MB
+                )
+        data = b"".join(parts) if have_payloads else None
+        return ReadResult(
+            task_id=task_id,
+            data=data,
+            modeled_size=modeled,
+            decompress_seconds=decompress_seconds,
+            io_seconds=io_seconds,
+            metadata_seconds=metadata_seconds,
+            pieces=len(pieces),
+        )
+
+    def execute_read_batch(
+        self, task_ids: list[str], deadline=None
+    ) -> list[ReadResult]:
+        """Read a batch of tasks in order.
+
+        Result- and error-identical to calling :meth:`execute_read` per
+        id; the batch form parses each task's 16-byte piece headers in
+        one vectorized pass (:func:`repro.codecs.metadata.unpack_headers`)
+        instead of one ``struct`` unpack per piece. Falls back to the
+        per-task path under observability or a deadline.
+        """
+        if self.obs is not None or deadline is not None:
+            return [self.execute_read(task_id, deadline) for task_id in task_ids]
+        return [self._execute_read_fast(task_id) for task_id in task_ids]
+
+    def _execute_read_fast(self, task_id: str) -> ReadResult:
+        """:meth:`_execute_read` with one vectorized header parse per task.
+
+        The stateful fetch phase (tier accounting, checksums, read-repair)
+        is identical; header parsing for every payload-bearing piece then
+        happens in a single numpy pass, and the bodies decode with the
+        pre-parsed headers. A batch parse failure drops back to per-piece
+        decoding so the first in-order error surfaces exactly as on the
+        serial path.
+        """
+        try:
+            pieces = self._catalog[task_id]
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None
+        io_seconds = 0.0
+        modeled = 0
+        have_payloads = True
+        fetched: list[tuple[CatalogEntry, bytes | None]] = []
+        for entry in pieces:
+            tier = self.shi.locate(entry.key)
+            if tier is None:
+                raise TierError(f"piece {entry.key!r} lost from every tier")
+            extent = tier.extent(entry.key)
+            modeled += entry.length
+            io_seconds += tier.io_seconds(extent.accounted_size)
+            if extent.has_payload:
+                fetched.append((entry, self._fetch_blob(entry)))
+            else:
+                have_payloads = False
+                fetched.append((entry, None))
+
+        headers: list = [None] * len(fetched)
+        present = [i for i, (_entry, blob) in enumerate(fetched) if blob is not None]
+        if present:
+            try:
+                parsed = unpack_headers([fetched[i][1] for i in present])
+            except SchemaError:
+                parsed = None  # per-piece decode will surface the exact error
+            if parsed is not None:
+                for i, header in zip(present, parsed):
+                    headers[i] = header
+
+        pooled = [
+            blob is not None and self._pool_eligible(entry.codec, len(blob))
+            for entry, blob in fetched
+        ]
+        futures: dict[int, Future] = {}
+        if sum(pooled) >= 2:
+            executor = self._executor()
+            futures = {
+                i: executor.submit(
+                    self._unwrap_timed, entry, blob, headers[i]
+                )
+                for i, (entry, blob) in enumerate(fetched)
+                if pooled[i]
+            }
+            self.parallel_pieces += len(futures)
+
+        parts: list[bytes] = []
+        decompress_seconds = 0.0
+        metadata_seconds = 0.0
+        for i, (entry, blob) in enumerate(fetched):
+            if blob is not None:
+                data, header, wall = (
+                    futures[i].result() if i in futures
+                    else self._unwrap_timed(entry, blob, headers[i])
+                )
+                metadata_seconds += wall
+                parts.append(data)
                 codec_name = get_codec(header.codec_id).meta.name
             else:
                 codec_name = entry.codec

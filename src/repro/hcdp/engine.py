@@ -36,7 +36,7 @@ from .priorities import EQUAL, Priority
 from .schema import Schema, SubTaskPlan
 from .task import IOTask, Operation
 
-__all__ = ["HcdpEngine", "EngineStats"]
+__all__ = ["HcdpEngine", "EngineStats", "BatchPlanner"]
 
 _INF = math.inf
 
@@ -195,6 +195,7 @@ class HcdpEngine:
         deadline_budget: float | None = None,
         codec_filter: str | None = None,
         blocked_tiers: tuple[str, ...] = (),
+        _status=None,
     ) -> Schema:
         if task.operation != Operation.WRITE:
             raise PlacementError(
@@ -206,7 +207,10 @@ class HcdpEngine:
             self.stats.tasks_planned += 1
             return schema
 
-        status = self.monitor.status()
+        # ``_status`` lets the batch planner hand over the snapshot it
+        # already took (via sample_raw) instead of sampling twice; the
+        # per-task path always samples here.
+        status = _status if _status is not None else self.monitor.status()
         hierarchy = self.monitor.hierarchy
         specs = [tier.spec for tier in hierarchy]
         levels = len(specs)
@@ -484,6 +488,78 @@ class HcdpEngine:
             )
         return schema
 
+    # -- batch planning -------------------------------------------------------
+
+    def batch_fast_path_ok(self) -> bool:
+        """Whether the raw-sample batch planner may be used.
+
+        Requires the whole-schema cache (the signature fast path reuses
+        its exactness contract), interval-0 monitoring (raw samples drop
+        the cached snapshot, which an interval > 0 would observe), and no
+        observability sink (spans/metrics are attributed per plan call).
+        """
+        return (
+            self.obs is None
+            and self.plan_cache_config.enabled
+            and self.monitor.interval == 0.0
+        )
+
+    def prefetch_candidates(self, tasks: list[IOTask]) -> int:
+        """Warm ECC candidate tables for a batch with one predict_batch.
+
+        Deduplicates the batch's (feature key, size bucket) groups in
+        first-appearance order and hands them to
+        :meth:`~repro.ccp.predictor.CompressionCostPredictor.prefetch_tables`.
+        Returns the number of tables built.
+        """
+        groups: dict[tuple[str, str, str, int], None] = {}
+        features: dict[int, tuple] = {}  # id(analysis) -> (analysis, key)
+        prev_analysis = None
+        prev_size = -1
+        for task in tasks:
+            if task.operation != Operation.WRITE or task.size == 0:
+                continue
+            analysis = task.analysis
+            size = task.size
+            if analysis is prev_analysis and size == prev_size:
+                continue  # a burst repeats one shape; same group
+            prev_analysis = analysis
+            prev_size = size
+            memo = features.get(id(analysis))
+            if memo is None or memo[0] is not analysis:
+                memo = (analysis, analysis.feature_key())
+                features[id(analysis)] = memo
+            dtype, data_format, distribution = memo[1]
+            bucket = 1 << (size - 1).bit_length()
+            groups.setdefault((dtype, data_format, distribution, bucket))
+        if not groups:
+            return 0
+        return self.predictor.prefetch_tables(
+            list(groups), self.pool.names[1:]
+        )
+
+    def batch_planner(self) -> "BatchPlanner":
+        """A stateful per-batch planning context (see :class:`BatchPlanner`)."""
+        return BatchPlanner(self)
+
+    def plan_batch(self, tasks: list[IOTask]) -> list[Schema]:
+        """Plan a sequence of write tasks through the batch fast path.
+
+        Produces exactly the schemas — and the same engine/cache counters
+        — that ``[self.plan(t) for t in tasks]`` would, but samples the
+        monitor raw, reuses the previous task's plan outright when the
+        planning signature repeats, and warms all ECC candidate tables
+        with a single vectorized predict_batch call up front. Falls back
+        to the per-task path entirely when the fast path's preconditions
+        do not hold.
+        """
+        tasks = list(tasks)
+        if not self.batch_fast_path_ok():
+            return [self.plan(task) for task in tasks]
+        self.prefetch_candidates(tasks)
+        planner = self.batch_planner()
+        return [planner.plan(task) for task in tasks]
+
     def _sync_cache_generation(self) -> None:
         """Flush the plan cache when the world it was built against moved.
 
@@ -531,6 +607,432 @@ class HcdpEngine:
                 expected_cost=cost.total,
             )
         )
+
+
+class BatchPlanner:
+    """Signature-keyed fast path over :meth:`HcdpEngine._plan` for batches.
+
+    One instance plans the tasks of one batch in order. Per task it
+    either takes a raw monitor sample (side-effect-identical to the
+    per-task path's ``status()`` refresh) and builds a *planning
+    signature* — every input that feeds the whole-schema cache key — or,
+    once a signature has been established, proves the signature unchanged
+    without rebuilding it: the planner tracks the only mutable signature
+    inputs (tier fill, capacity bands, the clamped-remaining view)
+    through the batch's own write receipts (:meth:`note_result`) and
+    compares the cheap scalars (size, features, model/priority versions,
+    epoch, pressure band) directly. When the signature is provably equal
+    to the previous task's, the previous plan is reused outright with the
+    same counter updates a sequential schema-cache hit would record:
+    equal signatures imply an equal context key, so the sequential path
+    would have hit the cache and returned the identical plan. Any change
+    — a capacity band crossing, the clamped remaining dipping, a model
+    update, a write the planner was not told about — falls back to the
+    full sample-and-plan path, which re-establishes the tracked state.
+
+    The only telemetry the fast path does not replicate is the plan
+    cache's internal LRU recency (a signature hit skips the
+    ``get_schema`` touch), the predictor's table-cache hit/miss split,
+    and the monitor's snapshot *timestamps* (a proven-unchanged task
+    counts its sample without consuming clock reads; times feed no
+    planning input) — all cache/clock instrumentation, not planning
+    outputs; counters that describe plans (tasks, pieces, hits/misses,
+    degraded, memo deltas, samples taken) match exactly.
+
+    Callers must hold :meth:`HcdpEngine.batch_fast_path_ok`; QoS
+    constraints (deadline, codec filter, blocked tiers) must go through
+    :meth:`HcdpEngine.plan` instead — they bypass the schema cache, so
+    there is nothing for a signature to reuse.
+    """
+
+    def __init__(self, engine: HcdpEngine) -> None:
+        self.engine = engine
+        specs = [tier.spec for tier in engine.monitor.hierarchy]
+        self._bounded_cap = sum(
+            s.capacity for s in specs if s.capacity is not None
+        )
+        self._sink_bw = specs[-1].bandwidth if specs else 1.0
+        self._level_by_name = {s.name: i for i, s in enumerate(specs)}
+        self._bands = engine.plan_cache_config.capacity_bands
+        # Per-analysis feature-key memo: a burst's tasks share one
+        # InputAnalysis object, so the triple is computed once per batch.
+        # The entry pins the analysis so its id() stays valid.
+        self._features: dict[int, tuple] = {}
+        # Burst-lane model: the last established signature's inputs, with
+        # tier fill / remaining / band tracked live via note_result.
+        self._model_valid = False
+        self._m_plan: CachedPlan | None = None
+        self._m_pieces_len = 0
+        self._m_size = -1
+        self._m_features: tuple | None = None
+        self._m_model_version = -1
+        self._m_priority_version = -1
+        self._m_epoch = -1
+        self._m_drain = 0.0
+        self._m_clamp = 0.0
+        self._m_all_avail = True
+        self._m_loads_sum = 0
+        self._m_avail: tuple = ()
+        self._m_rem: list = []
+        self._m_used: list = []
+        self._m_band: list = []
+        self._m_clamped: list = []
+        # Debits of the last quoted run template: [(level, bytes/task)].
+        self._run_debits: list = []
+
+    def invalidate(self) -> None:
+        """Drop the burst-lane model; the next plan resamples in full."""
+        self._model_valid = False
+
+    def note_result(self, result) -> None:
+        """Fold one write's receipts into the tracked tier model.
+
+        Every batch write (fast path, fallback, or replan) must pass
+        through here, in execution order — the receipts carry the landed
+        tier and accounted footprint, which are the only tier mutations a
+        gated batch can make. A band crossing or clamped-remaining change
+        invalidates the model instead of updating it: the next plan runs
+        the full sample path, which bumps the epoch and re-plans exactly
+        where the sequential path would.
+        """
+        if not self._model_valid:
+            return
+        levels = self._level_by_name
+        for piece in result.pieces:
+            level = levels.get(piece.tier)
+            if level is None:  # pragma: no cover - unknown tier name
+                self._model_valid = False
+                return
+            used = self._m_used[level] + piece.stored_size
+            self._m_used[level] = used
+            rem = self._m_rem[level]
+            if rem is None:
+                continue
+            rem -= piece.stored_size
+            self._m_rem[level] = rem
+            if self._m_avail[level]:
+                clamped = min(float(rem), self._m_clamp)
+            else:  # pragma: no cover - down tiers take no fast writes
+                clamped = 0.0
+            if clamped != self._m_clamped[level]:
+                self._model_valid = False
+                return
+            capacity = used + rem
+            if capacity <= 0:
+                band = 0
+            else:
+                fraction = min(max(used / capacity, 0.0), 1.0)
+                band = min(int(fraction * self._bands), self._bands - 1)
+            if band != self._m_band[level]:
+                self._model_valid = False
+                return
+
+    def run_quota(self, task: IOTask, result) -> int:
+        """How many more *identical* tasks provably replan to the same plan.
+
+        ``task``/``result`` are the just-executed template. The quota is
+        the largest ``k`` such that k further tasks of the same size,
+        analysis, and sample — each landing the template's receipts — keep
+        every burst-lane signature input unchanged: no drain-pressure band
+        crossing, no tier capacity-band crossing, no clamped-remaining
+        dip, and every piece still fitting its planned tier. Within the
+        quota the per-task plan/debit/receipt cycle collapses to bulk
+        arithmetic (the run lane); each bound is closed-form off the
+        tracked ledger, then float-verified at ``k`` (every bound is
+        monotone in the task index, so one endpoint check covers the run).
+        Model-version changes *inside* a run are prevented by the caller's
+        feedback-headroom clamp; a flush that already fired during the
+        template task itself (between its record and the run start) is
+        caught here by comparing the memoized model/priority/epoch
+        versions against the live engine.
+
+        Returns 0 when the template is unusable as a run prototype: model
+        invalid or stale-versioned, spilled/failed-over/retried pieces, or
+        a tier so close to a boundary that the very next task would move
+        the signature.
+        """
+        if not self._model_valid:
+            return 0
+        engine = self.engine
+        if (
+            engine.predictor.model_version != self._m_model_version
+            or engine._priority_version != self._m_priority_version
+            or engine.monitor.state_epoch != self._m_epoch
+        ):
+            # The template went stale after its own plan — e.g. its
+            # feedback record fired a flush. The sequential path replans
+            # the very next task against the new model, so no run may
+            # start from this template.
+            return 0
+        debits: dict[int, int] = {}
+        levels = self._level_by_name
+        for piece in result.pieces:
+            if piece.spilled or piece.failover or piece.retries:
+                return 0
+            level = levels.get(piece.tier)
+            if level is None or piece.plan.tier_level != level:
+                return 0
+            debits[level] = debits.get(level, 0) + piece.stored_size
+        quota = 1 << 60
+        size = task.size
+        if engine.drain_penalty and self._bounded_cap:
+            cap = self._bounded_cap
+            planned = engine._planned_bytes
+            if planned < cap:
+                bands = self._bands
+                band = math.floor(min(1.0, planned / cap) * bands)
+                k = int(((band + 1) * cap / bands - planned) // size)
+                while k > 0 and (
+                    math.floor(min(1.0, (planned + k * size) / cap) * bands)
+                    != band
+                ):
+                    k -= 1
+                quota = min(quota, k)
+        bands = self._bands
+        clamp = self._m_clamp
+        for level, debit in debits.items():
+            if debit <= 0:
+                continue
+            if not self._m_avail[level]:
+                return 0
+            rem = self._m_rem[level]
+            if rem is None:
+                continue
+            k_fit = rem // debit
+            clamped = self._m_clamped[level]
+            if float(rem) > clamp:
+                k_clamp = int((rem - clamp) // debit)
+                while k_clamp > 0 and (
+                    min(float(rem - k_clamp * debit), clamp) != clamped
+                ):
+                    k_clamp -= 1
+            else:
+                # Remaining is below the signature clamp: any debit moves
+                # the clamped view, so no run can start here.
+                k_clamp = 0
+            used = self._m_used[level]
+            capacity = used + rem
+            band = self._m_band[level]
+            if capacity <= 0:
+                k_band = 0
+            else:
+                k_band = int(((band + 1) * capacity / bands - used) // debit)
+                while k_band > 0:
+                    fraction = min(max((used + k_band * debit) / capacity, 0.0), 1.0)
+                    if min(int(fraction * bands), bands - 1) == band:
+                        break
+                    k_band -= 1
+            quota = min(quota, k_fit, k_clamp, k_band)
+        if quota <= 0:
+            return 0
+        self._run_debits = sorted(debits.items())
+        return quota
+
+    def emit_schema(self, task: IOTask) -> Schema:
+        """One run task's schema from the established plan (no counters —
+        :meth:`commit_run` records the whole run's in bulk)."""
+        cached = self._m_plan
+        schema = Schema(
+            task=task,
+            pieces=list(cached.pieces),
+            expected_cost=cached.expected_cost,
+            memo_hits=cached.memo_hits,
+            memo_misses=cached.memo_misses,
+        )
+        schema._pieces_source = cached.pieces
+        return schema
+
+    def commit_run(self, count: int, size: int) -> None:
+        """Fold ``count`` executed run tasks into planner + engine state.
+
+        Exactly ``count`` sequential burst-lane hits' worth of counter
+        and ledger updates (ints throughout, so bulk addition is
+        bit-identical to repeated addition); the quota already proved no
+        clamped/band value moves, so the model stays valid.
+        """
+        if count <= 0:
+            return
+        engine = self.engine
+        monitor = engine.monitor
+        monitor._cached = None
+        monitor._samples += count
+        engine._planned_bytes += count * size
+        stats = engine.stats
+        stats.plan_cache_hits += count
+        stats.tasks_planned += count
+        stats.pieces_emitted += count * self._m_pieces_len
+        if not self._m_all_avail:
+            stats.degraded_plans += count
+        for level, debit in self._run_debits:
+            self._m_used[level] += count * debit
+            rem = self._m_rem[level]
+            if rem is not None:
+                self._m_rem[level] = rem - count * debit
+
+    def plan(self, task: IOTask) -> Schema:
+        engine = self.engine
+        if task.operation != Operation.WRITE or task.size == 0:
+            # Delegate for the exact error / empty-schema behaviour; the
+            # per-task path takes no sample for these either.
+            return engine._plan(task)
+        analysis = task.analysis
+        cached_features = self._features.get(id(analysis))
+        if cached_features is None or cached_features[0] is not analysis:
+            cached_features = (analysis, analysis.feature_key())
+            self._features[id(analysis)] = cached_features
+        features = cached_features[1]
+        if (
+            self._model_valid
+            and task.size == self._m_size
+            and features == self._m_features
+            and engine.predictor.model_version == self._m_model_version
+            and engine._priority_version == self._m_priority_version
+            and engine.monitor.state_epoch == self._m_epoch
+        ):
+            planned_after = engine._planned_bytes + task.size
+            peak_after = engine._peak_concurrency
+            observed = self._m_loads_sum + 1
+            if observed > peak_after:
+                peak_after = observed
+            drain_per_byte = 0.0
+            if engine.drain_penalty and self._bounded_cap:
+                pressure = min(1.0, planned_after / self._bounded_cap)
+                bands = self._bands
+                pressure = math.floor(pressure * bands) / bands
+                drain_per_byte = (
+                    engine.drain_penalty * pressure * peak_after / self._sink_bw
+                )
+            if drain_per_byte == self._m_drain:
+                # Signature provably equal to the previous task's: every
+                # input either compared equal above or is tier state this
+                # planner tracked through the batch's own receipts.
+                monitor = engine.monitor
+                monitor._cached = None
+                monitor._samples += 1
+                engine._planned_bytes = planned_after
+                engine._peak_concurrency = peak_after
+                stats = engine.stats
+                if not self._m_all_avail:
+                    stats.degraded_plans += 1
+                stats.plan_cache_hits += 1
+                cached = self._m_plan
+                schema = Schema(
+                    task=task,
+                    pieces=list(cached.pieces),
+                    expected_cost=cached.expected_cost,
+                    memo_hits=cached.memo_hits,
+                    memo_misses=cached.memo_misses,
+                )
+                schema._pieces_source = cached.pieces
+                stats.tasks_planned += 1
+                stats.pieces_emitted += self._m_pieces_len
+                return schema
+        return self._plan_sampled(task, features)
+
+    def _plan_sampled(self, task: IOTask, features: tuple) -> Schema:
+        """Full sample-and-sign path; re-establishes the burst model."""
+        engine = self.engine
+        raw = engine.monitor.sample_raw()
+        bucket = 1 << (task.size - 1).bit_length()
+        planned_after = engine._planned_bytes + task.size
+        loads_sum = sum(raw.loads)
+        peak_after = max(engine._peak_concurrency, loads_sum + 1)
+        drain_per_byte = 0.0
+        if engine.drain_penalty and self._bounded_cap:
+            pressure = min(1.0, planned_after / self._bounded_cap)
+            bands = self._bands
+            pressure = math.floor(pressure * bands) / bands
+            drain_per_byte = (
+                engine.drain_penalty * pressure * peak_after / self._sink_bw
+            )
+        # Same remaining-capacity clamp as ``_plan``'s context key (see
+        # repro.hcdp.plan_cache): capacities beyond bucket + header are
+        # indistinguishable to the DP, so a draining burst's shifting
+        # ledger collapses to one signature instead of missing per task.
+        # Down tiers read as 0 remaining (``TierStatus`` semantics).
+        clamp = float(bucket + HEADER_SIZE)
+        remaining = tuple(
+            (clamp if rem is None else min(float(rem), clamp)) if avail else 0.0
+            for avail, rem in zip(raw.available, raw.remaining)
+        )
+        sig = (
+            task.size,
+            features,
+            bucket,
+            engine.predictor.model_version,
+            engine._priority_version,
+            engine.monitor.state_epoch,
+            raw.available,
+            raw.loads,
+            raw.queued,
+            remaining,
+            drain_per_byte,
+        )
+        cached = engine.plan_cache.get_signature(sig)
+        if cached is not None:
+            engine._planned_bytes = planned_after
+            engine._peak_concurrency = peak_after
+            stats = engine.stats
+            if not all(raw.available):
+                stats.degraded_plans += 1
+            stats.plan_cache_hits += 1
+            schema = Schema(task=task)
+            schema.pieces = list(cached.pieces)
+            schema.expected_cost = cached.expected_cost
+            schema.memo_hits = cached.memo_hits
+            schema.memo_misses = cached.memo_misses
+            schema._pieces_source = cached.pieces
+            stats.tasks_planned += 1
+            stats.pieces_emitted += len(schema.pieces)
+            self._establish(
+                task, features, raw, cached, clamp, remaining,
+                drain_per_byte, loads_sum,
+            )
+            return schema
+        schema = engine._plan(task, _status=raw.to_status())
+        cached = CachedPlan(
+            pieces=tuple(schema.pieces),
+            expected_cost=schema.expected_cost,
+            memo_hits=schema.memo_hits,
+            memo_misses=schema.memo_misses,
+        )
+        engine.plan_cache.put_signature(sig, cached)
+        schema._pieces_source = cached.pieces
+        self._establish(
+            task, features, raw, cached, clamp, remaining, drain_per_byte,
+            loads_sum,
+        )
+        return schema
+
+    def _establish(
+        self,
+        task: IOTask,
+        features: tuple,
+        raw,
+        cached: CachedPlan,
+        clamp: float,
+        clamped_remaining: tuple,
+        drain_per_byte: float,
+        loads_sum: int,
+    ) -> None:
+        engine = self.engine
+        self._m_plan = cached
+        self._m_pieces_len = len(cached.pieces)
+        self._m_size = task.size
+        self._m_features = features
+        self._m_model_version = engine.predictor.model_version
+        self._m_priority_version = engine._priority_version
+        self._m_epoch = engine.monitor.state_epoch
+        self._m_drain = drain_per_byte
+        self._m_clamp = clamp
+        self._m_all_avail = all(raw.available)
+        self._m_loads_sum = loads_sum
+        self._m_avail = raw.available
+        self._m_rem = list(raw.remaining)
+        self._m_used = list(raw.used)
+        self._m_band = [band for _avail, band in raw.signature]
+        self._m_clamped = list(clamped_remaining)
+        self._model_valid = True
 
 
 def _stored_size(size: int, ratio: float) -> int:

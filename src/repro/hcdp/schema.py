@@ -20,7 +20,7 @@ from .task import IOTask
 __all__ = ["SubTaskPlan", "Schema", "validate_schema"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SubTaskPlan:
     """One piece of a task: where it goes and how it is compressed."""
 
@@ -46,7 +46,7 @@ class SubTaskPlan:
             raise SchemaError("expected stored size must be >= 0")
 
 
-@dataclass
+@dataclass(slots=True)
 class Schema:
     """An ordered placement plan for one task."""
 
@@ -55,6 +55,12 @@ class Schema:
     expected_cost: float = 0.0
     memo_hits: int = 0
     memo_misses: int = 0
+    # Shared plan tuple a cached schema was emitted from; lets the manager
+    # recognise reusable prep across a batch. Identity metadata, not part
+    # of the schema's value.
+    _pieces_source: tuple | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.pieces)

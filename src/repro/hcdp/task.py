@@ -35,7 +35,7 @@ class Operation:
     ALL = (WRITE, READ)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IOTask:
     """One I/O request as seen by the engine.
 

@@ -290,6 +290,145 @@ class ShardedHCompress:
         )
         return result
 
+    def compress_batch(
+        self,
+        items,
+        *,
+        deadline: float | None = None,
+        qos_class: QosClass | None = None,
+        tenant: str | None = None,
+    ) -> list[WriteResult]:
+        """Route a batch of writes, one sub-batch per owning shard.
+
+        Task ids are fixed up front in item order (exactly the ids a
+        per-item :meth:`compress` loop would have assigned), each item
+        routes by its key through the ring (a dict item's own ``tenant``
+        overrides the call-level one), and every shard receives its
+        items as one :meth:`HCompress.compress_batch` call in their
+        original relative order — so each shard's catalog, schemas, and
+        telemetry are byte-identical to the per-task loop's. Results
+        return in submission order. Availability is checked for every
+        involved shard before any work: a DOWN shard fails the whole
+        batch in O(1) with nothing placed anywhere.
+        """
+        self._check_open()
+        specs: list[dict] = []
+        tids: list[str] = []
+        keys: list[str] = []
+        for item in items:
+            if isinstance(item, IOTask):
+                specs.append({"task": item})
+                tids.append(item.task_id)
+                keys.append(self.route_key(item.task_id, tenant))
+            elif isinstance(item, (bytes, bytearray, memoryview)):
+                tid = next_task_id()
+                specs.append({"data": bytes(item), "task_id": tid})
+                tids.append(tid)
+                keys.append(self.route_key(tid, tenant))
+            elif isinstance(item, dict):
+                spec = dict(item)
+                task = spec.get("task")
+                if task is not None:
+                    tid = task.task_id
+                else:
+                    tid = spec.get("task_id") or next_task_id()
+                    spec["task_id"] = tid
+                tids.append(tid)
+                # A dict item may carry its own tenant, routing exactly
+                # like the per-task loop's compress(..., tenant=...).
+                keys.append(self.route_key(tid, spec.get("tenant", tenant)))
+                specs.append(spec)
+            else:
+                raise HCompressError(
+                    "compress_batch items must be bytes, IOTask, or dicts "
+                    f"of compress() kwargs, got {type(item).__name__}"
+                )
+        route = self.ring.route
+        groups: dict[int, list[int]] = {}
+        for index, key in enumerate(keys):
+            groups.setdefault(route(key), []).append(index)
+        self.supervisor.sweep()
+        for shard_id in groups:
+            self.supervisor.ensure_up(shard_id)
+        results: list[WriteResult | None] = [None] * len(specs)
+        for shard_id, indices in groups.items():
+            engine = self.engine(shard_id)
+            try:
+                shard_results = engine.compress_batch(
+                    [specs[i] for i in indices],
+                    deadline=deadline,
+                    qos_class=qos_class,
+                    tenant=tenant,
+                )
+            except QosError:
+                self.supervisor.record_outcome(shard_id, ok=True)
+                raise
+            except SimulatedCrashError:
+                self._abandon(shard_id, "crashed")
+                raise
+            except TierError:
+                self.supervisor.record_outcome(shard_id, ok=False)
+                raise
+            owners = self._owners
+            busy = self.busy_seconds[shard_id]
+            for index, result in zip(indices, shard_results):
+                results[index] = result
+                owners[result.task.task_id] = shard_id
+                # one addition per task: bit-identical to the per-task
+                # router's accumulation order
+                busy += result.compress_seconds + result.io_seconds
+            self.busy_seconds[shard_id] = busy
+            for _ in indices:
+                self.supervisor.record_outcome(shard_id, ok=True)
+        return results
+
+    def decompress_batch(
+        self, task_ids, *, deadline: float | None = None
+    ) -> list[ReadResult]:
+        """Route a batch of reads to their owning shards.
+
+        Grouping mirrors :meth:`compress_batch`: order within each shard
+        is preserved, results return in submission order, and every
+        involved shard must be UP before any read is issued.
+        """
+        self._check_open()
+        task_ids = list(task_ids)
+        owners = self._owners
+        route = self.ring.route
+        groups: dict[int, list[int]] = {}
+        for index, tid in enumerate(task_ids):
+            shard_id = owners.get(tid)
+            if shard_id is None:
+                shard_id = route(tid)
+            groups.setdefault(shard_id, []).append(index)
+        self.supervisor.sweep()
+        for shard_id in groups:
+            self.supervisor.ensure_up(shard_id)
+        results: list[ReadResult | None] = [None] * len(task_ids)
+        for shard_id, indices in groups.items():
+            engine = self.engine(shard_id)
+            try:
+                shard_results = engine.decompress_batch(
+                    [task_ids[i] for i in indices], deadline=deadline
+                )
+            except QosError:
+                self.supervisor.record_outcome(shard_id, ok=True)
+                raise
+            except SimulatedCrashError:
+                self._abandon(shard_id, "crashed")
+                raise
+            except TierError:
+                self.supervisor.record_outcome(shard_id, ok=False)
+                raise
+            busy = self.busy_seconds[shard_id]
+            for index, result in zip(indices, shard_results):
+                results[index] = result
+                busy += result.decompress_seconds + result.io_seconds
+            self.busy_seconds[shard_id] = busy
+            for _ in indices:
+                self.supervisor.record_outcome(shard_id, ok=True)
+        return results
+
     # -- failure domains -----------------------------------------------------
 
     def kill_shard(self, shard_id: int, reason: str = "killed") -> None:

@@ -32,5 +32,17 @@ class SimClock:
             )
         self._now = max(self._now, float(t))
 
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by a relative amount; returns the new time.
+
+        The batch drivers use this to charge one aggregated advance per
+        batch (the summed modeled seconds of its tasks) where the per-task
+        harnesses advance once per task.
+        """
+        if seconds < 0:
+            raise SimulationError(f"cannot advance by negative {seconds}")
+        self._now += float(seconds)
+        return self._now
+
     def __repr__(self) -> str:
         return f"<SimClock t={self._now:.6f}s>"

@@ -34,7 +34,7 @@ from .spec import TierSpec
 __all__ = ["Tier", "Extent"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Extent:
     """One placed blob: its accounted footprint and payload presence."""
 
@@ -205,6 +205,84 @@ class Tier:
         self._extents[key] = extent
         self._used += accounted_size
         return extent
+
+    def put_many(self, items: list[tuple[str, bytes | None, int | None]]) -> list[Extent]:
+        """Place several blobs with one capacity-ledger debit.
+
+        Validates every item up front — duplicate keys (against the tier
+        *and* within the batch), availability, accounted sizes, and the
+        batch's *total* footprint against remaining capacity — then stores
+        payloads and records extents, charging ``used`` once. All-or-
+        nothing: a validation failure places nothing. Outcomes match a
+        sequence of :meth:`put` calls exactly (a batch whose total fits
+        leaves the same ledger; one that doesn't would have failed
+        sequentially at or before the piece the total check rejects).
+
+        Args:
+            items: ``(key, payload, accounted_size)`` triples with
+                :meth:`put` semantics per item.
+        """
+        if not self._available:
+            raise TierUnavailableError(f"{self.spec.name}: tier is unavailable")
+        # Fast validation: when every item is clean (explicit non-negative
+        # accounted sizes, no duplicate keys) the checks collapse to set and
+        # sum builtins; anything unclean re-runs the exact per-item loop so
+        # the first error raised matches a sequence of ``put`` calls.
+        keys = [item[0] for item in items]
+        seen = set(keys)
+        raw_sizes = [item[2] for item in items]
+        if (
+            len(seen) == len(keys)
+            and self._extents.keys().isdisjoint(seen)
+            and None not in raw_sizes
+            and (not raw_sizes or min(raw_sizes) >= 0)
+        ):
+            accounted_sizes = raw_sizes
+            total = sum(raw_sizes)
+        else:
+            total = 0
+            seen = set()
+            accounted_sizes = []
+            for key, payload, accounted_size in items:
+                if key in self._extents or key in seen:
+                    raise TierError(
+                        f"{self.spec.name}: key {key!r} already placed"
+                    )
+                seen.add(key)
+                if accounted_size is None:
+                    if payload is None:
+                        raise TierError(
+                            "accounted_size is required when payload is None"
+                        )
+                    accounted_size = len(payload)
+                if accounted_size < 0:
+                    raise TierError(
+                        f"accounted_size must be >= 0, got {accounted_size}"
+                    )
+                accounted_sizes.append(accounted_size)
+                total += accounted_size
+        if not self.fits(total):
+            raise CapacityError(
+                f"{self.spec.name}: batch of {fmt_bytes(total)} does not fit "
+                f"({fmt_bytes(max(self.remaining or 0, 0))} remaining)"
+            )
+        if all(item[1] is None for item in items):
+            # Accounting-only batch: no device stores, bulk-build extents.
+            extents = [
+                Extent(key, accounted_size, False)
+                for key, accounted_size in zip(keys, accounted_sizes)
+            ]
+            self._extents.update(zip(keys, extents))
+        else:
+            extents = []
+            for (key, payload, _), accounted_size in zip(items, accounted_sizes):
+                if payload is not None:
+                    self.device.store(key, payload)
+                extent = Extent(key, accounted_size, payload is not None)
+                self._extents[key] = extent
+                extents.append(extent)
+        self._used += total
+        return extents
 
     def get(self, key: str) -> bytes:
         """Read a placed blob's payload.

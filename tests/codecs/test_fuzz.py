@@ -95,3 +95,43 @@ def test_bitflipped_payload_decodes_or_raises_typed(name: str) -> None:
         for _ in range(rng.randrange(1, 4)):
             payload[rng.randrange(len(payload))] ^= 1 << rng.randrange(8)
         _decode_contract(codec, bytes(payload))
+
+
+@pytest.mark.parametrize("name", ["bdi", "fpc"])
+def test_cacheline_raw_body_decodes_or_raises_typed(name: str) -> None:
+    """The unframed cache-line decoders share the decode contract.
+
+    The framed tests above only reach ``bdi_decode``/``fpc_decode``
+    through an intact frame; a corrupt *body* behind a valid frame is the
+    case the read path actually sees after a payload bit-flip, so the raw
+    decoders get their own adversarial pass: random bodies, truncated
+    encodings, and flipped control/prefix sections against arbitrary
+    expected sizes must return bytes or raise CodecError — never a numpy
+    shape error or overallocation.
+    """
+    from repro.codecs.cacheline import bdi_decode, bdi_encode, fpc_decode, fpc_encode
+
+    encode, decode = (
+        (bdi_encode, bdi_decode) if name == "bdi" else (fpc_encode, fpc_decode)
+    )
+    rng = random.Random(SEED ^ zlib.crc32(name.encode()) ^ 4)
+    for _ in range(ROUNDS * 4):
+        size = rng.randrange(4096)
+        mode = rng.randrange(3)
+        if mode == 0:
+            body = rng.randbytes(rng.randrange(2048))
+        else:
+            body = bytearray(encode(_corpus(rng, 2048)))
+            if not body:
+                body = bytearray(b"\x00")
+            if mode == 1:
+                body = bytes(body[: rng.randrange(len(body))])
+            else:
+                for _ in range(rng.randrange(1, 4)):
+                    body[rng.randrange(len(body))] ^= 1 << rng.randrange(8)
+                body = bytes(body)
+        try:
+            out = decode(bytes(body), size)
+        except CodecError:
+            continue
+        assert isinstance(out, bytes) and len(out) == size

@@ -1,0 +1,199 @@
+"""Unit tests for the batched hot path's building blocks.
+
+The end-to-end byte-identity guarantee lives in
+``test_batch_equivalence.py``; this file pins the contracts of the
+pieces it is assembled from: the feedback loop's bulk record, the
+tier's all-or-nothing ``put_many``, batch input validation, and the
+duplicate-task-id error surface.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ccp import (
+    CompressionCostPredictor,
+    CostObservation,
+    FeedbackLoop,
+    ObservationKey,
+)
+from repro.core import HCompress
+from repro.core.config import HCompressConfig
+from repro.errors import (
+    CapacityError,
+    HCompressError,
+    SchemaError,
+    TierError,
+    TierUnavailableError,
+)
+from repro.hcdp import IOTask
+from repro.tiers import Tier, TierSpec, ares_hierarchy
+from repro.units import KiB, MiB
+from repro.workloads import vpic_sample
+from repro.workloads.vpic import VPIC_HINTS
+
+
+# -- FeedbackLoop.record_run --------------------------------------------------
+
+
+def _loop(seed, every_n: int) -> FeedbackLoop:
+    predictor = CompressionCostPredictor()
+    predictor.fit_seed(seed.observations)
+    return FeedbackLoop(predictor, every_n=every_n)
+
+
+def _obs(seed, n: int) -> list[CostObservation]:
+    del seed
+    return [
+        CostObservation(
+            key=ObservationKey("float64", "binary", "gamma", "zlib", 65536),
+            compress_mbps=30.0 + i,
+            decompress_mbps=400.0,
+            ratio=2.0,
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.mark.parametrize("per_task,count", [(1, 5), (2, 3), (3, 1), (1, 0)])
+def test_record_run_below_cadence_matches_per_record(
+    seed, per_task: int, count: int
+) -> None:
+    observations = _obs(seed, per_task)
+    bulk, loop = _loop(seed, every_n=64), _loop(seed, every_n=64)
+    flushed = bulk.record_run(observations, count)
+    ref = False
+    for _ in range(count):
+        for obs in observations:
+            ref = loop.record(obs) or ref
+    assert flushed == ref is False
+    assert bulk.pending == loop.pending
+    assert bulk.events == loop.events
+    assert bulk._pending == loop._pending  # same objects, same order
+
+
+def test_record_run_crossing_cadence_flushes_at_sequential_points(
+    seed,
+) -> None:
+    observations = _obs(seed, 2)
+    bulk, loop = _loop(seed, every_n=5), _loop(seed, every_n=5)
+    assert bulk.record_run(observations, 4) is True
+    ref = False
+    for _ in range(4):
+        for obs in observations:
+            ref = loop.record(obs) or ref
+    assert ref is True
+    assert bulk.flushes == loop.flushes
+    assert bulk.pending == loop.pending
+    assert bulk.events == loop.events
+
+
+# -- Tier.put_many ------------------------------------------------------------
+
+
+def _tier(capacity=1 * MiB, name="t") -> Tier:
+    return Tier(TierSpec(name=name, capacity=capacity, bandwidth=1e9,
+                         latency=1e-6, lanes=2))
+
+
+def test_put_many_matches_sequential_puts() -> None:
+    batch, seq = _tier(), _tier()
+    items = [(f"k{i}", None, 1000 + i) for i in range(8)]
+    extents = batch.put_many(items)
+    for key, payload, size in items:
+        seq.put(key, payload, size)
+    assert batch.used == seq.used
+    assert extents == [seq.extent(key) for key, _, _ in items]
+
+
+def test_put_many_stores_payloads() -> None:
+    tier = _tier()
+    items = [(f"k{i}", bytes([i]) * 100, None) for i in range(4)]
+    tier.put_many(items)
+    for key, payload, _ in items:
+        assert tier.get(key) == payload
+    # mixed payload/accounting batches take the per-item path
+    tier.put_many([("m0", b"x" * 10, None), ("m1", None, 5)])
+    assert tier.get("m0") == b"x" * 10
+    assert tier.extent("m1").has_payload is False
+
+
+@pytest.mark.parametrize(
+    "items,error",
+    [
+        ([("a", None, 10), ("a", None, 10)], TierError),  # dup inside batch
+        ([("held", None, 10)], TierError),  # dup against the tier
+        ([("a", None, 10), ("b", None, None)], TierError),  # size required
+        ([("a", None, 10), ("b", None, -1)], TierError),  # negative size
+        ([("a", None, 2 * MiB)], CapacityError),  # total does not fit
+    ],
+)
+def test_put_many_is_all_or_nothing(items, error) -> None:
+    tier = _tier()
+    tier.put("held", None, 10)
+    used = tier.used
+    with pytest.raises(error):
+        tier.put_many(items)
+    assert tier.used == used
+    assert all(
+        key == "held" or key not in tier for key, _, _ in items
+    )
+
+
+def test_put_many_unavailable_tier() -> None:
+    tier = _tier()
+    tier.set_available(False)
+    with pytest.raises(TierUnavailableError):
+        tier.put_many([("a", None, 10)])
+
+
+def test_put_many_empty_batch() -> None:
+    tier = _tier()
+    assert tier.put_many([]) == []
+    assert tier.used == 0
+
+
+# -- compress_batch input contract -------------------------------------------
+
+
+@pytest.fixture()
+def engine(seed) -> HCompress:
+    return HCompress(
+        ares_hierarchy(16 * MiB, 32 * MiB, 256 * MiB, nodes=2),
+        HCompressConfig(),
+        seed=seed,
+    )
+
+
+def test_compress_batch_rejects_unknown_item_types(engine) -> None:
+    with pytest.raises(HCompressError):
+        engine.compress_batch([42])
+    with pytest.raises(HCompressError):
+        engine.compress_batch([{"data": b"x" * 64, "task": object()}])
+
+
+def test_compress_batch_accepts_mixed_item_forms(engine) -> None:
+    sample = vpic_sample(4 * KiB, np.random.default_rng(0))
+    task = IOTask(
+        task_id="t-task", size=4 * KiB,
+        analysis=engine.analyzer.analyze(sample, VPIC_HINTS), data=sample,
+    )
+    results = engine.compress_batch(
+        [sample, task, {"data": sample, "hints": VPIC_HINTS,
+                        "task_id": "t-dict"}]
+    )
+    assert [r.task.task_id for r in results][1:] == ["t-task", "t-dict"]
+    assert all(r.task.task_id in engine.manager for r in results)
+
+
+def test_compress_batch_duplicate_id_raises_like_sequential(engine) -> None:
+    sample = vpic_sample(4 * KiB, np.random.default_rng(0))
+    spec = {"data": sample, "hints": VPIC_HINTS, "modeled_size": 64 * KiB}
+    items = [dict(spec, task_id=f"dup.{i}") for i in range(6)]
+    items.insert(4, dict(spec, task_id="dup.1"))  # repeats an earlier id
+    with pytest.raises(SchemaError, match="already written"):
+        engine.compress_batch(items)
+    # everything before the duplicate landed, exactly like a loop would
+    for i in range(4):
+        assert f"dup.{i}" in engine.manager

@@ -1,0 +1,233 @@
+"""Byte-identity of the batched hot path (DESIGN.md §12).
+
+One fig-7-shaped VPIC checkpoint burst, driven three ways over engines
+built from the same profiler seed:
+
+  1. ``compress`` once per task (the reference interleaving),
+  2. ``compress_batch`` over the whole burst,
+  3. ``ShardedHCompress.compress_batch`` over N shards vs the same
+     shards driven per task.
+
+Schemas, catalogs, piece receipts, observations, reads, and every
+planner/monitor/model counter must match exactly — the batch path is a
+performance shape, never a semantics shape. Explicitly excluded batch
+gauges (plan-cache LRU recency, predictor table-cache hit/miss split,
+``parallel_pieces``, anatomy wall-clock seconds, snapshot timestamps)
+are the *only* tolerated divergences and are not compared here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import HCompress
+from repro.core.config import HCompressConfig
+from repro.shard import ShardConfig, ShardedHCompress
+from repro.tiers import ares_hierarchy, ares_specs
+from repro.units import GiB, KiB, MiB
+from repro.workloads import vpic_sample
+from repro.workloads.vpic import VPIC_HINTS
+
+TASKS = 192
+
+
+@pytest.fixture(scope="module")
+def burst() -> list[dict]:
+    """A fig-7-shaped VPIC checkpoint burst: every rank writes the same
+    modeled slab each timestep, sampled from one shared buffer. Each item
+    carries a tenant so the sharded tests exercise per-item tenant
+    routing (inert on an unsharded engine without QoS)."""
+    sample = vpic_sample(64 * KiB, np.random.default_rng(0))
+    return [
+        {
+            "data": sample,
+            "hints": VPIC_HINTS,
+            "modeled_size": 8 * MiB,
+            "task_id": f"vpic.{i // 64}.{i % 64}",  # timestep.rank
+            "tenant": f"tenant-{i % 7}",
+        }
+        for i in range(TASKS)
+    ]
+
+
+def _engine(seed) -> HCompress:
+    return HCompress(
+        ares_hierarchy(64 * MiB, 128 * MiB, 4 * GiB, nodes=2),
+        HCompressConfig(),
+        seed=seed,
+    )
+
+
+def _counters(e: HCompress) -> dict:
+    s = e.engine.stats
+    return {
+        "tasks_planned": s.tasks_planned,
+        "memo_hits": s.memo_hits,
+        "memo_misses": s.memo_misses,
+        "pieces_emitted": s.pieces_emitted,
+        "degraded": s.degraded_plans,
+        "pc_hits": s.plan_cache_hits,
+        "pc_misses": s.plan_cache_misses,
+        "pc_inval": s.plan_cache_invalidations,
+        "model_version": e.predictor.model_version,
+        "obs_seen": e.predictor.observations_seen,
+        "mon_samples": e.monitor.samples_taken,
+        "mon_epoch": e.monitor.state_epoch,
+        "sample_hits": e.manager.sample_cache_hits,
+        "sample_misses": e.manager.sample_cache_misses,
+        "spills": e.manager.spill_events,
+        "replans": e.replans,
+        "flushes": e.feedback.flushes,
+        "pending_obs": e.feedback.pending,
+        "analyzer": (e.analyzer.cache_hits, e.analyzer.cache_misses),
+        "tier_used": {t.spec.name: t.used for t in e.hierarchy},
+        "shi": (
+            e.shi.stats.retries,
+            e.shi.stats.failovers,
+            e.shi.stats.exhausted,
+        ),
+    }
+
+
+def _schema_view(result):
+    return (
+        result.task.task_id,
+        tuple(result.schema.pieces),
+        result.schema.expected_cost,
+        result.schema.memo_hits,
+        result.schema.memo_misses,
+    )
+
+
+def _piece_view(result):
+    return [
+        (
+            p.plan, p.key, p.tier, p.stored_size, p.actual_ratio,
+            p.compress_seconds, p.io_seconds, p.spilled, p.failover,
+            p.retries,
+        )
+        for p in result.pieces
+    ]
+
+
+def _assert_write_equivalent(ref_results, ref_engine, results, engine):
+    assert [_schema_view(r) for r in ref_results] == [
+        _schema_view(r) for r in results
+    ]
+    for ra, rb in zip(ref_results, results):
+        assert _piece_view(ra) == _piece_view(rb)
+        assert ra.observations == rb.observations
+    assert (
+        ref_engine.manager.catalog_snapshot()
+        == engine.manager.catalog_snapshot()
+    )
+    assert _counters(ref_engine) == _counters(engine)
+
+
+def test_batch_is_byte_identical_to_per_task(seed, burst) -> None:
+    a = _engine(seed)
+    seq = [a.compress(**item) for item in burst]
+    b = _engine(seed)
+    bat = b.compress_batch(burst)
+    _assert_write_equivalent(seq, a, bat, b)
+
+    # read-back: decompress_batch against per-task decompress
+    ids = [item["task_id"] for item in burst]
+    reads_a = [a.decompress(tid) for tid in ids]
+    reads_b = b.decompress_batch(ids)
+    for x, y in zip(reads_a, reads_b):
+        assert (
+            x.task_id, x.data, x.modeled_size, x.decompress_seconds,
+            x.io_seconds, x.pieces,
+        ) == (
+            y.task_id, y.data, y.modeled_size, y.decompress_seconds,
+            y.io_seconds, y.pieces,
+        )
+    assert _counters(a) == _counters(b)
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_batch_over_shards_is_byte_identical(seed, burst, shards) -> None:
+    """Each shard's engine sees the same sub-sequence either way, so the
+    whole deployment is byte-identical between the batch and per-task
+    routers — including the owner map and busy-seconds accounting."""
+    specs = ares_specs(
+        64 * MiB * shards, 128 * MiB * shards, 4 * GiB * shards,
+        nodes=2 * shards,
+    )
+    config = ShardConfig(shards=shards)
+    ref = ShardedHCompress(specs, shard_config=config, seed=seed)
+    seq = [ref.compress(**item) for item in burst]
+    routed = ShardedHCompress(specs, shard_config=config, seed=seed)
+    bat = routed.compress_batch(burst)
+
+    assert [_schema_view(r) for r in seq] == [_schema_view(r) for r in bat]
+    for ra, rb in zip(seq, bat):
+        assert _piece_view(ra) == _piece_view(rb)
+    assert ref._owners == routed._owners
+    assert ref.busy_seconds == routed.busy_seconds
+    for shard_id in range(shards):
+        a = ref.engines[shard_id]
+        b = routed.engines[shard_id]
+        assert _counters(a) == _counters(b)
+        assert (
+            a.manager.catalog_snapshot() == b.manager.catalog_snapshot()
+        )
+
+    # batched reads route back to the owning shards identically
+    ids = [item["task_id"] for item in burst]
+    reads_a = [ref.decompress(tid) for tid in ids]
+    reads_b = routed.decompress_batch(ids)
+    for x, y in zip(reads_a, reads_b):
+        assert (x.task_id, x.data, x.pieces) == (y.task_id, y.data, y.pieces)
+    assert ref.busy_seconds == routed.busy_seconds
+    ref.close()
+    routed.close()
+
+
+def test_batch_flush_during_template_defers_to_per_task(seed) -> None:
+    """A feedback flush can fire during the record of the very task that
+    would become a run template (pending hits the cadence on its
+    observation). The sequential path replans the next task against the
+    new model — invalidation + miss — so the run lane must refuse the
+    stale template (``run_quota`` version check) instead of stretching
+    its pre-flush plan over the run. Uses the default feedback cadence
+    and an un-hinted buffer so retrains fire often, and chunked batches
+    like ``hcompress stats --batch-size`` submits."""
+    from repro.datagen import synthetic_buffer
+
+    data = synthetic_buffer(
+        "float64", "gamma", 64 * KiB, np.random.default_rng(0)
+    )
+    items = [
+        {"data": data, "modeled_size": 1 * MiB, "task_id": f"stats-{i}"}
+        for i in range(256)
+    ]
+    a = _engine(seed)
+    for item in items:
+        a.compress(item["data"], modeled_size=item["modeled_size"],
+                   task_id=item["task_id"])
+    b = _engine(seed)
+    for start in range(0, len(items), 8):
+        b.compress_batch([dict(item) for item in items[start:start + 8]])
+    assert a.predictor.model_version > 1  # retrains actually happened
+    assert _counters(a) == _counters(b)
+    assert (
+        a.manager.catalog_snapshot() == b.manager.catalog_snapshot()
+    )
+
+
+def test_batch_repeated_calls_extend_identically(seed, burst) -> None:
+    """Splitting one burst into consecutive compress_batch calls leaves
+    the same state as one call (the planner re-establishes per batch)."""
+    a = _engine(seed)
+    a.compress_batch(burst)
+    b = _engine(seed)
+    half = len(burst) // 2
+    b.compress_batch(burst[:half])
+    b.compress_batch(burst[half:])
+    assert (
+        a.manager.catalog_snapshot() == b.manager.catalog_snapshot()
+    )
+    assert _counters(a) == _counters(b)
