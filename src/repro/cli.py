@@ -19,6 +19,11 @@ Subcommands:
   a recovery directory.
 * ``recover``  — crash a journaled workload at a chosen site, restore
   from the recovery directory, and verify the durability invariants.
+* ``lifecycle`` — replay a seeded zipfian access trace with the
+  background lifecycle daemon stepping on the simulated clock, against
+  the write-time-placement baseline: per-run modeled TCO bill (storage +
+  access + migration dollars), hot-read latency, tier residency, and the
+  daemon's status counters (``--json`` for the raw dicts).
 * ``stats``    — drive a repeated-burst workload and print the engine's
   hot-path counters (plan cache, DP memo, sample-ratio cache, executor);
   ``--shards N`` drives a sharded deployment and sums the counters.
@@ -516,6 +521,89 @@ def _print_stats_report(report: dict) -> None:
     )
 
 
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    from .core import HCompressProfiler
+    from .lifecycle import LifecycleConfig
+    from .lifecycle.workload import ZipfTraceConfig, run_zipf_trace
+
+    config = ZipfTraceConfig(
+        tasks=args.tasks,
+        task_kib=args.kib,
+        reads=args.reads,
+        zipf_s=args.zipf_s,
+        rng_seed=args.rng_seed,
+        lifecycle=LifecycleConfig(
+            enabled=True,
+            scan_interval=args.scan_interval,
+            storage_price=args.storage_price,
+            access_price=args.access_price,
+        ),
+    )
+    print("bootstrapping engines (quick profiling seed)...", file=sys.stderr)
+    profiler = HCompressProfiler(rng=np.random.default_rng(args.rng_seed))
+    seed = profiler.quick_seed(
+        sizes=(args.kib * KiB, 4 * args.kib * KiB)
+    )
+    runs = [run_zipf_trace(config, lifecycle=False, seed=seed)]
+    if not args.baseline_only:
+        runs.append(run_zipf_trace(config, lifecycle=True, seed=seed))
+
+    if args.json:
+        print(json.dumps([
+            {
+                "lifecycle": run.lifecycle_enabled,
+                "total_dollars": run.total_dollars,
+                "storage_dollars": run.storage_dollars,
+                "access_dollars": run.access_dollars,
+                "migration_dollars": run.migration_dollars,
+                "mean_hot_read_seconds": run.mean_hot_read_seconds,
+                "mean_read_seconds": run.mean_read_seconds,
+                "tier_residency": run.tier_residency,
+                "status": run.status,
+            }
+            for run in runs
+        ], indent=2))
+        return 0
+    print(
+        f"{config.tasks} blobs x {config.task_kib} KiB, {config.reads} "
+        f"zipf(s={config.zipf_s}) reads, daemon scan every "
+        f"{config.lifecycle.scan_interval}s\n"
+    )
+    print(
+        f"{'run':12s} {'total $':>9s} {'storage $':>10s} {'access $':>9s} "
+        f"{'migr $':>8s} {'hot read':>9s} {'all reads':>10s}"
+    )
+    for run in runs:
+        name = "lifecycle" if run.lifecycle_enabled else "baseline"
+        print(
+            f"{name:12s} {run.total_dollars:9.4f} "
+            f"{run.storage_dollars:10.4f} {run.access_dollars:9.4f} "
+            f"{run.migration_dollars:8.4f} "
+            f"{run.mean_hot_read_seconds * 1e3:7.3f}ms "
+            f"{run.mean_read_seconds * 1e3:8.3f}ms"
+        )
+    for run in runs:
+        name = "lifecycle" if run.lifecycle_enabled else "baseline"
+        residency = ", ".join(
+            f"{tier}={count}" for tier, count in run.tier_residency.items()
+        )
+        print(f"\n{name}: blobs by tier: {residency}")
+        if run.status is not None:
+            status = run.status
+            print(
+                f"  daemon: {status['scans']} scans, "
+                f"{status['promotions']} promotions, "
+                f"{status['demotions']} demotions, "
+                f"{status['bytes_moved']} bytes moved "
+                f"(codecs up={status['promote_codec']} "
+                f"down={status['demote_codec']})"
+            )
+    if len(runs) == 2 and runs[0].total_dollars > 0:
+        saving = 1.0 - runs[1].total_dollars / runs[0].total_dollars
+        print(f"\nlifecycle tiering saves {saving:.1%} of the modeled bill")
+    return 0
+
+
 def _cmd_stats_sharded(args: argparse.Namespace) -> int:
     """The ``stats --shards N`` driver: one burst over N shards."""
     import time
@@ -1009,6 +1097,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="with --crash-at all: sweep first hits only")
     p.add_argument("--rng-seed", type=int, default=7)
     p.set_defaults(func=_cmd_crash)
+
+    p = sub.add_parser(
+        "lifecycle",
+        help="zipfian trace: lifecycle tiering vs write-time placement",
+    )
+    p.add_argument("--tasks", type=int, default=48, help="blob population")
+    p.add_argument("--kib", type=int, default=4, help="blob size in KiB")
+    p.add_argument("--reads", type=int, default=384, help="trace length")
+    p.add_argument("--zipf-s", type=float, default=1.4,
+                   help="zipf skew exponent of the read trace")
+    p.add_argument("--scan-interval", type=float, default=2.0,
+                   help="simulated seconds between daemon scans")
+    p.add_argument("--storage-price", type=float, default=1.0,
+                   help="TCO $/GiB-s on the slowest tier")
+    p.add_argument("--access-price", type=float, default=1.0,
+                   help="TCO $ per modeled second of read wait")
+    p.add_argument("--baseline-only", action="store_true",
+                   help="run only the write-time-placement baseline")
+    p.add_argument("--rng-seed", type=int, default=0)
+    p.add_argument("--json", action="store_true",
+                   help="emit both runs' bills and status as JSON")
+    p.set_defaults(func=_cmd_lifecycle)
 
     p = sub.add_parser(
         "stats", help="hot-path counters over a repeated-burst workload"

@@ -14,6 +14,7 @@ from pathlib import Path
 from ..codecs.pool import PAPER_LIBRARIES
 from ..hcdp.plan_cache import PlanCacheConfig
 from ..hcdp.priorities import EQUAL, Priority
+from ..lifecycle.config import LifecycleConfig
 from ..obs import ObservabilityConfig
 from ..qos import QosConfig
 from ..units import KiB, PAGE
@@ -21,6 +22,7 @@ from ..units import KiB, PAGE
 __all__ = [
     "ExecutorConfig",
     "HCompressConfig",
+    "LifecycleConfig",
     "ObservabilityConfig",
     "PlanCacheConfig",
     "QosConfig",
@@ -198,6 +200,12 @@ class HCompressConfig:
             :class:`~repro.qos.QosConfig`). Disabled by default; when
             disabled the engine constructs no governor and behavior is
             byte-identical to a build without the subsystem.
+        lifecycle: Lifecycle-tiering policy — the background daemon that
+            re-decides tier + codec as data heats or cools, driven by a
+            TCO cost model (see
+            :class:`~repro.lifecycle.LifecycleConfig`). Disabled by
+            default; when disabled the engine constructs no daemon and
+            behavior is byte-identical to a build without the subsystem.
     """
 
     priority: Priority = EQUAL
@@ -217,6 +225,7 @@ class HCompressConfig:
         default_factory=ObservabilityConfig
     )
     qos: QosConfig = field(default_factory=QosConfig)
+    lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
 
     def __post_init__(self) -> None:
         if self.feedback_every_n < 1:

@@ -41,6 +41,7 @@ from ..errors import (
     TierUnavailableError,
 )
 from ..hcdp import HcdpEngine, IOTask, Operation, Priority, next_task_id
+from ..lifecycle import LifecycleDaemon
 from ..monitor import SystemMonitor
 from ..obs import Observability
 from ..qos import Deadline, QosClass, QosGovernor
@@ -246,6 +247,16 @@ class HCompress:
             self.pool, self.shi, executor=self.config.executor, obs=self.obs,
             journal=self.journal, crashpoints=crashpoints,
         )
+        # Lifecycle daemon: strictly opt-in, same contract as QoS. When
+        # disabled no daemon exists, the read/write paths pay one
+        # ``is None`` check, and behavior is byte-identical to a build
+        # without the subsystem. Stepping is cooperative — callers drive
+        # ``self.lifecycle.step()`` on the simulated clock.
+        self.lifecycle = (
+            LifecycleDaemon(self, self.config.lifecycle)
+            if self.config.lifecycle.enabled
+            else None
+        )
         # Degraded-mode replans: writes that failed against a stale system
         # view and were re-planned against a fresh monitor sample.
         self.replans = 0
@@ -405,6 +416,8 @@ class HCompress:
                 self.feedback.record(observation)
         self.anatomy.feedback += (time.perf_counter() - wall) / scale
         self.anatomy.write_ops += 1
+        if self.lifecycle is not None:
+            self.lifecycle.note_write(result.task.task_id)
         return result
 
     def compress_batch(
@@ -677,6 +690,9 @@ class HCompress:
             anatomy.write_ops += executed
             results.extend(run_results)
             index += executed
+        if self.lifecycle is not None:
+            for result in results:
+                self.lifecycle.note_write(result.task.task_id)
         return results
 
     def _plan_constraints(self, dl: Deadline | None) -> dict:
@@ -753,6 +769,8 @@ class HCompress:
         self.feedback.flush()
         self.anatomy.read_feedback += (time.perf_counter() - wall) / scale
         self.anatomy.read_ops += 1
+        if self.lifecycle is not None:
+            self.lifecycle.note_read(task_id)
         return result
 
     def decompress_batch(
@@ -783,6 +801,8 @@ class HCompress:
             self.feedback.flush()
             self.anatomy.read_feedback += (time.perf_counter() - wall) / scale
             self.anatomy.read_ops += 1
+            if self.lifecycle is not None:
+                self.lifecycle.note_read(task_id)
             results.append(result)
         return results
 

@@ -1045,6 +1045,37 @@ class CompressionManager:
     def __contains__(self, task_id: str) -> bool:
         return task_id in self._catalog
 
+    def task_ids(self) -> list[str]:
+        """Cataloged task ids in insertion (write) order."""
+        return list(self._catalog)
+
+    def task_entries(self, task_id: str) -> list[CatalogEntry]:
+        """The task's catalog entries (key, length, codec, crc32)."""
+        try:
+            return list(self._catalog[task_id])
+        except KeyError:
+            raise TierError(f"unknown task {task_id!r}") from None
+
+    def replace_task_entries(self, task_id: str, entries) -> None:
+        """Re-point a task at new piece entries (lifecycle migration).
+
+        The caller has already placed the new extents; this applies the
+        write path's WAL discipline to the re-point: the journal's
+        idempotent ``commit`` record — carrying the *full* new entry
+        list — is durable before the in-memory catalog mutates, so a
+        replay lands on the new placement and a crash before the sync
+        keeps the old one. Either way the old keys (after) or the new
+        keys (before) are orphans the recovery sweep reclaims.
+        """
+        if task_id not in self._catalog:
+            raise TierError(f"unknown task {task_id!r}")
+        entries = [CatalogEntry(*entry) for entry in entries]
+        if self.journal is not None:
+            self.journal.commit("commit", task_id, tuple(entries))
+        if self.crashpoints is not None:
+            self.crashpoints.reached("lifecycle.post_journal")
+        self._catalog[task_id] = entries
+
     def _fetch_blob(self, entry: CatalogEntry) -> bytes:
         """Read one piece's blob through the SHI, verifying its checksum.
 

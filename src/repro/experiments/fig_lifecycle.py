@@ -1,0 +1,83 @@
+"""Lifecycle figure — zipfian trace: TCO bill with and without the daemon.
+
+Not a figure from the paper: HCompress places data once, at write time.
+This experiment extends the evaluation to the data-lifecycle axis the
+paper's TCO motivation points at — as the access distribution cools,
+write-time placement strands cold blobs on expensive fast tiers and hot
+blobs on slow ones. The background lifecycle daemon re-decides tier and
+codec from observed access temperature against the modeled $/GB·s
+objective.
+
+Result shape: the lifecycle run's empirical bill (storage + access +
+migration dollars over the same seeded trace) comes in well below the
+baseline's, while the mean hot-read wait *also* improves — the daemon is
+not trading latency for cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lifecycle.workload import ZipfTraceConfig, run_zipf_trace
+from .common import ExperimentTable
+
+__all__ = ["run_fig_lifecycle"]
+
+
+def run_fig_lifecycle(
+    tasks: int = 48,
+    reads: int = 384,
+    zipf_s: float = 1.4,
+    seed=None,
+    rng: np.random.Generator | None = None,
+) -> ExperimentTable:
+    """Replay the zipfian trace with and without lifecycle tiering."""
+    config = ZipfTraceConfig(tasks=tasks, reads=reads, zipf_s=zipf_s)
+    table = ExperimentTable(
+        name="Lifecycle - zipfian trace TCO",
+        description=(
+            f"{tasks} blobs x {config.task_kib} KiB, {reads} zipf(s={zipf_s})"
+            " reads; empirical bill in modeled dollars (storage integral +"
+            " priced read wait + priced migrations) and modeled read waits."
+        ),
+        columns=[
+            "run",
+            "total_$",
+            "storage_$",
+            "access_$",
+            "migr_$",
+            "hot_read_us",
+            "all_reads_us",
+            "promotions",
+            "demotions",
+        ],
+    )
+    runs = {
+        "baseline": run_zipf_trace(config, lifecycle=False, seed=seed),
+        "lifecycle": run_zipf_trace(config, lifecycle=True, seed=seed),
+    }
+    for name, run in runs.items():
+        table.add_row(
+            name,
+            round(run.total_dollars, 4),
+            round(run.storage_dollars, 4),
+            round(run.access_dollars, 4),
+            round(run.migration_dollars, 4),
+            round(run.mean_hot_read_seconds * 1e6, 2),
+            round(run.mean_read_seconds * 1e6, 2),
+            run.promotions,
+            run.demotions,
+        )
+    base, life = runs["baseline"], runs["lifecycle"]
+    if base.total_dollars:
+        table.note(
+            f"lifecycle tiering cuts the modeled bill by "
+            f"{1.0 - life.total_dollars / base.total_dollars:.1%} while the "
+            f"hot-read wait improves "
+            f"{base.mean_hot_read_seconds / life.mean_hot_read_seconds:.2f}x."
+        )
+    residency = ", ".join(
+        f"{tier}={count}" for tier, count in life.tier_residency.items()
+    )
+    table.note(f"final residency with lifecycle tiering: {residency}.")
+    return table

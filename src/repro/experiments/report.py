@@ -26,12 +26,16 @@ from .fig5_compression_on_tiers import run_fig5
 from .fig6_tiers_on_compression import run_fig6
 from .fig7_vpic import run_fig7
 from .fig8_workflow import run_fig8
+from .fig_lifecycle import run_fig_lifecycle
 
 __all__ = ["run_all", "render_markdown"]
 
 
 #: Figure keys accepted by ``run_all(only=...)`` / ``--only``.
-FIGURES = ("fig1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8")
+FIGURES = (
+    "fig1", "fig3", "fig4a", "fig4b", "fig5", "fig6", "fig7", "fig8",
+    "lifecycle",
+)
 
 
 def run_all(
@@ -71,6 +75,10 @@ def run_all(
                     process_counts=(320, 2560), scale=64, seed=seed, rng=rng
                 ),
             ),
+            (
+                "lifecycle",
+                lambda: run_fig_lifecycle(reads=192, seed=seed, rng=rng),
+            ),
         ]
     else:
         jobs = [
@@ -82,6 +90,7 @@ def run_all(
             ("fig6", lambda: run_fig6(seed=seed, rng=rng)),
             ("fig7", lambda: run_fig7(scale=64, seed=seed, rng=rng)),
             ("fig8", lambda: run_fig8(scale=64, seed=seed, rng=rng)),
+            ("lifecycle", lambda: run_fig_lifecycle(seed=seed, rng=rng)),
         ]
 
     if only is not None:

@@ -17,8 +17,10 @@ invariants from docs/RECOVERY.md:
   (unacknowledged writes leak nothing), and no key survives on two tiers.
 
 The workload mixes spilled writes, evictions, flusher drains, a mid-run
-tier outage (so SHI failover paths carry live traffic), and a mid-run
-checkpoint — enough traffic that every crash site is actually reached.
+tier outage (so SHI failover paths carry live traffic), a mid-run
+checkpoint, and an aggressively-tuned lifecycle daemon (so the
+``lifecycle.*`` migration sites carry real re-tiering traffic) — enough
+traffic that every crash site is actually reached.
 :func:`sweep_crash_sites` runs the full site x hit matrix; it backs the
 ``crash-consistency`` CI job and ``hcompress chaos --crash-at``.
 """
@@ -33,7 +35,7 @@ import numpy as np
 
 from ..ccp import SeedData
 from ..core import HCompress, HCompressConfig, HCompressProfiler
-from ..core.config import RecoveryConfig
+from ..core.config import LifecycleConfig, RecoveryConfig
 from ..errors import HCompressError, SimulatedCrashError
 from ..hermes.flusher import TierFlusher
 from ..recovery import CRASH_SITES, CrashPlan, Crashpoints
@@ -78,6 +80,11 @@ class CrashConfig:
         fsync: Forwarded to :class:`~repro.core.config.RecoveryConfig`;
             the harness defaults to False (flush-only) because the crash
             model is process-level, and sweeps run dozens of engines.
+        lifecycle: Run the lifecycle daemon (one ``step()`` after every
+            write), tuned storage-heavy so demotions fire from the first
+            scan and the ``lifecycle.*`` crash sites see several real
+            migrations per run.
+        lifecycle_migrations_per_step: Migration cap per daemon step.
     """
 
     tasks: int = 8
@@ -91,6 +98,8 @@ class CrashConfig:
     outage_end: float = 3.4
     outage_tier: str = "ram"
     fsync: bool = False
+    lifecycle: bool = True
+    lifecycle_migrations_per_step: int = 2
 
     def __post_init__(self) -> None:
         if self.tasks < 1 or self.task_kib < 1:
@@ -243,6 +252,16 @@ def run_crash_recovery(
         recovery=RecoveryConfig(
             enabled=True, directory=str(recovery_dir), fsync=config.fsync
         ),
+        # Storage-heavy pricing + zero hysteresis: write-once-never-read
+        # buffers demote from the first scan, so every lifecycle.* crash
+        # site carries several real migrations per run.
+        lifecycle=LifecycleConfig(
+            enabled=config.lifecycle,
+            scan_interval=0.0,
+            storage_price=1000.0,
+            access_price=0.001,
+            max_migrations_per_step=config.lifecycle_migrations_per_step,
+        ),
     )
     engine = HCompress(
         hierarchy, engine_config, seed=seed, clock=lambda: clock.now,
@@ -277,6 +296,8 @@ def run_crash_recovery(
             acked.append(task_id)
             outcome.tasks_acked += 1
             _drive_flusher(drain, clock, injector)
+            if engine.lifecycle is not None:
+                engine.lifecycle.step()
             if config.evict_every and (index + 1) % config.evict_every == 0:
                 victim = next(
                     (t for t in acked if t not in evicted and t != task_id),
@@ -386,7 +407,7 @@ def sweep_crash_sites(
 ) -> list[CrashOutcome]:
     """Run every (site, hit) combination; returns all outcomes.
 
-    The default matrix is 14 sites x 2 hits = 28 seeded crash points. One
+    The default matrix is 18 sites x 2 hits = 36 seeded crash points. One
     profiling seed is shared across the sweep so each cycle costs only the
     workload, not a re-profile.
     """

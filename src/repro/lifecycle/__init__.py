@@ -1,0 +1,26 @@
+"""Data lifecycle tiering: background recompression + TCO cost optimizer.
+
+Write-time placement (HCDP) is a one-shot decision; this package makes
+placement *follow* data temperature over its lifetime. A per-engine
+:class:`LifecycleDaemon` — off by default, stepped cooperatively on the
+simulated clock — tracks per-blob access recency/frequency, prices every
+blob's residence against a :class:`TierCostModel` (modeled $/GB·s per
+tier derived from the TierSpecs, plus an access-latency penalty), and
+migrates the biggest savers: hot blobs up with fast codecs, cold blobs
+down re-encoded with heavy ones. Migrations ride the engine's WAL +
+checkpoint machinery so a crash at any point leaves each blob readable
+at exactly one tier. See docs/LIFECYCLE.md.
+"""
+
+from .config import LifecycleConfig
+from .cost import TierCostModel
+from .daemon import AccessRecord, LifecycleDaemon, LifecycleStats, Migration
+
+__all__ = [
+    "AccessRecord",
+    "LifecycleConfig",
+    "LifecycleDaemon",
+    "LifecycleStats",
+    "Migration",
+    "TierCostModel",
+]

@@ -1,0 +1,491 @@
+"""The background lifecycle daemon: track temperature, re-decide placement.
+
+Write-time placement (the HCDP plan) is the paper's contribution; this
+daemon is the arc beyond it: placement should *follow* data temperature
+over its lifetime. The daemon keeps a per-task access record (decayed
+exponentially on the simulated clock), scores every cataloged blob
+against the :class:`~repro.lifecycle.cost.TierCostModel` objective, and
+migrates the biggest savers — hot blobs up, re-encoded with a fast codec;
+cold blobs down, re-encoded with a heavy one.
+
+Migrations ride the engine's existing durability machinery
+(docs/LIFECYCLE.md has the full crash argument):
+
+1. **copy** — every piece is re-encoded and placed on the destination
+   tier under a *new* key (``task/gN/i``), while the catalog and journal
+   still reference the old keys. A crash here strands the new copies as
+   orphans, which recovery's sweep reclaims; the blob stays readable at
+   the source.
+2. **journal** — one idempotent ``commit`` record re-points the task at
+   the new entries, durable *before* the in-memory catalog mutates (the
+   same WAL discipline as writes). A crash after the sync replays the new
+   placement and strands the *old* keys as orphans instead.
+3. **evict** — the old extents are released. A crash mid-loop leaves the
+   remainder as orphans; either way exactly one readable copy survives.
+
+Four crash sites (``lifecycle.pre_copy`` / ``post_copy`` /
+``post_journal`` / ``post_evict``) pin those windows for the
+``sweep_crash_sites`` harness.
+
+The daemon is strictly cooperative: it runs only when :meth:`step` is
+called, self-rate-limits to ``scan_interval``, caps migrations per step,
+pauses when the QoS brownout ladder climbs past its configured rung, and
+skips destinations a circuit breaker has quarantined — background
+re-placement must never starve foreground deadlines.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from ..codecs.metadata import HEADER_SIZE, unwrap_payload, wrap_payload
+from ..errors import CapacityError, CorruptDataError, TierError
+from .config import LifecycleConfig
+from .cost import TierCostModel
+
+__all__ = ["AccessRecord", "LifecycleDaemon", "LifecycleStats", "Migration"]
+
+
+@dataclass
+class AccessRecord:
+    """Exponentially-decayed access temperature of one task.
+
+    ``temperature`` counts recent accesses, halving every
+    ``half_life`` modeled seconds of idleness; ``touched_at`` is the
+    modeled time of the last update. The expected read rate the
+    objective consumes is ``temperature / half_life``.
+    """
+
+    temperature: float
+    touched_at: float
+
+    def decayed(self, now: float, half_life: float) -> float:
+        idle = max(now - self.touched_at, 0.0)
+        return self.temperature * math.pow(2.0, -idle / half_life)
+
+
+@dataclass(frozen=True)
+class Migration:
+    """One executed (or scheduled) migration, for status/tests."""
+
+    task_id: str
+    src_tier: str
+    dst_tier: str
+    old_codec: str
+    new_codec: str
+    direction: str  # "promote" | "demote"
+    bytes_moved: int
+    modeled_seconds: float
+    saving_rate: float  # modeled $/s the move earns
+
+
+@dataclass
+class LifecycleStats:
+    """Cumulative daemon counters (mirrored by ``Observability``)."""
+
+    scans: int = 0
+    paused: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    failed: int = 0
+    skipped_quarantined: int = 0
+    bytes_moved: int = 0
+    migration_seconds: float = 0.0
+    saved_rate: float = 0.0  # cumulative modeled $/s earned by migrations
+    cost_rate: float = 0.0   # catalog-wide modeled $/s at the last scan
+    last_scan: float = 0.0
+    migrations: list[Migration] = field(default_factory=list)
+
+
+class LifecycleDaemon:
+    """Per-engine background recompression/re-tiering daemon.
+
+    Constructed by :class:`~repro.core.hcompress.HCompress` when
+    ``LifecycleConfig.enabled`` — engines with the subsystem off hold
+    ``None`` and stay byte-identical. The daemon only reads the engine's
+    public surfaces (catalog helpers, hierarchy, pool, journal via the
+    manager, QoS governor read-only) and mutates placement exclusively
+    through the manager's WAL-disciplined
+    :meth:`~repro.core.manager.CompressionManager.replace_task_entries`.
+    """
+
+    def __init__(self, engine, config: LifecycleConfig) -> None:
+        self.engine = engine
+        self.config = config
+        self.clock = engine._clock if engine._clock is not None else time.monotonic
+        self.cost = TierCostModel(
+            engine.hierarchy,
+            storage_price=config.storage_price,
+            access_price=config.access_price,
+        )
+        self.stats = LifecycleStats()
+        self.access: dict[str, AccessRecord] = {}
+        self._next_scan = float("-inf")
+        # Codec preference resolved once against the engine's roster.
+        pool = engine.pool
+        self.promote_codec = next(
+            (c for c in config.promote_codecs if c in pool), "none"
+        )
+        self.demote_codec = next(
+            (c for c in config.demote_codecs if c in pool), "none"
+        )
+
+    # -- access tracking (called from the engine's read/write paths) ---------
+
+    def note_write(self, task_id: str) -> None:
+        """Record a write: a fresh blob starts warm (one access)."""
+        self._touch(task_id)
+
+    def note_read(self, task_id: str) -> None:
+        """Record a read against the task's decayed temperature."""
+        self._touch(task_id)
+
+    def _touch(self, task_id: str) -> None:
+        now = self.clock()
+        record = self.access.get(task_id)
+        if record is None:
+            self.access[task_id] = AccessRecord(1.0, now)
+        else:
+            record.temperature = (
+                record.decayed(now, self.config.half_life) + 1.0
+            )
+            record.touched_at = now
+
+    def read_rate(self, task_id: str, now: float | None = None) -> float:
+        """Expected reads per modeled second for a task (0 if untracked)."""
+        record = self.access.get(task_id)
+        if record is None:
+            return 0.0
+        if now is None:
+            now = self.clock()
+        return (
+            record.decayed(now, self.config.half_life) / self.config.half_life
+        )
+
+    # -- the daemon step ------------------------------------------------------
+
+    def step(self, force: bool = False) -> list[Migration]:
+        """One daemon tick: scan, score, migrate the best candidates.
+
+        Self-rate-limited to ``scan_interval`` unless ``force``; returns
+        the migrations executed this step (empty on a skipped or paused
+        tick). Raises nothing the engine's callers don't already handle —
+        a migration that loses a race with capacity rolls itself back and
+        is counted in ``stats.failed``.
+        """
+        now = self.clock()
+        if not force and now < self._next_scan:
+            return []
+        qos = self.engine.qos
+        if (
+            qos is not None
+            and int(qos.brownout.level) > self.config.max_brownout_level
+        ):
+            # Overloaded: background I/O yields to foreground traffic. The
+            # scan clock still advances so a long brownout does not queue
+            # up a burst of back-to-back scans when pressure lifts.
+            self.stats.paused += 1
+            self._next_scan = now + self.config.scan_interval
+            return []
+        obs = self.engine.obs
+        if obs is None:
+            return self._step(now)
+        with obs.region("lifecycle.step") as sp:
+            migrations = self._step(now)
+            sp.set_attr("migrations", len(migrations))
+            modeled = sum(m.modeled_seconds for m in migrations)
+            sp.charge_modeled(modeled)
+        return migrations
+
+    def _step(self, now: float) -> list[Migration]:
+        self.stats.scans += 1
+        self.stats.last_scan = now
+        self._next_scan = now + self.config.scan_interval
+        obs = self.engine.obs
+        if obs is not None:
+            obs.record_lifecycle_scan()
+
+        candidates = self._scan(now)
+        executed: list[Migration] = []
+        for plan in candidates[: self.config.max_migrations_per_step]:
+            done = self._migrate(plan)
+            if done is None:
+                self.stats.failed += 1
+                continue
+            executed.append(done)
+            self.stats.migrations.append(done)
+            self.stats.bytes_moved += done.bytes_moved
+            self.stats.migration_seconds += done.modeled_seconds
+            self.stats.saved_rate += done.saving_rate
+            if done.direction == "promote":
+                self.stats.promotions += 1
+            else:
+                self.stats.demotions += 1
+            if obs is not None:
+                obs.record_lifecycle_migration(
+                    done.direction, done.bytes_moved, done.modeled_seconds
+                )
+        if obs is not None:
+            obs.m_lifecycle_cost.set(self.stats.cost_rate)
+        return executed
+
+    # -- scan + score ---------------------------------------------------------
+
+    def _scan(self, now: float) -> list[Migration]:
+        """Score every cataloged task; return migrations worth executing,
+        best saver first. Also drops access records of evicted tasks and
+        refreshes the catalog-wide cost rate."""
+        engine = self.engine
+        manager = engine.manager
+        hierarchy = engine.hierarchy
+        cost = self.cost
+        config = self.config
+        qos = engine.qos
+        live = manager.task_ids()
+        live_set = set(live)
+        for task_id in [t for t in self.access if t not in live_set]:
+            del self.access[task_id]
+
+        total_rate = 0.0
+        candidates: list[Migration] = []
+        for task_id in live:
+            entries = manager.task_entries(task_id)
+            if not entries:
+                continue
+            src = hierarchy.find(entries[0].key)
+            if src is None:
+                continue
+            src_level = hierarchy.level_of(src.spec.name)
+            rate = self.read_rate(task_id, now)
+            old_codec = entries[0].codec
+            stored = 0
+            length = 0
+            for entry in entries:
+                tier = hierarchy.find(entry.key)
+                if tier is None:
+                    stored = -1
+                    break
+                stored += tier.extent(entry.key).accounted_size
+                length += entry.length
+            if stored < 0:
+                continue
+            current = cost.cost_rate(src, stored, old_codec, length, rate)
+            total_rate += current
+
+            best: Migration | None = None
+            for level, dst in enumerate(hierarchy):
+                if level == src_level or not dst.available:
+                    continue
+                direction = "promote" if level < src_level else "demote"
+                new_codec = (
+                    self.promote_codec
+                    if direction == "promote"
+                    else self.demote_codec
+                )
+                new_stored = self._estimate_stored(
+                    entries, stored, old_codec, new_codec
+                )
+                if not dst.fits(new_stored):
+                    continue
+                if qos is not None and qos.tier_quarantined(dst.spec.name):
+                    self.stats.skipped_quarantined += 1
+                    continue
+                saving = current - cost.cost_rate(
+                    dst, new_stored, new_codec, length, rate
+                )
+                payoff = saving * config.horizon - cost.migration_dollars(
+                    src, dst, stored, new_stored, old_codec, new_codec, length
+                )
+                if payoff <= config.threshold:
+                    continue
+                if best is None or saving > best.saving_rate:
+                    best = Migration(
+                        task_id=task_id,
+                        src_tier=src.spec.name,
+                        dst_tier=dst.spec.name,
+                        old_codec=old_codec,
+                        new_codec=new_codec,
+                        direction=direction,
+                        bytes_moved=new_stored,
+                        modeled_seconds=0.0,
+                        saving_rate=saving,
+                    )
+            if best is not None:
+                candidates.append(best)
+        self.stats.cost_rate = total_rate
+        candidates.sort(key=lambda m: (-m.saving_rate, m.task_id))
+        return candidates
+
+    def _estimate_stored(
+        self, entries, stored: int, old_codec: str, new_codec: str
+    ) -> int:
+        """Estimated footprint after re-encoding with ``new_codec``.
+
+        Scaled from the blob's *actual* current size by the codecs'
+        relative profile ratios, not from the profile's absolute hint —
+        absolute hints average over every distribution and badly misprice
+        poorly-compressible data. For a same-codec move (the common
+        promote) the estimate is exact, which is what kills promote/demote
+        ping-pong: the post-migration rescoring sees the same numbers the
+        scan did.
+        """
+        if new_codec == old_codec:
+            return stored
+        headers = len(entries) * HEADER_SIZE
+        payload = max(stored - headers, 1)
+        scale = self.cost.expected_ratio(old_codec) / max(
+            self.cost.expected_ratio(new_codec), 1e-9
+        )
+        return headers + max(1, math.ceil(payload * scale))
+
+    # -- migration executor ---------------------------------------------------
+
+    def _migrate(self, plan: Migration) -> Migration | None:
+        """Execute one migration under the crash discipline above.
+
+        Returns the realized migration (actual bytes/seconds), or ``None``
+        when the move lost a race (capacity changed, piece vanished) — the
+        copy phase rolls itself back and the blob stays where it was.
+        ``SimulatedCrashError`` deliberately propagates: it models process
+        death, and the recovery sweeps must clean up whatever it strands.
+        """
+        # Imported here, not at module scope: core.config carries a
+        # LifecycleConfig field, so a top-level import would be circular.
+        from ..core.manager import CatalogEntry
+
+        engine = self.engine
+        manager = engine.manager
+        hierarchy = engine.hierarchy
+        crashpoints = engine.crashpoints
+        try:
+            entries = manager.task_entries(plan.task_id)
+        except TierError:
+            return None
+        dst = hierarchy.by_name(plan.dst_tier)
+        generation = self._next_generation(plan.task_id, entries)
+
+        if crashpoints is not None:
+            crashpoints.reached("lifecycle.pre_copy")
+        placed: list[str] = []
+        new_entries: list[CatalogEntry] = []
+        sources = []
+        seconds = 0.0
+        moved = 0
+        try:
+            for index, entry in enumerate(entries):
+                src = hierarchy.find(entry.key)
+                if src is None:
+                    raise TierError(f"piece {entry.key!r} lost from every tier")
+                sources.append(src)
+                extent = src.extent(entry.key)
+                new_key = f"{plan.task_id}/g{generation}/{index}"
+                if extent.has_payload:
+                    blob = src.get(entry.key)
+                    if entry.crc32 is not None and zlib.crc32(blob) != entry.crc32:
+                        raise CorruptDataError(
+                            f"piece {entry.key!r} failed checksum validation "
+                            "during migration"
+                        )
+                    data, header = unwrap_payload(blob)
+                    new_blob, _ = wrap_payload(
+                        data,
+                        start_offset=header.start_offset,
+                        codec_name=plan.new_codec,
+                    )
+                    accounted = len(new_blob)
+                    crc = (
+                        zlib.crc32(new_blob)
+                        if entry.crc32 is not None
+                        else None
+                    )
+                    payload: bytes | None = new_blob
+                else:
+                    # Modeled piece (no payload to transcode): re-size by
+                    # the same relative-ratio estimate the scan used.
+                    accounted = self._estimate_stored(
+                        [entry], extent.accounted_size,
+                        entry.codec, plan.new_codec,
+                    )
+                    payload = None
+                    crc = None
+                seconds += src.io_seconds(extent.accounted_size)
+                seconds += dst.io_seconds(accounted)
+                dst.put(new_key, payload, accounted_size=accounted)
+                placed.append(new_key)
+                moved += accounted
+                new_entries.append(
+                    CatalogEntry(new_key, entry.length, plan.new_codec, crc)
+                )
+        except (TierError, CapacityError, CorruptDataError):
+            # Lost a race (the scan's fits() estimate went stale, a tier
+            # flapped, a piece moved) or hit corruption: roll the
+            # half-copied migration back; the blob stays where it was.
+            for key in placed:
+                dst.evict(key)
+            return None
+        if crashpoints is not None:
+            crashpoints.reached("lifecycle.post_copy")
+
+        # WAL discipline: the journal re-points the task before the
+        # in-memory catalog does (lifecycle.post_journal fires between).
+        manager.replace_task_entries(plan.task_id, new_entries)
+
+        for entry, src in zip(entries, sources):
+            src.evict(entry.key)
+        if crashpoints is not None:
+            crashpoints.reached("lifecycle.post_evict")
+        return Migration(
+            task_id=plan.task_id,
+            src_tier=plan.src_tier,
+            dst_tier=plan.dst_tier,
+            old_codec=plan.old_codec,
+            new_codec=plan.new_codec,
+            direction=plan.direction,
+            bytes_moved=moved,
+            modeled_seconds=seconds,
+            saving_rate=plan.saving_rate,
+        )
+
+    @staticmethod
+    def _next_generation(task_id: str, entries: list[CatalogEntry]) -> int:
+        """Migration generation for fresh piece keys.
+
+        Keys must never collide with live extents: originals are
+        ``task/N``, generation ``g`` rewrites are ``task/gG/N``. Parsing
+        the current keys (instead of counting in daemon state) keeps the
+        scheme deterministic across restores, where recovery has already
+        swept every non-catalog key off the tiers.
+        """
+        generation = 0
+        prefix = f"{task_id}/g"
+        for entry in entries:
+            if entry.key.startswith(prefix):
+                tail = entry.key[len(prefix):].split("/", 1)[0]
+                if tail.isdigit():
+                    generation = max(generation, int(tail))
+        return generation + 1
+
+    # -- status ---------------------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-friendly daemon state for the CLI and the shard router."""
+        stats = self.stats
+        return {
+            "enabled": True,
+            "scans": stats.scans,
+            "paused": stats.paused,
+            "promotions": stats.promotions,
+            "demotions": stats.demotions,
+            "failed": stats.failed,
+            "skipped_quarantined": stats.skipped_quarantined,
+            "bytes_moved": stats.bytes_moved,
+            "migration_seconds": round(stats.migration_seconds, 9),
+            "saved_rate": round(stats.saved_rate, 9),
+            "cost_rate": round(stats.cost_rate, 9),
+            "tracked_tasks": len(self.access),
+            "promote_codec": self.promote_codec,
+            "demote_codec": self.demote_codec,
+        }

@@ -231,6 +231,26 @@ class Observability:
             "remaining budget of operations that met their deadline",
             ("op",), buckets=PLAN_SECONDS_BUCKETS,
         )
+        self.m_lifecycle_scans = reg.counter(
+            "hcompress_lifecycle_scans_total",
+            "lifecycle daemon catalog scans",
+        )
+        self.m_lifecycle_migrations = reg.counter(
+            "hcompress_lifecycle_migrations_total",
+            "blobs re-tiered by the lifecycle daemon", ("direction",),
+        )
+        self.m_lifecycle_bytes = reg.counter(
+            "hcompress_lifecycle_bytes_moved_total",
+            "stored bytes placed by lifecycle migrations", ("direction",),
+        )
+        self.m_lifecycle_seconds = reg.counter(
+            "hcompress_lifecycle_migration_seconds_total",
+            "modeled seconds of migration I/O + transcode",
+        )
+        self.m_lifecycle_cost = reg.gauge(
+            "hcompress_lifecycle_cost_rate",
+            "catalog-wide modeled TCO rate ($/s) at the last scan",
+        )
 
     @property
     def enabled(self) -> bool:
@@ -313,6 +333,17 @@ class Observability:
 
     def record_deadline_slack(self, op: str, slack_seconds: float) -> None:
         self.m_deadline_slack.labels(op=op).observe(max(slack_seconds, 0.0))
+
+    def record_lifecycle_scan(self) -> None:
+        self.m_lifecycle_scans.inc()
+
+    def record_lifecycle_migration(
+        self, direction: str, nbytes: int, modeled_seconds: float
+    ) -> None:
+        """Account one completed lifecycle migration."""
+        self.m_lifecycle_migrations.labels(direction=direction).inc()
+        self.m_lifecycle_bytes.labels(direction=direction).inc(nbytes)
+        self.m_lifecycle_seconds.inc(modeled_seconds)
 
     # -- mirror sync (legacy counters -> one export path) --------------------
 
@@ -461,6 +492,8 @@ class Observability:
 
         if getattr(engine, "qos", None) is not None:
             self.sync_qos(engine.qos)
+        if getattr(engine, "lifecycle", None) is not None:
+            self.sync_lifecycle(engine.lifecycle)
 
     def sync_flusher(self, stats) -> None:
         """Mirror ``FlushStats`` (the background tier drainer)."""
@@ -503,6 +536,41 @@ class Observability:
                 self.m_breaker_transitions.labels(tier=tier).set(
                     breaker.transitions
                 )
+
+    def sync_lifecycle(self, daemon) -> None:
+        """Mirror a :class:`~repro.lifecycle.LifecycleDaemon`'s cumulative
+        stats: scans, migrations by direction, bytes/seconds moved, and
+        the catalog-wide cost rate at the last scan."""
+        reg = self.registry
+        stats = daemon.stats
+        self.m_lifecycle_scans.set(stats.scans)
+        self.m_lifecycle_migrations.labels(direction="promote").set(
+            stats.promotions
+        )
+        self.m_lifecycle_migrations.labels(direction="demote").set(
+            stats.demotions
+        )
+        self.m_lifecycle_seconds.set(stats.migration_seconds)
+        self.m_lifecycle_cost.set(stats.cost_rate)
+        for name, value in (
+            ("hcompress_lifecycle_paused_total", stats.paused),
+            ("hcompress_lifecycle_failed_total", stats.failed),
+            (
+                "hcompress_lifecycle_skipped_quarantined_total",
+                stats.skipped_quarantined,
+            ),
+        ):
+            reg.counter(name, "mirror of the lifecycle daemon counters").set(
+                value
+            )
+        reg.gauge(
+            "hcompress_lifecycle_tracked_tasks",
+            "tasks with a live access-temperature record",
+        ).set(len(daemon.access))
+        reg.gauge(
+            "hcompress_lifecycle_saved_rate",
+            "cumulative modeled $/s earned by executed migrations",
+        ).set(stats.saved_rate)
 
     def sync_injector(self, stats) -> None:
         """Mirror ``InjectorStats`` (the fault-injection event log)."""

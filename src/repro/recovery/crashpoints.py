@@ -47,6 +47,13 @@ CRASH_SITES = (
     # Journal internals
     "journal.pre_sync",            # records buffered, nothing on disk
     "journal.torn_sync",           # dies mid-write, leaving a torn tail
+    # LifecycleDaemon migration step
+    "lifecycle.pre_copy",          # victim scored, nothing moved yet
+    "lifecycle.post_copy",         # re-encoded copies placed under new keys,
+                                   # catalog/journal still point at the old
+    "lifecycle.post_journal",      # journal re-commit durable, before the
+                                   # in-memory catalog re-points
+    "lifecycle.post_evict",        # old extents evicted, step not finished
 )
 
 

@@ -489,6 +489,37 @@ class ShardedHCompress:
             raise HCompressError("no deployment directory, no manifest")
         return read_manifest(self.root, min_version=self.manifest.version)
 
+    # -- lifecycle tiering ---------------------------------------------------
+
+    def lifecycle_step(self, force: bool = False) -> dict[int, list]:
+        """Step every UP shard's lifecycle daemon once, in shard order.
+
+        Each shard's daemon scans only that shard's own catalog and
+        migrates within that shard's hierarchy slice — per-shard journals
+        keep the WAL discipline local. Returns the migrations executed
+        per shard id (shards without a daemon are omitted).
+        """
+        self._check_open()
+        out: dict[int, list] = {}
+        for shard_id in sorted(self.engines):
+            engine = self.engines[shard_id]
+            if (
+                engine is not None
+                and engine.lifecycle is not None
+                and self.supervisor.is_up(shard_id)
+            ):
+                out[shard_id] = engine.lifecycle.step(force=force)
+        return out
+
+    def lifecycle_status(self) -> dict[int, dict]:
+        """Per-shard daemon status for every live shard with one."""
+        self._check_open()
+        return {
+            shard_id: engine.lifecycle.status()
+            for shard_id, engine in sorted(self.engines.items())
+            if engine is not None and engine.lifecycle is not None
+        }
+
     # -- aggregate views -----------------------------------------------------
 
     def checkpoint(self) -> tuple[Path, ...]:

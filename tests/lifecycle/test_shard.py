@@ -1,0 +1,95 @@
+"""Sharded lifecycle tiering: per-shard daemons stay inside their
+failure domain — a shard only ever migrates its own blobs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import HCompressConfig
+from repro.datagen import synthetic_buffer
+from repro.lifecycle import LifecycleConfig
+from repro.shard import ShardConfig, ShardedHCompress
+from repro.tiers import ares_specs
+from repro.units import GiB, KiB, MiB
+
+#: Storage-heavy pricing, zero scan interval: every scan demotes whatever
+#: fits, so the isolation check does not depend on wall-clock timing.
+DEMOTE_EVERYTHING = LifecycleConfig(
+    enabled=True,
+    scan_interval=0.0,
+    storage_price=1000.0,
+    access_price=0.001,
+    max_migrations_per_step=8,
+)
+
+
+def _sharded(seed, shards: int) -> ShardedHCompress:
+    return ShardedHCompress(
+        ares_specs(16 * MiB, 32 * MiB, 1 * GiB, nodes=2 * shards),
+        HCompressConfig(lifecycle=DEMOTE_EVERYTHING),
+        ShardConfig(shards=shards),
+        seed=seed,
+    )
+
+
+def _tenant_on(sharded: ShardedHCompress, shard_id: int) -> str:
+    for t in range(256):
+        if sharded.ring.route(f"tenant-{t}") == shard_id:
+            return f"tenant-{t}"
+    raise AssertionError(f"no tenant routes to shard {shard_id}")
+
+
+def test_each_shard_migrates_only_its_own_blobs(seed, rng) -> None:
+    sharded = _sharded(seed, shards=2)
+    buffer = synthetic_buffer("float64", "gamma", 8 * KiB, rng)
+    tenants = {
+        shard_id: _tenant_on(sharded, shard_id) for shard_id in (0, 1)
+    }
+    owned: dict[int, set[str]] = {0: set(), 1: set()}
+    for shard_id, tenant in tenants.items():
+        for index in range(4):
+            task_id = f"s{shard_id}/t{index}"
+            sharded.compress(buffer, task_id=task_id, tenant=tenant)
+            owned[shard_id].add(task_id)
+
+    migrated = sharded.lifecycle_step(force=True)
+    assert any(migrated.values()), "no shard migrated anything"
+    for shard_id, migrations in migrated.items():
+        catalog = set(sharded.engines[shard_id].manager.task_ids())
+        for migration in migrations:
+            # The daemon only sees (and only moves) its shard's catalog.
+            assert migration.task_id in catalog
+            assert migration.task_id in owned[shard_id]
+            assert migration.task_id not in owned[1 - shard_id]
+
+    status = sharded.lifecycle_status()
+    assert set(status) == {0, 1}
+    for shard_id, shard_status in status.items():
+        assert shard_status["demotions"] == len(migrated[shard_id])
+    sharded.close()
+
+
+def test_unsharded_config_off_has_no_daemon(seed) -> None:
+    sharded = ShardedHCompress(
+        ares_specs(16 * MiB, 32 * MiB, 1 * GiB, nodes=2),
+        seed=seed,
+    )
+    assert sharded.lifecycle_status() == {}
+    assert sharded.lifecycle_step(force=True) == {}
+    sharded.close()
+
+
+def test_dead_shard_is_skipped(seed, rng) -> None:
+    sharded = _sharded(seed, shards=2)
+    buffer = synthetic_buffer("float64", "gamma", 8 * KiB, rng)
+    for shard_id in (0, 1):
+        sharded.compress(
+            buffer,
+            task_id=f"s{shard_id}/t0",
+            tenant=_tenant_on(sharded, shard_id),
+        )
+    sharded.kill_shard(0)
+    migrated = sharded.lifecycle_step(force=True)
+    assert 0 not in migrated
+    assert set(sharded.lifecycle_status()) == {1}
+    sharded.close()

@@ -19,6 +19,9 @@ Three checks, each also importable for the pytest wrapper
   80-column width. Regenerate with ``--update-golden`` after an
   intentional CLI change; unexplained drift means README/docs and the
   parser disagree.
+* **check_orphans** — every page under ``docs/`` is reachable from
+  README.md (directly, or via a page README links). An orphan page is a
+  page nobody can discover; link it or delete it.
 """
 
 from __future__ import annotations
@@ -44,7 +47,7 @@ SNIPPET_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
 #: CLI help surfaces pinned by golden files ("" is the top-level parser).
 HELP_SUBCOMMANDS = (
     "", "profile", "codecs", "report", "demo", "chaos", "checkpoint",
-    "recover", "stats", "metrics", "trace",
+    "recover", "lifecycle", "stats", "metrics", "trace",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -135,6 +138,30 @@ def check_cli_help() -> list[str]:
     return errors
 
 
+def check_orphans() -> list[str]:
+    """Every ``docs/*.md`` page is reachable from README.md."""
+    reachable: set[Path] = set()
+    frontier = [REPO / "README.md"]
+    while frontier:
+        doc = frontier.pop()
+        if doc in reachable or not doc.exists():
+            continue
+        reachable.add(doc)
+        for target in _LINK_RE.findall(doc.read_text()):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path or not path.endswith(".md"):
+                continue
+            frontier.append((doc.parent / path).resolve())
+    return [
+        f"docs/{page.name}: orphan page — not linked (even transitively) "
+        "from README.md"
+        for page in sorted((REPO / "docs").glob("*.md"))
+        if page.resolve() not in reachable
+    ]
+
+
 def update_golden() -> None:
     GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
     for sub in HELP_SUBCOMMANDS:
@@ -154,7 +181,7 @@ def main(argv=None) -> int:
         update_golden()
         return 0
     failures = 0
-    for check in (check_links, check_snippets, check_cli_help):
+    for check in (check_links, check_snippets, check_cli_help, check_orphans):
         errors = check()
         status = "ok" if not errors else f"{len(errors)} problem(s)"
         print(f"{check.__name__}: {status}")
