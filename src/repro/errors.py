@@ -186,7 +186,52 @@ class ShardManifestError(ShardError, RecoveryError):
 
     A recovery-class failure: the manifest is the durable description of
     the shard layout, so a sharded restore cannot proceed without it.
+    Also raised when a manifest write would clobber a newer version
+    (a concurrent bump won the race) — the loser must re-read, never
+    roll the version back.
     """
+
+
+class ShardStateError(ShardError):
+    """A shard-control operation hit a shard in the wrong state.
+
+    Raised by :meth:`~repro.shard.ShardedHCompress.kill_shard` /
+    :meth:`~repro.shard.ShardedHCompress.restore_shard` /
+    :meth:`~repro.shard.ShardedHCompress.failover` for an unknown shard
+    id, or one whose current state makes the operation meaningless
+    (killing a DOWN shard, restoring an UP one). Typed — with the shard
+    id and observed state — so operator tooling can distinguish "bad
+    request" from infrastructure failure.
+    """
+
+    def __init__(self, message: str, *, shard_id: int = -1, state: str = ""):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.state = state
+
+
+class FailoverInProgressError(ShardError, QosError):
+    """The shard's standby is mid-promotion; retry after the window.
+
+    Raised by the router's pre-dispatch gate while a failover is
+    completing (the modeled promotion window). It IS a
+    :class:`QosError` — a deliberate, retryable policy rejection, not an
+    infrastructure fault — so the engine's replan-on-tier-failure paths
+    never absorb it and the supervisor never counts it toward a failure
+    threshold. Carries ``shard_id`` and ``retry_after`` (modeled seconds
+    until the promoted engine starts serving).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard_id: int = -1,
+        retry_after: float = 0.0,
+    ):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.retry_after = retry_after
 
 
 class SimulatedCrashError(HCompressError):

@@ -11,7 +11,10 @@ seeded crash sites and proves the journal/checkpoint recovery invariants
 writes faster than the admission queue drains while a tier flaps, and
 proves the QoS overload contract (:func:`run_overload`); `shard_chaos`
 kills one shard of a sharded deployment mid-storm and proves the
-failure-domain isolation contract (:func:`run_shard_chaos`).
+failure-domain isolation contract (:func:`run_shard_chaos`);
+`failover_chaos` kills a *replicated* primary mid-storm and proves the
+automatic-failover contract — zero acked-write loss, bounded modeled
+unavailability, survivors byte-identical (:func:`run_failover_chaos`).
 """
 
 from .chaos import ChaosConfig, ChaosOutcome, default_chaos_plan, run_chaos
@@ -22,6 +25,12 @@ from .crash import (
     sweep_crash_sites,
 )
 from .device import FaultyDevice
+from .failover_chaos import (
+    FailoverChaosConfig,
+    FailoverChaosOutcome,
+    run_failover_chaos,
+    run_failover_crash,
+)
 from .injector import FaultInjector, InjectorStats
 from .overload import OverloadConfig, OverloadOutcome, run_overload
 from .plan import FaultEvent, FaultKind, FaultPlan
@@ -36,6 +45,8 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
+    "FailoverChaosConfig",
+    "FailoverChaosOutcome",
     "FaultyDevice",
     "InjectorStats",
     "OverloadConfig",
@@ -45,6 +56,8 @@ __all__ = [
     "default_chaos_plan",
     "run_chaos",
     "run_crash_recovery",
+    "run_failover_chaos",
+    "run_failover_crash",
     "run_overload",
     "run_shard_chaos",
     "sweep_crash_sites",

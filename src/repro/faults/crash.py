@@ -407,9 +407,13 @@ def sweep_crash_sites(
 ) -> list[CrashOutcome]:
     """Run every (site, hit) combination; returns all outcomes.
 
-    The default matrix is 18 sites x 2 hits = 36 seeded crash points. One
+    The default matrix is 22 sites x 2 hits = 44 seeded crash points. One
     profiling seed is shared across the sweep so each cycle costs only the
-    workload, not a re-profile.
+    workload, not a re-profile. Engine sites run the single-engine
+    crash/recover cycle; the ``replication.*`` promotion sites run the
+    replicated kill-and-promote storm
+    (:func:`~repro.faults.failover_chaos.run_failover_crash`), whose
+    failover contract maps onto the same outcome fields.
     """
     config = config if config is not None else CrashConfig()
     if seed is None:
@@ -418,7 +422,12 @@ def sweep_crash_sites(
     for index, site in enumerate(sites):
         for hit in hits:
             plan = CrashPlan(site=site, hit=hit, seed=index * 100 + hit)
-            outcomes.append(
-                run_crash_recovery(plan=plan, config=config, seed=seed)
-            )
+            if site.startswith("replication."):
+                from .failover_chaos import run_failover_crash
+
+                outcomes.append(run_failover_crash(plan, seed=seed))
+            else:
+                outcomes.append(
+                    run_crash_recovery(plan=plan, config=config, seed=seed)
+                )
     return outcomes

@@ -251,6 +251,23 @@ class Observability:
             "hcompress_lifecycle_cost_rate",
             "catalog-wide modeled TCO rate ($/s) at the last scan",
         )
+        self.m_repl_shipped = reg.counter(
+            "hcompress_replication_shipped_records_total",
+            "journal records shipped to standbys", ("shard",),
+        )
+        self.m_repl_lag = reg.gauge(
+            "hcompress_replication_lag_records",
+            "records the standby trails the primary by",
+            ("shard", "replica"),
+        )
+        self.m_repl_promotions = reg.counter(
+            "hcompress_replication_promotions_total",
+            "standby promotions completed (failovers)", ("shard",),
+        )
+        self.m_repl_catchups = reg.counter(
+            "hcompress_replication_catchups_total",
+            "anti-entropy catch-up passes over a standby set", ("shard",),
+        )
 
     @property
     def enabled(self) -> bool:
@@ -336,6 +353,10 @@ class Observability:
 
     def record_lifecycle_scan(self) -> None:
         self.m_lifecycle_scans.inc()
+
+    def record_shard_promotion(self, shard: str) -> None:
+        """Account one completed standby promotion (shard failover)."""
+        self.m_repl_promotions.labels(shard=shard).inc()
 
     def record_lifecycle_migration(
         self, direction: str, nbytes: int, modeled_seconds: float
@@ -571,6 +592,26 @@ class Observability:
             "hcompress_lifecycle_saved_rate",
             "cumulative modeled $/s earned by executed migrations",
         ).set(stats.saved_rate)
+
+    def sync_replication(self, coordinator, shard_id: int) -> None:
+        """Mirror one shard's :class:`~repro.replication.ReplicationCoordinator`
+        view: shipped-record and catch-up counters, plus the live lag of
+        every standby against the primary's last-shipped LSN."""
+        shard = str(shard_id)
+        self.m_repl_shipped.labels(shard=shard).set(
+            coordinator.shipped_records[shard_id]
+        )
+        self.m_repl_catchups.labels(shard=shard).set(
+            coordinator.catch_ups[shard_id]
+        )
+        self.m_repl_promotions.labels(shard=shard).set(
+            coordinator.failovers[shard_id]
+        )
+        primary_lsn = coordinator.primary_lsn[shard_id]
+        for replica in coordinator.standbys[shard_id]:
+            self.m_repl_lag.labels(
+                shard=shard, replica=str(replica.replica_id)
+            ).set(replica.lag(primary_lsn))
 
     def sync_injector(self, stats) -> None:
         """Mirror ``InjectorStats`` (the fault-injection event log)."""

@@ -20,6 +20,7 @@ from .crashpoints import CRASH_SITES, CrashPlan, Crashpoints
 from .journal import (
     JOURNAL_NAME,
     Journal,
+    JournalCursor,
     JournalRecord,
     JournalReplay,
     replay_journal,
@@ -33,6 +34,7 @@ __all__ = [
     "EngineSnapshot",
     "JOURNAL_NAME",
     "Journal",
+    "JournalCursor",
     "JournalRecord",
     "JournalReplay",
     "SNAPSHOT_NAME",

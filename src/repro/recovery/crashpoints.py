@@ -54,6 +54,14 @@ CRASH_SITES = (
     "lifecycle.post_journal",      # journal re-commit durable, before the
                                    # in-memory catalog re-points
     "lifecycle.post_evict",        # old extents evicted, step not finished
+    # Shard failover promotion (repro.shard.router.failover)
+    "replication.pre_promote",     # standby chosen, nothing changed yet
+    "replication.post_manifest",   # re-homed shard map durable, engine not
+                                   # yet swapped in
+    "replication.post_reroute",    # promoted engine wired + supervisor
+                                   # flipped, demotion not started
+    "replication.post_demote",     # old primary recycled + standbys
+                                   # reseeded, failover not yet reported
 )
 
 

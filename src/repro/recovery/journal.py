@@ -21,6 +21,13 @@ makes catalog mutations durable *before* they are acknowledged:
 * **Idempotence** — records carry a monotone LSN and describe *state*, not
   deltas: applying a record twice leaves the catalog byte-identical (see
   :meth:`~repro.core.manager.CompressionManager.apply_journal_record`).
+* **Shipping** — :meth:`Journal.add_observer` registers a synchronous
+  per-record hook fired on every :meth:`append`, *before* the write is
+  acknowledged. Replication rides this: a standby that persists each
+  observed frame holds a superset of the primary's durable state (the
+  primary's group-commit buffer is exactly what a crash loses locally).
+  :class:`JournalCursor` is the pull-side complement: a resumable
+  streaming reader over the on-disk frames for anti-entropy catch-up.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from ..errors import JournalCorruptError, RecoveryError
 __all__ = [
     "JOURNAL_NAME",
     "Journal",
+    "JournalCursor",
     "JournalRecord",
     "JournalReplay",
     "replay_journal",
@@ -241,7 +249,25 @@ class Journal:
         self.records_appended = 0
         self.syncs = 0
         self.bytes_synced = 0
+        self._observers: list = []
         self._closed = False
+
+    # -- shipping ------------------------------------------------------------
+
+    def add_observer(self, callback) -> None:
+        """Register a synchronous per-record hook: ``callback(record)``
+        fires on every :meth:`append`, before the mutation is acked.
+
+        Every appended record *is* an acknowledged catalog mutation
+        (failed writes roll back before journaling), so an observer that
+        persists each record sees strictly more than the local file does
+        under group commit — the basis of synchronous WAL shipping.
+        With no observers registered the append path is unchanged.
+        """
+        self._observers.append(callback)
+
+    def remove_observer(self, callback) -> None:
+        self._observers.remove(callback)
 
     # -- write path ----------------------------------------------------------
 
@@ -288,6 +314,9 @@ class Journal:
         self._buffer.append(record.frame())
         self._next_lsn += 1
         self.records_appended += 1
+        if self._observers:
+            for callback in self._observers:
+                callback(record)
         return record
 
     def commit(
@@ -364,3 +393,109 @@ class Journal:
     def _check_open(self) -> None:
         if self._closed:
             raise RecoveryError(f"journal {self.path} is closed")
+
+
+class JournalCursor:
+    """Resumable streaming reader over a journal file's durable frames.
+
+    Tracks ``(lsn, byte offset)`` across calls so each
+    :meth:`read_new` returns only records not yet seen — the pull side
+    of anti-entropy: a lagging standby replays the primary's tail from
+    its own last-applied LSN. Only what the file holds is visible
+    (synced frames; the primary's group-commit buffer is not), which is
+    exactly the durable-state contract replay obeys.
+
+    Robust against the two ways the file changes underneath a reader:
+
+    * **Torn tail** — a partially-synced frame at the end stops the scan
+      *without* advancing past it; the next call re-reads from the same
+      offset and picks the frame up once it is whole.
+    * **Compaction / floor re-seed** — :meth:`Journal.compact` rewrites
+      the file and :meth:`Journal.ensure_lsn_floor` makes LSNs jump, so
+      a remembered offset can point mid-frame or at an already-consumed
+      record. The cursor validates the frame at its offset and falls
+      back to a full rescan filtered by ``lsn > self.lsn`` whenever the
+      offset stops making sense. LSNs are monotone within a file, so the
+      filter is exact.
+
+    Args:
+        path: The journal file to follow (may not exist yet).
+        after_lsn: Resume point — records with ``lsn <= after_lsn`` are
+            never returned (a standby passes its last-applied LSN).
+    """
+
+    def __init__(self, path: str | Path, after_lsn: int = 0) -> None:
+        self.path = Path(path)
+        self.lsn = after_lsn
+        self.offset = 0
+        self._offset_valid = after_lsn == 0
+
+    def read_new(self) -> list[JournalRecord]:
+        """Every not-yet-seen intact record, in LSN order.
+
+        Returns an empty list when the file is missing, unchanged, or
+        ends in a torn frame right at the cursor. Advances the cursor
+        past everything returned.
+        """
+        try:
+            blob = self.path.read_bytes()
+        except FileNotFoundError:
+            return []
+        if not self._offset_valid or self.offset > len(blob):
+            return self._rescan(blob)
+        records, end, ok = self._scan(blob, self.offset)
+        if not ok:
+            return self._rescan(blob)
+        out = [r for r in records if r.lsn > self.lsn]
+        if len(out) != len(records):
+            # Frames at the offset replay below our LSN: the file was
+            # rewritten (compaction overlap); trust LSNs, not offsets.
+            return self._rescan(blob)
+        self.offset = end
+        if out:
+            self.lsn = out[-1].lsn
+        return out
+
+    def _rescan(self, blob: bytes) -> list[JournalRecord]:
+        records, end, _ = self._scan(blob, 0)
+        out = [r for r in records if r.lsn > self.lsn]
+        self.offset = end
+        self._offset_valid = True
+        if out:
+            self.lsn = out[-1].lsn
+        return out
+
+    @staticmethod
+    def _scan(blob: bytes, start: int) -> tuple[list[JournalRecord], int, bool]:
+        """Parse frames from ``start``; returns ``(records, end, ok)``.
+
+        ``ok`` is False when ``start`` does not sit on a frame boundary
+        (a mid-file parse failure — corruption or a stale offset);
+        a clean stop at a *tail* problem (torn frame at EOF region)
+        keeps ``ok`` True with ``end`` just before the torn frame.
+        """
+        records: list[JournalRecord] = []
+        offset = start
+        while offset < len(blob):
+            header = blob[offset : offset + FRAME_HEADER_SIZE]
+            if len(header) < FRAME_HEADER_SIZE:
+                return records, offset, True  # torn header at the tail
+            length, crc = _FRAME.unpack(header)
+            if length > _MAX_PAYLOAD:
+                return records, offset, offset + FRAME_HEADER_SIZE >= len(blob)
+            payload = blob[offset + FRAME_HEADER_SIZE : offset + FRAME_HEADER_SIZE + length]
+            if len(payload) < length:
+                return records, offset, True  # torn payload at the tail
+            if zlib.crc32(payload) != crc:
+                # Tail frames may be torn mid-sync; anything earlier means
+                # the offset was stale or the file was rewritten.
+                return records, offset, offset + FRAME_HEADER_SIZE + length >= len(blob)
+            try:
+                record = JournalRecord.from_payload(payload)
+            except JournalCorruptError:
+                return records, offset, False
+            if records and record.lsn <= records[-1].lsn:
+                return records, offset, False  # LSNs must be monotone
+            records.append(record)
+            offset += FRAME_HEADER_SIZE + length
+        return records, offset, True

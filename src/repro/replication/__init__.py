@@ -1,0 +1,34 @@
+"""Shard replication: WAL shipping, standby replicas, automatic failover.
+
+``repro.replication`` makes shard death *survivable*: each
+:class:`~repro.core.hcompress.HCompress` shard gains K standby replicas
+fed by synchronous WAL shipping (every journal record lands on the
+standbys before the write is acked) plus periodic checkpoint shipping,
+so when the supervisor marks a shard DOWN the router promotes the
+most-caught-up standby through the ordinary
+:meth:`~repro.core.hcompress.HCompress.restore` path, fences the old
+primary via the shard-map manifest version, and resumes the dead
+shard's tenants after a bounded modeled promotion window.
+
+* :class:`ReplicationConfig` — policy knobs, off by default
+  (byte-identical when disabled), carried on
+  :class:`~repro.shard.ShardConfig`.
+* :class:`StandbyReplica` — one warm-spare recovery directory:
+  shipped frames + installed snapshots, promotable at any moment.
+* :class:`ReplicationCoordinator` — per-deployment shipping state:
+  journal observers, checkpoint installs, anti-entropy catch-up, and
+  promotion/demotion bookkeeping.
+
+See docs/SHARDING.md (failover) and docs/RECOVERY.md (WAL shipping).
+"""
+
+from .config import ReplicationConfig, replica_dirname
+from .coordinator import ReplicationCoordinator
+from .standby import StandbyReplica
+
+__all__ = [
+    "ReplicationConfig",
+    "ReplicationCoordinator",
+    "StandbyReplica",
+    "replica_dirname",
+]

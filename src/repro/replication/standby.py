@@ -1,0 +1,172 @@
+"""A standby replica: one shard's warm spare recovery directory.
+
+A standby is deliberately *not* a live engine — it is a recovery
+directory kept continuously restorable: the primary's journal frames
+land here synchronously (ship-on-append, so every acked mutation is
+present even when the primary's own group-commit buffer dies with it)
+and each primary checkpoint is installed as the standby's snapshot.
+Promotion is then nothing new: :meth:`HCompress.restore` over the
+standby directory, the same code path every crash-recovery test already
+proves.
+
+Frames are persisted verbatim — same bytes, same LSNs — so the standby
+journal is interchangeable with the primary's and
+:func:`~repro.recovery.journal.replay_journal` /
+:class:`~repro.recovery.journal.JournalCursor` work on it unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from ..errors import RecoveryError
+from ..recovery import JOURNAL_NAME, SNAPSHOT_NAME, replay_journal
+from ..recovery.journal import JournalRecord
+
+__all__ = ["StandbyReplica"]
+
+
+class StandbyReplica:
+    """One shard's standby: a shipped journal + installed snapshots.
+
+    Args:
+        shard_id: The shard this standby replicates.
+        replica_id: Position within the shard's standby set (0-based);
+            ties in promotion break toward the lowest id.
+        directory: The standby's recovery directory (created if
+            missing). An existing directory is adopted: the applied LSN
+            resumes from its snapshot + journal, so a recycled old
+            primary starts from whatever state it already holds.
+        fsync: Issue real ``os.fsync`` per applied frame. Off still
+            flushes (same modeled-durability convention as the journal).
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        replica_id: int,
+        directory: str | Path,
+        fsync: bool = True,
+    ) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_lsn = self._read_snapshot_lsn()
+        replay = replay_journal(self.journal_path)
+        if replay.truncated:
+            # Same torn-tail repair discipline as Journal.open: cut the
+            # partial frame so shipped appends extend intact state.
+            with open(self.journal_path, "r+b") as handle:
+                handle.truncate(replay.valid_bytes)
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        #: Newest LSN this standby holds durably (snapshot or journal).
+        self.applied_lsn = max(self.snapshot_lsn, replay.last_lsn)
+        self.records_applied = 0
+        self._file = open(self.journal_path, "ab")
+        self._closed = False
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / JOURNAL_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / SNAPSHOT_NAME
+
+    def _read_snapshot_lsn(self) -> int:
+        try:
+            from ..recovery import read_snapshot
+
+            return read_snapshot(self.directory).journal_lsn
+        except RecoveryError:
+            return 0
+
+    # -- shipping ------------------------------------------------------------
+
+    def apply(self, record: JournalRecord) -> bool:
+        """Persist one shipped record; returns False when already held.
+
+        Idempotent by LSN: re-shipped records (an anti-entropy pass
+        overlapping the live stream) are dropped, so the standby journal
+        stays strictly monotone and replayable.
+        """
+        self._check_open()
+        if record.lsn <= self.applied_lsn:
+            return False
+        self._file.write(record.frame())
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+        self.applied_lsn = record.lsn
+        self.records_applied += 1
+        return True
+
+    def install_snapshot(self, source_directory: str | Path) -> int:
+        """Adopt the primary's checkpoint; returns its journal LSN.
+
+        Copies ``snapshot.json`` atomically (tmp + flush + fsync +
+        rename), then compacts the standby journal down to the suffix
+        the snapshot does not cover — mirroring what the primary's own
+        checkpoint did to its journal, so standby and primary stay
+        structurally interchangeable.
+        """
+        self._check_open()
+        blob = (Path(source_directory) / SNAPSHOT_NAME).read_bytes()
+        tmp = self.directory / (SNAPSHOT_NAME + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+        self.snapshot_lsn = self._read_snapshot_lsn()
+        self._compact(self.snapshot_lsn)
+        if self.snapshot_lsn > self.applied_lsn:
+            self.applied_lsn = self.snapshot_lsn
+        return self.snapshot_lsn
+
+    def _compact(self, keep_after_lsn: int) -> None:
+        survivors = [
+            r
+            for r in replay_journal(self.journal_path).records
+            if r.lsn > keep_after_lsn
+        ]
+        tmp = self.journal_path.with_suffix(self.journal_path.suffix + ".tmp")
+        with open(tmp, "wb") as handle:
+            for record in survivors:
+                handle.write(record.frame())
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        self._file.close()
+        os.replace(tmp, self.journal_path)
+        self._file = open(self.journal_path, "ab")
+
+    def lag(self, primary_lsn: int) -> int:
+        """Records the primary has acked that this standby has not."""
+        return max(0, primary_lsn - self.applied_lsn)
+
+    def close(self) -> None:
+        """Release the journal descriptor (idempotent); state stays on
+        disk — exactly what promotion restores from."""
+        if self._closed:
+            return
+        self._file.close()
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RecoveryError(
+                f"standby {self.directory} is closed (promoted or shut down)"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StandbyReplica(shard={self.shard_id}, r={self.replica_id}, "
+            f"applied_lsn={self.applied_lsn})"
+        )

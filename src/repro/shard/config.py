@@ -19,10 +19,11 @@ to an unsharded one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Sequence
 
+from ..replication.config import ReplicationConfig
 from ..tiers import TierSpec
 
 __all__ = ["ShardConfig", "shard_dirname", "split_tier_specs"]
@@ -59,6 +60,9 @@ class ShardConfig:
             shard-map manifest lives at its top and each shard journals
             and checkpoints under ``shard-NN/``. ``None`` runs fully in
             memory (no manifest, no per-shard recovery).
+        replication: Standby-replica policy
+            (:class:`~repro.replication.ReplicationConfig`). Disabled by
+            default; enabling it requires a deployment directory.
     """
 
     shards: int = 1
@@ -67,6 +71,7 @@ class ShardConfig:
     failure_threshold: int = 3
     heartbeat_timeout: float | None = None
     directory: str | Path | None = None
+    replication: ReplicationConfig = field(default_factory=ReplicationConfig)
 
     def __post_init__(self) -> None:
         if self.shards < 1:

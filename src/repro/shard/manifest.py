@@ -47,9 +47,14 @@ class ShardManifest:
         shards: Number of engine shards.
         virtual_nodes: Ring points per shard (routing parameter).
         hash_seed: Seed of the ring's stable hash (routing parameter).
-        statuses: Shard id -> ``"UP"`` / ``"DOWN"`` as last persisted.
+        statuses: Shard id -> ``"UP"`` / ``"DOWN"`` / ``"PROMOTING"``
+            (a standby mid-promotion) as last persisted.
         directories: Shard id -> recovery directory name, relative to
-            the manifest's own directory.
+            the manifest's own directory. Failover re-homes a shard here:
+            after a promotion the entry names the promoted standby's
+            directory, and the version bump fences the old primary — a
+            process still holding the previous version fails its next
+            ``min_version`` read instead of double-serving.
     """
 
     version: int
@@ -69,7 +74,7 @@ class ShardManifest:
                 raise ShardManifestError(
                     f"manifest status for unknown shard {shard_id}"
                 )
-            if status not in ("UP", "DOWN"):
+            if status not in ("UP", "DOWN", "PROMOTING"):
                 raise ShardManifestError(
                     f"shard {shard_id} has invalid status {status!r}"
                 )
@@ -99,6 +104,30 @@ class ShardManifest:
             hash_seed=self.hash_seed,
             statuses=statuses,
             directories=dict(self.directories),
+        )
+
+    def with_promotion(
+        self, shard_id: int, directory: str, status: str = "PROMOTING"
+    ) -> "ShardManifest":
+        """Next layout version with one shard re-homed to a promoted
+        standby's directory.
+
+        The version bump is the failover fence: any process that
+        observed an older version (the dead primary's owner, a stale
+        router) fails its next ``min_version`` manifest read instead of
+        acting on the superseded layout.
+        """
+        statuses = dict(self.statuses)
+        statuses[shard_id] = status
+        directories = dict(self.directories)
+        directories[shard_id] = directory
+        return ShardManifest(
+            version=self.version + 1,
+            shards=self.shards,
+            virtual_nodes=self.virtual_nodes,
+            hash_seed=self.hash_seed,
+            statuses=statuses,
+            directories=directories,
         )
 
     def to_dict(self) -> dict:

@@ -21,6 +21,21 @@ the ordinary :meth:`HCompress.restore` path and re-enters the ring
 exactly where it was: consistent hashing means nobody else's keys
 moved.
 
+With replication enabled (:class:`~repro.replication.ReplicationConfig`
+on the shard config) shard death is survivable without an operator:
+every shard's journal ships synchronously to K standby directories, and
+when the supervisor marks a shard DOWN the router promotes the
+most-caught-up standby — restore over the standby directory, manifest
+re-homed with a version bump that fences the old primary, owner map
+rebuilt, supervisor flipped to a bounded PROMOTING window during which
+the shard sheds retryably with
+:class:`~repro.errors.FailoverInProgressError` — then recycles the dead
+primary's directory as a new standby and reseeds the set from a fresh
+checkpoint. Promotion is staged across the four
+``replication.pre_promote/post_manifest/post_reroute/post_demote``
+crash sites and each stage is idempotent, so a crash mid-failover is
+repaired by simply calling :meth:`failover` again.
+
 ``shards=1`` is the feature-off shape: the single shard receives the
 unsplit tier specs and every call delegates straight through, producing
 schemas and a catalog byte-identical to an unsharded engine.
@@ -35,9 +50,17 @@ from typing import Callable, Sequence
 from ..core.config import HCompressConfig
 from ..core.hcompress import HCompress
 from ..core.manager import ReadResult, WriteResult
-from ..errors import HCompressError, QosError, SimulatedCrashError, TierError
+from ..errors import (
+    HCompressError,
+    QosError,
+    ShardManifestError,
+    ShardStateError,
+    SimulatedCrashError,
+    TierError,
+)
 from ..hcdp import IOTask, next_task_id
 from ..qos import QosClass
+from ..replication import ReplicationCoordinator
 from ..tiers import StorageHierarchy, TierSpec
 from .config import ShardConfig, split_tier_specs
 from .hashring import ConsistentHashRing
@@ -65,6 +88,11 @@ class ShardedHCompress:
         clock: Modeled time source threaded into every shard and the
             supervisor.
         device_factory: Forwarded to each shard's hierarchy build.
+        crashpoints: Optional :class:`~repro.recovery.Crashpoints`
+            arbiter threaded into every shard engine and the failover
+            path, so the crash harness can kill the deployment at any
+            instrumented site (including the four ``replication.*``
+            promotion sites).
     """
 
     def __init__(
@@ -75,6 +103,7 @@ class ShardedHCompress:
         seed=None,
         clock: Callable[[], float] | None = None,
         device_factory=None,
+        crashpoints=None,
     ) -> None:
         self.config = config if config is not None else HCompressConfig()
         self.shard_config = (
@@ -83,6 +112,7 @@ class ShardedHCompress:
         self.specs = tuple(specs)
         self._clock = clock
         self._device_factory = device_factory
+        self.crashpoints = crashpoints
         self.ring = ConsistentHashRing(
             self.shard_config.shards,
             self.shard_config.virtual_nodes,
@@ -99,6 +129,11 @@ class ShardedHCompress:
         if root is None and self.config.recovery.enabled:
             root = self.config.recovery.directory
         self.root = None if root is None else Path(root)
+        if self.shard_config.replication.enabled and self.root is None:
+            raise HCompressError(
+                "replication needs a deployment directory: construct with "
+                "ShardConfig(directory=...) or recovery enabled"
+            )
         if seed is None:
             # One shared profiling pass. The profiler is a pure function of
             # the codec pool and a fixed rng, so this is byte-identical to
@@ -139,6 +174,7 @@ class ShardedHCompress:
                 self._engine_config(shard_id),
                 seed=self.seed,
                 clock=clock,
+                crashpoints=crashpoints,
             )
         # task id -> owning shard, so reads route to where the write went
         # even when the write was routed by tenant. Rebuilt from each
@@ -149,6 +185,25 @@ class ShardedHCompress:
         self.busy_seconds: dict[int, float] = {
             shard_id: 0.0 for shard_id in range(self.shard_config.shards)
         }
+        # Replication: standby sets + synchronous WAL shipping. Built after
+        # the engines so every shard's journal exists to observe; the
+        # bootstrap checkpoint gives every standby a restorable snapshot
+        # from modeled time zero.
+        self.replication: ReplicationCoordinator | None = None
+        self._pending_failovers: set[int] = set()
+        self._pending_demote: dict[int, str] = {}
+        if self.shard_config.replication.enabled:
+            self.replication = ReplicationCoordinator(
+                self.shard_config.shards,
+                self.shard_config.replication,
+                self.root,
+                fsync=self.config.recovery.fsync,
+            )
+            for shard_id in sorted(self.engines):
+                engine = self.engines[shard_id]
+                path = engine.checkpoint()
+                self.replication.attach(shard_id, engine.journal)
+                self.replication.ship_checkpoint(shard_id, path.parent)
         self._closed = False
 
     # -- construction helpers ------------------------------------------------
@@ -171,13 +226,38 @@ class ShardedHCompress:
     def _persist_status(
         self, status: str, now: float, shard_id: int, reason: str
     ) -> None:
-        """Supervisor transition hook: bump + rewrite the manifest."""
+        """Supervisor transition hook: bump + rewrite the manifest, and
+        queue an automatic failover when a replicated shard goes DOWN."""
+        if (
+            status == "DOWN"
+            and self.replication is not None
+            and self.shard_config.replication.auto_failover
+        ):
+            self._pending_failovers.add(shard_id)
         if self.manifest is None:
             return
         self.manifest = self.manifest.with_status(shard_id, status)
         write_manifest(
             self.root, self.manifest, fsync=self.config.recovery.fsync
         )
+
+    def _service_failovers(self) -> None:
+        """Run queued automatic promotions (deterministic shard order).
+
+        Invoked at the top of every dispatch, right after the heartbeat
+        sweep — so a DOWN transition from any source (explicit kill,
+        failure threshold, expired heartbeat) is serviced on the very
+        next operation, on the modeled clock, before any routing gate.
+        """
+        if self.replication is None or not self._pending_failovers:
+            return
+        for shard_id in sorted(self._pending_failovers):
+            self._pending_failovers.discard(shard_id)
+            if (
+                self.engines[shard_id] is None
+                and self.supervisor.health[shard_id].status == "DOWN"
+            ):
+                self.failover(shard_id)
 
     # -- routing -------------------------------------------------------------
 
@@ -227,6 +307,7 @@ class ShardedHCompress:
         tid = task.task_id if task is not None else (task_id or next_task_id())
         shard_id = self.ring.route(self.route_key(tid, tenant))
         self.supervisor.sweep()
+        self._service_failovers()
         self.supervisor.ensure_up(shard_id)
         engine = self.engine(shard_id)
         try:
@@ -271,6 +352,7 @@ class ShardedHCompress:
         if shard_id is None:
             shard_id = self.ring.route(task_id)
         self.supervisor.sweep()
+        self._service_failovers()
         self.supervisor.ensure_up(shard_id)
         engine = self.engine(shard_id)
         try:
@@ -348,6 +430,7 @@ class ShardedHCompress:
         for index, key in enumerate(keys):
             groups.setdefault(route(key), []).append(index)
         self.supervisor.sweep()
+        self._service_failovers()
         for shard_id in groups:
             self.supervisor.ensure_up(shard_id)
         results: list[WriteResult | None] = [None] * len(specs)
@@ -402,6 +485,7 @@ class ShardedHCompress:
                 shard_id = route(tid)
             groups.setdefault(shard_id, []).append(index)
         self.supervisor.sweep()
+        self._service_failovers()
         for shard_id in groups:
             self.supervisor.ensure_up(shard_id)
         results: list[ReadResult | None] = [None] * len(task_ids)
@@ -431,6 +515,16 @@ class ShardedHCompress:
 
     # -- failure domains -----------------------------------------------------
 
+    def _require_shard(self, shard_id: int) -> None:
+        """Typed rejection of shard ids outside the deployment."""
+        if shard_id not in self.engines:
+            raise ShardStateError(
+                f"unknown shard id {shard_id} (deployment has shards "
+                f"0..{self.shards - 1})",
+                shard_id=shard_id,
+                state="UNKNOWN",
+            )
+
     def kill_shard(self, shard_id: int, reason: str = "killed") -> None:
         """Crash one shard: abandon its engine mid-flight.
 
@@ -441,8 +535,21 @@ class ShardedHCompress:
         shard's tiers survive (durable external services) and its
         tenants start seeing :class:`~repro.errors.ShardUnavailableError`
         on the next dispatch. Other shards are untouched.
+
+        Raises :class:`~repro.errors.ShardStateError` for an unknown
+        shard id or one that is already DOWN — killing a corpse is an
+        operator error, not a no-op.
         """
         self._check_open()
+        self._require_shard(shard_id)
+        status = self.supervisor.health[shard_id].status
+        if status == "DOWN":
+            raise ShardStateError(
+                f"cannot kill shard {shard_id}: already DOWN "
+                f"({self.supervisor.health[shard_id].reason})",
+                shard_id=shard_id,
+                state=status,
+            )
         self._abandon(shard_id, reason)
 
     def _abandon(self, shard_id: int, reason: str) -> None:
@@ -450,6 +557,8 @@ class ShardedHCompress:
         if engine is not None:
             engine.manager.shutdown()  # thread hygiene; journal left un-synced
             self.engines[shard_id] = None
+            if self.replication is not None:
+                self.replication.detach(shard_id)
         self.supervisor.mark_down(shard_id, reason)
 
     def restore_shard(self, shard_id: int) -> HCompress:
@@ -460,13 +569,41 @@ class ShardedHCompress:
         slice, re-registers the shard's tasks in the owner map, and
         marks it UP (bumping the manifest). Requires a deployment
         directory — an in-memory shard has nothing to restore from.
+
+        Raises :class:`~repro.errors.ShardStateError` for an unknown
+        shard id or one that is not DOWN (restoring a serving shard
+        would silently fork its state), and
+        :class:`~repro.errors.ShardManifestError` when the on-disk
+        manifest has moved past the version this router holds — a
+        concurrent actor re-wrote the layout and blindly bumping would
+        clobber it.
         """
         self._check_open()
+        self._require_shard(shard_id)
+        status = self.supervisor.health[shard_id].status
+        if status != "DOWN":
+            raise ShardStateError(
+                f"cannot restore shard {shard_id}: currently {status}",
+                shard_id=shard_id,
+                state=status,
+            )
         if self.root is None:
             raise HCompressError(
                 "restore_shard needs a deployment directory: construct "
                 "with ShardConfig(directory=...) or recovery enabled"
             )
+        if self.manifest is not None:
+            # Idempotence under concurrent bumps: re-read before writing.
+            # read_manifest rejects rollback (stale version); a *newer*
+            # version means someone else won the race — refuse to clobber.
+            disk = read_manifest(self.root, min_version=self.manifest.version)
+            if disk.version > self.manifest.version:
+                raise ShardManifestError(
+                    f"shard manifest advanced to v{disk.version} while this "
+                    f"router holds v{self.manifest.version}: a concurrent "
+                    "actor re-wrote the layout; re-sync before restoring"
+                )
+        self._pending_failovers.discard(shard_id)
         old = self.engines[shard_id]
         if old is not None:
             old.manager.shutdown()
@@ -476,12 +613,144 @@ class ShardedHCompress:
             config=self.config,
             seed=self.seed,
             clock=self._clock,
+            crashpoints=self.crashpoints,
         )
         self.engines[shard_id] = engine
         for tid in engine.manager.catalog_snapshot():
             self._owners[tid] = shard_id
+        if self.replication is not None:
+            self.replication.attach(shard_id, engine.journal)
         self.supervisor.mark_up(shard_id)
         return engine
+
+    # -- failover (repro.replication) ----------------------------------------
+
+    def failover(self, shard_id: int) -> HCompress:
+        """Promote the most-caught-up standby of a DOWN shard.
+
+        The promotion is staged and every stage is idempotent, so a
+        crash at any of the four ``replication.*`` sites is repaired by
+        calling :meth:`failover` again:
+
+        1. **pre_promote** — candidate chosen (max applied LSN, ties to
+           the lowest replica id); nothing has changed yet.
+        2. Fence + re-home: the on-disk manifest is re-read with
+           ``min_version`` (adopting a newer layout, rejecting rollback)
+           and rewritten with the shard pointed at the standby's
+           directory — **post_manifest**. Any actor holding the old
+           version now fails its next manifest read.
+        3. The standby directory restores through
+           :meth:`HCompress.restore`, the engine is swapped in, the
+           owner map rebuilt, shipping re-attached, and the supervisor
+           enters the modeled PROMOTING window — **post_reroute**.
+           Tenants shed retryably until the window elapses.
+        4. The dead primary's directory is recycled as a new standby and
+           the whole standby set reseeds from a fresh checkpoint
+           (anti-entropy) — **post_demote**.
+
+        Returns the promoted engine. Requires replication; raises
+        :class:`~repro.errors.ShardStateError` for an unknown shard or
+        one with nothing to fail over.
+        """
+        self._check_open()
+        self._require_shard(shard_id)
+        if self.replication is None:
+            raise ShardStateError(
+                f"shard {shard_id} has no standbys: replication is disabled",
+                shard_id=shard_id,
+                state=self.supervisor.health[shard_id].status,
+            )
+        if self.engines[shard_id] is None:
+            self._promote(shard_id)
+        elif shard_id not in self._pending_demote:
+            status = self.supervisor.health[shard_id].status
+            raise ShardStateError(
+                f"cannot fail over shard {shard_id}: currently {status} "
+                "with no promotion in flight",
+                shard_id=shard_id,
+                state=status,
+            )
+        self._finish_failover(shard_id)
+        return self.engines[shard_id]
+
+    def _promote(self, shard_id: int) -> None:
+        """Stages 1-3: fence, re-home, restore, re-route."""
+        coordinator = self.replication
+        candidate = coordinator.promotion_candidate(shard_id)
+        if self.crashpoints is not None:
+            self.crashpoints.reached("replication.pre_promote")
+        # Remember the dying primary's directory before re-homing: stage 4
+        # recycles it as a standby.
+        self._pending_demote.setdefault(
+            shard_id, self.manifest.directories[shard_id]
+        )
+        # The fence: adopt the newest on-disk layout (>= ours; rollback is
+        # rejected as stale), then bump past it with the shard re-homed.
+        disk = read_manifest(self.root, min_version=self.manifest.version)
+        window = self.shard_config.replication.promotion_seconds
+        self.manifest = disk.with_promotion(
+            shard_id,
+            candidate.directory.name,
+            status="PROMOTING" if window > 0 else "UP",
+        )
+        write_manifest(
+            self.root, self.manifest, fsync=self.config.recovery.fsync
+        )
+        if self.crashpoints is not None:
+            self.crashpoints.reached("replication.post_manifest")
+        engine = HCompress.restore(
+            candidate.directory,
+            self.hierarchies[shard_id],
+            config=self.config,
+            seed=self.seed,
+            clock=self._clock,
+            crashpoints=self.crashpoints,
+        )
+        coordinator.promote(shard_id, candidate)
+        self.engines[shard_id] = engine
+        for tid in engine.manager.catalog_snapshot():
+            self._owners[tid] = shard_id
+        coordinator.attach(shard_id, engine.journal)
+        self.supervisor.mark_promoting(
+            shard_id, self.supervisor.now() + window
+        )
+        if self.crashpoints is not None:
+            self.crashpoints.reached("replication.post_reroute")
+
+    def _finish_failover(self, shard_id: int) -> None:
+        """Stage 4: recycle the dead primary, reseed the standby set."""
+        coordinator = self.replication
+        engine = self.engines[shard_id]
+        old_dirname = self._pending_demote.get(shard_id)
+        if old_dirname is not None:
+            coordinator.demote(shard_id, self.root / old_dirname)
+        # Anti-entropy reseed: fresh checkpoint from the new primary,
+        # installed on every standby (including the recycled one), then
+        # the journal tail from each standby's own applied LSN.
+        path = engine.checkpoint()
+        coordinator.ship_checkpoint(shard_id, path.parent)
+        coordinator.catch_up(shard_id, path.parent)
+        if self.crashpoints is not None:
+            self.crashpoints.reached("replication.post_demote")
+        self._pending_demote.pop(shard_id, None)
+        coordinator.failovers[shard_id] += 1
+        if engine.obs is not None:
+            with engine.obs.region(
+                "replication.promote", shard=shard_id
+            ) as span:
+                span.set_attr("applied_lsn", engine.journal.durable_lsn)
+            engine.obs.record_shard_promotion(str(shard_id))
+
+    def replication_status(self) -> dict[int, dict]:
+        """Per-shard replication state: primary LSN, shipped counts, and
+        each standby's applied LSN + lag (the CLI's status table)."""
+        self._check_open()
+        if self.replication is None:
+            raise HCompressError(
+                "replication is disabled: enable it with "
+                "ShardConfig(replication=ReplicationConfig(enabled=True))"
+            )
+        return self.replication.status()
 
     def verify_manifest(self) -> ShardManifest:
         """Re-read the on-disk manifest, rejecting stale versions."""
@@ -523,13 +792,22 @@ class ShardedHCompress:
     # -- aggregate views -----------------------------------------------------
 
     def checkpoint(self) -> tuple[Path, ...]:
-        """Checkpoint every live shard; returns the snapshot paths."""
+        """Checkpoint every live shard; returns the snapshot paths.
+
+        With replication enabled each fresh snapshot also ships to the
+        shard's standbys (periodic checkpoint shipping: a standby's
+        restore cost stays bounded by the journal tail since the last
+        checkpoint, not its whole history).
+        """
         self._check_open()
         paths = []
         for shard_id in sorted(self.engines):
             engine = self.engines[shard_id]
             if engine is not None and self.supervisor.is_up(shard_id):
-                paths.append(engine.checkpoint())
+                path = engine.checkpoint()
+                paths.append(path)
+                if self.replication is not None:
+                    self.replication.ship_checkpoint(shard_id, path.parent)
         return tuple(paths)
 
     def footprint_by_tier(self) -> dict[str, int]:
@@ -556,7 +834,10 @@ class ShardedHCompress:
         for shard_id in sorted(self.engines):
             engine = self.engines[shard_id]
             if engine is not None and engine.obs is not None:
-                out[shard_id] = engine.sync_telemetry()
+                obs = engine.sync_telemetry()
+                if self.replication is not None:
+                    obs.sync_replication(self.replication, shard_id)
+                out[shard_id] = obs
         return out
 
     # -- lifecycle -----------------------------------------------------------
@@ -568,10 +849,15 @@ class ShardedHCompress:
         journal via :meth:`HCompress.close`; the supervisor and router
         own no threads of their own. Safe to call repeatedly.
         """
+        if self.replication is not None:
+            for shard_id in sorted(self.engines):
+                self.replication.detach(shard_id)
         for shard_id in sorted(self.engines):
             engine = self.engines[shard_id]
             if engine is not None:
                 engine.close()
+        if self.replication is not None:
+            self.replication.close()
         self._closed = True
 
     def __enter__(self) -> "ShardedHCompress":

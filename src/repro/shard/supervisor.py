@@ -18,9 +18,15 @@ must not be declared dead for it.
 While a shard is DOWN, :meth:`ensure_up` fails fast with
 :class:`~repro.errors.ShardUnavailableError` before any planning or
 engine work, so traffic for a dead shard costs O(1) and every other
-shard keeps serving undisturbed. Transitions append to a replayable
-trace and invoke an optional callback (the router persists each
-transition into the shard-map manifest).
+shard keeps serving undisturbed. With replication enabled a third state
+joins the pair: PROMOTING, the modeled window while a standby finishes
+taking over. Promoting shards shed traffic with the *retryable*
+:class:`~repro.errors.FailoverInProgressError` (a QoS-class policy
+rejection, not a health signal) and flip to UP automatically once the
+modeled clock passes their ready time — no operator action, no extra
+event source. Transitions append to a replayable trace and invoke an
+optional callback (the router persists each transition into the
+shard-map manifest).
 
 The supervisor owns no threads: health is updated synchronously from
 operation outcomes and explicit sweeps, which keeps shutdown trivially
@@ -31,7 +37,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..errors import ShardUnavailableError
+from ..errors import FailoverInProgressError, ShardUnavailableError
 from .config import ShardConfig
 
 __all__ = ["ShardHealth", "ShardSupervisor"]
@@ -41,7 +47,7 @@ class ShardHealth:
     """Mutable per-shard health record."""
 
     __slots__ = ("shard_id", "status", "consecutive_failures",
-                 "last_heartbeat", "reason")
+                 "last_heartbeat", "reason", "promote_ready_at")
 
     def __init__(self, shard_id: int, now: float) -> None:
         self.shard_id = shard_id
@@ -49,6 +55,8 @@ class ShardHealth:
         self.consecutive_failures = 0
         self.last_heartbeat = now
         self.reason = ""
+        #: Modeled time the in-flight promotion completes (PROMOTING only).
+        self.promote_ready_at = 0.0
 
 
 class ShardSupervisor:
@@ -84,11 +92,29 @@ class ShardSupervisor:
     # -- gating --------------------------------------------------------------
 
     def is_up(self, shard_id: int) -> bool:
-        return self.health[shard_id].status == "UP"
+        record = self.health[shard_id]
+        self._maybe_complete_promotion(record)
+        return record.status == "UP"
 
     def ensure_up(self, shard_id: int) -> None:
-        """Fail fast when the shard is DOWN (the router's pre-dispatch gate)."""
+        """Fail fast when the shard is DOWN (the router's pre-dispatch gate).
+
+        A PROMOTING shard sheds with the retryable
+        :class:`~repro.errors.FailoverInProgressError` instead — a QoS
+        policy rejection carrying the modeled seconds until the promoted
+        engine serves — and flips UP by itself once the clock passes its
+        ready time.
+        """
         record = self.health[shard_id]
+        self._maybe_complete_promotion(record)
+        if record.status == "PROMOTING":
+            remaining = record.promote_ready_at - self.now()
+            raise FailoverInProgressError(
+                f"shard {shard_id} is promoting a standby "
+                f"(ready in {remaining:.3f}s modeled)",
+                shard_id=shard_id,
+                retry_after=max(remaining, 0.0),
+            )
         if record.status != "UP":
             raise ShardUnavailableError(
                 f"shard {shard_id} is DOWN ({record.reason})",
@@ -100,7 +126,7 @@ class ShardSupervisor:
         return tuple(
             shard_id
             for shard_id in sorted(self.health)
-            if self.health[shard_id].status == "UP"
+            if self.is_up(shard_id)
         )
 
     # -- health feed ---------------------------------------------------------
@@ -127,16 +153,22 @@ class ShardSupervisor:
             )
 
     def sweep(self) -> tuple[int, ...]:
-        """Mark shards whose heartbeat has expired DOWN; returns them."""
+        """Mark shards whose heartbeat has expired DOWN; returns them.
+
+        Also completes any elapsed promotion window — even with timeout
+        detection disabled — so a promoting shard flips UP on the next
+        sweep after its ready time, not only when its own traffic
+        arrives.
+        """
         timeout = self.config.heartbeat_timeout
-        if timeout is None:
-            return ()
         now = self.now()
         expired = []
         for shard_id in sorted(self.health):
             record = self.health[shard_id]
+            self._maybe_complete_promotion(record)
             if (
-                record.status == "UP"
+                timeout is not None
+                and record.status == "UP"
                 and now - record.last_heartbeat > timeout
             ):
                 self.mark_down(shard_id, "heartbeat timeout")
@@ -153,7 +185,7 @@ class ShardSupervisor:
         record.reason = reason
         self._transition("DOWN", shard_id, reason)
 
-    def mark_up(self, shard_id: int) -> None:
+    def mark_up(self, shard_id: int, reason: str = "restored") -> None:
         """Return a restored shard to service with clean health."""
         record = self.health[shard_id]
         if record.status == "UP":
@@ -162,7 +194,28 @@ class ShardSupervisor:
         record.reason = ""
         record.consecutive_failures = 0
         record.last_heartbeat = self.now()
-        self._transition("UP", shard_id, "restored")
+        self._transition("UP", shard_id, reason)
+
+    def mark_promoting(self, shard_id: int, ready_at: float) -> None:
+        """Enter the failover window: the shard sheds retryably until the
+        modeled clock reaches ``ready_at``, then flips UP by itself.
+        A window that has already elapsed goes straight to UP."""
+        record = self.health[shard_id]
+        record.consecutive_failures = 0
+        if ready_at <= self.now():
+            self.mark_up(shard_id, "promotion complete")
+            return
+        record.status = "PROMOTING"
+        record.reason = "failover in progress"
+        record.promote_ready_at = ready_at
+        self._transition("PROMOTING", shard_id, "failover in progress")
+
+    def _maybe_complete_promotion(self, record: ShardHealth) -> None:
+        if (
+            record.status == "PROMOTING"
+            and self.now() >= record.promote_ready_at
+        ):
+            self.mark_up(record.shard_id, "promotion complete")
 
     def _transition(self, status: str, shard_id: int, reason: str) -> None:
         event = (status, round(self.now(), 9), shard_id, reason)

@@ -1,0 +1,256 @@
+"""End-to-end failover: kill a replicated primary, promote its standby.
+
+Covers the contract from docs/SHARDING.md: automatic promotion on the
+next dispatch, zero acked-write loss (including the group-commit tail
+the dead primary never synced), the retryable PROMOTING window, fencing
+via the manifest version, idempotence of a retried ``failover()``, and
+the byte-identical-when-disabled guarantee.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompressConfig
+from repro.core.config import RecoveryConfig
+from repro.errors import (
+    FailoverInProgressError,
+    HCompressError,
+    ShardStateError,
+    SimulatedCrashError,
+)
+from repro.recovery import CrashPlan, Crashpoints
+from repro.replication import ReplicationConfig, replica_dirname
+from repro.shard import ShardConfig, ShardedHCompress
+from repro.sim.clock import SimClock
+from repro.tiers import ares_specs
+from repro.units import GiB, MiB
+
+
+def _specs(scale: int = 2):
+    return ares_specs(
+        16 * MiB * scale, 32 * MiB * scale, 1 * GiB * scale, nodes=scale
+    )
+
+
+def _replicated(seed, tmp_path, clock: SimClock, *,
+                promotion_seconds: float = 0.0,
+                fsync_every: int = 8,
+                crashpoints=None, **replication_kwargs) -> ShardedHCompress:
+    return ShardedHCompress(
+        _specs(),
+        HCompressConfig(
+            recovery=RecoveryConfig(fsync=False, fsync_every=fsync_every),
+        ),
+        ShardConfig(
+            shards=2,
+            directory=tmp_path / "deploy",
+            replication=ReplicationConfig(
+                enabled=True,
+                promotion_seconds=promotion_seconds,
+                **replication_kwargs,
+            ),
+        ),
+        seed=seed,
+        clock=lambda: clock.now,
+        crashpoints=crashpoints,
+    )
+
+
+def _tenant_on(sharded: ShardedHCompress, shard_id: int) -> str:
+    for t in range(256):
+        if sharded.ring.route(f"tenant-{t}") == shard_id:
+            return f"tenant-{t}"
+    raise AssertionError(f"no tenant routes to shard {shard_id}")
+
+
+class TestAutomaticFailover:
+    def test_kill_promotes_and_loses_no_acked_write(
+        self, seed, tmp_path, gamma_f64
+    ) -> None:
+        """Every acked write survives the kill — including the journal
+        tail the primary's group commit never made locally durable."""
+        clock = SimClock()
+        sharded = _replicated(seed, tmp_path, clock, fsync_every=8)
+        tenant = _tenant_on(sharded, 0)
+        for i in range(5):
+            sharded.compress(gamma_f64, task_id=f"t{i}", tenant=tenant)
+            clock.advance(0.05)
+        victim = sharded.engines[0]
+        assert victim.journal.pending > 0  # a genuinely unsynced tail
+        old_dir = sharded.manifest.directories[0]
+        sharded.kill_shard(0)
+        assert sharded.engines[0] is None
+        # The very next dispatch — any tenant's — runs the promotion.
+        read = sharded.decompress("t0")
+        assert read.data == gamma_f64
+        assert sharded.engines[0] is not None
+        assert sharded.replication.failovers[0] == 1
+        assert sharded.manifest.directories[0] == replica_dirname(0, 0)
+        # The dead primary's directory was recycled as a new standby.
+        standby_dirs = [
+            r.directory.name for r in sharded.replication.standbys[0]
+        ]
+        assert standby_dirs == [old_dir]
+        for i in range(5):
+            assert sharded.decompress(f"t{i}").data == gamma_f64
+        sharded.close()
+
+    def test_promotion_window_sheds_retryably_then_serves(
+        self, seed, tmp_path, gamma_f64
+    ) -> None:
+        clock = SimClock()
+        sharded = _replicated(seed, tmp_path, clock, promotion_seconds=0.25)
+        tenant = _tenant_on(sharded, 0)
+        sharded.compress(gamma_f64, task_id="t0", tenant=tenant)
+        sharded.kill_shard(0)
+        with pytest.raises(FailoverInProgressError) as excinfo:
+            sharded.decompress("t0")
+        assert 0 < excinfo.value.retry_after <= 0.25
+        # FailoverInProgressError is QoS-class: retryable, not a health
+        # signal — the shard must not be re-marked DOWN for shedding.
+        assert sharded.supervisor.health[0].status == "PROMOTING"
+        clock.advance(0.3)
+        assert sharded.decompress("t0").data == gamma_f64
+        assert sharded.supervisor.health[0].status == "UP"
+        trace = [s for s, _, sid, _ in sharded.supervisor.trace if sid == 0]
+        assert trace == ["DOWN", "PROMOTING", "UP"]
+        sharded.close()
+
+    def test_retried_failover_after_convergence_is_typed_noop(
+        self, seed, tmp_path, gamma_f64
+    ) -> None:
+        clock = SimClock()
+        sharded = _replicated(seed, tmp_path, clock)
+        tenant = _tenant_on(sharded, 0)
+        sharded.compress(gamma_f64, task_id="t0", tenant=tenant)
+        sharded.kill_shard(0)
+        sharded.failover(0)
+        version = sharded.manifest.version
+        with pytest.raises(ShardStateError):
+            sharded.failover(0)
+        assert sharded.manifest.version == version
+        sharded.close()
+
+    def test_failover_requires_replication(self, seed, tmp_path,
+                                           gamma_f64) -> None:
+        sharded = ShardedHCompress(
+            _specs(),
+            shard_config=ShardConfig(shards=2, directory=tmp_path / "d"),
+            seed=seed,
+        )
+        sharded.kill_shard(0)
+        with pytest.raises(ShardStateError):
+            sharded.failover(0)
+        sharded.close()
+
+    def test_replication_needs_deployment_directory(self, seed) -> None:
+        with pytest.raises(HCompressError):
+            ShardedHCompress(
+                _specs(),
+                shard_config=ShardConfig(
+                    shards=2,
+                    replication=ReplicationConfig(enabled=True),
+                ),
+                seed=seed,
+            )
+
+
+class TestCrashMidPromotion:
+    @pytest.mark.parametrize("site", [
+        "replication.pre_promote",
+        "replication.post_manifest",
+        "replication.post_reroute",
+        "replication.post_demote",
+    ])
+    def test_retried_failover_repairs_any_crash_site(
+        self, seed, tmp_path, gamma_f64, site
+    ) -> None:
+        clock = SimClock()
+        crashpoints = Crashpoints(CrashPlan(site=site))
+        sharded = _replicated(
+            seed, tmp_path, clock, crashpoints=crashpoints
+        )
+        tenant = _tenant_on(sharded, 0)
+        sharded.compress(gamma_f64, task_id="t0", tenant=tenant)
+        sharded.kill_shard(0)
+        with pytest.raises(SimulatedCrashError):
+            sharded.decompress("t0")
+        assert crashpoints.fired == site
+        # A new incarnation repairs by retrying: every stage is idempotent.
+        sharded.failover(0)
+        assert sharded.decompress("t0").data == gamma_f64
+        assert sharded.replication.failovers[0] == 1
+        disk = sharded.verify_manifest()
+        assert disk.directories == sharded.manifest.directories
+        sharded.close()
+
+
+class TestDisabledIdentity:
+    def test_disabled_config_matches_unreplicated_deployment(
+        self, seed, tmp_path, gamma_f64
+    ) -> None:
+        """``ReplicationConfig()`` (the default, disabled) must leave the
+        deployment byte-identical to one built with no replication knob:
+        same placements, same stored bytes, no standby directories."""
+        snapshots = []
+        for name, replication in (
+            ("plain", None),
+            ("off", ReplicationConfig()),
+        ):
+            kwargs = {} if replication is None else {
+                "replication": replication
+            }
+            sharded = ShardedHCompress(
+                _specs(),
+                shard_config=ShardConfig(
+                    shards=2, directory=tmp_path / name, **kwargs
+                ),
+                seed=seed,
+            )
+            assert sharded.replication is None
+            results = [
+                sharded.compress(gamma_f64, task_id=f"t{i}",
+                                 tenant=f"tenant-{i}")
+                for i in range(4)
+            ]
+            snapshots.append([
+                tuple((p.plan.codec, p.tier, p.stored_size)
+                      for p in r.pieces)
+                for r in results
+            ])
+            replica_dirs = [
+                p.name for p in (tmp_path / name).iterdir()
+                if "-r" in p.name
+            ]
+            assert replica_dirs == []
+            sharded.close()
+        assert snapshots[0] == snapshots[1]
+
+
+class TestStatus:
+    def test_replication_status_tracks_shipping_and_failover(
+        self, seed, tmp_path, gamma_f64
+    ) -> None:
+        clock = SimClock()
+        sharded = _replicated(seed, tmp_path, clock)
+        tenant = _tenant_on(sharded, 0)
+        sharded.compress(gamma_f64, task_id="t0", tenant=tenant)
+        status = sharded.replication_status()
+        assert status[0]["primary_lsn"] >= 1
+        assert status[0]["shipped_records"] >= 1
+        assert status[0]["replicas"][0]["lag"] == 0  # synchronous
+        sharded.kill_shard(0)
+        sharded.failover(0)
+        status = sharded.replication_status()
+        assert status[0]["failovers"] == 1
+        assert status[0]["catch_ups"] >= 1
+        sharded.close()
+
+    def test_status_requires_replication(self, seed) -> None:
+        sharded = ShardedHCompress(
+            _specs(), shard_config=ShardConfig(shards=2), seed=seed
+        )
+        with pytest.raises(HCompressError):
+            sharded.replication_status()
+        sharded.close()

@@ -1,0 +1,118 @@
+"""StandbyReplica: shipped-frame persistence, idempotence, snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.recovery import (
+    EngineSnapshot,
+    JournalRecord,
+    replay_journal,
+    write_snapshot,
+)
+from repro.replication import StandbyReplica
+
+ENTRIES = (("t0/0", 4096, "zlib", 123),)
+
+
+def _record(lsn: int, task: str = "t0") -> JournalRecord:
+    return JournalRecord(lsn, "commit", task, ENTRIES)
+
+
+@pytest.fixture()
+def standby(tmp_path) -> StandbyReplica:
+    return StandbyReplica(0, 0, tmp_path / "shard-00-r0", fsync=False)
+
+
+class TestApply:
+    def test_apply_persists_frame_verbatim(self, standby) -> None:
+        record = _record(1)
+        assert standby.apply(record)
+        assert standby.applied_lsn == 1
+        replay = replay_journal(standby.journal_path)
+        assert replay.records == [record]
+
+    def test_apply_is_idempotent_by_lsn(self, standby) -> None:
+        record = _record(1)
+        assert standby.apply(record)
+        assert not standby.apply(record)  # re-ship: dropped
+        assert standby.records_applied == 1
+        assert len(replay_journal(standby.journal_path).records) == 1
+
+    def test_stale_lsn_dropped(self, standby) -> None:
+        standby.apply(_record(5))
+        assert not standby.apply(_record(3))
+        assert standby.applied_lsn == 5
+
+    def test_closed_standby_refuses_applies(self, standby) -> None:
+        standby.close()
+        standby.close()  # idempotent
+        with pytest.raises(RecoveryError):
+            standby.apply(_record(1))
+
+
+class TestAdoption:
+    def test_reopen_resumes_applied_lsn(self, tmp_path) -> None:
+        directory = tmp_path / "shard-00-r0"
+        first = StandbyReplica(0, 0, directory, fsync=False)
+        for lsn in (1, 2, 3):
+            first.apply(_record(lsn, f"t{lsn}"))
+        first.close()
+        second = StandbyReplica(0, 0, directory, fsync=False)
+        assert second.applied_lsn == 3
+        assert not second.apply(_record(3))  # already held
+
+    def test_adoption_repairs_torn_tail(self, tmp_path) -> None:
+        directory = tmp_path / "shard-00-r0"
+        first = StandbyReplica(0, 0, directory, fsync=False)
+        first.apply(_record(1))
+        first.apply(_record(2, "t2"))
+        first.close()
+        # Model a crash mid-ship: half a frame lands after the intact two.
+        torn = _record(3, "t3").frame()
+        with open(first.journal_path, "ab") as handle:
+            handle.write(torn[: len(torn) // 2])
+        second = StandbyReplica(0, 0, directory, fsync=False)
+        assert second.applied_lsn == 2
+        replay = replay_journal(second.journal_path)
+        assert not replay.truncated  # tail was cut in place
+        assert replay.last_lsn == 2
+        # The repaired journal extends cleanly.
+        assert second.apply(_record(3, "t3"))
+        assert replay_journal(second.journal_path).last_lsn == 3
+
+
+class TestSnapshots:
+    def _primary_with_snapshot(self, tmp_path, journal_lsn: int):
+        primary = tmp_path / "primary"
+        write_snapshot(
+            primary,
+            EngineSnapshot(journal_lsn=journal_lsn, catalog={}),
+            fsync=False,
+        )
+        return primary
+
+    def test_install_snapshot_advances_applied_lsn(self, standby,
+                                                   tmp_path) -> None:
+        primary = self._primary_with_snapshot(tmp_path, journal_lsn=7)
+        assert standby.install_snapshot(primary) == 7
+        assert standby.snapshot_lsn == 7
+        assert standby.applied_lsn == 7
+
+    def test_install_snapshot_compacts_covered_journal(self, standby,
+                                                       tmp_path) -> None:
+        for lsn in (1, 2, 3, 4):
+            standby.apply(_record(lsn, f"t{lsn}"))
+        primary = self._primary_with_snapshot(tmp_path, journal_lsn=3)
+        standby.install_snapshot(primary)
+        # Only the suffix the snapshot does not cover survives.
+        survivors = replay_journal(standby.journal_path).records
+        assert [r.lsn for r in survivors] == [4]
+        assert standby.applied_lsn == 4  # journal tail still counts
+
+    def test_lag_against_primary_lsn(self, standby) -> None:
+        standby.apply(_record(1))
+        assert standby.lag(primary_lsn=4) == 3
+        assert standby.lag(primary_lsn=1) == 0
+        assert standby.lag(primary_lsn=0) == 0  # never negative

@@ -10,6 +10,8 @@ import pytest
 from repro.core import HCompress, HCompressConfig
 from repro.errors import (
     HCompressError,
+    ShardManifestError,
+    ShardStateError,
     ShardUnavailableError,
     TierUnavailableError,
 )
@@ -230,6 +232,79 @@ class TestFailover:
         sharded.kill_shard(0)
         with pytest.raises(HCompressError, match="deployment directory"):
             sharded.restore_shard(0)
+        sharded.close()
+
+
+class TestTypedStateErrors:
+    """kill/restore reject bad shard ids and wrong states with
+    ShardStateError carrying the id and the state it was in."""
+
+    def test_kill_unknown_shard_is_typed(self, seed) -> None:
+        sharded = _sharded(seed, 2)
+        with pytest.raises(ShardStateError) as excinfo:
+            sharded.kill_shard(7)
+        assert excinfo.value.shard_id == 7
+        assert excinfo.value.state == "UNKNOWN"
+        sharded.close()
+
+    def test_kill_a_corpse_is_typed(self, seed) -> None:
+        sharded = _sharded(seed, 2)
+        sharded.kill_shard(0)
+        with pytest.raises(ShardStateError) as excinfo:
+            sharded.kill_shard(0)
+        assert excinfo.value.state == "DOWN"
+        sharded.close()
+
+    def test_restore_unknown_shard_is_typed(self, seed, tmp_path) -> None:
+        sharded = ShardedHCompress(
+            _specs(2),
+            shard_config=ShardConfig(shards=2, directory=tmp_path),
+            seed=seed,
+        )
+        with pytest.raises(ShardStateError) as excinfo:
+            sharded.restore_shard(-1)
+        assert excinfo.value.state == "UNKNOWN"
+        sharded.close()
+
+    def test_restore_a_serving_shard_is_typed(self, seed,
+                                              tmp_path) -> None:
+        """Restoring an UP shard would silently fork its state."""
+        sharded = ShardedHCompress(
+            _specs(2),
+            shard_config=ShardConfig(shards=2, directory=tmp_path),
+            seed=seed,
+        )
+        with pytest.raises(ShardStateError) as excinfo:
+            sharded.restore_shard(0)
+        assert excinfo.value.state == "UP"
+        sharded.close()
+
+    def test_restore_refuses_when_manifest_advanced(
+        self, seed, gamma_f64, tmp_path
+    ) -> None:
+        """Concurrent-bump safety: another actor re-wrote the layout
+        after this router last read it — restore must refuse rather
+        than clobber the newer manifest."""
+        from repro.shard.manifest import read_manifest, write_manifest
+
+        sharded = ShardedHCompress(
+            _specs(2),
+            shard_config=ShardConfig(shards=2, directory=tmp_path),
+            seed=seed,
+        )
+        sharded.compress(gamma_f64, task_id="w0", tenant="tenant-0")
+        sharded.checkpoint()
+        victim = sharded.ring.route("tenant-0")
+        sharded.kill_shard(victim)
+        # A concurrent actor bumps the on-disk manifest past our view.
+        disk = read_manifest(tmp_path, min_version=1)
+        write_manifest(tmp_path, disk.with_status(victim, "DOWN"),
+                       fsync=False)
+        with pytest.raises(ShardManifestError, match="advanced"):
+            sharded.restore_shard(victim)
+        # The losing router changed nothing durable.
+        assert read_manifest(tmp_path, min_version=1).version \
+            == disk.version + 1
         sharded.close()
 
 

@@ -47,7 +47,7 @@ SNIPPET_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
 #: CLI help surfaces pinned by golden files ("" is the top-level parser).
 HELP_SUBCOMMANDS = (
     "", "profile", "codecs", "report", "demo", "chaos", "checkpoint",
-    "recover", "lifecycle", "stats", "metrics", "trace",
+    "recover", "lifecycle", "replication", "stats", "metrics", "trace",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
