@@ -14,7 +14,15 @@ Subcommands:
   sweeps every crash site); with ``--overload`` run the QoS overload
   storm (load above the drain rate plus a flapping tier); with
   ``--kill-shard`` run the shard-failover harness: kill one shard of a
-  sharded deployment mid-storm and verify failure-domain isolation.
+  sharded deployment mid-storm and verify failure-domain isolation;
+  with ``--scrub`` run the crash harness with latent at-rest corruption
+  planted between writes and the background scrubber healing it
+  (pairs with ``--crash-at scrub.*`` to die mid-repair).
+* ``fsck``     — offline integrity check of a recovery directory or
+  sharded deployment root: snapshot/journal structure, LSN continuity,
+  catalog reconstruction, shard manifest and replica directories
+  (``--repair`` fixes the safe subset: torn journal tails and stale
+  temp files).
 * ``checkpoint`` — run a journaled workload and snapshot the engine into
   a recovery directory.
 * ``recover``  — crash a journaled workload at a chosen site, restore
@@ -147,7 +155,22 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     from .faults import CrashConfig, run_crash_recovery, sweep_crash_sites
     from .recovery import CrashPlan
 
-    config = CrashConfig(rng_seed=args.rng_seed)
+    # Arming a scrub.* site implies scrub mode — the site can only fire
+    # while the scrubber is repairing planted rot.
+    scrub = getattr(args, "scrub", False) or (
+        args.crash_at is not None
+        and args.crash_at != "all"
+        and args.crash_at.startswith("scrub.")
+    )
+    config = CrashConfig(
+        rng_seed=args.rng_seed,
+        scrub=scrub,
+        corrupt_every=getattr(args, "corrupt_every", 2) if scrub else 0,
+        # Lifecycle migrations rename piece keys mid-run, which would
+        # decouple the planted rot from the mirror the scrubber heals
+        # from — scrub mode runs with the daemon off (as the sweep does).
+        lifecycle=not scrub,
+    )
     if args.crash_at == "all":
         hits = (1,) if getattr(args, "quick", False) else (1, 2)
         outcomes = sweep_crash_sites(hits=hits, config=config)
@@ -174,6 +197,13 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     )
     print(outcome.summary())
     print(_crash_detail(outcome))
+    if scrub:
+        print(
+            f"      scrub: {outcome.corruptions_planted} corruptions "
+            f"planted, {outcome.scrub_repairs} repairs; after restore: "
+            f"{outcome.quarantined_after} quarantined, "
+            f"{outcome.fsck_errors_after} fsck errors"
+        )
     return 0 if outcome.holds else 1
 
 
@@ -483,6 +513,31 @@ def _cmd_replication(args: argparse.Namespace) -> int:
         f"byte-identical; manifest v{manifest_version}"
     )
     return 0 if verified == len(task_ids) else 1
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    """The offline ``fsck`` driver (docs/INTEGRITY.md)."""
+    from .scrub import fsck_store
+
+    report = fsck_store(args.dir, repair=args.repair)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return report.exit_code
+    print(
+        f"fsck {report.store}: {report.tasks} tasks, {report.pieces} "
+        f"pieces, {report.digests_checked} digests checked"
+    )
+    for finding in report.findings:
+        fixed = " [repaired]" if finding.repaired else ""
+        print(f"  {finding.severity:7s} {finding.check}: "
+              f"{finding.detail}{fixed}")
+    verdict = (
+        "clean" if report.clean
+        else f"{report.count('fatal')} fatal, {report.count('error')} "
+             f"errors, {report.count('warning')} warnings"
+    )
+    print(f"verdict: {verdict} (exit {report.exit_code})")
+    return report.exit_code
 
 
 def _cmd_checkpoint(args: argparse.Namespace) -> int:
@@ -1269,8 +1324,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--promotion-seconds", type=float, default=0.25,
                    help="with --failover: modeled promotion window during "
                         "which the shard sheds retryably")
+    p.add_argument(
+        "--scrub", action="store_true",
+        help="with --crash-at: run the crash harness in scrub mode — "
+             "plant seeded latent corruption between writes and let the "
+             "background scrubber detect and heal it (docs/INTEGRITY.md); "
+             "implied by arming a scrub.* crash site",
+    )
+    p.add_argument("--corrupt-every", type=int, default=2,
+                   help="with --scrub: plant one at-rest byte flip after "
+                        "every Nth write")
     p.add_argument("-v", "--verbose", action="store_true")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser(
+        "fsck",
+        help="offline integrity check of a recovery directory or "
+             "deployment root",
+    )
+    p.add_argument("dir", type=Path,
+                   help="recovery directory (snapshot + journal) or a "
+                        "sharded deployment root (shard-map.json)")
+    p.add_argument("--repair", action="store_true",
+                   help="fix the safe subset: truncate torn journal "
+                        "tails, remove stale temp files")
+    p.add_argument("--json", action="store_true",
+                   help="emit the report as JSON instead of text")
+    p.set_defaults(func=_cmd_fsck)
 
     p = sub.add_parser(
         "checkpoint",

@@ -17,6 +17,7 @@ from ..hcdp.priorities import EQUAL, Priority
 from ..lifecycle.config import LifecycleConfig
 from ..obs import ObservabilityConfig
 from ..qos import QosConfig
+from ..scrub.config import ScrubConfig
 from ..units import KiB, PAGE
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "QosConfig",
     "RecoveryConfig",
     "ResilienceConfig",
+    "ScrubConfig",
 ]
 
 
@@ -119,6 +121,11 @@ class ResilienceConfig:
         read_repair_retries: Extra re-reads attempted when a checksum
             mismatch is detected before surfacing ``CorruptDataError``
             (transient media/bus corruption heals on re-read).
+        quarantine_after_repairs: Failed read-repair cycles tolerated for
+            one piece before it is quarantined — subsequent reads fail
+            fast with :class:`~repro.errors.IntegrityError` instead of
+            burning the retry budget again. The background scrubber lifts
+            the quarantine when a later repair heals the piece in place.
         retry_deadline: Cap on *cumulative* backoff charged to one
             operation across every retry and failover candidate, in
             (simulated) seconds. Attempt counts bound retries per tier,
@@ -136,6 +143,7 @@ class ResilienceConfig:
     failover: bool = True
     verify_checksums: bool = True
     read_repair_retries: int = 2
+    quarantine_after_repairs: int = 3
     retry_deadline: float | None = None
 
     def __post_init__(self) -> None:
@@ -151,6 +159,8 @@ class ResilienceConfig:
             raise ValueError("jitter must be in [0, 1)")
         if self.read_repair_retries < 0:
             raise ValueError("read_repair_retries must be >= 0")
+        if self.quarantine_after_repairs < 1:
+            raise ValueError("quarantine_after_repairs must be >= 1")
 
     def backoff_seconds(self, attempt: int, rng) -> float:
         """Backoff before retry ``attempt`` (1-based): exponential with
@@ -206,6 +216,13 @@ class HCompressConfig:
             :class:`~repro.lifecycle.LifecycleConfig`). Disabled by
             default; when disabled the engine constructs no daemon and
             behavior is byte-identical to a build without the subsystem.
+        scrub: End-to-end integrity policy — content digests of the
+            uncompressed payload recorded in the catalog, optional
+            digest verification on read, and the background scrubbing /
+            self-healing-repair daemon (see
+            :class:`~repro.scrub.ScrubConfig`). Everything defaults
+            off; catalogs, journals, and snapshots then stay
+            byte-identical to a build without the subsystem.
     """
 
     priority: Priority = EQUAL
@@ -226,6 +243,7 @@ class HCompressConfig:
     )
     qos: QosConfig = field(default_factory=QosConfig)
     lifecycle: LifecycleConfig = field(default_factory=LifecycleConfig)
+    scrub: ScrubConfig = field(default_factory=ScrubConfig)
 
     def __post_init__(self) -> None:
         if self.feedback_every_n < 1:

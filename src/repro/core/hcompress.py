@@ -52,6 +52,7 @@ from ..recovery import (
     read_snapshot,
     write_snapshot,
 )
+from ..scrub import Scrubber
 from ..tiers import StorageHierarchy
 from .config import HCompressConfig
 from .manager import CompressionManager, ReadResult, WriteResult
@@ -246,6 +247,8 @@ class HCompress:
         self.manager = CompressionManager(
             self.pool, self.shi, executor=self.config.executor, obs=self.obs,
             journal=self.journal, crashpoints=crashpoints,
+            content_digests=self.config.scrub.content_digests,
+            verify_digests=self.config.scrub.verify_reads,
         )
         # Lifecycle daemon: strictly opt-in, same contract as QoS. When
         # disabled no daemon exists, the read/write paths pay one
@@ -255,6 +258,14 @@ class HCompress:
         self.lifecycle = (
             LifecycleDaemon(self, self.config.lifecycle)
             if self.config.lifecycle.enabled
+            else None
+        )
+        # Background scrubber: same opt-in contract. Stepping is
+        # cooperative — callers drive ``self.scrub.step()`` alongside the
+        # lifecycle daemon's.
+        self.scrub = (
+            Scrubber(self, self.config.scrub)
+            if self.config.scrub.enabled
             else None
         )
         # Degraded-mode replans: writes that failed against a stale system

@@ -39,9 +39,11 @@ from ..errors import (
     CodecError,
     CorruptDataError,
     DeadlineExceededError,
+    IntegrityError,
     SchemaError,
     TierError,
 )
+from ..hashing import content_hash64
 from ..hcdp.schema import Schema, SubTaskPlan
 from ..hcdp.task import IOTask
 from ..units import MB
@@ -58,12 +60,22 @@ __all__ = [
 
 
 class CatalogEntry(NamedTuple):
-    """One written piece as the manager remembers it."""
+    """One written piece as the manager remembers it.
+
+    ``digest`` is the end-to-end content digest of the *uncompressed*
+    piece bytes (:func:`repro.hashing.content_hash64`), recorded when
+    content digests are enabled and ``None`` otherwise — including for
+    accounting-only modeled pieces, which carry no payload to digest.
+    Serializers emit the legacy 4-element form when the digest is absent,
+    so catalogs and journals written with the feature off stay
+    byte-identical to pre-digest builds, and both forms parse.
+    """
 
     key: str
     length: int  # modeled uncompressed length
     codec: str
     crc32: int | None  # checksum of the stored blob (None: accounting-only)
+    digest: int | None = None  # content digest of the uncompressed bytes
 
 
 class _PreparedPiece(NamedTuple):
@@ -73,6 +85,7 @@ class _PreparedPiece(NamedTuple):
     measured_ratio: float
     accounted: int
     wall_seconds: float
+    digest: int | None = None  # content digest (None: digests off / modeled)
 
 
 class _ReusablePrep(NamedTuple):
@@ -198,10 +211,19 @@ class CompressionManager:
         obs=None,
         journal=None,
         crashpoints=None,
+        content_digests: bool = False,
+        verify_digests: bool = False,
     ) -> None:
         self.pool = pool
         self.shi = shi
         self.obs = obs
+        # End-to-end integrity (repro.scrub): when ``content_digests`` is
+        # on, every materialised piece's catalog entry records a digest of
+        # its *uncompressed* bytes; ``verify_digests`` additionally checks
+        # that digest on every decode (catching corruption the per-tier
+        # CRC cannot, e.g. a stale-but-valid blob under the right key).
+        self.content_digests = content_digests
+        self.verify_digests = verify_digests
         # Write-ahead journal (repro.recovery): when present, a catalog
         # mutation is made durable *before* the in-memory catalog changes,
         # so an acknowledged write survives a process crash.
@@ -215,11 +237,21 @@ class CompressionManager:
         # modeled tasks measure each codec once per distinct sample instead
         # of once per piece of a burst.
         self._sample_ratios: OrderedDict[tuple, float] = OrderedDict()
+        # (id(sample), offset, length) -> (sample ref, content digest);
+        # see _piece_digest.
+        self._piece_digests: dict[tuple[int, int, int], tuple[bytes, int]] = {}
         self.sample_cache_hits = 0
         self.sample_cache_misses = 0
         self.spill_events = 0
         self.read_repairs = 0
         self.corruption_detected = 0
+        # Read-repair escalation (docs/INTEGRITY.md): per-key count of
+        # corrupt-read cycles that ended with no verified data. When a key
+        # keeps failing, it is quarantined — further reads raise
+        # IntegrityError fast instead of burning the retry budget forever.
+        self._repair_failures: dict[str, int] = {}
+        self.quarantined: set[str] = set()
+        self.quarantine_events = 0
         # Pieces whose real codec work ran on the thread pool (diagnostic).
         self.parallel_pieces = 0
         self._pool_executor: ThreadPoolExecutor | None = None
@@ -326,7 +358,9 @@ class CompressionManager:
                     if blob is not None and self.shi.resilience.verify_checksums
                     else None
                 )
-                entries.append(CatalogEntry(key, plan.length, plan.codec, crc))
+                entries.append(
+                    CatalogEntry(key, plan.length, plan.codec, crc, prep.digest)
+                )
                 if self.crashpoints is not None:
                     self.crashpoints.reached("manager.write.piece_placed")
 
@@ -465,7 +499,36 @@ class CompressionManager:
             measured_ratio=measured_ratio,
             accounted=len(blob),
             wall_seconds=time.perf_counter() - wall_start,
+            digest=(
+                self._piece_digest(sample, plan.offset, plan.length, piece_bytes)
+                if self.content_digests
+                else None
+            ),
         )
+
+    def _piece_digest(
+        self, sample: bytes, offset: int, length: int, piece_bytes: bytes
+    ) -> int:
+        """Content digest of one piece, identity-cached per sample buffer.
+
+        Bursts reuse one representative sample object across ranks and
+        timesteps (the same idiom the sample-ratio LRU and the batch
+        digest cache lean on), so the per-piece digest collapses to one
+        hash per distinct ``(buffer, offset, length)``. ``bytes`` are
+        immutable and the cached strong reference keeps the id from being
+        recycled, so an identity hit can only mean identical content.
+        Pool-safe: plain dict ops under the GIL, worst case a duplicate
+        recomputation.
+        """
+        key = (id(sample), offset, length)
+        hit = self._piece_digests.get(key)
+        if hit is not None and hit[0] is sample:
+            return hit[1]
+        digest = content_hash64(piece_bytes)
+        if len(self._piece_digests) > 512:
+            self._piece_digests.clear()
+        self._piece_digests[key] = (sample, digest)
+        return digest
 
     def _sample_ratio(
         self,
@@ -1050,14 +1113,17 @@ class CompressionManager:
         return list(self._catalog)
 
     def task_entries(self, task_id: str) -> list[CatalogEntry]:
-        """The task's catalog entries (key, length, codec, crc32)."""
+        """The task's catalog entries (key, length, codec, crc32, digest)."""
         try:
             return list(self._catalog[task_id])
         except KeyError:
             raise TierError(f"unknown task {task_id!r}") from None
 
-    def replace_task_entries(self, task_id: str, entries) -> None:
-        """Re-point a task at new piece entries (lifecycle migration).
+    def replace_task_entries(
+        self, task_id: str, entries,
+        crash_site: str = "lifecycle.post_journal",
+    ) -> None:
+        """Re-point a task at new piece entries (migration or scrub repair).
 
         The caller has already placed the new extents; this applies the
         write path's WAL discipline to the re-point: the journal's
@@ -1066,6 +1132,8 @@ class CompressionManager:
         replay lands on the new placement and a crash before the sync
         keeps the old one. Either way the old keys (after) or the new
         keys (before) are orphans the recovery sweep reclaims.
+        ``crash_site`` names the swept post-journal crash window of the
+        calling subsystem (lifecycle migration or scrub repair).
         """
         if task_id not in self._catalog:
             raise TierError(f"unknown task {task_id!r}")
@@ -1073,7 +1141,7 @@ class CompressionManager:
         if self.journal is not None:
             self.journal.commit("commit", task_id, tuple(entries))
         if self.crashpoints is not None:
-            self.crashpoints.reached("lifecycle.post_journal")
+            self.crashpoints.reached(crash_site)
         self._catalog[task_id] = entries
 
     def _fetch_blob(self, entry: CatalogEntry) -> bytes:
@@ -1083,37 +1151,82 @@ class CompressionManager:
         ``read_repair_retries`` times (transient media/bus corruption heals
         on re-read), then the ``on_corrupt`` hook gets a chance to supply a
         healthy replacement, and only then is :class:`CorruptDataError`
-        surfaced.
+        surfaced. Repair is *bounded across calls* too: after
+        ``quarantine_after_repairs`` failed repair cycles on the same key
+        the piece is quarantined — subsequent reads raise
+        :class:`IntegrityError` immediately instead of re-burning the
+        retry budget on data that cannot be healed. A scrub repair that
+        rewrites the piece lifts the quarantine
+        (:meth:`clear_quarantine`).
         """
-        blob, _receipt = self.shi.read(entry.key)
+        key = entry.key
+        if key in self.quarantined:
+            raise IntegrityError(
+                f"piece {key!r} is quarantined: every repair source was "
+                "exhausted on earlier reads",
+                key=key,
+            )
+        blob, _receipt = self.shi.read(key)
         if entry.crc32 is None or zlib.crc32(blob) == entry.crc32:
             return blob
         self.corruption_detected += 1
         for _attempt in range(self.shi.resilience.read_repair_retries):
-            blob, _receipt = self.shi.read(entry.key)
+            blob, _receipt = self.shi.read(key)
             if zlib.crc32(blob) == entry.crc32:
                 self.read_repairs += 1
                 return blob
         if self.on_corrupt is not None:
-            replacement = self.on_corrupt(entry.key, blob)
+            replacement = self.on_corrupt(key, blob)
             if replacement is not None and zlib.crc32(replacement) == entry.crc32:
                 self.read_repairs += 1
                 return replacement
+        failures = self._repair_failures.get(key, 0) + 1
+        self._repair_failures[key] = failures
+        if failures >= self.shi.resilience.quarantine_after_repairs:
+            self.quarantined.add(key)
+            self.quarantine_events += 1
+            raise IntegrityError(
+                f"piece {key!r} quarantined after {failures} failed repair "
+                "cycles (re-reads and the corruption hook all exhausted)",
+                key=key,
+            )
         raise CorruptDataError(
-            f"piece {entry.key!r} failed checksum validation after "
+            f"piece {key!r} failed checksum validation after "
             f"{self.shi.resilience.read_repair_retries} re-reads"
         )
+
+    def clear_quarantine(self, key: str) -> None:
+        """Lift a key's quarantine after an in-place repair (scrub)."""
+        self.quarantined.discard(key)
+        self._repair_failures.pop(key, None)
 
     def _unwrap(self, entry: CatalogEntry, blob: bytes, header=None):
         """Decode a blob, mapping malformed-payload failures to
         :class:`CorruptDataError` (a bad header/payload on an
-        integrity-checked piece is corruption, not a schema bug)."""
+        integrity-checked piece is corruption, not a schema bug).
+
+        With ``verify_digests`` on, the decoded bytes are additionally
+        checked against the entry's end-to-end content digest — catching
+        corruption the stored-blob CRC cannot see (e.g. a wrong-but-valid
+        blob landed under the right key).
+        """
         try:
-            return unwrap_payload(blob, _header=header)
+            data, header = unwrap_payload(blob, _header=header)
         except (SchemaError, CodecError) as exc:
             raise CorruptDataError(
                 f"piece {entry.key!r} failed to decode: {exc}"
             ) from exc
+        if (
+            self.verify_digests
+            and entry.digest is not None
+            and content_hash64(data) != entry.digest
+        ):
+            self.corruption_detected += 1
+            raise CorruptDataError(
+                f"piece {entry.key!r} decoded cleanly but failed "
+                "content-digest validation"
+            )
+        return data, header
 
     def _unwrap_timed(self, entry: CatalogEntry, blob: bytes, header=None):
         """(data, header, wall seconds) for one blob — pure, pool-safe."""
@@ -1419,10 +1532,20 @@ class CompressionManager:
 
     # -- recovery support -----------------------------------------------------
 
-    def catalog_snapshot(self) -> dict[str, list[tuple[str, int, str, int | None]]]:
-        """The catalog as plain tuples, for checkpointing."""
+    def catalog_snapshot(self) -> dict[str, list[tuple]]:
+        """The catalog as plain tuples, for checkpointing.
+
+        Entries without a content digest serialize in the legacy
+        4-element form, so snapshots written with digests off are
+        byte-identical to pre-digest builds; digest-bearing entries carry
+        the 5th element. Both forms restore
+        (:class:`CatalogEntry`'s trailing field defaults to ``None``).
+        """
         return {
-            task_id: [tuple(entry) for entry in entries]
+            task_id: [
+                tuple(entry)[:4] if entry.digest is None else tuple(entry)
+                for entry in entries
+            ]
             for task_id, entries in self._catalog.items()
         }
 

@@ -20,6 +20,25 @@ class CorruptDataError(CodecError):
     """Compressed payload failed integrity validation during decode."""
 
 
+class IntegrityError(CorruptDataError):
+    """A blob failed end-to-end integrity checks and every repair source
+    is exhausted.
+
+    Raised only after the repair escalation ladder (bounded re-reads,
+    scrub re-encode from a surviving good copy) has run dry; the blob is
+    quarantined — further reads fail fast with this error instead of
+    burning retry budget on data that cannot be healed. Carries the
+    logical ``key`` and owning ``task_id`` so operators can locate the
+    loss. It IS a :class:`CorruptDataError`, so existing typed-error
+    handling absorbs it.
+    """
+
+    def __init__(self, message: str, *, key: str = "", task_id: str = ""):
+        super().__init__(message)
+        self.key = key
+        self.task_id = task_id
+
+
 class UnknownCodecError(CodecError, KeyError):
     """A codec name or id was requested that is not in the registry."""
 

@@ -14,7 +14,10 @@ kills one shard of a sharded deployment mid-storm and proves the
 failure-domain isolation contract (:func:`run_shard_chaos`);
 `failover_chaos` kills a *replicated* primary mid-storm and proves the
 automatic-failover contract — zero acked-write loss, bounded modeled
-unavailability, survivors byte-identical (:func:`run_failover_chaos`).
+unavailability, survivors byte-identical (:func:`run_failover_chaos`);
+`latent` plants seeded *at-rest* bit-rot into already-stored blobs — the
+failure mode the ``repro.scrub`` subsystem detects and self-heals
+(:class:`LatentCorruptionInjector`).
 """
 
 from .chaos import ChaosConfig, ChaosOutcome, default_chaos_plan, run_chaos
@@ -32,6 +35,7 @@ from .failover_chaos import (
     run_failover_crash,
 )
 from .injector import FaultInjector, InjectorStats
+from .latent import LatentCorruption, LatentCorruptionInjector
 from .overload import OverloadConfig, OverloadOutcome, run_overload
 from .plan import FaultEvent, FaultKind, FaultPlan
 from .shard_chaos import ShardChaosConfig, ShardChaosOutcome, run_shard_chaos
@@ -49,6 +53,8 @@ __all__ = [
     "FailoverChaosOutcome",
     "FaultyDevice",
     "InjectorStats",
+    "LatentCorruption",
+    "LatentCorruptionInjector",
     "OverloadConfig",
     "OverloadOutcome",
     "ShardChaosConfig",

@@ -35,16 +35,18 @@ import numpy as np
 
 from ..ccp import SeedData
 from ..core import HCompress, HCompressConfig, HCompressProfiler
-from ..core.config import LifecycleConfig, RecoveryConfig
+from ..core.config import LifecycleConfig, RecoveryConfig, ScrubConfig
 from ..errors import HCompressError, SimulatedCrashError
 from ..hermes.flusher import TierFlusher
 from ..recovery import CRASH_SITES, CrashPlan, Crashpoints
+from ..scrub import fsck_engine
 from ..sim import Delay
 from ..sim.clock import SimClock
 from ..tiers import StorageHierarchy, ares_hierarchy
 from ..units import KiB
 from ..workloads.vpic import vpic_sample
 from .injector import FaultInjector
+from .latent import LatentCorruptionInjector
 from .plan import FaultPlan
 
 __all__ = [
@@ -85,6 +87,15 @@ class CrashConfig:
             scan and the ``lifecycle.*`` crash sites see several real
             migrations per run.
         lifecycle_migrations_per_step: Migration cap per daemon step.
+        scrub: Run the integrity subsystem: content digests + digest
+            verification on read + one scrubber ``step()`` after every
+            write, with the manager's ``on_corrupt`` hook wired to a
+            pristine mirror of every stored blob (the stand-in for a
+            standby's shipped state), so the ``scrub.*`` repair crash
+            sites carry real self-healing traffic.
+        corrupt_every: With ``scrub``, plant one seeded latent (at-rest)
+            byte flip into a stored blob after every Nth write
+            (0 disables planting).
     """
 
     tasks: int = 8
@@ -100,6 +111,8 @@ class CrashConfig:
     fsync: bool = False
     lifecycle: bool = True
     lifecycle_migrations_per_step: int = 2
+    scrub: bool = False
+    corrupt_every: int = 0
 
     def __post_init__(self) -> None:
         if self.tasks < 1 or self.task_kib < 1:
@@ -109,6 +122,13 @@ class CrashConfig:
         if self.evict_every < 0 or self.checkpoint_after < 0:
             raise HCompressError(
                 "evict_every and checkpoint_after must be >= 0"
+            )
+        if self.corrupt_every < 0:
+            raise HCompressError("corrupt_every must be >= 0")
+        if self.corrupt_every and not self.scrub:
+            raise HCompressError(
+                "corrupt_every needs scrub=True (nothing would repair "
+                "the planted rot)"
             )
 
 
@@ -137,6 +157,10 @@ class CrashOutcome:
     duplicate_keys_after: int = 0
     replay_idempotent: bool = False
     double_restore_identical: bool = False
+    corruptions_planted: int = 0
+    scrub_repairs: int = 0
+    quarantined_after: int = 0
+    fsck_errors_after: int = 0
 
     @property
     def holds(self) -> bool:
@@ -152,6 +176,8 @@ class CrashOutcome:
             and self.duplicate_keys_after == 0
             and self.replay_idempotent
             and self.double_restore_identical
+            and self.quarantined_after == 0
+            and self.fsck_errors_after == 0
         )
 
     def summary(self) -> str:
@@ -262,6 +288,13 @@ def run_crash_recovery(
             access_price=0.001,
             max_migrations_per_step=config.lifecycle_migrations_per_step,
         ),
+        scrub=ScrubConfig(
+            enabled=config.scrub,
+            content_digests=config.scrub,
+            verify_reads=config.scrub,
+            scan_interval=0.0,
+            max_repairs_per_step=config.tasks,
+        ),
     )
     engine = HCompress(
         hierarchy, engine_config, seed=seed, clock=lambda: clock.now,
@@ -270,6 +303,30 @@ def run_crash_recovery(
     engine.shi.on_wait = lambda seconds: _advance(
         clock, injector, clock.now + seconds
     )
+    # The scrub workload's repair-of-last-resort: a pristine mirror of
+    # every stored blob, captured at ack time — the stand-in for a
+    # standby's shipped state. Latent rot is planted *after* the mirror
+    # refresh each round, so the mirror is corruption-free by invariant.
+    mirror: dict[str, bytes] = {}
+    rot = LatentCorruptionInjector(
+        hierarchy, seed=plan.seed if plan is not None else 0
+    )
+
+    def _refresh_mirror(live) -> None:
+        manager = live.manager
+        for tid in manager.task_ids():
+            for entry in manager.task_entries(tid):
+                if entry.key in mirror:
+                    continue
+                tier = hierarchy.find(entry.key)
+                if tier is None or not tier.available:
+                    continue  # captured on a later refresh, like the rot
+                if tier.extent(entry.key).has_payload:
+                    device = getattr(tier.device, "inner", tier.device)
+                    mirror[entry.key] = device.load(entry.key)
+
+    if config.scrub:
+        engine.manager.on_corrupt = lambda key, blob: mirror.get(key)
     flusher = TierFlusher(
         hierarchy, high_water=0.5, low_water=0.25, crashpoints=crashpoints
     )
@@ -298,6 +355,15 @@ def run_crash_recovery(
             _drive_flusher(drain, clock, injector)
             if engine.lifecycle is not None:
                 engine.lifecycle.step()
+            if config.scrub:
+                _refresh_mirror(engine)
+                if config.corrupt_every and (
+                    (index + 1) % config.corrupt_every == 0
+                ):
+                    planted = rot.corrupt(count=1, keys=set(mirror))
+                    outcome.corruptions_planted += len(planted)
+                repaired = engine.scrub.step(force=True)
+                outcome.scrub_repairs += len(repaired)
             if config.evict_every and (index + 1) % config.evict_every == 0:
                 victim = next(
                     (t for t in acked if t not in evicted and t != task_id),
@@ -325,7 +391,9 @@ def run_crash_recovery(
     _advance(clock, injector, max(clock.now, fault_plan.horizon) + 1.0)
     try:
         restored = HCompress.restore(
-            recovery_dir, hierarchy, seed=seed, clock=lambda: clock.now
+            recovery_dir, hierarchy,
+            config=engine_config if config.scrub else None,
+            seed=seed, clock=lambda: clock.now,
         )
     except HCompressError as exc:
         outcome.error = f"restore failed: {type(exc).__name__}: {exc}"
@@ -373,6 +441,14 @@ def run_crash_recovery(
     )
     outcome.duplicate_keys_after = len(tier_keys) - len(set(tier_keys))
 
+    # Scrub mode: the restored patrol must find whatever rot the crash
+    # left behind (including a repair it died in the middle of) and heal
+    # it from the mirror before — and independently of — the acked reads.
+    if config.scrub:
+        restored.manager.on_corrupt = lambda key, blob: mirror.get(key)
+        for _ in range(3):
+            outcome.scrub_repairs += len(restored.scrub.step(force=True))
+
     # Acked-durability: acknowledged writes read back byte-identical,
     # acknowledged evicts stay gone. Tasks the journal committed past the
     # ack point (a crash at manager.write.post_journal) are verified too —
@@ -395,6 +471,12 @@ def run_crash_recovery(
             outcome.verified_intact += 1
         else:
             outcome.mismatched += 1
+
+    # Final hygiene: nothing quarantined, and a live fsck pass agrees the
+    # store is consistent (catalog ↔ extents ↔ ledger ↔ digests).
+    outcome.quarantined_after = len(restored.manager.quarantined)
+    fsck = fsck_engine(restored, digest_samples=len(buffers))
+    outcome.fsck_errors_after = fsck.count("error") + fsck.count("fatal")
     restored.close()
     return outcome
 
@@ -415,7 +497,16 @@ def sweep_crash_sites(
     (:func:`~repro.faults.failover_chaos.run_failover_crash`), whose
     failover contract maps onto the same outcome fields.
     """
+    import dataclasses
+
     config = config if config is not None else CrashConfig()
+    # The scrub.* repair sites need the integrity workload: digests on,
+    # latent rot planted every other write, scrubber stepping. The
+    # lifecycle daemon stays off there so piece keys are stable for the
+    # rot mirror; the lifecycle.* sites keep their own dedicated runs.
+    scrub_config = dataclasses.replace(
+        config, scrub=True, corrupt_every=1, lifecycle=False
+    )
     if seed is None:
         seed = _default_seed()
     outcomes = []
@@ -426,6 +517,12 @@ def sweep_crash_sites(
                 from .failover_chaos import run_failover_crash
 
                 outcomes.append(run_failover_crash(plan, seed=seed))
+            elif site.startswith("scrub."):
+                outcomes.append(
+                    run_crash_recovery(
+                        plan=plan, config=scrub_config, seed=seed
+                    )
+                )
             else:
                 outcomes.append(
                     run_crash_recovery(plan=plan, config=config, seed=seed)

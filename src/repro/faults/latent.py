@@ -1,0 +1,90 @@
+"""Seeded latent (at-rest) corruption: bit-rot in already-stored blobs.
+
+:class:`FaultyDevice` models *in-flight* corruption — bytes flipped on
+the wire of one read, healed by the next. Real media also rots **at
+rest**: a stored blob silently changes *between* operations, and every
+subsequent read returns the same wrong bytes. That is the failure mode
+the ``repro.scrub`` subsystem exists for, and this injector plants it:
+pick payload-bearing extents with a seeded RNG, XOR one byte of each
+stored blob in place through the device (beneath any
+:class:`FaultyDevice` wrapper, so in-flight injection composes on top),
+and record exactly what was flipped so tests can assert 100% detection
+and byte-exact repair.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import HCompressError
+
+__all__ = ["LatentCorruption", "LatentCorruptionInjector"]
+
+
+@dataclass(frozen=True)
+class LatentCorruption:
+    """One planted at-rest flip: which stored byte rotted, and how."""
+
+    tier: str
+    key: str
+    offset: int
+    mask: int  # XOR mask applied to the byte (never 0)
+
+
+class LatentCorruptionInjector:
+    """Plants deterministic bit-rot into a hierarchy's stored blobs.
+
+    Args:
+        hierarchy: The live :class:`~repro.tiers.StorageHierarchy`.
+        seed: RNG seed; the same seed over the same stored state plants
+            the same flips.
+    """
+
+    def __init__(self, hierarchy, seed: int = 0) -> None:
+        self.hierarchy = hierarchy
+        self.rng = random.Random(seed)
+        self.planted: list[LatentCorruption] = []
+
+    def candidates(self, keys=None) -> list[tuple]:
+        """Every corruptible ``(tier, key)``: payload-bearing extents on
+        reachable tiers, in deterministic tier-then-key order."""
+        found = []
+        for tier in self.hierarchy:
+            if not tier.available:
+                continue  # a dark tier's media is unreachable, rot included
+            for key in sorted(tier.keys()):
+                if keys is not None and key not in keys:
+                    continue
+                if tier.extent(key).has_payload:
+                    found.append((tier, key))
+        return found
+
+    def corrupt(self, count: int = 1, keys=None) -> list[LatentCorruption]:
+        """Flip one byte in ``count`` distinct stored blobs; returns the
+        flips planted (fewer when the store holds fewer candidates).
+
+        ``keys`` optionally restricts the victim pool. The mutation goes
+        through the *underlying* device — at-rest rot is not an I/O
+        fault, so an armed :class:`FaultyDevice` must not intercept the
+        planting itself.
+        """
+        if count < 1:
+            raise HCompressError("count must be >= 1")
+        pool = self.candidates(keys)
+        picks = (
+            self.rng.sample(pool, count) if count < len(pool) else list(pool)
+        )
+        flips = []
+        for tier, key in picks:
+            device = getattr(tier.device, "inner", tier.device)
+            blob = bytearray(device.load(key))
+            offset = self.rng.randrange(len(blob))
+            mask = self.rng.randrange(1, 256)
+            blob[offset] ^= mask
+            device.store(key, bytes(blob))
+            flips.append(
+                LatentCorruption(tier.spec.name, key, offset, mask)
+            )
+        self.planted.extend(flips)
+        return flips

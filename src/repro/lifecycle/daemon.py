@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 from ..codecs.metadata import HEADER_SIZE, unwrap_payload, wrap_payload
 from ..errors import CapacityError, CorruptDataError, TierError
+from ..hashing import content_hash64
 from .config import LifecycleConfig
 from .cost import TierCostModel
 
@@ -390,6 +391,14 @@ class LifecycleDaemon:
                             "during migration"
                         )
                     data, header = unwrap_payload(blob)
+                    if (
+                        entry.digest is not None
+                        and content_hash64(data) != entry.digest
+                    ):
+                        raise CorruptDataError(
+                            f"piece {entry.key!r} failed content-digest "
+                            "validation during migration"
+                        )
                     new_blob, _ = wrap_payload(
                         data,
                         start_offset=header.start_offset,
@@ -417,7 +426,13 @@ class LifecycleDaemon:
                 placed.append(new_key)
                 moved += accounted
                 new_entries.append(
-                    CatalogEntry(new_key, entry.length, plan.new_codec, crc)
+                    # The re-encode changes the stored bytes (codec, CRC)
+                    # but never the content — the end-to-end digest rides
+                    # along unchanged.
+                    CatalogEntry(
+                        new_key, entry.length, plan.new_codec, crc,
+                        entry.digest,
+                    )
                 )
         except (TierError, CapacityError, CorruptDataError):
             # Lost a race (the scan's fits() estimate went stale, a tier

@@ -251,6 +251,19 @@ class Observability:
             "hcompress_lifecycle_cost_rate",
             "catalog-wide modeled TCO rate ($/s) at the last scan",
         )
+        self.m_scrub_steps = reg.counter(
+            "hcompress_scrub_steps_total",
+            "background scrubber steps executed",
+        )
+        self.m_scrub_corruptions = reg.counter(
+            "hcompress_scrub_corruptions_total",
+            "latent corruptions detected by the scrubber's walk",
+        )
+        self.m_scrub_repairs = reg.counter(
+            "hcompress_scrub_repairs_total",
+            "scrubber repair outcomes by healing source",
+            ("outcome", "source"),
+        )
         self.m_repl_shipped = reg.counter(
             "hcompress_replication_shipped_records_total",
             "journal records shipped to standbys", ("shard",),
@@ -354,6 +367,16 @@ class Observability:
     def record_lifecycle_scan(self) -> None:
         self.m_lifecycle_scans.inc()
 
+    def record_scrub_step(self) -> None:
+        self.m_scrub_steps.inc()
+
+    def record_scrub_repair(self, outcome: str, source: str) -> None:
+        """Account one scrubber-detected corruption and its fate."""
+        self.m_scrub_corruptions.inc()
+        self.m_scrub_repairs.labels(
+            outcome=outcome, source=source or "none"
+        ).inc()
+
     def record_shard_promotion(self, shard: str) -> None:
         """Account one completed standby promotion (shard failover)."""
         self.m_repl_promotions.labels(shard=shard).inc()
@@ -428,10 +451,18 @@ class Observability:
                 "hcompress_corruption_detected_total",
                 manager.corruption_detected,
             ),
+            (
+                "hcompress_quarantine_events_total",
+                manager.quarantine_events,
+            ),
         ):
             reg.counter(name, "mirror of the Compression Manager counters").set(
                 value
             )
+        reg.gauge(
+            "hcompress_quarantined_pieces",
+            "pieces currently quarantined (reads fail fast, typed)",
+        ).set(len(manager.quarantined))
 
         feedback = engine.feedback
         reg.counter(
@@ -515,6 +546,8 @@ class Observability:
             self.sync_qos(engine.qos)
         if getattr(engine, "lifecycle", None) is not None:
             self.sync_lifecycle(engine.lifecycle)
+        if getattr(engine, "scrub", None) is not None:
+            self.sync_scrub(engine.scrub)
 
     def sync_flusher(self, stats) -> None:
         """Mirror ``FlushStats`` (the background tier drainer)."""
@@ -592,6 +625,33 @@ class Observability:
             "hcompress_lifecycle_saved_rate",
             "cumulative modeled $/s earned by executed migrations",
         ).set(stats.saved_rate)
+
+    def sync_scrub(self, scrubber) -> None:
+        """Mirror a :class:`~repro.scrub.Scrubber`'s cumulative stats:
+        steps/scans/pauses, pieces and bytes re-read, corruptions found,
+        and repair outcomes by healing source."""
+        reg = self.registry
+        stats = scrubber.stats
+        self.m_scrub_steps.set(stats.steps)
+        self.m_scrub_corruptions.set(stats.corruptions)
+        by_source: dict[tuple[str, str], int] = {}
+        for repair in stats.repair_log:
+            key = (repair.outcome, repair.source or "none")
+            by_source[key] = by_source.get(key, 0) + 1
+        for (outcome, source), count in sorted(by_source.items()):
+            self.m_scrub_repairs.labels(outcome=outcome, source=source).set(
+                count
+            )
+        for name, value in (
+            ("hcompress_scrub_scans_total", stats.scans),
+            ("hcompress_scrub_paused_total", stats.paused),
+            ("hcompress_scrub_pieces_scanned_total", stats.pieces_scanned),
+            ("hcompress_scrub_bytes_scanned_total", stats.bytes_scanned),
+            ("hcompress_scrub_rewrites_total", stats.rewrites),
+            ("hcompress_scrub_quarantined_total", stats.quarantined),
+            ("hcompress_scrub_failed_total", stats.failed),
+        ):
+            reg.counter(name, "mirror of the scrubber counters").set(value)
 
     def sync_replication(self, coordinator, shard_id: int) -> None:
         """Mirror one shard's :class:`~repro.replication.ReplicationCoordinator`

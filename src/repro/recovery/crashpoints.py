@@ -62,6 +62,13 @@ CRASH_SITES = (
                                    # flipped, demotion not started
     "replication.post_demote",     # old primary recycled + standbys
                                    # reseeded, failover not yet reported
+    # Scrubber repair step (repro.scrub.scrubber)
+    "scrub.pre_repair",            # mismatch confirmed, nothing changed yet
+    "scrub.post_copy",             # healed copy placed under a new key,
+                                   # catalog/journal still point at the old
+    "scrub.post_journal",          # repair re-commit durable, before the
+                                   # in-memory catalog re-points
+    "scrub.post_evict",            # rotten extents evicted, stats not final
 )
 
 

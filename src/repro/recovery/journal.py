@@ -75,8 +75,11 @@ class JournalRecord:
             (a task's pieces were released).
         task_id: The mutated catalog key.
         entries: For commits: the full catalog entry list, as
-            ``(key, length, codec, crc32-or-None)`` tuples. Empty for
-            evictions.
+            ``(key, length, codec, crc32-or-None)`` tuples — optionally
+            carrying a 5th element, the end-to-end content digest
+            (``repro.scrub``). Empty for evictions. Digest-less entries
+            serialize in the legacy 4-element form so journals written
+            with digests off stay byte-identical to pre-digest builds.
     """
 
     lsn: int
@@ -96,7 +99,12 @@ class JournalRecord:
                 "lsn": self.lsn,
                 "kind": self.kind,
                 "task": self.task_id,
-                "entries": [list(entry) for entry in self.entries],
+                "entries": [
+                    list(entry[:4])
+                    if len(entry) < 5 or entry[4] is None
+                    else list(entry)
+                    for entry in self.entries
+                ],
             },
             separators=(",", ":"),
         ).encode("utf-8")
@@ -105,15 +113,21 @@ class JournalRecord:
     def from_payload(cls, payload: bytes) -> "JournalRecord":
         try:
             raw = json.loads(payload.decode("utf-8"))
+            entries = []
+            for item in raw.get("entries", ()):
+                k, length, codec, crc = item[:4]
+                entry = (
+                    str(k), int(length), str(codec),
+                    None if crc is None else int(crc),
+                )
+                if len(item) > 4 and item[4] is not None:
+                    entry += (int(item[4]),)
+                entries.append(entry)
             return cls(
                 lsn=int(raw["lsn"]),
                 kind=str(raw["kind"]),
                 task_id=str(raw["task"]),
-                entries=tuple(
-                    (str(k), int(length), str(codec),
-                     None if crc is None else int(crc))
-                    for k, length, codec, crc in raw.get("entries", ())
-                ),
+                entries=tuple(entries),
             )
         except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
             raise JournalCorruptError(

@@ -32,6 +32,20 @@ SNAPSHOT_NAME = "snapshot.json"
 SNAPSHOT_VERSION = 1
 
 
+def _parse_entry(item) -> tuple:
+    """One catalog entry from its on-disk list form.
+
+    Accepts both the legacy 4-element ``[key, length, codec, crc]`` form
+    and the 5-element form carrying an end-to-end content digest
+    (``repro.scrub``), so snapshots from either build read cleanly.
+    """
+    k, length, codec, crc = item[:4]
+    entry = (str(k), int(length), str(codec), None if crc is None else int(crc))
+    if len(item) > 4 and item[4] is not None:
+        entry += (int(item[4]),)
+    return entry
+
+
 @dataclass(frozen=True)
 class EngineSnapshot:
     """One engine's recoverable state at a checkpoint instant.
@@ -39,7 +53,11 @@ class EngineSnapshot:
     Attributes:
         journal_lsn: Highest journal LSN this snapshot already includes;
             restore applies only records with a larger LSN.
-        catalog: ``task_id -> [(key, length, codec, crc32-or-None), ...]``.
+        catalog: ``task_id -> [(key, length, codec, crc32-or-None), ...]``
+            — entries may carry a 5th element, the end-to-end content
+            digest (``repro.scrub``); digest-less entries stay in the
+            legacy 4-element form so feature-off snapshots are
+            byte-identical to pre-digest builds.
         file_manifests: The interception facade's name -> task-id lists.
         ccp_theta: Exported regression parameters per head.
         ccp_model_version: The CCP's monotone version at checkpoint.
@@ -59,7 +77,7 @@ class EngineSnapshot:
     """
 
     journal_lsn: int
-    catalog: dict[str, list[tuple[str, int, str, int | None]]]
+    catalog: dict[str, list[tuple]]
     file_manifests: dict[str, list[str]] = field(default_factory=dict)
     ccp_theta: dict[str, list[float]] = field(default_factory=dict)
     ccp_model_version: int = 0
@@ -117,11 +135,7 @@ class EngineSnapshot:
             return cls(
                 journal_lsn=int(raw["journal_lsn"]),
                 catalog={
-                    str(task): [
-                        (str(k), int(length), str(codec),
-                         None if crc is None else int(crc))
-                        for k, length, codec, crc in entries
-                    ]
+                    str(task): [_parse_entry(entry) for entry in entries]
                     for task, entries in raw["catalog"].items()
                 },
                 file_manifests={

@@ -97,8 +97,13 @@ class ReplicationCoordinator:
 
         def ship(record, _shard_id=shard_id):
             self.primary_lsn[_shard_id] = record.lsn
+            # Encode the wire frame once per record; each standby verifies
+            # it (CRC + decode + LSN) before persisting — a frame corrupted
+            # in shipping is rejected and re-fetched by catch_up, never
+            # buried in a standby journal where it would truncate replay.
+            frame = record.frame()
             for replica in self.standbys[_shard_id]:
-                if replica.apply(record):
+                if replica.apply(record, frame):
                     self.shipped_records[_shard_id] += 1
 
         journal.add_observer(ship)
@@ -213,6 +218,7 @@ class ReplicationCoordinator:
                         "directory": r.directory.name,
                         "applied_lsn": r.applied_lsn,
                         "lag": r.lag(self.primary_lsn[shard_id]),
+                        "frames_rejected": r.frames_rejected,
                     }
                     for r in sorted(
                         self.standbys[shard_id], key=lambda r: r.replica_id

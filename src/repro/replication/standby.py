@@ -18,11 +18,13 @@ journal is interchangeable with the primary's and
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from pathlib import Path
 
-from ..errors import RecoveryError
+from ..errors import JournalCorruptError, RecoveryError
 from ..recovery import JOURNAL_NAME, SNAPSHOT_NAME, replay_journal
-from ..recovery.journal import JournalRecord
+from ..recovery.journal import FRAME_HEADER_SIZE, JournalRecord
 
 __all__ = ["StandbyReplica"]
 
@@ -67,6 +69,8 @@ class StandbyReplica:
         #: Newest LSN this standby holds durably (snapshot or journal).
         self.applied_lsn = max(self.snapshot_lsn, replay.last_lsn)
         self.records_applied = 0
+        #: Shipped frames rejected for failing CRC/format verification.
+        self.frames_rejected = 0
         self._file = open(self.journal_path, "ab")
         self._closed = False
 
@@ -88,23 +92,56 @@ class StandbyReplica:
 
     # -- shipping ------------------------------------------------------------
 
-    def apply(self, record: JournalRecord) -> bool:
-        """Persist one shipped record; returns False when already held.
+    def apply(
+        self, record: JournalRecord, frame: bytes | None = None
+    ) -> bool:
+        """Persist one shipped record; returns False when not applied.
 
         Idempotent by LSN: re-shipped records (an anti-entropy pass
         overlapping the live stream) are dropped, so the standby journal
         stays strictly monotone and replayable.
+
+        ``frame`` is the record's wire form as it arrived (length prefix
+        + CRC32 + payload). When given, it is verified *before* a byte
+        reaches the standby journal — frame CRC, decodability, and LSN
+        agreement with ``record`` — because a corrupt shipped frame
+        persisted verbatim would silently truncate every future replay at
+        that point. A bad frame is rejected (``frames_rejected``) without
+        advancing ``applied_lsn``, so the next :meth:`~.coordinator.
+        ReplicationCoordinator.catch_up` pass re-fetches the record from
+        the primary's own journal. With ``frame`` omitted the wire form
+        is re-encoded locally (trusted in-process hand-off).
         """
         self._check_open()
         if record.lsn <= self.applied_lsn:
             return False
-        self._file.write(record.frame())
+        if frame is None:
+            frame = record.frame()
+        elif not self._frame_valid(record, frame):
+            self.frames_rejected += 1
+            return False
+        self._file.write(frame)
         self._file.flush()
         if self.fsync:
             os.fsync(self._file.fileno())
         self.applied_lsn = record.lsn
         self.records_applied += 1
         return True
+
+    @staticmethod
+    def _frame_valid(record: JournalRecord, frame: bytes) -> bool:
+        """Whether a shipped wire frame is intact and matches ``record``."""
+        if len(frame) < FRAME_HEADER_SIZE:
+            return False
+        length, crc = struct.unpack_from("<II", frame)
+        payload = frame[FRAME_HEADER_SIZE:]
+        if len(payload) != length or zlib.crc32(payload) != crc:
+            return False
+        try:
+            decoded = JournalRecord.from_payload(payload)
+        except JournalCorruptError:
+            return False
+        return decoded.lsn == record.lsn
 
     def install_snapshot(self, source_directory: str | Path) -> int:
         """Adopt the primary's checkpoint; returns its journal LSN.

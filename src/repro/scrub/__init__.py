@@ -1,0 +1,46 @@
+"""End-to-end integrity: digests, scrubbing, self-healing, and fsck.
+
+Per-tier CRCs protect a blob *in flight*; nothing in the base engine
+protects data *at rest* across its whole lifetime — a byte that rots in
+a cold blob between operations surfaces only when the data is finally
+read, long after every repair source is gone. This package closes the
+loop end to end:
+
+* :class:`ScrubConfig` — the subsystem's policy object, carried as
+  ``HCompressConfig.scrub``. Everything defaults off, and off means
+  byte-identical catalogs, journals, and snapshots.
+* content digests — a stable digest of each piece's *uncompressed*
+  bytes recorded in the catalog at write/batch/migration/repair time
+  and (optionally) verified on every decode, so corruption is caught
+  against what the user stored, not just against the stored blob.
+* :class:`Scrubber` — the background patrol-and-repair daemon: walks
+  the catalog at a bounded bytes/step budget, re-validates every
+  payload-bearing piece, and heals mismatches through an escalating
+  ladder (re-read, surviving copy, replica hook) with the write path's
+  WAL discipline; unhealable pieces are quarantined behind the typed
+  :class:`~repro.errors.IntegrityError`.
+* :func:`fsck_store` / :func:`fsck_engine` — offline and live
+  cross-checking of snapshot ↔ journal ↔ catalog ↔ tier extents ↔
+  shard manifest ↔ replica directories, surfaced as
+  ``hcompress fsck`` with machine-readable findings and distinct
+  exit codes.
+
+docs/INTEGRITY.md walks through the threat model and the crash
+argument for repair.
+"""
+
+from .config import ScrubConfig
+from .fsck import Finding, FsckReport, fsck_engine, fsck_store, validate_entry
+from .scrubber import Repair, ScrubStats, Scrubber
+
+__all__ = [
+    "Finding",
+    "FsckReport",
+    "Repair",
+    "ScrubConfig",
+    "ScrubStats",
+    "Scrubber",
+    "fsck_engine",
+    "fsck_store",
+    "validate_entry",
+]

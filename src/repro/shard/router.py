@@ -789,6 +789,37 @@ class ShardedHCompress:
             if engine is not None and engine.lifecycle is not None
         }
 
+    # -- integrity scrubbing -------------------------------------------------
+
+    def scrub_step(self, force: bool = False) -> dict[int, list]:
+        """Step every UP shard's scrubber once, in shard order.
+
+        Each shard's scrubber walks only that shard's own catalog and
+        repairs within that shard's hierarchy slice — repairs journal
+        through the shard's own WAL. Returns the repairs executed per
+        shard id (shards without a scrubber are omitted).
+        """
+        self._check_open()
+        out: dict[int, list] = {}
+        for shard_id in sorted(self.engines):
+            engine = self.engines[shard_id]
+            if (
+                engine is not None
+                and engine.scrub is not None
+                and self.supervisor.is_up(shard_id)
+            ):
+                out[shard_id] = engine.scrub.step(force=force)
+        return out
+
+    def scrub_status(self) -> dict[int, dict]:
+        """Per-shard scrubber status for every live shard with one."""
+        self._check_open()
+        return {
+            shard_id: engine.scrub.status()
+            for shard_id, engine in sorted(self.engines.items())
+            if engine is not None and engine.scrub is not None
+        }
+
     # -- aggregate views -----------------------------------------------------
 
     def checkpoint(self) -> tuple[Path, ...]:

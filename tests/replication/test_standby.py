@@ -52,6 +52,47 @@ class TestApply:
             standby.apply(_record(1))
 
 
+class TestFrameVerification:
+    def test_valid_frame_applies(self, standby) -> None:
+        record = _record(1)
+        assert standby.apply(record, record.frame())
+        assert standby.applied_lsn == 1
+        assert standby.frames_rejected == 0
+        assert replay_journal(standby.journal_path).records == [record]
+
+    def test_corrupt_frame_is_rejected_before_persisting(self,
+                                                         standby) -> None:
+        record = _record(1)
+        frame = bytearray(record.frame())
+        frame[-1] ^= 0xFF  # payload rot: CRC no longer matches
+        assert not standby.apply(record, bytes(frame))
+        assert standby.frames_rejected == 1
+        assert standby.applied_lsn == 0  # catch-up will re-fetch it
+        assert replay_journal(standby.journal_path).records == []
+        # The intact frame still lands afterwards.
+        assert standby.apply(record, record.frame())
+        assert standby.applied_lsn == 1
+
+    def test_truncated_frame_is_rejected(self, standby) -> None:
+        frame = _record(1).frame()
+        assert not standby.apply(_record(1), frame[:4])  # short header
+        assert not standby.apply(_record(1), frame[:-3])  # short payload
+        assert standby.frames_rejected == 2
+        assert standby.applied_lsn == 0
+
+    def test_frame_lsn_must_match_record(self, standby) -> None:
+        # A frame for LSN 2 shipped against the LSN-1 record: both sides
+        # are individually well-formed, so only the cross-check trips.
+        assert not standby.apply(_record(1), _record(2, "t2").frame())
+        assert standby.frames_rejected == 1
+        assert standby.applied_lsn == 0
+
+    def test_omitted_frame_is_trusted(self, standby) -> None:
+        assert standby.apply(_record(1))  # in-process hand-off path
+        assert standby.frames_rejected == 0
+        assert standby.applied_lsn == 1
+
+
 class TestAdoption:
     def test_reopen_resumes_applied_lsn(self, tmp_path) -> None:
         directory = tmp_path / "shard-00-r0"

@@ -1,0 +1,142 @@
+"""ScrubConfig validation and the feature-off identity contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import HCompress, HCompressConfig
+from repro.core.config import ResilienceConfig, ScrubConfig
+
+
+class TestScrubConfigValidation:
+    def test_defaults_are_off(self) -> None:
+        config = ScrubConfig()
+        assert not config.enabled
+        assert not config.content_digests
+        assert not config.verify_reads
+
+    def test_verify_reads_requires_content_digests(self) -> None:
+        with pytest.raises(ValueError):
+            ScrubConfig(verify_reads=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(scan_interval=-1.0),
+            dict(bytes_per_step=0),
+            dict(max_repairs_per_step=0),
+            dict(max_brownout_level=-1),
+        ],
+    )
+    def test_ranges_are_validated(self, kwargs) -> None:
+        with pytest.raises(ValueError):
+            ScrubConfig(**kwargs)
+
+    def test_quarantine_after_repairs_must_be_positive(self) -> None:
+        with pytest.raises(ValueError):
+            ResilienceConfig(quarantine_after_repairs=0)
+
+
+class TestFeatureOffIdentity:
+    """Scrub off must be byte-identical to a build without the subsystem."""
+
+    def test_default_engine_has_no_scrubber(self, seed,
+                                            small_hierarchy) -> None:
+        engine = HCompress(small_hierarchy, seed=seed)
+        assert engine.scrub is None
+        engine.close()
+
+    def test_digests_off_keeps_legacy_entry_shape(self, seed,
+                                                  small_hierarchy,
+                                                  gamma_f64) -> None:
+        engine = HCompress(small_hierarchy, seed=seed)
+        engine.compress(gamma_f64, task_id="legacy")
+        for entries in engine.manager.catalog_snapshot().values():
+            assert all(len(entry) == 4 for entry in entries)
+        # The snapshot JSON therefore round-trips with no 5th element.
+        blob = json.dumps(engine.manager.catalog_snapshot())
+        assert all(len(e) == 4 for e in json.loads(blob)["legacy"])
+        engine.close()
+
+    def test_digests_on_extends_entries(self, seed, small_hierarchy,
+                                        gamma_f64) -> None:
+        engine = HCompress(
+            small_hierarchy,
+            HCompressConfig(scrub=ScrubConfig(content_digests=True)),
+            seed=seed,
+        )
+        engine.compress(gamma_f64, task_id="digested")
+        entries = engine.manager.catalog_snapshot()["digested"]
+        assert all(len(entry) == 5 for entry in entries)
+        assert all(isinstance(entry[4], int) for entry in entries)
+        # Digests alone construct no daemon and verify nothing on read.
+        assert engine.scrub is None
+        engine.close()
+
+    def test_piece_digest_identity_cache(self, seed, small_hierarchy,
+                                         gamma_f64) -> None:
+        """The per-buffer digest cache never conflates distinct content.
+
+        Bursts reuse one sample object, so the manager caches the piece
+        digest per (buffer identity, offset, length); alternating two
+        different buffers of the same length must still record two
+        different, content-correct digests.
+        """
+        from repro.hashing import content_hash64
+
+        engine = HCompress(
+            small_hierarchy,
+            HCompressConfig(scrub=ScrubConfig(content_digests=True)),
+            seed=seed,
+        )
+        other = bytes(reversed(gamma_f64))
+        for index in range(4):
+            data = gamma_f64 if index % 2 == 0 else other
+            engine.compress(data, task_id=f"alt.{index}")
+        digests = [
+            tuple(e.digest for e in engine.manager.task_entries(f"alt.{i}"))
+            for i in range(4)
+        ]
+        # Identical buffers agree, different buffers differ — the cache
+        # keys on object identity and never crosses contents.
+        assert digests[0] == digests[2]
+        assert digests[1] == digests[3]
+        assert digests[0] != digests[1]
+        if len(digests[0]) == 1:
+            assert digests[0][0] == content_hash64(gamma_f64)
+            assert digests[1][0] == content_hash64(other)
+        # Reads verify every digest for real on freshly decoded bytes.
+        for index in range(4):
+            expected = gamma_f64 if index % 2 == 0 else other
+            assert engine.decompress(f"alt.{index}").data == expected
+        engine.close()
+
+    def test_both_entry_shapes_restore(self, seed, small_hierarchy,
+                                       gamma_f64, tmp_path) -> None:
+        from repro.core.config import RecoveryConfig
+
+        config = HCompressConfig(
+            recovery=RecoveryConfig(
+                enabled=True, directory=str(tmp_path), fsync=False
+            ),
+            scrub=ScrubConfig(content_digests=True),
+        )
+        engine = HCompress(small_hierarchy, config, seed=seed)
+        engine.compress(gamma_f64, task_id="mixed")
+        # Hand-extend the catalog with a legacy 4-element entry alongside
+        # the digest-bearing one, then checkpoint: both shapes must parse.
+        engine.manager._catalog["mixed"] = [
+            entry._replace(digest=None) if index % 2 else entry
+            for index, entry in enumerate(
+                engine.manager.task_entries("mixed")
+            )
+        ]
+        engine.checkpoint()
+        engine.close()
+        restored = HCompress.restore(
+            tmp_path, small_hierarchy, config=config, seed=seed
+        )
+        assert restored.decompress("mixed").data == gamma_f64
+        restored.close()

@@ -1,0 +1,247 @@
+"""Scrubber behaviour: detection, the repair ladder, quarantine, QoS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HCompress, HCompressConfig
+from repro.core.config import ScrubConfig
+from repro.errors import IntegrityError
+from repro.faults import LatentCorruptionInjector
+
+SCRUB = ScrubConfig(
+    enabled=True, content_digests=True, verify_reads=True, scan_interval=0.0
+)
+
+
+def _mirror(engine) -> dict[str, bytes]:
+    """Pristine stored blobs keyed by piece key (the replica stand-in)."""
+    out: dict[str, bytes] = {}
+    for tier in engine.hierarchy:
+        if not tier.available:
+            continue
+        device = getattr(tier.device, "inner", tier.device)
+        for key in list(tier.keys()):
+            if tier.extent(key).has_payload and key not in out:
+                out[key] = device.load(key)
+    return out
+
+
+@pytest.fixture()
+def engine(seed, small_hierarchy):
+    engine = HCompress(
+        small_hierarchy, HCompressConfig(scrub=SCRUB), seed=seed
+    )
+    yield engine
+    engine.close()
+
+
+class TestDetection:
+    def test_clean_catalog_yields_no_repairs(self, engine, gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="clean")
+        assert engine.scrub.step(force=True) == []
+        assert engine.scrub.stats.corruptions == 0
+        assert engine.scrub.stats.pieces_scanned > 0
+        assert engine.scrub.stats.bytes_scanned > 0
+
+    def test_planted_rot_is_detected(self, engine, gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="rotting")
+        planted = LatentCorruptionInjector(engine.hierarchy, seed=1).corrupt()
+        assert len(planted) == 1
+        engine.scrub.step(force=True)
+        assert engine.scrub.stats.corruptions == 1
+
+
+class TestRepairLadder:
+    def test_hook_heals_with_a_generation_rewrite(self, engine,
+                                                  gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="healme")
+        mirror = _mirror(engine)
+        engine.manager.on_corrupt = lambda key, blob: mirror.get(key)
+        LatentCorruptionInjector(engine.hierarchy, seed=2).corrupt()
+        repairs = engine.scrub.step(force=True)
+        assert [r.outcome for r in repairs] == ["healed"]
+        repair = repairs[0]
+        assert repair.source == "hook"
+        assert "/g1/" in repair.new_key
+        # The rotten key is gone from every tier; the new one is live.
+        assert engine.hierarchy.find(repair.key) is None
+        assert engine.hierarchy.find(repair.new_key) is not None
+        assert engine.decompress("healme").data == gamma_f64
+        assert engine.scrub.stats.rewrites == 1
+        assert not engine.manager.quarantined
+
+    def test_survivor_copy_heals(self, engine, gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="copied")
+        entry = engine.manager.task_entries("copied")[0]
+        home = engine.hierarchy.find(entry.key)
+        pristine = home.get(entry.key)
+        other = next(t for t in engine.hierarchy if t is not home)
+        other.put(entry.key, pristine)
+        # Rot the home copy only.
+        device = getattr(home.device, "inner", home.device)
+        blob = bytearray(pristine)
+        blob[len(blob) // 2] ^= 0xFF
+        device.store(entry.key, bytes(blob))
+        repairs = engine.scrub.step(force=True)
+        assert [(r.source, r.outcome) for r in repairs] == [
+            ("survivor", "healed")
+        ]
+        # Both old copies (rotten home + survivor) were reclaimed.
+        assert engine.hierarchy.find(entry.key) is None
+        assert engine.decompress("copied").data == gamma_f64
+
+    def test_reread_heals_transient_rot_in_place(self, engine,
+                                                 gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="flicker")
+        entry = engine.manager.task_entries("flicker")[0]
+        home = engine.hierarchy.find(entry.key)
+
+        class FlickerOnce:
+            """Corrupts exactly one load; the stored bytes stay intact."""
+
+            def __init__(self, inner) -> None:
+                self.inner = inner
+                self.fired = False
+
+            def load(self, key: str) -> bytes:
+                blob = self.inner.load(key)
+                if key == entry.key and not self.fired:
+                    self.fired = True
+                    return bytes([blob[0] ^ 0xFF]) + blob[1:]
+                return blob
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        home.device = FlickerOnce(home.device)
+        repairs = engine.scrub.step(force=True)
+        assert [(r.source, r.outcome) for r in repairs] == [
+            ("reread", "healed")
+        ]
+        assert repairs[0].new_key == ""  # no rewrite: state was never wrong
+        assert engine.scrub.stats.rewrites == 0
+        assert engine.decompress("flicker").data == gamma_f64
+
+
+class TestQuarantine:
+    def test_exhausted_ladder_quarantines(self, engine, gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="doomed")
+        planted = LatentCorruptionInjector(engine.hierarchy, seed=3).corrupt()
+        repairs = engine.scrub.step(force=True)
+        assert [r.outcome for r in repairs] == ["quarantined"]
+        assert planted[0].key in engine.manager.quarantined
+        # Foreground reads now fail fast and typed.
+        with pytest.raises(IntegrityError):
+            engine.decompress("doomed")
+        # The scrubber skips known-bad keys instead of re-burning budget.
+        corruptions = engine.scrub.stats.corruptions
+        assert engine.scrub.step(force=True) == []
+        assert engine.scrub.stats.corruptions == corruptions
+
+    def test_late_replica_lifts_the_quarantine(self, engine,
+                                               gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="saved")
+        mirror = _mirror(engine)
+        LatentCorruptionInjector(engine.hierarchy, seed=4).corrupt()
+        assert [
+            r.outcome for r in engine.scrub.step(force=True)
+        ] == ["quarantined"]
+        # While no repair source exists the key is skipped, not
+        # re-quarantined — quarantine is one event, not one per pass.
+        events = engine.manager.quarantine_events
+        assert engine.scrub.step(force=True) == []
+        assert engine.manager.quarantine_events == events
+        # A replica source appearing later (standby catch-up, operator
+        # restore) heals the piece and lifts the quarantine — the
+        # scrubber itself retries the ladder's upper rungs, no manual
+        # un-quarantine needed.
+        engine.manager.on_corrupt = lambda key, blob: mirror.get(key)
+        repairs = engine.scrub.step(force=True)
+        assert [r.outcome for r in repairs] == ["healed"]
+        assert not engine.manager.quarantined
+        assert engine.manager.quarantine_events == events
+        assert engine.decompress("saved").data == gamma_f64
+
+
+class _StubBrownout:
+    def __init__(self, level: int) -> None:
+        self.level = level
+
+
+class _StubQos:
+    def __init__(self, level: int) -> None:
+        self.brownout = _StubBrownout(level)
+
+
+class TestDaemonDiscipline:
+    def test_rate_limit_without_force(self, seed, small_hierarchy,
+                                      gamma_f64) -> None:
+        from repro.sim.clock import SimClock
+
+        clock = SimClock()
+        engine = HCompress(
+            small_hierarchy,
+            HCompressConfig(
+                scrub=ScrubConfig(
+                    enabled=True, content_digests=True, scan_interval=10.0
+                )
+            ),
+            seed=seed,
+            clock=lambda: clock.now,
+        )
+        engine.compress(gamma_f64, task_id="t0")
+        engine.scrub.step()
+        assert engine.scrub.stats.steps == 1
+        engine.scrub.step()  # inside the interval: skipped
+        assert engine.scrub.stats.steps == 1
+        clock.advance(10.1)
+        engine.scrub.step()
+        assert engine.scrub.stats.steps == 2
+        engine.close()
+
+    def test_brownout_pauses_the_scrubber(self, engine, gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="t0")
+        engine.qos = _StubQos(level=2)
+        assert engine.scrub.step(force=True) == []
+        assert engine.scrub.stats.paused == 1
+        assert engine.scrub.stats.steps == 0
+        engine.qos = _StubQos(level=0)
+        engine.scrub.step(force=True)
+        assert engine.scrub.stats.steps == 1
+
+    def test_bytes_budget_bounds_one_step(self, seed, small_hierarchy,
+                                          gamma_f64) -> None:
+        engine = HCompress(
+            small_hierarchy,
+            HCompressConfig(
+                scrub=ScrubConfig(
+                    enabled=True, content_digests=True, scan_interval=0.0,
+                    bytes_per_step=1,
+                )
+            ),
+            seed=seed,
+        )
+        for index in range(4):
+            engine.compress(gamma_f64, task_id=f"t{index}")
+        engine.scrub.step(force=True)
+        status = engine.scrub.status()
+        assert status["tasks_scanned"] == 1  # budget stops the walk
+        assert status["pending_tasks"] == 3
+        # Later steps resume the same pass instead of restarting it.
+        engine.scrub.step(force=True)
+        assert engine.scrub.status()["tasks_scanned"] == 2
+        assert engine.scrub.stats.scans == 1
+        engine.close()
+
+    def test_status_shape(self, engine, gamma_f64) -> None:
+        engine.compress(gamma_f64, task_id="t0")
+        engine.scrub.step(force=True)
+        status = engine.scrub.status()
+        assert status["enabled"] is True
+        for key in (
+            "scans", "steps", "paused", "tasks_scanned", "pieces_scanned",
+            "bytes_scanned", "corruptions", "repairs", "rewrites",
+            "quarantined", "failed", "pending_tasks",
+        ):
+            assert key in status

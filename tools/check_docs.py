@@ -47,7 +47,8 @@ SNIPPET_FILES = [REPO / "README.md", *sorted((REPO / "docs").glob("*.md"))]
 #: CLI help surfaces pinned by golden files ("" is the top-level parser).
 HELP_SUBCOMMANDS = (
     "", "profile", "codecs", "report", "demo", "chaos", "checkpoint",
-    "recover", "lifecycle", "replication", "stats", "metrics", "trace",
+    "recover", "fsck", "lifecycle", "replication", "stats", "metrics",
+    "trace",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
